@@ -1,0 +1,477 @@
+//! Fine-grained, versioned checkpointing of PM state (§4.2 of the paper).
+//!
+//! The checkpoint log records every durable PM update at the granularity
+//! the application itself chose (an explicit persist range, or each
+//! snapshotted range of a committed transaction), keyed by address, with up
+//! to [`MAX_VERSIONS`] old values per address and a global logical sequence
+//! number — a direct transcription of the paper's Figure 5 entry layout.
+//!
+//! The log implements [`PmSink`], so attaching it to a pool is the moral
+//! equivalent of linking the Arthas checkpoint library into the target
+//! binary. In the paper the log lives in a dedicated PM pool; here it is a
+//! host-side structure owned by the driver, which survives simulated
+//! restarts of the target exactly like a separate pool would.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+use pmemsim::PmSink;
+
+/// Maximum number of retained versions per address (the paper's default).
+pub const MAX_VERSIONS: usize = 3;
+
+/// One retained version of an address's data.
+#[derive(Debug, Clone)]
+pub struct VersionData {
+    /// Global logical sequence number of the update.
+    pub seq: u64,
+    /// The durable bytes after the update.
+    pub data: Vec<u8>,
+    /// Transaction that produced the update, if any.
+    pub tx_id: Option<u64>,
+}
+
+/// The per-address checkpoint entry (paper Figure 5).
+#[derive(Debug, Clone, Default)]
+pub struct Entry {
+    /// Retained versions, oldest first, newest last.
+    pub versions: VecDeque<VersionData>,
+    /// Address of the predecessor block when the object was reallocated
+    /// (the paper's `old_entry` chaining).
+    pub old_entry: Option<u64>,
+}
+
+/// Allocation record for the leak-mitigation pass (§4.7).
+#[derive(Debug, Clone)]
+pub struct AllocRecord {
+    /// Payload size.
+    pub size: u64,
+    /// Sequence number at allocation time.
+    pub seq: u64,
+    /// Sequence number at free time, when freed.
+    pub freed: Option<u64>,
+}
+
+/// The checkpoint log.
+///
+/// # Examples
+///
+/// ```
+/// use arthas::CheckpointLog;
+/// use pmemsim::PmSink;
+///
+/// let mut log = CheckpointLog::new();
+/// log.on_persist(128, &1u64.to_le_bytes());
+/// log.on_persist(128, &2u64.to_le_bytes());
+/// // Reverting one version back recovers the previous durable value.
+/// assert_eq!(log.data_at_depth(128, 1).unwrap(), 1u64.to_le_bytes());
+/// ```
+#[derive(Default)]
+pub struct CheckpointLog {
+    entries: BTreeMap<u64, Entry>,
+    seq: u64,
+    seq_to_addr: HashMap<u64, u64>,
+    tx_members: HashMap<u64, Vec<u64>>,
+    allocs: BTreeMap<u64, AllocRecord>,
+    recovery_reads: Vec<(u64, u64)>,
+    recovering: bool,
+    /// When false the sink ignores events (used while the reactor
+    /// re-executes the target during mitigation, so reversion attempts do
+    /// not rotate good versions out of the log).
+    enabled: bool,
+    total_updates: u64,
+}
+
+impl CheckpointLog {
+    /// Creates an empty, enabled log.
+    pub fn new() -> Self {
+        CheckpointLog {
+            enabled: true,
+            ..Default::default()
+        }
+    }
+
+    /// Enables or disables recording.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Next sequence number (the atomic counter of the paper).
+    fn next_seq(&mut self) -> u64 {
+        self.seq += 1;
+        self.seq
+    }
+
+    /// The largest sequence number issued so far.
+    pub fn latest_seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Total number of checkpointed PM updates over the log's lifetime
+    /// (the denominator of the discarded-data metric).
+    pub fn total_updates(&self) -> u64 {
+        self.total_updates
+    }
+
+    /// Number of distinct checkpointed addresses.
+    pub fn n_entries(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The entry for an exact address.
+    pub fn entry(&self, addr: u64) -> Option<&Entry> {
+        self.entries.get(&addr)
+    }
+
+    /// The address recorded under a sequence number.
+    pub fn addr_of_seq(&self, seq: u64) -> Option<u64> {
+        self.seq_to_addr.get(&seq).copied()
+    }
+
+    /// All sequence numbers belonging to transaction `tx`.
+    pub fn tx_seqs(&self, tx: u64) -> &[u64] {
+        self.tx_members
+            .get(&tx)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// The transaction id (if any) of the version recorded under `seq`.
+    pub fn tx_of_seq(&self, seq: u64) -> Option<u64> {
+        let addr = self.addr_of_seq(seq)?;
+        self.entries
+            .get(&addr)?
+            .versions
+            .iter()
+            .find(|v| v.seq == seq)
+            .and_then(|v| v.tx_id)
+    }
+
+    fn record(&mut self, addr: u64, data: &[u8], tx_id: Option<u64>) {
+        if !self.enabled {
+            return;
+        }
+        let seq = self.next_seq();
+        self.total_updates += 1;
+        self.seq_to_addr.insert(seq, addr);
+        if let Some(tx) = tx_id {
+            self.tx_members.entry(tx).or_default().push(seq);
+        }
+        let entry = self.entries.entry(addr).or_default();
+        entry.versions.push_back(VersionData {
+            seq,
+            data: data.to_vec(),
+            tx_id,
+        });
+        while entry.versions.len() > MAX_VERSIONS {
+            let dropped = entry.versions.pop_front().expect("non-empty");
+            self.seq_to_addr.remove(&dropped.seq);
+        }
+    }
+
+    /// Entries whose most recent version covers `addr` (used to join the
+    /// dynamic PM trace with the log): returns `(entry_address, seq)` of
+    /// the newest version of each covering entry.
+    pub fn covering(&self, addr: u64) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        // An entry at address `a` of max size `s` covers addr when
+        // a <= addr < a + s. Walk candidates at or below addr.
+        for (&a, e) in self.entries.range(..=addr).rev().take(64) {
+            let max_size = e
+                .versions
+                .iter()
+                .map(|v| v.data.len() as u64)
+                .max()
+                .unwrap_or(0);
+            if a + max_size > addr {
+                if let Some(latest) = e.versions.back() {
+                    out.push((a, latest.seq));
+                }
+            }
+            // Entries are disjoint in practice (persist ranges), but sizes
+            // vary; stop early once clearly out of range.
+            if addr - a > 1 << 20 {
+                break;
+            }
+        }
+        out
+    }
+
+    /// The data an address held *before* the version `depth` steps back
+    /// from the newest (depth 1 = previous version). Returns zeros of the
+    /// newest version's size when history is exhausted — reverting to
+    /// "before the object existed" (allocations are zero-filled).
+    pub fn data_at_depth(&self, addr: u64, depth: usize) -> Option<Vec<u8>> {
+        let e = self.entries.get(&addr)?;
+        let n = e.versions.len();
+        let newest_len = e.versions.back()?.data.len();
+        if depth == 0 {
+            return Some(e.versions.back()?.data.clone());
+        }
+        if depth < n {
+            Some(e.versions[n - 1 - depth].data.clone())
+        } else {
+            Some(vec![0; newest_len])
+        }
+    }
+
+    /// The state of `addr` just before global sequence number `cut`:
+    /// newest version with `seq < cut`, or zeros when the address did not
+    /// exist then. `None` when the address is not in the log.
+    pub fn data_before_seq(&self, addr: u64, cut: u64) -> Option<Vec<u8>> {
+        let e = self.entries.get(&addr)?;
+        let newest_len = e.versions.back().map(|v| v.data.len()).unwrap_or(0);
+        match e.versions.iter().rev().find(|v| v.seq < cut) {
+            Some(v) => Some(v.data.clone()),
+            None => Some(vec![0; newest_len]),
+        }
+    }
+
+    /// All addresses with at least one version at `seq >= cut` (rollback
+    /// victims for a time-based rollback to `cut`).
+    pub fn addrs_touched_since(&self, cut: u64) -> Vec<u64> {
+        self.entries
+            .iter()
+            .filter(|(_, e)| e.versions.back().map(|v| v.seq >= cut).unwrap_or(false))
+            .map(|(a, _)| *a)
+            .collect()
+    }
+
+    /// The bytes the durable pool *should* currently hold over the range
+    /// of `addr`'s entry: the entry's newest version, overlaid with every
+    /// newer overlapping entry's newest version. A mismatch with the
+    /// actual pool contents means some write bypassed every durability
+    /// point — the signature of external (hardware) corruption.
+    pub fn expected_current(&self, addr: u64) -> Option<Vec<u8>> {
+        let e = self.entries.get(&addr)?;
+        let newest = e.versions.back()?;
+        let my_seq = newest.seq;
+        let mut buf = newest.data.clone();
+        let len = buf.len() as u64;
+        // Overlay newer overlapping entries. Entries start at persist
+        // range starts; scan a bounded window below and all within range.
+        let lo = addr.saturating_sub(1 << 16);
+        for (&a2, e2) in self.entries.range(lo..addr + len) {
+            if a2 == addr {
+                continue;
+            }
+            let Some(v2) = e2.versions.back() else {
+                continue;
+            };
+            if v2.seq <= my_seq {
+                continue;
+            }
+            let l2 = v2.data.len() as u64;
+            // Overlap of [a2, a2+l2) with [addr, addr+len).
+            let start = a2.max(addr);
+            let end = (a2 + l2).min(addr + len);
+            if start >= end {
+                continue;
+            }
+            let dst = (start - addr) as usize;
+            let src = (start - a2) as usize;
+            let n = (end - start) as usize;
+            buf[dst..dst + n].copy_from_slice(&v2.data[src..src + n]);
+        }
+        Some(buf)
+    }
+
+    /// All sequence numbers in the log, ascending.
+    pub fn all_seqs(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.seq_to_addr.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    // ---- leak mitigation bookkeeping (§4.7) --------------------------------
+
+    /// Live (never freed) allocations recorded by the log.
+    pub fn live_allocs(&self) -> Vec<(u64, u64)> {
+        self.allocs
+            .iter()
+            .filter(|(_, r)| r.freed.is_none())
+            .map(|(a, r)| (*a, r.size))
+            .collect()
+    }
+
+    /// Ranges read while the application's recovery function was active.
+    pub fn recovery_reads(&self) -> &[(u64, u64)] {
+        &self.recovery_reads
+    }
+
+    /// Clears the recorded recovery reads (before a fresh recovery run).
+    pub fn clear_recovery_reads(&mut self) {
+        self.recovery_reads.clear();
+    }
+
+    /// Live allocations that the recovery function never touched: the
+    /// suspected persistent leaks.
+    pub fn suspected_leaks(&self) -> Vec<(u64, u64)> {
+        self.live_allocs()
+            .into_iter()
+            .filter(|(a, s)| {
+                !self
+                    .recovery_reads
+                    .iter()
+                    .any(|(ra, rl)| ra < &(a + s) && *a < ra + rl)
+            })
+            .collect()
+    }
+
+    /// Marks an allocation freed by the reactor itself (leak mitigation),
+    /// keeping the log consistent with the pool.
+    pub fn note_reactor_free(&mut self, addr: u64) {
+        let seq = self.seq;
+        if let Some(rec) = self.allocs.get_mut(&addr) {
+            rec.freed = Some(seq);
+        }
+    }
+}
+
+impl PmSink for CheckpointLog {
+    fn on_persist(&mut self, offset: u64, data: &[u8]) {
+        self.record(offset, data, None);
+    }
+
+    fn on_tx_commit(&mut self, tx_id: u64, ranges: &[(u64, Vec<u8>)]) {
+        for (off, data) in ranges {
+            self.record(*off, data, Some(tx_id));
+        }
+    }
+
+    fn on_alloc(&mut self, offset: u64, size: u64) {
+        if !self.enabled {
+            return;
+        }
+        let seq = self.seq;
+        // Reallocation chaining: if an entry exists at this address from a
+        // previous life of the block, link it.
+        if let Some(prev) = self.allocs.get(&offset) {
+            if prev.freed.is_some() {
+                if let Some(e) = self.entries.get_mut(&offset) {
+                    e.old_entry = Some(offset);
+                }
+            }
+        }
+        self.allocs.insert(
+            offset,
+            AllocRecord {
+                size,
+                seq,
+                freed: None,
+            },
+        );
+    }
+
+    fn on_free(&mut self, offset: u64) {
+        if !self.enabled {
+            return;
+        }
+        let seq = self.seq;
+        if let Some(rec) = self.allocs.get_mut(&offset) {
+            rec.freed = Some(seq);
+        }
+    }
+
+    fn on_recover_begin(&mut self) {
+        self.recovering = true;
+    }
+
+    fn on_recover_end(&mut self) {
+        self.recovering = false;
+    }
+
+    fn on_recover_read(&mut self, offset: u64, len: u64) {
+        if self.recovering {
+            self.recovery_reads.push((offset, len));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn versions_rotate_at_max() {
+        let mut log = CheckpointLog::new();
+        for i in 1..=5u64 {
+            log.on_persist(100, &i.to_le_bytes());
+        }
+        let e = log.entry(100).unwrap();
+        assert_eq!(e.versions.len(), MAX_VERSIONS);
+        assert_eq!(e.versions.back().unwrap().data, 5u64.to_le_bytes());
+        assert_eq!(e.versions.front().unwrap().data, 3u64.to_le_bytes());
+        assert_eq!(log.total_updates(), 5);
+    }
+
+    #[test]
+    fn depth_and_seq_lookups() {
+        let mut log = CheckpointLog::new();
+        log.on_persist(64, &1u64.to_le_bytes());
+        log.on_persist(64, &2u64.to_le_bytes());
+        log.on_persist(64, &3u64.to_le_bytes());
+        assert_eq!(log.data_at_depth(64, 0).unwrap(), 3u64.to_le_bytes());
+        assert_eq!(log.data_at_depth(64, 1).unwrap(), 2u64.to_le_bytes());
+        assert_eq!(log.data_at_depth(64, 2).unwrap(), 1u64.to_le_bytes());
+        // History exhausted: zeros.
+        assert_eq!(log.data_at_depth(64, 3).unwrap(), vec![0; 8]);
+        // Before seq 2 the address held version 1.
+        assert_eq!(log.data_before_seq(64, 2).unwrap(), 1u64.to_le_bytes());
+        assert_eq!(log.data_before_seq(64, 1).unwrap(), vec![0; 8]);
+    }
+
+    #[test]
+    fn covering_finds_field_within_persist_range() {
+        let mut log = CheckpointLog::new();
+        log.on_persist(1000, &[7u8; 64]); // a 64-byte object persist
+        let hits = log.covering(1032); // field at +32
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].0, 1000);
+        assert!(log.covering(2000).is_empty());
+    }
+
+    #[test]
+    fn tx_commit_groups_members() {
+        let mut log = CheckpointLog::new();
+        log.on_tx_commit(9, &[(100, vec![1]), (200, vec![2])]);
+        let seqs = log.tx_seqs(9).to_vec();
+        assert_eq!(seqs.len(), 2);
+        for s in seqs {
+            assert_eq!(log.tx_of_seq(s), Some(9));
+        }
+    }
+
+    #[test]
+    fn disabled_log_records_nothing() {
+        let mut log = CheckpointLog::new();
+        log.set_enabled(false);
+        log.on_persist(0, &[1]);
+        log.on_alloc(10, 20);
+        assert_eq!(log.n_entries(), 0);
+        assert!(log.live_allocs().is_empty());
+    }
+
+    #[test]
+    fn leak_suspects_exclude_recovery_touched() {
+        let mut log = CheckpointLog::new();
+        log.on_alloc(100, 32);
+        log.on_alloc(200, 32);
+        log.on_alloc(300, 32);
+        log.on_free(300);
+        log.on_recover_begin();
+        log.on_recover_read(100, 8);
+        log.on_recover_end();
+        let leaks = log.suspected_leaks();
+        assert_eq!(leaks, vec![(200, 32)], "only the untouched live alloc");
+    }
+
+    #[test]
+    fn rollback_victims_by_cut() {
+        let mut log = CheckpointLog::new();
+        log.on_persist(10, &[1]); // seq 1
+        log.on_persist(20, &[2]); // seq 2
+        log.on_persist(30, &[3]); // seq 3
+        let v = log.addrs_touched_since(2);
+        assert_eq!(v, vec![20, 30]);
+    }
+}

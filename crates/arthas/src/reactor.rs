@@ -1,0 +1,675 @@
+//! The Arthas reactor (§4.4–4.7): reversion planning and the
+//! multi-attempt rollback / purge loop.
+//!
+//! Given a suspected hard failure, the reactor:
+//!
+//! 1. computes the backward slice of the fault instruction over the PDG
+//!    and keeps only PM-updating instructions;
+//! 2. joins those instructions, via their GUIDs and the dynamic PM address
+//!    trace, with the checkpoint log to obtain a candidate list of
+//!    sequence numbers (default policy: sort descending, de-duplicate,
+//!    optional distance cap);
+//! 3. reverts candidates — one by one or in batches, in **purge** mode
+//!    (only dependent entries, plus a forward-dependency second pass and
+//!    transaction-sibling grouping) or **rollback** mode (everything at or
+//!    after the chosen sequence number) — re-executing the target between
+//!    attempts and trying older versions when the list is exhausted;
+//! 4. falls back from purge to rollback after repeated failures, and
+//!    aborts to a plain restart when the plan is empty (the detector's
+//!    false alarms are pruned here, §4.5).
+//!
+//! Persistent-leak failures take the dedicated path of §4.7: live
+//! allocations in the checkpoint log that the application's recovery
+//! function never touched are freed.
+
+use std::cell::RefCell;
+use std::collections::BTreeSet;
+use std::rc::Rc;
+use std::time::{Duration, Instant};
+
+use pir::ir::InstRef;
+use pir_analysis::{backward_slice, ModuleAnalysis};
+use pmemsim::PmPool;
+
+use crate::analyzer::GuidMap;
+use crate::checkpoint::{CheckpointLog, MAX_VERSIONS};
+use crate::detector::{FailureKind, FailureRecord};
+use crate::trace::PmTrace;
+
+/// Reversion strategy: strict time order vs dependent-only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Revert every update at or after the chosen sequence number.
+    Rollback,
+    /// Revert only the dependent entries (may need the consistency second
+    /// pass; can fall back to rollback).
+    Purge,
+}
+
+/// How many candidates to revert between re-executions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchStrategy {
+    /// One candidate per re-execution (minimises discarded data).
+    OneByOne,
+    /// Up to `n` candidates per re-execution (fewer re-executions).
+    Batch(usize),
+}
+
+/// Reactor configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ReactorConfig {
+    /// Reversion mode.
+    pub mode: Mode,
+    /// Batching strategy.
+    pub batch: BatchStrategy,
+    /// Re-execution budget before giving up (the paper's 10-minute
+    /// timeout analogue).
+    pub max_attempts: u32,
+    /// Optional cap on slice distance for candidate selection.
+    pub max_distance: Option<u32>,
+    /// Bound on slice exploration.
+    pub max_slice_nodes: usize,
+    /// Purge attempts before falling back to rollback mode.
+    pub purge_fallback_after: u32,
+    /// After a successful recovery, spend extra re-executions restoring
+    /// reverted entries that turn out not to be needed (the technical
+    /// report's reduction of the reverted sequence-number set). Lowers
+    /// discarded data at the cost of more attempts.
+    pub minimize_loss: bool,
+}
+
+impl Default for ReactorConfig {
+    fn default() -> Self {
+        ReactorConfig {
+            mode: Mode::Purge,
+            batch: BatchStrategy::OneByOne,
+            max_attempts: 200,
+            max_distance: None,
+            max_slice_nodes: 100_000,
+            purge_fallback_after: 60,
+            minimize_loss: false,
+        }
+    }
+}
+
+/// The target system under mitigation.
+///
+/// `reexecute` must restart the system over the given pool (running its
+/// recovery function) and drive a verification workload, returning the
+/// failure if the symptom persists. Implementations attach the checkpoint
+/// log sink *disabled* during re-execution so reversion attempts do not
+/// rotate good versions out of the log (recovery reads are still tracked
+/// for leak mitigation).
+pub trait Target {
+    /// Restart + verify; `Ok(())` means the system is operational.
+    fn reexecute(&mut self, pool: &mut PmPool) -> Result<(), FailureRecord>;
+}
+
+/// Result of a mitigation.
+#[derive(Debug, Clone)]
+pub struct MitigationOutcome {
+    /// Whether the system was brought back to an operational state.
+    pub recovered: bool,
+    /// Whether a plain restart sufficed (empty plan: false alarm).
+    pub via_restart_only: bool,
+    /// Number of re-executions performed.
+    pub attempts: u32,
+    /// Length of the candidate sequence list.
+    pub plan_len: usize,
+    /// Distinct checkpoint updates (sequence numbers) discarded.
+    pub discarded_updates: u64,
+    /// Distinct PM addresses reverted.
+    pub discarded_entries: u64,
+    /// Wall-clock time of the whole mitigation.
+    pub wall: Duration,
+    /// Whether purge mode fell back to rollback.
+    pub mode_fellback: bool,
+    /// Suspected leak objects freed (leak mitigation only).
+    pub leaks_freed: u64,
+}
+
+impl MitigationOutcome {
+    fn failed(plan_len: usize, attempts: u32, wall: Duration) -> Self {
+        MitigationOutcome {
+            recovered: false,
+            via_restart_only: false,
+            attempts,
+            plan_len,
+            discarded_updates: 0,
+            discarded_entries: 0,
+            wall,
+            mode_fellback: false,
+            leaks_freed: 0,
+        }
+    }
+}
+
+/// Bookkeeping of what the reversion loop has written where, so the
+/// minimization pass can undo reversions that were not needed.
+#[derive(Default)]
+struct RevertLedger {
+    /// First-touch pool bytes per address (what was there before any
+    /// reversion).
+    originals: std::collections::HashMap<u64, Vec<u8>>,
+    /// Discarded sequence numbers attributed to each reverted address.
+    by_addr: std::collections::HashMap<u64, BTreeSet<u64>>,
+}
+
+impl RevertLedger {
+    fn capture(&mut self, pool: &mut PmPool, addr: u64, len: usize) {
+        if let std::collections::hash_map::Entry::Vacant(e) = self.originals.entry(addr) {
+            if let Ok(cur) = pool.read(addr, len as u64) {
+                e.insert(cur);
+            }
+        }
+    }
+
+    fn discarded_updates(&self) -> u64 {
+        self.by_addr.values().map(|s| s.len() as u64).sum()
+    }
+
+    fn touched(&self) -> u64 {
+        self.by_addr.len() as u64
+    }
+}
+
+/// A reversion plan: candidate sequence numbers (most recent first) and,
+/// for the purge-mode consistency pass, the slice instructions each
+/// candidate came from.
+#[derive(Debug, Clone, Default)]
+pub struct Plan {
+    /// Candidate checkpoint sequence numbers, most recent first.
+    pub seqs: Vec<u64>,
+    /// Which PM instructions contributed each candidate.
+    pub sources: std::collections::HashMap<u64, Vec<InstRef>>,
+}
+
+/// The reactor.
+pub struct Reactor<'a> {
+    analysis: &'a ModuleAnalysis,
+    guid_map: &'a GuidMap,
+    cfg: ReactorConfig,
+    /// Wall time of the most recent slicing operation (Table 9).
+    pub last_slice_time: Duration,
+}
+
+impl<'a> Reactor<'a> {
+    /// Creates a reactor over precomputed analysis artifacts.
+    pub fn new(analysis: &'a ModuleAnalysis, guid_map: &'a GuidMap, cfg: ReactorConfig) -> Self {
+        Reactor {
+            analysis,
+            guid_map,
+            cfg,
+            last_slice_time: Duration::ZERO,
+        }
+    }
+
+    /// Computes the candidate sequence list for a fault instruction
+    /// (slice → PM filter → trace join → covering checkpoint entries).
+    ///
+    /// Policy: candidates whose durable pool bytes *diverge* from their
+    /// latest checkpointed version are ordered first — divergence means
+    /// the state was corrupted outside a durability point (e.g. a
+    /// hardware bit flip), making those entries the prime suspects. The
+    /// rest follow most-recent-first (the paper's default sort +
+    /// de-duplicate policy, §4.5).
+    pub fn plan(
+        &mut self,
+        fault: InstRef,
+        trace: &PmTrace,
+        log: &CheckpointLog,
+        pool: &mut PmPool,
+    ) -> Plan {
+        let t0 = Instant::now();
+        let slice = backward_slice(&self.analysis.pdg, fault, self.cfg.max_slice_nodes);
+        self.last_slice_time = t0.elapsed();
+        let mut seqs: BTreeSet<u64> = BTreeSet::new();
+        let mut sources: std::collections::HashMap<u64, Vec<InstRef>> =
+            std::collections::HashMap::new();
+        for at in &slice.insts {
+            if !self.analysis.pm.pm_writes.contains(at) {
+                continue;
+            }
+            if let Some(maxd) = self.cfg.max_distance {
+                if slice.distance[at] > maxd {
+                    continue;
+                }
+            }
+            let Some(guid) = self.guid_map.guid_of(*at) else {
+                continue;
+            };
+            for &off in trace.offsets(guid) {
+                for (_, seq) in log.covering(off) {
+                    seqs.insert(seq);
+                    sources.entry(seq).or_default().push(*at);
+                }
+            }
+        }
+        let (mut diverged, mut rest): (Vec<u64>, Vec<u64>) = (Vec::new(), Vec::new());
+        for s in seqs.into_iter().rev() {
+            if seq_diverged(log, pool, s) {
+                diverged.push(s);
+            } else {
+                rest.push(s);
+            }
+        }
+        diverged.extend(rest);
+        Plan {
+            seqs: diverged,
+            sources,
+        }
+    }
+
+    /// Mitigates a suspected hard failure.
+    pub fn mitigate(
+        &mut self,
+        pool: &mut PmPool,
+        log: &Rc<RefCell<CheckpointLog>>,
+        failure: &FailureRecord,
+        trace: &PmTrace,
+        target: &mut dyn Target,
+    ) -> MitigationOutcome {
+        let t0 = Instant::now();
+        if failure.kind == FailureKind::Leak {
+            return self.mitigate_leak(pool, log, target, t0);
+        }
+        let Some(fault) = failure.fault else {
+            // No fault instruction: all we can do is restart.
+            return self.restart_only(pool, target, t0, 0);
+        };
+        let plan = {
+            let log_ref = log.borrow();
+            self.plan(fault, trace, &log_ref, pool)
+        };
+        if plan.seqs.is_empty() {
+            // §4.5: likely a false alarm — not caused by bad PM values.
+            return self.restart_only(pool, target, t0, 0);
+        }
+        log.borrow_mut().set_enabled(false);
+        let out = self.revert_loop(pool, log, &plan, trace, target, t0);
+        log.borrow_mut().set_enabled(true);
+        out
+    }
+
+    fn restart_only(
+        &self,
+        pool: &mut PmPool,
+        target: &mut dyn Target,
+        t0: Instant,
+        plan_len: usize,
+    ) -> MitigationOutcome {
+        let ok = target.reexecute(pool).is_ok();
+        MitigationOutcome {
+            recovered: ok,
+            via_restart_only: true,
+            attempts: 1,
+            plan_len,
+            discarded_updates: 0,
+            discarded_entries: 0,
+            wall: t0.elapsed(),
+            mode_fellback: false,
+            leaks_freed: 0,
+        }
+    }
+
+    fn revert_loop(
+        &mut self,
+        pool: &mut PmPool,
+        log_rc: &Rc<RefCell<CheckpointLog>>,
+        plan: &Plan,
+        trace: &PmTrace,
+        target: &mut dyn Target,
+        t0: Instant,
+    ) -> MitigationOutcome {
+        let mut attempts = 0u32;
+        let mut mode = self.cfg.mode;
+        let mut mode_fellback = false;
+        let mut ledger = RevertLedger::default();
+        let fwd = match self.cfg.mode {
+            Mode::Purge => Some(self.analysis.pdg.forward_index()),
+            Mode::Rollback => None,
+        };
+        let batch_size = match self.cfg.batch {
+            BatchStrategy::OneByOne => 1,
+            BatchStrategy::Batch(n) => n.max(1),
+        };
+
+        for depth in 1..=MAX_VERSIONS {
+            let mut pending: Vec<u64> = plan.seqs.clone();
+            while !pending.is_empty() {
+                if attempts >= self.cfg.max_attempts {
+                    return MitigationOutcome::failed(plan.seqs.len(), attempts, t0.elapsed());
+                }
+                if mode == Mode::Purge && attempts >= self.cfg.purge_fallback_after {
+                    mode = Mode::Rollback;
+                    mode_fellback = true;
+                }
+                let take = batch_size.min(pending.len());
+                let batch: Vec<u64> = pending.drain(..take).collect();
+                match mode {
+                    Mode::Purge => {
+                        for &s in &batch {
+                            self.purge_seq(
+                                pool,
+                                log_rc,
+                                plan,
+                                trace,
+                                s,
+                                depth,
+                                fwd.as_ref().expect("purge mode"),
+                                &mut ledger,
+                            );
+                        }
+                    }
+                    Mode::Rollback => {
+                        // Externally corrupted entries are healed to the
+                        // durable truth in any mode — time-ordered
+                        // reversion cannot reconstruct a value that never
+                        // passed a durability point. A healed candidate is
+                        // *consumed* by the healing: rolling back through
+                        // it would re-plant the stale value.
+                        let mut normal: Vec<u64> = Vec::new();
+                        for &s in &batch {
+                            let healed = {
+                                let log = log_rc.borrow();
+                                if seq_diverged(&log, pool, s) {
+                                    log.addr_of_seq(s).and_then(|addr| {
+                                        log.expected_current(addr).map(|d| (addr, d))
+                                    })
+                                } else {
+                                    None
+                                }
+                            };
+                            match healed {
+                                Some((addr, data)) => {
+                                    ledger.capture(pool, addr, data.len());
+                                    let _ = pool.write(addr, &data);
+                                    let _ = pool.persist(addr, data.len() as u64);
+                                    ledger.by_addr.entry(addr).or_default();
+                                }
+                                None => normal.push(s),
+                            }
+                        }
+                        // Roll back to just before the oldest remaining
+                        // seq in the batch.
+                        if let Some(&cut) = normal.iter().min() {
+                            self.rollback_to(pool, log_rc, cut, &mut ledger);
+                        }
+                    }
+                }
+                attempts += 1;
+                match target.reexecute(pool) {
+                    Ok(()) => {
+                        if self.cfg.minimize_loss {
+                            attempts += self.minimize(pool, &mut ledger, target);
+                        }
+                        return MitigationOutcome {
+                            recovered: true,
+                            via_restart_only: false,
+                            attempts,
+                            plan_len: plan.seqs.len(),
+                            discarded_updates: ledger.discarded_updates(),
+                            discarded_entries: ledger.touched(),
+                            wall: t0.elapsed(),
+                            mode_fellback,
+                            leaks_freed: 0,
+                        };
+                    }
+                    Err(f) => {
+                        // An assertion in recovery under purge mode means
+                        // the purge introduced an inconsistency: fall back.
+                        if mode == Mode::Purge && f.kind == FailureKind::Panic {
+                            mode = Mode::Rollback;
+                            mode_fellback = true;
+                        }
+                    }
+                }
+            }
+        }
+        MitigationOutcome::failed(plan.seqs.len(), attempts, t0.elapsed())
+    }
+
+    /// Purge one sequence number: revert its entry to `depth` versions
+    /// back, revert its transaction siblings (§4.6), and run the
+    /// forward-dependency consistency second pass (§4.4): checkpoint
+    /// entries written *after* the reverted one by instructions that
+    /// depend on its sources are purged too.
+    #[allow(clippy::too_many_arguments)]
+    fn purge_seq(
+        &self,
+        pool: &mut PmPool,
+        log_rc: &Rc<RefCell<CheckpointLog>>,
+        plan: &Plan,
+        trace: &PmTrace,
+        seq: u64,
+        depth: usize,
+        fwd: &std::collections::HashMap<InstRef, Vec<(InstRef, pir_analysis::DepKind)>>,
+        ledger: &mut RevertLedger,
+    ) {
+        let mut worklist = vec![seq];
+        // Externally corrupted entries (divergence) did not propagate via
+        // program writes: restoring the durable truth needs no sibling or
+        // forward-dependency expansion.
+        let externally_corrupted = seq_diverged(&log_rc.borrow(), pool, seq);
+        // Transaction siblings (§4.6).
+        if !externally_corrupted {
+            let log = log_rc.borrow();
+            if let Some(tx) = log.tx_of_seq(seq) {
+                worklist.extend(log.tx_seqs(tx).iter().copied());
+            }
+        }
+        // Forward-dependency second pass: PM writes reachable forward from
+        // the sources of this candidate through *value flow* (data and
+        // memory edges, a few hops), whose traced entries were written
+        // after it. Control/context edges are excluded — following them
+        // would sweep in every later operation and collapse purging into
+        // rollback.
+        if let Some(sources) = plan.sources.get(&seq).filter(|_| !externally_corrupted) {
+            const MAX_HOPS: u32 = 2;
+            let mut seen: BTreeSet<InstRef> = BTreeSet::new();
+            let mut frontier: Vec<InstRef> = sources.clone();
+            for _ in 0..MAX_HOPS {
+                let mut next = Vec::new();
+                for cur in frontier.drain(..) {
+                    if seen.len() > 4_096 || !seen.insert(cur) {
+                        continue;
+                    }
+                    if let Some(nexts) = fwd.get(&cur) {
+                        for (n, kind) in nexts {
+                            if matches!(
+                                kind,
+                                pir_analysis::DepKind::Data | pir_analysis::DepKind::Memory
+                            ) {
+                                next.push(*n);
+                            }
+                        }
+                    }
+                }
+                frontier = next;
+                if frontier.is_empty() {
+                    break;
+                }
+            }
+            let log = log_rc.borrow();
+            for at in seen {
+                if !self.analysis.pm.pm_writes.contains(&at) {
+                    continue;
+                }
+                let Some(guid) = self.guid_map.guid_of(at) else {
+                    continue;
+                };
+                for &off in trace.offsets(guid) {
+                    for (_, s2) in log.covering(off) {
+                        if s2 > seq {
+                            worklist.push(s2);
+                        }
+                    }
+                }
+            }
+        }
+        worklist.sort_unstable();
+        worklist.dedup();
+        for s in worklist {
+            let (addr, data) = {
+                let log = log_rc.borrow();
+                let Some(addr) = log.addr_of_seq(s) else {
+                    continue;
+                };
+                // External corruption (durable bytes diverging from what
+                // the log says they should be, e.g. a bit flip that never
+                // passed a durability point): the reversion step is
+                // "restore the last known durable state".
+                let data = if seq_diverged(&log, pool, s) {
+                    log.expected_current(addr)
+                } else {
+                    log.data_at_depth(addr, depth)
+                };
+                let Some(data) = data else {
+                    continue;
+                };
+                (addr, data)
+            };
+            ledger.capture(pool, addr, data.len());
+            let _ = pool.write(addr, &data);
+            let _ = pool.persist(addr, data.len() as u64);
+            // Versions discarded: the newest `depth` versions of the entry.
+            let log = log_rc.borrow();
+            let slot = ledger.by_addr.entry(addr).or_default();
+            if let Some(e) = log.entry(addr) {
+                let n = e.versions.len();
+                for v in e.versions.iter().skip(n.saturating_sub(depth)) {
+                    slot.insert(v.seq);
+                }
+            }
+        }
+    }
+
+    /// Post-recovery minimization: restore each reverted address to its
+    /// pre-reversion bytes and keep the restoration when the target stays
+    /// healthy — shrinking the discarded set to the entries that actually
+    /// mattered. Bounded by a re-execution budget.
+    fn minimize(
+        &self,
+        pool: &mut PmPool,
+        ledger: &mut RevertLedger,
+        target: &mut dyn Target,
+    ) -> u32 {
+        const BUDGET: u32 = 32;
+        let mut used = 0u32;
+        let addrs: Vec<u64> = ledger.by_addr.keys().copied().collect();
+        for addr in addrs {
+            if used >= BUDGET {
+                break;
+            }
+            let Some(original) = ledger.originals.get(&addr).cloned() else {
+                continue;
+            };
+            let Ok(current) = pool.read(addr, original.len() as u64) else {
+                continue;
+            };
+            if current == original {
+                // The reversion was a no-op; nothing was really discarded.
+                ledger.by_addr.remove(&addr);
+                continue;
+            }
+            let _ = pool.write(addr, &original);
+            let _ = pool.persist(addr, original.len() as u64);
+            used += 1;
+            if target.reexecute(pool).is_ok() {
+                // Not needed after all.
+                ledger.by_addr.remove(&addr);
+            } else {
+                // Needed: re-apply the reversion.
+                let _ = pool.write(addr, &current);
+                let _ = pool.persist(addr, current.len() as u64);
+            }
+        }
+        used
+    }
+
+    /// Time-ordered rollback: restore every address touched at or after
+    /// `cut` to its state just before `cut`.
+    fn rollback_to(
+        &self,
+        pool: &mut PmPool,
+        log_rc: &Rc<RefCell<CheckpointLog>>,
+        cut: u64,
+        ledger: &mut RevertLedger,
+    ) {
+        let victims: Vec<(u64, Vec<u8>)> = {
+            let log = log_rc.borrow();
+            log.addrs_touched_since(cut)
+                .into_iter()
+                .filter_map(|a| log.data_before_seq(a, cut).map(|d| (a, d)))
+                .collect()
+        };
+        for (addr, data) in victims {
+            ledger.capture(pool, addr, data.len());
+            let _ = pool.write(addr, &data);
+            let _ = pool.persist(addr, data.len() as u64);
+            ledger.by_addr.entry(addr).or_default();
+        }
+        let log = log_rc.borrow();
+        for s in log.all_seqs() {
+            if s >= cut {
+                if let Some(addr) = log.addr_of_seq(s) {
+                    ledger.by_addr.entry(addr).or_default().insert(s);
+                }
+            }
+        }
+    }
+
+    /// Persistent-leak mitigation (§4.7): run the recovery function once
+    /// (tracking which PM objects it reaches), then free every live
+    /// checkpointed allocation it never touched.
+    fn mitigate_leak(
+        &mut self,
+        pool: &mut PmPool,
+        log_rc: &Rc<RefCell<CheckpointLog>>,
+        target: &mut dyn Target,
+        t0: Instant,
+    ) -> MitigationOutcome {
+        log_rc.borrow_mut().set_enabled(false);
+        log_rc.borrow_mut().clear_recovery_reads();
+        // Run recovery + verification once to populate the recovery reads.
+        let _ = target.reexecute(pool);
+        let suspects = log_rc.borrow().suspected_leaks();
+        let mut freed = 0u64;
+        for (addr, _size) in &suspects {
+            if pool.is_allocated(*addr) && pool.free(*addr).is_ok() {
+                log_rc.borrow_mut().note_reactor_free(*addr);
+                freed += 1;
+            }
+        }
+        let ok = target.reexecute(pool).is_ok();
+        log_rc.borrow_mut().set_enabled(true);
+        MitigationOutcome {
+            recovered: ok && freed > 0,
+            via_restart_only: false,
+            attempts: 2,
+            plan_len: suspects.len(),
+            discarded_updates: 0,
+            discarded_entries: 0,
+            wall: t0.elapsed(),
+            mode_fellback: false,
+            leaks_freed: freed,
+        }
+    }
+}
+
+/// Whether the pool's durable bytes at a logged sequence number differ
+/// from what the checkpoint log says they should be (the newest version
+/// overlaid with newer overlapping entries) — the signature of corruption
+/// that bypassed every durability point (hardware faults).
+fn seq_diverged(log: &CheckpointLog, pool: &mut PmPool, seq: u64) -> bool {
+    let Some(addr) = log.addr_of_seq(seq) else {
+        return false;
+    };
+    let Some(expected) = log.expected_current(addr) else {
+        return false;
+    };
+    match pool.read(addr, expected.len() as u64) {
+        Ok(cur) => cur != expected,
+        Err(_) => false,
+    }
+}

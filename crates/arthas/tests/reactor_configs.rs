@@ -1,0 +1,226 @@
+//! Reactor configuration coverage: batch strategy, rollback mode,
+//! distance cap, loss minimization, and transaction-sibling grouping.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use arthas::{
+    analyze_and_instrument, AnalyzerOutput, BatchStrategy, CheckpointLog, FailureRecord, Mode,
+    PmTrace, Reactor, ReactorConfig, Target,
+};
+use pir::builder::ModuleBuilder;
+use pir::ir::Module;
+use pir::vm::{Vm, VmOpts};
+use pmemsim::PmPool;
+
+/// Root: flag @8, value @16. `put(v)` persists the value; the poison
+/// input 666 additionally corrupts the persistent flag; `get()` crashes
+/// while the flag is set. Identical shape to the end-to-end test, kept
+/// local so each test file stays self-contained.
+fn build_app(use_tx: bool) -> Module {
+    let mut m = ModuleBuilder::new();
+    {
+        let mut f = m.func("put", 1, false);
+        let size = f.konst(64);
+        let root = f.pm_root(size);
+        let v = f.param(0);
+        if use_tx {
+            f.tx_begin();
+            let sixteen = f.konst(24);
+            f.tx_add(root, sixteen);
+        }
+        let valp = f.gep(root, 16);
+        f.store8(valp, v);
+        let bad = f.konst(666);
+        let is_bad = f.eq(v, bad);
+        f.if_(is_bad, |f| {
+            let flagp = f.gep(root, 8);
+            f.store8(flagp, v);
+            if !use_tx {
+                f.pm_persist_c(flagp, 8);
+            }
+        });
+        if use_tx {
+            f.tx_commit();
+        } else {
+            f.pm_persist_c(valp, 8);
+        }
+        f.ret(None);
+        f.finish();
+    }
+    {
+        let mut f = m.func("get", 0, true);
+        let size = f.konst(64);
+        let root = f.pm_root(size);
+        let flagp = f.gep(root, 8);
+        let flag = f.load8(flagp);
+        let zero = f.konst(0);
+        let tainted = f.ne(flag, zero);
+        f.if_(tainted, |f| {
+            let c = f.konst(666);
+            let p = f.sub(flag, c);
+            let v = f.load8(p);
+            f.ret(Some(v));
+        });
+        let valp = f.gep(root, 16);
+        let v = f.load8(valp);
+        f.ret(Some(v));
+        f.finish();
+    }
+    {
+        let mut f = m.func("recover", 0, false);
+        f.recover_begin();
+        let size = f.konst(64);
+        let root = f.pm_root(size);
+        f.load8(root);
+        f.recover_end();
+        f.ret(None);
+        f.finish();
+    }
+    m.finish().unwrap()
+}
+
+fn new_pool() -> PmPool {
+    PmPool::create(pmemsim::layout::HEAP_OFF + (1 << 20)).unwrap()
+}
+
+struct AppTarget {
+    module: Rc<Module>,
+    log: Rc<RefCell<CheckpointLog>>,
+}
+
+impl Target for AppTarget {
+    fn reexecute(&mut self, pool: &mut PmPool) -> Result<(), FailureRecord> {
+        let p2 = PmPool::open(pool.snapshot())
+            .map_err(|e| FailureRecord::wrong_result(format!("{e}")))?;
+        let mut vm = Vm::new(self.module.clone(), p2, VmOpts::default());
+        vm.pool_mut().set_sink(self.log.clone());
+        vm.call("recover", &[])
+            .map_err(|e| FailureRecord::from_vm(&e))?;
+        vm.call("get", &[])
+            .map_err(|e| FailureRecord::from_vm(&e))?;
+        Ok(())
+    }
+}
+
+/// Runs the app to failure; returns everything mitigation needs.
+#[allow(clippy::type_complexity)]
+fn run_to_failure(
+    use_tx: bool,
+) -> (
+    AnalyzerOutput,
+    Rc<Module>,
+    Rc<RefCell<CheckpointLog>>,
+    PmTrace,
+    FailureRecord,
+    PmPool,
+) {
+    let module = build_app(use_tx);
+    let out = analyze_and_instrument(&module);
+    let instrumented = Rc::new(out.instrumented.clone());
+    let log = Rc::new(RefCell::new(CheckpointLog::new()));
+    let mut trace = PmTrace::new();
+    let mut vm = Vm::new(instrumented.clone(), new_pool(), VmOpts::default());
+    vm.pool_mut().set_sink(log.clone());
+    for v in [1u64, 2, 3, 4] {
+        vm.call("put", &[v]).unwrap();
+    }
+    vm.call("put", &[666]).unwrap();
+    let err = vm.call("get", &[]).unwrap_err();
+    trace.absorb(vm.take_trace());
+    let failure = FailureRecord::from_vm(&err);
+    let pool = vm.crash();
+    (out, instrumented, log, trace, failure, pool)
+}
+
+fn mitigate_with(cfg: ReactorConfig, use_tx: bool) -> (arthas::MitigationOutcome, PmPool) {
+    let (out, instrumented, log, trace, failure, mut pool) = run_to_failure(use_tx);
+    let mut reactor = Reactor::new(&out.analysis, &out.guid_map, cfg);
+    let mut target = AppTarget {
+        module: instrumented,
+        log: log.clone(),
+    };
+    let outcome = reactor.mitigate(&mut pool, &log, &failure, &trace, &mut target);
+    (outcome, pool)
+}
+
+#[test]
+fn batch_reversion_recovers_with_fewer_attempts() {
+    let (single, _) = mitigate_with(ReactorConfig::default(), false);
+    let (batched, _) = mitigate_with(
+        ReactorConfig {
+            batch: BatchStrategy::Batch(5),
+            ..ReactorConfig::default()
+        },
+        false,
+    );
+    assert!(single.recovered && batched.recovered);
+    assert!(
+        batched.attempts <= single.attempts,
+        "batching never needs more re-executions ({} vs {})",
+        batched.attempts,
+        single.attempts
+    );
+    assert!(batched.discarded_updates >= single.discarded_updates);
+}
+
+#[test]
+fn rollback_mode_recovers_and_discards_at_least_as_much() {
+    let (purge, _) = mitigate_with(ReactorConfig::default(), false);
+    let (rollback, _) = mitigate_with(
+        ReactorConfig {
+            mode: Mode::Rollback,
+            ..ReactorConfig::default()
+        },
+        false,
+    );
+    assert!(purge.recovered && rollback.recovered);
+    assert!(rollback.discarded_updates >= purge.discarded_updates);
+}
+
+#[test]
+fn minimize_loss_never_discards_more() {
+    let (default, _) = mitigate_with(ReactorConfig::default(), false);
+    let (minimized, pool) = mitigate_with(
+        ReactorConfig {
+            minimize_loss: true,
+            ..ReactorConfig::default()
+        },
+        false,
+    );
+    assert!(default.recovered && minimized.recovered);
+    assert!(minimized.discarded_updates <= default.discarded_updates);
+    // And the system is still healthy after the extra restorations.
+    assert!(PmPool::open(pool.snapshot()).is_ok());
+}
+
+#[test]
+fn tiny_distance_cap_yields_an_empty_plan_and_restart_fallback() {
+    // With a zero distance cap nothing qualifies for the candidate list:
+    // the reactor aborts to plain restart, which cannot cure a hard
+    // fault (§4.5's false-alarm pruning, exercised in the negative).
+    let (outcome, _) = mitigate_with(
+        ReactorConfig {
+            max_distance: Some(0),
+            ..ReactorConfig::default()
+        },
+        false,
+    );
+    assert!(outcome.via_restart_only);
+    assert!(!outcome.recovered, "restart alone cannot fix a hard fault");
+}
+
+#[test]
+fn transactional_app_recovers_with_sibling_grouping() {
+    // The poison put writes flag and value inside one transaction;
+    // reverting the flag entry must pull its transaction siblings along
+    // (§4.6), and the recovered state must be transaction-consistent:
+    // flag and value both reverted.
+    let (outcome, mut pool) = mitigate_with(ReactorConfig::default(), true);
+    assert!(outcome.recovered, "{outcome:?}");
+    let root = pool.root_offset().unwrap();
+    let flag = pool.read_u64(root + 8).unwrap();
+    let value = pool.read_u64(root + 16).unwrap();
+    assert_eq!(flag, 0, "flag reverted");
+    assert_ne!(value, 666, "the poisoned value went with its transaction");
+}

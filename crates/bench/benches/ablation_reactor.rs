@@ -1,0 +1,51 @@
+//! Ablation study of the reactor's design choices (DESIGN.md's per-design
+//! knobs — beyond the paper's own batch/purge comparisons):
+//!
+//! - default purge, one-by-one, divergence-first policy;
+//! - `minimize_loss`: the technical report's reduction of the reverted
+//!   sequence-number set (extra re-executions, less discarded data);
+//! - pure rollback mode;
+//! - batched reversion (5 per re-execution).
+
+use arthas::{Mode, ReactorConfig};
+use arthas_bench::{arthas_batched, arthas_default, arthas_rollback, run_with_setup};
+use pm_workload::{AppSetup, Solution};
+
+fn main() {
+    let minimizing = Solution::Arthas(ReactorConfig {
+        minimize_loss: true,
+        ..ReactorConfig::default()
+    });
+    let rollback_min = Solution::Arthas(ReactorConfig {
+        mode: Mode::Rollback,
+        minimize_loss: true,
+        ..ReactorConfig::default()
+    });
+    println!("== Ablation: reactor variants (attempts / discarded updates) ==");
+    println!(
+        "{:<5} {:>14} {:>14} {:>14} {:>14} {:>14}",
+        "id", "default", "minimize", "rollback", "rollback+min", "batch(5)"
+    );
+    for scn in pm_workload::scenarios::all() {
+        if scn.is_leak() {
+            continue; // leak mitigation has no reversion to ablate
+        }
+        let setup = AppSetup::new(scn.build_module());
+        let cell = |sol| match run_with_setup(scn.as_ref(), &setup, sol, 1) {
+            Some(r) if r.recovered => format!("{}/{}", r.attempts, r.discarded_updates),
+            Some(_) => "fail".into(),
+            None => "-".into(),
+        };
+        println!(
+            "{:<5} {:>14} {:>14} {:>14} {:>14} {:>14}",
+            scn.id(),
+            cell(arthas_default()),
+            cell(minimizing),
+            cell(arthas_rollback()),
+            cell(rollback_min),
+            cell(arthas_batched(5)),
+        );
+    }
+    println!("\nminimize_loss spends extra re-executions to restore reversions that");
+    println!("turn out unnecessary; rollback discards strictly more than purge.");
+}

@@ -1,0 +1,65 @@
+//! Figure 10 and Table 6: batch vs one-by-one reversion.
+//!
+//! Batch reversion needs fewer re-executions (lower mitigation time,
+//! Figure 10) but discards more data (Table 6). The two leak cases (f8,
+//! f12) do not fall under these reversion schemes, as in the paper.
+
+use arthas_bench::{arthas_batched, arthas_default, run_with_setup};
+use pm_workload::AppSetup;
+
+fn main() {
+    println!("== Figure 10 / Table 6: batch vs one-by-one reversion ==");
+    println!(
+        "{:<5} {:>12} {:>12} {:>12} {:>12}",
+        "id", "batch(s)", "single(s)", "batch-disc", "single-disc"
+    );
+    let mut speedup_num = 0.0;
+    let mut n = 0u32;
+    for scn in pm_workload::scenarios::all() {
+        if scn.is_leak() {
+            println!(
+                "{:<5} {:>12} {:>12} {:>12} {:>12}",
+                scn.id(),
+                "n/a",
+                "n/a",
+                "n/a",
+                "n/a"
+            );
+            continue;
+        }
+        let setup = AppSetup::new(scn.build_module());
+        let batch = run_with_setup(scn.as_ref(), &setup, arthas_batched(5), 1);
+        let single = run_with_setup(scn.as_ref(), &setup, arthas_default(), 1);
+        match (batch, single) {
+            (Some(b), Some(s)) if b.recovered && s.recovered => {
+                if b.attempts > 0 {
+                    speedup_num += s.attempts as f64 / b.attempts as f64;
+                    n += 1;
+                }
+                println!(
+                    "{:<5} {:>12.1} {:>12.1} {:>12} {:>12}",
+                    scn.id(),
+                    b.modeled_secs,
+                    s.modeled_secs,
+                    b.discarded_updates,
+                    s.discarded_updates
+                );
+            }
+            _ => println!(
+                "{:<5} {:>12} {:>12} {:>12} {:>12}",
+                scn.id(),
+                "-",
+                "-",
+                "-",
+                "-"
+            ),
+        }
+    }
+    if n > 0 {
+        println!(
+            "\nbatching reduces re-executions by {:.2}x on average (paper: 2.67x),",
+            speedup_num / n as f64
+        );
+    }
+    println!("at the cost of extra discarded data (paper Table 6).");
+}

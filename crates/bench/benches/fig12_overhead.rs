@@ -1,0 +1,214 @@
+//! Figure 12 and Table 8: runtime overhead of Arthas on the five target
+//! systems.
+//!
+//! Five configurations per system, as in §6.7:
+//! - vanilla — the original module;
+//! - w/ checkpoint — original module with the checkpoint sink attached
+//!   (Table 8's "w/ Checkpoint");
+//! - w/ instrumentation — the trace-instrumented module without the sink
+//!   (Table 8's "w/ Instru.");
+//! - w/ Arthas — instrumentation + checkpointing (Figure 12's "w/ Arthas");
+//! - w/ pmCRIU — original module with periodic whole-pool snapshots.
+//!
+//! Workloads follow the paper: YCSB-A-style 50/50 mixes for the KV
+//! stores, insert-heavy custom workloads for CCEH, Pelikan and PMEMKV.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use arthas::CheckpointLog;
+use arthas_bench::bench_pool;
+use baselines::PmCriu;
+use pir::vm::{Vm, VmOpts};
+use pm_workload::ycsb::{KvOp, KvWorkload};
+
+struct App {
+    name: &'static str,
+    build: fn() -> pir::ir::Module,
+    ops: u64,
+    driver: fn(&mut Vm, u64, &mut KvWorkload),
+}
+
+fn kv_driver(vm: &mut Vm, _i: u64, w: &mut KvWorkload) {
+    match w.next() {
+        KvOp::Get(k) => {
+            vm.call("get", &[k]).unwrap();
+        }
+        KvOp::Put(k, v) => {
+            vm.call("put", &[k, v, 16]).unwrap();
+        }
+    }
+}
+
+fn ldb_driver(vm: &mut Vm, i: u64, w: &mut KvWorkload) {
+    match w.next() {
+        KvOp::Get(k) => {
+            vm.call("llast", &[k]).unwrap();
+        }
+        KvOp::Put(k, v) => {
+            vm.call("rpush", &[k, 24, v]).unwrap();
+        }
+    }
+    if i % 64 == 0 {
+        vm.call("command", &[3]).unwrap();
+    }
+}
+
+fn cceh_driver(vm: &mut Vm, i: u64, _w: &mut KvWorkload) {
+    // Bounded working set: the first pass grows the table, later passes
+    // update in place, keeping per-op cost stationary.
+    vm.call("insert", &[(i % 4000) + 1, i]).unwrap();
+}
+
+fn sc_driver(vm: &mut Vm, i: u64, w: &mut KvWorkload) {
+    match w.next() {
+        KvOp::Get(k) => {
+            vm.call("get", &[k]).unwrap();
+        }
+        KvOp::Put(k, v) => {
+            // Keep writes bounded: the segment store is append-only.
+            if i % 4 == 0 {
+                vm.call("set", &[k, 32, v]).unwrap();
+            } else {
+                vm.call("get", &[k]).unwrap();
+            }
+        }
+    }
+}
+
+fn pmkv_driver(vm: &mut Vm, _i: u64, w: &mut KvWorkload) {
+    match w.next() {
+        KvOp::Get(k) => {
+            vm.call("kv_get", &[k]).unwrap();
+        }
+        KvOp::Put(k, v) => {
+            vm.call("kv_put", &[k, v]).unwrap();
+        }
+    }
+}
+
+/// One timed pass of a configuration; returns op/s.
+fn run_once(
+    app: &App,
+    module: &Rc<pir::ir::Module>,
+    checkpoint: bool,
+    criu: bool,
+    ops: u64,
+) -> f64 {
+    let mut pool = bench_pool();
+    if checkpoint {
+        pool.set_sink(Rc::new(RefCell::new(CheckpointLog::new())));
+    }
+    let mut vm = Vm::new(module.clone(), pool, VmOpts::default());
+    let mut snapshotter = PmCriu::new(1);
+    let mut workload = KvWorkload::ycsb_a(400, 1, 7);
+    let snap_every = ops / 5; // five "minutes" worth of snapshots
+    let driver = app.driver;
+    let t0 = std::time::Instant::now();
+    for i in 0..ops {
+        driver(&mut vm, i, &mut workload);
+        if vm.trace_len() >= 4096 {
+            let _ = vm.take_trace(); // asynchronous trace-buffer flush
+        }
+        if criu && snap_every > 0 && i % snap_every == snap_every - 1 {
+            snapshotter.tick(i, vm.pool());
+        }
+    }
+    ops as f64 / t0.elapsed().as_secs_f64()
+}
+
+/// Measures all configurations of one app, interleaving them round-robin
+/// within each repetition so machine-speed drift affects every
+/// configuration equally; returns per-config median op/s.
+fn run_all_configs(
+    app: &App,
+    original: &Rc<pir::ir::Module>,
+    instrumented: &Rc<pir::ir::Module>,
+) -> [f64; 5] {
+    const REPS: usize = 5;
+    // (module, checkpoint, criu) per configuration.
+    let configs: [(&Rc<pir::ir::Module>, bool, bool); 5] = [
+        (original, false, false),     // vanilla
+        (original, true, false),      // w/ checkpoint
+        (instrumented, false, false), // w/ instrumentation
+        (instrumented, true, false),  // w/ Arthas
+        (original, false, true),      // w/ pmCRIU
+    ];
+    let mut samples: [Vec<f64>; 5] = Default::default();
+    for rep in 0..=REPS {
+        for (ci, (module, ckpt, criu)) in configs.iter().enumerate() {
+            let ops = if rep == 0 { app.ops / 4 } else { app.ops };
+            let rate = run_once(app, module, *ckpt, *criu, ops);
+            if rep > 0 {
+                samples[ci].push(rate);
+            }
+        }
+    }
+    let mut out = [0.0; 5];
+    for (i, mut v) in samples.into_iter().enumerate() {
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        out[i] = v[v.len() / 2];
+    }
+    out
+}
+
+fn main() {
+    let apps = [
+        App {
+            name: "Memcached",
+            build: pm_apps::kvcache::build,
+            ops: 12_000,
+            driver: kv_driver,
+        },
+        App {
+            name: "Redis",
+            build: pm_apps::listdb::build,
+            ops: 12_000,
+            driver: ldb_driver,
+        },
+        App {
+            name: "Pelikan",
+            build: pm_apps::segcache::build,
+            ops: 10_000,
+            driver: sc_driver,
+        },
+        App {
+            name: "PMEMKV",
+            build: pm_apps::pmkv::build,
+            ops: 12_000,
+            driver: pmkv_driver,
+        },
+        App {
+            name: "CCEH",
+            build: pm_apps::cceh::build,
+            ops: 12_000,
+            driver: cceh_driver,
+        },
+    ];
+    println!("== Figure 12 / Table 8: system throughput (op/s) ==");
+    println!(
+        "{:<10} {:>10} {:>10} {:>10} {:>10} {:>10} | {:>8} {:>8}",
+        "System", "Vanilla", "w/Ckpt", "w/Instru", "w/Arthas", "w/pmCRIU", "Arthas", "pmCRIU"
+    );
+    for app in &apps {
+        let original = Rc::new((app.build)());
+        let out = arthas::analyze_and_instrument(&original);
+        let instrumented = Rc::new(out.instrumented);
+
+        let [vanilla, w_ckpt, w_instr, w_arthas, w_criu] =
+            run_all_configs(app, &original, &instrumented);
+        println!(
+            "{:<10} {:>10.0} {:>10.0} {:>10.0} {:>10.0} {:>10.0} | {:>7.1}% {:>7.1}%",
+            app.name,
+            vanilla,
+            w_ckpt,
+            w_instr,
+            w_arthas,
+            w_criu,
+            100.0 * (1.0 - w_arthas / vanilla),
+            100.0 * (1.0 - w_criu / vanilla),
+        );
+    }
+    println!("\npaper: Arthas costs 2.9-4.8% throughput (checkpointing dominates,");
+    println!("instrumentation is negligible); pmCRIU costs 0.2-2.7%.");
+}

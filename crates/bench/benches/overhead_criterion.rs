@@ -1,0 +1,58 @@
+//! Criterion micro-benchmarks for the per-operation cost behind
+//! Figure 12: a mixed put/get against the Memcached-like kvcache, vanilla
+//! vs fully Arthas-enabled (instrumentation + checkpointing).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use arthas::CheckpointLog;
+use criterion::{criterion_group, criterion_main, Criterion};
+use pir::vm::{Vm, VmOpts};
+
+fn make_vm(instrumented: bool, checkpoint: bool) -> Vm {
+    let module = pm_apps::kvcache::build();
+    let module = if instrumented {
+        Rc::new(arthas::analyze_and_instrument(&module).instrumented)
+    } else {
+        Rc::new(module)
+    };
+    let mut pool = pmemsim::PmPool::create(pmemsim::layout::HEAP_OFF + (8 << 20)).unwrap();
+    if checkpoint {
+        pool.set_sink(Rc::new(RefCell::new(CheckpointLog::new())));
+    }
+    let mut vm = Vm::new(module, pool, VmOpts::default());
+    for k in 1..200u64 {
+        vm.call("put", &[k, (k & 0x7F).max(1), 16]).unwrap();
+    }
+    vm
+}
+
+fn bench_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kvcache_op");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(3));
+
+    let mut vanilla = make_vm(false, false);
+    let mut k = 0u64;
+    group.bench_function("vanilla_put_get", |b| {
+        b.iter(|| {
+            k = k % 199 + 1;
+            vanilla.call("put", &[k, 3, 16]).unwrap();
+            vanilla.call("get", &[k]).unwrap()
+        })
+    });
+
+    let mut arthas_vm = make_vm(true, true);
+    let mut k2 = 0u64;
+    group.bench_function("arthas_put_get", |b| {
+        b.iter(|| {
+            k2 = k2 % 199 + 1;
+            arthas_vm.call("put", &[k2, 3, 16]).unwrap();
+            arthas_vm.call("get", &[k2]).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ops);
+criterion_main!(benches);

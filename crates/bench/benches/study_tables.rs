@@ -1,0 +1,36 @@
+//! Regenerates the empirical-study artifacts: Table 1 (bug counts per
+//! system), Figure 2 (root causes), Figure 3 (consequences) and the §2.6
+//! propagation-pattern distribution.
+
+fn main() {
+    println!("== Table 1: collected hard fault bugs in new and ported PM systems ==");
+    println!("{:<16} {:>6} {:>6}", "System", "Cases", "Type");
+    for (system, kind, n) in pm_study::table1() {
+        println!("{system:<16} {n:>6} {kind:>6?}");
+    }
+    let new: usize = pm_study::dataset()
+        .iter()
+        .filter(|b| b.kind == pm_study::SystemKind::New)
+        .count();
+    println!(
+        "total: {} bugs ({} from new PM systems, {} from ported systems)",
+        pm_study::dataset().len(),
+        new,
+        pm_study::dataset().len() - new
+    );
+
+    println!("\n== Figure 2: root cause of studied persistent failures ==");
+    for (cause, n, pct) in pm_study::figure2() {
+        println!("{cause:<18?} {n:>3}  {pct:>5.1}%");
+    }
+
+    println!("\n== Figure 3: consequence of studied persistent failures ==");
+    for (cq, n, pct) in pm_study::figure3() {
+        println!("{cq:<18?} {n:>3}  {pct:>5.1}%");
+    }
+
+    println!("\n== Section 2.6: fault propagation patterns ==");
+    for (ty, n, pct) in pm_study::propagation_types() {
+        println!("{ty:<18?} {n:>3}  {pct:>5.1}%");
+    }
+}

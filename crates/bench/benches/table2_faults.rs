@@ -1,0 +1,18 @@
+//! Table 2: the 12 persistent faults reproduced for the evaluation.
+
+fn main() {
+    println!("== Table 2: list of persistent faults reproduced for evaluation ==");
+    println!(
+        "{:<5} {:<22} {:<34} {:<16}",
+        "No.", "System", "Fault", "Consequence"
+    );
+    for scn in pm_workload::scenarios::all() {
+        println!(
+            "{:<5} {:<22} {:<34} {:<16}",
+            scn.id(),
+            scn.system(),
+            scn.fault(),
+            scn.consequence()
+        );
+    }
+}

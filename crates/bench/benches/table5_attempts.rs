@@ -1,0 +1,34 @@
+//! Table 5: number of rollback attempts (re-executions) during
+//! mitigation, per solution. `T` marks an ArCkpt timeout (budget
+//! exhausted), `X` a pmCRIU failure — the paper's notation.
+
+use arthas_bench::{arthas_default, run_with_setup};
+use pm_workload::{AppSetup, Solution};
+
+fn main() {
+    println!("== Table 5: attempts of rollback during mitigation ==");
+    println!(
+        "{:<5} {:>8} {:>8} {:>8}",
+        "id", "pmCRIU", "ArCkpt", "Arthas"
+    );
+    for scn in pm_workload::scenarios::all() {
+        let setup = AppSetup::new(scn.build_module());
+        let arthas = run_with_setup(scn.as_ref(), &setup, arthas_default(), 1);
+        let arckpt = run_with_setup(scn.as_ref(), &setup, Solution::ArCkpt(200), 1);
+        let criu = run_with_setup(scn.as_ref(), &setup, Solution::PmCriu, 1);
+        let show = |r: Option<pm_workload::MitigationResult>, timeout_mark: &str| match r {
+            Some(r) if r.recovered => r.attempts.to_string(),
+            Some(_) => timeout_mark.to_string(),
+            None => "-".into(),
+        };
+        println!(
+            "{:<5} {:>8} {:>8} {:>8}",
+            scn.id(),
+            show(criu, "X"),
+            show(arckpt, "T"),
+            show(arthas, "X"),
+        );
+    }
+    println!("\npaper: Arthas median 8 attempts; pmCRIU median 3; ArCkpt times out unless");
+    println!("       the bad update is among the most recent.");
+}

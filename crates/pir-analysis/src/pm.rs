@@ -1,0 +1,200 @@
+//! PM variable and instruction identification (§4.1 of the paper).
+//!
+//! The Arthas analyzer "locates instructions that call APIs of common PM
+//! libraries" and computes "the transitive closure of all instructions
+//! that use the PM variables". With the points-to analysis in place the
+//! closure is direct: an instruction is a *PM instruction* when it creates,
+//! reads, writes or persists memory that may live in a PM object.
+
+use std::collections::BTreeSet;
+
+use pir::ir::{FuncId, InstRef, Intrinsic, Module, Op};
+
+use crate::pointsto::PointsTo;
+
+/// Classification of every PM-related instruction in a module.
+pub struct PmInfo {
+    /// Instructions that *update* PM state (stores, persists, tx_add,
+    /// alloc/free, memcpy/memset into PM). These are the instrumentation
+    /// points and the nodes the reactor retains from a slice.
+    pub pm_writes: BTreeSet<InstRef>,
+    /// Instructions that read PM state.
+    pub pm_reads: BTreeSet<InstRef>,
+    /// Values (per function) that may point into PM — the paper's "PM
+    /// variables".
+    pub pm_values: BTreeSet<(FuncId, u32)>,
+}
+
+impl PmInfo {
+    /// Computes the classification.
+    pub fn compute(module: &Module, pt: &PointsTo) -> PmInfo {
+        let mut pm_writes = BTreeSet::new();
+        let mut pm_reads = BTreeSet::new();
+        let mut pm_values = BTreeSet::new();
+        for (fi, f) in module.funcs.iter().enumerate() {
+            let fid = FuncId(fi as u32);
+            for (ii, inst) in f.insts.iter().enumerate() {
+                let at = InstRef {
+                    func: fid,
+                    inst: ii as u32,
+                };
+                if inst.op.has_result() && pt.may_be_pm(fid, pir::ir::Val(ii as u32)) {
+                    pm_values.insert((fid, ii as u32));
+                }
+                match &inst.op {
+                    Op::Store { addr, .. } => {
+                        if pt.may_be_pm(fid, *addr) {
+                            pm_writes.insert(at);
+                        }
+                    }
+                    Op::Load { addr, .. } => {
+                        if pt.may_be_pm(fid, *addr) {
+                            pm_reads.insert(at);
+                        }
+                    }
+                    Op::Intr { intr, args } => match intr {
+                        Intrinsic::PmAlloc | Intrinsic::PmRoot => {
+                            pm_writes.insert(at);
+                        }
+                        Intrinsic::PmFree
+                        | Intrinsic::PmPersist
+                        | Intrinsic::PmFlush
+                        | Intrinsic::PmTxAdd => {
+                            pm_writes.insert(at);
+                        }
+                        Intrinsic::Memcpy => {
+                            if pt.may_be_pm(fid, args[0]) {
+                                pm_writes.insert(at);
+                            }
+                            if pt.may_be_pm(fid, args[1]) {
+                                pm_reads.insert(at);
+                            }
+                        }
+                        Intrinsic::Memset => {
+                            if pt.may_be_pm(fid, args[0]) {
+                                pm_writes.insert(at);
+                            }
+                        }
+                        Intrinsic::Memcmp => {
+                            if args.iter().take(2).any(|a| pt.may_be_pm(fid, *a)) {
+                                pm_reads.insert(at);
+                            }
+                        }
+                        _ => {}
+                    },
+                    _ => {}
+                }
+            }
+        }
+        PmInfo {
+            pm_writes,
+            pm_reads,
+            pm_values,
+        }
+    }
+
+    /// The address operand of a PM-write instruction, when it has one
+    /// (used by the instrumentation pass to emit `trace(guid, addr)`).
+    pub fn traced_addr_operand(module: &Module, at: InstRef) -> Option<pir::ir::Val> {
+        match &module.inst(at).op {
+            Op::Store { addr, .. } => Some(*addr),
+            Op::Intr { intr, args } => match intr {
+                Intrinsic::PmPersist
+                | Intrinsic::PmFlush
+                | Intrinsic::PmTxAdd
+                | Intrinsic::PmFree => Some(args[0]),
+                Intrinsic::Memcpy | Intrinsic::Memset => Some(args[0]),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pir::builder::ModuleBuilder;
+
+    #[test]
+    fn classifies_writes_reads_and_values() {
+        let mut m = ModuleBuilder::new();
+        let mut f = m.func("f", 0, true);
+        let size = f.konst(64);
+        let pm = f.pm_alloc(size);
+        let vol = f.malloc(size);
+        let one = f.konst(1);
+        f.store8(pm, one); // PM write
+        f.store8(vol, one); // volatile write
+        let a = f.load8(pm); // PM read
+        let b = f.load8(vol); // volatile read
+        let s = f.add(a, b);
+        f.ret(Some(s));
+        f.finish();
+        let module = m.finish().unwrap();
+        let pt = PointsTo::compute(&module);
+        let info = PmInfo::compute(&module, &pt);
+        let fid = module.func_by_name("f").unwrap();
+
+        let stores: Vec<u32> = module
+            .func(fid)
+            .insts
+            .iter()
+            .enumerate()
+            .filter(|(_, i)| matches!(i.op, Op::Store { .. }))
+            .map(|(ii, _)| ii as u32)
+            .collect();
+        assert!(info.pm_writes.contains(&InstRef {
+            func: fid,
+            inst: stores[0]
+        }));
+        assert!(!info.pm_writes.contains(&InstRef {
+            func: fid,
+            inst: stores[1]
+        }));
+
+        // The pm_alloc result is a PM value; the malloc result is not.
+        let pm_val = pm.0;
+        let vol_val = vol.0;
+        assert!(info.pm_values.contains(&(fid, pm_val)));
+        assert!(!info.pm_values.contains(&(fid, vol_val)));
+    }
+
+    #[test]
+    fn pm_pointer_through_helper_is_found() {
+        // PM pointer returned from a helper and written in the caller: the
+        // store must still be classified as a PM write (inter-procedural
+        // closure).
+        let mut m = ModuleBuilder::new();
+        m.declare("make", 0, true);
+        {
+            let mut f = m.func("make", 0, true);
+            let size = f.konst(32);
+            let pm = f.pm_alloc(size);
+            f.ret(Some(pm));
+            f.finish();
+        }
+        {
+            let mut f = m.func("use_it", 0, false);
+            let p = f.call("make", &[]).unwrap();
+            let one = f.konst(1);
+            f.store8(p, one);
+            f.ret(None);
+            f.finish();
+        }
+        let module = m.finish().unwrap();
+        let pt = PointsTo::compute(&module);
+        let info = PmInfo::compute(&module, &pt);
+        let fid = module.func_by_name("use_it").unwrap();
+        let store = module
+            .func(fid)
+            .insts
+            .iter()
+            .position(|i| matches!(i.op, Op::Store { .. }))
+            .unwrap() as u32;
+        assert!(info.pm_writes.contains(&InstRef {
+            func: fid,
+            inst: store
+        }));
+    }
+}

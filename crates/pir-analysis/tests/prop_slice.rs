@@ -1,0 +1,167 @@
+//! Property-based soundness test for the PDG + backward slicing: on
+//! randomly generated straight-line programs over PM cells, the backward
+//! slice of a final load must contain *every* store that actually
+//! contributed to the loaded value (computed by brute-force dynamic
+//! dataflow), and must exclude stores to cells that provably never flow
+//! into it.
+
+use pir::builder::ModuleBuilder;
+use pir::ir::{InstRef, Module, Op};
+use pir_analysis::{backward_slice, ModuleAnalysis};
+use proptest::prelude::*;
+
+/// A random straight-line program over `N_CELLS` distinct PM objects:
+/// each step either stores a constant into a cell, or copies one cell
+/// into another (load + store).
+#[derive(Debug, Clone, Copy)]
+enum Step {
+    SetConst { dst: usize, val: u64 },
+    Copy { dst: usize, src: usize },
+}
+
+const N_CELLS: usize = 5;
+
+fn step() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (0..N_CELLS, 1..1000u64).prop_map(|(dst, val)| Step::SetConst { dst, val }),
+        (0..N_CELLS, 0..N_CELLS).prop_map(|(dst, src)| Step::Copy { dst, src }),
+    ]
+}
+
+/// Builds the program; returns (module, per-step store InstRef, final
+/// load InstRef observing `observed` cell).
+fn build(steps: &[Step], observed: usize) -> (Module, Vec<InstRef>, InstRef) {
+    let mut m = ModuleBuilder::new();
+    let mut f = m.func("main", 0, true);
+    // One distinct pm_alloc per cell: distinct abstract objects.
+    let cells: Vec<_> = (0..N_CELLS)
+        .map(|_| {
+            let sz = f.konst(8);
+            f.pm_alloc(sz)
+        })
+        .collect();
+    let mut store_positions: Vec<u32> = Vec::new();
+    for s in steps {
+        match s {
+            Step::SetConst { dst, val } => {
+                let v = f.konst(*val);
+                f.store8(cells[*dst], v);
+            }
+            Step::Copy { dst, src } => {
+                let v = f.load8(cells[*src]);
+                f.store8(cells[*dst], v);
+            }
+        }
+        store_positions.push(0); // placeholder; fixed up below
+    }
+    let out = f.load8(cells[observed]);
+    f.ret(Some(out));
+    f.finish();
+    let module = m.finish().unwrap();
+
+    // Locate the stores (in order) and the final load.
+    let fid = module.func_by_name("main").unwrap();
+    let func = module.func(fid);
+    let stores: Vec<InstRef> = func
+        .insts
+        .iter()
+        .enumerate()
+        .filter(|(_, i)| matches!(i.op, Op::Store { .. }))
+        .map(|(ii, _)| InstRef {
+            func: fid,
+            inst: ii as u32,
+        })
+        .collect();
+    assert_eq!(stores.len(), steps.len());
+    let _ = store_positions;
+    let final_load = func
+        .insts
+        .iter()
+        .enumerate()
+        .rev()
+        .find(|(_, i)| matches!(i.op, Op::Load { .. }))
+        .map(|(ii, _)| InstRef {
+            func: fid,
+            inst: ii as u32,
+        })
+        .unwrap();
+    (module, stores, final_load)
+}
+
+/// Brute-force dynamic taint: which steps' stores contribute to the final
+/// value of `observed`?
+fn contributing_steps(steps: &[Step], observed: usize) -> Vec<bool> {
+    // provenance[c] = set of step indices whose stores the current value
+    // of cell c derives from.
+    let mut provenance: Vec<Vec<usize>> = vec![Vec::new(); N_CELLS];
+    for (i, s) in steps.iter().enumerate() {
+        match s {
+            Step::SetConst { dst, .. } => provenance[*dst] = vec![i],
+            Step::Copy { dst, src } => {
+                let mut p = provenance[*src].clone();
+                p.push(i);
+                provenance[*dst] = p;
+            }
+        }
+    }
+    let mut out = vec![false; steps.len()];
+    for &i in &provenance[observed] {
+        out[i] = true;
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Soundness: the slice contains every dynamically contributing store.
+    /// (The converse — precision — is not guaranteed: the analysis is
+    /// flow-insensitive for memory, so later-overwritten stores to the
+    /// same cell may also appear.)
+    #[test]
+    fn slice_covers_all_contributing_stores(
+        steps in proptest::collection::vec(step(), 1..20),
+        observed in 0..N_CELLS,
+    ) {
+        let (module, stores, final_load) = build(&steps, observed);
+        let analysis = ModuleAnalysis::compute(&module);
+        let slice = backward_slice(&analysis.pdg, final_load, 100_000);
+        let needed = contributing_steps(&steps, observed);
+        for (i, need) in needed.iter().enumerate() {
+            if *need {
+                prop_assert!(
+                    slice.contains(stores[i]),
+                    "store of step {i} ({:?}) contributes but is missing from the slice",
+                    steps[i]
+                );
+            }
+        }
+    }
+
+    /// Separation: a store into a cell from which no copy path leads to
+    /// the observed cell must not be in the slice (distinct allocation
+    /// sites do not alias).
+    #[test]
+    fn slice_excludes_unreachable_cells(
+        consts in proptest::collection::vec((0..N_CELLS, 1..100u64), 2..10),
+        observed in 0..N_CELLS,
+    ) {
+        // Const-only programs: only the stores to `observed` matter.
+        let steps: Vec<Step> = consts
+            .iter()
+            .map(|(dst, val)| Step::SetConst { dst: *dst, val: *val })
+            .collect();
+        let (module, stores, final_load) = build(&steps, observed);
+        let analysis = ModuleAnalysis::compute(&module);
+        let slice = backward_slice(&analysis.pdg, final_load, 100_000);
+        for (i, s) in steps.iter().enumerate() {
+            let Step::SetConst { dst, .. } = s else { unreachable!() };
+            if *dst != observed {
+                prop_assert!(
+                    !slice.contains(stores[i]),
+                    "store to unrelated cell {dst} leaked into the slice of {observed}"
+                );
+            }
+        }
+    }
+}

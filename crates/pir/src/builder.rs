@@ -1,0 +1,815 @@
+//! Structured IR construction.
+//!
+//! [`ModuleBuilder`] and [`FuncBuilder`] let the target applications be
+//! written without hand-managing SSA: locals are `alloca` slots, and
+//! control flow is built with `if_`, `if_else`, `while_` and `loop_`
+//! helpers, so no phi nodes are required.
+//!
+//! Builder misuse (emitting into a terminated block, calling an undeclared
+//! function) is a programming error in the *host* application code, so the
+//! builder panics with a descriptive message rather than returning errors;
+//! the resulting module is additionally checked by [`crate::verify`].
+
+use std::collections::HashMap;
+
+use crate::ir::{
+    BinOp, Block, BlockId, CmpOp, FuncId, Function, GepOff, Global, GlobalId, Inst, Intrinsic,
+    Module, Op, Val,
+};
+
+/// Builds a [`Module`] incrementally.
+#[derive(Default)]
+pub struct ModuleBuilder {
+    module: Module,
+    func_ids: HashMap<String, FuncId>,
+    loc_intern: HashMap<String, u32>,
+}
+
+impl ModuleBuilder {
+    /// Creates an empty module builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a zero-initialised global of `size` bytes.
+    pub fn global(&mut self, name: &str, size: u64) -> GlobalId {
+        let id = GlobalId(self.module.globals.len() as u32);
+        self.module.globals.push(Global {
+            name: name.to_string(),
+            size,
+        });
+        id
+    }
+
+    /// Declares a function signature ahead of its definition so it can be
+    /// called (including mutually recursively) before being built.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already declared.
+    pub fn declare(&mut self, name: &str, n_params: u32, has_ret: bool) -> FuncId {
+        assert!(
+            !self.func_ids.contains_key(name),
+            "function {name} declared twice"
+        );
+        let id = FuncId(self.module.funcs.len() as u32);
+        self.module.funcs.push(Function {
+            name: name.to_string(),
+            n_params,
+            has_ret,
+            insts: Vec::new(),
+            blocks: Vec::new(),
+        });
+        self.func_ids.insert(name.to_string(), id);
+        id
+    }
+
+    /// Starts building the body of a previously declared function, or
+    /// declares it on the spot.
+    pub fn func(&mut self, name: &str, n_params: u32, has_ret: bool) -> FuncBuilder<'_> {
+        let id = match self.func_ids.get(name) {
+            Some(&id) => {
+                let f = &self.module.funcs[id.0 as usize];
+                assert_eq!(f.n_params, n_params, "{name}: parameter count mismatch");
+                assert_eq!(f.has_ret, has_ret, "{name}: return kind mismatch");
+                assert!(f.blocks.is_empty(), "{name}: body already built");
+                id
+            }
+            None => self.declare(name, n_params, has_ret),
+        };
+        let mut fb = FuncBuilder {
+            mb: self,
+            id,
+            insts: Vec::new(),
+            blocks: vec![Block::default()],
+            cur: BlockId(0),
+            cur_loc: 0,
+            terminated: false,
+            loops: Vec::new(),
+        };
+        for i in 0..n_params {
+            fb.push(Op::Param(i));
+        }
+        fb
+    }
+
+    /// Looks up a declared function id.
+    pub fn func_id(&self, name: &str) -> Option<FuncId> {
+        self.func_ids.get(name).copied()
+    }
+
+    fn intern_loc(&mut self, loc: &str) -> u32 {
+        if let Some(&i) = self.loc_intern.get(loc) {
+            return i;
+        }
+        let i = self.module.locs.len() as u32;
+        self.module.locs.push(loc.to_string());
+        self.loc_intern.insert(loc.to_string(), i);
+        i
+    }
+
+    /// Finishes the module and verifies it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a declared function was never given a body.
+    pub fn finish(self) -> Result<Module, crate::verify::VerifyError> {
+        for f in &self.module.funcs {
+            assert!(!f.blocks.is_empty(), "function {} has no body", f.name);
+        }
+        crate::verify::verify(&self.module)?;
+        Ok(self.module)
+    }
+
+    /// Finishes the module without verification (used by tests that build
+    /// deliberately malformed modules).
+    pub fn finish_unverified(self) -> Module {
+        self.module
+    }
+}
+
+struct LoopCtx {
+    continue_to: BlockId,
+    break_to: BlockId,
+}
+
+/// Builds one function with a cursor and structured control flow.
+pub struct FuncBuilder<'m> {
+    mb: &'m mut ModuleBuilder,
+    id: FuncId,
+    insts: Vec<Inst>,
+    blocks: Vec<Block>,
+    cur: BlockId,
+    cur_loc: u32,
+    terminated: bool,
+    loops: Vec<LoopCtx>,
+}
+
+impl<'m> FuncBuilder<'m> {
+    /// The id of the function being built.
+    pub fn id(&self) -> FuncId {
+        self.id
+    }
+
+    /// Sets the source-location label attached to subsequent instructions.
+    pub fn loc(&mut self, loc: &str) {
+        self.cur_loc = self.mb.intern_loc(loc);
+    }
+
+    fn push(&mut self, op: Op) -> Val {
+        assert!(
+            !self.terminated,
+            "emitting into terminated block {:?} of function {}",
+            self.cur, self.mb.module.funcs[self.id.0 as usize].name
+        );
+        let idx = self.insts.len() as u32;
+        let terminator = op.is_terminator();
+        self.insts.push(Inst {
+            op,
+            loc: self.cur_loc,
+        });
+        self.blocks[self.cur.0 as usize].insts.push(idx);
+        if terminator {
+            self.terminated = true;
+        }
+        Val(idx)
+    }
+
+    // ---- values -----------------------------------------------------------
+
+    /// The i-th parameter.
+    pub fn param(&self, i: u32) -> Val {
+        let f = &self.mb.module.funcs[self.id.0 as usize];
+        assert!(i < f.n_params, "param {i} out of range");
+        Val(i)
+    }
+
+    /// A 64-bit constant.
+    pub fn konst(&mut self, v: u64) -> Val {
+        self.push(Op::Const(v))
+    }
+
+    /// Signed constant helper.
+    pub fn konst_i(&mut self, v: i64) -> Val {
+        self.push(Op::Const(v as u64))
+    }
+
+    /// Wrapping addition.
+    pub fn add(&mut self, a: Val, b: Val) -> Val {
+        self.push(Op::Bin(BinOp::Add, a, b))
+    }
+
+    /// Wrapping subtraction.
+    pub fn sub(&mut self, a: Val, b: Val) -> Val {
+        self.push(Op::Bin(BinOp::Sub, a, b))
+    }
+
+    /// Wrapping multiplication.
+    pub fn mul(&mut self, a: Val, b: Val) -> Val {
+        self.push(Op::Bin(BinOp::Mul, a, b))
+    }
+
+    /// Unsigned division.
+    pub fn udiv(&mut self, a: Val, b: Val) -> Val {
+        self.push(Op::Bin(BinOp::UDiv, a, b))
+    }
+
+    /// Unsigned remainder.
+    pub fn urem(&mut self, a: Val, b: Val) -> Val {
+        self.push(Op::Bin(BinOp::URem, a, b))
+    }
+
+    /// Bitwise and.
+    pub fn and(&mut self, a: Val, b: Val) -> Val {
+        self.push(Op::Bin(BinOp::And, a, b))
+    }
+
+    /// Bitwise or.
+    pub fn or(&mut self, a: Val, b: Val) -> Val {
+        self.push(Op::Bin(BinOp::Or, a, b))
+    }
+
+    /// Bitwise xor.
+    pub fn xor(&mut self, a: Val, b: Val) -> Val {
+        self.push(Op::Bin(BinOp::Xor, a, b))
+    }
+
+    /// Shift left.
+    pub fn shl(&mut self, a: Val, b: Val) -> Val {
+        self.push(Op::Bin(BinOp::Shl, a, b))
+    }
+
+    /// Logical shift right.
+    pub fn lshr(&mut self, a: Val, b: Val) -> Val {
+        self.push(Op::Bin(BinOp::LShr, a, b))
+    }
+
+    /// Comparison helper.
+    pub fn cmp(&mut self, op: CmpOp, a: Val, b: Val) -> Val {
+        self.push(Op::Cmp(op, a, b))
+    }
+
+    /// Equality.
+    pub fn eq(&mut self, a: Val, b: Val) -> Val {
+        self.cmp(CmpOp::Eq, a, b)
+    }
+
+    /// Inequality.
+    pub fn ne(&mut self, a: Val, b: Val) -> Val {
+        self.cmp(CmpOp::Ne, a, b)
+    }
+
+    /// Unsigned less-than.
+    pub fn ult(&mut self, a: Val, b: Val) -> Val {
+        self.cmp(CmpOp::ULt, a, b)
+    }
+
+    /// Unsigned less-or-equal.
+    pub fn ule(&mut self, a: Val, b: Val) -> Val {
+        self.cmp(CmpOp::ULe, a, b)
+    }
+
+    /// Unsigned greater-than.
+    pub fn ugt(&mut self, a: Val, b: Val) -> Val {
+        self.cmp(CmpOp::UGt, a, b)
+    }
+
+    /// Unsigned greater-or-equal.
+    pub fn uge(&mut self, a: Val, b: Val) -> Val {
+        self.cmp(CmpOp::UGe, a, b)
+    }
+
+    /// `select(cond, a, b)`.
+    pub fn select(&mut self, c: Val, a: Val, b: Val) -> Val {
+        self.push(Op::Select(c, a, b))
+    }
+
+    // ---- memory -----------------------------------------------------------
+
+    /// Stack allocation; returns a volatile address.
+    pub fn alloca(&mut self, size: u64) -> Val {
+        self.push(Op::Alloca { size })
+    }
+
+    /// An 8-byte local variable initialised to `init`.
+    pub fn local(&mut self, init: Val) -> Val {
+        let slot = self.alloca(8);
+        self.store(slot, init, 8);
+        slot
+    }
+
+    /// An 8-byte local variable initialised to a constant.
+    pub fn local_c(&mut self, init: u64) -> Val {
+        let c = self.konst(init);
+        self.local(c)
+    }
+
+    /// Load of `size` bytes, zero-extended.
+    pub fn load(&mut self, addr: Val, size: u8) -> Val {
+        self.push(Op::Load { addr, size })
+    }
+
+    /// 8-byte load.
+    pub fn load8(&mut self, addr: Val) -> Val {
+        self.load(addr, 8)
+    }
+
+    /// Store of the low `size` bytes of `val`.
+    pub fn store(&mut self, addr: Val, val: Val, size: u8) {
+        self.push(Op::Store { addr, val, size });
+    }
+
+    /// 8-byte store.
+    pub fn store8(&mut self, addr: Val, val: Val) {
+        self.store(addr, val, 8);
+    }
+
+    /// Pointer plus constant byte offset (a field access).
+    pub fn gep(&mut self, base: Val, off: i64) -> Val {
+        self.push(Op::Gep {
+            base,
+            offset: GepOff::Const(off),
+        })
+    }
+
+    /// Pointer plus dynamic byte offset (array indexing).
+    pub fn gep_dyn(&mut self, base: Val, off: Val) -> Val {
+        self.push(Op::Gep {
+            base,
+            offset: GepOff::Dyn(off),
+        })
+    }
+
+    /// Address of a global.
+    pub fn global_addr(&mut self, g: GlobalId) -> Val {
+        self.push(Op::GlobalAddr(g))
+    }
+
+    /// Address of a function (for `spawn` / indirect calls).
+    pub fn func_addr(&mut self, name: &str) -> Val {
+        let id = self
+            .mb
+            .func_id(name)
+            .unwrap_or_else(|| panic!("func_addr of undeclared function {name}"));
+        self.push(Op::FuncAddr(id))
+    }
+
+    // ---- calls --------------------------------------------------------------
+
+    /// Direct call to a declared function. Returns the result value for
+    /// functions that return one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the callee is undeclared or the argument count mismatches.
+    pub fn call(&mut self, name: &str, args: &[Val]) -> Option<Val> {
+        let id = self
+            .mb
+            .func_id(name)
+            .unwrap_or_else(|| panic!("call to undeclared function {name}"));
+        let f = &self.mb.module.funcs[id.0 as usize];
+        assert_eq!(
+            f.n_params as usize,
+            args.len(),
+            "call to {name}: wrong arg count"
+        );
+        let has_ret = f.has_ret;
+        let v = self.push(Op::Call {
+            func: id,
+            args: args.to_vec(),
+        });
+        has_ret.then_some(v)
+    }
+
+    /// Indirect call through a function-address value.
+    pub fn call_indirect(&mut self, target: Val, args: &[Val], has_ret: bool) -> Option<Val> {
+        let v = self.push(Op::CallIndirect {
+            target,
+            args: args.to_vec(),
+        });
+        has_ret.then_some(v)
+    }
+
+    /// Raw intrinsic call.
+    pub fn intr(&mut self, intr: Intrinsic, args: &[Val]) -> Option<Val> {
+        let has = intr.has_result();
+        let v = self.push(Op::Intr {
+            intr,
+            args: args.to_vec(),
+        });
+        has.then_some(v)
+    }
+
+    // ---- intrinsic sugar -----------------------------------------------------
+
+    /// `pm_root(size)`.
+    pub fn pm_root(&mut self, size: Val) -> Val {
+        self.intr(Intrinsic::PmRoot, &[size]).expect("has result")
+    }
+
+    /// `pm_alloc(size)`; yields 0 when out of PM space.
+    pub fn pm_alloc(&mut self, size: Val) -> Val {
+        self.intr(Intrinsic::PmAlloc, &[size]).expect("has result")
+    }
+
+    /// `pm_free(addr)`.
+    pub fn pm_free(&mut self, addr: Val) {
+        self.intr(Intrinsic::PmFree, &[addr]);
+    }
+
+    /// `pm_persist(addr, len)`.
+    pub fn pm_persist(&mut self, addr: Val, len: Val) {
+        self.intr(Intrinsic::PmPersist, &[addr, len]);
+    }
+
+    /// `pm_persist` with a constant length.
+    pub fn pm_persist_c(&mut self, addr: Val, len: u64) {
+        let l = self.konst(len);
+        self.pm_persist(addr, l);
+    }
+
+    /// `pm_tx_begin()`.
+    pub fn tx_begin(&mut self) -> Val {
+        self.intr(Intrinsic::PmTxBegin, &[]).expect("has result")
+    }
+
+    /// `pm_tx_add(addr, len)`.
+    pub fn tx_add(&mut self, addr: Val, len: Val) {
+        self.intr(Intrinsic::PmTxAdd, &[addr, len]);
+    }
+
+    /// `pm_tx_commit()`.
+    pub fn tx_commit(&mut self) {
+        self.intr(Intrinsic::PmTxCommit, &[]);
+    }
+
+    /// `pm_tx_abort()`.
+    pub fn tx_abort(&mut self) {
+        self.intr(Intrinsic::PmTxAbort, &[]);
+    }
+
+    /// `recover_begin()`.
+    pub fn recover_begin(&mut self) {
+        self.intr(Intrinsic::RecoverBegin, &[]);
+    }
+
+    /// `recover_end()`.
+    pub fn recover_end(&mut self) {
+        self.intr(Intrinsic::RecoverEnd, &[]);
+    }
+
+    /// Volatile `malloc(size)`.
+    pub fn malloc(&mut self, size: Val) -> Val {
+        self.intr(Intrinsic::Malloc, &[size]).expect("has result")
+    }
+
+    /// Volatile `free(addr)`.
+    pub fn vfree(&mut self, addr: Val) {
+        self.intr(Intrinsic::VFree, &[addr]);
+    }
+
+    /// `memcpy(dst, src, len)`.
+    pub fn memcpy(&mut self, dst: Val, src: Val, len: Val) {
+        self.intr(Intrinsic::Memcpy, &[dst, src, len]);
+    }
+
+    /// `memset(dst, byte, len)`.
+    pub fn memset(&mut self, dst: Val, byte: Val, len: Val) {
+        self.intr(Intrinsic::Memset, &[dst, byte, len]);
+    }
+
+    /// `memcmp(a, b, len)`: 0 when equal, 1 otherwise.
+    pub fn memcmp(&mut self, a: Val, b: Val, len: Val) -> Val {
+        self.intr(Intrinsic::Memcmp, &[a, b, len])
+            .expect("has result")
+    }
+
+    /// `assert(cond, code)`.
+    pub fn assert_(&mut self, cond: Val, code: u64) {
+        let c = self.konst(code);
+        self.intr(Intrinsic::Assert, &[cond, c]);
+    }
+
+    /// `abort(code)`.
+    pub fn abort_(&mut self, code: u64) {
+        let c = self.konst(code);
+        self.intr(Intrinsic::Abort, &[c]);
+    }
+
+    /// Debug print of a value.
+    pub fn print(&mut self, v: Val) {
+        self.intr(Intrinsic::Print, &[v]);
+    }
+
+    /// Logical clock read.
+    pub fn clock(&mut self) -> Val {
+        self.intr(Intrinsic::Clock, &[]).expect("has result")
+    }
+
+    /// `spawn(func_addr, arg)`.
+    pub fn spawn(&mut self, func_addr: Val, arg: Val) -> Val {
+        self.intr(Intrinsic::Spawn, &[func_addr, arg])
+            .expect("has result")
+    }
+
+    /// `join(tid)`.
+    pub fn join(&mut self, tid: Val) {
+        self.intr(Intrinsic::Join, &[tid]);
+    }
+
+    /// `mutex_lock(addr)`.
+    pub fn mutex_lock(&mut self, addr: Val) {
+        self.intr(Intrinsic::MutexLock, &[addr]);
+    }
+
+    /// `mutex_unlock(addr)`.
+    pub fn mutex_unlock(&mut self, addr: Val) {
+        self.intr(Intrinsic::MutexUnlock, &[addr]);
+    }
+
+    /// Voluntary yield.
+    pub fn yield_(&mut self) {
+        self.intr(Intrinsic::Yield, &[]);
+    }
+
+    /// Free PM heap estimate.
+    pub fn pm_avail(&mut self) -> Val {
+        self.intr(Intrinsic::PmAvail, &[]).expect("has result")
+    }
+
+    // ---- control flow ---------------------------------------------------------
+
+    /// Creates a new (empty) block without moving the cursor.
+    pub fn new_block(&mut self) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(Block::default());
+        id
+    }
+
+    /// Moves the cursor to `block`.
+    pub fn switch_to(&mut self, block: BlockId) {
+        self.cur = block;
+        self.terminated = !self.blocks[block.0 as usize].insts.is_empty()
+            && self.blocks[block.0 as usize]
+                .insts
+                .last()
+                .map(|&i| self.insts[i as usize].op.is_terminator())
+                .unwrap_or(false);
+    }
+
+    /// Unconditional branch.
+    pub fn br(&mut self, target: BlockId) {
+        self.push(Op::Br(target));
+    }
+
+    /// Conditional branch.
+    pub fn cond_br(&mut self, cond: Val, then_: BlockId, else_: BlockId) {
+        self.push(Op::CondBr { cond, then_, else_ });
+    }
+
+    /// Return.
+    pub fn ret(&mut self, v: Option<Val>) {
+        self.push(Op::Ret(v));
+    }
+
+    /// Return a constant.
+    pub fn ret_c(&mut self, v: u64) {
+        let c = self.konst(v);
+        self.ret(Some(c));
+    }
+
+    /// Whether the current block already ends in a terminator.
+    pub fn is_terminated(&self) -> bool {
+        self.terminated
+    }
+
+    /// `if (cond) { then }` — control rejoins afterwards.
+    pub fn if_(&mut self, cond: Val, then: impl FnOnce(&mut Self)) {
+        let t = self.new_block();
+        let merge = self.new_block();
+        self.cond_br(cond, t, merge);
+        self.switch_to(t);
+        self.terminated = false;
+        then(self);
+        if !self.terminated {
+            self.br(merge);
+        }
+        self.switch_to(merge);
+        self.terminated = false;
+    }
+
+    /// `if (cond) { then } else { els }`.
+    pub fn if_else(
+        &mut self,
+        cond: Val,
+        then: impl FnOnce(&mut Self),
+        els: impl FnOnce(&mut Self),
+    ) {
+        let t = self.new_block();
+        let e = self.new_block();
+        let merge = self.new_block();
+        self.cond_br(cond, t, e);
+        self.switch_to(t);
+        self.terminated = false;
+        then(self);
+        if !self.terminated {
+            self.br(merge);
+        }
+        self.switch_to(e);
+        self.terminated = false;
+        els(self);
+        if !self.terminated {
+            self.br(merge);
+        }
+        self.switch_to(merge);
+        self.terminated = false;
+    }
+
+    /// `while (cond) { body }`. Supports [`FuncBuilder::break_`] and
+    /// [`FuncBuilder::continue_`] inside the body.
+    pub fn while_(&mut self, cond: impl FnOnce(&mut Self) -> Val, body: impl FnOnce(&mut Self)) {
+        let head = self.new_block();
+        let bodyb = self.new_block();
+        let exit = self.new_block();
+        self.br(head);
+        self.switch_to(head);
+        self.terminated = false;
+        let c = cond(self);
+        self.cond_br(c, bodyb, exit);
+        self.switch_to(bodyb);
+        self.terminated = false;
+        self.loops.push(LoopCtx {
+            continue_to: head,
+            break_to: exit,
+        });
+        body(self);
+        self.loops.pop();
+        if !self.terminated {
+            self.br(head);
+        }
+        self.switch_to(exit);
+        self.terminated = false;
+    }
+
+    /// Infinite `loop { body }`; exit with [`FuncBuilder::break_`].
+    pub fn loop_(&mut self, body: impl FnOnce(&mut Self)) {
+        let head = self.new_block();
+        let exit = self.new_block();
+        self.br(head);
+        self.switch_to(head);
+        self.terminated = false;
+        self.loops.push(LoopCtx {
+            continue_to: head,
+            break_to: exit,
+        });
+        body(self);
+        self.loops.pop();
+        if !self.terminated {
+            self.br(head);
+        }
+        self.switch_to(exit);
+        self.terminated = false;
+    }
+
+    /// Break out of the innermost loop. Code emitted after this in the same
+    /// closure lands in an unreachable block.
+    pub fn break_(&mut self) {
+        let target = self.loops.last().expect("break_ outside of loop").break_to;
+        self.br(target);
+        // Subsequent code in the same closure lands in a fresh unreachable
+        // block; the enclosing structured helper terminates it.
+        let dead = self.new_block();
+        self.switch_to(dead);
+        self.terminated = false;
+    }
+
+    /// Continue the innermost loop.
+    pub fn continue_(&mut self) {
+        let target = self
+            .loops
+            .last()
+            .expect("continue_ outside of loop")
+            .continue_to;
+        self.br(target);
+        let dead = self.new_block();
+        self.switch_to(dead);
+        self.terminated = false;
+    }
+
+    /// `for i in start..end { body(i_slot) }` over a u64 range; `i_slot` is
+    /// the address of the loop variable.
+    pub fn for_range(&mut self, start: Val, end: Val, body: impl FnOnce(&mut Self, Val)) {
+        let i = self.local(start);
+        self.while_(
+            |f| {
+                let iv = f.load8(i);
+                f.ult(iv, end)
+            },
+            |f| {
+                body(f, i);
+                let iv = f.load8(i);
+                let one = f.konst(1);
+                let next = f.add(iv, one);
+                f.store8(i, next);
+            },
+        );
+    }
+
+    /// Finishes the function, installing its body into the module.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any block lacks a terminator (void functions get a
+    /// trailing `ret` appended to the final block automatically).
+    pub fn finish(mut self) {
+        if !self.terminated {
+            let f = &self.mb.module.funcs[self.id.0 as usize];
+            if f.has_ret {
+                panic!(
+                    "function {} falls off the end without returning a value",
+                    f.name
+                );
+            }
+            self.push(Op::Ret(None));
+        }
+        let func = &mut self.mb.module.funcs[self.id.0 as usize];
+        func.insts = self.insts;
+        func.blocks = self.blocks;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn straight_line_function() {
+        let mut m = ModuleBuilder::new();
+        let mut f = m.func("add1", 1, true);
+        let one = f.konst(1);
+        let p = f.param(0);
+        let r = f.add(p, one);
+        f.ret(Some(r));
+        f.finish();
+        let module = m.finish().unwrap();
+        assert_eq!(module.funcs.len(), 1);
+        assert_eq!(module.funcs[0].blocks.len(), 1);
+    }
+
+    #[test]
+    fn while_loop_shape() {
+        let mut m = ModuleBuilder::new();
+        let mut f = m.func("count", 1, true);
+        let i = f.local_c(0);
+        let end = f.param(0);
+        f.while_(
+            |f| {
+                let iv = f.load8(i);
+                f.ult(iv, end)
+            },
+            |f| {
+                let iv = f.load8(i);
+                let one = f.konst(1);
+                let n = f.add(iv, one);
+                f.store8(i, n);
+            },
+        );
+        let r = f.load8(i);
+        f.ret(Some(r));
+        f.finish();
+        let module = m.finish().unwrap();
+        // entry, head, body, exit.
+        assert!(module.funcs[0].blocks.len() >= 4);
+    }
+
+    #[test]
+    fn if_else_rejoins() {
+        let mut m = ModuleBuilder::new();
+        let mut f = m.func("max", 2, true);
+        let a = f.param(0);
+        let b = f.param(1);
+        let out = f.local(a);
+        let c = f.ult(a, b);
+        f.if_(c, |f| f.store8(out, b));
+        let r = f.load8(out);
+        f.ret(Some(r));
+        f.finish();
+        assert!(m.finish().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "declared twice")]
+    fn double_declare_panics() {
+        let mut m = ModuleBuilder::new();
+        m.declare("f", 0, false);
+        m.declare("f", 0, false);
+    }
+
+    #[test]
+    #[should_panic(expected = "falls off the end")]
+    fn missing_return_value_panics() {
+        let mut m = ModuleBuilder::new();
+        let f = m.func("g", 0, true);
+        f.finish();
+    }
+}

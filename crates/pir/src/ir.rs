@@ -1,0 +1,471 @@
+//! Core IR data structures.
+//!
+//! `pir` is a small SSA-form intermediate representation playing the role
+//! LLVM IR plays in the Arthas paper: the five target PM applications are
+//! written in it, the static analyses (points-to, PDG, slicing) run over
+//! it, and the interpreter executes it. Instructions are identified by
+//! [`InstRef`] — the "instruction" half of the paper's
+//! `<GUID, source_location, instruction>` metadata.
+
+use std::fmt;
+
+/// Index of a function within a [`Module`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FuncId(pub u32);
+
+/// Index of a basic block within a [`Function`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u32);
+
+/// Index of a global variable within a [`Module`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GlobalId(pub u32);
+
+/// An SSA value: the result of the instruction with this index in its
+/// function's instruction arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Val(pub u32);
+
+/// A module-wide reference to one instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct InstRef {
+    /// Function containing the instruction.
+    pub func: FuncId,
+    /// Index into the function's instruction arena.
+    pub inst: u32,
+}
+
+impl fmt::Display for InstRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}:i{}", self.func.0, self.inst)
+    }
+}
+
+/// Integer binary operators. All arithmetic wraps (two's complement),
+/// matching the unchecked C arithmetic whose overflows cause several of the
+/// studied bugs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Unsigned division (traps on zero divisor).
+    UDiv,
+    /// Unsigned remainder (traps on zero divisor).
+    URem,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Shift left (shift amount masked to 63).
+    Shl,
+    /// Logical shift right (shift amount masked to 63).
+    LShr,
+}
+
+/// Integer comparison operators; result is 0 or 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Unsigned less-than.
+    ULt,
+    /// Unsigned less-or-equal.
+    ULe,
+    /// Unsigned greater-than.
+    UGt,
+    /// Unsigned greater-or-equal.
+    UGe,
+    /// Signed less-than.
+    SLt,
+    /// Signed greater-than.
+    SGt,
+}
+
+/// Built-in runtime operations, including the PMDK-like persistence API.
+///
+/// Intrinsic calls are ordinary instructions from the analyses' point of
+/// view; the PM-related ones are how the Arthas analyzer identifies PM
+/// variables (§4.1 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Intrinsic {
+    /// `pm_root(size) -> pm_addr`: allocate-once root object.
+    PmRoot,
+    /// `pm_alloc(size) -> pm_addr` (0 when out of PM space).
+    PmAlloc,
+    /// `pm_free(pm_addr)`.
+    PmFree,
+    /// `pm_persist(addr, len)`: flush + drain, a durability point.
+    PmPersist,
+    /// `pm_flush(addr, len)`: stage cache lines for write-back.
+    PmFlush,
+    /// `pm_drain()`: fence; commits staged lines.
+    PmDrain,
+    /// `pm_tx_begin() -> tx_id`.
+    PmTxBegin,
+    /// `pm_tx_add(addr, len)`: snapshot a range into the undo log.
+    PmTxAdd,
+    /// `pm_tx_commit()`: durability point for all snapshotted ranges.
+    PmTxCommit,
+    /// `pm_tx_abort()`.
+    PmTxAbort,
+    /// `recover_begin()`: start of the application recovery function.
+    RecoverBegin,
+    /// `recover_end()`.
+    RecoverEnd,
+    /// `malloc(size) -> vol_addr` (volatile heap).
+    Malloc,
+    /// `vfree(vol_addr)`.
+    VFree,
+    /// `memcpy(dst, src, len)`; either address space.
+    Memcpy,
+    /// `memset(dst, byte, len)`.
+    Memset,
+    /// `memcmp(a, b, len) -> 0 / 1`: equality test (0 = equal).
+    Memcmp,
+    /// `assert(cond, code)`: traps with `AssertFail(code)` when cond is 0.
+    Assert,
+    /// `abort(code)`: unconditional abnormal termination.
+    Abort,
+    /// `print(v)`: debug output to the VM log.
+    Print,
+    /// `trace(guid, addr)`: Arthas-instrumented PM address trace point.
+    Trace,
+    /// `clock() -> u64`: the driver-controlled logical clock.
+    Clock,
+    /// `spawn(func_addr, arg) -> tid`: start a cooperative thread.
+    Spawn,
+    /// `join(tid)`: block until the thread finishes.
+    Join,
+    /// `mutex_lock(addr)`: address-identified mutex.
+    MutexLock,
+    /// `mutex_unlock(addr)`.
+    MutexUnlock,
+    /// `yield_()`: voluntarily end the scheduling quantum.
+    Yield,
+    /// `pm_base() -> pm_addr`: tagged address of pool offset 0 (for tools).
+    PmBase,
+    /// `pm_avail() -> bytes`: free PM heap estimate (usage monitors).
+    PmAvail,
+}
+
+impl Intrinsic {
+    /// Whether the intrinsic returns a value.
+    pub fn has_result(self) -> bool {
+        use Intrinsic::*;
+        matches!(
+            self,
+            PmRoot | PmAlloc | PmTxBegin | Malloc | Memcmp | Clock | Spawn | PmBase | PmAvail
+        )
+    }
+
+    /// Whether this is part of the persistent-memory API (used by the
+    /// analyzer to seed PM-variable identification).
+    pub fn is_pm_api(self) -> bool {
+        use Intrinsic::*;
+        matches!(
+            self,
+            PmRoot
+                | PmAlloc
+                | PmFree
+                | PmPersist
+                | PmFlush
+                | PmDrain
+                | PmTxBegin
+                | PmTxAdd
+                | PmTxCommit
+                | PmTxAbort
+                | PmBase
+        )
+    }
+}
+
+/// A GEP offset: constant (field access, analysed field-sensitively) or
+/// dynamic (array indexing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GepOff {
+    /// Constant byte offset.
+    Const(i64),
+    /// Dynamic byte offset held in a value.
+    Dyn(Val),
+}
+
+/// One IR instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// The i-th function parameter (pseudo-instruction at the top of every
+    /// function).
+    Param(u32),
+    /// 64-bit constant.
+    Const(u64),
+    /// Integer binary operation.
+    Bin(BinOp, Val, Val),
+    /// Integer comparison producing 0/1.
+    Cmp(CmpOp, Val, Val),
+    /// `select(cond, a, b)`.
+    Select(Val, Val, Val),
+    /// Stack allocation of `size` bytes; yields a volatile address.
+    Alloca {
+        /// Allocation size in bytes.
+        size: u64,
+    },
+    /// Load `size` bytes (1, 2, 4 or 8), zero-extended to 64 bits.
+    Load {
+        /// Address operand.
+        addr: Val,
+        /// Access size in bytes.
+        size: u8,
+    },
+    /// Store the low `size` bytes of `val` to `addr`.
+    Store {
+        /// Address operand.
+        addr: Val,
+        /// Value operand.
+        val: Val,
+        /// Access size in bytes.
+        size: u8,
+    },
+    /// Pointer arithmetic: `base + offset`.
+    Gep {
+        /// Base address.
+        base: Val,
+        /// Byte offset.
+        offset: GepOff,
+    },
+    /// Unconditional branch.
+    Br(BlockId),
+    /// Conditional branch (nonzero → `then_`).
+    CondBr {
+        /// Condition value.
+        cond: Val,
+        /// Target when nonzero.
+        then_: BlockId,
+        /// Target when zero.
+        else_: BlockId,
+    },
+    /// Return, optionally with a value.
+    Ret(Option<Val>),
+    /// Direct call.
+    Call {
+        /// Callee.
+        func: FuncId,
+        /// Arguments.
+        args: Vec<Val>,
+    },
+    /// Indirect call through a function address (see [`Op::FuncAddr`]).
+    CallIndirect {
+        /// Value holding a function address.
+        target: Val,
+        /// Arguments.
+        args: Vec<Val>,
+    },
+    /// Intrinsic call.
+    Intr {
+        /// Which intrinsic.
+        intr: Intrinsic,
+        /// Arguments.
+        args: Vec<Val>,
+    },
+    /// Address of a function, callable via [`Op::CallIndirect`].
+    FuncAddr(FuncId),
+    /// Address of a global variable (volatile address space).
+    GlobalAddr(GlobalId),
+    /// Marks unreachable code; trap if executed.
+    Unreachable,
+}
+
+impl Op {
+    /// Appends all value operands of this instruction to `out`.
+    pub fn operands(&self, out: &mut Vec<Val>) {
+        match self {
+            Op::Param(_)
+            | Op::Const(_)
+            | Op::Alloca { .. }
+            | Op::Br(_)
+            | Op::FuncAddr(_)
+            | Op::GlobalAddr(_)
+            | Op::Unreachable => {}
+            Op::Bin(_, a, b) | Op::Cmp(_, a, b) => {
+                out.push(*a);
+                out.push(*b);
+            }
+            Op::Select(c, a, b) => {
+                out.push(*c);
+                out.push(*a);
+                out.push(*b);
+            }
+            Op::Load { addr, .. } => out.push(*addr),
+            Op::Store { addr, val, .. } => {
+                out.push(*addr);
+                out.push(*val);
+            }
+            Op::Gep { base, offset } => {
+                out.push(*base);
+                if let GepOff::Dyn(v) = offset {
+                    out.push(*v);
+                }
+            }
+            Op::CondBr { cond, .. } => out.push(*cond),
+            Op::Ret(v) => {
+                if let Some(v) = v {
+                    out.push(*v);
+                }
+            }
+            Op::Call { args, .. } | Op::Intr { args, .. } => out.extend(args.iter().copied()),
+            Op::CallIndirect { target, args } => {
+                out.push(*target);
+                out.extend(args.iter().copied());
+            }
+        }
+    }
+
+    /// Whether this instruction ends a basic block.
+    pub fn is_terminator(&self) -> bool {
+        matches!(
+            self,
+            Op::Br(_) | Op::CondBr { .. } | Op::Ret(_) | Op::Unreachable
+        )
+    }
+
+    /// Whether the instruction produces an SSA result.
+    pub fn has_result(&self) -> bool {
+        match self {
+            Op::Param(_)
+            | Op::Const(_)
+            | Op::Bin(..)
+            | Op::Cmp(..)
+            | Op::Select(..)
+            | Op::Alloca { .. }
+            | Op::Load { .. }
+            | Op::Gep { .. }
+            | Op::FuncAddr(_)
+            | Op::GlobalAddr(_) => true,
+            Op::Intr { intr, .. } => intr.has_result(),
+            Op::Call { .. } | Op::CallIndirect { .. } => true,
+            _ => false,
+        }
+    }
+}
+
+/// An instruction together with its source location label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Inst {
+    /// The operation.
+    pub op: Op,
+    /// Source-location label (e.g. `"assoc.c:find"`), carried into the
+    /// Arthas GUID metadata. Empty when not set by the builder.
+    pub loc: u32,
+}
+
+/// A basic block: a list of instruction indices, last one a terminator.
+#[derive(Debug, Clone, Default)]
+pub struct Block {
+    /// Instruction indices into the function arena, in program order.
+    pub insts: Vec<u32>,
+}
+
+/// A function definition.
+#[derive(Debug, Clone)]
+pub struct Function {
+    /// Function name (unique within the module).
+    pub name: String,
+    /// Number of parameters.
+    pub n_params: u32,
+    /// Whether the function returns a value.
+    pub has_ret: bool,
+    /// Instruction arena.
+    pub insts: Vec<Inst>,
+    /// Basic blocks; block 0 is the entry.
+    pub blocks: Vec<Block>,
+}
+
+impl Function {
+    /// Successor block ids of `block`.
+    pub fn successors(&self, block: BlockId) -> Vec<BlockId> {
+        let b = &self.blocks[block.0 as usize];
+        match b.insts.last().map(|&i| &self.insts[i as usize].op) {
+            Some(Op::Br(t)) => vec![*t],
+            Some(Op::CondBr { then_, else_, .. }) => vec![*then_, *else_],
+            _ => vec![],
+        }
+    }
+
+    /// The block containing instruction `inst`, if any.
+    pub fn block_of(&self, inst: u32) -> Option<BlockId> {
+        for (bi, b) in self.blocks.iter().enumerate() {
+            if b.insts.contains(&inst) {
+                return Some(BlockId(bi as u32));
+            }
+        }
+        None
+    }
+}
+
+/// A global variable: a named chunk of the volatile address space,
+/// zero-initialised at VM start (and on every simulated restart).
+#[derive(Debug, Clone)]
+pub struct Global {
+    /// Global name.
+    pub name: String,
+    /// Size in bytes.
+    pub size: u64,
+}
+
+/// A whole program.
+#[derive(Debug, Clone, Default)]
+pub struct Module {
+    /// Functions; [`FuncId`] indexes this.
+    pub funcs: Vec<Function>,
+    /// Globals; [`GlobalId`] indexes this.
+    pub globals: Vec<Global>,
+    /// Interned source-location strings; `Inst::loc` indexes this.
+    pub locs: Vec<String>,
+}
+
+impl Module {
+    /// Looks up a function id by name.
+    pub fn func_by_name(&self, name: &str) -> Option<FuncId> {
+        self.funcs
+            .iter()
+            .position(|f| f.name == name)
+            .map(|i| FuncId(i as u32))
+    }
+
+    /// The function for an id.
+    pub fn func(&self, id: FuncId) -> &Function {
+        &self.funcs[id.0 as usize]
+    }
+
+    /// The instruction behind a module-wide reference.
+    pub fn inst(&self, r: InstRef) -> &Inst {
+        &self.funcs[r.func.0 as usize].insts[r.inst as usize]
+    }
+
+    /// The source-location string of an instruction ("" when unset).
+    pub fn loc_of(&self, r: InstRef) -> &str {
+        let i = self.inst(r).loc;
+        self.locs.get(i as usize).map(|s| s.as_str()).unwrap_or("")
+    }
+
+    /// Total number of instructions across all functions.
+    pub fn inst_count(&self) -> usize {
+        self.funcs.iter().map(|f| f.insts.len()).sum()
+    }
+
+    /// Iterates over every instruction reference in the module.
+    pub fn all_insts(&self) -> impl Iterator<Item = InstRef> + '_ {
+        self.funcs.iter().enumerate().flat_map(|(fi, f)| {
+            (0..f.insts.len() as u32).map(move |i| InstRef {
+                func: FuncId(fi as u32),
+                inst: i,
+            })
+        })
+    }
+}

@@ -1,0 +1,313 @@
+//! The interpreter's volatile address space.
+//!
+//! A single flat 64-bit address space is partitioned by range/tag:
+//!
+//! | range                         | contents                          |
+//! |-------------------------------|-----------------------------------|
+//! | `0`                           | null (always faults)              |
+//! | [`GLOBALS_BASE`]..            | module globals                    |
+//! | [`STACK_BASE`] + tid × 1 MiB  | per-thread stacks (allocas)       |
+//! | [`VHEAP_BASE`]..              | volatile heap (`malloc`)          |
+//! | [`FUNC_TAG`] \| id            | function addresses                |
+//! | [`PM_TAG`] \| offset          | persistent-memory pool offsets    |
+//!
+//! Heap accesses are validated against live allocations, so null
+//! dereferences, wild pointers and use-after-free become precise
+//! [`MemFault`]s that the VM turns into segfault traps — the same symptom
+//! the corresponding C bugs exhibit.
+
+use std::collections::BTreeMap;
+
+/// Base address of module globals.
+pub const GLOBALS_BASE: u64 = 0x10_0000;
+/// Base address of per-thread stacks.
+pub const STACK_BASE: u64 = 0x1_0000_0000;
+/// Size of one thread's stack region.
+pub const STACK_SIZE: u64 = 1 << 20;
+/// Base address of the volatile heap.
+pub const VHEAP_BASE: u64 = 0x100_0000_0000;
+/// Tag bit for function addresses.
+pub const FUNC_TAG: u64 = 1 << 61;
+/// Tag bit for persistent-memory addresses.
+pub const PM_TAG: u64 = 1 << 62;
+
+/// Returns whether `addr` is a persistent-memory address.
+pub fn is_pm(addr: u64) -> bool {
+    addr & PM_TAG != 0 && addr & FUNC_TAG == 0
+}
+
+/// Extracts the pool offset from a PM address.
+pub fn pm_offset(addr: u64) -> u64 {
+    addr & !PM_TAG
+}
+
+/// Builds a PM address from a pool offset.
+pub fn pm_addr(offset: u64) -> u64 {
+    PM_TAG | offset
+}
+
+/// A memory-access failure; carries enough context for a precise trap.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemFault {
+    /// Access to unmapped or dead memory (null, OOB, use-after-free).
+    Segfault {
+        /// The faulting address.
+        addr: u64,
+        /// Access length.
+        len: u64,
+    },
+    /// `vfree` of something that is not a live heap block.
+    BadFree {
+        /// The offending address.
+        addr: u64,
+    },
+}
+
+/// The volatile side of the VM's memory.
+pub struct VolMem {
+    globals: Vec<u8>,
+    stacks: Vec<Vec<u8>>,
+    heap: Vec<u8>,
+    live: BTreeMap<u64, u64>,
+    free_list: BTreeMap<u64, u64>,
+    brk: u64,
+}
+
+const HEAP_ALIGN: u64 = 16;
+
+impl VolMem {
+    /// Creates a volatile memory with room for `globals_size` bytes of
+    /// globals.
+    pub fn new(globals_size: u64) -> Self {
+        VolMem {
+            globals: vec![0; globals_size as usize],
+            stacks: Vec::new(),
+            heap: Vec::new(),
+            live: BTreeMap::new(),
+            free_list: BTreeMap::new(),
+            brk: 0,
+        }
+    }
+
+    /// Ensures a stack region exists for thread `tid`.
+    pub fn ensure_stack(&mut self, tid: u32) {
+        while self.stacks.len() <= tid as usize {
+            self.stacks.push(vec![0; STACK_SIZE as usize]);
+        }
+    }
+
+    /// Zeroes thread `tid`'s stack (on thread-slot reuse).
+    pub fn reset_stack(&mut self, tid: u32) {
+        self.ensure_stack(tid);
+        self.stacks[tid as usize].fill(0);
+    }
+
+    /// Allocates `size` bytes on the volatile heap; returns the address.
+    pub fn malloc(&mut self, size: u64) -> u64 {
+        let size = size.max(1).div_ceil(HEAP_ALIGN) * HEAP_ALIGN;
+        // First fit over the free list.
+        let found = self
+            .free_list
+            .iter()
+            .find(|(_, &s)| s >= size)
+            .map(|(&a, &s)| (a, s));
+        let addr_off = match found {
+            Some((a, s)) => {
+                self.free_list.remove(&a);
+                if s - size >= HEAP_ALIGN * 2 {
+                    self.free_list.insert(a + size, s - size);
+                }
+                a
+            }
+            None => {
+                let a = self.brk;
+                self.brk += size;
+                if self.heap.len() < self.brk as usize {
+                    self.heap.resize(self.brk as usize, 0);
+                }
+                a
+            }
+        };
+        // Zero the block (fresh or recycled).
+        self.heap[addr_off as usize..(addr_off + size) as usize].fill(0);
+        self.live.insert(addr_off, size);
+        VHEAP_BASE + addr_off
+    }
+
+    /// Frees a heap allocation; exact block address required.
+    pub fn free(&mut self, addr: u64) -> Result<(), MemFault> {
+        if addr < VHEAP_BASE {
+            return Err(MemFault::BadFree { addr });
+        }
+        let off = addr - VHEAP_BASE;
+        match self.live.remove(&off) {
+            Some(size) => {
+                self.free_list.insert(off, size);
+                Ok(())
+            }
+            None => Err(MemFault::BadFree { addr }),
+        }
+    }
+
+    /// Number of live heap allocations.
+    pub fn live_count(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Total live heap bytes.
+    pub fn live_bytes(&self) -> u64 {
+        self.live.values().sum()
+    }
+
+    fn resolve(&self, addr: u64, len: u64) -> Result<Region, MemFault> {
+        if len == 0 {
+            return Ok(Region::Empty);
+        }
+        let fault = || MemFault::Segfault { addr, len };
+        if addr == 0 {
+            return Err(fault());
+        }
+        if addr >= GLOBALS_BASE && addr < GLOBALS_BASE + self.globals.len() as u64 {
+            let off = addr - GLOBALS_BASE;
+            if off + len <= self.globals.len() as u64 {
+                return Ok(Region::Globals(off as usize));
+            }
+            return Err(fault());
+        }
+        if addr >= STACK_BASE && addr < STACK_BASE + self.stacks.len() as u64 * STACK_SIZE {
+            let tid = ((addr - STACK_BASE) / STACK_SIZE) as usize;
+            let off = (addr - STACK_BASE) % STACK_SIZE;
+            if off + len <= STACK_SIZE {
+                return Ok(Region::Stack(tid, off as usize));
+            }
+            return Err(fault());
+        }
+        if addr >= VHEAP_BASE {
+            let off = addr - VHEAP_BASE;
+            // The access must fall fully within one live block.
+            if let Some((&start, &size)) = self.live.range(..=off).next_back() {
+                if off >= start && off + len <= start + size {
+                    return Ok(Region::Heap(off as usize));
+                }
+            }
+            return Err(fault());
+        }
+        Err(fault())
+    }
+
+    /// Reads `len` bytes at a volatile address.
+    pub fn read(&self, addr: u64, len: u64) -> Result<Vec<u8>, MemFault> {
+        match self.resolve(addr, len)? {
+            Region::Empty => Ok(Vec::new()),
+            Region::Globals(o) => Ok(self.globals[o..o + len as usize].to_vec()),
+            Region::Stack(t, o) => Ok(self.stacks[t][o..o + len as usize].to_vec()),
+            Region::Heap(o) => Ok(self.heap[o..o + len as usize].to_vec()),
+        }
+    }
+
+    /// Writes `bytes` at a volatile address.
+    pub fn write(&mut self, addr: u64, bytes: &[u8]) -> Result<(), MemFault> {
+        let len = bytes.len() as u64;
+        match self.resolve(addr, len)? {
+            Region::Empty => Ok(()),
+            Region::Globals(o) => {
+                self.globals[o..o + bytes.len()].copy_from_slice(bytes);
+                Ok(())
+            }
+            Region::Stack(t, o) => {
+                self.stacks[t][o..o + bytes.len()].copy_from_slice(bytes);
+                Ok(())
+            }
+            Region::Heap(o) => {
+                self.heap[o..o + bytes.len()].copy_from_slice(bytes);
+                Ok(())
+            }
+        }
+    }
+}
+
+enum Region {
+    Empty,
+    Globals(usize),
+    Stack(usize, usize),
+    Heap(usize),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_partition_the_space() {
+        assert!(is_pm(pm_addr(100)));
+        assert!(!is_pm(VHEAP_BASE));
+        assert!(!is_pm(FUNC_TAG | 3));
+        assert_eq!(pm_offset(pm_addr(4096)), 4096);
+    }
+
+    #[test]
+    fn malloc_free_reuse() {
+        let mut m = VolMem::new(0);
+        let a = m.malloc(100);
+        let b = m.malloc(100);
+        assert_ne!(a, b);
+        m.free(a).unwrap();
+        let c = m.malloc(64);
+        assert_eq!(c, a, "freed block reused");
+        assert_eq!(m.live_count(), 2);
+    }
+
+    #[test]
+    fn use_after_free_faults() {
+        let mut m = VolMem::new(0);
+        let a = m.malloc(32);
+        m.write(a, &[1; 32]).unwrap();
+        m.free(a).unwrap();
+        assert!(matches!(m.read(a, 8), Err(MemFault::Segfault { .. })));
+    }
+
+    #[test]
+    fn null_and_wild_pointers_fault() {
+        let m = VolMem::new(16);
+        assert!(m.read(0, 1).is_err());
+        assert!(m.read(0xdead, 1).is_err());
+        assert!(m.read(VHEAP_BASE + 5000, 1).is_err());
+    }
+
+    #[test]
+    fn oob_within_block_faults() {
+        let mut m = VolMem::new(0);
+        let a = m.malloc(16);
+        assert!(m.write(a, &[0; 16]).is_ok());
+        assert!(m.write(a + 8, &[0; 16]).is_err());
+    }
+
+    #[test]
+    fn double_free_faults() {
+        let mut m = VolMem::new(0);
+        let a = m.malloc(8);
+        m.free(a).unwrap();
+        assert!(matches!(m.free(a), Err(MemFault::BadFree { .. })));
+    }
+
+    #[test]
+    fn globals_and_stack_access() {
+        let mut m = VolMem::new(64);
+        m.write(GLOBALS_BASE + 8, &7u64.to_le_bytes()).unwrap();
+        assert_eq!(m.read(GLOBALS_BASE + 8, 8).unwrap(), 7u64.to_le_bytes());
+        m.ensure_stack(1);
+        let sp = STACK_BASE + STACK_SIZE + 128;
+        m.write(sp, &[9; 4]).unwrap();
+        assert_eq!(m.read(sp, 4).unwrap(), vec![9; 4]);
+    }
+
+    #[test]
+    fn malloc_zeroes_recycled_memory() {
+        let mut m = VolMem::new(0);
+        let a = m.malloc(32);
+        m.write(a, &[0xFF; 32]).unwrap();
+        m.free(a).unwrap();
+        let b = m.malloc(32);
+        assert_eq!(m.read(b, 32).unwrap(), vec![0; 32]);
+    }
+}

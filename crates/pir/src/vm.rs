@@ -1,0 +1,1059 @@
+//! The pir interpreter.
+//!
+//! Executes a verified [`Module`] against a [`PmPool`], with:
+//!
+//! - precise traps carrying the *fault instruction* ([`InstRef`]) and call
+//!   stack — exactly the failure evidence the Arthas detector consumes;
+//! - a per-call step budget so infinite loops surface as [`Trap::StepLimit`]
+//!   (hang detection);
+//! - deterministic cooperative threads with a round-robin scheduler and
+//!   address-identified mutexes (for the concurrency-bug scenarios);
+//! - fault injection: crash at the n-th execution of an instruction;
+//! - the `trace(guid, addr)` intrinsic feeding the Arthas PM address trace.
+//!
+//! A simulated process restart is: extract the pool with [`Vm::crash`] (or
+//! [`Vm::into_pool`] for a clean shutdown) and construct a fresh [`Vm`]
+//! over it — all volatile state is lost, durable PM state survives.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use pmemsim::{PmError, PmPool};
+
+use crate::ir::{BinOp, CmpOp, FuncId, GepOff, InstRef, Intrinsic, Module, Op};
+use crate::mem::{
+    is_pm, pm_addr, pm_offset, MemFault, VolMem, FUNC_TAG, GLOBALS_BASE, STACK_BASE, STACK_SIZE,
+};
+
+/// Reasons the interpreter stops a program abnormally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Trap {
+    /// Invalid memory access (null, out-of-bounds, use-after-free).
+    Segfault {
+        /// The faulting address.
+        addr: u64,
+    },
+    /// Division or remainder by zero.
+    DivByZero,
+    /// `assert` intrinsic failed with this code.
+    AssertFail {
+        /// Application-chosen assertion code.
+        code: u64,
+    },
+    /// `abort` intrinsic with this code (server panic).
+    Abort {
+        /// Application-chosen abort code.
+        code: u64,
+    },
+    /// The per-call step budget was exhausted: the request hangs.
+    StepLimit,
+    /// Every live thread is blocked: deadlock.
+    Deadlock,
+    /// Call depth or stack space exhausted.
+    StackOverflow,
+    /// Bad `vfree`/`pm_free` (not a live block / double free).
+    BadFree {
+        /// The offending address.
+        addr: u64,
+    },
+    /// An injected crash fired (power failure / untimely kill).
+    InjectedCrash,
+    /// `unreachable` executed or another invariant broke.
+    Misc(String),
+}
+
+impl Trap {
+    /// A small integer "exit code" for the detector's symptom comparison.
+    pub fn exit_code(&self) -> u64 {
+        match self {
+            Trap::Segfault { .. } => 11,
+            Trap::DivByZero => 8,
+            Trap::AssertFail { code } => 134_000 + code,
+            Trap::Abort { code } => 6_000 + code,
+            Trap::StepLimit => 124,
+            Trap::Deadlock => 125,
+            Trap::StackOverflow => 139,
+            Trap::BadFree { .. } => 7,
+            Trap::InjectedCrash => 137,
+            Trap::Misc(_) => 1,
+        }
+    }
+}
+
+/// A trap plus its execution context.
+#[derive(Debug, Clone)]
+pub struct VmError {
+    /// What went wrong.
+    pub trap: Trap,
+    /// The fault instruction.
+    pub at: Option<InstRef>,
+    /// Source-location label of the fault instruction.
+    pub loc: String,
+    /// Call stack (innermost last), as function names.
+    pub stack: Vec<String>,
+    /// Steps executed in this call when the trap fired.
+    pub step: u64,
+}
+
+impl std::fmt::Display for VmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}", self.trap)?;
+        if let Some(at) = self.at {
+            write!(f, " at {at}")?;
+            if !self.loc.is_empty() {
+                write!(f, " ({})", self.loc)?;
+            }
+        }
+        write!(f, " stack=[{}]", self.stack.join(" > "))
+    }
+}
+
+impl std::error::Error for VmError {}
+
+/// Interpreter tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct VmOpts {
+    /// Steps allowed per [`Vm::call`] before declaring a hang.
+    pub step_limit: u64,
+    /// Scheduler quantum in instructions.
+    pub quantum: u64,
+    /// Maximum call depth.
+    pub max_depth: usize,
+}
+
+impl Default for VmOpts {
+    fn default() -> Self {
+        VmOpts {
+            step_limit: 2_000_000,
+            quantum: 50,
+            max_depth: 256,
+        }
+    }
+}
+
+/// A pending crash injection: trap with [`Trap::InjectedCrash`] immediately
+/// before the `nth` execution of instruction `at`.
+#[derive(Debug, Clone)]
+pub struct CrashAt {
+    /// The instruction to interrupt.
+    pub at: InstRef,
+    /// Which dynamic occurrence triggers (1-based).
+    pub nth: u64,
+    seen: u64,
+}
+
+/// A pending hardware bit-flip injection: flip `bit` of the durable PM
+/// byte at `offset` immediately before the `nth` execution of `at` —
+/// modelling a CPU/DRAM fault corrupting state mid-execution (the
+/// paper's "Hardware Faults" class, §2.4).
+#[derive(Debug, Clone)]
+pub struct FlipAt {
+    /// The instruction the flip coincides with.
+    pub at: InstRef,
+    /// Which dynamic occurrence triggers (1-based).
+    pub nth: u64,
+    /// PM pool offset of the corrupted byte.
+    pub offset: u64,
+    /// Bit index (0-7).
+    pub bit: u8,
+    seen: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ThreadState {
+    Runnable,
+    BlockedMutex(u64),
+    BlockedJoin(u32),
+    Finished,
+}
+
+struct Frame {
+    func: FuncId,
+    block: u32,
+    ip: u32,
+    regs: Vec<u64>,
+    args: Vec<u64>,
+    ret_to: Option<u32>,
+    stack_mark: u64,
+}
+
+struct Thread {
+    frames: Vec<Frame>,
+    state: ThreadState,
+    stack_top: u64,
+    result: u64,
+}
+
+#[derive(Default)]
+struct MutexState {
+    owner: Option<u32>,
+    waiters: VecDeque<u32>,
+}
+
+enum Flow {
+    Next,
+    Stay,
+    Blocked,
+    ThreadDone,
+    Yield,
+}
+
+/// The interpreter.
+pub struct Vm {
+    module: Rc<Module>,
+    pool: PmPool,
+    mem: VolMem,
+    global_offsets: Vec<u64>,
+    threads: Vec<Thread>,
+    free_tids: Vec<u32>,
+    mutexes: HashMap<u64, MutexState>,
+    /// Logical clock readable by programs via the `clock` intrinsic.
+    pub clock: u64,
+    trace: Vec<(u64, u64)>,
+    log: Vec<u64>,
+    crashes: Vec<CrashAt>,
+    flips: Vec<FlipAt>,
+    steps_total: u64,
+    opts: VmOpts,
+}
+
+impl Vm {
+    /// Creates a VM for `module` over `pool`.
+    pub fn new(module: Rc<Module>, pool: PmPool, opts: VmOpts) -> Self {
+        let mut global_offsets = Vec::with_capacity(module.globals.len());
+        let mut off = 0u64;
+        for g in &module.globals {
+            global_offsets.push(off);
+            off += g.size.div_ceil(16) * 16;
+        }
+        Vm {
+            mem: VolMem::new(off),
+            module,
+            pool,
+            global_offsets,
+            threads: Vec::new(),
+            free_tids: Vec::new(),
+            mutexes: HashMap::new(),
+            clock: 0,
+            trace: Vec::new(),
+            log: Vec::new(),
+            crashes: Vec::new(),
+            flips: Vec::new(),
+            steps_total: 0,
+            opts: VmOpts::default(),
+        }
+        .with_opts(opts)
+    }
+
+    fn with_opts(mut self, opts: VmOpts) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// The module being executed.
+    pub fn module(&self) -> &Rc<Module> {
+        &self.module
+    }
+
+    /// Mutable access to the pool (drivers attach sinks, inspect state).
+    pub fn pool_mut(&mut self) -> &mut PmPool {
+        &mut self.pool
+    }
+
+    /// Shared access to the pool.
+    pub fn pool(&self) -> &PmPool {
+        &self.pool
+    }
+
+    /// Clean shutdown: drops volatile state, returns the pool (unflushed
+    /// cache lines are *not* lost — the process exited, the machine did
+    /// not).
+    pub fn into_pool(self) -> PmPool {
+        self.pool
+    }
+
+    /// Simulated crash: non-durable PM state is discarded per the device's
+    /// crash policy, and the pool is returned for a later restart.
+    pub fn crash(mut self) -> PmPool {
+        self.pool.crash_and_reopen().expect("pool recovery");
+        self.pool
+    }
+
+    /// Registers a crash injection.
+    pub fn inject_crash(&mut self, at: InstRef, nth: u64) {
+        self.crashes.push(CrashAt { at, nth, seen: 0 });
+    }
+
+    /// Registers a bit-flip injection: just before the `nth` execution of
+    /// `at`, flip `bit` of the durable PM byte at pool offset `offset`.
+    pub fn inject_bitflip(&mut self, at: InstRef, nth: u64, offset: u64, bit: u8) {
+        self.flips.push(FlipAt {
+            at,
+            nth,
+            offset,
+            bit,
+            seen: 0,
+        });
+    }
+
+    /// Drains the PM address trace collected via the `trace` intrinsic.
+    pub fn take_trace(&mut self) -> Vec<(u64, u64)> {
+        std::mem::take(&mut self.trace)
+    }
+
+    /// Number of buffered trace records.
+    pub fn trace_len(&self) -> usize {
+        self.trace.len()
+    }
+
+    /// Drains the debug print log.
+    pub fn take_log(&mut self) -> Vec<u64> {
+        std::mem::take(&mut self.log)
+    }
+
+    /// Total steps executed over the VM's lifetime.
+    pub fn steps_total(&self) -> u64 {
+        self.steps_total
+    }
+
+    /// Address of a global by name (host-side inspection).
+    pub fn global_addr_of(&self, name: &str) -> Option<u64> {
+        self.module
+            .globals
+            .iter()
+            .position(|g| g.name == name)
+            .map(|i| GLOBALS_BASE + self.global_offsets[i])
+    }
+
+    /// Host-side memory read across all address spaces.
+    pub fn read_mem(&mut self, addr: u64, len: u64) -> Result<Vec<u8>, Trap> {
+        self.mread(addr, len)
+    }
+
+    /// Host-side u64 read.
+    pub fn read_u64(&mut self, addr: u64) -> Result<u64, Trap> {
+        let b = self.mread(addr, 8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    /// Host-side memory write across all address spaces.
+    pub fn write_mem(&mut self, addr: u64, bytes: &[u8]) -> Result<(), Trap> {
+        self.mwrite(addr, bytes)
+    }
+
+    /// Calls `name` with `args` and runs (all threads, round-robin) until
+    /// the call returns, traps or exhausts the step budget.
+    pub fn call(&mut self, name: &str, args: &[u64]) -> Result<Option<u64>, VmError> {
+        let fid = self.module.func_by_name(name).ok_or_else(|| VmError {
+            trap: Trap::Misc(format!("no function named {name}")),
+            at: None,
+            loc: String::new(),
+            stack: Vec::new(),
+            step: 0,
+        })?;
+        let func = self.module.func(fid);
+        if func.n_params as usize != args.len() {
+            return Err(VmError {
+                trap: Trap::Misc(format!(
+                    "call {name}: {} args supplied, {} expected",
+                    args.len(),
+                    func.n_params
+                )),
+                at: None,
+                loc: String::new(),
+                stack: Vec::new(),
+                step: 0,
+            });
+        }
+        let has_ret = func.has_ret;
+        self.recycle_finished();
+        let tid = self.new_thread(fid, args.to_vec(), None);
+        let res = self.run_scheduler(Some(tid), self.opts.step_limit);
+        match res {
+            Ok(()) => {
+                let t = &self.threads[tid as usize];
+                Ok(has_ret.then_some(t.result))
+            }
+            Err(e) => {
+                // The process would have died; quiesce all threads.
+                for t in &mut self.threads {
+                    t.state = ThreadState::Finished;
+                    t.frames.clear();
+                }
+                self.mutexes.clear();
+                Err(e)
+            }
+        }
+    }
+
+    /// Runs background threads (e.g. an async free worker) for up to
+    /// `steps` instructions without a foreground call.
+    pub fn idle(&mut self, steps: u64) -> Result<(), VmError> {
+        match self.run_scheduler(None, steps) {
+            Err(e) if matches!(e.trap, Trap::StepLimit) => Ok(()),
+            other => other,
+        }
+    }
+
+    /// Whether any non-finished background thread exists.
+    pub fn has_live_threads(&self) -> bool {
+        self.threads
+            .iter()
+            .any(|t| t.state != ThreadState::Finished)
+    }
+
+    fn recycle_finished(&mut self) {
+        for (i, t) in self.threads.iter_mut().enumerate() {
+            if t.state == ThreadState::Finished && !t.frames.is_empty() {
+                t.frames.clear();
+            }
+            if t.state == ThreadState::Finished && !self.free_tids.contains(&(i as u32)) {
+                self.free_tids.push(i as u32);
+            }
+        }
+    }
+
+    fn new_thread(&mut self, func: FuncId, args: Vec<u64>, _parent: Option<u32>) -> u32 {
+        let tid = match self.free_tids.pop() {
+            Some(t) => {
+                self.mem.reset_stack(t);
+                t
+            }
+            None => {
+                let t = self.threads.len() as u32;
+                self.threads.push(Thread {
+                    frames: Vec::new(),
+                    state: ThreadState::Finished,
+                    stack_top: 0,
+                    result: 0,
+                });
+                self.mem.ensure_stack(t);
+                t
+            }
+        };
+        let regs = vec![0u64; self.module.func(func).insts.len()];
+        let t = &mut self.threads[tid as usize];
+        t.frames = vec![Frame {
+            func,
+            block: 0,
+            ip: 0,
+            regs,
+            args,
+            ret_to: None,
+            stack_mark: 0,
+        }];
+        t.state = ThreadState::Runnable;
+        t.stack_top = 0;
+        t.result = 0;
+        tid
+    }
+
+    fn run_scheduler(&mut self, main: Option<u32>, budget: u64) -> Result<(), VmError> {
+        let mut remaining = budget;
+        let mut rr = 0usize;
+        loop {
+            if let Some(m) = main {
+                if self.threads[m as usize].state == ThreadState::Finished {
+                    return Ok(());
+                }
+            }
+            let runnable: Vec<u32> = self
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.state == ThreadState::Runnable)
+                .map(|(i, _)| i as u32)
+                .collect();
+            if runnable.is_empty() {
+                if main.is_none() {
+                    return Ok(()); // idle: everyone blocked or done
+                }
+                let m = main.expect("checked");
+                return Err(self.error_at_thread(m, Trap::Deadlock));
+            }
+            let tid = runnable[rr % runnable.len()];
+            rr += 1;
+            let mut q = self.opts.quantum;
+            while q > 0 {
+                if remaining == 0 {
+                    let report = main.unwrap_or(tid);
+                    let report = if self.threads[report as usize].frames.is_empty() {
+                        tid
+                    } else {
+                        report
+                    };
+                    return Err(self.error_at_thread(report, Trap::StepLimit));
+                }
+                match self.exec_one(tid) {
+                    Ok(Flow::Next) | Ok(Flow::Stay) => {
+                        q -= 1;
+                        remaining -= 1;
+                        self.steps_total += 1;
+                    }
+                    Ok(Flow::Yield) => {
+                        remaining -= 1;
+                        self.steps_total += 1;
+                        break;
+                    }
+                    Ok(Flow::Blocked) | Ok(Flow::ThreadDone) => break,
+                    Err(e) => return Err(e),
+                }
+                if self.threads[tid as usize].state != ThreadState::Runnable {
+                    break;
+                }
+            }
+        }
+    }
+
+    fn cur_inst_ref(&self, tid: u32) -> Option<InstRef> {
+        let t = &self.threads[tid as usize];
+        let fr = t.frames.last()?;
+        let f = self.module.func(fr.func);
+        let b = f.blocks.get(fr.block as usize)?;
+        let ii = *b.insts.get(fr.ip as usize)?;
+        Some(InstRef {
+            func: fr.func,
+            inst: ii,
+        })
+    }
+
+    fn error_at_thread(&self, tid: u32, trap: Trap) -> VmError {
+        let at = self.cur_inst_ref(tid);
+        self.make_error(tid, trap, at)
+    }
+
+    fn make_error(&self, tid: u32, trap: Trap, at: Option<InstRef>) -> VmError {
+        let stack = self.threads[tid as usize]
+            .frames
+            .iter()
+            .map(|fr| self.module.func(fr.func).name.clone())
+            .collect();
+        let loc = at
+            .map(|a| self.module.loc_of(a).to_string())
+            .unwrap_or_default();
+        VmError {
+            trap,
+            at,
+            loc,
+            stack,
+            step: self.steps_total,
+        }
+    }
+
+    fn advance(&mut self, tid: u32) {
+        let fr = self.threads[tid as usize]
+            .frames
+            .last_mut()
+            .expect("live frame");
+        fr.ip += 1;
+    }
+
+    fn mread(&mut self, addr: u64, len: u64) -> Result<Vec<u8>, Trap> {
+        if is_pm(addr) {
+            self.pool
+                .read(pm_offset(addr), len)
+                .map_err(|_| Trap::Segfault { addr })
+        } else {
+            self.mem.read(addr, len).map_err(fault_to_trap)
+        }
+    }
+
+    fn mwrite(&mut self, addr: u64, bytes: &[u8]) -> Result<(), Trap> {
+        if is_pm(addr) {
+            self.pool
+                .write(pm_offset(addr), bytes)
+                .map_err(|_| Trap::Segfault { addr })
+        } else {
+            self.mem.write(addr, bytes).map_err(fault_to_trap)
+        }
+    }
+
+    fn exec_one(&mut self, tid: u32) -> Result<Flow, VmError> {
+        let module = self.module.clone();
+        let (func_id, block, ip) = {
+            let fr = self.threads[tid as usize].frames.last().expect("frame");
+            (fr.func, fr.block, fr.ip)
+        };
+        let f = module.func(func_id);
+        let ii = f.blocks[block as usize].insts[ip as usize];
+        let iref = InstRef {
+            func: func_id,
+            inst: ii,
+        };
+        // Crash injection.
+        if !self.crashes.is_empty() {
+            for c in &mut self.crashes {
+                if c.at == iref {
+                    c.seen += 1;
+                    if c.seen == c.nth {
+                        let e = self.make_error(tid, Trap::InjectedCrash, Some(iref));
+                        return Err(e);
+                    }
+                }
+            }
+        }
+        // Bit-flip injection.
+        if !self.flips.is_empty() {
+            let mut due: Vec<(u64, u8)> = Vec::new();
+            for fl in &mut self.flips {
+                if fl.at == iref {
+                    fl.seen += 1;
+                    if fl.seen == fl.nth {
+                        due.push((fl.offset, fl.bit));
+                    }
+                }
+            }
+            for (offset, bit) in due {
+                let _ = self.pool.corrupt_bit(offset, bit);
+            }
+        }
+        let op = &f.insts[ii as usize].op;
+        macro_rules! reg {
+            ($v:expr) => {
+                self.threads[tid as usize]
+                    .frames
+                    .last()
+                    .expect("frame")
+                    .regs[$v.0 as usize]
+            };
+        }
+        macro_rules! setreg {
+            ($val:expr) => {{
+                let v = $val;
+                self.threads[tid as usize]
+                    .frames
+                    .last_mut()
+                    .expect("frame")
+                    .regs[ii as usize] = v;
+            }};
+        }
+        macro_rules! trap {
+            ($t:expr) => {
+                return Err(self.make_error(tid, $t, Some(iref)))
+            };
+        }
+        macro_rules! try_mem {
+            ($e:expr) => {
+                match $e {
+                    Ok(v) => v,
+                    Err(t) => trap!(t),
+                }
+            };
+        }
+        match op {
+            Op::Param(i) => {
+                let v = self.threads[tid as usize]
+                    .frames
+                    .last()
+                    .expect("frame")
+                    .args[*i as usize];
+                setreg!(v);
+            }
+            Op::Const(c) => setreg!(*c),
+            Op::Bin(bop, a, b) => {
+                let (x, y) = (reg!(a), reg!(b));
+                let v = match bop {
+                    BinOp::Add => x.wrapping_add(y),
+                    BinOp::Sub => x.wrapping_sub(y),
+                    BinOp::Mul => x.wrapping_mul(y),
+                    BinOp::UDiv => {
+                        if y == 0 {
+                            trap!(Trap::DivByZero)
+                        }
+                        x / y
+                    }
+                    BinOp::URem => {
+                        if y == 0 {
+                            trap!(Trap::DivByZero)
+                        }
+                        x % y
+                    }
+                    BinOp::And => x & y,
+                    BinOp::Or => x | y,
+                    BinOp::Xor => x ^ y,
+                    BinOp::Shl => x.wrapping_shl((y & 63) as u32),
+                    BinOp::LShr => x.wrapping_shr((y & 63) as u32),
+                };
+                setreg!(v);
+            }
+            Op::Cmp(cop, a, b) => {
+                let (x, y) = (reg!(a), reg!(b));
+                let v = match cop {
+                    CmpOp::Eq => x == y,
+                    CmpOp::Ne => x != y,
+                    CmpOp::ULt => x < y,
+                    CmpOp::ULe => x <= y,
+                    CmpOp::UGt => x > y,
+                    CmpOp::UGe => x >= y,
+                    CmpOp::SLt => (x as i64) < (y as i64),
+                    CmpOp::SGt => (x as i64) > (y as i64),
+                };
+                setreg!(v as u64);
+            }
+            Op::Select(c, a, b) => {
+                let v = if reg!(c) != 0 { reg!(a) } else { reg!(b) };
+                setreg!(v);
+            }
+            Op::Alloca { size } => {
+                let t = &mut self.threads[tid as usize];
+                let top = t.stack_top.div_ceil(16) * 16;
+                if top + size > STACK_SIZE {
+                    trap!(Trap::StackOverflow);
+                }
+                t.stack_top = top + size;
+                let addr = STACK_BASE + tid as u64 * STACK_SIZE + top;
+                setreg!(addr);
+            }
+            Op::Load { addr, size } => {
+                let a = reg!(addr);
+                let bytes = try_mem!(self.mread(a, *size as u64));
+                let mut buf = [0u8; 8];
+                buf[..bytes.len()].copy_from_slice(&bytes);
+                setreg!(u64::from_le_bytes(buf));
+            }
+            Op::Store { addr, val, size } => {
+                let a = reg!(addr);
+                let v = reg!(val);
+                let bytes = &v.to_le_bytes()[..*size as usize];
+                try_mem!(self.mwrite(a, bytes));
+            }
+            Op::Gep { base, offset } => {
+                let b = reg!(base);
+                let off = match offset {
+                    GepOff::Const(c) => *c as u64,
+                    GepOff::Dyn(v) => reg!(v),
+                };
+                setreg!(b.wrapping_add(off));
+            }
+            Op::Br(t) => {
+                let fr = self.threads[tid as usize].frames.last_mut().expect("frame");
+                fr.block = t.0;
+                fr.ip = 0;
+                return Ok(Flow::Stay);
+            }
+            Op::CondBr { cond, then_, else_ } => {
+                let c = reg!(cond);
+                let fr = self.threads[tid as usize].frames.last_mut().expect("frame");
+                fr.block = if c != 0 { then_.0 } else { else_.0 };
+                fr.ip = 0;
+                return Ok(Flow::Stay);
+            }
+            Op::Ret(v) => {
+                let rv = v.map(|v| reg!(v)).unwrap_or(0);
+                return Ok(self.do_return(tid, rv));
+            }
+            Op::Call { func, args } => {
+                let argv: Vec<u64> = args.iter().map(|a| reg!(a)).collect();
+                return self.do_call(tid, *func, argv, ii, iref);
+            }
+            Op::CallIndirect { target, args } => {
+                let tv = reg!(target);
+                if tv & FUNC_TAG == 0 {
+                    trap!(Trap::Segfault { addr: tv });
+                }
+                let fid = FuncId((tv & !FUNC_TAG) as u32);
+                if fid.0 as usize >= module.funcs.len() {
+                    trap!(Trap::Segfault { addr: tv });
+                }
+                let argv: Vec<u64> = args.iter().map(|a| reg!(a)).collect();
+                if argv.len() != module.func(fid).n_params as usize {
+                    trap!(Trap::Misc("indirect call arity mismatch".into()));
+                }
+                return self.do_call(tid, fid, argv, ii, iref);
+            }
+            Op::FuncAddr(fid) => setreg!(FUNC_TAG | fid.0 as u64),
+            Op::GlobalAddr(g) => setreg!(GLOBALS_BASE + self.global_offsets[g.0 as usize]),
+            Op::Unreachable => trap!(Trap::Misc("unreachable executed".into())),
+            Op::Intr { intr, args } => {
+                let argv: Vec<u64> = args.iter().map(|a| reg!(a)).collect();
+                return self.do_intrinsic(tid, *intr, &argv, ii, iref);
+            }
+        }
+        self.advance(tid);
+        Ok(Flow::Next)
+    }
+
+    fn do_return(&mut self, tid: u32, value: u64) -> Flow {
+        let t = &mut self.threads[tid as usize];
+        let done = t.frames.pop().expect("frame");
+        t.stack_top = done.stack_mark;
+        match t.frames.last_mut() {
+            Some(parent) => {
+                if let Some(ret_to) = done.ret_to {
+                    parent.regs[ret_to as usize] = value;
+                }
+                Flow::Next
+            }
+            None => {
+                t.result = value;
+                t.state = ThreadState::Finished;
+                // Wake joiners.
+                let waiting: Vec<u32> = self
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, w)| w.state == ThreadState::BlockedJoin(tid))
+                    .map(|(i, _)| i as u32)
+                    .collect();
+                for w in waiting {
+                    self.threads[w as usize].state = ThreadState::Runnable;
+                    self.advance(w);
+                }
+                Flow::ThreadDone
+            }
+        }
+    }
+
+    fn do_call(
+        &mut self,
+        tid: u32,
+        fid: FuncId,
+        args: Vec<u64>,
+        call_inst: u32,
+        iref: InstRef,
+    ) -> Result<Flow, VmError> {
+        if self.threads[tid as usize].frames.len() >= self.opts.max_depth {
+            return Err(self.make_error(tid, Trap::StackOverflow, Some(iref)));
+        }
+        // Resume after the call on return.
+        self.advance(tid);
+        let regs = vec![0u64; self.module.func(fid).insts.len()];
+        let t = &mut self.threads[tid as usize];
+        let mark = t.stack_top;
+        t.frames.push(Frame {
+            func: fid,
+            block: 0,
+            ip: 0,
+            regs,
+            args,
+            ret_to: Some(call_inst),
+            stack_mark: mark,
+        });
+        Ok(Flow::Stay)
+    }
+
+    fn do_intrinsic(
+        &mut self,
+        tid: u32,
+        intr: Intrinsic,
+        args: &[u64],
+        ii: u32,
+        iref: InstRef,
+    ) -> Result<Flow, VmError> {
+        macro_rules! trap {
+            ($t:expr) => {
+                return Err(self.make_error(tid, $t, Some(iref)))
+            };
+        }
+        macro_rules! setreg {
+            ($val:expr) => {{
+                let v = $val;
+                self.threads[tid as usize]
+                    .frames
+                    .last_mut()
+                    .expect("frame")
+                    .regs[ii as usize] = v;
+            }};
+        }
+        match intr {
+            Intrinsic::PmRoot => {
+                let size = args[0];
+                match self.pool.root(size) {
+                    Ok(off) => setreg!(pm_addr(off)),
+                    Err(PmError::OutOfPmSpace { .. }) => setreg!(0),
+                    Err(e) => trap!(Trap::Misc(format!("pm_root: {e}"))),
+                }
+            }
+            Intrinsic::PmAlloc => {
+                let size = args[0];
+                match self.pool.alloc(size) {
+                    Ok(off) => setreg!(pm_addr(off)),
+                    Err(PmError::OutOfPmSpace { .. }) => setreg!(0),
+                    Err(e) => trap!(Trap::Misc(format!("pm_alloc: {e}"))),
+                }
+            }
+            Intrinsic::PmFree => {
+                let a = args[0];
+                if !is_pm(a) {
+                    trap!(Trap::BadFree { addr: a });
+                }
+                match self.pool.free(pm_offset(a)) {
+                    Ok(()) => {}
+                    Err(PmError::DoubleFree { .. }) | Err(PmError::NotAllocated { .. }) => {
+                        trap!(Trap::BadFree { addr: a })
+                    }
+                    Err(e) => trap!(Trap::Misc(format!("pm_free: {e}"))),
+                }
+            }
+            Intrinsic::PmPersist => {
+                let (a, len) = (args[0], args[1]);
+                if !is_pm(a) {
+                    trap!(Trap::Segfault { addr: a });
+                }
+                if self.pool.persist(pm_offset(a), len).is_err() {
+                    trap!(Trap::Segfault { addr: a });
+                }
+            }
+            Intrinsic::PmFlush => {
+                let (a, len) = (args[0], args[1]);
+                if !is_pm(a) || self.pool.flush_range(pm_offset(a), len).is_err() {
+                    trap!(Trap::Segfault { addr: a });
+                }
+            }
+            Intrinsic::PmDrain => self.pool.drain_fence(),
+            Intrinsic::PmTxBegin => match self.pool.tx_begin() {
+                Ok(id) => setreg!(id),
+                Err(e) => trap!(Trap::Misc(format!("tx_begin: {e}"))),
+            },
+            Intrinsic::PmTxAdd => {
+                let (a, len) = (args[0], args[1]);
+                if !is_pm(a) {
+                    trap!(Trap::Segfault { addr: a });
+                }
+                if let Err(e) = self.pool.tx_add(pm_offset(a), len) {
+                    trap!(Trap::Misc(format!("tx_add: {e}")));
+                }
+            }
+            Intrinsic::PmTxCommit => {
+                if let Err(e) = self.pool.tx_commit() {
+                    trap!(Trap::Misc(format!("tx_commit: {e}")));
+                }
+            }
+            Intrinsic::PmTxAbort => {
+                if let Err(e) = self.pool.tx_abort() {
+                    trap!(Trap::Misc(format!("tx_abort: {e}")));
+                }
+            }
+            Intrinsic::RecoverBegin => self.pool.recover_begin(),
+            Intrinsic::RecoverEnd => self.pool.recover_end(),
+            Intrinsic::Malloc => {
+                let a = self.mem.malloc(args[0]);
+                setreg!(a);
+            }
+            Intrinsic::VFree => {
+                if let Err(f) = self.mem.free(args[0]) {
+                    trap!(fault_to_trap(f));
+                }
+            }
+            Intrinsic::Memcpy => {
+                let (dst, src, len) = (args[0], args[1], args[2]);
+                if len > (16 << 20) {
+                    trap!(Trap::Segfault { addr: src });
+                }
+                let data = match self.mread(src, len) {
+                    Ok(d) => d,
+                    Err(t) => trap!(t),
+                };
+                if let Err(t) = self.mwrite(dst, &data) {
+                    trap!(t);
+                }
+            }
+            Intrinsic::Memset => {
+                let (dst, byte, len) = (args[0], args[1], args[2]);
+                if len > (16 << 20) {
+                    trap!(Trap::Segfault { addr: dst });
+                }
+                if let Err(t) = self.mwrite(dst, &vec![byte as u8; len as usize]) {
+                    trap!(t);
+                }
+            }
+            Intrinsic::Memcmp => {
+                let (a, b, len) = (args[0], args[1], args[2]);
+                let x = match self.mread(a, len) {
+                    Ok(d) => d,
+                    Err(t) => trap!(t),
+                };
+                let y = match self.mread(b, len) {
+                    Ok(d) => d,
+                    Err(t) => trap!(t),
+                };
+                setreg!((x != y) as u64);
+            }
+            Intrinsic::Assert => {
+                if args[0] == 0 {
+                    trap!(Trap::AssertFail { code: args[1] });
+                }
+            }
+            Intrinsic::Abort => trap!(Trap::Abort { code: args[0] }),
+            Intrinsic::Print => self.log.push(args[0]),
+            Intrinsic::Trace => self.trace.push((args[0], args[1])),
+            Intrinsic::Clock => setreg!(self.clock),
+            Intrinsic::Spawn => {
+                let (faddr, arg) = (args[0], args[1]);
+                if faddr & FUNC_TAG == 0 {
+                    trap!(Trap::Segfault { addr: faddr });
+                }
+                let fid = FuncId((faddr & !FUNC_TAG) as u32);
+                if fid.0 as usize >= self.module.funcs.len() || self.module.func(fid).n_params != 1
+                {
+                    trap!(Trap::Misc("spawn target must take 1 parameter".into()));
+                }
+                if self.threads.len() >= 64 && self.free_tids.is_empty() {
+                    trap!(Trap::Misc("too many threads".into()));
+                }
+                let new_tid = self.new_thread(fid, vec![arg], Some(tid));
+                setreg!(new_tid as u64);
+            }
+            Intrinsic::Join => {
+                let target = args[0] as u32;
+                if target as usize >= self.threads.len() {
+                    trap!(Trap::Misc("join of unknown thread".into()));
+                }
+                if self.threads[target as usize].state != ThreadState::Finished {
+                    self.threads[tid as usize].state = ThreadState::BlockedJoin(target);
+                    return Ok(Flow::Blocked);
+                }
+            }
+            Intrinsic::MutexLock => {
+                let addr = args[0];
+                let m = self.mutexes.entry(addr).or_default();
+                match m.owner {
+                    None => m.owner = Some(tid),
+                    Some(o) if o == tid => {
+                        // Non-recursive: self-deadlock.
+                        trap!(Trap::Deadlock);
+                    }
+                    Some(_) => {
+                        m.waiters.push_back(tid);
+                        self.threads[tid as usize].state = ThreadState::BlockedMutex(addr);
+                        return Ok(Flow::Blocked);
+                    }
+                }
+            }
+            Intrinsic::MutexUnlock => {
+                let addr = args[0];
+                let m = self.mutexes.entry(addr).or_default();
+                if m.owner != Some(tid) {
+                    trap!(Trap::Misc("unlock of mutex not held".into()));
+                }
+                match m.waiters.pop_front() {
+                    Some(w) => {
+                        m.owner = Some(w);
+                        self.threads[w as usize].state = ThreadState::Runnable;
+                        self.advance(w);
+                    }
+                    None => m.owner = None,
+                }
+            }
+            Intrinsic::Yield => {
+                self.advance(tid);
+                return Ok(Flow::Yield);
+            }
+            Intrinsic::PmBase => setreg!(pm_addr(0)),
+            Intrinsic::PmAvail => {
+                let free = self.pool.free_bytes().unwrap_or(0);
+                setreg!(free);
+            }
+        }
+        self.advance(tid);
+        Ok(Flow::Next)
+    }
+}
+
+fn fault_to_trap(f: MemFault) -> Trap {
+    match f {
+        MemFault::Segfault { addr, .. } => Trap::Segfault { addr },
+        MemFault::BadFree { addr } => Trap::BadFree { addr },
+    }
+}

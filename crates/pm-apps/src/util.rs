@@ -1,0 +1,66 @@
+//! Helpers for locating instructions in built application modules.
+//!
+//! Fault scenarios need to name specific instructions (crash-injection
+//! points, fault hints for wrong-result failures). Applications label the
+//! relevant program points with [`pir::builder::FuncBuilder::loc`] source
+//! labels; these helpers resolve a `(function, label, predicate)` triple to
+//! an [`InstRef`].
+
+use pir::ir::{InstRef, Module, Op};
+
+/// Finds the first instruction in `func` carrying source label `loc` and
+/// matching `pred`.
+pub fn find_inst(
+    module: &Module,
+    func: &str,
+    loc: &str,
+    pred: impl Fn(&Op) -> bool,
+) -> Option<InstRef> {
+    let fid = module.func_by_name(func)?;
+    let f = module.func(fid);
+    (0..f.insts.len() as u32)
+        .map(|i| InstRef { func: fid, inst: i })
+        .find(|r| module.loc_of(*r) == loc && pred(&module.inst(*r).op))
+}
+
+/// Finds the first instruction in `func` matching `pred`, regardless of
+/// label.
+pub fn find_inst_any(module: &Module, func: &str, pred: impl Fn(&Op) -> bool) -> Option<InstRef> {
+    let fid = module.func_by_name(func)?;
+    let f = module.func(fid);
+    (0..f.insts.len() as u32)
+        .map(|i| InstRef { func: fid, inst: i })
+        .find(|r| pred(&module.inst(*r).op))
+}
+
+/// Matches any store instruction.
+pub fn is_store(op: &Op) -> bool {
+    matches!(op, Op::Store { .. })
+}
+
+/// Matches any load instruction.
+pub fn is_load(op: &Op) -> bool {
+    matches!(op, Op::Load { .. })
+}
+
+/// Matches the `assert` intrinsic.
+pub fn is_assert(op: &Op) -> bool {
+    matches!(
+        op,
+        Op::Intr {
+            intr: pir::ir::Intrinsic::Assert,
+            ..
+        }
+    )
+}
+
+/// Matches the `pm_persist` intrinsic.
+pub fn is_persist(op: &Op) -> bool {
+    matches!(
+        op,
+        Op::Intr {
+            intr: pir::ir::Intrinsic::PmPersist,
+            ..
+        }
+    )
+}

@@ -1,0 +1,508 @@
+//! # pm-study — the paper's empirical study of PM hard faults (§2)
+//!
+//! The paper characterises the *soft-to-hard fault transformation* with 28
+//! real-world bugs: 8 found in new PM systems (CCEH, Dash, PMEMKV,
+//! Level Hashing, RECIPE) and 20 historical bugs from Redis and Memcached
+//! reproduced in their PM ports (Table 1). This crate encodes that study
+//! dataset with the classifications the paper reports, and reproduces its
+//! summary statistics:
+//!
+//! - Table 1 — bug counts per system;
+//! - Figure 2 — root-cause distribution (logic error 46%, race condition
+//!   18%, integer overflow / buffer overflow / memory leak 11% each,
+//!   hardware fault 4%);
+//! - Figure 3 — consequence distribution (repeated crash 32%, wrong
+//!   result 21%, persistent leak 14%, repeated hang 11%, corruption /
+//!   out-of-space / data loss 7% each);
+//! - §2.6 — fault-propagation patterns (Type I 18%, Type II 68%,
+//!   Type III 14%).
+//!
+//! The paper does not enumerate all 28 bugs individually; the per-bug
+//! descriptions here are reconstructions consistent with the paper's
+//! examples (§2.3) and with every aggregate it reports — the aggregates,
+//! not the individual rows, are the reproduced artifact.
+
+use std::collections::BTreeMap;
+
+/// Root-cause categories (Figure 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RootCause {
+    /// Wrong program logic assigning bad values.
+    LogicError,
+    /// Unchecked integer arithmetic wrapping.
+    IntegerOverflow,
+    /// Concurrency bug (race / ordering).
+    RaceCondition,
+    /// Out-of-bounds write from unexpected input.
+    BufferOverflow,
+    /// Transient hardware corruption (bit flip).
+    HardwareFault,
+    /// Missing free of a persistent object.
+    MemoryLeak,
+}
+
+/// Failure consequences (Figure 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Consequence {
+    /// Crash that recurs across restarts.
+    RepeatedCrash,
+    /// Wrong results returned to clients.
+    WrongResult,
+    /// Durable structure corruption.
+    Corruption,
+    /// PM space exhaustion.
+    OutOfSpace,
+    /// Hang that recurs across restarts.
+    RepeatedHang,
+    /// Permanently leaked persistent memory.
+    PersistentLeak,
+    /// Acknowledged data disappears.
+    DataLoss,
+}
+
+/// Fault-propagation patterns (§2.6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Propagation {
+    /// A persistent variable's bad value directly causes the failure.
+    TypeI,
+    /// A bad value propagates across volatile and persistent variables
+    /// before causing the failure.
+    TypeII,
+    /// Persistent variables misused without bad values (e.g. leaks).
+    TypeIII,
+}
+
+/// Whether the bug was found in a new PM system or a ported one (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SystemKind {
+    /// Built for PM from the start.
+    New,
+    /// Mature system ported to PM.
+    Ported,
+}
+
+/// One studied bug.
+#[derive(Debug, Clone)]
+pub struct StudyBug {
+    /// Sequential id within the study.
+    pub id: u32,
+    /// System the bug belongs to.
+    pub system: &'static str,
+    /// New vs ported system.
+    pub kind: SystemKind,
+    /// Short description.
+    pub description: &'static str,
+    /// Root cause class.
+    pub root_cause: RootCause,
+    /// Consequence class.
+    pub consequence: Consequence,
+    /// Propagation pattern.
+    pub propagation: Propagation,
+}
+
+macro_rules! bug {
+    ($id:expr, $sys:expr, $kind:ident, $desc:expr, $rc:ident, $cq:ident, $ty:ident) => {
+        StudyBug {
+            id: $id,
+            system: $sys,
+            kind: SystemKind::$kind,
+            description: $desc,
+            root_cause: RootCause::$rc,
+            consequence: Consequence::$cq,
+            propagation: Propagation::$ty,
+        }
+    };
+}
+
+/// The 28-bug study dataset.
+pub fn dataset() -> Vec<StudyBug> {
+    vec![
+        // --- new PM systems (8) -------------------------------------------------
+        bug!(
+            1,
+            "CCEH",
+            New,
+            "directory doubling leaves a stale global depth after an untimely crash",
+            LogicError,
+            RepeatedHang,
+            TypeII
+        ),
+        bug!(
+            2,
+            "Dash",
+            New,
+            "segment split persists the displacement flag before the moved slots",
+            LogicError,
+            RepeatedCrash,
+            TypeII
+        ),
+        bug!(
+            3,
+            "PMEMKV",
+            New,
+            "asynchronous lazy free loses the pending-free queue across a crash",
+            MemoryLeak,
+            PersistentLeak,
+            TypeIII
+        ),
+        bug!(
+            4,
+            "PMEMKV",
+            New,
+            "iterator keeps a reference to a leaf freed by a concurrent delete",
+            RaceCondition,
+            RepeatedCrash,
+            TypeII
+        ),
+        bug!(
+            5,
+            "Level Hashing",
+            New,
+            "resize persists the level pointer before migrating the items",
+            LogicError,
+            Corruption,
+            TypeII
+        ),
+        bug!(
+            6,
+            "Level Hashing",
+            New,
+            "slot bitmap not cleared after a failed insertion path",
+            LogicError,
+            WrongResult,
+            TypeII
+        ),
+        bug!(
+            7,
+            "RECIPE",
+            New,
+            "P-CLHT persists a lock word in the held state",
+            RaceCondition,
+            RepeatedHang,
+            TypeII
+        ),
+        bug!(
+            8,
+            "RECIPE",
+            New,
+            "P-ART node split forgets to free the replaced child",
+            MemoryLeak,
+            PersistentLeak,
+            TypeIII
+        ),
+        // --- Memcached, PM port (9) ----------------------------------------------
+        bug!(
+            9,
+            "Memcached",
+            Ported,
+            "item refcount incremented without overflow check; freed item stays linked",
+            IntegerOverflow,
+            RepeatedHang,
+            TypeII
+        ),
+        bug!(
+            10,
+            "Memcached",
+            Ported,
+            "flush_all at a future time removes valid items immediately",
+            LogicError,
+            DataLoss,
+            TypeII
+        ),
+        bug!(
+            11,
+            "Memcached",
+            Ported,
+            "hash-table expansion races with concurrent inserts",
+            RaceCondition,
+            WrongResult,
+            TypeII
+        ),
+        bug!(
+            12,
+            "Memcached",
+            Ported,
+            "integer overflow in append corrupts the persisted chain pointer",
+            IntegerOverflow,
+            RepeatedCrash,
+            TypeI
+        ),
+        bug!(
+            13,
+            "Memcached",
+            Ported,
+            "bit flip in the persistent rehashing flag routes lookups to a stale table",
+            HardwareFault,
+            DataLoss,
+            TypeII
+        ),
+        bug!(
+            14,
+            "Memcached",
+            Ported,
+            "LRU crawler misaccounts reclaimed bytes in persistent stats",
+            LogicError,
+            WrongResult,
+            TypeII
+        ),
+        bug!(
+            15,
+            "Memcached",
+            Ported,
+            "slab rebalance moves a live item while a reader holds it",
+            RaceCondition,
+            Corruption,
+            TypeII
+        ),
+        bug!(
+            16,
+            "Memcached",
+            Ported,
+            "per-reload stats structures allocated in PM are never freed",
+            MemoryLeak,
+            PersistentLeak,
+            TypeIII
+        ),
+        bug!(
+            17,
+            "Memcached",
+            Ported,
+            "negative expiration time wraps to a far-future timestamp",
+            IntegerOverflow,
+            WrongResult,
+            TypeII
+        ),
+        // --- Redis, PM port (11) ---------------------------------------------------
+        bug!(
+            18,
+            "Redis",
+            Ported,
+            "listpack encoder truncates entry lengths past 4096 bytes",
+            BufferOverflow,
+            RepeatedCrash,
+            TypeI
+        ),
+        bug!(
+            19,
+            "Redis",
+            Ported,
+            "slowlog trimming unlinks entries without freeing them",
+            LogicError,
+            PersistentLeak,
+            TypeIII
+        ),
+        bug!(
+            20,
+            "Redis",
+            Ported,
+            "shared-object refcount logic error unlinks a held object",
+            LogicError,
+            RepeatedCrash,
+            TypeII
+        ),
+        bug!(
+            21,
+            "Redis",
+            Ported,
+            "ziplist prevlen cascade update writes past the allocation",
+            BufferOverflow,
+            RepeatedCrash,
+            TypeI
+        ),
+        bug!(
+            22,
+            "Redis",
+            Ported,
+            "SDS header miscast reads a 32-bit length as 8-bit",
+            BufferOverflow,
+            RepeatedCrash,
+            TypeI
+        ),
+        bug!(
+            23,
+            "Redis",
+            Ported,
+            "dict rehash index left pointing into the retired table",
+            LogicError,
+            RepeatedCrash,
+            TypeII
+        ),
+        bug!(
+            24,
+            "Redis",
+            Ported,
+            "expiration uses the wrong clock source after restore",
+            LogicError,
+            WrongResult,
+            TypeII
+        ),
+        bug!(
+            25,
+            "Redis",
+            Ported,
+            "AOF-rewrite state flag persisted mid-rewrite confuses recovery",
+            LogicError,
+            WrongResult,
+            TypeII
+        ),
+        bug!(
+            26,
+            "Redis",
+            Ported,
+            "quicklist node count corrupted by a partially persisted update",
+            LogicError,
+            RepeatedCrash,
+            TypeI
+        ),
+        bug!(
+            27,
+            "Redis",
+            Ported,
+            "replication backlog kept in PM grows without trimming",
+            LogicError,
+            OutOfSpace,
+            TypeII
+        ),
+        bug!(
+            28,
+            "Redis",
+            Ported,
+            "per-connection output buffers persisted and never reclaimed after aborts",
+            RaceCondition,
+            OutOfSpace,
+            TypeII
+        ),
+    ]
+}
+
+/// A labelled distribution with counts and percentages.
+pub type Distribution<K> = Vec<(K, usize, f64)>;
+
+fn distribution<K: Ord + Copy>(items: impl Iterator<Item = K>, total: usize) -> Distribution<K> {
+    let mut counts: BTreeMap<K, usize> = BTreeMap::new();
+    for k in items {
+        *counts.entry(k).or_insert(0) += 1;
+    }
+    counts
+        .into_iter()
+        .map(|(k, n)| (k, n, 100.0 * n as f64 / total as f64))
+        .collect()
+}
+
+/// Table 1: bug counts per system.
+pub fn table1() -> Vec<(&'static str, SystemKind, usize)> {
+    let data = dataset();
+    let mut counts: BTreeMap<&'static str, (SystemKind, usize)> = BTreeMap::new();
+    for b in &data {
+        let e = counts.entry(b.system).or_insert((b.kind, 0));
+        e.1 += 1;
+    }
+    counts.into_iter().map(|(s, (k, n))| (s, k, n)).collect()
+}
+
+/// Figure 2: root-cause distribution.
+pub fn figure2() -> Distribution<RootCause> {
+    let data = dataset();
+    let total = data.len();
+    distribution(data.iter().map(|b| b.root_cause), total)
+}
+
+/// Figure 3: consequence distribution.
+pub fn figure3() -> Distribution<Consequence> {
+    let data = dataset();
+    let total = data.len();
+    distribution(data.iter().map(|b| b.consequence), total)
+}
+
+/// §2.6: propagation-pattern distribution.
+pub fn propagation_types() -> Distribution<Propagation> {
+    let data = dataset();
+    let total = data.len();
+    distribution(data.iter().map(|b| b.propagation), total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_has_28_bugs() {
+        assert_eq!(dataset().len(), 28);
+    }
+
+    #[test]
+    fn table1_matches_paper() {
+        let t = table1();
+        let get = |s: &str| t.iter().find(|(n, _, _)| *n == s).map(|x| x.2).unwrap();
+        assert_eq!(get("CCEH"), 1);
+        assert_eq!(get("Dash"), 1);
+        assert_eq!(get("PMEMKV"), 2);
+        assert_eq!(get("Level Hashing"), 2);
+        assert_eq!(get("RECIPE"), 2);
+        assert_eq!(get("Memcached"), 9);
+        assert_eq!(get("Redis"), 11);
+        let new: usize = dataset()
+            .iter()
+            .filter(|b| b.kind == SystemKind::New)
+            .count();
+        assert_eq!(new, 8, "8 bugs from new PM systems");
+    }
+
+    #[test]
+    fn figure2_percentages_match_paper() {
+        let f = figure2();
+        let pct = |k: RootCause| {
+            f.iter()
+                .find(|(c, _, _)| *c == k)
+                .map(|x| x.2.round() as i64)
+                .unwrap_or(0)
+        };
+        assert_eq!(pct(RootCause::LogicError), 46);
+        assert_eq!(pct(RootCause::RaceCondition), 18);
+        assert_eq!(pct(RootCause::IntegerOverflow), 11);
+        assert_eq!(pct(RootCause::BufferOverflow), 11);
+        assert_eq!(pct(RootCause::MemoryLeak), 11);
+        assert_eq!(pct(RootCause::HardwareFault), 4);
+    }
+
+    #[test]
+    fn figure3_percentages_match_paper() {
+        let f = figure3();
+        let pct = |k: Consequence| {
+            f.iter()
+                .find(|(c, _, _)| *c == k)
+                .map(|x| x.2.round() as i64)
+                .unwrap_or(0)
+        };
+        assert_eq!(pct(Consequence::RepeatedCrash), 32);
+        assert_eq!(pct(Consequence::WrongResult), 21);
+        assert_eq!(pct(Consequence::PersistentLeak), 14);
+        assert_eq!(pct(Consequence::RepeatedHang), 11);
+        assert_eq!(pct(Consequence::Corruption), 7);
+        assert_eq!(pct(Consequence::OutOfSpace), 7);
+        assert_eq!(pct(Consequence::DataLoss), 7);
+    }
+
+    #[test]
+    fn propagation_matches_paper() {
+        let p = propagation_types();
+        let pct = |k: Propagation| {
+            p.iter()
+                .find(|(c, _, _)| *c == k)
+                .map(|x| x.2.round() as i64)
+                .unwrap_or(0)
+        };
+        assert_eq!(pct(Propagation::TypeII), 68);
+        assert_eq!(pct(Propagation::TypeI), 18);
+        assert_eq!(pct(Propagation::TypeIII), 14);
+    }
+
+    #[test]
+    fn leaks_are_type_iii() {
+        for b in dataset() {
+            if b.root_cause == RootCause::MemoryLeak {
+                assert_eq!(b.propagation, Propagation::TypeIII, "bug {}", b.id);
+            }
+        }
+    }
+}

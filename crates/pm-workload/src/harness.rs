@@ -1,0 +1,594 @@
+//! The experiment driver: runs a fault scenario to failure, then hands
+//! the broken pool to a mitigation solution and measures the result.
+//!
+//! The shape follows the paper's methodology (§6.1): each system runs for
+//! 300 logical seconds of workload, the bug's triggering condition is
+//! applied around the half-way point (or occurs naturally), restarts are
+//! attempted first (confirming the fault is *hard*), and then mitigation
+//! runs with either Arthas, pmCRIU (snapshots every 60 logical seconds)
+//! or ArCkpt.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::time::Duration;
+
+use arthas::{
+    analyze_and_instrument, CheckpointLog, Detector, FailureRecord, GuidMap, LeakMonitor, PmTrace,
+    Reactor, ReactorConfig, Target, Verdict,
+};
+use baselines::{ArCkpt, PmCriu};
+use pir::ir::Module;
+use pir::vm::{Trap, Vm, VmError, VmOpts};
+use pir_analysis::ModuleAnalysis;
+use pmemsim::PmPool;
+
+/// Default pool size for scenario runs.
+pub const POOL_SIZE: u64 = pmemsim::layout::HEAP_OFF + (8 << 20);
+/// Logical run length (the paper's 5 minutes).
+pub const RUN_TICKS: u64 = 300;
+/// pmCRIU snapshot interval (the paper's 1 minute).
+pub const CRIU_INTERVAL: u64 = 60;
+
+/// Cached per-application analyzer output shared by its scenarios.
+pub struct AppSetup {
+    /// The original module.
+    pub module: Rc<Module>,
+    /// The trace-instrumented module (what production runs).
+    pub instrumented: Rc<Module>,
+    /// Static analysis over the original module.
+    pub analysis: ModuleAnalysis,
+    /// GUID metadata.
+    pub guid_map: GuidMap,
+    /// Instrumentation wall time (Table 9).
+    pub instrument_time: Duration,
+}
+
+impl AppSetup {
+    /// Runs the analyzer pipeline over an application module.
+    pub fn new(module: Module) -> AppSetup {
+        let out = analyze_and_instrument(&module);
+        AppSetup {
+            module: Rc::new(module),
+            instrumented: Rc::new(out.instrumented),
+            analysis: out.analysis,
+            guid_map: out.guid_map,
+            instrument_time: out.instrument_time,
+        }
+    }
+}
+
+/// What the scenario's per-tick driver asks the harness to do next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Drive {
+    /// Keep going.
+    Continue,
+    /// Simulate a power failure now (the scenario's trigger needs one).
+    CrashNow,
+}
+
+/// Mutable per-run scenario context.
+pub struct RunCtx {
+    /// Run seed (used by randomized scenarios for trigger placement).
+    pub seed: u64,
+    /// Number of restarts so far.
+    pub restarts: u32,
+    /// Scenario scratch counters.
+    pub scratch: HashMap<&'static str, u64>,
+}
+
+impl RunCtx {
+    fn new(seed: u64) -> Self {
+        RunCtx {
+            seed,
+            restarts: 0,
+            scratch: HashMap::new(),
+        }
+    }
+
+    /// Adds `delta` to a named counter and returns the new value.
+    pub fn bump(&mut self, key: &'static str, delta: u64) -> u64 {
+        let e = self.scratch.entry(key).or_insert(0);
+        *e += delta;
+        *e
+    }
+
+    /// Reads a named counter.
+    pub fn get(&self, key: &'static str) -> u64 {
+        self.scratch.get(key).copied().unwrap_or(0)
+    }
+}
+
+/// A fault scenario: one row of the paper's Table 2.
+pub trait Scenario {
+    /// Scenario id, e.g. "f1".
+    fn id(&self) -> &'static str;
+    /// Target system name.
+    fn system(&self) -> &'static str;
+    /// Fault description (Table 2's "Fault" column).
+    fn fault(&self) -> &'static str;
+    /// Consequence (Table 2's "Consequence" column).
+    fn consequence(&self) -> &'static str;
+    /// Builds the application module.
+    fn build_module(&self) -> Module;
+    /// Name of the application's recovery function.
+    fn recover_call(&self) -> &'static str;
+    /// Called after every (re)start: set up injections, spawn workers.
+    fn on_start(&self, vm: &mut Vm, ctx: &mut RunCtx) {
+        let _ = (vm, ctx);
+    }
+    /// Drives one logical second of workload.
+    fn drive(&self, vm: &mut Vm, t: u64, ctx: &mut RunCtx) -> Result<Drive, VmError>;
+    /// Recovery + verification workload on a restarted instance;
+    /// `Ok(())` means the system is operational.
+    fn verify(&self, vm: &mut Vm) -> Result<(), FailureRecord>;
+    /// Domain consistency checks (Table 4); returns found issues.
+    fn consistency(&self, vm: &mut Vm) -> Vec<String>;
+    /// Application item count (data-loss accounting for pmCRIU).
+    fn count_items(&self, vm: &mut Vm) -> u64;
+    /// Whether the failure mode is a persistent leak.
+    fn is_leak(&self) -> bool {
+        false
+    }
+    /// Whether the trigger time is randomized across seeds (f5, f8).
+    fn randomized(&self) -> bool {
+        false
+    }
+    /// Whether this scenario can be detected by a checksum over PM values
+    /// (Table 7 / §6.6: only value-corrupting hardware faults can).
+    fn checksum_detectable(&self) -> bool {
+        false
+    }
+    /// Whether a common domain invariant check would flag the bad state
+    /// (Table 7).
+    fn invariant_detectable(&self) -> bool {
+        false
+    }
+}
+
+/// The broken system, ready for mitigation.
+pub struct Production {
+    /// The pool holding the bad persistent state.
+    pub pool: PmPool,
+    /// The checkpoint log accumulated during the run.
+    pub log: Rc<RefCell<CheckpointLog>>,
+    /// The dynamic PM address trace.
+    pub trace: PmTrace,
+    /// The detected failure.
+    pub failure: FailureRecord,
+    /// Items present just before the failure.
+    pub items_before: u64,
+    /// PM bytes allocated just before the failure.
+    pub allocated_before: u64,
+    /// pmCRIU snapshots taken during the run.
+    pub criu: PmCriu,
+    /// Restarts performed during production (detection).
+    pub restarts: u32,
+    /// Whether the detector flagged the failure as hard.
+    pub detected_hard: bool,
+}
+
+/// Which auxiliary machinery runs during production.
+#[derive(Debug, Clone, Copy)]
+pub struct RunConfig {
+    /// Attach the Arthas checkpoint sink.
+    pub checkpoint: bool,
+    /// Take pmCRIU snapshots.
+    pub criu: bool,
+    /// Seed for randomized scenarios.
+    pub seed: u64,
+    /// VM options.
+    pub vm: VmOpts,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            checkpoint: true,
+            criu: true,
+            seed: 1,
+            vm: VmOpts {
+                step_limit: 2_000_000,
+                ..VmOpts::default()
+            },
+        }
+    }
+}
+
+/// Runs a scenario's production phase to a detected hard failure.
+///
+/// Returns `None` when the workload completed with no (detected) failure —
+/// which would indicate a scenario bug in this reproduction.
+pub fn run_production(scn: &dyn Scenario, setup: &AppSetup, cfg: &RunConfig) -> Option<Production> {
+    let mut pool = Some(PmPool::create(POOL_SIZE).expect("create pool"));
+    let log = Rc::new(RefCell::new(CheckpointLog::new()));
+    let mut trace = PmTrace::new();
+    let mut criu = PmCriu::new(CRIU_INTERVAL);
+    let mut detector = Detector::new();
+    let mut leakmon = LeakMonitor::new();
+    let mut ctx = RunCtx::new(cfg.seed);
+
+    let mut t = 0u64;
+    let mut items_last = 0u64;
+    let mut alloc_last = 0u64;
+    'run: loop {
+        let mut vm = Vm::new(
+            setup.instrumented.clone(),
+            pool.take().expect("pool present"),
+            cfg.vm,
+        );
+        if cfg.checkpoint {
+            vm.pool_mut().set_sink(log.clone());
+        }
+        if ctx.restarts > 0 {
+            // Application recovery on restart.
+            if let Err(e) = vm.call(scn.recover_call(), &[]) {
+                // Recovery itself failing is a failure observation.
+                let rec = FailureRecord::from_vm(&e);
+                trace.absorb(vm.take_trace());
+                let verdict = detector.observe(rec.clone());
+                pool = Some(vm.crash());
+                ctx.restarts += 1;
+                if verdict == Verdict::SuspectedHard {
+                    return Some(finish(
+                        pool.take().expect("pool"),
+                        log,
+                        trace,
+                        rec,
+                        items_last,
+                        alloc_last,
+                        criu,
+                        ctx.restarts,
+                    ));
+                }
+                continue 'run;
+            }
+        }
+        scn.on_start(&mut vm, &mut ctx);
+        while t < RUN_TICKS {
+            vm.clock = t;
+            if cfg.criu && t >= CRIU_INTERVAL {
+                criu.tick(t, vm.pool());
+            }
+            let step = scn.drive(&mut vm, t, &mut ctx);
+            trace.absorb(vm.take_trace());
+            match step {
+                Ok(Drive::Continue) => {
+                    t += 1;
+                }
+                Ok(Drive::CrashNow) => {
+                    t += 1;
+                    items_last = scn.count_items(&mut vm);
+                    let mut p = vm.crash();
+                    alloc_last = p.allocated_bytes().unwrap_or(0);
+                    leakmon.sample(alloc_last);
+                    pool = Some(p);
+                    ctx.restarts += 1;
+                    continue 'run;
+                }
+                Err(e) if e.trap == Trap::InjectedCrash => {
+                    // An untimely power failure (the trigger), not a
+                    // symptom.
+                    t += 1;
+                    pool = Some(vm.crash());
+                    ctx.restarts += 1;
+                    continue 'run;
+                }
+                Err(e) => {
+                    let rec = FailureRecord::from_vm(&e);
+                    let verdict = detector.observe(rec.clone());
+                    let mut broken = vm.crash();
+                    ctx.restarts += 1;
+                    if verdict == Verdict::SuspectedHard {
+                        return Some(finish(
+                            broken,
+                            log,
+                            trace,
+                            rec,
+                            items_last,
+                            alloc_last,
+                            criu,
+                            ctx.restarts,
+                        ));
+                    }
+                    // First sighting: restart and re-drive the same tick
+                    // (the soft-fault hypothesis).
+                    items_last = {
+                        // Count on a throwaway copy (the chain may be
+                        // corrupt; count_items implementations use stored
+                        // counters, so this is safe).
+                        let image = broken.snapshot();
+                        match PmPool::open(image) {
+                            Ok(p2) => {
+                                let mut vm2 = Vm::new(setup.instrumented.clone(), p2, cfg.vm);
+                                scn.count_items(&mut vm2)
+                            }
+                            Err(_) => items_last,
+                        }
+                    };
+                    alloc_last = broken.allocated_bytes().unwrap_or(alloc_last);
+                    pool = Some(broken);
+                    continue 'run;
+                }
+            }
+            if t % 10 == 0 {
+                items_last = scn.count_items(&mut vm);
+            }
+        }
+        // Workload finished without a trap. Leak scenarios detect here.
+        items_last = scn.count_items(&mut vm);
+        let mut p = vm.into_pool();
+        alloc_last = p.allocated_bytes().unwrap_or(0);
+        leakmon.sample(alloc_last);
+        if scn.is_leak() && leakmon.suspected(2, 64) {
+            let rec = FailureRecord::leak(format!(
+                "PM utilisation grew to {alloc_last} bytes across restarts"
+            ));
+            return Some(finish(
+                p,
+                log,
+                trace,
+                rec,
+                items_last,
+                alloc_last,
+                criu,
+                ctx.restarts,
+            ));
+        }
+        return None;
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn finish(
+    pool: PmPool,
+    log: Rc<RefCell<CheckpointLog>>,
+    trace: PmTrace,
+    failure: FailureRecord,
+    items_before: u64,
+    allocated_before: u64,
+    criu: PmCriu,
+    restarts: u32,
+) -> Production {
+    Production {
+        pool,
+        log,
+        trace,
+        failure,
+        items_before,
+        allocated_before,
+        criu,
+        restarts,
+        detected_hard: true,
+    }
+}
+
+/// [`Target`] implementation: restart the scenario's app over a copy of
+/// the candidate pool and run its verification workload.
+pub struct ScenarioTarget<'a> {
+    scn: &'a dyn Scenario,
+    module: Rc<Module>,
+    log: Rc<RefCell<CheckpointLog>>,
+    vm_opts: VmOpts,
+    /// Simulated per-re-execution delay (the paper reports 3–5 s per
+    /// restart); accumulated for the Figure 8 model.
+    pub reexecutions: u32,
+}
+
+impl<'a> ScenarioTarget<'a> {
+    /// Creates the target wrapper.
+    pub fn new(
+        scn: &'a dyn Scenario,
+        module: Rc<Module>,
+        log: Rc<RefCell<CheckpointLog>>,
+        vm_opts: VmOpts,
+    ) -> Self {
+        ScenarioTarget {
+            scn,
+            module,
+            log,
+            vm_opts,
+            reexecutions: 0,
+        }
+    }
+}
+
+impl Target for ScenarioTarget<'_> {
+    fn reexecute(&mut self, pool: &mut PmPool) -> Result<(), FailureRecord> {
+        self.reexecutions += 1;
+        let image = pool.snapshot();
+        let p2 = PmPool::open(image)
+            .map_err(|e| FailureRecord::wrong_result(format!("pool reopen: {e}")))?;
+        let mut vm = Vm::new(self.module.clone(), p2, self.vm_opts);
+        // The (disabled) log still tracks recovery reads for the leak
+        // mitigation pass.
+        vm.pool_mut().set_sink(self.log.clone());
+        vm.call(self.scn.recover_call(), &[])
+            .map_err(|e| FailureRecord::from_vm(&e))?;
+        self.scn.verify(&mut vm)
+    }
+}
+
+/// Which solution mitigates.
+#[derive(Debug, Clone, Copy)]
+pub enum Solution {
+    /// Arthas with the given reactor configuration.
+    Arthas(ReactorConfig),
+    /// The pmCRIU baseline.
+    PmCriu,
+    /// The ArCkpt baseline with a re-execution budget.
+    ArCkpt(u32),
+}
+
+/// Mitigation measurement (one cell of Tables 3/5, Figures 8/9).
+#[derive(Debug, Clone)]
+pub struct MitigationResult {
+    /// Scenario id.
+    pub id: &'static str,
+    /// Whether the system was recovered (symptom gone + data remains).
+    pub recovered: bool,
+    /// Re-executions performed.
+    pub attempts: u32,
+    /// Host wall time of the mitigation.
+    pub wall: Duration,
+    /// Modelled mitigation time including the paper's 3–5 s per
+    /// re-execution restart delay.
+    pub modeled_secs: f64,
+    /// Checkpoint updates discarded (Arthas / ArCkpt).
+    pub discarded_updates: u64,
+    /// Total checkpoint updates recorded in production.
+    pub total_updates: u64,
+    /// Fraction of application items lost (pmCRIU accounting).
+    pub item_loss_frac: f64,
+    /// Post-recovery consistency verdict (None when not recovered).
+    pub consistent: Option<bool>,
+    /// Leak objects freed (leak scenarios).
+    pub leaks_freed: u64,
+    /// Whether purge mode fell back to rollback.
+    pub mode_fellback: bool,
+}
+
+/// Per-re-execution restart delay used for the modelled mitigation time
+/// (the paper cites 3–5 seconds; we use the midpoint).
+pub const REEXEC_DELAY_SECS: f64 = 4.0;
+
+/// Runs one mitigation over a production failure.
+pub fn mitigate(
+    production: &mut Production,
+    scn: &dyn Scenario,
+    setup: &AppSetup,
+    solution: Solution,
+) -> MitigationResult {
+    let total_updates = production.log.borrow().total_updates();
+    let items_before = production.items_before.max(1);
+    let mut target = ScenarioTarget::new(
+        scn,
+        setup.instrumented.clone(),
+        production.log.clone(),
+        // A tighter step budget for verification runs: a hang only needs
+        // a few hundred thousand interpreted steps to be evident, and
+        // baselines re-execute hundreds of times.
+        VmOpts {
+            step_limit: 500_000,
+            ..VmOpts::default()
+        },
+    );
+
+    let (recovered, attempts, wall, discarded, leaks_freed, fellback) = match solution {
+        Solution::Arthas(cfg) => {
+            let mut reactor = Reactor::new(&setup.analysis, &setup.guid_map, cfg);
+            let out = reactor.mitigate(
+                &mut production.pool,
+                &production.log,
+                &production.failure,
+                &production.trace,
+                &mut target,
+            );
+            (
+                out.recovered,
+                out.attempts,
+                out.wall,
+                out.discarded_updates,
+                out.leaks_freed,
+                out.mode_fellback,
+            )
+        }
+        Solution::PmCriu => {
+            let out = production.criu.mitigate(&mut production.pool, &mut target);
+            (out.recovered, out.attempts, out.wall, 0, 0, false)
+        }
+        Solution::ArCkpt(budget) => {
+            let out =
+                ArCkpt::new(budget).mitigate(&mut production.pool, &production.log, &mut target);
+            (
+                out.recovered,
+                out.attempts,
+                out.wall,
+                out.reverted_updates,
+                0,
+                false,
+            )
+        }
+    };
+
+    // Recoverability criterion (b): some persistent state must remain.
+    let (items_after, recovered) = if recovered {
+        let items_after = count_on_copy(scn, setup, &production.pool);
+        let some_state = if scn.is_leak() { true } else { items_after > 0 };
+        (items_after, some_state)
+    } else {
+        (0, false)
+    };
+
+    // For leaks, recovery additionally means utilisation dropped.
+    let recovered = if recovered && scn.is_leak() {
+        let after = production.pool.allocated_bytes().unwrap_or(u64::MAX);
+        after < production.allocated_before
+    } else {
+        recovered
+    };
+
+    let consistent = if recovered {
+        Some(check_consistency(scn, setup, &production.pool))
+    } else {
+        None
+    };
+
+    let item_loss_frac = if recovered {
+        1.0 - (items_after.min(items_before) as f64 / items_before as f64)
+    } else {
+        1.0
+    };
+
+    MitigationResult {
+        id: scn.id(),
+        recovered,
+        attempts,
+        wall,
+        modeled_secs: wall.as_secs_f64() + attempts as f64 * REEXEC_DELAY_SECS,
+        discarded_updates: discarded,
+        total_updates,
+        item_loss_frac,
+        consistent,
+        leaks_freed,
+        mode_fellback: fellback,
+    }
+}
+
+fn count_on_copy(scn: &dyn Scenario, setup: &AppSetup, pool: &PmPool) -> u64 {
+    let image = pool.snapshot();
+    match PmPool::open(image) {
+        Ok(p2) => {
+            let mut vm = Vm::new(setup.instrumented.clone(), p2, VmOpts::default());
+            let _ = vm.call(scn.recover_call(), &[]);
+            scn.count_items(&mut vm)
+        }
+        Err(_) => 0,
+    }
+}
+
+/// Post-recovery consistency validation (Table 4, §6.2): pool integrity
+/// check, application recovery, an extended benign workload, and the
+/// scenario's domain invariants.
+pub fn check_consistency(scn: &dyn Scenario, setup: &AppSetup, pool: &PmPool) -> bool {
+    let image = pool.snapshot();
+    let Ok(mut p2) = PmPool::open(image) else {
+        return false;
+    };
+    // (1) pmempool-check analogue.
+    if !p2.check().is_empty() {
+        return false;
+    }
+    let mut vm = Vm::new(setup.instrumented.clone(), p2, VmOpts::default());
+    // (2) recovery must succeed.
+    if vm.call(scn.recover_call(), &[]).is_err() {
+        return false;
+    }
+    // (3) the scenario's verification workload (the "run for 20 minutes
+    // with mixed requests" analogue).
+    if scn.verify(&mut vm).is_err() {
+        return false;
+    }
+    // (4) domain invariants.
+    scn.consistency(&mut vm).is_empty()
+}

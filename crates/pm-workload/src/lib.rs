@@ -1,0 +1,22 @@
+//! # pm-workload — fault scenarios, workloads and the experiment harness
+//!
+//! Everything needed to reproduce the Arthas paper's evaluation runs:
+//!
+//! - [`scenarios`]: the 12 hard faults of Table 2 as [`harness::Scenario`]
+//!   implementations over the five `pm-apps` systems;
+//! - [`harness`]: the production driver (300-logical-second runs, trigger
+//!   at the half-way point, restart-based hard-failure detection) and the
+//!   mitigation wrappers for Arthas, pmCRIU and ArCkpt with the measured
+//!   metrics (recoverability, attempts, mitigation time, discarded data,
+//!   post-recovery consistency);
+//! - [`ycsb`]: YCSB-style workload generation for the overhead
+//!   experiments.
+
+pub mod harness;
+pub mod scenarios;
+pub mod ycsb;
+
+pub use harness::{
+    check_consistency, mitigate, run_production, AppSetup, Drive, MitigationResult, Production,
+    RunConfig, RunCtx, Scenario, ScenarioTarget, Solution, CRIU_INTERVAL, POOL_SIZE, RUN_TICKS,
+};

@@ -1,0 +1,167 @@
+//! YCSB-style workload generation for the overhead experiments (§6.7).
+//!
+//! The paper drives Redis and Memcached with YCSB (50% reads / 50%
+//! writes, zipfian key popularity) and uses custom uniform insert
+//! workloads for PMEMKV, Pelikan and CCEH. This module provides both:
+//! a seeded zipfian key generator (Gray et al.'s rejection-free method)
+//! and mixed-operation streams.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+use rand::SeedableRng;
+
+/// One generated operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KvOp {
+    /// Read of a key.
+    Get(u64),
+    /// Write of a key with a small value descriptor.
+    Put(u64, u64),
+}
+
+/// Zipfian distribution over `[0, n)` using the classic power-method
+/// approximation (theta = 0.99, YCSB's default).
+pub struct Zipfian {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    rng: StdRng,
+}
+
+impl Zipfian {
+    /// Creates a zipfian generator over `[0, n)` with the given seed.
+    pub fn new(n: u64, seed: u64) -> Self {
+        assert!(n > 0, "zipfian domain must be non-empty");
+        let theta = 0.99;
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2, theta);
+        Zipfian {
+            n,
+            theta,
+            alpha: 1.0 / (1.0 - theta),
+            zetan,
+            eta: (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        // Exact up to a cap, then the integral approximation; the workload
+        // sizes used here stay under the cap.
+        let cap = n.min(1 << 20);
+        let mut sum = 0.0;
+        for i in 1..=cap {
+            sum += 1.0 / (i as f64).powf(theta);
+        }
+        if n > cap {
+            let a = cap as f64;
+            let b = n as f64;
+            sum += (b.powf(1.0 - theta) - a.powf(1.0 - theta)) / (1.0 - theta);
+        }
+        sum
+    }
+
+    /// Next zipfian-distributed value in `[0, n)`.
+    pub fn next(&mut self) -> u64 {
+        let u: f64 = self.rng.random();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let v = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        v.min(self.n - 1)
+    }
+}
+
+/// A seeded stream of mixed KV operations.
+pub struct KvWorkload {
+    zipf: Zipfian,
+    rng: StdRng,
+    read_pct: u32,
+    key_base: u64,
+}
+
+impl KvWorkload {
+    /// YCSB-A-like: 50% reads, 50% writes, zipfian keys in
+    /// `[key_base, key_base + n)`.
+    pub fn ycsb_a(n: u64, key_base: u64, seed: u64) -> Self {
+        KvWorkload {
+            zipf: Zipfian::new(n, seed),
+            rng: StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15),
+            read_pct: 50,
+            key_base,
+        }
+    }
+
+    /// Insert-only workload (the paper's custom benchmark shape).
+    pub fn insert_only(n: u64, key_base: u64, seed: u64) -> Self {
+        KvWorkload {
+            zipf: Zipfian::new(n, seed),
+            rng: StdRng::seed_from_u64(seed ^ 0x5851_F42D_4C95_7F2D),
+            read_pct: 0,
+            key_base,
+        }
+    }
+
+    /// Generates the next operation.
+    pub fn next(&mut self) -> KvOp {
+        let key = self.key_base + self.zipf.next();
+        if self.rng.random_range(0..100u32) < self.read_pct {
+            KvOp::Get(key)
+        } else {
+            KvOp::Put(key, self.rng.random_range(1..0x80u64))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipfian_is_deterministic_and_in_range() {
+        let mut a = Zipfian::new(1000, 7);
+        let mut b = Zipfian::new(1000, 7);
+        for _ in 0..1000 {
+            let (x, y) = (a.next(), b.next());
+            assert_eq!(x, y);
+            assert!(x < 1000);
+        }
+    }
+
+    #[test]
+    fn zipfian_is_skewed() {
+        let mut z = Zipfian::new(1000, 42);
+        let mut hot = 0;
+        for _ in 0..10_000 {
+            if z.next() < 10 {
+                hot += 1;
+            }
+        }
+        // The 1% hottest keys draw far more than 1% of accesses.
+        assert!(hot > 2_000, "hot keys drew {hot}/10000");
+    }
+
+    #[test]
+    fn ycsb_mix_is_roughly_half_reads() {
+        let mut w = KvWorkload::ycsb_a(100, 0, 3);
+        let mut reads = 0;
+        for _ in 0..10_000 {
+            if matches!(w.next(), KvOp::Get(_)) {
+                reads += 1;
+            }
+        }
+        assert!((4_000..6_000).contains(&reads), "reads = {reads}");
+    }
+
+    #[test]
+    fn insert_only_has_no_reads() {
+        let mut w = KvWorkload::insert_only(100, 0, 3);
+        assert!((0..1000).all(|_| matches!(w.next(), KvOp::Put(..))));
+    }
+}

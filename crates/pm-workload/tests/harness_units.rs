@@ -1,0 +1,97 @@
+//! Unit-level tests of the experiment harness: context bookkeeping,
+//! re-execution isolation, production determinism and consistency
+//! checking.
+
+use arthas::Target;
+use pm_workload::{
+    check_consistency, run_production, scenarios, AppSetup, RunConfig, ScenarioTarget,
+};
+
+#[test]
+fn production_is_deterministic_for_a_fixed_seed() {
+    let scn = scenarios::by_id("f4").unwrap();
+    let setup = AppSetup::new(scn.build_module());
+    let cfg = RunConfig::default();
+    let a = run_production(scn.as_ref(), &setup, &cfg).expect("failure");
+    let b = run_production(scn.as_ref(), &setup, &cfg).expect("failure");
+    assert_eq!(a.failure.exit_code, b.failure.exit_code);
+    assert_eq!(a.failure.fault, b.failure.fault);
+    assert_eq!(
+        a.log.borrow().total_updates(),
+        b.log.borrow().total_updates()
+    );
+    assert_eq!(a.trace.total_records(), b.trace.total_records());
+}
+
+#[test]
+fn reexecution_runs_on_a_copy_of_the_pool() {
+    // The verification workload mutates state (it issues puts); those
+    // mutations must not leak back into the pool under mitigation.
+    let scn = scenarios::by_id("f4").unwrap();
+    let setup = AppSetup::new(scn.build_module());
+    let cfg = RunConfig::default();
+    let mut prod = run_production(scn.as_ref(), &setup, &cfg).expect("failure");
+    let image_before = prod.pool.snapshot();
+    let mut target = ScenarioTarget::new(
+        scn.as_ref(),
+        setup.instrumented.clone(),
+        prod.log.clone(),
+        pir::vm::VmOpts::default(),
+    );
+    // Re-execution fails (the fault is still in place) but must not
+    // modify the candidate pool either way.
+    let _ = target.reexecute(&mut prod.pool);
+    assert_eq!(
+        prod.pool.snapshot(),
+        image_before,
+        "verification left the pool untouched"
+    );
+    assert_eq!(target.reexecutions, 1);
+}
+
+#[test]
+fn production_takes_criu_snapshots_on_schedule() {
+    let scn = scenarios::by_id("f2").unwrap();
+    let setup = AppSetup::new(scn.build_module());
+    let cfg = RunConfig::default();
+    let prod = run_production(scn.as_ref(), &setup, &cfg).expect("failure");
+    // The failure triggers just past t=150: snapshots at t=60 and t=120.
+    let times = prod.criu.snapshot_times();
+    assert!(times.contains(&60) && times.contains(&120), "{times:?}");
+    assert!(times.iter().all(|t| *t <= 151));
+}
+
+#[test]
+fn consistency_fails_on_a_corrupt_pool() {
+    let scn = scenarios::by_id("f4").unwrap();
+    let setup = AppSetup::new(scn.build_module());
+    let cfg = RunConfig::default();
+    let prod = run_production(scn.as_ref(), &setup, &cfg).expect("failure");
+    // Unmitigated, the pool still crashes the verification workload.
+    assert!(!check_consistency(scn.as_ref(), &setup, &prod.pool));
+}
+
+#[test]
+fn detection_requires_recurrence() {
+    // Every production run must have restarted at least once: the first
+    // sighting alone never triggers mitigation.
+    for id in ["f4", "f11"] {
+        let scn = scenarios::by_id(id).unwrap();
+        let setup = AppSetup::new(scn.build_module());
+        let prod = run_production(scn.as_ref(), &setup, &RunConfig::default()).expect("failure");
+        assert!(prod.restarts >= 2, "{id}: {} restarts", prod.restarts);
+        assert!(prod.detected_hard);
+    }
+}
+
+#[test]
+fn checkpointing_can_be_disabled() {
+    let scn = scenarios::by_id("f4").unwrap();
+    let setup = AppSetup::new(scn.build_module());
+    let cfg = RunConfig {
+        checkpoint: false,
+        ..RunConfig::default()
+    };
+    let prod = run_production(scn.as_ref(), &setup, &cfg).expect("failure");
+    assert_eq!(prod.log.borrow().total_updates(), 0, "no sink attached");
+}

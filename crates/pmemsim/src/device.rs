@@ -1,0 +1,448 @@
+//! The raw simulated persistent-memory device.
+//!
+//! The device models the persistence semantics that matter for hard-fault
+//! reproduction: stores land in a volatile CPU-cache overlay; an explicit
+//! `flush` stages the affected cache lines for write-back; a `drain` (fence)
+//! commits staged lines to durable *media*. A simulated [`crash`] discards
+//! everything that has not reached media, according to a configurable
+//! [`CrashPolicy`].
+//!
+//! [`crash`]: PmDevice::crash
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+use rand::SeedableRng;
+
+use crate::error::{PmError, PmResult};
+
+/// Size of a simulated CPU cache line in bytes.
+pub const CACHE_LINE: u64 = 64;
+
+/// What happens to *flushed but not yet drained* cache lines on a crash.
+///
+/// Dirty lines that were never flushed are always lost, matching real
+/// hardware. Lines that were flushed but not fenced are in flight; real
+/// platforms may or may not have written them back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPolicy {
+    /// In-flight lines are lost. The most adversarial, and the default.
+    DropStaged,
+    /// In-flight lines reach media, as on a platform with eADR.
+    KeepStaged,
+    /// Each in-flight line independently survives with probability 1/2,
+    /// drawn from a deterministic RNG seeded with the given value.
+    RandomStaged(u64),
+}
+
+/// Per-device event counters, used by the overhead experiments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeviceStats {
+    /// Bytes written by stores.
+    pub bytes_written: u64,
+    /// Bytes read by loads.
+    pub bytes_read: u64,
+    /// Number of `flush` calls.
+    pub flushes: u64,
+    /// Number of `drain` calls.
+    pub drains: u64,
+    /// Number of cache lines written back to media.
+    pub lines_written_back: u64,
+    /// Number of simulated crashes.
+    pub crashes: u64,
+}
+
+#[derive(Clone)]
+struct CacheLine64 {
+    data: [u8; CACHE_LINE as usize],
+    dirty: bool,
+    /// Flushed and awaiting a drain.
+    staged: bool,
+}
+
+/// A simulated byte-addressable persistent-memory device.
+///
+/// All operations are bounds-checked and return [`PmError::OutOfBounds`] on
+/// violation rather than panicking, so that the interpreter above can turn
+/// them into precise traps.
+pub struct PmDevice {
+    media: Vec<u8>,
+    cache: BTreeMap<u64, CacheLine64>,
+    policy: CrashPolicy,
+    stats: DeviceStats,
+}
+
+impl PmDevice {
+    /// Creates a zero-filled device of `capacity` bytes.
+    pub fn new(capacity: u64) -> Self {
+        PmDevice {
+            media: vec![0; capacity as usize],
+            cache: BTreeMap::new(),
+            policy: CrashPolicy::DropStaged,
+            stats: DeviceStats::default(),
+        }
+    }
+
+    /// Creates a device whose media is initialised from `image`.
+    pub fn from_image(image: Vec<u8>) -> Self {
+        PmDevice {
+            media: image,
+            cache: BTreeMap::new(),
+            policy: CrashPolicy::DropStaged,
+            stats: DeviceStats::default(),
+        }
+    }
+
+    /// Sets the crash policy for in-flight lines.
+    pub fn set_crash_policy(&mut self, policy: CrashPolicy) {
+        self.policy = policy;
+    }
+
+    /// Device capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.media.len() as u64
+    }
+
+    /// Returns a copy of the event counters.
+    pub fn stats(&self) -> DeviceStats {
+        self.stats
+    }
+
+    fn check(&self, offset: u64, len: u64) -> PmResult<()> {
+        let cap = self.capacity();
+        if len == 0 {
+            return Ok(());
+        }
+        if offset.checked_add(len).map_or(true, |end| end > cap) {
+            return Err(PmError::OutOfBounds {
+                offset,
+                len,
+                capacity: cap,
+            });
+        }
+        Ok(())
+    }
+
+    fn line_of(offset: u64) -> u64 {
+        offset / CACHE_LINE
+    }
+
+    fn load_line(&mut self, line: u64) -> &mut CacheLine64 {
+        let media = &self.media;
+        self.cache.entry(line).or_insert_with(|| {
+            let start = (line * CACHE_LINE) as usize;
+            let mut data = [0u8; CACHE_LINE as usize];
+            data.copy_from_slice(&media[start..start + CACHE_LINE as usize]);
+            CacheLine64 {
+                data,
+                dirty: false,
+                staged: false,
+            }
+        })
+    }
+
+    /// Stores `bytes` at `offset`. The store is visible to subsequent reads
+    /// immediately but is *not* durable until flushed and drained.
+    pub fn write(&mut self, offset: u64, bytes: &[u8]) -> PmResult<()> {
+        self.check(offset, bytes.len() as u64)?;
+        self.stats.bytes_written += bytes.len() as u64;
+        let mut cur = offset;
+        let mut rest = bytes;
+        while !rest.is_empty() {
+            let line = Self::line_of(cur);
+            let in_line = (cur % CACHE_LINE) as usize;
+            let n = usize::min(rest.len(), CACHE_LINE as usize - in_line);
+            let cl = self.load_line(line);
+            cl.data[in_line..in_line + n].copy_from_slice(&rest[..n]);
+            cl.dirty = true;
+            // A store after a flush but before the drain invalidates the
+            // staging: the new value needs its own flush.
+            cl.staged = false;
+            cur += n as u64;
+            rest = &rest[n..];
+        }
+        Ok(())
+    }
+
+    /// Reads `len` bytes at `offset`, observing cached (not yet durable)
+    /// stores.
+    pub fn read(&mut self, offset: u64, len: u64) -> PmResult<Vec<u8>> {
+        self.check(offset, len)?;
+        self.stats.bytes_read += len;
+        let mut out = Vec::with_capacity(len as usize);
+        let mut cur = offset;
+        let mut remaining = len;
+        while remaining > 0 {
+            let line = Self::line_of(cur);
+            let in_line = (cur % CACHE_LINE) as usize;
+            let n = u64::min(remaining, CACHE_LINE - in_line as u64) as usize;
+            match self.cache.get(&line) {
+                Some(cl) => out.extend_from_slice(&cl.data[in_line..in_line + n]),
+                None => {
+                    let start = cur as usize;
+                    out.extend_from_slice(&self.media[start..start + n]);
+                }
+            }
+            cur += n as u64;
+            remaining -= n as u64;
+        }
+        Ok(out)
+    }
+
+    /// Flushes the cache lines covering `[offset, offset + len)`, staging
+    /// them for write-back at the next [`drain`](PmDevice::drain).
+    pub fn flush(&mut self, offset: u64, len: u64) -> PmResult<()> {
+        self.check(offset, len)?;
+        self.stats.flushes += 1;
+        if len == 0 {
+            return Ok(());
+        }
+        let first = Self::line_of(offset);
+        let last = Self::line_of(offset + len - 1);
+        for line in first..=last {
+            if let Some(cl) = self.cache.get_mut(&line) {
+                if cl.dirty {
+                    cl.staged = true;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Drains (fences): commits every staged line to media.
+    pub fn drain(&mut self) {
+        self.stats.drains += 1;
+        for (line, cl) in self.cache.iter_mut() {
+            if cl.staged {
+                let start = (line * CACHE_LINE) as usize;
+                self.media[start..start + CACHE_LINE as usize].copy_from_slice(&cl.data);
+                cl.staged = false;
+                cl.dirty = false;
+                self.stats.lines_written_back += 1;
+            }
+        }
+    }
+
+    /// Flush + drain for a range: the `pmem_persist` primitive.
+    pub fn persist(&mut self, offset: u64, len: u64) -> PmResult<()> {
+        self.flush(offset, len)?;
+        self.drain();
+        Ok(())
+    }
+
+    /// Simulates a power failure / process crash.
+    ///
+    /// Unflushed dirty lines are always lost. Staged (flushed but not
+    /// drained) lines follow the device's [`CrashPolicy`]. After this call
+    /// reads observe only what reached media.
+    pub fn crash(&mut self) {
+        self.stats.crashes += 1;
+        let policy = self.policy;
+        let mut rng = match policy {
+            CrashPolicy::RandomStaged(seed) => Some(StdRng::seed_from_u64(seed)),
+            _ => None,
+        };
+        let cache = std::mem::take(&mut self.cache);
+        for (line, cl) in cache {
+            if !cl.staged {
+                continue;
+            }
+            let survive = match policy {
+                CrashPolicy::DropStaged => false,
+                CrashPolicy::KeepStaged => true,
+                CrashPolicy::RandomStaged(_) => rng
+                    .as_mut()
+                    .map(|r| r.random_range(0..2u32) == 1)
+                    .unwrap_or(false),
+            };
+            if survive {
+                let start = (line * CACHE_LINE) as usize;
+                self.media[start..start + CACHE_LINE as usize].copy_from_slice(&cl.data);
+                self.stats.lines_written_back += 1;
+            }
+        }
+    }
+
+    /// Returns a point-in-time copy of the durable media contents.
+    ///
+    /// Used by the pmCRIU baseline to snapshot a pool.
+    pub fn media_image(&self) -> Vec<u8> {
+        self.media.clone()
+    }
+
+    /// Replaces the durable media with `image` and discards the cache.
+    ///
+    /// Used by the pmCRIU baseline to restore a snapshot. Returns an error
+    /// if the image size differs from the device capacity.
+    pub fn restore_image(&mut self, image: &[u8]) -> PmResult<()> {
+        if image.len() != self.media.len() {
+            return Err(PmError::BadHeader(format!(
+                "snapshot image size {} != device capacity {}",
+                image.len(),
+                self.media.len()
+            )));
+        }
+        self.media.copy_from_slice(image);
+        self.cache.clear();
+        Ok(())
+    }
+
+    /// Flips one bit of the byte at `offset`, in media and in any cached
+    /// copy, so both durable state and subsequent reads observe it.
+    ///
+    /// Fault-injection helper modelling a hardware bit flip that corrupted
+    /// persistent state (the paper's "Hardware Faults" root-cause class).
+    pub fn corrupt_bit(&mut self, offset: u64, bit: u8) -> PmResult<()> {
+        self.check(offset, 1)?;
+        let mask = 1u8 << (bit & 7);
+        self.media[offset as usize] ^= mask;
+        let line = Self::line_of(offset);
+        if let Some(cl) = self.cache.get_mut(&line) {
+            cl.data[(offset % CACHE_LINE) as usize] ^= mask;
+        }
+        Ok(())
+    }
+
+    /// Number of dirty (not yet durable) cache lines; diagnostic.
+    pub fn dirty_lines(&self) -> usize {
+        self.cache.values().filter(|c| c.dirty).count()
+    }
+}
+
+impl std::fmt::Debug for PmDevice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PmDevice")
+            .field("capacity", &self.capacity())
+            .field("cached_lines", &self.cache.len())
+            .field("dirty_lines", &self.dirty_lines())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read_sees_cached_value() {
+        let mut d = PmDevice::new(4096);
+        d.write(100, &[1, 2, 3, 4]).unwrap();
+        assert_eq!(d.read(100, 4).unwrap(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn unflushed_write_is_lost_on_crash() {
+        let mut d = PmDevice::new(4096);
+        d.write(0, &[0xAB; 8]).unwrap();
+        d.crash();
+        assert_eq!(d.read(0, 8).unwrap(), vec![0; 8]);
+    }
+
+    #[test]
+    fn persisted_write_survives_crash() {
+        let mut d = PmDevice::new(4096);
+        d.write(0, &[0xAB; 8]).unwrap();
+        d.persist(0, 8).unwrap();
+        d.crash();
+        assert_eq!(d.read(0, 8).unwrap(), vec![0xAB; 8]);
+    }
+
+    #[test]
+    fn flushed_but_not_drained_follows_policy() {
+        // DropStaged: lost.
+        let mut d = PmDevice::new(4096);
+        d.write(0, &[7; 4]).unwrap();
+        d.flush(0, 4).unwrap();
+        d.crash();
+        assert_eq!(d.read(0, 4).unwrap(), vec![0; 4]);
+
+        // KeepStaged: survives.
+        let mut d = PmDevice::new(4096);
+        d.set_crash_policy(CrashPolicy::KeepStaged);
+        d.write(0, &[7; 4]).unwrap();
+        d.flush(0, 4).unwrap();
+        d.crash();
+        assert_eq!(d.read(0, 4).unwrap(), vec![7; 4]);
+    }
+
+    #[test]
+    fn store_after_flush_requires_new_flush() {
+        let mut d = PmDevice::new(4096);
+        d.write(0, &[1; 4]).unwrap();
+        d.flush(0, 4).unwrap();
+        // Overwrite before the drain: the line is re-dirtied and un-staged.
+        d.write(0, &[2; 4]).unwrap();
+        d.drain();
+        d.crash();
+        // Neither value was properly persisted as a whole; the line was
+        // unstaged so the drain wrote nothing back.
+        assert_eq!(d.read(0, 4).unwrap(), vec![0; 4]);
+    }
+
+    #[test]
+    fn cross_line_write_and_read() {
+        let mut d = PmDevice::new(4096);
+        let data: Vec<u8> = (0..200).map(|i| i as u8).collect();
+        d.write(60, &data).unwrap();
+        assert_eq!(d.read(60, 200).unwrap(), data);
+        d.persist(60, 200).unwrap();
+        d.crash();
+        assert_eq!(d.read(60, 200).unwrap(), data);
+    }
+
+    #[test]
+    fn out_of_bounds_is_an_error_not_a_panic() {
+        let mut d = PmDevice::new(128);
+        assert!(matches!(
+            d.write(120, &[0; 16]),
+            Err(PmError::OutOfBounds { .. })
+        ));
+        assert!(matches!(
+            d.read(u64::MAX, 1),
+            Err(PmError::OutOfBounds { .. })
+        ));
+        assert!(d.read(0, 0).is_ok());
+    }
+
+    #[test]
+    fn snapshot_and_restore_round_trip() {
+        let mut d = PmDevice::new(1024);
+        d.write(0, b"hello").unwrap();
+        d.persist(0, 5).unwrap();
+        let img = d.media_image();
+        d.write(0, b"world").unwrap();
+        d.persist(0, 5).unwrap();
+        d.restore_image(&img).unwrap();
+        assert_eq!(d.read(0, 5).unwrap(), b"hello".to_vec());
+    }
+
+    #[test]
+    fn random_staged_policy_is_deterministic() {
+        let run = |seed| {
+            let mut d = PmDevice::new(8192);
+            d.set_crash_policy(CrashPolicy::RandomStaged(seed));
+            for i in 0..16u64 {
+                d.write(i * 64, &[i as u8 + 1; 64]).unwrap();
+                d.flush(i * 64, 64).unwrap();
+            }
+            d.crash();
+            d.read(0, 1024).unwrap()
+        };
+        assert_eq!(run(42), run(42));
+    }
+
+    #[test]
+    fn stats_count_events() {
+        let mut d = PmDevice::new(4096);
+        d.write(0, &[1; 10]).unwrap();
+        d.read(0, 10).unwrap();
+        d.persist(0, 10).unwrap();
+        let s = d.stats();
+        assert_eq!(s.bytes_written, 10);
+        assert_eq!(s.bytes_read, 10);
+        assert_eq!(s.flushes, 1);
+        assert_eq!(s.drains, 1);
+        assert_eq!(s.lines_written_back, 1);
+    }
+}

@@ -1,0 +1,69 @@
+//! On-media layout of a simulated PM pool.
+//!
+//! ```text
+//! +-------------------+ 0
+//! | header            |   magic, version, capacity, root, free list head,
+//! |                   |   transaction + redo-log state
+//! +-------------------+ REDO_OFF
+//! | redo log          |   crash-atomic allocator metadata updates
+//! +-------------------+ UNDO_OFF
+//! | undo log          |   transaction snapshots (old data)
+//! +-------------------+ HEAP_OFF
+//! | heap              |   boundary-tagged blocks, free-list threaded
+//! +-------------------+ capacity
+//! ```
+
+/// Pool magic number ("PMSIMPL1" as little-endian bytes).
+pub const MAGIC: u64 = 0x314c_504d_4953_4d50;
+
+/// Pool format version.
+pub const VERSION: u64 = 1;
+
+/// Header field offsets.
+pub mod hdr {
+    /// Magic number.
+    pub const MAGIC: u64 = 0;
+    /// Format version.
+    pub const VERSION: u64 = 8;
+    /// Pool capacity in bytes.
+    pub const CAPACITY: u64 = 16;
+    /// Offset of the root object payload (0 = unset).
+    pub const ROOT_OFF: u64 = 24;
+    /// Size of the root object.
+    pub const ROOT_SIZE: u64 = 32;
+    /// Head of the allocator free list (block offset; 0 = empty).
+    pub const FREE_HEAD: u64 = 40;
+    /// 1 while a transaction is open.
+    pub const TX_ACTIVE: u64 = 48;
+    /// Number of undo-log entries of the open transaction.
+    pub const TX_COUNT: u64 = 56;
+    /// Next transaction id.
+    pub const TX_NEXT_ID: u64 = 64;
+    /// 1 while the redo log holds an unapplied batch.
+    pub const REDO_VALID: u64 = 72;
+    /// Number of entries in the redo batch.
+    pub const REDO_COUNT: u64 = 80;
+}
+
+/// Start of the redo-log region.
+pub const REDO_OFF: u64 = 128;
+/// Size of the redo-log region.
+pub const REDO_SIZE: u64 = 8 * 1024;
+/// Start of the undo-log region.
+pub const UNDO_OFF: u64 = REDO_OFF + REDO_SIZE;
+/// Size of the undo-log region.
+pub const UNDO_SIZE: u64 = 256 * 1024;
+/// Start of the allocatable heap.
+pub const HEAP_OFF: u64 = UNDO_OFF + UNDO_SIZE;
+
+/// Size of a heap block header (size word + free-list link).
+pub const BLOCK_HDR: u64 = 16;
+/// Smallest legal block: header plus 32 payload bytes.
+pub const MIN_BLOCK: u64 = BLOCK_HDR + 32;
+/// Heap block sizes and payloads are multiples of this.
+pub const ALIGN: u64 = 16;
+
+/// Rounds `n` up to the heap alignment.
+pub fn align_up(n: u64) -> u64 {
+    n.div_ceil(ALIGN) * ALIGN
+}

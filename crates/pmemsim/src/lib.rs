@@ -1,0 +1,43 @@
+//! # pmemsim — a simulated persistent-memory substrate
+//!
+//! This crate stands in for the Intel Optane DC PMEM hardware and the PMDK
+//! libraries (`libpmem`, `libpmemobj`) used by the Arthas paper
+//! ("Understanding and Dealing with Hard Faults in Persistent Memory
+//! Systems", EuroSys '21). It provides:
+//!
+//! - [`PmDevice`]: a byte-addressable device with CPU-cache-line overlay,
+//!   explicit `flush`/`drain` persistence, and crash simulation that drops
+//!   non-durable state (configurable via [`CrashPolicy`]);
+//! - [`PmPool`]: a PMDK-like pool with a root object, a crash-atomic
+//!   persistent allocator (redo-logged metadata) and undo-log transactions;
+//! - [`PmSink`]: the durability-event interception surface that the Arthas
+//!   checkpoint library and the baselines attach to;
+//! - a `pmempool-check`-style integrity checker ([`PmPool::check`]).
+//!
+//! What matters for hard-fault reproduction is *which values survive a
+//! restart*, and the simulator gives exact, deterministic answers to that
+//! question.
+//!
+//! # Examples
+//!
+//! ```
+//! use pmemsim::PmPool;
+//!
+//! let mut pool = PmPool::create(pmemsim::layout::HEAP_OFF + (1 << 20)).unwrap();
+//! let obj = pool.alloc(64).unwrap();
+//! pool.write_u64(obj, 0xC0FFEE).unwrap();
+//! pool.persist(obj, 8).unwrap();
+//! pool.crash_and_reopen().unwrap();
+//! assert_eq!(pool.read_u64(obj).unwrap(), 0xC0FFEE);
+//! ```
+
+pub mod device;
+pub mod error;
+pub mod layout;
+pub mod pool;
+pub mod sink;
+
+pub use device::{CrashPolicy, DeviceStats, PmDevice, CACHE_LINE};
+pub use error::{PmError, PmResult};
+pub use pool::{CheckIssue, PmPool, PoolStats};
+pub use sink::{NullSink, PmSink};

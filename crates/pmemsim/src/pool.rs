@@ -1,0 +1,942 @@
+//! PMDK-like pools: a root object, a crash-atomic persistent allocator and
+//! undo-log transactions on top of [`PmDevice`].
+//!
+//! The public API deliberately mirrors `libpmemobj`: `alloc`/`free` with
+//! redo-logged metadata (atomic under any crash), `tx_begin`/`tx_add`/
+//! `tx_commit`/`tx_abort` with an undo log, explicit `persist`, and a root
+//! object. A [`PmSink`] can be attached to observe durability events; this
+//! is the interception surface the Arthas checkpoint library uses.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::device::{CrashPolicy, PmDevice};
+use crate::error::{PmError, PmResult};
+use crate::layout::{self, hdr};
+use crate::sink::PmSink;
+
+/// Counters of pool-level events.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Explicit user persists.
+    pub persists: u64,
+    /// Committed transactions.
+    pub tx_commits: u64,
+    /// Aborted transactions.
+    pub tx_aborts: u64,
+    /// Allocations.
+    pub allocs: u64,
+    /// Frees.
+    pub frees: u64,
+}
+
+/// One issue found by [`PmPool::check`], the `pmempool-check` analogue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckIssue {
+    /// Human-readable description of the inconsistency.
+    pub message: String,
+}
+
+struct OpenTx {
+    id: u64,
+    ranges: Vec<(u64, u64)>,
+    undo_cursor: u64,
+}
+
+/// A persistent-memory pool with allocator and transactions.
+pub struct PmPool {
+    dev: PmDevice,
+    sink: Option<Rc<RefCell<dyn PmSink>>>,
+    tx: Option<OpenTx>,
+    recovering: bool,
+    stats: PoolStats,
+    pending_flush: Vec<(u64, u64)>,
+}
+
+impl PmPool {
+    /// Creates and formats a new pool of `capacity` bytes.
+    ///
+    /// The capacity must leave room for the header, logs and a minimal heap.
+    pub fn create(capacity: u64) -> PmResult<Self> {
+        if capacity < layout::HEAP_OFF + layout::MIN_BLOCK {
+            return Err(PmError::BadHeader(format!(
+                "capacity {capacity} too small; need at least {}",
+                layout::HEAP_OFF + layout::MIN_BLOCK
+            )));
+        }
+        let mut pool = PmPool {
+            dev: PmDevice::new(capacity),
+            sink: None,
+            tx: None,
+            recovering: false,
+            stats: PoolStats::default(),
+            pending_flush: Vec::new(),
+        };
+        pool.write_u64(hdr::MAGIC, layout::MAGIC)?;
+        pool.write_u64(hdr::VERSION, layout::VERSION)?;
+        pool.write_u64(hdr::CAPACITY, capacity)?;
+        pool.write_u64(hdr::ROOT_OFF, 0)?;
+        pool.write_u64(hdr::ROOT_SIZE, 0)?;
+        pool.write_u64(hdr::TX_ACTIVE, 0)?;
+        pool.write_u64(hdr::TX_COUNT, 0)?;
+        pool.write_u64(hdr::TX_NEXT_ID, 1)?;
+        pool.write_u64(hdr::REDO_VALID, 0)?;
+        pool.write_u64(hdr::REDO_COUNT, 0)?;
+        // The whole heap is one free block.
+        let heap_size = capacity - layout::HEAP_OFF;
+        let heap_size = heap_size / layout::ALIGN * layout::ALIGN;
+        pool.write_u64(layout::HEAP_OFF, heap_size)?;
+        pool.write_u64(layout::HEAP_OFF + 8, 0)?;
+        pool.write_u64(hdr::FREE_HEAD, layout::HEAP_OFF)?;
+        pool.dev.persist(0, layout::HEAP_OFF + layout::BLOCK_HDR)?;
+        Ok(pool)
+    }
+
+    /// Opens a pool from an existing media image (e.g. after a simulated
+    /// restart), validating the header and running crash recovery for the
+    /// allocator redo log and any interrupted transaction.
+    pub fn open(image: Vec<u8>) -> PmResult<Self> {
+        let mut pool = PmPool {
+            dev: PmDevice::from_image(image),
+            sink: None,
+            tx: None,
+            recovering: false,
+            stats: PoolStats::default(),
+            pending_flush: Vec::new(),
+        };
+        if pool.read_u64(hdr::MAGIC)? != layout::MAGIC {
+            return Err(PmError::BadHeader("bad magic".into()));
+        }
+        if pool.read_u64(hdr::VERSION)? != layout::VERSION {
+            return Err(PmError::BadHeader("unsupported version".into()));
+        }
+        if pool.read_u64(hdr::CAPACITY)? != pool.dev.capacity() {
+            return Err(PmError::BadHeader("capacity mismatch".into()));
+        }
+        pool.recover()?;
+        Ok(pool)
+    }
+
+    /// Attaches a durability-event sink (checkpointing library).
+    pub fn set_sink(&mut self, sink: Rc<RefCell<dyn PmSink>>) {
+        self.sink = Some(sink);
+    }
+
+    /// Detaches the sink.
+    pub fn clear_sink(&mut self) {
+        self.sink = None;
+    }
+
+    /// Pool capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.dev.capacity()
+    }
+
+    /// Pool event counters.
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+
+    /// Sets the crash policy of the underlying device.
+    pub fn set_crash_policy(&mut self, policy: CrashPolicy) {
+        self.dev.set_crash_policy(policy);
+    }
+
+    /// Direct access to the underlying device (diagnostics and baselines).
+    pub fn device(&self) -> &PmDevice {
+        &self.dev
+    }
+
+    // ---- raw access -----------------------------------------------------
+
+    /// Reads `len` bytes at `offset` (sees unpersisted stores).
+    pub fn read(&mut self, offset: u64, len: u64) -> PmResult<Vec<u8>> {
+        let bytes = self.dev.read(offset, len)?;
+        if self.recovering {
+            if let Some(sink) = self.sink.clone() {
+                sink.borrow_mut().on_recover_read(offset, len);
+            }
+        }
+        Ok(bytes)
+    }
+
+    /// Stores `bytes` at `offset` without persisting.
+    pub fn write(&mut self, offset: u64, bytes: &[u8]) -> PmResult<()> {
+        self.dev.write(offset, bytes)
+    }
+
+    /// Reads a little-endian u64.
+    pub fn read_u64(&mut self, offset: u64) -> PmResult<u64> {
+        let b = self.dev.read(offset, 8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("read 8 bytes")))
+    }
+
+    /// Stores a little-endian u64 without persisting.
+    pub fn write_u64(&mut self, offset: u64, value: u64) -> PmResult<()> {
+        self.dev.write(offset, &value.to_le_bytes())
+    }
+
+    /// Explicitly persists `[offset, offset + len)` (the `pmem_persist`
+    /// primitive) and notifies the sink with the durable bytes.
+    pub fn persist(&mut self, offset: u64, len: u64) -> PmResult<()> {
+        self.dev.persist(offset, len)?;
+        self.stats.persists += 1;
+        if let Some(sink) = self.sink.clone() {
+            let data = self.dev.read(offset, len)?;
+            sink.borrow_mut().on_persist(offset, &data);
+        }
+        Ok(())
+    }
+
+    /// Stages `[offset, offset + len)` for write-back (the `clwb`
+    /// analogue). The range is remembered and reported to the sink at the
+    /// next [`PmPool::drain_fence`], so native-persistence (flush + fence)
+    /// programs are checkpointable exactly like `persist`-based ones.
+    pub fn flush_range(&mut self, offset: u64, len: u64) -> PmResult<()> {
+        self.dev.flush(offset, len)?;
+        self.pending_flush.push((offset, len));
+        Ok(())
+    }
+
+    /// Fence (the `sfence` analogue): commits staged lines, then notifies
+    /// the sink once per range flushed since the previous fence.
+    pub fn drain_fence(&mut self) {
+        self.dev.drain();
+        let ranges = std::mem::take(&mut self.pending_flush);
+        if let Some(sink) = self.sink.clone() {
+            for (off, len) in ranges {
+                if let Ok(data) = self.dev.read(off, len) {
+                    self.stats.persists += 1;
+                    sink.borrow_mut().on_persist(off, &data);
+                }
+            }
+        }
+    }
+
+    /// Persists without notifying the sink; used for allocator and log
+    /// metadata so checkpoints only contain application state.
+    fn persist_internal(&mut self, offset: u64, len: u64) -> PmResult<()> {
+        self.dev.persist(offset, len)
+    }
+
+    /// Simulates a crash of the process/machine holding this pool, then
+    /// reopens it (running recovery). Volatile pool state (open
+    /// transaction, sink) is dropped, exactly like a real restart.
+    pub fn crash_and_reopen(&mut self) -> PmResult<()> {
+        self.dev.crash();
+        self.tx = None;
+        self.sink = None;
+        self.recovering = false;
+        self.pending_flush.clear();
+        self.recover()
+    }
+
+    // ---- root object ----------------------------------------------------
+
+    /// Allocates (once) and returns the root object payload offset.
+    pub fn root(&mut self, size: u64) -> PmResult<u64> {
+        let off = self.read_u64(hdr::ROOT_OFF)?;
+        if off != 0 {
+            return Ok(off);
+        }
+        let off = self.alloc(size)?;
+        self.write_u64(hdr::ROOT_OFF, off)?;
+        self.write_u64(hdr::ROOT_SIZE, size)?;
+        self.persist_internal(hdr::ROOT_OFF, 16)?;
+        Ok(off)
+    }
+
+    /// Returns the root payload offset, or 0 if never set.
+    pub fn root_offset(&mut self) -> PmResult<u64> {
+        self.read_u64(hdr::ROOT_OFF)
+    }
+
+    // ---- redo-logged metadata updates ------------------------------------
+
+    /// Applies a batch of metadata writes atomically with respect to
+    /// crashes: serialize to the redo log, mark valid, apply, mark invalid.
+    fn redo_apply(&mut self, writes: &[(u64, Vec<u8>)]) -> PmResult<()> {
+        let mut need = 0u64;
+        for (_, data) in writes {
+            need += 16 + data.len() as u64;
+        }
+        if need > layout::REDO_SIZE {
+            return Err(PmError::LogFull { log: "redo" });
+        }
+        let mut cur = layout::REDO_OFF;
+        for (off, data) in writes {
+            self.write_u64(cur, *off)?;
+            self.write_u64(cur + 8, data.len() as u64)?;
+            self.dev.write(cur + 16, data)?;
+            cur += 16 + data.len() as u64;
+        }
+        self.write_u64(hdr::REDO_COUNT, writes.len() as u64)?;
+        self.persist_internal(layout::REDO_OFF, cur - layout::REDO_OFF)?;
+        self.persist_internal(hdr::REDO_COUNT, 8)?;
+        self.write_u64(hdr::REDO_VALID, 1)?;
+        self.persist_internal(hdr::REDO_VALID, 8)?;
+        self.redo_replay()?;
+        self.write_u64(hdr::REDO_VALID, 0)?;
+        self.persist_internal(hdr::REDO_VALID, 8)?;
+        Ok(())
+    }
+
+    /// Applies the redo entries currently in the log (idempotent).
+    fn redo_replay(&mut self) -> PmResult<()> {
+        let count = self.read_u64(hdr::REDO_COUNT)?;
+        let mut cur = layout::REDO_OFF;
+        for _ in 0..count {
+            let off = self.read_u64(cur)?;
+            let len = self.read_u64(cur + 8)?;
+            let data = self.dev.read(cur + 16, len)?;
+            self.dev.write(off, &data)?;
+            self.persist_internal(off, len)?;
+            cur += 16 + len;
+        }
+        Ok(())
+    }
+
+    /// Crash recovery: replay a valid redo batch, roll back an interrupted
+    /// transaction.
+    fn recover(&mut self) -> PmResult<()> {
+        if self.read_u64(hdr::REDO_VALID)? == 1 {
+            self.redo_replay()?;
+            self.write_u64(hdr::REDO_VALID, 0)?;
+            self.persist_internal(hdr::REDO_VALID, 8)?;
+        }
+        if self.read_u64(hdr::TX_ACTIVE)? == 1 {
+            self.undo_replay()?;
+            self.write_u64(hdr::TX_ACTIVE, 0)?;
+            self.persist_internal(hdr::TX_ACTIVE, 8)?;
+        }
+        Ok(())
+    }
+
+    // ---- allocator --------------------------------------------------------
+
+    /// Allocates `size` bytes from the persistent heap, zero-filled.
+    ///
+    /// Metadata updates are crash-atomic via the redo log. Returns the
+    /// payload offset.
+    pub fn alloc(&mut self, size: u64) -> PmResult<u64> {
+        if size == 0 {
+            return Err(PmError::OutOfPmSpace { requested: 0 });
+        }
+        let need = (layout::align_up(size) + layout::BLOCK_HDR).max(layout::MIN_BLOCK);
+        // First-fit walk of the free list.
+        let mut prev: Option<u64> = None;
+        let mut cur = self.read_u64(hdr::FREE_HEAD)?;
+        let mut guard = 0u64;
+        while cur != 0 {
+            guard += 1;
+            if guard > 1 << 22 {
+                return Err(PmError::Corruption("free list cycle".into()));
+            }
+            let bsize = self.read_u64(cur)?;
+            let next = self.read_u64(cur + 8)?;
+            if bsize & 1 != 0 {
+                return Err(PmError::Corruption(format!(
+                    "allocated block {cur} on free list"
+                )));
+            }
+            if bsize >= need {
+                let mut writes: Vec<(u64, Vec<u8>)> = Vec::new();
+                let replacement;
+                if bsize - need >= layout::MIN_BLOCK {
+                    // Split: remainder becomes a free block that inherits
+                    // our free-list position.
+                    let rem = cur + need;
+                    writes.push((rem, (bsize - need).to_le_bytes().to_vec()));
+                    writes.push((rem + 8, next.to_le_bytes().to_vec()));
+                    writes.push((cur, (need | 1).to_le_bytes().to_vec()));
+                    replacement = rem;
+                } else {
+                    writes.push((cur, (bsize | 1).to_le_bytes().to_vec()));
+                    replacement = next;
+                }
+                match prev {
+                    Some(p) => writes.push((p + 8, replacement.to_le_bytes().to_vec())),
+                    None => writes.push((hdr::FREE_HEAD, replacement.to_le_bytes().to_vec())),
+                }
+                self.redo_apply(&writes)?;
+                let payload = cur + layout::BLOCK_HDR;
+                let payload_size = need - layout::BLOCK_HDR;
+                self.dev.write(payload, &vec![0u8; payload_size as usize])?;
+                self.persist_internal(payload, payload_size)?;
+                self.stats.allocs += 1;
+                if let Some(sink) = self.sink.clone() {
+                    sink.borrow_mut().on_alloc(payload, payload_size);
+                }
+                return Ok(payload);
+            }
+            prev = Some(cur);
+            cur = next;
+        }
+        Err(PmError::OutOfPmSpace { requested: size })
+    }
+
+    /// Frees the block whose payload starts at `offset`.
+    pub fn free(&mut self, offset: u64) -> PmResult<()> {
+        if offset < layout::HEAP_OFF + layout::BLOCK_HDR || offset >= self.capacity() {
+            return Err(PmError::NotAllocated { offset });
+        }
+        let block = offset - layout::BLOCK_HDR;
+        let bsize = self.read_u64(block)?;
+        if bsize & 1 == 0 {
+            return Err(PmError::DoubleFree { offset });
+        }
+        let head = self.read_u64(hdr::FREE_HEAD)?;
+        let writes = vec![
+            (block, (bsize & !1).to_le_bytes().to_vec()),
+            (block + 8, head.to_le_bytes().to_vec()),
+            (hdr::FREE_HEAD, block.to_le_bytes().to_vec()),
+        ];
+        self.redo_apply(&writes)?;
+        self.stats.frees += 1;
+        if let Some(sink) = self.sink.clone() {
+            sink.borrow_mut().on_free(offset);
+        }
+        Ok(())
+    }
+
+    /// Returns whether the payload offset names a live allocation.
+    pub fn is_allocated(&mut self, offset: u64) -> bool {
+        if offset < layout::HEAP_OFF + layout::BLOCK_HDR || offset >= self.capacity() {
+            return false;
+        }
+        match self.read_u64(offset - layout::BLOCK_HDR) {
+            Ok(size) => size & 1 == 1,
+            Err(_) => false,
+        }
+    }
+
+    /// Walks the heap and returns all live allocations as
+    /// `(payload_offset, payload_size)` pairs.
+    pub fn live_blocks(&mut self) -> PmResult<Vec<(u64, u64)>> {
+        let mut out = Vec::new();
+        let cap = self.capacity();
+        let mut cur = layout::HEAP_OFF;
+        while cur + layout::BLOCK_HDR <= cap {
+            let word = self.read_u64(cur)?;
+            let size = word & !1;
+            if size < layout::BLOCK_HDR || cur + size > cap {
+                return Err(PmError::Corruption(format!(
+                    "bad block size {size} at {cur}"
+                )));
+            }
+            if word & 1 == 1 {
+                out.push((cur + layout::BLOCK_HDR, size - layout::BLOCK_HDR));
+            }
+            cur += size;
+        }
+        Ok(out)
+    }
+
+    /// Total payload bytes currently allocated.
+    pub fn allocated_bytes(&mut self) -> PmResult<u64> {
+        Ok(self.live_blocks()?.iter().map(|(_, s)| s).sum())
+    }
+
+    /// Total bytes on the free list (largest satisfiable request may be
+    /// smaller due to fragmentation).
+    pub fn free_bytes(&mut self) -> PmResult<u64> {
+        let mut total = 0u64;
+        let mut cur = self.read_u64(hdr::FREE_HEAD)?;
+        let mut guard = 0u64;
+        while cur != 0 {
+            guard += 1;
+            if guard > 1 << 22 {
+                return Err(PmError::Corruption("free list cycle".into()));
+            }
+            let size = self.read_u64(cur)?;
+            total += size & !1;
+            cur = self.read_u64(cur + 8)?;
+        }
+        Ok(total)
+    }
+
+    // ---- transactions -----------------------------------------------------
+
+    /// Begins a transaction. Nested transactions are not supported.
+    pub fn tx_begin(&mut self) -> PmResult<u64> {
+        if self.tx.is_some() {
+            return Err(PmError::TxState("transaction already open".into()));
+        }
+        let id = self.read_u64(hdr::TX_NEXT_ID)?;
+        self.write_u64(hdr::TX_NEXT_ID, id + 1)?;
+        self.write_u64(hdr::TX_COUNT, 0)?;
+        self.persist_internal(hdr::TX_COUNT, 16)?;
+        self.write_u64(hdr::TX_ACTIVE, 1)?;
+        self.persist_internal(hdr::TX_ACTIVE, 8)?;
+        self.tx = Some(OpenTx {
+            id,
+            ranges: Vec::new(),
+            undo_cursor: 0,
+        });
+        if let Some(sink) = self.sink.clone() {
+            sink.borrow_mut().on_tx_begin(id);
+        }
+        Ok(id)
+    }
+
+    /// Snapshots `[offset, offset + len)` into the undo log so the open
+    /// transaction can modify it (the `pmemobj_tx_add_range` primitive).
+    pub fn tx_add(&mut self, offset: u64, len: u64) -> PmResult<()> {
+        let tx = self
+            .tx
+            .as_ref()
+            .ok_or_else(|| PmError::TxState("tx_add outside transaction".into()))?;
+        let cursor = tx.undo_cursor;
+        if cursor + 16 + len > layout::UNDO_SIZE {
+            return Err(PmError::LogFull { log: "undo" });
+        }
+        let old = self.dev.read(offset, len)?;
+        let base = layout::UNDO_OFF + cursor;
+        self.write_u64(base, offset)?;
+        self.write_u64(base + 8, len)?;
+        self.dev.write(base + 16, &old)?;
+        self.persist_internal(base, 16 + len)?;
+        let count = self.read_u64(hdr::TX_COUNT)?;
+        self.write_u64(hdr::TX_COUNT, count + 1)?;
+        self.persist_internal(hdr::TX_COUNT, 8)?;
+        let tx = self.tx.as_mut().expect("tx checked above");
+        tx.undo_cursor += 16 + len;
+        tx.ranges.push((offset, len));
+        Ok(())
+    }
+
+    /// Commits the open transaction: persists every snapshotted range,
+    /// notifies the sink, then retires the undo log.
+    pub fn tx_commit(&mut self) -> PmResult<()> {
+        let tx = self
+            .tx
+            .take()
+            .ok_or_else(|| PmError::TxState("commit without transaction".into()))?;
+        for &(off, len) in &tx.ranges {
+            self.dev.flush(off, len)?;
+        }
+        self.dev.drain();
+        let mut committed = Vec::with_capacity(tx.ranges.len());
+        for &(off, len) in &tx.ranges {
+            committed.push((off, self.dev.read(off, len)?));
+        }
+        self.write_u64(hdr::TX_ACTIVE, 0)?;
+        self.persist_internal(hdr::TX_ACTIVE, 8)?;
+        self.stats.tx_commits += 1;
+        if let Some(sink) = self.sink.clone() {
+            sink.borrow_mut().on_tx_commit(tx.id, &committed);
+        }
+        Ok(())
+    }
+
+    /// Aborts the open transaction, restoring all snapshotted ranges.
+    pub fn tx_abort(&mut self) -> PmResult<()> {
+        let tx = self
+            .tx
+            .take()
+            .ok_or_else(|| PmError::TxState("abort without transaction".into()))?;
+        self.undo_replay()?;
+        self.write_u64(hdr::TX_ACTIVE, 0)?;
+        self.persist_internal(hdr::TX_ACTIVE, 8)?;
+        self.stats.tx_aborts += 1;
+        if let Some(sink) = self.sink.clone() {
+            sink.borrow_mut().on_tx_abort(tx.id);
+        }
+        Ok(())
+    }
+
+    /// Returns whether a transaction is currently open.
+    pub fn in_tx(&self) -> bool {
+        self.tx.is_some()
+    }
+
+    /// Applies the undo log newest-first, restoring pre-transaction data.
+    fn undo_replay(&mut self) -> PmResult<()> {
+        let count = self.read_u64(hdr::TX_COUNT)?;
+        // Collect entry positions first (they are variable length).
+        let mut entries = Vec::with_capacity(count as usize);
+        let mut cur = layout::UNDO_OFF;
+        for _ in 0..count {
+            let off = self.read_u64(cur)?;
+            let len = self.read_u64(cur + 8)?;
+            entries.push((cur + 16, off, len));
+            cur += 16 + len;
+        }
+        for &(data_at, off, len) in entries.iter().rev() {
+            let old = self.dev.read(data_at, len)?;
+            self.dev.write(off, &old)?;
+            self.persist_internal(off, len)?;
+        }
+        Ok(())
+    }
+
+    // ---- recovery annotation ----------------------------------------------
+
+    /// Marks the start of the application's recovery function
+    /// (`pmem_recover_begin`, §4.7 of the paper).
+    pub fn recover_begin(&mut self) {
+        self.recovering = true;
+        if let Some(sink) = self.sink.clone() {
+            sink.borrow_mut().on_recover_begin();
+        }
+    }
+
+    /// Marks the end of the application's recovery function.
+    pub fn recover_end(&mut self) {
+        self.recovering = false;
+        if let Some(sink) = self.sink.clone() {
+            sink.borrow_mut().on_recover_end();
+        }
+    }
+
+    /// Whether the recovery annotation is currently active.
+    pub fn is_recovering(&self) -> bool {
+        self.recovering
+    }
+
+    /// Flips one durable bit, bypassing the sink. Fault-injection helper
+    /// for the hardware-fault scenarios (see
+    /// [`PmDevice::corrupt_bit`](crate::PmDevice::corrupt_bit)).
+    pub fn corrupt_bit(&mut self, offset: u64, bit: u8) -> PmResult<()> {
+        self.dev.corrupt_bit(offset, bit)
+    }
+
+    // ---- snapshot / integrity ----------------------------------------------
+
+    /// Point-in-time copy of durable media (the pmCRIU snapshot primitive).
+    pub fn snapshot(&self) -> Vec<u8> {
+        self.dev.media_image()
+    }
+
+    /// Restores a snapshot taken with [`PmPool::snapshot`] and re-runs
+    /// recovery.
+    pub fn restore(&mut self, image: &[u8]) -> PmResult<()> {
+        self.dev.restore_image(image)?;
+        self.tx = None;
+        self.recover()
+    }
+
+    /// Writes the durable media image to a file (the PM DAX-file
+    /// analogue), so a pool can be reopened by a later process via
+    /// [`PmPool::open_file`]. Only durable state is written — exactly what
+    /// a machine crash would leave behind.
+    pub fn save_to_file(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.dev.media_image())
+    }
+
+    /// Opens a pool from a file written by [`PmPool::save_to_file`],
+    /// running crash recovery.
+    pub fn open_file(path: impl AsRef<std::path::Path>) -> PmResult<Self> {
+        let image = std::fs::read(path)
+            .map_err(|e| PmError::BadHeader(format!("cannot read pool file: {e}")))?;
+        PmPool::open(image)
+    }
+
+    /// Integrity check (the `pmempool-check` analogue): validates the
+    /// header, walks the heap chain and the free list. Returns all issues
+    /// found (empty = clean).
+    pub fn check(&mut self) -> Vec<CheckIssue> {
+        let mut issues: Vec<CheckIssue> = Vec::new();
+        fn push(issues: &mut Vec<CheckIssue>, msg: String) {
+            issues.push(CheckIssue { message: msg });
+        }
+        match self.read_u64(hdr::MAGIC) {
+            Ok(m) if m == layout::MAGIC => {}
+            _ => push(&mut issues, "bad magic".into()),
+        }
+        let cap = self.capacity();
+        // Heap walk.
+        let mut cur = layout::HEAP_OFF;
+        let mut seen_blocks = std::collections::BTreeSet::new();
+        while cur + layout::BLOCK_HDR <= cap {
+            match self.read_u64(cur) {
+                Ok(word) => {
+                    let size = word & !1;
+                    if size < layout::BLOCK_HDR || cur + size > cap || size % layout::ALIGN != 0 {
+                        push(
+                            &mut issues,
+                            format!("bad block size {size} at offset {cur}"),
+                        );
+                        break;
+                    }
+                    seen_blocks.insert(cur);
+                    cur += size;
+                }
+                Err(e) => {
+                    push(&mut issues, format!("heap walk failed at {cur}: {e}"));
+                    break;
+                }
+            }
+        }
+        if cur != cap && issues.is_empty() {
+            push(
+                &mut issues,
+                format!("heap walk ended at {cur}, expected {cap}"),
+            );
+        }
+        // Free-list walk.
+        let mut fcur = self.read_u64(hdr::FREE_HEAD).unwrap_or(0);
+        let mut visited = std::collections::BTreeSet::new();
+        while fcur != 0 {
+            if !visited.insert(fcur) {
+                push(&mut issues, format!("free list cycle at {fcur}"));
+                break;
+            }
+            if !seen_blocks.contains(&fcur) {
+                push(
+                    &mut issues,
+                    format!("free list points at non-block offset {fcur}"),
+                );
+                break;
+            }
+            match self.read_u64(fcur) {
+                Ok(word) if word & 1 == 1 => {
+                    push(&mut issues, format!("allocated block {fcur} on free list"));
+                    break;
+                }
+                Ok(_) => {}
+                Err(e) => {
+                    push(&mut issues, format!("free list read failed: {e}"));
+                    break;
+                }
+            }
+            fcur = self.read_u64(fcur + 8).unwrap_or(0);
+        }
+        // Root sanity.
+        if let Ok(root) = self.read_u64(hdr::ROOT_OFF) {
+            if root != 0 && !self.is_allocated(root) {
+                push(
+                    &mut issues,
+                    format!("root offset {root} is not an allocated block"),
+                );
+            }
+        }
+        issues
+    }
+}
+
+impl std::fmt::Debug for PmPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PmPool")
+            .field("capacity", &self.dev.capacity())
+            .field("in_tx", &self.tx.is_some())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CAP: u64 = layout::HEAP_OFF + 1024 * 1024;
+
+    #[test]
+    fn create_and_reopen() {
+        let pool = PmPool::create(CAP).unwrap();
+        let image = pool.snapshot();
+        let mut pool = PmPool::open(image).unwrap();
+        assert!(pool.check().is_empty());
+    }
+
+    #[test]
+    fn alloc_free_roundtrip() {
+        let mut pool = PmPool::create(CAP).unwrap();
+        let a = pool.alloc(100).unwrap();
+        let b = pool.alloc(200).unwrap();
+        assert_ne!(a, b);
+        assert!(pool.is_allocated(a));
+        pool.free(a).unwrap();
+        assert!(!pool.is_allocated(a));
+        assert!(pool.is_allocated(b));
+        assert!(pool.check().is_empty());
+    }
+
+    #[test]
+    fn alloc_is_zeroed_and_reusable() {
+        let mut pool = PmPool::create(CAP).unwrap();
+        let a = pool.alloc(64).unwrap();
+        pool.write(a, &[0xFF; 64]).unwrap();
+        pool.persist(a, 64).unwrap();
+        pool.free(a).unwrap();
+        let b = pool.alloc(64).unwrap();
+        assert_eq!(b, a, "freed block is reused");
+        assert_eq!(pool.read(b, 64).unwrap(), vec![0; 64]);
+    }
+
+    #[test]
+    fn double_free_is_detected() {
+        let mut pool = PmPool::create(CAP).unwrap();
+        let a = pool.alloc(64).unwrap();
+        pool.free(a).unwrap();
+        assert!(matches!(pool.free(a), Err(PmError::DoubleFree { .. })));
+    }
+
+    #[test]
+    fn out_of_space() {
+        let mut pool = PmPool::create(layout::HEAP_OFF + 4096).unwrap();
+        assert!(matches!(
+            pool.alloc(1 << 20),
+            Err(PmError::OutOfPmSpace { .. })
+        ));
+    }
+
+    #[test]
+    fn live_blocks_tracks_heap() {
+        let mut pool = PmPool::create(CAP).unwrap();
+        let a = pool.alloc(100).unwrap();
+        let b = pool.alloc(50).unwrap();
+        pool.free(a).unwrap();
+        let live = pool.live_blocks().unwrap();
+        assert_eq!(live.len(), 1);
+        assert_eq!(live[0].0, b);
+    }
+
+    #[test]
+    fn allocator_metadata_survives_crash() {
+        let mut pool = PmPool::create(CAP).unwrap();
+        let a = pool.alloc(128).unwrap();
+        pool.crash_and_reopen().unwrap();
+        assert!(pool.is_allocated(a));
+        assert!(pool.check().is_empty());
+    }
+
+    #[test]
+    fn tx_commit_persists() {
+        let mut pool = PmPool::create(CAP).unwrap();
+        let a = pool.alloc(64).unwrap();
+        pool.tx_begin().unwrap();
+        pool.tx_add(a, 8).unwrap();
+        pool.write_u64(a, 0xDEAD).unwrap();
+        pool.tx_commit().unwrap();
+        pool.crash_and_reopen().unwrap();
+        assert_eq!(pool.read_u64(a).unwrap(), 0xDEAD);
+    }
+
+    #[test]
+    fn tx_abort_restores_old_data() {
+        let mut pool = PmPool::create(CAP).unwrap();
+        let a = pool.alloc(64).unwrap();
+        pool.write_u64(a, 1).unwrap();
+        pool.persist(a, 8).unwrap();
+        pool.tx_begin().unwrap();
+        pool.tx_add(a, 8).unwrap();
+        pool.write_u64(a, 2).unwrap();
+        pool.tx_abort().unwrap();
+        assert_eq!(pool.read_u64(a).unwrap(), 1);
+    }
+
+    #[test]
+    fn interrupted_tx_rolls_back_on_reopen() {
+        let mut pool = PmPool::create(CAP).unwrap();
+        let a = pool.alloc(64).unwrap();
+        pool.write_u64(a, 7).unwrap();
+        pool.persist(a, 8).unwrap();
+        pool.tx_begin().unwrap();
+        pool.tx_add(a, 8).unwrap();
+        pool.write_u64(a, 99).unwrap();
+        // Make the bad value durable, then crash before commit.
+        pool.persist(a, 8).unwrap();
+        pool.crash_and_reopen().unwrap();
+        assert_eq!(pool.read_u64(a).unwrap(), 7, "undo log restored old value");
+    }
+
+    #[test]
+    fn nested_tx_rejected() {
+        let mut pool = PmPool::create(CAP).unwrap();
+        pool.tx_begin().unwrap();
+        assert!(matches!(pool.tx_begin(), Err(PmError::TxState(_))));
+    }
+
+    #[test]
+    fn root_is_stable_across_reopen() {
+        let mut pool = PmPool::create(CAP).unwrap();
+        let r = pool.root(256).unwrap();
+        pool.write_u64(r, 42).unwrap();
+        pool.persist(r, 8).unwrap();
+        let image = pool.snapshot();
+        let mut pool = PmPool::open(image).unwrap();
+        assert_eq!(pool.root(256).unwrap(), r);
+        assert_eq!(pool.read_u64(r).unwrap(), 42);
+    }
+
+    #[test]
+    fn sink_sees_persists_allocs_and_commits() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        #[derive(Default)]
+        struct Rec {
+            persists: Vec<(u64, usize)>,
+            allocs: Vec<(u64, u64)>,
+            frees: Vec<u64>,
+            commits: Vec<u64>,
+        }
+        impl PmSink for Rec {
+            fn on_persist(&mut self, offset: u64, data: &[u8]) {
+                self.persists.push((offset, data.len()));
+            }
+            fn on_alloc(&mut self, offset: u64, size: u64) {
+                self.allocs.push((offset, size));
+            }
+            fn on_free(&mut self, offset: u64) {
+                self.frees.push(offset);
+            }
+            fn on_tx_commit(&mut self, tx_id: u64, _ranges: &[(u64, Vec<u8>)]) {
+                self.commits.push(tx_id);
+            }
+        }
+
+        let rec = Rc::new(RefCell::new(Rec::default()));
+        let mut pool = PmPool::create(CAP).unwrap();
+        pool.set_sink(rec.clone());
+        let a = pool.alloc(64).unwrap();
+        pool.write_u64(a, 5).unwrap();
+        pool.persist(a, 8).unwrap();
+        pool.tx_begin().unwrap();
+        pool.tx_add(a, 8).unwrap();
+        pool.write_u64(a, 6).unwrap();
+        pool.tx_commit().unwrap();
+        pool.free(a).unwrap();
+
+        let r = rec.borrow();
+        assert_eq!(r.allocs, vec![(a, 64)]);
+        assert_eq!(r.persists, vec![(a, 8)]);
+        assert_eq!(r.frees, vec![a]);
+        assert_eq!(r.commits.len(), 1);
+    }
+
+    #[test]
+    fn file_round_trip_preserves_durable_state_only() {
+        let dir = std::env::temp_dir().join(format!("pmemsim-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pool.img");
+
+        let mut pool = PmPool::create(CAP).unwrap();
+        let a = pool.alloc(64).unwrap();
+        pool.write_u64(a, 0xD00D).unwrap();
+        pool.persist(a, 8).unwrap();
+        pool.write_u64(a + 8, 0xBEEF).unwrap(); // not persisted
+        pool.save_to_file(&path).unwrap();
+
+        let mut reopened = PmPool::open_file(&path).unwrap();
+        assert_eq!(reopened.read_u64(a).unwrap(), 0xD00D);
+        assert_eq!(
+            reopened.read_u64(a + 8).unwrap(),
+            0,
+            "unpersisted data lost"
+        );
+        assert!(reopened.check().is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn check_flags_corruption() {
+        let mut pool = PmPool::create(CAP).unwrap();
+        let a = pool.alloc(64).unwrap();
+        // Corrupt the block header size word.
+        pool.write_u64(a - layout::BLOCK_HDR, 3).unwrap();
+        pool.persist(a - layout::BLOCK_HDR, 8).unwrap();
+        assert!(!pool.check().is_empty());
+    }
+}

@@ -1,0 +1,69 @@
+//! Event interception surface for checkpointing tools.
+//!
+//! Arthas (and the baselines) observe a PM application through the
+//! well-defined durability points of the PMDK-like API: explicit persists,
+//! transaction commits, allocations and frees. A [`PmSink`] attached to a
+//! pool receives exactly those events, mirroring how the paper's checkpoint
+//! library intercepts `pmem_persist`, `sfence` and the `libpmemobj`
+//! transaction commit (§4.2).
+
+/// Observer for durability events on a [`crate::PmPool`].
+///
+/// All methods have empty default bodies so implementors override only what
+/// they need. Events are delivered *after* the corresponding data is durable
+/// on media, so a sink checkpoints only successfully persisted state — the
+/// paper's rule that checkpointing "respects the program's persistence
+/// points".
+pub trait PmSink {
+    /// An explicit persist of `[offset, offset + data.len())` completed;
+    /// `data` is the durable contents.
+    fn on_persist(&mut self, offset: u64, data: &[u8]) {
+        let _ = (offset, data);
+    }
+
+    /// A transaction began. `tx_id` increases monotonically per pool.
+    fn on_tx_begin(&mut self, tx_id: u64) {
+        let _ = tx_id;
+    }
+
+    /// A transaction committed; `ranges` are the snapshotted (and therefore
+    /// possibly modified) ranges with their *new* durable contents.
+    fn on_tx_commit(&mut self, tx_id: u64, ranges: &[(u64, Vec<u8>)]) {
+        let _ = (tx_id, ranges);
+    }
+
+    /// A transaction aborted and its undo log was applied.
+    fn on_tx_abort(&mut self, tx_id: u64) {
+        let _ = tx_id;
+    }
+
+    /// A heap block was allocated: payload at `offset`, `size` bytes.
+    fn on_alloc(&mut self, offset: u64, size: u64) {
+        let _ = (offset, size);
+    }
+
+    /// The heap block with payload at `offset` was freed.
+    fn on_free(&mut self, offset: u64) {
+        let _ = offset;
+    }
+
+    /// The application's recovery function started (the
+    /// `pmem_recover_begin` annotation of §4.7).
+    fn on_recover_begin(&mut self) {}
+
+    /// The application's recovery function finished (`pmem_recover_end`).
+    fn on_recover_end(&mut self) {}
+
+    /// A PM address was read while recovery is active. Used by the
+    /// persistent-leak mitigation to learn which objects the recovery
+    /// function reaches.
+    fn on_recover_read(&mut self, offset: u64, len: u64) {
+        let _ = (offset, len);
+    }
+}
+
+/// A sink that records nothing; useful as a default.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl PmSink for NullSink {}

@@ -1,0 +1,9 @@
+//! Umbrella crate for the Arthas (EuroSys 21) reproduction.
+pub use arthas;
+pub use baselines;
+pub use pir;
+pub use pir_analysis;
+pub use pm_apps;
+pub use pm_study;
+pub use pm_workload;
+pub use pmemsim;

@@ -1,0 +1,205 @@
+//! Command-line interface to the Arthas reproduction.
+//!
+//! ```text
+//! arthas-repro list                      # the 12 fault scenarios
+//! arthas-repro run f6 [arthas|pmcriu|arckpt] [seed]
+//! arthas-repro study                     # the S2 empirical-study stats
+//! arthas-repro analyze kvcache           # analyzer summary for an app
+//! arthas-repro disasm cceh [insert]      # IR disassembly
+//! ```
+
+use arthas::ReactorConfig;
+use pm_workload::{mitigate, run_production, scenarios, AppSetup, RunConfig, Solution};
+
+fn build_app(name: &str) -> Option<pir::ir::Module> {
+    match name {
+        "kvcache" | "memcached" => Some(pm_apps::kvcache::build()),
+        "listdb" | "redis" => Some(pm_apps::listdb::build()),
+        "cceh" => Some(pm_apps::cceh::build()),
+        "segcache" | "pelikan" => Some(pm_apps::segcache::build()),
+        "pmkv" | "pmemkv" => Some(pm_apps::pmkv::build()),
+        _ => None,
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: arthas-repro <command>\n\
+         \n\
+         commands:\n\
+         \x20 list                          list the 12 fault scenarios (Table 2)\n\
+         \x20 run <fN> [solution] [seed]    run one scenario to failure and mitigate\n\
+         \x20                               solution: arthas (default) | pmcriu | arckpt\n\
+         \x20 study                         print the empirical-study statistics (S2)\n\
+         \x20 analyze <app>                 analyzer summary (apps: kvcache, listdb,\n\
+         \x20                               cceh, segcache, pmkv)\n\
+         \x20 disasm <app> [function]       disassemble an application module"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    // Exit quietly with the conventional 141 status when stdout closes
+    // early (e.g. `arthas-repro list | head`), instead of panicking.
+    std::panic::set_hook(Box::new(|info| {
+        let msg = info.to_string();
+        if msg.contains("Broken pipe") {
+            std::process::exit(141);
+        }
+        eprintln!("{msg}");
+    }));
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => cmd_list(),
+        Some("run") => cmd_run(&args[1..]),
+        Some("study") => cmd_study(),
+        Some("analyze") => cmd_analyze(&args[1..]),
+        Some("disasm") => cmd_disasm(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn cmd_list() {
+    println!(
+        "{:<5} {:<22} {:<34} {:<16}",
+        "id", "system", "fault", "consequence"
+    );
+    for s in scenarios::all() {
+        println!(
+            "{:<5} {:<22} {:<34} {:<16}",
+            s.id(),
+            s.system(),
+            s.fault(),
+            s.consequence()
+        );
+    }
+}
+
+fn cmd_run(args: &[String]) {
+    let Some(id) = args.first() else { usage() };
+    let Some(scn) = scenarios::by_id(id) else {
+        eprintln!("unknown scenario {id} (try `arthas-repro list`)");
+        std::process::exit(1);
+    };
+    let solution = match args.get(1).map(String::as_str) {
+        None | Some("arthas") => Solution::Arthas(ReactorConfig::default()),
+        Some("pmcriu") => Solution::PmCriu,
+        Some("arckpt") => Solution::ArCkpt(200),
+        Some(other) => {
+            eprintln!("unknown solution {other}");
+            std::process::exit(1);
+        }
+    };
+    let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1);
+
+    println!("== {}: {} — {} ==", scn.id(), scn.system(), scn.fault());
+    let setup = AppSetup::new(scn.build_module());
+    println!(
+        "analyzer: {} instructions, {} PM sites instrumented, PDG {} edges ({:.1} ms)",
+        setup.module.inst_count(),
+        setup.guid_map.len(),
+        setup.analysis.pdg.n_edges,
+        setup.analysis.analysis_time.as_secs_f64() * 1e3,
+    );
+    let cfg = RunConfig {
+        seed,
+        ..RunConfig::default()
+    };
+    let Some(mut prod) = run_production(scn.as_ref(), &setup, &cfg) else {
+        eprintln!("production completed with no detected hard failure");
+        std::process::exit(1);
+    };
+    println!(
+        "production: {:?} (exit code {}) after {} restart(s); {} updates checkpointed",
+        prod.failure.kind,
+        prod.failure.exit_code,
+        prod.restarts,
+        prod.log.borrow().total_updates(),
+    );
+    let res = mitigate(&mut prod, scn.as_ref(), &setup, solution);
+    println!(
+        "mitigation: recovered={} attempts={} discarded={}/{} consistent={:?} leaks_freed={}",
+        res.recovered,
+        res.attempts,
+        res.discarded_updates,
+        res.total_updates,
+        res.consistent,
+        res.leaks_freed,
+    );
+    std::process::exit(if res.recovered { 0 } else { 1 });
+}
+
+fn cmd_study() {
+    println!("-- Table 1 --");
+    for (system, kind, n) in pm_study::table1() {
+        println!("{system:<16} {n:>3}  {kind:?}");
+    }
+    println!("-- Figure 2: root causes --");
+    for (c, n, pct) in pm_study::figure2() {
+        println!("{c:<18?} {n:>3}  {pct:>5.1}%");
+    }
+    println!("-- Figure 3: consequences --");
+    for (c, n, pct) in pm_study::figure3() {
+        println!("{c:<18?} {n:>3}  {pct:>5.1}%");
+    }
+    println!("-- propagation patterns --");
+    for (c, n, pct) in pm_study::propagation_types() {
+        println!("{c:<18?} {n:>3}  {pct:>5.1}%");
+    }
+}
+
+fn cmd_analyze(args: &[String]) {
+    let Some(name) = args.first() else { usage() };
+    let Some(module) = build_app(name) else {
+        eprintln!("unknown app {name}");
+        std::process::exit(1);
+    };
+    let setup = AppSetup::new(module);
+    println!("app: {name}");
+    println!("functions: {}", setup.module.funcs.len());
+    println!("instructions: {}", setup.module.inst_count());
+    println!("pm-update sites (GUIDs): {}", setup.guid_map.len());
+    println!("pdg edges: {}", setup.analysis.pdg.n_edges);
+    println!(
+        "points-to solver passes: {}",
+        setup.analysis.pointsto.passes
+    );
+    println!(
+        "analysis {:.2} ms, instrumentation {:.2} ms",
+        setup.analysis.analysis_time.as_secs_f64() * 1e3,
+        setup.instrument_time.as_secs_f64() * 1e3,
+    );
+    println!("instrumented sites by function:");
+    let mut per_fn: std::collections::BTreeMap<&str, usize> = Default::default();
+    for meta in setup.guid_map.iter() {
+        let name = &setup.module.func(meta.at.func).name;
+        *per_fn.entry(name).or_default() += 1;
+    }
+    for (f, n) in per_fn {
+        println!("  {f:<24} {n}");
+    }
+}
+
+fn cmd_disasm(args: &[String]) {
+    let Some(name) = args.first() else { usage() };
+    let Some(module) = build_app(name) else {
+        eprintln!("unknown app {name}");
+        std::process::exit(1);
+    };
+    match args.get(1) {
+        Some(fname) => match module.func_by_name(fname) {
+            Some(fid) => print!(
+                "{}",
+                pir::printer::format_function(&module, module.func(fid))
+            ),
+            None => {
+                eprintln!("no function {fname} in {name}; available:");
+                for f in &module.funcs {
+                    eprintln!("  {}", f.name);
+                }
+                std::process::exit(1);
+            }
+        },
+        None => print!("{}", pir::printer::format_module(&module)),
+    }
+}

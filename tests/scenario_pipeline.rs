@@ -1,0 +1,107 @@
+//! Cross-crate integration tests: fault scenarios through the full
+//! production → detection → mitigation pipeline.
+//!
+//! These pick the cheapest scenarios of each failure class so the suite
+//! stays fast in debug builds; the full 12-scenario matrix runs under
+//! `cargo bench` (see `crates/bench`).
+
+use arthas::ReactorConfig;
+use pm_workload::{
+    check_consistency, mitigate, run_production, scenarios, AppSetup, RunConfig, Solution,
+};
+
+fn run(id: &str, solution: Solution) -> (pm_workload::MitigationResult, bool) {
+    let scn = scenarios::by_id(id).expect("scenario exists");
+    let setup = AppSetup::new(scn.build_module());
+    let cfg = RunConfig::default();
+    let mut prod = run_production(scn.as_ref(), &setup, &cfg).expect("hard failure detected");
+    assert!(prod.detected_hard, "{id}: detector flagged the failure");
+    let res = mitigate(&mut prod, scn.as_ref(), &setup, solution);
+    let consistent = if res.recovered {
+        check_consistency(scn.as_ref(), &setup, &prod.pool)
+    } else {
+        false
+    };
+    (res, consistent)
+}
+
+#[test]
+fn f4_segfault_recovered_by_arthas_with_one_reversion() {
+    let (res, consistent) = run("f4", Solution::Arthas(ReactorConfig::default()));
+    assert!(res.recovered, "{res:?}");
+    assert!(consistent);
+    assert!(res.attempts <= 4, "few attempts: {}", res.attempts);
+    assert!(
+        res.discarded_updates * 20 < res.total_updates,
+        "tiny fraction discarded: {}/{}",
+        res.discarded_updates,
+        res.total_updates
+    );
+}
+
+#[test]
+fn f11_crash_injected_hard_fault_recovered() {
+    let (res, consistent) = run("f11", Solution::Arthas(ReactorConfig::default()));
+    assert!(res.recovered, "{res:?}");
+    assert!(consistent);
+}
+
+#[test]
+fn f12_leak_mitigation_frees_only_leaked_objects() {
+    let (res, _) = run("f12", Solution::Arthas(ReactorConfig::default()));
+    assert!(res.recovered, "{res:?}");
+    assert!(res.leaks_freed > 0, "freed leaked entries");
+    assert_eq!(
+        res.discarded_updates, 0,
+        "leak mitigation discards no good updates"
+    );
+}
+
+#[test]
+fn f4_also_recovered_by_arckpt_immediately() {
+    // ArCkpt succeeds on immediate-crash cases (the paper's observation).
+    let (res, _) = run("f4", Solution::ArCkpt(200));
+    assert!(res.recovered, "{res:?}");
+}
+
+#[test]
+fn f2_recovered_by_pmcriu_with_heavy_data_loss() {
+    let (arthas, _) = run("f2", Solution::Arthas(ReactorConfig::default()));
+    let (criu, _) = run("f2", Solution::PmCriu);
+    assert!(arthas.recovered && criu.recovered);
+    let arthas_frac = arthas.discarded_updates as f64 / arthas.total_updates.max(1) as f64;
+    assert!(
+        arthas_frac < 0.05,
+        "Arthas discards a tiny fraction ({arthas_frac})"
+    );
+    assert!(
+        criu.item_loss_frac > arthas_frac,
+        "pmCRIU loses more: {} vs {arthas_frac}",
+        criu.item_loss_frac
+    );
+}
+
+#[test]
+fn f3_pmcriu_cannot_recover_the_early_race() {
+    let (res, _) = run("f3", Solution::PmCriu);
+    assert!(
+        !res.recovered,
+        "the race precedes every useful snapshot: {res:?}"
+    );
+}
+
+#[test]
+fn table2_metadata_is_complete() {
+    let all = scenarios::all();
+    assert_eq!(all.len(), 12);
+    let mut ids: Vec<&str> = all.iter().map(|s| s.id()).collect();
+    ids.dedup();
+    assert_eq!(ids.len(), 12, "unique ids");
+    for s in &all {
+        assert!(!s.fault().is_empty());
+        assert!(!s.consequence().is_empty());
+        assert!(!s.system().is_empty());
+    }
+    // The two leak scenarios, as in the paper.
+    assert_eq!(all.iter().filter(|s| s.is_leak()).count(), 2);
+}
