@@ -221,7 +221,7 @@ mod tests {
     use super::*;
     use pir::builder::ModuleBuilder;
     use pir::vm::{Vm, VmOpts};
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     fn sample() -> Module {
         let mut m = ModuleBuilder::new();
@@ -263,7 +263,7 @@ mod tests {
         let module = sample();
         let out = analyze_and_instrument(&module);
         let pool = pmemsim::PmPool::create(pmemsim::layout::HEAP_OFF + (1 << 20)).unwrap();
-        let mut vm = Vm::new(Rc::new(out.instrumented), pool, VmOpts::default());
+        let mut vm = Vm::new(Arc::new(out.instrumented), pool, VmOpts::default());
         vm.call("put", &[42]).unwrap();
         let trace = vm.take_trace();
         assert_eq!(trace.len(), 3, "one record per PM update");
@@ -298,8 +298,8 @@ mod tests {
         let out = analyze_and_instrument(&module);
 
         let mk_pool = || pmemsim::PmPool::create(pmemsim::layout::HEAP_OFF + (1 << 20)).unwrap();
-        let mut v1 = Vm::new(Rc::new(module), mk_pool(), VmOpts::default());
-        let mut v2 = Vm::new(Rc::new(out.instrumented), mk_pool(), VmOpts::default());
+        let mut v1 = Vm::new(Arc::new(module), mk_pool(), VmOpts::default());
+        let mut v2 = Vm::new(Arc::new(out.instrumented), mk_pool(), VmOpts::default());
         assert_eq!(
             v1.call("work", &[9]).unwrap(),
             v2.call("work", &[9]).unwrap()

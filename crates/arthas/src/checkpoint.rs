@@ -35,9 +35,11 @@ pub struct VersionData {
 pub struct Entry {
     /// Retained versions, oldest first, newest last.
     pub versions: VecDeque<VersionData>,
-    /// Address of the predecessor block when the object was reallocated
-    /// (the paper's `old_entry` chaining).
-    pub old_entry: Option<u64>,
+    /// Index (into the log's retired-entry arena) of the entry this block
+    /// accumulated in its *previous* incarnation, when the address was
+    /// freed and reallocated (the paper's `old_entry` chaining). Resolve
+    /// with [`CheckpointLog::retired_entry`].
+    pub old_entry: Option<usize>,
 }
 
 /// Allocation record for the leak-mitigation pass (§4.7).
@@ -68,6 +70,9 @@ pub struct AllocRecord {
 #[derive(Default)]
 pub struct CheckpointLog {
     entries: BTreeMap<u64, Entry>,
+    /// Entries of freed-then-reallocated blocks, parked here so
+    /// `old_entry` chains keep resolving (§4.2).
+    retired: Vec<Entry>,
     seq: u64,
     seq_to_addr: HashMap<u64, u64>,
     tx_members: HashMap<u64, Vec<u64>>,
@@ -79,6 +84,8 @@ pub struct CheckpointLog {
     /// not rotate good versions out of the log).
     enabled: bool,
     total_updates: u64,
+    /// Largest data size ever recorded; bounds the `covering` scan.
+    max_len: u64,
 }
 
 impl CheckpointLog {
@@ -152,6 +159,7 @@ impl CheckpointLog {
         }
         let seq = self.next_seq();
         self.total_updates += 1;
+        self.max_len = self.max_len.max(data.len() as u64);
         self.seq_to_addr.insert(seq, addr);
         if let Some(tx) = tx_id {
             self.tx_members.entry(tx).or_default().push(seq);
@@ -174,8 +182,12 @@ impl CheckpointLog {
     pub fn covering(&self, addr: u64) -> Vec<(u64, u64)> {
         let mut out = Vec::new();
         // An entry at address `a` of max size `s` covers addr when
-        // a <= addr < a + s. Walk candidates at or below addr.
-        for (&a, e) in self.entries.range(..=addr).rev().take(64) {
+        // a <= addr < a + s. No entry's data is larger than `max_len`, so
+        // every covering entry starts within `max_len - 1` bytes below
+        // `addr` — an exact bound, unlike a fixed candidate count, which a
+        // large entry hidden behind many small ones below `addr` escapes.
+        let lo = addr.saturating_sub(self.max_len.saturating_sub(1));
+        for (&a, e) in self.entries.range(lo..=addr).rev() {
             let max_size = e
                 .versions
                 .iter()
@@ -187,43 +199,65 @@ impl CheckpointLog {
                     out.push((a, latest.seq));
                 }
             }
-            // Entries are disjoint in practice (persist ranges), but sizes
-            // vary; stop early once clearly out of range.
-            if addr - a > 1 << 20 {
-                break;
-            }
         }
         out
     }
 
     /// The data an address held *before* the version `depth` steps back
-    /// from the newest (depth 1 = previous version). Returns zeros of the
-    /// newest version's size when history is exhausted — reverting to
-    /// "before the object existed" (allocations are zero-filled).
+    /// from the newest (depth 1 = previous version). When a depth exceeds
+    /// the current incarnation's history, the lookup continues through the
+    /// `old_entry` chain into previous incarnations of a reallocated block
+    /// (§4.2). Returns zeros of the newest version's size when every
+    /// incarnation is exhausted — reverting to "before the object existed"
+    /// (allocations are zero-filled).
     pub fn data_at_depth(&self, addr: u64, depth: usize) -> Option<Vec<u8>> {
-        let e = self.entries.get(&addr)?;
-        let n = e.versions.len();
-        let newest_len = e.versions.back()?.data.len();
-        if depth == 0 {
-            return Some(e.versions.back()?.data.clone());
-        }
-        if depth < n {
-            Some(e.versions[n - 1 - depth].data.clone())
-        } else {
-            Some(vec![0; newest_len])
+        let mut e = self.entries.get(&addr)?;
+        let newest_len = self
+            .chain(e)
+            .find_map(|e| e.versions.back())
+            .map(|v| v.data.len())?;
+        let mut depth = depth;
+        loop {
+            let n = e.versions.len();
+            if depth < n {
+                return Some(e.versions[n - 1 - depth].data.clone());
+            }
+            depth -= n;
+            match e.old_entry.and_then(|i| self.retired.get(i)) {
+                Some(old) => e = old,
+                None => return Some(vec![0; newest_len]),
+            }
         }
     }
 
     /// The state of `addr` just before global sequence number `cut`:
-    /// newest version with `seq < cut`, or zeros when the address did not
-    /// exist then. `None` when the address is not in the log.
+    /// newest version with `seq < cut` in any incarnation (following the
+    /// `old_entry` chain of reallocated blocks), or zeros when the address
+    /// did not exist then. `None` when the address is not in the log.
     pub fn data_before_seq(&self, addr: u64, cut: u64) -> Option<Vec<u8>> {
         let e = self.entries.get(&addr)?;
-        let newest_len = e.versions.back().map(|v| v.data.len()).unwrap_or(0);
-        match e.versions.iter().rev().find(|v| v.seq < cut) {
-            Some(v) => Some(v.data.clone()),
-            None => Some(vec![0; newest_len]),
+        let newest_len = self
+            .chain(e)
+            .find_map(|e| e.versions.back())
+            .map(|v| v.data.len())
+            .unwrap_or(0);
+        for inc in self.chain(e) {
+            if let Some(v) = inc.versions.iter().rev().find(|v| v.seq < cut) {
+                return Some(v.data.clone());
+            }
         }
+        Some(vec![0; newest_len])
+    }
+
+    /// Iterates an entry and its previous incarnations, newest first.
+    fn chain<'a>(&'a self, e: &'a Entry) -> impl Iterator<Item = &'a Entry> {
+        std::iter::successors(Some(e), |e| e.old_entry.and_then(|i| self.retired.get(i)))
+    }
+
+    /// The retired entry at `idx` — the target of an [`Entry::old_entry`]
+    /// link.
+    pub fn retired_entry(&self, idx: usize) -> Option<&Entry> {
+        self.retired.get(idx)
     }
 
     /// All addresses with at least one version at `seq >= cut` (rollback
@@ -343,12 +377,27 @@ impl PmSink for CheckpointLog {
             return;
         }
         let seq = self.seq;
-        // Reallocation chaining: if an entry exists at this address from a
-        // previous life of the block, link it.
+        // Reallocation chaining (§4.2): when a freed block's address is
+        // handed out again, the previous incarnation's entry is retired to
+        // the arena — its versions leave the seq maps, exactly as version
+        // rotation drops them — and the fresh incarnation's entry links to
+        // it through `old_entry`, so deep reversions can keep walking back
+        // in time across the realloc.
         if let Some(prev) = self.allocs.get(&offset) {
             if prev.freed.is_some() {
-                if let Some(e) = self.entries.get_mut(&offset) {
-                    e.old_entry = Some(offset);
+                if let Some(old) = self.entries.remove(&offset) {
+                    for v in &old.versions {
+                        self.seq_to_addr.remove(&v.seq);
+                    }
+                    let idx = self.retired.len();
+                    self.retired.push(old);
+                    self.entries.insert(
+                        offset,
+                        Entry {
+                            versions: VecDeque::new(),
+                            old_entry: Some(idx),
+                        },
+                    );
                 }
             }
         }
@@ -463,6 +512,48 @@ mod tests {
         log.on_recover_end();
         let leaks = log.suspected_leaks();
         assert_eq!(leaks, vec![(200, 32)], "only the untouched live alloc");
+    }
+
+    #[test]
+    fn realloc_chains_old_incarnation() {
+        let mut log = CheckpointLog::new();
+        log.on_alloc(100, 8);
+        log.on_persist(100, &1u64.to_le_bytes()); // seq 1
+        log.on_persist(100, &2u64.to_le_bytes()); // seq 2
+        log.on_free(100);
+        log.on_alloc(100, 8); // same address handed out again
+        log.on_persist(100, &9u64.to_le_bytes()); // seq 3
+
+        // The live entry holds only the new incarnation's version and links
+        // to the retired one instead of itself.
+        let e = log.entry(100).unwrap();
+        assert_eq!(e.versions.len(), 1);
+        let old = log.retired_entry(e.old_entry.unwrap()).unwrap();
+        assert_eq!(old.versions.back().unwrap().data, 2u64.to_le_bytes());
+        assert!(old.old_entry.is_none());
+
+        // Depth lookups walk across the realloc boundary.
+        assert_eq!(log.data_at_depth(100, 0).unwrap(), 9u64.to_le_bytes());
+        assert_eq!(log.data_at_depth(100, 1).unwrap(), 2u64.to_le_bytes());
+        assert_eq!(log.data_at_depth(100, 2).unwrap(), 1u64.to_le_bytes());
+        assert_eq!(log.data_at_depth(100, 3).unwrap(), vec![0; 8]);
+        // Seq lookups resolve through the chain too.
+        assert_eq!(log.data_before_seq(100, 2).unwrap(), 1u64.to_le_bytes());
+    }
+
+    #[test]
+    fn covering_finds_large_entry_behind_many_small_ones() {
+        let mut log = CheckpointLog::new();
+        // One large object followed by many small neighbours between it and
+        // the queried address. The bounded scan must still report the large
+        // entry whose range covers the query.
+        log.on_persist(0, &[7u8; 8192]);
+        for i in 0..120u64 {
+            log.on_persist(4096 + i * 8, &i.to_le_bytes());
+        }
+        let hits = log.covering(5000);
+        assert!(hits.iter().any(|&(a, _)| a == 0), "large entry missed");
+        assert!(hits.iter().any(|&(a, _)| a == 5000));
     }
 
     #[test]

@@ -33,5 +33,7 @@ pub mod trace;
 pub use analyzer::{analyze_and_instrument, AnalyzerOutput, GuidMap, GuidMeta};
 pub use checkpoint::{CheckpointLog, Entry, VersionData, MAX_VERSIONS};
 pub use detector::{Detector, FailureKind, FailureRecord, LeakMonitor, Verdict};
-pub use reactor::{BatchStrategy, MitigationOutcome, Mode, Plan, Reactor, ReactorConfig, Target};
+pub use reactor::{
+    BatchStrategy, ForkableTarget, MitigationOutcome, Mode, Plan, Reactor, ReactorConfig, Target,
+};
 pub use trace::PmTrace;

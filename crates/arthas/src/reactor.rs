@@ -22,9 +22,9 @@
 //! allocations in the checkpoint log that the application's recovery
 //! function never touched are freed.
 
-use std::cell::RefCell;
 use std::collections::BTreeSet;
-use std::rc::Rc;
+use std::sync::Arc;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use pir::ir::InstRef;
@@ -76,6 +76,15 @@ pub struct ReactorConfig {
     /// report's reduction of the reverted sequence-number set). Lowers
     /// discarded data at the cost of more attempts.
     pub minimize_loss: bool,
+    /// Speculative mitigation: `Some(k)` forks the pool for the next `k`
+    /// candidate reversions at each step and re-executes the forks
+    /// concurrently, committing the first success in candidate order —
+    /// the outcome is identical to the sequential loop, only the restart
+    /// delays overlap. `Some(0)` sizes the fleet from
+    /// [`std::thread::available_parallelism`]; `None` keeps the
+    /// sequential loop. Requires a [`ForkableTarget`]
+    /// (see [`Reactor::mitigate_speculative`]).
+    pub speculation: Option<usize>,
 }
 
 impl Default for ReactorConfig {
@@ -88,6 +97,21 @@ impl Default for ReactorConfig {
             max_slice_nodes: 100_000,
             purge_fallback_after: 60,
             minimize_loss: false,
+            speculation: None,
+        }
+    }
+}
+
+impl ReactorConfig {
+    /// Number of concurrent re-execution workers this configuration asks
+    /// for: 1 means sequential.
+    pub fn speculation_workers(&self) -> usize {
+        match self.speculation {
+            None => 1,
+            Some(0) => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            Some(k) => k.max(1),
         }
     }
 }
@@ -105,6 +129,26 @@ pub trait Target {
     fn reexecute(&mut self, pool: &mut PmPool) -> Result<(), FailureRecord>;
 }
 
+/// A [`Target`] that can produce independent clones of itself for
+/// speculative re-execution on other threads.
+///
+/// Two contracts beyond [`Target`]:
+///
+/// * `reexecute` must treat the pool as the durable image only — restart
+///   on a reopened copy, as a real restart would, leaving the passed pool
+///   unmodified. (Every restart-based target already works this way; it
+///   is what makes forks commutable with the sequential loop.)
+/// * A fork's observable side effects must be limited to its return
+///   value: anything it records (e.g. into a private checkpoint log) is
+///   dropped unless its attempt wins, so recording must not feed back
+///   into re-execution behaviour.
+pub trait ForkableTarget: Target {
+    /// Creates an independent target for one speculative re-execution.
+    /// The box borrows from `self` only immutably, so forks can run under
+    /// [`std::thread::scope`] while the parent target waits.
+    fn fork_target(&self) -> Box<dyn Target + Send + '_>;
+}
+
 /// Result of a mitigation.
 #[derive(Debug, Clone)]
 pub struct MitigationOutcome {
@@ -114,8 +158,14 @@ pub struct MitigationOutcome {
     pub via_restart_only: bool,
     /// Number of re-executions performed.
     pub attempts: u32,
+    /// Number of re-execution *rounds*: groups of re-executions whose
+    /// restart delays overlap. Equals `attempts` for the sequential loop;
+    /// speculative mitigation packs up to `k` attempts into one round.
+    pub reexec_rounds: u32,
     /// Length of the candidate sequence list.
     pub plan_len: usize,
+    /// The checkpoint sequence numbers that ended up reverted.
+    pub reverted_seqs: BTreeSet<u64>,
     /// Distinct checkpoint updates (sequence numbers) discarded.
     pub discarded_updates: u64,
     /// Distinct PM addresses reverted.
@@ -129,12 +179,14 @@ pub struct MitigationOutcome {
 }
 
 impl MitigationOutcome {
-    fn failed(plan_len: usize, attempts: u32, wall: Duration) -> Self {
+    fn failed(plan_len: usize, attempts: u32, rounds: u32, wall: Duration) -> Self {
         MitigationOutcome {
             recovered: false,
             via_restart_only: false,
             attempts,
+            reexec_rounds: rounds,
             plan_len,
+            reverted_seqs: BTreeSet::new(),
             discarded_updates: 0,
             discarded_entries: 0,
             wall,
@@ -146,7 +198,7 @@ impl MitigationOutcome {
 
 /// Bookkeeping of what the reversion loop has written where, so the
 /// minimization pass can undo reversions that were not needed.
-#[derive(Default)]
+#[derive(Default, Clone)]
 struct RevertLedger {
     /// First-touch pool bytes per address (what was there before any
     /// reversion).
@@ -166,6 +218,10 @@ impl RevertLedger {
 
     fn discarded_updates(&self) -> u64 {
         self.by_addr.values().map(|s| s.len() as u64).sum()
+    }
+
+    fn reverted_seqs(&self) -> BTreeSet<u64> {
+        self.by_addr.values().flatten().copied().collect()
     }
 
     fn touched(&self) -> u64 {
@@ -264,7 +320,7 @@ impl<'a> Reactor<'a> {
     pub fn mitigate(
         &mut self,
         pool: &mut PmPool,
-        log: &Rc<RefCell<CheckpointLog>>,
+        log: &Arc<Mutex<CheckpointLog>>,
         failure: &FailureRecord,
         trace: &PmTrace,
         target: &mut dyn Target,
@@ -278,16 +334,61 @@ impl<'a> Reactor<'a> {
             return self.restart_only(pool, target, t0, 0);
         };
         let plan = {
-            let log_ref = log.borrow();
+            let log_ref = log.lock().unwrap();
             self.plan(fault, trace, &log_ref, pool)
         };
         if plan.seqs.is_empty() {
             // §4.5: likely a false alarm — not caused by bad PM values.
             return self.restart_only(pool, target, t0, 0);
         }
-        log.borrow_mut().set_enabled(false);
+        log.lock().unwrap().set_enabled(false);
         let out = self.revert_loop(pool, log, &plan, trace, target, t0);
-        log.borrow_mut().set_enabled(true);
+        log.lock().unwrap().set_enabled(true);
+        out
+    }
+
+    /// Mitigates a suspected hard failure, re-executing candidate
+    /// reversions speculatively when [`ReactorConfig::speculation`] asks
+    /// for more than one worker.
+    ///
+    /// At each step the next `k` candidate reversions are applied
+    /// cumulatively to forks of the pool, every fork is re-executed
+    /// concurrently (`k = min(workers, attempts remaining, candidates
+    /// left)`), and the first success *in candidate order* is committed —
+    /// so the recovered state, reverted sequence numbers, attempt count
+    /// and discarded-data accounting are identical to the sequential
+    /// loop; only the restart delays overlap. With one worker this is
+    /// exactly [`Reactor::mitigate`].
+    pub fn mitigate_speculative(
+        &mut self,
+        pool: &mut PmPool,
+        log: &Arc<Mutex<CheckpointLog>>,
+        failure: &FailureRecord,
+        trace: &PmTrace,
+        target: &mut dyn ForkableTarget,
+    ) -> MitigationOutcome {
+        let workers = self.cfg.speculation_workers();
+        if workers <= 1 {
+            return self.mitigate(pool, log, failure, trace, target);
+        }
+        let t0 = Instant::now();
+        if failure.kind == FailureKind::Leak {
+            // The leak path is two fixed re-executions; nothing to overlap.
+            return self.mitigate_leak(pool, log, target, t0);
+        }
+        let Some(fault) = failure.fault else {
+            return self.restart_only(pool, target, t0, 0);
+        };
+        let plan = {
+            let log_ref = log.lock().unwrap();
+            self.plan(fault, trace, &log_ref, pool)
+        };
+        if plan.seqs.is_empty() {
+            return self.restart_only(pool, target, t0, 0);
+        }
+        log.lock().unwrap().set_enabled(false);
+        let out = self.revert_loop_speculative(pool, log, &plan, trace, target, t0, workers);
+        log.lock().unwrap().set_enabled(true);
         out
     }
 
@@ -303,7 +404,9 @@ impl<'a> Reactor<'a> {
             recovered: ok,
             via_restart_only: true,
             attempts: 1,
+            reexec_rounds: 1,
             plan_len,
+            reverted_seqs: BTreeSet::new(),
             discarded_updates: 0,
             discarded_entries: 0,
             wall: t0.elapsed(),
@@ -315,7 +418,7 @@ impl<'a> Reactor<'a> {
     fn revert_loop(
         &mut self,
         pool: &mut PmPool,
-        log_rc: &Rc<RefCell<CheckpointLog>>,
+        log_rc: &Arc<Mutex<CheckpointLog>>,
         plan: &Plan,
         trace: &PmTrace,
         target: &mut dyn Target,
@@ -338,7 +441,12 @@ impl<'a> Reactor<'a> {
             let mut pending: Vec<u64> = plan.seqs.clone();
             while !pending.is_empty() {
                 if attempts >= self.cfg.max_attempts {
-                    return MitigationOutcome::failed(plan.seqs.len(), attempts, t0.elapsed());
+                    return MitigationOutcome::failed(
+                        plan.seqs.len(),
+                        attempts,
+                        attempts,
+                        t0.elapsed(),
+                    );
                 }
                 if mode == Mode::Purge && attempts >= self.cfg.purge_fallback_after {
                     mode = Mode::Rollback;
@@ -346,57 +454,17 @@ impl<'a> Reactor<'a> {
                 }
                 let take = batch_size.min(pending.len());
                 let batch: Vec<u64> = pending.drain(..take).collect();
-                match mode {
-                    Mode::Purge => {
-                        for &s in &batch {
-                            self.purge_seq(
-                                pool,
-                                log_rc,
-                                plan,
-                                trace,
-                                s,
-                                depth,
-                                fwd.as_ref().expect("purge mode"),
-                                &mut ledger,
-                            );
-                        }
-                    }
-                    Mode::Rollback => {
-                        // Externally corrupted entries are healed to the
-                        // durable truth in any mode — time-ordered
-                        // reversion cannot reconstruct a value that never
-                        // passed a durability point. A healed candidate is
-                        // *consumed* by the healing: rolling back through
-                        // it would re-plant the stale value.
-                        let mut normal: Vec<u64> = Vec::new();
-                        for &s in &batch {
-                            let healed = {
-                                let log = log_rc.borrow();
-                                if seq_diverged(&log, pool, s) {
-                                    log.addr_of_seq(s).and_then(|addr| {
-                                        log.expected_current(addr).map(|d| (addr, d))
-                                    })
-                                } else {
-                                    None
-                                }
-                            };
-                            match healed {
-                                Some((addr, data)) => {
-                                    ledger.capture(pool, addr, data.len());
-                                    let _ = pool.write(addr, &data);
-                                    let _ = pool.persist(addr, data.len() as u64);
-                                    ledger.by_addr.entry(addr).or_default();
-                                }
-                                None => normal.push(s),
-                            }
-                        }
-                        // Roll back to just before the oldest remaining
-                        // seq in the batch.
-                        if let Some(&cut) = normal.iter().min() {
-                            self.rollback_to(pool, log_rc, cut, &mut ledger);
-                        }
-                    }
-                }
+                self.apply_batch(
+                    pool,
+                    log_rc,
+                    plan,
+                    trace,
+                    &batch,
+                    depth,
+                    mode,
+                    fwd.as_ref(),
+                    &mut ledger,
+                );
                 attempts += 1;
                 match target.reexecute(pool) {
                     Ok(()) => {
@@ -407,7 +475,9 @@ impl<'a> Reactor<'a> {
                             recovered: true,
                             via_restart_only: false,
                             attempts,
+                            reexec_rounds: attempts,
                             plan_len: plan.seqs.len(),
+                            reverted_seqs: ledger.reverted_seqs(),
                             discarded_updates: ledger.discarded_updates(),
                             discarded_entries: ledger.touched(),
                             wall: t0.elapsed(),
@@ -426,7 +496,271 @@ impl<'a> Reactor<'a> {
                 }
             }
         }
-        MitigationOutcome::failed(plan.seqs.len(), attempts, t0.elapsed())
+        MitigationOutcome::failed(plan.seqs.len(), attempts, attempts, t0.elapsed())
+    }
+
+    /// The speculative counterpart of [`Reactor::revert_loop`].
+    ///
+    /// Each *wave* simulates the sequential loop's control state — the
+    /// pending candidate list, batch sizing, the attempt-count-triggered
+    /// purge→rollback fallback and the `max_attempts` cap — for the next
+    /// up-to-`workers` steps, applying their reversion batches cumulatively
+    /// to a scratch fork and snapshotting a fork per step. The forks
+    /// re-execute concurrently under [`std::thread::scope`]; commit then
+    /// walks the results in candidate order:
+    ///
+    /// * first success → that step's pool/ledger/attempt count become the
+    ///   outcome (exactly where the sequential loop would have stopped);
+    /// * a panic under purge mode → the sequential loop would flip to
+    ///   rollback *here*, so later speculative steps (simulated assuming
+    ///   purge) are discarded: commit up to the flipping step, flip, and
+    ///   continue with the next wave;
+    /// * all failed → commit the last step's state and continue.
+    ///
+    /// Waves never cross a version-depth boundary, mirroring the
+    /// sequential loop's `pending` reset per depth.
+    #[allow(clippy::too_many_arguments)]
+    fn revert_loop_speculative(
+        &mut self,
+        pool: &mut PmPool,
+        log_rc: &Arc<Mutex<CheckpointLog>>,
+        plan: &Plan,
+        trace: &PmTrace,
+        target: &mut dyn ForkableTarget,
+        t0: Instant,
+        workers: usize,
+    ) -> MitigationOutcome {
+        struct SpecStep {
+            /// Pool state after this step's batch (and all before it).
+            pool: PmPool,
+            ledger: RevertLedger,
+            pending: Vec<u64>,
+            attempts: u32,
+            mode: Mode,
+            mode_fellback: bool,
+        }
+
+        let mut attempts = 0u32;
+        let mut rounds = 0u32;
+        let mut mode = self.cfg.mode;
+        let mut mode_fellback = false;
+        let mut ledger = RevertLedger::default();
+        let fwd = match self.cfg.mode {
+            Mode::Purge => Some(self.analysis.pdg.forward_index()),
+            Mode::Rollback => None,
+        };
+        let batch_size = match self.cfg.batch {
+            BatchStrategy::OneByOne => 1,
+            BatchStrategy::Batch(n) => n.max(1),
+        };
+
+        for depth in 1..=MAX_VERSIONS {
+            let mut pending: Vec<u64> = plan.seqs.clone();
+            while !pending.is_empty() {
+                if attempts >= self.cfg.max_attempts {
+                    return MitigationOutcome::failed(
+                        plan.seqs.len(),
+                        attempts,
+                        rounds,
+                        t0.elapsed(),
+                    );
+                }
+                // Build the wave: simulate the next `workers` sequential
+                // steps, forking the pool after each batch.
+                let mut steps: Vec<SpecStep> = Vec::new();
+                {
+                    let mut sim_pool = pool.fork();
+                    let mut sim_ledger = ledger.clone();
+                    let mut sim_pending = pending.clone();
+                    let mut sim_attempts = attempts;
+                    let mut sim_mode = mode;
+                    let mut sim_fellback = mode_fellback;
+                    while steps.len() < workers
+                        && !sim_pending.is_empty()
+                        && sim_attempts < self.cfg.max_attempts
+                    {
+                        if sim_mode == Mode::Purge && sim_attempts >= self.cfg.purge_fallback_after
+                        {
+                            sim_mode = Mode::Rollback;
+                            sim_fellback = true;
+                        }
+                        let take = batch_size.min(sim_pending.len());
+                        let batch: Vec<u64> = sim_pending.drain(..take).collect();
+                        self.apply_batch(
+                            &mut sim_pool,
+                            log_rc,
+                            plan,
+                            trace,
+                            &batch,
+                            depth,
+                            sim_mode,
+                            fwd.as_ref(),
+                            &mut sim_ledger,
+                        );
+                        sim_attempts += 1;
+                        steps.push(SpecStep {
+                            pool: sim_pool.fork(),
+                            ledger: sim_ledger.clone(),
+                            pending: sim_pending.clone(),
+                            attempts: sim_attempts,
+                            mode: sim_mode,
+                            mode_fellback: sim_fellback,
+                        });
+                    }
+                }
+                debug_assert!(!steps.is_empty(), "pending non-empty, attempts below cap");
+                // Fork the target per step and re-execute concurrently.
+                rounds += 1;
+                let results: Vec<Option<FailureRecord>> = std::thread::scope(|s| {
+                    let handles: Vec<_> = steps
+                        .iter_mut()
+                        .map(|step| {
+                            let mut tgt = target.fork_target();
+                            let fork_pool = &mut step.pool;
+                            s.spawn(move || tgt.reexecute(fork_pool).err())
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| match h.join() {
+                            Ok(r) => r,
+                            Err(panic) => std::panic::resume_unwind(panic),
+                        })
+                        .collect()
+                });
+                // Commit in candidate order.
+                let mut winner: Option<usize> = None;
+                let mut last_valid = 0usize;
+                let mut flipped = false;
+                for (i, r) in results.iter().enumerate() {
+                    match r {
+                        None => {
+                            winner = Some(i);
+                            break;
+                        }
+                        Some(f) => {
+                            last_valid = i;
+                            if steps[i].mode == Mode::Purge && f.kind == FailureKind::Panic {
+                                // The sequential loop flips to rollback
+                                // after this attempt; everything simulated
+                                // past it assumed purge and is invalid.
+                                flipped = true;
+                                break;
+                            }
+                        }
+                    }
+                }
+                if let Some(j) = winner {
+                    let step = steps.swap_remove(j);
+                    pool.reabsorb(step.pool);
+                    ledger = step.ledger;
+                    attempts = step.attempts;
+                    mode_fellback = step.mode_fellback;
+                    if self.cfg.minimize_loss {
+                        // Minimization is result-dependent at every step;
+                        // it stays sequential.
+                        let used = self.minimize(pool, &mut ledger, target);
+                        attempts += used;
+                        rounds += used;
+                    }
+                    return MitigationOutcome {
+                        recovered: true,
+                        via_restart_only: false,
+                        attempts,
+                        reexec_rounds: rounds,
+                        plan_len: plan.seqs.len(),
+                        reverted_seqs: ledger.reverted_seqs(),
+                        discarded_updates: ledger.discarded_updates(),
+                        discarded_entries: ledger.touched(),
+                        wall: t0.elapsed(),
+                        mode_fellback,
+                        leaks_freed: 0,
+                    };
+                }
+                // No success: adopt the last valid step's state.
+                let step = steps.swap_remove(last_valid);
+                pool.reabsorb(step.pool);
+                ledger = step.ledger;
+                attempts = step.attempts;
+                pending = step.pending;
+                mode = step.mode;
+                mode_fellback = step.mode_fellback;
+                if flipped {
+                    mode = Mode::Rollback;
+                    mode_fellback = true;
+                }
+            }
+        }
+        MitigationOutcome::failed(plan.seqs.len(), attempts, rounds, t0.elapsed())
+    }
+
+    /// One reversion step: reverts `batch` under `mode` at version `depth`.
+    /// The shared mutation kernel of the sequential loop and the
+    /// speculative wave builder — both apply exactly this, in exactly this
+    /// order, so their pool states stay byte-identical.
+    #[allow(clippy::too_many_arguments)]
+    fn apply_batch(
+        &self,
+        pool: &mut PmPool,
+        log_rc: &Arc<Mutex<CheckpointLog>>,
+        plan: &Plan,
+        trace: &PmTrace,
+        batch: &[u64],
+        depth: usize,
+        mode: Mode,
+        fwd: Option<&std::collections::HashMap<InstRef, Vec<(InstRef, pir_analysis::DepKind)>>>,
+        ledger: &mut RevertLedger,
+    ) {
+        match mode {
+            Mode::Purge => {
+                for &s in batch {
+                    self.purge_seq(
+                        pool,
+                        log_rc,
+                        plan,
+                        trace,
+                        s,
+                        depth,
+                        fwd.expect("purge mode"),
+                        ledger,
+                    );
+                }
+            }
+            Mode::Rollback => {
+                // Externally corrupted entries are healed to the
+                // durable truth in any mode — time-ordered
+                // reversion cannot reconstruct a value that never
+                // passed a durability point. A healed candidate is
+                // *consumed* by the healing: rolling back through
+                // it would re-plant the stale value.
+                let mut normal: Vec<u64> = Vec::new();
+                for &s in batch {
+                    let healed = {
+                        let log = log_rc.lock().unwrap();
+                        if seq_diverged(&log, pool, s) {
+                            log.addr_of_seq(s)
+                                .and_then(|addr| log.expected_current(addr).map(|d| (addr, d)))
+                        } else {
+                            None
+                        }
+                    };
+                    match healed {
+                        Some((addr, data)) => {
+                            ledger.capture(pool, addr, data.len());
+                            let _ = pool.write(addr, &data);
+                            let _ = pool.persist(addr, data.len() as u64);
+                            ledger.by_addr.entry(addr).or_default();
+                        }
+                        None => normal.push(s),
+                    }
+                }
+                // Roll back to just before the oldest remaining
+                // seq in the batch.
+                if let Some(&cut) = normal.iter().min() {
+                    self.rollback_to(pool, log_rc, cut, ledger);
+                }
+            }
+        }
     }
 
     /// Purge one sequence number: revert its entry to `depth` versions
@@ -438,7 +772,7 @@ impl<'a> Reactor<'a> {
     fn purge_seq(
         &self,
         pool: &mut PmPool,
-        log_rc: &Rc<RefCell<CheckpointLog>>,
+        log_rc: &Arc<Mutex<CheckpointLog>>,
         plan: &Plan,
         trace: &PmTrace,
         seq: u64,
@@ -450,10 +784,10 @@ impl<'a> Reactor<'a> {
         // Externally corrupted entries (divergence) did not propagate via
         // program writes: restoring the durable truth needs no sibling or
         // forward-dependency expansion.
-        let externally_corrupted = seq_diverged(&log_rc.borrow(), pool, seq);
+        let externally_corrupted = seq_diverged(&log_rc.lock().unwrap(), pool, seq);
         // Transaction siblings (§4.6).
         if !externally_corrupted {
-            let log = log_rc.borrow();
+            let log = log_rc.lock().unwrap();
             if let Some(tx) = log.tx_of_seq(seq) {
                 worklist.extend(log.tx_seqs(tx).iter().copied());
             }
@@ -490,7 +824,7 @@ impl<'a> Reactor<'a> {
                     break;
                 }
             }
-            let log = log_rc.borrow();
+            let log = log_rc.lock().unwrap();
             for at in seen {
                 if !self.analysis.pm.pm_writes.contains(&at) {
                     continue;
@@ -511,7 +845,7 @@ impl<'a> Reactor<'a> {
         worklist.dedup();
         for s in worklist {
             let (addr, data) = {
-                let log = log_rc.borrow();
+                let log = log_rc.lock().unwrap();
                 let Some(addr) = log.addr_of_seq(s) else {
                     continue;
                 };
@@ -533,7 +867,7 @@ impl<'a> Reactor<'a> {
             let _ = pool.write(addr, &data);
             let _ = pool.persist(addr, data.len() as u64);
             // Versions discarded: the newest `depth` versions of the entry.
-            let log = log_rc.borrow();
+            let log = log_rc.lock().unwrap();
             let slot = ledger.by_addr.entry(addr).or_default();
             if let Some(e) = log.entry(addr) {
                 let n = e.versions.len();
@@ -592,12 +926,12 @@ impl<'a> Reactor<'a> {
     fn rollback_to(
         &self,
         pool: &mut PmPool,
-        log_rc: &Rc<RefCell<CheckpointLog>>,
+        log_rc: &Arc<Mutex<CheckpointLog>>,
         cut: u64,
         ledger: &mut RevertLedger,
     ) {
         let victims: Vec<(u64, Vec<u8>)> = {
-            let log = log_rc.borrow();
+            let log = log_rc.lock().unwrap();
             log.addrs_touched_since(cut)
                 .into_iter()
                 .filter_map(|a| log.data_before_seq(a, cut).map(|d| (a, d)))
@@ -609,7 +943,7 @@ impl<'a> Reactor<'a> {
             let _ = pool.persist(addr, data.len() as u64);
             ledger.by_addr.entry(addr).or_default();
         }
-        let log = log_rc.borrow();
+        let log = log_rc.lock().unwrap();
         for s in log.all_seqs() {
             if s >= cut {
                 if let Some(addr) = log.addr_of_seq(s) {
@@ -625,29 +959,31 @@ impl<'a> Reactor<'a> {
     fn mitigate_leak(
         &mut self,
         pool: &mut PmPool,
-        log_rc: &Rc<RefCell<CheckpointLog>>,
+        log_rc: &Arc<Mutex<CheckpointLog>>,
         target: &mut dyn Target,
         t0: Instant,
     ) -> MitigationOutcome {
-        log_rc.borrow_mut().set_enabled(false);
-        log_rc.borrow_mut().clear_recovery_reads();
+        log_rc.lock().unwrap().set_enabled(false);
+        log_rc.lock().unwrap().clear_recovery_reads();
         // Run recovery + verification once to populate the recovery reads.
         let _ = target.reexecute(pool);
-        let suspects = log_rc.borrow().suspected_leaks();
+        let suspects = log_rc.lock().unwrap().suspected_leaks();
         let mut freed = 0u64;
         for (addr, _size) in &suspects {
             if pool.is_allocated(*addr) && pool.free(*addr).is_ok() {
-                log_rc.borrow_mut().note_reactor_free(*addr);
+                log_rc.lock().unwrap().note_reactor_free(*addr);
                 freed += 1;
             }
         }
         let ok = target.reexecute(pool).is_ok();
-        log_rc.borrow_mut().set_enabled(true);
+        log_rc.lock().unwrap().set_enabled(true);
         MitigationOutcome {
             recovered: ok && freed > 0,
             via_restart_only: false,
             attempts: 2,
+            reexec_rounds: 2,
             plan_len: suspects.len(),
+            reverted_seqs: BTreeSet::new(),
             discarded_updates: 0,
             discarded_entries: 0,
             wall: t0.elapsed(),

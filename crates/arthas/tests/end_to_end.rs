@@ -8,8 +8,8 @@
 //! request, and crashes the program — deterministically again after every
 //! restart, because the flag is durable.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Arc;
+use std::sync::Mutex;
 
 use arthas::{
     analyze_and_instrument, CheckpointLog, Detector, FailureRecord, PmTrace, Reactor,
@@ -93,8 +93,8 @@ fn new_pool() -> PmPool {
 }
 
 struct MiniTarget {
-    module: Rc<Module>,
-    log: Rc<RefCell<CheckpointLog>>,
+    module: Arc<Module>,
+    log: Arc<Mutex<CheckpointLog>>,
 }
 
 impl Target for MiniTarget {
@@ -130,8 +130,8 @@ impl Target for MiniTarget {
 fn full_pipeline_recovers_with_minimal_loss() {
     let module = build_app();
     let out = analyze_and_instrument(&module);
-    let instrumented = Rc::new(out.instrumented);
-    let log = Rc::new(RefCell::new(CheckpointLog::new()));
+    let instrumented = Arc::new(out.instrumented);
+    let log = Arc::new(Mutex::new(CheckpointLog::new()));
     let mut trace = PmTrace::new();
     let mut detector = Detector::new();
 
@@ -160,7 +160,7 @@ fn full_pipeline_recovers_with_minimal_loss() {
 
     // --- reactor mitigation ---------------------------------------------
     let mut pool = vm.crash();
-    let total_updates = log.borrow().total_updates();
+    let total_updates = log.lock().unwrap().total_updates();
     assert!(
         total_updates >= 9,
         "puts were checkpointed: {total_updates}"
@@ -199,7 +199,7 @@ fn full_pipeline_recovers_with_minimal_loss() {
 fn detector_treats_distinct_faults_as_first_sightings() {
     let module = build_app();
     let out = analyze_and_instrument(&module);
-    let instrumented = Rc::new(out.instrumented);
+    let instrumented = Arc::new(out.instrumented);
     let mut vm = Vm::new(instrumented, new_pool(), VmOpts::default());
     vm.call("put", &[666]).unwrap();
     let err = vm.call("get", &[]).unwrap_err();
@@ -216,7 +216,7 @@ fn plan_is_empty_for_unrelated_fault() {
     // reactor falls back to plain restart (false-alarm pruning, §4.5).
     let module = build_app();
     let out = analyze_and_instrument(&module);
-    let log = Rc::new(RefCell::new(CheckpointLog::new()));
+    let log = Arc::new(Mutex::new(CheckpointLog::new()));
     let trace = PmTrace::new();
     let mut reactor = Reactor::new(&out.analysis, &out.guid_map, ReactorConfig::default());
     // Use the first instruction of `recover` (a recover_begin intrinsic
@@ -224,6 +224,6 @@ fn plan_is_empty_for_unrelated_fault() {
     let fid = module.func_by_name("recover").unwrap();
     let fault = pir::ir::InstRef { func: fid, inst: 0 };
     let mut pool = new_pool();
-    let plan = reactor.plan(fault, &trace, &log.borrow(), &mut pool);
+    let plan = reactor.plan(fault, &trace, &log.lock().unwrap(), &mut pool);
     assert!(plan.seqs.is_empty());
 }

@@ -66,7 +66,11 @@ fn trace_file_round_trips_and_tolerates_truncation() {
     let path = dir.join("pm.trace");
     let out = analyze_and_instrument(&sample_module());
     let pool = pmemsim::PmPool::create(pmemsim::layout::HEAP_OFF + (1 << 20)).unwrap();
-    let mut vm = Vm::new(std::rc::Rc::new(out.instrumented), pool, VmOpts::default());
+    let mut vm = Vm::new(
+        std::sync::Arc::new(out.instrumented),
+        pool,
+        VmOpts::default(),
+    );
     vm.call("put", &[1]).unwrap();
     PmTrace::append_records_to_file(&path, vm.take_trace()).unwrap();
     vm.call("put", &[2]).unwrap();
@@ -85,7 +89,11 @@ fn trace_file_round_trips_and_tolerates_truncation() {
     let direct = {
         let pool = pmemsim::PmPool::create(pmemsim::layout::HEAP_OFF + (1 << 20)).unwrap();
         let out2 = analyze_and_instrument(&sample_module());
-        let mut vm2 = Vm::new(std::rc::Rc::new(out2.instrumented), pool, VmOpts::default());
+        let mut vm2 = Vm::new(
+            std::sync::Arc::new(out2.instrumented),
+            pool,
+            VmOpts::default(),
+        );
         vm2.call("put", &[1]).unwrap();
         vm2.call("put", &[2]).unwrap();
         let mut t = PmTrace::new();

@@ -4,8 +4,8 @@
 //! to end: checkpoint entries must appear at fence completion, and the
 //! reactor must recover a fault planted through that path.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Arc;
+use std::sync::Mutex;
 
 use arthas::{
     analyze_and_instrument, CheckpointLog, FailureRecord, PmTrace, Reactor, ReactorConfig, Target,
@@ -70,22 +70,22 @@ fn new_pool() -> PmPool {
 
 #[test]
 fn fence_completion_is_a_checkpoint_point() {
-    let module = Rc::new(native_app());
-    let log = Rc::new(RefCell::new(CheckpointLog::new()));
+    let module = Arc::new(native_app());
+    let log = Arc::new(Mutex::new(CheckpointLog::new()));
     let mut vm = Vm::new(module, new_pool(), VmOpts::default());
     vm.pool_mut().set_sink(log.clone());
     vm.call("put", &[7]).unwrap();
     vm.call("put", &[8]).unwrap();
     assert_eq!(
-        log.borrow().total_updates(),
+        log.lock().unwrap().total_updates(),
         2,
         "each flush+fence pair checkpointed once"
     );
     // The entry holds the post-fence durable value with versioning.
     let root = vm.pool_mut().root_offset().unwrap();
-    let e = log.borrow().data_at_depth(root, 0).unwrap();
+    let e = log.lock().unwrap().data_at_depth(root, 0).unwrap();
     assert_eq!(e, 8u64.to_le_bytes());
-    let prev = log.borrow().data_at_depth(root, 1).unwrap();
+    let prev = log.lock().unwrap().data_at_depth(root, 1).unwrap();
     assert_eq!(prev, 7u64.to_le_bytes());
 }
 
@@ -102,20 +102,24 @@ fn flush_without_fence_is_not_checkpointed_or_durable() {
     // No fence: in flight.
     f.ret(None);
     f.finish();
-    let module = Rc::new(m.finish().unwrap());
-    let log = Rc::new(RefCell::new(CheckpointLog::new()));
+    let module = Arc::new(m.finish().unwrap());
+    let log = Arc::new(Mutex::new(CheckpointLog::new()));
     let mut vm = Vm::new(module, new_pool(), VmOpts::default());
     vm.pool_mut().set_sink(log.clone());
     vm.call("half_put", &[7]).unwrap();
-    assert_eq!(log.borrow().total_updates(), 0, "no durability point yet");
+    assert_eq!(
+        log.lock().unwrap().total_updates(),
+        0,
+        "no durability point yet"
+    );
     let mut pool = vm.crash();
     let root = pool.root_offset().unwrap();
     assert_eq!(pool.read_u64(root).unwrap(), 0, "in-flight line dropped");
 }
 
 struct NativeTarget {
-    module: Rc<Module>,
-    log: Rc<RefCell<CheckpointLog>>,
+    module: Arc<Module>,
+    log: Arc<Mutex<CheckpointLog>>,
 }
 
 impl Target for NativeTarget {
@@ -136,8 +140,8 @@ impl Target for NativeTarget {
 fn reactor_recovers_a_natively_persisted_fault() {
     let module = native_app();
     let out = analyze_and_instrument(&module);
-    let instrumented = Rc::new(out.instrumented);
-    let log = Rc::new(RefCell::new(CheckpointLog::new()));
+    let instrumented = Arc::new(out.instrumented);
+    let log = Arc::new(Mutex::new(CheckpointLog::new()));
     let mut trace = PmTrace::new();
 
     let mut vm = Vm::new(instrumented.clone(), new_pool(), VmOpts::default());

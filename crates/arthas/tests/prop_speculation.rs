@@ -1,0 +1,203 @@
+//! Property test: speculative mitigation is outcome-identical to the
+//! sequential reactor over randomized checkpoint logs (workload length
+//! and values), randomized reactor configurations and fleet sizes.
+
+use std::sync::Arc;
+use std::sync::Mutex;
+
+use arthas::{
+    analyze_and_instrument, AnalyzerOutput, BatchStrategy, CheckpointLog, FailureRecord,
+    ForkableTarget, Mode, PmTrace, Reactor, ReactorConfig, Target,
+};
+use pir::builder::ModuleBuilder;
+use pir::ir::Module;
+use pir::vm::{Vm, VmOpts};
+use pmemsim::PmPool;
+use proptest::prelude::*;
+
+/// Same app shape as `reactor_configs.rs`: `put(v)` persists a value and
+/// the poison input 666 corrupts a persistent flag that makes `get()`
+/// crash.
+fn build_app(use_tx: bool) -> Module {
+    let mut m = ModuleBuilder::new();
+    {
+        let mut f = m.func("put", 1, false);
+        let size = f.konst(64);
+        let root = f.pm_root(size);
+        let v = f.param(0);
+        if use_tx {
+            f.tx_begin();
+            let sixteen = f.konst(24);
+            f.tx_add(root, sixteen);
+        }
+        let valp = f.gep(root, 16);
+        f.store8(valp, v);
+        let bad = f.konst(666);
+        let is_bad = f.eq(v, bad);
+        f.if_(is_bad, |f| {
+            let flagp = f.gep(root, 8);
+            f.store8(flagp, v);
+            if !use_tx {
+                f.pm_persist_c(flagp, 8);
+            }
+        });
+        if use_tx {
+            f.tx_commit();
+        } else {
+            f.pm_persist_c(valp, 8);
+        }
+        f.ret(None);
+        f.finish();
+    }
+    {
+        let mut f = m.func("get", 0, true);
+        let size = f.konst(64);
+        let root = f.pm_root(size);
+        let flagp = f.gep(root, 8);
+        let flag = f.load8(flagp);
+        let zero = f.konst(0);
+        let tainted = f.ne(flag, zero);
+        f.if_(tainted, |f| {
+            let c = f.konst(666);
+            let p = f.sub(flag, c);
+            let v = f.load8(p);
+            f.ret(Some(v));
+        });
+        let valp = f.gep(root, 16);
+        let v = f.load8(valp);
+        f.ret(Some(v));
+        f.finish();
+    }
+    {
+        let mut f = m.func("recover", 0, false);
+        f.recover_begin();
+        let size = f.konst(64);
+        let root = f.pm_root(size);
+        f.load8(root);
+        f.recover_end();
+        f.ret(None);
+        f.finish();
+    }
+    m.finish().unwrap()
+}
+
+struct AppTarget {
+    module: Arc<Module>,
+    log: Arc<Mutex<CheckpointLog>>,
+}
+
+impl Target for AppTarget {
+    fn reexecute(&mut self, pool: &mut PmPool) -> Result<(), FailureRecord> {
+        let p2 = PmPool::open(pool.snapshot())
+            .map_err(|e| FailureRecord::wrong_result(format!("{e}")))?;
+        let mut vm = Vm::new(self.module.clone(), p2, VmOpts::default());
+        vm.pool_mut().set_sink(self.log.clone());
+        vm.call("recover", &[])
+            .map_err(|e| FailureRecord::from_vm(&e))?;
+        vm.call("get", &[])
+            .map_err(|e| FailureRecord::from_vm(&e))?;
+        Ok(())
+    }
+}
+
+impl ForkableTarget for AppTarget {
+    fn fork_target(&self) -> Box<dyn Target + Send + '_> {
+        let mut log = CheckpointLog::new();
+        log.set_enabled(false);
+        Box::new(AppTarget {
+            module: self.module.clone(),
+            log: Arc::new(Mutex::new(log)),
+        })
+    }
+}
+
+/// Runs `puts` then the poison value through the app and returns the
+/// failure state. The checkpoint log contents depend on the workload, so
+/// randomizing `puts` randomizes the log the reactor plans over.
+#[allow(clippy::type_complexity)]
+fn run_to_failure(
+    use_tx: bool,
+    puts: &[u64],
+) -> (
+    AnalyzerOutput,
+    Arc<Module>,
+    Arc<Mutex<CheckpointLog>>,
+    PmTrace,
+    FailureRecord,
+    PmPool,
+) {
+    let module = build_app(use_tx);
+    let out = analyze_and_instrument(&module);
+    let instrumented = Arc::new(out.instrumented.clone());
+    let log = Arc::new(Mutex::new(CheckpointLog::new()));
+    let mut trace = PmTrace::new();
+    let pool = PmPool::create(pmemsim::layout::HEAP_OFF + (1 << 20)).unwrap();
+    let mut vm = Vm::new(instrumented.clone(), pool, VmOpts::default());
+    vm.pool_mut().set_sink(log.clone());
+    for &v in puts {
+        vm.call("put", &[v]).unwrap();
+    }
+    vm.call("put", &[666]).unwrap();
+    let err = vm.call("get", &[]).unwrap_err();
+    trace.absorb(vm.take_trace());
+    let failure = FailureRecord::from_vm(&err);
+    let pool = vm.crash();
+    (out, instrumented, log, trace, failure, pool)
+}
+
+fn mitigate_with(
+    cfg: ReactorConfig,
+    use_tx: bool,
+    puts: &[u64],
+) -> (arthas::MitigationOutcome, Vec<u8>) {
+    let (out, instrumented, log, trace, failure, mut pool) = run_to_failure(use_tx, puts);
+    let mut reactor = Reactor::new(&out.analysis, &out.guid_map, cfg);
+    let mut target = AppTarget {
+        module: instrumented,
+        log: log.clone(),
+    };
+    let outcome = reactor.mitigate_speculative(&mut pool, &log, &failure, &trace, &mut target);
+    (outcome, pool.snapshot())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn speculative_equals_sequential(
+        puts in proptest::collection::vec(1u64..600, 1..10),
+        use_tx in proptest::arbitrary::any::<bool>(),
+        mode_sel in 0u8..2,
+        batch_n in 1usize..5,
+        fallback in 1u32..8,
+        workers in 2usize..6
+    ) {
+        let base = ReactorConfig {
+            mode: if mode_sel == 0 { Mode::Purge } else { Mode::Rollback },
+            batch: if batch_n == 1 {
+                BatchStrategy::OneByOne
+            } else {
+                BatchStrategy::Batch(batch_n)
+            },
+            // A small fallback threshold exercises the attempt-triggered
+            // purge-to-rollback flip inside speculative waves.
+            purge_fallback_after: fallback,
+            ..ReactorConfig::default()
+        };
+        let puts: Vec<u64> = puts.iter().map(|v| if *v == 666 { 667 } else { *v }).collect();
+        let (seq, seq_image) = mitigate_with(base, use_tx, &puts);
+        let spec_cfg = ReactorConfig { speculation: Some(workers), ..base };
+        let (spec, spec_image) = mitigate_with(spec_cfg, use_tx, &puts);
+
+        prop_assert_eq!(seq.recovered, spec.recovered);
+        prop_assert_eq!(seq.via_restart_only, spec.via_restart_only);
+        prop_assert_eq!(seq.attempts, spec.attempts);
+        prop_assert_eq!(seq.plan_len, spec.plan_len);
+        prop_assert_eq!(&seq.reverted_seqs, &spec.reverted_seqs);
+        prop_assert_eq!(seq.discarded_updates, spec.discarded_updates);
+        prop_assert_eq!(seq.discarded_entries, spec.discarded_entries);
+        prop_assert_eq!(seq.mode_fellback, spec.mode_fellback);
+        prop_assert_eq!(seq_image, spec_image);
+        prop_assert!(spec.reexec_rounds <= seq.reexec_rounds);
+    }
+}

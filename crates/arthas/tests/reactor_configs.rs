@@ -1,8 +1,8 @@
 //! Reactor configuration coverage: batch strategy, rollback mode,
 //! distance cap, loss minimization, and transaction-sibling grouping.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Arc;
+use std::sync::Mutex;
 
 use arthas::{
     analyze_and_instrument, AnalyzerOutput, BatchStrategy, CheckpointLog, FailureRecord, Mode,
@@ -85,8 +85,8 @@ fn new_pool() -> PmPool {
 }
 
 struct AppTarget {
-    module: Rc<Module>,
-    log: Rc<RefCell<CheckpointLog>>,
+    module: Arc<Module>,
+    log: Arc<Mutex<CheckpointLog>>,
 }
 
 impl Target for AppTarget {
@@ -109,16 +109,16 @@ fn run_to_failure(
     use_tx: bool,
 ) -> (
     AnalyzerOutput,
-    Rc<Module>,
-    Rc<RefCell<CheckpointLog>>,
+    Arc<Module>,
+    Arc<Mutex<CheckpointLog>>,
     PmTrace,
     FailureRecord,
     PmPool,
 ) {
     let module = build_app(use_tx);
     let out = analyze_and_instrument(&module);
-    let instrumented = Rc::new(out.instrumented.clone());
-    let log = Rc::new(RefCell::new(CheckpointLog::new()));
+    let instrumented = Arc::new(out.instrumented.clone());
+    let log = Arc::new(Mutex::new(CheckpointLog::new()));
     let mut trace = PmTrace::new();
     let mut vm = Vm::new(instrumented.clone(), new_pool(), VmOpts::default());
     vm.pool_mut().set_sink(log.clone());

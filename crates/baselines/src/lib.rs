@@ -10,8 +10,8 @@
 //!   an alternative" (§6.1), demonstrating that fine-grained checkpoints
 //!   alone do not recover systems whose root cause lies far in the past.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Arc;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use arthas::checkpoint::MAX_VERSIONS;
@@ -145,13 +145,13 @@ impl ArCkpt {
     pub fn mitigate(
         &self,
         pool: &mut PmPool,
-        log: &Rc<RefCell<CheckpointLog>>,
+        log: &Arc<Mutex<CheckpointLog>>,
         target: &mut dyn Target,
     ) -> BaselineOutcome {
         let t0 = Instant::now();
-        log.borrow_mut().set_enabled(false);
+        log.lock().unwrap().set_enabled(false);
         let seqs: Vec<u64> = {
-            let l = log.borrow();
+            let l = log.lock().unwrap();
             let mut s = l.all_seqs();
             s.reverse();
             s
@@ -161,7 +161,7 @@ impl ArCkpt {
         for depth in 1..=MAX_VERSIONS {
             for &s in &seqs {
                 if attempts >= self.max_attempts {
-                    log.borrow_mut().set_enabled(true);
+                    log.lock().unwrap().set_enabled(true);
                     return BaselineOutcome {
                         recovered: false,
                         attempts,
@@ -171,7 +171,7 @@ impl ArCkpt {
                     };
                 }
                 let (addr, data) = {
-                    let l = log.borrow();
+                    let l = log.lock().unwrap();
                     let Some(addr) = l.addr_of_seq(s) else {
                         continue;
                     };
@@ -185,7 +185,7 @@ impl ArCkpt {
                 reverted += 1;
                 attempts += 1;
                 if target.reexecute(pool).is_ok() {
-                    log.borrow_mut().set_enabled(true);
+                    log.lock().unwrap().set_enabled(true);
                     return BaselineOutcome {
                         recovered: true,
                         attempts,
@@ -196,7 +196,7 @@ impl ArCkpt {
                 }
             }
         }
-        log.borrow_mut().set_enabled(true);
+        log.lock().unwrap().set_enabled(true);
         BaselineOutcome {
             recovered: false,
             attempts,
@@ -278,7 +278,7 @@ mod tests {
         // Immediate fault: the bad update is the most recent one.
         let mut pool = new_pool();
         let a = pool.alloc(64).unwrap();
-        let log = Rc::new(RefCell::new(CheckpointLog::new()));
+        let log = Arc::new(Mutex::new(CheckpointLog::new()));
         pool.set_sink(log.clone());
         pool.write_u64(a, 1).unwrap();
         pool.persist(a, 8).unwrap();
@@ -297,7 +297,7 @@ mod tests {
         // other addresses — one-at-a-time reversion hits the budget.
         let mut pool = new_pool();
         let bad = pool.alloc(64).unwrap();
-        let log = Rc::new(RefCell::new(CheckpointLog::new()));
+        let log = Arc::new(Mutex::new(CheckpointLog::new()));
         pool.set_sink(log.clone());
         pool.write_u64(bad, 999).unwrap();
         pool.persist(bad, 8).unwrap();

@@ -13,8 +13,8 @@
 //! Workloads follow the paper: YCSB-A-style 50/50 mixes for the KV
 //! stores, insert-heavy custom workloads for CCEH, Pelikan and PMEMKV.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Arc;
+use std::sync::Mutex;
 
 use arthas::CheckpointLog;
 use arthas_bench::bench_pool;
@@ -49,7 +49,7 @@ fn ldb_driver(vm: &mut Vm, i: u64, w: &mut KvWorkload) {
             vm.call("rpush", &[k, 24, v]).unwrap();
         }
     }
-    if i % 64 == 0 {
+    if i.is_multiple_of(64) {
         vm.call("command", &[3]).unwrap();
     }
 }
@@ -67,7 +67,7 @@ fn sc_driver(vm: &mut Vm, i: u64, w: &mut KvWorkload) {
         }
         KvOp::Put(k, v) => {
             // Keep writes bounded: the segment store is append-only.
-            if i % 4 == 0 {
+            if i.is_multiple_of(4) {
                 vm.call("set", &[k, 32, v]).unwrap();
             } else {
                 vm.call("get", &[k]).unwrap();
@@ -90,14 +90,14 @@ fn pmkv_driver(vm: &mut Vm, _i: u64, w: &mut KvWorkload) {
 /// One timed pass of a configuration; returns op/s.
 fn run_once(
     app: &App,
-    module: &Rc<pir::ir::Module>,
+    module: &Arc<pir::ir::Module>,
     checkpoint: bool,
     criu: bool,
     ops: u64,
 ) -> f64 {
     let mut pool = bench_pool();
     if checkpoint {
-        pool.set_sink(Rc::new(RefCell::new(CheckpointLog::new())));
+        pool.set_sink(Arc::new(Mutex::new(CheckpointLog::new())));
     }
     let mut vm = Vm::new(module.clone(), pool, VmOpts::default());
     let mut snapshotter = PmCriu::new(1);
@@ -122,12 +122,12 @@ fn run_once(
 /// configuration equally; returns per-config median op/s.
 fn run_all_configs(
     app: &App,
-    original: &Rc<pir::ir::Module>,
-    instrumented: &Rc<pir::ir::Module>,
+    original: &Arc<pir::ir::Module>,
+    instrumented: &Arc<pir::ir::Module>,
 ) -> [f64; 5] {
     const REPS: usize = 5;
     // (module, checkpoint, criu) per configuration.
-    let configs: [(&Rc<pir::ir::Module>, bool, bool); 5] = [
+    let configs: [(&Arc<pir::ir::Module>, bool, bool); 5] = [
         (original, false, false),     // vanilla
         (original, true, false),      // w/ checkpoint
         (instrumented, false, false), // w/ instrumentation
@@ -191,9 +191,9 @@ fn main() {
         "System", "Vanilla", "w/Ckpt", "w/Instru", "w/Arthas", "w/pmCRIU", "Arthas", "pmCRIU"
     );
     for app in &apps {
-        let original = Rc::new((app.build)());
+        let original = Arc::new((app.build)());
         let out = arthas::analyze_and_instrument(&original);
-        let instrumented = Rc::new(out.instrumented);
+        let instrumented = Arc::new(out.instrumented);
 
         let [vanilla, w_ckpt, w_instr, w_arthas, w_criu] =
             run_all_configs(app, &original, &instrumented);

@@ -2,8 +2,8 @@
 //! Figure 12: a mixed put/get against the Memcached-like kvcache, vanilla
 //! vs fully Arthas-enabled (instrumentation + checkpointing).
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Arc;
+use std::sync::Mutex;
 
 use arthas::CheckpointLog;
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -12,13 +12,13 @@ use pir::vm::{Vm, VmOpts};
 fn make_vm(instrumented: bool, checkpoint: bool) -> Vm {
     let module = pm_apps::kvcache::build();
     let module = if instrumented {
-        Rc::new(arthas::analyze_and_instrument(&module).instrumented)
+        Arc::new(arthas::analyze_and_instrument(&module).instrumented)
     } else {
-        Rc::new(module)
+        Arc::new(module)
     };
     let mut pool = pmemsim::PmPool::create(pmemsim::layout::HEAP_OFF + (8 << 20)).unwrap();
     if checkpoint {
-        pool.set_sink(Rc::new(RefCell::new(CheckpointLog::new())));
+        pool.set_sink(Arc::new(Mutex::new(CheckpointLog::new())));
     }
     let mut vm = Vm::new(module, pool, VmOpts::default());
     for k in 1..200u64 {

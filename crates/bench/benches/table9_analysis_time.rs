@@ -11,8 +11,15 @@ use arthas::{Reactor, ReactorConfig};
 use pm_apps::util;
 use pm_workload::AppSetup;
 
+type AppRow = (
+    &'static str,
+    fn() -> pir::ir::Module,
+    &'static str,
+    &'static str,
+);
+
 fn main() {
-    let apps: [(&str, fn() -> pir::ir::Module, &str, &str); 5] = [
+    let apps: [AppRow; 5] = [
         (
             "Memcached",
             pm_apps::kvcache::build,

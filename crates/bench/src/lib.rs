@@ -46,6 +46,16 @@ pub fn arthas_default() -> Solution {
     Solution::Arthas(ReactorConfig::default())
 }
 
+/// Arthas with speculative mitigation over `workers` concurrent
+/// re-executions (outcome-identical to [`arthas_default`]; only the
+/// restart delays overlap).
+pub fn arthas_speculative(workers: usize) -> Solution {
+    Solution::Arthas(ReactorConfig {
+        speculation: Some(workers),
+        ..ReactorConfig::default()
+    })
+}
+
 /// Arthas in pure rollback mode.
 pub fn arthas_rollback() -> Solution {
     Solution::Arthas(ReactorConfig {

@@ -90,13 +90,13 @@ pub fn control_dependence(f: &Function) -> HashMap<BlockId, Vec<BlockId>> {
                          // Reverse graph successors (i.e. original predecessors), with the
                          // virtual exit preceding every terminating block.
     let mut fwd: Vec<Vec<u32>> = vec![Vec::new(); n + 1];
-    for b in 0..n {
+    for (b, out) in fwd.iter_mut().enumerate().take(n) {
         let succ = f.successors(BlockId(b as u32));
         if succ.is_empty() {
-            fwd[b].push(exit);
+            out.push(exit);
         } else {
             for s in succ {
-                fwd[b].push(s.0);
+                out.push(s.0);
             }
         }
     }
@@ -180,7 +180,7 @@ mod tests {
         let then_deps = deps.get(&BlockId(1)).expect("then block has deps");
         assert_eq!(then_deps, &vec![BlockId(0)]);
         // The merge block does not depend on the branch.
-        assert!(deps.get(&BlockId(2)).is_none());
+        assert!(!deps.contains_key(&BlockId(2)));
     }
 
     #[test]

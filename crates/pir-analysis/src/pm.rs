@@ -42,15 +42,11 @@ impl PmInfo {
                     pm_values.insert((fid, ii as u32));
                 }
                 match &inst.op {
-                    Op::Store { addr, .. } => {
-                        if pt.may_be_pm(fid, *addr) {
-                            pm_writes.insert(at);
-                        }
+                    Op::Store { addr, .. } if pt.may_be_pm(fid, *addr) => {
+                        pm_writes.insert(at);
                     }
-                    Op::Load { addr, .. } => {
-                        if pt.may_be_pm(fid, *addr) {
-                            pm_reads.insert(at);
-                        }
+                    Op::Load { addr, .. } if pt.may_be_pm(fid, *addr) => {
+                        pm_reads.insert(at);
                     }
                     Op::Intr { intr, args } => match intr {
                         Intrinsic::PmAlloc | Intrinsic::PmRoot => {
@@ -70,15 +66,11 @@ impl PmInfo {
                                 pm_reads.insert(at);
                             }
                         }
-                        Intrinsic::Memset => {
-                            if pt.may_be_pm(fid, args[0]) {
-                                pm_writes.insert(at);
-                            }
+                        Intrinsic::Memset if pt.may_be_pm(fid, args[0]) => {
+                            pm_writes.insert(at);
                         }
-                        Intrinsic::Memcmp => {
-                            if args.iter().take(2).any(|a| pt.may_be_pm(fid, *a)) {
-                                pm_reads.insert(at);
-                            }
+                        Intrinsic::Memcmp if args.iter().take(2).any(|a| pt.may_be_pm(fid, *a)) => {
+                            pm_reads.insert(at);
                         }
                         _ => {}
                     },

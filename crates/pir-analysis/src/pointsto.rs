@@ -287,22 +287,18 @@ impl<'m> Solver<'m> {
                         self.add_val(fid, v, out);
                     }
                 }
-                Op::Load { addr, size } => {
-                    if *size == 8 {
-                        let mut acc = LocSet::new();
-                        for loc in self.get_val(fid, *addr) {
-                            acc.extend(self.heap_read(loc));
-                        }
-                        self.add_val(fid, v, acc);
+                Op::Load { addr, size } if *size == 8 => {
+                    let mut acc = LocSet::new();
+                    for loc in self.get_val(fid, *addr) {
+                        acc.extend(self.heap_read(loc));
                     }
+                    self.add_val(fid, v, acc);
                 }
-                Op::Store { addr, val, size } => {
-                    if *size == 8 {
-                        let vals = self.get_val(fid, *val);
-                        if !vals.is_empty() {
-                            for loc in self.get_val(fid, *addr) {
-                                self.heap_write(loc, &vals);
-                            }
+                Op::Store { addr, val, size } if *size == 8 => {
+                    let vals = self.get_val(fid, *val);
+                    if !vals.is_empty() {
+                        for loc in self.get_val(fid, *addr) {
+                            self.heap_write(loc, &vals);
                         }
                     }
                 }

@@ -24,7 +24,7 @@
 //! ```
 //! use pir::builder::ModuleBuilder;
 //! use pir::vm::{Vm, VmOpts};
-//! use std::rc::Rc;
+//! use std::sync::Arc;
 //!
 //! let mut m = ModuleBuilder::new();
 //! let mut f = m.func("store_and_load", 1, true);
@@ -36,7 +36,7 @@
 //! let v = f.load8(obj);
 //! f.ret(Some(v));
 //! f.finish();
-//! let module = Rc::new(m.finish().unwrap());
+//! let module = Arc::new(m.finish().unwrap());
 //!
 //! let pool = pmemsim::PmPool::create(pmemsim::layout::HEAP_OFF + (1 << 20)).unwrap();
 //! let mut vm = Vm::new(module, pool, VmOpts::default());

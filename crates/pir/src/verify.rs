@@ -129,10 +129,8 @@ fn verify_func(module: &Module, _id: FuncId, f: &Function) -> Result<(), VerifyE
                     ));
                 }
             }
-            Op::Ret(v) => {
-                if v.is_some() != f.has_ret {
-                    return Err(err(f, "return kind mismatch".into()));
-                }
+            Op::Ret(v) if v.is_some() != f.has_ret => {
+                return Err(err(f, "return kind mismatch".into()));
             }
             _ => {}
         }
@@ -238,8 +236,8 @@ pub fn dominators(f: &Function) -> Vec<Option<BlockId>> {
     }
     // Predecessors.
     let mut preds: Vec<Vec<BlockId>> = vec![Vec::new(); n];
-    for b in 0..n {
-        if !visited[b] {
+    for (b, vis) in visited.iter().enumerate() {
+        if !vis {
             continue;
         }
         for s in f.successors(BlockId(b as u32)) {

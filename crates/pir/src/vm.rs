@@ -17,7 +17,7 @@
 
 use std::collections::HashMap;
 use std::collections::VecDeque;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use pmemsim::{PmError, PmPool};
 
@@ -201,7 +201,7 @@ enum Flow {
 
 /// The interpreter.
 pub struct Vm {
-    module: Rc<Module>,
+    module: Arc<Module>,
     pool: PmPool,
     mem: VolMem,
     global_offsets: Vec<u64>,
@@ -220,7 +220,7 @@ pub struct Vm {
 
 impl Vm {
     /// Creates a VM for `module` over `pool`.
-    pub fn new(module: Rc<Module>, pool: PmPool, opts: VmOpts) -> Self {
+    pub fn new(module: Arc<Module>, pool: PmPool, opts: VmOpts) -> Self {
         let mut global_offsets = Vec::with_capacity(module.globals.len());
         let mut off = 0u64;
         for g in &module.globals {
@@ -252,7 +252,7 @@ impl Vm {
     }
 
     /// The module being executed.
-    pub fn module(&self) -> &Rc<Module> {
+    pub fn module(&self) -> &Arc<Module> {
         &self.module
     }
 

@@ -2,7 +2,7 @@
 //! instrumentation-transparency over random benign workloads on the
 //! kvcache-shaped store-and-load module.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use pir::builder::ModuleBuilder;
 use pir::ir::Module;
@@ -75,7 +75,7 @@ fn new_pool() -> pmemsim::PmPool {
     pmemsim::PmPool::create(pmemsim::layout::HEAP_OFF + (1 << 20)).unwrap()
 }
 
-fn run_workload(module: Rc<Module>, ops: &[WlOp]) -> Vec<Option<u64>> {
+fn run_workload(module: Arc<Module>, ops: &[WlOp]) -> Vec<Option<u64>> {
     let mut vm = Vm::new(module.clone(), new_pool(), VmOpts::default());
     let mut out = Vec::new();
     for op in ops {
@@ -100,7 +100,7 @@ proptest! {
     /// results, including across simulated crashes.
     #[test]
     fn execution_is_deterministic(ops in proptest::collection::vec(wl_op(), 1..60)) {
-        let module = Rc::new(kv_module());
+        let module = Arc::new(kv_module());
         let a = run_workload(module.clone(), &ops);
         let b = run_workload(module, &ops);
         prop_assert_eq!(a, b);
@@ -113,8 +113,8 @@ proptest! {
     fn instrumentation_is_transparent(ops in proptest::collection::vec(wl_op(), 1..60)) {
         let module = kv_module();
         let out = arthas_instrument(&module);
-        let a = run_workload(Rc::new(module), &ops);
-        let b = run_workload(Rc::new(out), &ops);
+        let a = run_workload(Arc::new(module), &ops);
+        let b = run_workload(Arc::new(out), &ops);
         prop_assert_eq!(a, b);
     }
 
@@ -124,7 +124,7 @@ proptest! {
     fn persisted_puts_survive_crash(
         puts in proptest::collection::vec((1..32u64, 0..u64::MAX), 1..30)
     ) {
-        let module = Rc::new(kv_module());
+        let module = Arc::new(kv_module());
         let mut vm = Vm::new(module.clone(), new_pool(), VmOpts::default());
         // Keys 1..32 map to distinct slots (k % 32).
         let mut expect: std::collections::HashMap<u64, u64> = Default::default();

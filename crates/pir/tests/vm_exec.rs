@@ -1,7 +1,7 @@
 //! Interpreter behaviour tests: arithmetic, control flow, memory spaces,
 //! persistence, traps, threads and fault injection.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use pir::builder::ModuleBuilder;
 use pir::ir::InstRef;
@@ -13,7 +13,7 @@ fn pool() -> PmPool {
 }
 
 fn vm_for(m: ModuleBuilder) -> Vm {
-    let module = Rc::new(m.finish().unwrap());
+    let module = Arc::new(m.finish().unwrap());
     Vm::new(module, pool(), VmOpts::default())
 }
 
@@ -106,7 +106,7 @@ fn pm_state_survives_clean_restart_and_crash() {
         f.ret(Some(v));
         f.finish();
     }
-    let module = Rc::new(m.finish().unwrap());
+    let module = Arc::new(m.finish().unwrap());
     let mut vm = Vm::new(module.clone(), pool(), VmOpts::default());
     vm.call("init", &[777]).unwrap();
     // Crash (dirty lines dropped) and restart: the persist made it durable.
@@ -136,7 +136,7 @@ fn unpersisted_pm_write_lost_on_crash() {
         f.ret(Some(v));
         f.finish();
     }
-    let module = Rc::new(m.finish().unwrap());
+    let module = Arc::new(m.finish().unwrap());
     let mut vm = Vm::new(module.clone(), pool(), VmOpts::default());
     vm.call("init", &[777]).unwrap();
     let pool = vm.crash();
@@ -151,7 +151,7 @@ fn infinite_loop_traps_as_step_limit() {
     f.loop_(|_| {});
     f.ret(None);
     f.finish();
-    let module = Rc::new(m.finish().unwrap());
+    let module = Arc::new(m.finish().unwrap());
     let mut vm = Vm::new(
         module,
         pool(),
@@ -226,7 +226,7 @@ fn globals_are_shared_and_reset_on_restart() {
         f.ret(Some(n));
         f.finish();
     }
-    let module = Rc::new(m.finish().unwrap());
+    let module = Arc::new(m.finish().unwrap());
     let mut vm = Vm::new(module.clone(), pool(), VmOpts::default());
     assert_eq!(vm.call("bump", &[]).unwrap(), Some(1));
     assert_eq!(vm.call("bump", &[]).unwrap(), Some(2));
@@ -311,7 +311,7 @@ fn crash_injection_fires_on_nth_occurrence() {
     f.pm_persist_c(root, 8);
     f.ret(None);
     f.finish();
-    let module = Rc::new(m.finish().unwrap());
+    let module = Arc::new(m.finish().unwrap());
 
     // Find the first pm_persist instruction by its loc label.
     let func = module.func_by_name("persist_twice").unwrap();
@@ -445,7 +445,7 @@ fn tx_commit_checkpoints_ranges() {
         f.ret(Some(v));
         f.finish();
     }
-    let module = Rc::new(m.finish().unwrap());
+    let module = Arc::new(m.finish().unwrap());
     let mut vm = Vm::new(module.clone(), pool(), VmOpts::default());
     vm.call("txn", &[55]).unwrap();
     let pool = vm.crash();
@@ -550,7 +550,7 @@ fn bitflip_injection_corrupts_durable_state() {
         f.ret(Some(v));
         f.finish();
     }
-    let module = Rc::new(m.finish().unwrap());
+    let module = Arc::new(m.finish().unwrap());
     let mut vm = Vm::new(module.clone(), pool(), VmOpts::default());
     vm.call("init", &[]).unwrap();
     let root_off = vm.pool_mut().root_offset().unwrap();

@@ -495,7 +495,7 @@ mod tests {
     use super::*;
     use pir::vm::{Trap, Vm, VmOpts};
     use pm_apps_test_util::*;
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     mod pm_apps_test_util {
         pub fn pool() -> pmemsim::PmPool {
@@ -505,7 +505,7 @@ mod tests {
 
     #[test]
     fn insert_lookup_with_splits_and_doubling() {
-        let module = Rc::new(build());
+        let module = Arc::new(build());
         let mut v = Vm::new(module, pool(), VmOpts::default());
         for k in 1..200u64 {
             assert_eq!(
@@ -522,7 +522,7 @@ mod tests {
 
     #[test]
     fn state_survives_restart() {
-        let module = Rc::new(build());
+        let module = Arc::new(build());
         let mut v = Vm::new(module.clone(), pool(), VmOpts::default());
         for k in 1..50u64 {
             v.call("insert", &[k, k]).unwrap();
@@ -535,7 +535,7 @@ mod tests {
 
     #[test]
     fn f9_crash_between_dir_and_depth_persist_hangs_inserts() {
-        let module = Rc::new(build());
+        let module = Arc::new(build());
         // Find the global-depth store in the doubling path.
         let target = crate::util::find_inst(&module, "insert", "cceh.c:depth-persist", |op| {
             matches!(op, pir::ir::Op::Store { .. })

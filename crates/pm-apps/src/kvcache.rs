@@ -1072,10 +1072,10 @@ pub fn build() -> Module {
 mod tests {
     use super::*;
     use pir::vm::{Trap, Vm, VmOpts};
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     fn vm() -> Vm {
-        let module = Rc::new(build());
+        let module = Arc::new(build());
         let pool = pmemsim::PmPool::create(pmemsim::layout::HEAP_OFF + (8 << 20)).unwrap();
         Vm::new(module, pool, VmOpts::default())
     }
@@ -1116,7 +1116,7 @@ mod tests {
 
     #[test]
     fn values_survive_restart() {
-        let module = Rc::new(build());
+        let module = Arc::new(build());
         let pool = pmemsim::PmPool::create(pmemsim::layout::HEAP_OFF + (8 << 20)).unwrap();
         let mut v = Vm::new(module.clone(), pool, VmOpts::default());
         for k in 1..20u64 {
@@ -1258,7 +1258,7 @@ mod tests {
     fn f1_and_f5_recur_after_restart() {
         // The f5 symptom must persist across a crash+restart (it is a
         // *hard* fault).
-        let module = Rc::new(build());
+        let module = Arc::new(build());
         let pool = pmemsim::PmPool::create(pmemsim::layout::HEAP_OFF + (8 << 20)).unwrap();
         let mut v = Vm::new(module.clone(), pool, VmOpts::default());
         for k in 0..100u64 {

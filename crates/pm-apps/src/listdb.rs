@@ -847,10 +847,10 @@ pub fn build() -> Module {
 mod tests {
     use super::*;
     use pir::vm::{Trap, Vm, VmOpts};
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     fn vm() -> Vm {
-        let module = Rc::new(build());
+        let module = Arc::new(build());
         let pool = pmemsim::PmPool::create(pmemsim::layout::HEAP_OFF + (8 << 20)).unwrap();
         Vm::new(module, pool, VmOpts::default())
     }
@@ -898,7 +898,7 @@ mod tests {
             "walk into 0x7F bytes dereferences far away: {err}"
         );
         // And it is a hard fault: recurs across restart.
-        let module = Rc::new(build());
+        let module = Arc::new(build());
         let pool = {
             let vm2 = v;
             vm2.crash()
@@ -956,7 +956,7 @@ mod tests {
 
     #[test]
     fn lists_survive_restart() {
-        let module = Rc::new(build());
+        let module = Arc::new(build());
         let pool = pmemsim::PmPool::create(pmemsim::layout::HEAP_OFF + (8 << 20)).unwrap();
         let mut v = Vm::new(module.clone(), pool, VmOpts::default());
         for k in 1..5u64 {

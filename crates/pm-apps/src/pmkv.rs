@@ -408,7 +408,7 @@ pub fn build() -> Module {
 mod tests {
     use super::*;
     use pir::vm::{Vm, VmOpts};
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     fn pool() -> pmemsim::PmPool {
         pmemsim::PmPool::create(pmemsim::layout::HEAP_OFF + (8 << 20)).unwrap()
@@ -416,7 +416,7 @@ mod tests {
 
     #[test]
     fn put_get_del_roundtrip() {
-        let module = Rc::new(build());
+        let module = Arc::new(build());
         let mut v = Vm::new(module, pool(), VmOpts::default());
         v.call("kv_put", &[1, 100]).unwrap();
         v.call("kv_put", &[2, 200]).unwrap();
@@ -428,7 +428,7 @@ mod tests {
 
     #[test]
     fn worker_eventually_frees_deleted_entries() {
-        let module = Rc::new(build());
+        let module = Arc::new(build());
         let mut v = Vm::new(module, pool(), VmOpts::default());
         v.call("start_worker", &[]).unwrap();
         for k in 1..20u64 {
@@ -450,7 +450,7 @@ mod tests {
 
     #[test]
     fn f12_crash_before_async_free_leaks() {
-        let module = Rc::new(build());
+        let module = Arc::new(build());
         let mut v = Vm::new(module.clone(), pool(), VmOpts::default());
         v.call("start_worker", &[]).unwrap();
         for k in 1..20u64 {
@@ -462,7 +462,7 @@ mod tests {
         // Crash before the worker runs: the volatile queue is gone.
         let baseline = {
             // What a clean store of the same size uses.
-            let module2 = Rc::new(build());
+            let module2 = Arc::new(build());
             let mut v2 = Vm::new(module2, pool(), VmOpts::default());
             v2.call("pmkv_init", &[]).unwrap();
             v2.pool_mut().allocated_bytes().unwrap()

@@ -347,7 +347,7 @@ pub fn build() -> Module {
 mod tests {
     use super::*;
     use pir::vm::{Trap, Vm, VmOpts};
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     fn pool() -> pmemsim::PmPool {
         pmemsim::PmPool::create(pmemsim::layout::HEAP_OFF + (8 << 20)).unwrap()
@@ -355,7 +355,7 @@ mod tests {
 
     #[test]
     fn set_get_and_stats() {
-        let module = Rc::new(build());
+        let module = Arc::new(build());
         let mut v = Vm::new(module, pool(), VmOpts::default());
         v.call("set", &[1, 32, 0xCD]).unwrap();
         assert_eq!(v.call("get", &[1]).unwrap(), Some(0xCDCDCDCDCDCDCDCD));
@@ -368,7 +368,7 @@ mod tests {
 
     #[test]
     fn f10_vlen_overflow_corrupts_chain() {
-        let module = Rc::new(build());
+        let module = Arc::new(build());
         let mut v = Vm::new(module, pool(), VmOpts::default());
         v.call("set", &[1, 32, 0x01]).unwrap();
         // 450-byte value: stored length 450 & 0xFF = 194 passes the
@@ -382,7 +382,7 @@ mod tests {
 
     #[test]
     fn f11_crash_between_flag_and_stats_alloc() {
-        let module = Rc::new(build());
+        let module = Arc::new(build());
         let target = crate::util::find_inst(&module, "enable_metrics", "stats.c:ptr-store", |op| {
             matches!(op, pir::ir::Op::Store { .. })
         })
@@ -403,7 +403,7 @@ mod tests {
 
     #[test]
     fn items_survive_restart() {
-        let module = Rc::new(build());
+        let module = Arc::new(build());
         let mut v = Vm::new(module.clone(), pool(), VmOpts::default());
         for k in 1..10u64 {
             v.call("set", &[k, 16, k & 0xFF]).unwrap();

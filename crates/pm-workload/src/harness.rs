@@ -8,14 +8,14 @@
 //! runs with either Arthas, pmCRIU (snapshots every 60 logical seconds)
 //! or ArCkpt.
 
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
+use std::sync::Mutex;
 use std::time::Duration;
 
 use arthas::{
-    analyze_and_instrument, CheckpointLog, Detector, FailureRecord, GuidMap, LeakMonitor, PmTrace,
-    Reactor, ReactorConfig, Target, Verdict,
+    analyze_and_instrument, CheckpointLog, Detector, FailureRecord, ForkableTarget, GuidMap,
+    LeakMonitor, PmTrace, Reactor, ReactorConfig, Target, Verdict,
 };
 use baselines::{ArCkpt, PmCriu};
 use pir::ir::Module;
@@ -33,9 +33,9 @@ pub const CRIU_INTERVAL: u64 = 60;
 /// Cached per-application analyzer output shared by its scenarios.
 pub struct AppSetup {
     /// The original module.
-    pub module: Rc<Module>,
+    pub module: Arc<Module>,
     /// The trace-instrumented module (what production runs).
-    pub instrumented: Rc<Module>,
+    pub instrumented: Arc<Module>,
     /// Static analysis over the original module.
     pub analysis: ModuleAnalysis,
     /// GUID metadata.
@@ -49,8 +49,8 @@ impl AppSetup {
     pub fn new(module: Module) -> AppSetup {
         let out = analyze_and_instrument(&module);
         AppSetup {
-            module: Rc::new(module),
-            instrumented: Rc::new(out.instrumented),
+            module: Arc::new(module),
+            instrumented: Arc::new(out.instrumented),
             analysis: out.analysis,
             guid_map: out.guid_map,
             instrument_time: out.instrument_time,
@@ -100,7 +100,11 @@ impl RunCtx {
 }
 
 /// A fault scenario: one row of the paper's Table 2.
-pub trait Scenario {
+///
+/// `Sync` so that speculative mitigation can re-execute scenario forks on
+/// worker threads (scenarios are stateless descriptions; per-run state
+/// lives in [`RunCtx`]).
+pub trait Scenario: Sync {
     /// Scenario id, e.g. "f1".
     fn id(&self) -> &'static str;
     /// Target system name.
@@ -151,7 +155,7 @@ pub struct Production {
     /// The pool holding the bad persistent state.
     pub pool: PmPool,
     /// The checkpoint log accumulated during the run.
-    pub log: Rc<RefCell<CheckpointLog>>,
+    pub log: Arc<Mutex<CheckpointLog>>,
     /// The dynamic PM address trace.
     pub trace: PmTrace,
     /// The detected failure.
@@ -201,7 +205,7 @@ impl Default for RunConfig {
 /// which would indicate a scenario bug in this reproduction.
 pub fn run_production(scn: &dyn Scenario, setup: &AppSetup, cfg: &RunConfig) -> Option<Production> {
     let mut pool = Some(PmPool::create(POOL_SIZE).expect("create pool"));
-    let log = Rc::new(RefCell::new(CheckpointLog::new()));
+    let log = Arc::new(Mutex::new(CheckpointLog::new()));
     let mut trace = PmTrace::new();
     let mut criu = PmCriu::new(CRIU_INTERVAL);
     let mut detector = Detector::new();
@@ -311,7 +315,7 @@ pub fn run_production(scn: &dyn Scenario, setup: &AppSetup, cfg: &RunConfig) -> 
                     continue 'run;
                 }
             }
-            if t % 10 == 0 {
+            if t.is_multiple_of(10) {
                 items_last = scn.count_items(&mut vm);
             }
         }
@@ -342,7 +346,7 @@ pub fn run_production(scn: &dyn Scenario, setup: &AppSetup, cfg: &RunConfig) -> 
 #[allow(clippy::too_many_arguments)]
 fn finish(
     pool: PmPool,
-    log: Rc<RefCell<CheckpointLog>>,
+    log: Arc<Mutex<CheckpointLog>>,
     trace: PmTrace,
     failure: FailureRecord,
     items_before: u64,
@@ -367,8 +371,8 @@ fn finish(
 /// the candidate pool and run its verification workload.
 pub struct ScenarioTarget<'a> {
     scn: &'a dyn Scenario,
-    module: Rc<Module>,
-    log: Rc<RefCell<CheckpointLog>>,
+    module: Arc<Module>,
+    log: Arc<Mutex<CheckpointLog>>,
     vm_opts: VmOpts,
     /// Simulated per-re-execution delay (the paper reports 3–5 s per
     /// restart); accumulated for the Figure 8 model.
@@ -379,8 +383,8 @@ impl<'a> ScenarioTarget<'a> {
     /// Creates the target wrapper.
     pub fn new(
         scn: &'a dyn Scenario,
-        module: Rc<Module>,
-        log: Rc<RefCell<CheckpointLog>>,
+        module: Arc<Module>,
+        log: Arc<Mutex<CheckpointLog>>,
         vm_opts: VmOpts,
     ) -> Self {
         ScenarioTarget {
@@ -409,6 +413,24 @@ impl Target for ScenarioTarget<'_> {
     }
 }
 
+impl ForkableTarget for ScenarioTarget<'_> {
+    fn fork_target(&self) -> Box<dyn Target + Send + '_> {
+        // Each fork re-executes against its own throwaway log: the shared
+        // log is disabled during the revert loop, so nothing an attempt
+        // records affects the outcome, and a log that loses the race is
+        // simply dropped.
+        let mut log = CheckpointLog::new();
+        log.set_enabled(false);
+        Box::new(ScenarioTarget {
+            scn: self.scn,
+            module: self.module.clone(),
+            log: Arc::new(Mutex::new(log)),
+            vm_opts: self.vm_opts,
+            reexecutions: 0,
+        })
+    }
+}
+
 /// Which solution mitigates.
 #[derive(Debug, Clone, Copy)]
 pub enum Solution {
@@ -429,6 +451,9 @@ pub struct MitigationResult {
     pub recovered: bool,
     /// Re-executions performed.
     pub attempts: u32,
+    /// Re-execution rounds: groups of re-executions whose restart delays
+    /// overlap. Equals `attempts` unless speculative mitigation ran.
+    pub reexec_rounds: u32,
     /// Host wall time of the mitigation.
     pub wall: Duration,
     /// Modelled mitigation time including the paper's 3–5 s per
@@ -459,7 +484,7 @@ pub fn mitigate(
     setup: &AppSetup,
     solution: Solution,
 ) -> MitigationResult {
-    let total_updates = production.log.borrow().total_updates();
+    let total_updates = production.log.lock().unwrap().total_updates();
     let items_before = production.items_before.max(1);
     let mut target = ScenarioTarget::new(
         scn,
@@ -474,10 +499,10 @@ pub fn mitigate(
         },
     );
 
-    let (recovered, attempts, wall, discarded, leaks_freed, fellback) = match solution {
+    let (recovered, attempts, rounds, wall, discarded, leaks_freed, fellback) = match solution {
         Solution::Arthas(cfg) => {
             let mut reactor = Reactor::new(&setup.analysis, &setup.guid_map, cfg);
-            let out = reactor.mitigate(
+            let out = reactor.mitigate_speculative(
                 &mut production.pool,
                 &production.log,
                 &production.failure,
@@ -487,6 +512,7 @@ pub fn mitigate(
             (
                 out.recovered,
                 out.attempts,
+                out.reexec_rounds,
                 out.wall,
                 out.discarded_updates,
                 out.leaks_freed,
@@ -495,13 +521,22 @@ pub fn mitigate(
         }
         Solution::PmCriu => {
             let out = production.criu.mitigate(&mut production.pool, &mut target);
-            (out.recovered, out.attempts, out.wall, 0, 0, false)
+            (
+                out.recovered,
+                out.attempts,
+                out.attempts,
+                out.wall,
+                0,
+                0,
+                false,
+            )
         }
         Solution::ArCkpt(budget) => {
             let out =
                 ArCkpt::new(budget).mitigate(&mut production.pool, &production.log, &mut target);
             (
                 out.recovered,
+                out.attempts,
                 out.attempts,
                 out.wall,
                 out.reverted_updates,
@@ -544,8 +579,11 @@ pub fn mitigate(
         id: scn.id(),
         recovered,
         attempts,
+        reexec_rounds: rounds,
         wall,
-        modeled_secs: wall.as_secs_f64() + attempts as f64 * REEXEC_DELAY_SECS,
+        // One restart delay per *round*: concurrent speculative restarts
+        // wait out their 3–5 s delay together.
+        modeled_secs: wall.as_secs_f64() + rounds as f64 * REEXEC_DELAY_SECS,
         discarded_updates: discarded,
         total_updates,
         item_loss_frac,

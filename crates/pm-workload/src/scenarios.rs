@@ -276,7 +276,7 @@ impl Scenario for F3HashtableRace {
                 let k = 2000 + t;
                 call(vm, "put", &[k, 1, 8])?;
                 call(vm, "get", &[k])?;
-                if t % 20 == 0 {
+                if t.is_multiple_of(20) {
                     call(vm, "check_invariant", &[])?;
                 }
             }
@@ -415,7 +415,7 @@ impl Scenario for F5RehashBitflip {
             }
             _ => {
                 call(vm, "get", &[t % 100])?;
-                if t % 10 == 0 {
+                if t.is_multiple_of(10) {
                     call(vm, "check_keys", &[0, 50])?;
                 }
             }
@@ -713,7 +713,7 @@ impl Scenario for F9DirectoryDoubling {
         // Inserts into directory region 1 (keys ≡ 1 mod 4), paced so the
         // first doubling (5th key) lands near the half-way point; benign
         // lookups in between.
-        if t % 30 == 0 {
+        if t.is_multiple_of(30) {
             let n = ctx.bump("inserted", 1);
             let k = 1 + (n - 1) * 4;
             call(vm, "insert", &[k, k * 10])?;
@@ -941,7 +941,7 @@ impl Scenario for F12AsyncFreeLeak {
         call(vm, "kv_get", &[k])?;
         // At t = 150, 200, 250: delete a batch and crash before the lazy
         // free worker's next drain tick.
-        if t >= 150 && t % 50 == 0 {
+        if t >= 150 && t.is_multiple_of(50) {
             for i in 0..20u64 {
                 call(vm, "kv_del", &[1 + i])?;
             }

@@ -64,6 +64,7 @@ impl Zipfian {
     }
 
     /// Next zipfian-distributed value in `[0, n)`.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> u64 {
         let u: f64 = self.rng.random();
         let uz = u * self.zetan;
@@ -109,6 +110,7 @@ impl KvWorkload {
     }
 
     /// Generates the next operation.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> KvOp {
         let key = self.key_base + self.zipf.next();
         if self.rng.random_range(0..100u32) < self.read_pct {

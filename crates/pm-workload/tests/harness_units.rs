@@ -17,8 +17,8 @@ fn production_is_deterministic_for_a_fixed_seed() {
     assert_eq!(a.failure.exit_code, b.failure.exit_code);
     assert_eq!(a.failure.fault, b.failure.fault);
     assert_eq!(
-        a.log.borrow().total_updates(),
-        b.log.borrow().total_updates()
+        a.log.lock().unwrap().total_updates(),
+        b.log.lock().unwrap().total_updates()
     );
     assert_eq!(a.trace.total_records(), b.trace.total_records());
 }
@@ -93,5 +93,9 @@ fn checkpointing_can_be_disabled() {
         ..RunConfig::default()
     };
     let prod = run_production(scn.as_ref(), &setup, &cfg).expect("failure");
-    assert_eq!(prod.log.borrow().total_updates(), 0, "no sink attached");
+    assert_eq!(
+        prod.log.lock().unwrap().total_updates(),
+        0,
+        "no sink attached"
+    );
 }

@@ -66,6 +66,7 @@ struct CacheLine64 {
 /// All operations are bounds-checked and return [`PmError::OutOfBounds`] on
 /// violation rather than panicking, so that the interpreter above can turn
 /// them into precise traps.
+#[derive(Clone)]
 pub struct PmDevice {
     media: Vec<u8>,
     cache: BTreeMap<u64, CacheLine64>,
@@ -114,7 +115,7 @@ impl PmDevice {
         if len == 0 {
             return Ok(());
         }
-        if offset.checked_add(len).map_or(true, |end| end > cap) {
+        if offset.checked_add(len).is_none_or(|end| end > cap) {
             return Err(PmError::OutOfBounds {
                 offset,
                 len,

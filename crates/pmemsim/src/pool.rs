@@ -7,8 +7,8 @@
 //! object. A [`PmSink`] can be attached to observe durability events; this
 //! is the interception surface the Arthas checkpoint library uses.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Arc;
+use std::sync::Mutex;
 
 use crate::device::{CrashPolicy, PmDevice};
 use crate::error::{PmError, PmResult};
@@ -46,7 +46,7 @@ struct OpenTx {
 /// A persistent-memory pool with allocator and transactions.
 pub struct PmPool {
     dev: PmDevice,
-    sink: Option<Rc<RefCell<dyn PmSink>>>,
+    sink: Option<Arc<Mutex<dyn PmSink + Send>>>,
     tx: Option<OpenTx>,
     recovering: bool,
     stats: PoolStats,
@@ -118,7 +118,7 @@ impl PmPool {
     }
 
     /// Attaches a durability-event sink (checkpointing library).
-    pub fn set_sink(&mut self, sink: Rc<RefCell<dyn PmSink>>) {
+    pub fn set_sink(&mut self, sink: Arc<Mutex<dyn PmSink + Send>>) {
         self.sink = Some(sink);
     }
 
@@ -154,7 +154,7 @@ impl PmPool {
         let bytes = self.dev.read(offset, len)?;
         if self.recovering {
             if let Some(sink) = self.sink.clone() {
-                sink.borrow_mut().on_recover_read(offset, len);
+                sink.lock().unwrap().on_recover_read(offset, len);
             }
         }
         Ok(bytes)
@@ -183,7 +183,7 @@ impl PmPool {
         self.stats.persists += 1;
         if let Some(sink) = self.sink.clone() {
             let data = self.dev.read(offset, len)?;
-            sink.borrow_mut().on_persist(offset, &data);
+            sink.lock().unwrap().on_persist(offset, &data);
         }
         Ok(())
     }
@@ -207,7 +207,7 @@ impl PmPool {
             for (off, len) in ranges {
                 if let Ok(data) = self.dev.read(off, len) {
                     self.stats.persists += 1;
-                    sink.borrow_mut().on_persist(off, &data);
+                    sink.lock().unwrap().on_persist(off, &data);
                 }
             }
         }
@@ -341,19 +341,18 @@ impl PmPool {
             }
             if bsize >= need {
                 let mut writes: Vec<(u64, Vec<u8>)> = Vec::new();
-                let replacement;
-                if bsize - need >= layout::MIN_BLOCK {
+                let replacement = if bsize - need >= layout::MIN_BLOCK {
                     // Split: remainder becomes a free block that inherits
                     // our free-list position.
                     let rem = cur + need;
                     writes.push((rem, (bsize - need).to_le_bytes().to_vec()));
                     writes.push((rem + 8, next.to_le_bytes().to_vec()));
                     writes.push((cur, (need | 1).to_le_bytes().to_vec()));
-                    replacement = rem;
+                    rem
                 } else {
                     writes.push((cur, (bsize | 1).to_le_bytes().to_vec()));
-                    replacement = next;
-                }
+                    next
+                };
                 match prev {
                     Some(p) => writes.push((p + 8, replacement.to_le_bytes().to_vec())),
                     None => writes.push((hdr::FREE_HEAD, replacement.to_le_bytes().to_vec())),
@@ -365,7 +364,7 @@ impl PmPool {
                 self.persist_internal(payload, payload_size)?;
                 self.stats.allocs += 1;
                 if let Some(sink) = self.sink.clone() {
-                    sink.borrow_mut().on_alloc(payload, payload_size);
+                    sink.lock().unwrap().on_alloc(payload, payload_size);
                 }
                 return Ok(payload);
             }
@@ -394,7 +393,7 @@ impl PmPool {
         self.redo_apply(&writes)?;
         self.stats.frees += 1;
         if let Some(sink) = self.sink.clone() {
-            sink.borrow_mut().on_free(offset);
+            sink.lock().unwrap().on_free(offset);
         }
         Ok(())
     }
@@ -474,7 +473,7 @@ impl PmPool {
             undo_cursor: 0,
         });
         if let Some(sink) = self.sink.clone() {
-            sink.borrow_mut().on_tx_begin(id);
+            sink.lock().unwrap().on_tx_begin(id);
         }
         Ok(id)
     }
@@ -524,7 +523,7 @@ impl PmPool {
         self.persist_internal(hdr::TX_ACTIVE, 8)?;
         self.stats.tx_commits += 1;
         if let Some(sink) = self.sink.clone() {
-            sink.borrow_mut().on_tx_commit(tx.id, &committed);
+            sink.lock().unwrap().on_tx_commit(tx.id, &committed);
         }
         Ok(())
     }
@@ -540,7 +539,7 @@ impl PmPool {
         self.persist_internal(hdr::TX_ACTIVE, 8)?;
         self.stats.tx_aborts += 1;
         if let Some(sink) = self.sink.clone() {
-            sink.borrow_mut().on_tx_abort(tx.id);
+            sink.lock().unwrap().on_tx_abort(tx.id);
         }
         Ok(())
     }
@@ -577,7 +576,7 @@ impl PmPool {
     pub fn recover_begin(&mut self) {
         self.recovering = true;
         if let Some(sink) = self.sink.clone() {
-            sink.borrow_mut().on_recover_begin();
+            sink.lock().unwrap().on_recover_begin();
         }
     }
 
@@ -585,7 +584,7 @@ impl PmPool {
     pub fn recover_end(&mut self) {
         self.recovering = false;
         if let Some(sink) = self.sink.clone() {
-            sink.borrow_mut().on_recover_end();
+            sink.lock().unwrap().on_recover_end();
         }
     }
 
@@ -599,6 +598,36 @@ impl PmPool {
     /// [`PmDevice::corrupt_bit`](crate::PmDevice::corrupt_bit)).
     pub fn corrupt_bit(&mut self, offset: u64, bit: u8) -> PmResult<()> {
         self.dev.corrupt_bit(offset, bit)
+    }
+
+    // ---- forking ------------------------------------------------------------
+
+    /// Forks the pool: an independent copy of the complete device state
+    /// (durable media *and* volatile cache lines), with no sink attached
+    /// and no open transaction. Forks are the substrate for speculative
+    /// mitigation: each candidate reversion is applied to its own fork and
+    /// re-executed there, leaving this pool untouched until a winner is
+    /// chosen and [`PmPool::reabsorb`]ed.
+    pub fn fork(&self) -> PmPool {
+        PmPool {
+            dev: self.dev.clone(),
+            sink: None,
+            tx: None,
+            recovering: false,
+            stats: self.stats,
+            pending_flush: self.pending_flush.clone(),
+        }
+    }
+
+    /// Adopts a fork's device state and counters, committing a speculative
+    /// attempt. The receiving pool keeps its own sink; the fork's open
+    /// transaction (if any) is dropped, as a restart would drop it.
+    pub fn reabsorb(&mut self, fork: PmPool) {
+        self.dev = fork.dev;
+        self.tx = None;
+        self.recovering = fork.recovering;
+        self.stats = fork.stats;
+        self.pending_flush = fork.pending_flush;
     }
 
     // ---- snapshot / integrity ----------------------------------------------
@@ -862,8 +891,8 @@ mod tests {
 
     #[test]
     fn sink_sees_persists_allocs_and_commits() {
-        use std::cell::RefCell;
-        use std::rc::Rc;
+        use std::sync::Arc;
+        use std::sync::Mutex;
 
         #[derive(Default)]
         struct Rec {
@@ -887,7 +916,7 @@ mod tests {
             }
         }
 
-        let rec = Rc::new(RefCell::new(Rec::default()));
+        let rec = Arc::new(Mutex::new(Rec::default()));
         let mut pool = PmPool::create(CAP).unwrap();
         pool.set_sink(rec.clone());
         let a = pool.alloc(64).unwrap();
@@ -899,7 +928,7 @@ mod tests {
         pool.tx_commit().unwrap();
         pool.free(a).unwrap();
 
-        let r = rec.borrow();
+        let r = rec.lock().unwrap();
         assert_eq!(r.allocs, vec![(a, 64)]);
         assert_eq!(r.persists, vec![(a, 8)]);
         assert_eq!(r.frees, vec![a]);

@@ -13,8 +13,8 @@
 //! detects the recurrence, slices the fault instruction and reverts just
 //! the bad entries.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Arc;
+use std::sync::Mutex;
 
 use arthas::{
     analyze_and_instrument, CheckpointLog, Detector, FailureRecord, PmTrace, Reactor,
@@ -84,8 +84,8 @@ fn build_app() -> Module {
 }
 
 struct MiniTarget {
-    module: Rc<Module>,
-    log: Rc<RefCell<CheckpointLog>>,
+    module: Arc<Module>,
+    log: Arc<Mutex<CheckpointLog>>,
 }
 
 impl Target for MiniTarget {
@@ -117,10 +117,10 @@ fn main() {
         out.guid_map.len(),
         out.analysis.pdg.n_edges
     );
-    let instrumented = Rc::new(out.instrumented);
+    let instrumented = Arc::new(out.instrumented);
 
     println!("2. Run production with checkpointing attached");
-    let log = Rc::new(RefCell::new(CheckpointLog::new()));
+    let log = Arc::new(Mutex::new(CheckpointLog::new()));
     let mut trace = PmTrace::new();
     let mut vm = Vm::new(instrumented.clone(), new_pool(), VmOpts::default());
     vm.pool_mut().set_sink(log.clone());
@@ -148,7 +148,7 @@ fn main() {
 
     println!("4. Reactor: slice the fault, revert dependent PM state");
     let mut pool = vm.crash();
-    let total = log.borrow().total_updates();
+    let total = log.lock().unwrap().total_updates();
     let mut reactor = Reactor::new(&out.analysis, &out.guid_map, ReactorConfig::default());
     let mut target = MiniTarget {
         module: instrumented.clone(),

@@ -29,7 +29,8 @@ fn usage() -> ! {
          commands:\n\
          \x20 list                          list the 12 fault scenarios (Table 2)\n\
          \x20 run <fN> [solution] [seed]    run one scenario to failure and mitigate\n\
-         \x20                               solution: arthas (default) | pmcriu | arckpt\n\
+         \x20                               solution: arthas (default) | arthas-spec[:k]\n\
+         \x20                               | pmcriu | arckpt\n\
          \x20 study                         print the empirical-study statistics (S2)\n\
          \x20 analyze <app>                 analyzer summary (apps: kvcache, listdb,\n\
          \x20                               cceh, segcache, pmkv)\n\
@@ -85,6 +86,21 @@ fn cmd_run(args: &[String]) {
         None | Some("arthas") => Solution::Arthas(ReactorConfig::default()),
         Some("pmcriu") => Solution::PmCriu,
         Some("arckpt") => Solution::ArCkpt(200),
+        Some(spec) if spec == "arthas-spec" || spec.starts_with("arthas-spec:") => {
+            // Speculative mitigation over k concurrent re-executions
+            // (default 4); outcome-identical to `arthas`.
+            let workers = match spec.strip_prefix("arthas-spec:") {
+                Some(k) => k.parse().unwrap_or_else(|_| {
+                    eprintln!("bad worker count in {spec}");
+                    std::process::exit(1);
+                }),
+                None => 4,
+            };
+            Solution::Arthas(ReactorConfig {
+                speculation: Some(workers),
+                ..ReactorConfig::default()
+            })
+        }
         Some(other) => {
             eprintln!("unknown solution {other}");
             std::process::exit(1);
@@ -114,13 +130,14 @@ fn cmd_run(args: &[String]) {
         prod.failure.kind,
         prod.failure.exit_code,
         prod.restarts,
-        prod.log.borrow().total_updates(),
+        prod.log.lock().unwrap().total_updates(),
     );
     let res = mitigate(&mut prod, scn.as_ref(), &setup, solution);
     println!(
-        "mitigation: recovered={} attempts={} discarded={}/{} consistent={:?} leaks_freed={}",
+        "mitigation: recovered={} attempts={} rounds={} discarded={}/{} consistent={:?} leaks_freed={}",
         res.recovered,
         res.attempts,
+        res.reexec_rounds,
         res.discarded_updates,
         res.total_updates,
         res.consistent,

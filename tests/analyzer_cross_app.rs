@@ -2,7 +2,7 @@
 //! app verifies, analyzes, instruments transparently, and exposes the PM
 //! surface the reactor needs.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use pir::vm::{Vm, VmOpts};
 use pm_workload::AppSetup;
@@ -57,7 +57,8 @@ fn guid_metadata_is_bijective() {
 fn instrumented_apps_trace_pm_addresses_only() {
     // Run a small benign workload on every app and validate each trace
     // record resolves to a known GUID and a PM address.
-    let drive: Vec<(&str, Vec<(&str, Vec<u64>)>)> = vec![
+    type DriveOps = Vec<(&'static str, Vec<u64>)>;
+    let drive: Vec<(&str, DriveOps)> = vec![
         ("kvcache", vec![("put", vec![1, 2, 16]), ("get", vec![1])]),
         (
             "listdb",
@@ -71,7 +72,7 @@ fn instrumented_apps_trace_pm_addresses_only() {
         let setup = AppSetup::new(module);
         let pool = pmemsim::PmPool::create(pm_workload::POOL_SIZE).unwrap();
         let mut vm = Vm::new(
-            Rc::new((*setup.instrumented).clone()),
+            Arc::new((*setup.instrumented).clone()),
             pool,
             VmOpts::default(),
         );
