@@ -48,8 +48,8 @@ fn main() {
     ];
     println!("== Table 9: analyzer timings (milliseconds) ==");
     println!(
-        "{:<10} {:>8} {:>14} {:>14} {:>10}",
-        "System", "insts", "StaticAnalysis", "Instrument", "Slicing"
+        "{:<10} {:>8} {:>14} {:>9} {:>8} {:>7} {:>14} {:>10}",
+        "System", "insts", "StaticAnalysis", "PointsTo", "PmClass", "PDG", "Instrument", "Slicing"
     );
     for (name, build, fault_fn, fault_loc) in apps {
         let module = build();
@@ -68,10 +68,13 @@ fn main() {
         let mut pool = arthas_bench::bench_pool();
         let _ = reactor.plan(fault, &trace, &log, &mut pool);
         println!(
-            "{:<10} {:>8} {:>14.2} {:>14.2} {:>10.3}",
+            "{:<10} {:>8} {:>14.2} {:>9.2} {:>8.2} {:>7.2} {:>14.2} {:>10.3}",
             name,
             n_insts,
             setup.analysis.analysis_time.as_secs_f64() * 1e3,
+            setup.analysis.pointsto_time.as_secs_f64() * 1e3,
+            setup.analysis.pm_time.as_secs_f64() * 1e3,
+            setup.analysis.pdg_time.as_secs_f64() * 1e3,
             setup.instrument_time.as_secs_f64() * 1e3,
             reactor.last_slice_time.as_secs_f64() * 1e3,
         );

@@ -77,18 +77,12 @@ pub fn idoms(n: usize, entry: u32, succs: &[Vec<u32>]) -> Vec<Option<u32>> {
     idom
 }
 
-/// Control-dependence map for one function: `deps[b]` lists the blocks
-/// whose terminating branch `b` is control dependent on.
-///
-/// Built from post-dominators over the reverse CFG (with a virtual exit
-/// collecting every `ret`/`unreachable` block): for each CFG edge `A → S`,
-/// every block on the post-dominator chain from `S` up to (excluding)
-/// `ipostdom(A)` is control dependent on `A`.
-pub fn control_dependence(f: &Function) -> HashMap<BlockId, Vec<BlockId>> {
+/// Builds the reversed CFG of `f` with a virtual exit node (`n`) that
+/// collects every `ret`/`unreachable` block. Returns the reverse
+/// successor lists (`n + 1` nodes) and the virtual exit id.
+fn reverse_cfg(f: &Function) -> (Vec<Vec<u32>>, u32) {
     let n = f.blocks.len();
-    let exit = n as u32; // virtual exit node
-                         // Reverse graph successors (i.e. original predecessors), with the
-                         // virtual exit preceding every terminating block.
+    let exit = n as u32;
     let mut fwd: Vec<Vec<u32>> = vec![Vec::new(); n + 1];
     for (b, out) in fwd.iter_mut().enumerate().take(n) {
         let succ = f.successors(BlockId(b as u32));
@@ -106,6 +100,85 @@ pub fn control_dependence(f: &Function) -> HashMap<BlockId, Vec<BlockId>> {
             rev[s as usize].push(b as u32);
         }
     }
+    (rev, exit)
+}
+
+/// A dominator or post-dominator tree over one function's basic blocks,
+/// with an ancestor query. Built once per function and reused by clients
+/// that need many queries (e.g. the `pir-lint` checks).
+pub struct DomTree {
+    idom: Vec<Option<u32>>,
+    /// `Some(exit)` for post-dominator trees (the virtual exit node id);
+    /// `None` for forward dominator trees.
+    virtual_exit: Option<u32>,
+}
+
+impl DomTree {
+    /// Forward dominators from the entry block.
+    pub fn dominators(f: &Function) -> DomTree {
+        let n = f.blocks.len();
+        let succs: Vec<Vec<u32>> = (0..n)
+            .map(|b| {
+                f.successors(BlockId(b as u32))
+                    .iter()
+                    .map(|s| s.0)
+                    .collect()
+            })
+            .collect();
+        DomTree {
+            idom: idoms(n, 0, &succs),
+            virtual_exit: None,
+        }
+    }
+
+    /// Post-dominators, computed over the reverse CFG with a virtual exit
+    /// collecting every `ret`/`unreachable` block.
+    pub fn post_dominators(f: &Function) -> DomTree {
+        let (rev, exit) = reverse_cfg(f);
+        DomTree {
+            idom: idoms(rev.len(), exit, &rev),
+            virtual_exit: Some(exit),
+        }
+    }
+
+    /// Whether `a` (post-)dominates `b` (reflexively): walks `b`'s
+    /// immediate-dominator chain. Unreachable blocks dominate nothing and
+    /// are dominated by nothing but themselves.
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        let mut cur = b.0;
+        loop {
+            if cur == a.0 {
+                return true;
+            }
+            match self.idom.get(cur as usize).copied().flatten() {
+                Some(next) if next != cur => cur = next,
+                _ => return false,
+            }
+        }
+    }
+
+    /// The immediate (post-)dominator of `b`, when `b` is reachable and
+    /// not the tree root. The virtual exit of a post-dominator tree is
+    /// never returned.
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        let d = self.idom.get(b.0 as usize).copied().flatten()?;
+        if d == b.0 || Some(d) == self.virtual_exit {
+            return None;
+        }
+        Some(BlockId(d))
+    }
+}
+
+/// Control-dependence map for one function: `deps[b]` lists the blocks
+/// whose terminating branch `b` is control dependent on.
+///
+/// Built from post-dominators over the reverse CFG (with a virtual exit
+/// collecting every `ret`/`unreachable` block): for each CFG edge `A → S`,
+/// every block on the post-dominator chain from `S` up to (excluding)
+/// `ipostdom(A)` is control dependent on `A`.
+pub fn control_dependence(f: &Function) -> HashMap<BlockId, Vec<BlockId>> {
+    let n = f.blocks.len();
+    let (rev, exit) = reverse_cfg(f);
     let ipdom = idoms(n + 1, exit, &rev);
 
     let mut deps: HashMap<BlockId, Vec<BlockId>> = HashMap::new();
@@ -225,6 +298,48 @@ mod tests {
             .get(&head_branch_block)
             .map(|d| d.contains(&head_branch_block))
             .unwrap_or(false));
+    }
+
+    #[test]
+    fn dominators_and_post_dominators_of_a_diamond() {
+        // entry(0) -> then(1) / else(2) -> merge(3): entry dominates all,
+        // merge post-dominates all, branches dominate/post-dominate only
+        // themselves.
+        let mut m = ModuleBuilder::new();
+        let mut f = m.func("f", 1, true);
+        let p = f.param(0);
+        let z = f.konst(0);
+        let c = f.ne(p, z);
+        let out = f.local_c(0);
+        f.if_else(
+            c,
+            |f| {
+                let v = f.konst(1);
+                f.store8(out, v);
+            },
+            |f| {
+                let v = f.konst(2);
+                f.store8(out, v);
+            },
+        );
+        let r = f.load8(out);
+        f.ret(Some(r));
+        f.finish();
+        let module = m.finish().unwrap();
+        let func = module.func(module.func_by_name("f").unwrap());
+        let dom = DomTree::dominators(func);
+        let pdom = DomTree::post_dominators(func);
+        let (entry, then_, merge) = (BlockId(0), BlockId(1), BlockId(3));
+        assert!(dom.dominates(entry, merge));
+        assert!(dom.dominates(entry, then_));
+        assert!(!dom.dominates(then_, merge));
+        assert!(dom.dominates(merge, merge), "reflexive");
+        assert!(pdom.dominates(merge, entry));
+        assert!(pdom.dominates(merge, then_));
+        assert!(!pdom.dominates(then_, entry));
+        assert_eq!(dom.idom(merge), Some(entry));
+        assert_eq!(pdom.idom(entry), Some(merge));
+        assert_eq!(pdom.idom(merge), None, "virtual exit is hidden");
     }
 
     #[test]

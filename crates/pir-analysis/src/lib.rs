@@ -17,11 +17,14 @@
 //! times (reproduced in Table 9 of the paper).
 
 pub mod cfg;
+pub mod cover;
 pub mod pdg;
 pub mod pm;
 pub mod pointsto;
 pub mod slice;
 
+pub use cfg::DomTree;
+pub use cover::{covered_to_exit, DurKind, DurPoint, FlushCover};
 pub use pdg::{DepKind, Pdg};
 pub use pm::PmInfo;
 pub use pointsto::{AbsObj, Field, PointsTo};
@@ -39,7 +42,13 @@ pub struct ModuleAnalysis {
     pub pm: PmInfo,
     /// The program dependence graph.
     pub pdg: Pdg,
-    /// Wall time of the points-to + PDG phases.
+    /// Wall time of the points-to phase.
+    pub pointsto_time: Duration,
+    /// Wall time of the PM-classification phase.
+    pub pm_time: Duration,
+    /// Wall time of the PDG-construction phase.
+    pub pdg_time: Duration,
+    /// Total static-analysis wall time (sum of the three phases).
     pub analysis_time: Duration,
 }
 
@@ -48,12 +57,20 @@ impl ModuleAnalysis {
     pub fn compute(module: &Module) -> ModuleAnalysis {
         let t0 = Instant::now();
         let pointsto = PointsTo::compute(module);
+        let pointsto_time = t0.elapsed();
+        let t1 = Instant::now();
         let pm = PmInfo::compute(module, &pointsto);
+        let pm_time = t1.elapsed();
+        let t2 = Instant::now();
         let pdg = Pdg::compute(module, &pointsto);
+        let pdg_time = t2.elapsed();
         ModuleAnalysis {
             pointsto,
             pm,
             pdg,
+            pointsto_time,
+            pm_time,
+            pdg_time,
             analysis_time: t0.elapsed(),
         }
     }

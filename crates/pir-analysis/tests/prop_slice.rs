@@ -1,22 +1,26 @@
 //! Property-based soundness test for the PDG + backward slicing: on
 //! randomly generated straight-line programs over PM cells, the backward
-//! slice of a final load must contain *every* store that actually
+//! slice of a final load must contain *every* write that actually
 //! contributed to the loaded value (computed by brute-force dynamic
-//! dataflow), and must exclude stores to cells that provably never flow
-//! into it.
+//! dataflow), and must exclude writes to cells that provably never flow
+//! into it. Programs mix plain stores with `memcpy`/`memset`, whose
+//! memory effects flow through the same PDG memory edges.
 
 use pir::builder::ModuleBuilder;
-use pir::ir::{InstRef, Module, Op};
+use pir::ir::{InstRef, Intrinsic, Module, Op};
 use pir_analysis::{backward_slice, ModuleAnalysis};
 use proptest::prelude::*;
 
-/// A random straight-line program over `N_CELLS` distinct PM objects:
-/// each step either stores a constant into a cell, or copies one cell
-/// into another (load + store).
+/// A random straight-line program over `N_CELLS` distinct PM objects.
+/// Each step performs exactly one PM write:
+/// a constant store, a load+store copy, a `memcpy` between cells, or a
+/// `memset` fill.
 #[derive(Debug, Clone, Copy)]
 enum Step {
     SetConst { dst: usize, val: u64 },
     Copy { dst: usize, src: usize },
+    Memcpy { dst: usize, src: usize },
+    Memset { dst: usize, byte: u64 },
 }
 
 const N_CELLS: usize = 5;
@@ -25,10 +29,12 @@ fn step() -> impl Strategy<Value = Step> {
     prop_oneof![
         (0..N_CELLS, 1..1000u64).prop_map(|(dst, val)| Step::SetConst { dst, val }),
         (0..N_CELLS, 0..N_CELLS).prop_map(|(dst, src)| Step::Copy { dst, src }),
+        (0..N_CELLS, 0..N_CELLS).prop_map(|(dst, src)| Step::Memcpy { dst, src }),
+        (0..N_CELLS, 1..256u64).prop_map(|(dst, byte)| Step::Memset { dst, byte }),
     ]
 }
 
-/// Builds the program; returns (module, per-step store InstRef, final
+/// Builds the program; returns (module, per-step writer InstRef, final
 /// load InstRef observing `observed` cell).
 fn build(steps: &[Step], observed: usize) -> (Module, Vec<InstRef>, InstRef) {
     let mut m = ModuleBuilder::new();
@@ -40,7 +46,6 @@ fn build(steps: &[Step], observed: usize) -> (Module, Vec<InstRef>, InstRef) {
             f.pm_alloc(sz)
         })
         .collect();
-    let mut store_positions: Vec<u32> = Vec::new();
     for s in steps {
         match s {
             Step::SetConst { dst, val } => {
@@ -51,29 +56,46 @@ fn build(steps: &[Step], observed: usize) -> (Module, Vec<InstRef>, InstRef) {
                 let v = f.load8(cells[*src]);
                 f.store8(cells[*dst], v);
             }
+            Step::Memcpy { dst, src } => {
+                let len = f.konst(8);
+                f.memcpy(cells[*dst], cells[*src], len);
+            }
+            Step::Memset { dst, byte } => {
+                let b = f.konst(*byte);
+                let len = f.konst(8);
+                f.memset(cells[*dst], b, len);
+            }
         }
-        store_positions.push(0); // placeholder; fixed up below
     }
     let out = f.load8(cells[observed]);
     f.ret(Some(out));
     f.finish();
     let module = m.finish().unwrap();
 
-    // Locate the stores (in order) and the final load.
+    // Each step emits exactly one writer (store / memcpy / memset), and
+    // writers appear in program order, so they match the steps 1:1.
     let fid = module.func_by_name("main").unwrap();
     let func = module.func(fid);
-    let stores: Vec<InstRef> = func
+    let writers: Vec<InstRef> = func
         .insts
         .iter()
         .enumerate()
-        .filter(|(_, i)| matches!(i.op, Op::Store { .. }))
+        .filter(|(_, i)| {
+            matches!(
+                i.op,
+                Op::Store { .. }
+                    | Op::Intr {
+                        intr: Intrinsic::Memcpy | Intrinsic::Memset,
+                        ..
+                    }
+            )
+        })
         .map(|(ii, _)| InstRef {
             func: fid,
             inst: ii as u32,
         })
         .collect();
-    assert_eq!(stores.len(), steps.len());
-    let _ = store_positions;
+    assert_eq!(writers.len(), steps.len());
     let final_load = func
         .insts
         .iter()
@@ -85,19 +107,19 @@ fn build(steps: &[Step], observed: usize) -> (Module, Vec<InstRef>, InstRef) {
             inst: ii as u32,
         })
         .unwrap();
-    (module, stores, final_load)
+    (module, writers, final_load)
 }
 
-/// Brute-force dynamic taint: which steps' stores contribute to the final
+/// Brute-force dynamic taint: which steps' writes contribute to the final
 /// value of `observed`?
 fn contributing_steps(steps: &[Step], observed: usize) -> Vec<bool> {
-    // provenance[c] = set of step indices whose stores the current value
+    // provenance[c] = set of step indices whose writes the current value
     // of cell c derives from.
     let mut provenance: Vec<Vec<usize>> = vec![Vec::new(); N_CELLS];
     for (i, s) in steps.iter().enumerate() {
         match s {
-            Step::SetConst { dst, .. } => provenance[*dst] = vec![i],
-            Step::Copy { dst, src } => {
+            Step::SetConst { dst, .. } | Step::Memset { dst, .. } => provenance[*dst] = vec![i],
+            Step::Copy { dst, src } | Step::Memcpy { dst, src } => {
                 let mut p = provenance[*src].clone();
                 p.push(i);
                 provenance[*dst] = p;
@@ -114,31 +136,31 @@ fn contributing_steps(steps: &[Step], observed: usize) -> Vec<bool> {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
-    /// Soundness: the slice contains every dynamically contributing store.
+    /// Soundness: the slice contains every dynamically contributing write.
     /// (The converse — precision — is not guaranteed: the analysis is
-    /// flow-insensitive for memory, so later-overwritten stores to the
+    /// flow-insensitive for memory, so later-overwritten writes to the
     /// same cell may also appear.)
     #[test]
-    fn slice_covers_all_contributing_stores(
+    fn slice_covers_all_contributing_writes(
         steps in proptest::collection::vec(step(), 1..20),
         observed in 0..N_CELLS,
     ) {
-        let (module, stores, final_load) = build(&steps, observed);
+        let (module, writers, final_load) = build(&steps, observed);
         let analysis = ModuleAnalysis::compute(&module);
         let slice = backward_slice(&analysis.pdg, final_load, 100_000);
         let needed = contributing_steps(&steps, observed);
         for (i, need) in needed.iter().enumerate() {
             if *need {
                 prop_assert!(
-                    slice.contains(stores[i]),
-                    "store of step {i} ({:?}) contributes but is missing from the slice",
+                    slice.contains(writers[i]),
+                    "write of step {i} ({:?}) contributes but is missing from the slice",
                     steps[i]
                 );
             }
         }
     }
 
-    /// Separation: a store into a cell from which no copy path leads to
+    /// Separation: a write into a cell from which no copy path leads to
     /// the observed cell must not be in the slice (distinct allocation
     /// sites do not alias).
     #[test]
@@ -151,17 +173,62 @@ proptest! {
             .iter()
             .map(|(dst, val)| Step::SetConst { dst: *dst, val: *val })
             .collect();
-        let (module, stores, final_load) = build(&steps, observed);
+        let (module, writers, final_load) = build(&steps, observed);
         let analysis = ModuleAnalysis::compute(&module);
         let slice = backward_slice(&analysis.pdg, final_load, 100_000);
         for (i, s) in steps.iter().enumerate() {
             let Step::SetConst { dst, .. } = s else { unreachable!() };
             if *dst != observed {
                 prop_assert!(
-                    !slice.contains(stores[i]),
+                    !slice.contains(writers[i]),
                     "store to unrelated cell {dst} leaked into the slice of {observed}"
                 );
             }
         }
     }
+}
+
+/// Deterministic regression: a fault observed after a PM `memcpy` must
+/// slice back *through* the copy to the instructions that defined the
+/// source buffer's contents.
+#[test]
+fn slice_through_memcpy_reaches_source_definitions() {
+    let steps = [
+        Step::SetConst { dst: 0, val: 41 }, // defines the source buffer
+        Step::SetConst { dst: 2, val: 7 },  // unrelated
+        Step::Memcpy { dst: 1, src: 0 },    // PM-to-PM copy
+    ];
+    let (module, writers, final_load) = build(&steps, 1);
+    let analysis = ModuleAnalysis::compute(&module);
+    let slice = backward_slice(&analysis.pdg, final_load, 100_000);
+    assert!(
+        slice.contains(writers[2]),
+        "the memcpy itself must be in the slice"
+    );
+    assert!(
+        slice.contains(writers[0]),
+        "the store defining the memcpy source must be in the slice"
+    );
+    assert!(
+        !slice.contains(writers[1]),
+        "the write to the unrelated cell must not be in the slice"
+    );
+}
+
+/// Same for `memset`: it defines the destination outright, so it is in
+/// the slice and anything older it overwrote may be pruned.
+#[test]
+fn slice_includes_covering_memset() {
+    let steps = [
+        Step::Memset { dst: 0, byte: 0xab },
+        Step::Copy { dst: 1, src: 0 },
+    ];
+    let (module, writers, final_load) = build(&steps, 1);
+    let analysis = ModuleAnalysis::compute(&module);
+    let slice = backward_slice(&analysis.pdg, final_load, 100_000);
+    assert!(slice.contains(writers[1]), "the copy is in the slice");
+    assert!(
+        slice.contains(writers[0]),
+        "the memset defining the copied value is in the slice"
+    );
 }

@@ -1,0 +1,538 @@
+//! The five lint checks (L1–L5).
+//!
+//! All checks are intraprocedural path queries layered on inter-procedural
+//! facts: the Andersen points-to result resolves which abstract objects an
+//! address may touch, [`FlushCover`] summarises which durability points a
+//! call may execute transitively, and [`DomTree`]s answer ordering
+//! questions within a function.
+
+use std::collections::HashSet;
+
+use pir::ir::{BlockId, FuncId, Function, InstRef, Intrinsic, Module, Op, Val};
+use pir_analysis::pointsto::{LocSet, FIELD_MAX};
+use pir_analysis::{
+    covered_to_exit, DepKind, DomTree, DurKind, FlushCover, ModuleAnalysis, PointsTo,
+};
+
+use crate::{Check, Diagnostic, Severity};
+
+/// A PM write site: a `store`, `memcpy` or `memset` whose destination may
+/// be persistent memory.
+struct PmWrite {
+    at: InstRef,
+    addr: LocSet,
+    /// Written byte length ([`FIELD_MAX`] when dynamic).
+    len: u32,
+    /// The destination address operand (for provenance queries).
+    addr_val: Val,
+}
+
+fn pm_writes_of(module: &Module, pt: &PointsTo, fid: FuncId) -> Vec<PmWrite> {
+    let f = module.func(fid);
+    let mut out = Vec::new();
+    for (ii, inst) in f.insts.iter().enumerate() {
+        let (addr_val, len) = match &inst.op {
+            Op::Store { addr, size, .. } if pt.may_be_pm(fid, *addr) => (*addr, *size as u32),
+            Op::Intr {
+                intr: Intrinsic::Memcpy | Intrinsic::Memset,
+                args,
+            } if pt.may_be_pm(fid, args[0]) => (
+                args[0],
+                pir_analysis::cover::const_operand(f, args.get(2).copied())
+                    .map(|n| n.min(FIELD_MAX as u64) as u32)
+                    .unwrap_or(FIELD_MAX as u32),
+            ),
+            _ => continue,
+        };
+        out.push(PmWrite {
+            at: InstRef {
+                func: fid,
+                inst: ii as u32,
+            },
+            addr: pt.pts(fid, addr_val),
+            len,
+            addr_val,
+        });
+    }
+    out
+}
+
+/// Whether `v` is derived (through geps/selects) from a function
+/// parameter. Such an address escaped from the caller, and the caller may
+/// be the one responsible for persisting it after the call returns — the
+/// one inter-procedural pattern [`covered_to_exit`] cannot see.
+fn derives_from_param(f: &Function, v: Val) -> bool {
+    let mut seen = HashSet::new();
+    let mut stack = vec![v];
+    while let Some(v) = stack.pop() {
+        if !seen.insert(v) {
+            continue;
+        }
+        match &f.insts[v.0 as usize].op {
+            Op::Param(_) => return true,
+            Op::Gep { base, .. } => stack.push(*base),
+            Op::Select(_, a, b) => {
+                stack.push(*a);
+                stack.push(*b);
+            }
+            _ => {}
+        }
+    }
+    false
+}
+
+/// Whether instruction `j` of `f` durably covers a write to `(addr, len)`:
+/// an aliasing `pm_flush`/`pm_persist`, any `pm_tx_commit`, or a call that
+/// transitively reaches one.
+fn is_durability_cover(
+    fid: FuncId,
+    f: &Function,
+    j: u32,
+    pt: &PointsTo,
+    cover: &FlushCover,
+    addr: &LocSet,
+    len: u32,
+) -> bool {
+    let jr = InstRef { func: fid, inst: j };
+    if let Some(p) = cover.point_at(jr) {
+        return match p.kind {
+            DurKind::Flush | DurKind::Persist => {
+                PointsTo::sets_may_alias(addr, len, &p.addr, p.len)
+            }
+            DurKind::TxCommit => true,
+            DurKind::Drain | DurKind::TxAdd => false,
+        };
+    }
+    if matches!(
+        f.insts[j as usize].op,
+        Op::Call { .. } | Op::CallIndirect { .. }
+    ) {
+        return cover
+            .points_through_call(pt, jr)
+            .iter()
+            .any(|p| match p.kind {
+                DurKind::Flush | DurKind::Persist => {
+                    PointsTo::sets_may_alias(addr, len, &p.addr, p.len)
+                }
+                DurKind::TxCommit => true,
+                DurKind::Drain | DurKind::TxAdd => false,
+            });
+    }
+    false
+}
+
+/// Whether instruction `j` of `f` is a fence: a `pm_drain`, `pm_persist`
+/// or `pm_tx_commit` (any address), or a call that transitively reaches
+/// one.
+fn is_fence(fid: FuncId, f: &Function, j: u32, pt: &PointsTo, cover: &FlushCover) -> bool {
+    let fence_kind =
+        |k: DurKind| matches!(k, DurKind::Drain | DurKind::Persist | DurKind::TxCommit);
+    let jr = InstRef { func: fid, inst: j };
+    if let Some(p) = cover.point_at(jr) {
+        return fence_kind(p.kind);
+    }
+    if matches!(
+        f.insts[j as usize].op,
+        Op::Call { .. } | Op::CallIndirect { .. }
+    ) {
+        return cover
+            .points_through_call(pt, jr)
+            .iter()
+            .any(|p| fence_kind(p.kind));
+    }
+    false
+}
+
+fn diag(check: Check, at: InstRef, severity: Severity, message: String) -> Diagnostic {
+    Diagnostic {
+        check,
+        inst: at,
+        severity,
+        message,
+        guid: None,
+        loc: String::new(),
+        func: String::new(),
+        suppressed: None,
+    }
+}
+
+/// L1: PM stores that may reach a function exit un-persisted.
+fn check_unflushed_stores(
+    module: &Module,
+    pt: &PointsTo,
+    cover: &FlushCover,
+    out: &mut Vec<Diagnostic>,
+) {
+    for (fi, f) in module.funcs.iter().enumerate() {
+        let fid = FuncId(fi as u32);
+        for w in pm_writes_of(module, pt, fid) {
+            let mut is_cover = |j: u32| is_durability_cover(fid, f, j, pt, cover, &w.addr, w.len);
+            if covered_to_exit(f, w.at.inst, &mut is_cover) {
+                continue;
+            }
+            let (sev, tail) = if derives_from_param(f, w.addr_val) {
+                (
+                    Severity::Warning,
+                    "; the address comes from a parameter, so a caller may persist it",
+                )
+            } else {
+                (Severity::Error, "")
+            };
+            out.push(diag(
+                Check::UnflushedStore,
+                w.at,
+                sev,
+                format!(
+                    "PM write may reach a function exit with no covering \
+                     pm_flush/pm_persist on some path{tail}"
+                ),
+            ));
+        }
+    }
+}
+
+/// L2: flushes with no fence on every path to exit.
+fn check_missing_drain(
+    module: &Module,
+    analysis: &ModuleAnalysis,
+    cover: &FlushCover,
+    out: &mut Vec<Diagnostic>,
+) {
+    let pt = &analysis.pointsto;
+    for (fi, f) in module.funcs.iter().enumerate() {
+        let fid = FuncId(fi as u32);
+        let flushes: Vec<_> = cover
+            .own_points(fid)
+            .filter(|p| p.kind == DurKind::Flush)
+            .collect();
+        for p in flushes {
+            let mut fence = |j: u32| is_fence(fid, f, j, pt, cover);
+            if covered_to_exit(f, p.at.inst, &mut fence) {
+                continue;
+            }
+            // Severity: if some PM read in the module memory-depends on a
+            // store this flush was staging, the program observably relies
+            // on data that never became durable — error. Otherwise the
+            // flush is wasted but nothing proven lost — warning.
+            let staged: HashSet<InstRef> = f
+                .insts
+                .iter()
+                .enumerate()
+                .filter(|(_, i)| match &i.op {
+                    Op::Store { addr, size, .. } => {
+                        PointsTo::sets_may_alias(&pt.pts(fid, *addr), *size as u32, &p.addr, p.len)
+                    }
+                    _ => false,
+                })
+                .map(|(ii, _)| InstRef {
+                    func: fid,
+                    inst: ii as u32,
+                })
+                .collect();
+            let observed = analysis.pm.pm_reads.iter().any(|r| {
+                analysis
+                    .pdg
+                    .deps_of(*r)
+                    .iter()
+                    .any(|(d, k)| *k == DepKind::Memory && staged.contains(d))
+            });
+            let sev = if observed {
+                Severity::Error
+            } else {
+                Severity::Warning
+            };
+            out.push(diag(
+                Check::MissingDrain,
+                p.at,
+                sev,
+                "pm_flush is not followed by a pm_drain/pm_persist fence on every \
+                 path to exit; staged lines may never commit"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+/// Per-block "may be inside a transaction" states (at block entry),
+/// computed as a forward may-analysis with OR-merge.
+fn tx_in_states(f: &Function) -> Vec<bool> {
+    let nb = f.blocks.len();
+    let tx_out = |entry: bool, b: usize| {
+        let mut cur = entry;
+        for &i in &f.blocks[b].insts {
+            match &f.insts[i as usize].op {
+                Op::Intr {
+                    intr: Intrinsic::PmTxBegin,
+                    ..
+                } => cur = true,
+                Op::Intr {
+                    intr: Intrinsic::PmTxCommit | Intrinsic::PmTxAbort,
+                    ..
+                } => cur = false,
+                _ => {}
+            }
+        }
+        cur
+    };
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); nb];
+    for b in 0..nb {
+        for s in f.successors(BlockId(b as u32)) {
+            preds[s.0 as usize].push(b);
+        }
+    }
+    let mut in_state = vec![false; nb];
+    loop {
+        let mut changed = false;
+        for b in 0..nb {
+            let new_in = preds[b].iter().any(|&p| tx_out(in_state[p], p));
+            if new_in != in_state[b] {
+                in_state[b] = new_in;
+                changed = true;
+            }
+        }
+        if !changed {
+            return in_state;
+        }
+    }
+}
+
+/// Whether instruction `a` executes before `b` on every path reaching `b`:
+/// earlier in the same block, or in a strictly dominating block.
+fn must_precede(f: &Function, dom: &DomTree, a: u32, b: u32) -> bool {
+    let (Some(ba), Some(bb)) = (f.block_of(a), f.block_of(b)) else {
+        return false;
+    };
+    if ba == bb {
+        let insts = &f.blocks[ba.0 as usize].insts;
+        let pa = insts.iter().position(|&i| i == a);
+        let pb = insts.iter().position(|&i| i == b);
+        return pa < pb;
+    }
+    dom.dominates(ba, bb)
+}
+
+/// L3: PM stores inside a transaction whose range was never snapshotted.
+fn check_store_outside_tx(
+    module: &Module,
+    pt: &PointsTo,
+    cover: &FlushCover,
+    out: &mut Vec<Diagnostic>,
+) {
+    for (fi, f) in module.funcs.iter().enumerate() {
+        let fid = FuncId(fi as u32);
+        let has_tx = f.insts.iter().any(|i| {
+            matches!(
+                i.op,
+                Op::Intr {
+                    intr: Intrinsic::PmTxBegin,
+                    ..
+                }
+            )
+        });
+        if !has_tx {
+            continue;
+        }
+        let in_states = tx_in_states(f);
+        let dom = DomTree::dominators(f);
+        for w in pm_writes_of(module, pt, fid) {
+            // Is this write inside a tx region? Re-scan its block from the
+            // entry state up to (excluding) the write.
+            let Some(bw) = f.block_of(w.at.inst) else {
+                continue;
+            };
+            let mut in_tx = in_states[bw.0 as usize];
+            for &i in &f.blocks[bw.0 as usize].insts {
+                if i == w.at.inst {
+                    break;
+                }
+                match &f.insts[i as usize].op {
+                    Op::Intr {
+                        intr: Intrinsic::PmTxBegin,
+                        ..
+                    } => in_tx = true,
+                    Op::Intr {
+                        intr: Intrinsic::PmTxCommit | Intrinsic::PmTxAbort,
+                        ..
+                    } => in_tx = false,
+                    _ => {}
+                }
+            }
+            if !in_tx {
+                continue;
+            }
+            // Look for a pm_tx_add that must precede the write and covers
+            // its range — directly or through a dominating call.
+            let snapshotted = cover
+                .own_points(fid)
+                .filter(|p| p.kind == DurKind::TxAdd)
+                .any(|p| {
+                    must_precede(f, &dom, p.at.inst, w.at.inst)
+                        && PointsTo::sets_may_alias(&w.addr, w.len, &p.addr, p.len)
+                })
+                || f.insts.iter().enumerate().any(|(ii, i)| {
+                    matches!(i.op, Op::Call { .. } | Op::CallIndirect { .. })
+                        && must_precede(f, &dom, ii as u32, w.at.inst)
+                        && cover
+                            .points_through_call(
+                                pt,
+                                InstRef {
+                                    func: fid,
+                                    inst: ii as u32,
+                                },
+                            )
+                            .iter()
+                            .any(|p| {
+                                p.kind == DurKind::TxAdd
+                                    && PointsTo::sets_may_alias(&w.addr, w.len, &p.addr, p.len)
+                            })
+                });
+            if snapshotted {
+                continue;
+            }
+            out.push(diag(
+                Check::StoreOutsideTx,
+                w.at,
+                Severity::Error,
+                "PM write inside a pm_tx_begin region with no preceding pm_tx_add \
+                 snapshot of the range; an abort or crash cannot undo it"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+/// L4: pm_alloc results that never become reachable from persistent state.
+fn check_pm_leaks(module: &Module, pt: &PointsTo, out: &mut Vec<Diagnostic>) {
+    use pir_analysis::AbsObj;
+    // Collect every pm_free argument's points-to set once.
+    let mut freed: LocSet = LocSet::new();
+    for (fi, f) in module.funcs.iter().enumerate() {
+        let fid = FuncId(fi as u32);
+        for inst in f.insts.iter() {
+            if let Op::Intr {
+                intr: Intrinsic::PmFree,
+                args,
+            } = &inst.op
+            {
+                freed.extend(pt.pts(fid, args[0]));
+            }
+        }
+    }
+    for (fi, f) in module.funcs.iter().enumerate() {
+        let fid = FuncId(fi as u32);
+        for (ii, inst) in f.insts.iter().enumerate() {
+            if !matches!(
+                inst.op,
+                Op::Intr {
+                    intr: Intrinsic::PmAlloc,
+                    ..
+                }
+            ) {
+                continue;
+            }
+            let at = InstRef {
+                func: fid,
+                inst: ii as u32,
+            };
+            let obj = AbsObj::PmAlloc(at);
+            if freed.iter().any(|(o, _)| *o == obj) {
+                continue;
+            }
+            let mut linked_pm = false;
+            let mut stored_volatile = false;
+            for ((holder, _), contents) in pt.heap_iter() {
+                if !contents.iter().any(|(o, _)| *o == obj) {
+                    continue;
+                }
+                if holder == obj {
+                    continue; // self-reference says nothing about reachability
+                }
+                if holder.is_pm() {
+                    linked_pm = true;
+                    break;
+                }
+                stored_volatile = true;
+            }
+            if linked_pm {
+                continue;
+            }
+            let (sev, msg) = if stored_volatile {
+                (
+                    Severity::Warning,
+                    "pm_alloc result is only reachable through volatile memory; \
+                     the object leaks after a restart",
+                )
+            } else {
+                (
+                    Severity::Error,
+                    "pm_alloc result is never linked into persistent state and \
+                     never pm_free-d; the object is unreachable after a restart",
+                )
+            };
+            out.push(diag(Check::PmLeak, at, sev, msg.to_string()));
+        }
+    }
+}
+
+/// L5: volatile pointers stored into persistent memory.
+fn check_volatile_ptr_in_pm(module: &Module, pt: &PointsTo, out: &mut Vec<Diagnostic>) {
+    use pir_analysis::AbsObj;
+    for (fi, f) in module.funcs.iter().enumerate() {
+        let fid = FuncId(fi as u32);
+        for (ii, inst) in f.insts.iter().enumerate() {
+            let Op::Store { addr, val, .. } = &inst.op else {
+                continue;
+            };
+            if !pt.may_be_pm(fid, *addr) {
+                continue;
+            }
+            let vp = pt.pts(fid, *val);
+            let mut heap = false;
+            let mut stack_or_global = false;
+            for (o, _) in &vp {
+                match o {
+                    AbsObj::Malloc(_) => heap = true,
+                    AbsObj::Alloca(_) | AbsObj::Global(_) => stack_or_global = true,
+                    AbsObj::PmAlloc(_) | AbsObj::PmRoot => {}
+                }
+            }
+            let at = InstRef {
+                func: fid,
+                inst: ii as u32,
+            };
+            if heap {
+                out.push(diag(
+                    Check::VolatilePtrInPm,
+                    at,
+                    Severity::Error,
+                    "malloc'd (volatile heap) pointer stored into persistent memory; \
+                     it dangles after a restart"
+                        .to_string(),
+                ));
+            } else if stack_or_global {
+                out.push(diag(
+                    Check::VolatilePtrInPm,
+                    at,
+                    Severity::Warning,
+                    "stack/global address stored into persistent memory; it is \
+                     meaningless after a restart"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+}
+
+/// Runs every check. Locations, function names, guids and suppressions are
+/// filled in by [`crate::lint_module`].
+pub(crate) fn run_all(module: &Module, analysis: &ModuleAnalysis) -> Vec<Diagnostic> {
+    let pt = &analysis.pointsto;
+    let cover = FlushCover::compute(module, pt);
+    let mut out = Vec::new();
+    check_unflushed_stores(module, pt, &cover, &mut out);
+    check_missing_drain(module, analysis, &cover, &mut out);
+    check_store_outside_tx(module, pt, &cover, &mut out);
+    check_pm_leaks(module, pt, &mut out);
+    check_volatile_ptr_in_pm(module, pt, &mut out);
+    out
+}

@@ -1,0 +1,401 @@
+//! Curated fixture corpus: one firing and one non-firing fixture per
+//! check. Negative fixtures must be clean across *all* checks (the
+//! zero-false-positive bar), not just the one they target.
+
+use pir::builder::ModuleBuilder;
+use pir::ir::{Intrinsic, Module};
+use pir_lint::{lint, Check, LintOptions, Severity, Suppression};
+
+fn active(m: &Module) -> Vec<(Check, Severity, String)> {
+    lint(m, &LintOptions::default())
+        .active()
+        .map(|d| (d.check, d.severity, d.loc.clone()))
+        .collect::<Vec<_>>()
+}
+
+fn assert_clean(m: &Module, name: &str) {
+    let diags = active(m);
+    assert!(diags.is_empty(), "{name} should lint clean, got: {diags:?}");
+}
+
+// ---------------------------------------------------------------- L1 ----
+
+/// A PM store with no durability point on the path to exit.
+fn l1_positive() -> Module {
+    let mut m = ModuleBuilder::new();
+    let mut f = m.func("l1_bad", 0, false);
+    f.loc("l1_bad:init");
+    let sz = f.konst(64);
+    let root = f.pm_root(sz);
+    let one = f.konst(1);
+    f.loc("l1_bad:store");
+    f.store8(root, one);
+    f.ret(None);
+    f.finish();
+    m.finish().unwrap()
+}
+
+/// The same store, persisted by a helper the function calls — exercises
+/// the transitive flush-cover closure.
+fn l1_negative() -> Module {
+    let mut m = ModuleBuilder::new();
+    m.declare("sync", 1, false);
+    {
+        let mut f = m.func("sync", 1, false);
+        let p = f.param(0);
+        f.pm_persist_c(p, 8);
+        f.ret(None);
+        f.finish();
+    }
+    {
+        let mut f = m.func("l1_good", 0, false);
+        let sz = f.konst(64);
+        let root = f.pm_root(sz);
+        let one = f.konst(1);
+        f.store8(root, one);
+        f.call("sync", &[root]);
+        f.ret(None);
+        f.finish();
+    }
+    m.finish().unwrap()
+}
+
+#[test]
+fn l1_fires_on_unflushed_store() {
+    let m = l1_positive();
+    let diags = active(&m);
+    assert_eq!(diags.len(), 1, "exactly one finding: {diags:?}");
+    let (check, sev, loc) = &diags[0];
+    assert_eq!(*check, Check::UnflushedStore);
+    assert_eq!(*sev, Severity::Error);
+    assert!(loc.contains("l1_bad:store"), "loc was {loc:?}");
+}
+
+#[test]
+fn l1_accepts_persist_through_a_helper_call() {
+    assert_clean(&l1_negative(), "l1_negative");
+}
+
+#[test]
+fn l1_partial_path_coverage_still_fires() {
+    // store; if (c) persist; ret — the else path escapes unflushed.
+    let mut m = ModuleBuilder::new();
+    let mut f = m.func("l1_partial", 1, false);
+    let c = f.param(0);
+    let sz = f.konst(64);
+    let root = f.pm_root(sz);
+    let one = f.konst(1);
+    f.loc("l1_partial:store");
+    f.store8(root, one);
+    f.if_(c, |f| f.pm_persist_c(root, 8));
+    f.ret(None);
+    f.finish();
+    let m = m.finish().unwrap();
+    let diags = active(&m);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].0, Check::UnflushedStore);
+}
+
+#[test]
+fn l1_store_through_parameter_is_a_warning() {
+    // A helper writing through its parameter: the caller may persist, so
+    // the finding is advisory.
+    let mut m = ModuleBuilder::new();
+    let mut f = m.func("set_field", 1, false);
+    let p = f.param(0);
+    let slot = f.gep(p, 8);
+    let one = f.konst(1);
+    f.loc("set_field:store");
+    f.store8(slot, one);
+    f.ret(None);
+    f.finish();
+    {
+        // Give the parameter a PM points-to set via a real call site (the
+        // caller persists after the call, covering its own obligations).
+        let mut g = m.func("caller", 0, false);
+        let sz = g.konst(64);
+        let root = g.pm_root(sz);
+        g.call("set_field", &[root]);
+        g.pm_persist_c(root, 16);
+        g.ret(None);
+        g.finish();
+    }
+    let m = m.finish().unwrap();
+    let diags = active(&m);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    let (check, sev, loc) = &diags[0];
+    assert_eq!(*check, Check::UnflushedStore);
+    assert_eq!(*sev, Severity::Warning);
+    assert!(loc.contains("set_field:store"));
+}
+
+// ---------------------------------------------------------------- L2 ----
+
+/// flush with no drain, and a later read that depends on the flushed
+/// store — upgraded to error.
+fn l2_positive() -> Module {
+    let mut m = ModuleBuilder::new();
+    let mut f = m.func("l2_bad", 0, true);
+    let sz = f.konst(64);
+    let root = f.pm_root(sz);
+    let one = f.konst(1);
+    f.store8(root, one);
+    let len = f.konst(8);
+    f.loc("l2_bad:flush");
+    f.intr(Intrinsic::PmFlush, &[root, len]);
+    let v = f.load8(root);
+    f.ret(Some(v));
+    f.finish();
+    m.finish().unwrap()
+}
+
+fn l2_negative() -> Module {
+    let mut m = ModuleBuilder::new();
+    let mut f = m.func("l2_good", 0, true);
+    let sz = f.konst(64);
+    let root = f.pm_root(sz);
+    let one = f.konst(1);
+    f.store8(root, one);
+    let len = f.konst(8);
+    f.intr(Intrinsic::PmFlush, &[root, len]);
+    f.intr(Intrinsic::PmDrain, &[]);
+    let v = f.load8(root);
+    f.ret(Some(v));
+    f.finish();
+    m.finish().unwrap()
+}
+
+#[test]
+fn l2_fires_on_flush_without_drain() {
+    let m = l2_positive();
+    let diags = active(&m);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    let (check, sev, loc) = &diags[0];
+    assert_eq!(*check, Check::MissingDrain);
+    assert_eq!(*sev, Severity::Error, "dependent read upgrades severity");
+    assert!(loc.contains("l2_bad:flush"));
+}
+
+#[test]
+fn l2_accepts_flush_then_drain() {
+    assert_clean(&l2_negative(), "l2_negative");
+}
+
+// ---------------------------------------------------------------- L3 ----
+
+fn l3_positive() -> Module {
+    let mut m = ModuleBuilder::new();
+    let mut f = m.func("l3_bad", 0, false);
+    let sz = f.konst(64);
+    let root = f.pm_root(sz);
+    let one = f.konst(1);
+    f.tx_begin();
+    f.loc("l3_bad:store");
+    f.store8(root, one);
+    f.tx_commit();
+    f.ret(None);
+    f.finish();
+    m.finish().unwrap()
+}
+
+fn l3_negative() -> Module {
+    let mut m = ModuleBuilder::new();
+    let mut f = m.func("l3_good", 0, false);
+    let sz = f.konst(64);
+    let root = f.pm_root(sz);
+    let one = f.konst(1);
+    let len = f.konst(8);
+    f.tx_begin();
+    f.tx_add(root, len);
+    f.store8(root, one);
+    f.tx_commit();
+    f.ret(None);
+    f.finish();
+    m.finish().unwrap()
+}
+
+#[test]
+fn l3_fires_on_store_without_tx_add() {
+    let m = l3_positive();
+    let diags = active(&m);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    let (check, sev, loc) = &diags[0];
+    assert_eq!(*check, Check::StoreOutsideTx);
+    assert_eq!(*sev, Severity::Error);
+    assert!(loc.contains("l3_bad:store"));
+}
+
+#[test]
+fn l3_accepts_snapshotted_store() {
+    assert_clean(&l3_negative(), "l3_negative");
+}
+
+// ---------------------------------------------------------------- L4 ----
+
+fn l4_positive() -> Module {
+    let mut m = ModuleBuilder::new();
+    let mut f = m.func("l4_bad", 0, false);
+    let sz = f.konst(32);
+    f.loc("l4_bad:alloc");
+    let p = f.pm_alloc(sz);
+    let one = f.konst(1);
+    f.loc("l4_bad:store");
+    f.store8(p, one);
+    f.pm_persist_c(p, 8);
+    f.ret(None);
+    f.finish();
+    m.finish().unwrap()
+}
+
+/// The alloc is linked into the root object (and everything persisted).
+fn l4_negative() -> Module {
+    let mut m = ModuleBuilder::new();
+    let mut f = m.func("l4_good", 0, false);
+    let rsz = f.konst(64);
+    let root = f.pm_root(rsz);
+    let sz = f.konst(32);
+    let p = f.pm_alloc(sz);
+    let one = f.konst(1);
+    f.store8(p, one);
+    f.pm_persist_c(p, 8);
+    f.store8(root, p);
+    f.pm_persist_c(root, 8);
+    f.ret(None);
+    f.finish();
+    m.finish().unwrap()
+}
+
+#[test]
+fn l4_fires_on_unlinked_alloc() {
+    let m = l4_positive();
+    let diags = active(&m);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    let (check, sev, loc) = &diags[0];
+    assert_eq!(*check, Check::PmLeak);
+    assert_eq!(*sev, Severity::Error);
+    assert!(loc.contains("l4_bad:alloc"));
+}
+
+#[test]
+fn l4_alloc_held_only_by_volatile_memory_is_a_warning() {
+    let mut m = ModuleBuilder::new();
+    let g = m.global("cache", 8);
+    let mut f = m.func("l4_vol", 0, false);
+    let sz = f.konst(32);
+    f.loc("l4_vol:alloc");
+    let p = f.pm_alloc(sz);
+    let one = f.konst(1);
+    f.store8(p, one);
+    f.pm_persist_c(p, 8);
+    let slot = f.global_addr(g);
+    f.store8(slot, p);
+    f.ret(None);
+    f.finish();
+    let m = m.finish().unwrap();
+    let diags = active(&m);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    let (check, sev, loc) = &diags[0];
+    assert_eq!(*check, Check::PmLeak);
+    assert_eq!(*sev, Severity::Warning);
+    assert!(loc.contains("l4_vol:alloc"));
+}
+
+#[test]
+fn l4_accepts_alloc_linked_into_root() {
+    assert_clean(&l4_negative(), "l4_negative");
+}
+
+#[test]
+fn l4_accepts_freed_alloc() {
+    let mut m = ModuleBuilder::new();
+    let mut f = m.func("l4_freed", 0, false);
+    let sz = f.konst(32);
+    let p = f.pm_alloc(sz);
+    let one = f.konst(1);
+    f.store8(p, one);
+    f.pm_persist_c(p, 8);
+    f.pm_free(p);
+    f.ret(None);
+    f.finish();
+    assert_clean(&m.finish().unwrap(), "l4_freed");
+}
+
+// ---------------------------------------------------------------- L5 ----
+
+fn l5_positive() -> Module {
+    let mut m = ModuleBuilder::new();
+    let mut f = m.func("l5_bad", 0, false);
+    let rsz = f.konst(64);
+    let root = f.pm_root(rsz);
+    let sz = f.konst(16);
+    let v = f.malloc(sz);
+    f.loc("l5_bad:store");
+    f.store8(root, v);
+    f.pm_persist_c(root, 8);
+    f.ret(None);
+    f.finish();
+    m.finish().unwrap()
+}
+
+/// Storing a *PM* pointer into PM is the legitimate version.
+fn l5_negative() -> Module {
+    l4_negative()
+}
+
+#[test]
+fn l5_fires_on_malloc_pointer_stored_into_pm() {
+    let m = l5_positive();
+    let diags = active(&m);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    let (check, sev, loc) = &diags[0];
+    assert_eq!(*check, Check::VolatilePtrInPm);
+    assert_eq!(*sev, Severity::Error);
+    assert!(loc.contains("l5_bad:store"));
+}
+
+#[test]
+fn l5_accepts_pm_pointer_stored_into_pm() {
+    assert_clean(&l5_negative(), "l5_negative");
+}
+
+// ------------------------------------------------- report machinery ----
+
+#[test]
+fn suppressions_keep_findings_but_clear_the_gate() {
+    let m = l1_positive();
+    let opts = LintOptions {
+        suppressions: vec![Suppression::new(
+            Some(Check::UnflushedStore),
+            "l1_bad:store",
+            "seeded bug, exercised by scenario X",
+        )],
+        ..Default::default()
+    };
+    let report = lint(&m, &opts);
+    assert_eq!(report.error_count(), 0);
+    assert_eq!(report.diagnostics.len(), 1);
+    assert_eq!(
+        report.diagnostics[0].suppressed.as_deref(),
+        Some("seeded bug, exercised by scenario X")
+    );
+    assert!(report.render_text().contains("allowed[L1]"));
+}
+
+#[test]
+fn json_report_is_well_formed_enough() {
+    let report = lint(&l1_positive(), &LintOptions::default());
+    let json = report.render_json();
+    assert!(json.contains("\"check\": \"L1\""));
+    assert!(json.contains("\"severity\": \"error\""));
+    assert!(json.contains("\"errors\": 1"));
+    assert!(json.contains("l1_bad:store"));
+}
+
+#[test]
+fn check_ids_round_trip() {
+    for c in pir_lint::ALL_CHECKS {
+        assert_eq!(Check::parse(c.id()), Some(c));
+        assert_eq!(Check::parse(c.name()), Some(c));
+    }
+    assert_eq!(Check::parse("L9"), None);
+}

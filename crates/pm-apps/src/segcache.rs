@@ -343,6 +343,10 @@ pub fn build() -> Module {
     m.finish().expect("segcache module verifies")
 }
 
+/// Expected `pir-lint` findings (seeded bugs / known idioms); see
+/// [`crate::lint_allow`].
+pub const LINT_ALLOW: &[(&str, &str, &str)] = &[];
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -5,6 +5,7 @@
 //! arthas-repro run f6 [arthas|pmcriu|arckpt] [seed]
 //! arthas-repro study                     # the S2 empirical-study stats
 //! arthas-repro analyze kvcache           # analyzer summary for an app
+//! arthas-repro lint kvcache [--json]     # crash-consistency lint report
 //! arthas-repro disasm cceh [insert]      # IR disassembly
 //! ```
 
@@ -34,6 +35,8 @@ fn usage() -> ! {
          \x20 study                         print the empirical-study statistics (S2)\n\
          \x20 analyze <app>                 analyzer summary (apps: kvcache, listdb,\n\
          \x20                               cceh, segcache, pmkv)\n\
+         \x20 lint <app> [--json]           run the crash-consistency checks (L1-L5);\n\
+         \x20                               exits 1 on any unsuppressed error\n\
          \x20 disasm <app> [function]       disassemble an application module"
     );
     std::process::exit(2);
@@ -55,6 +58,7 @@ fn main() {
         Some("run") => cmd_run(&args[1..]),
         Some("study") => cmd_study(),
         Some("analyze") => cmd_analyze(&args[1..]),
+        Some("lint") => cmd_lint(&args[1..]),
         Some("disasm") => cmd_disasm(&args[1..]),
         _ => usage(),
     }
@@ -195,6 +199,39 @@ fn cmd_analyze(args: &[String]) {
     for (f, n) in per_fn {
         println!("  {f:<24} {n}");
     }
+}
+
+fn cmd_lint(args: &[String]) {
+    let Some(name) = args.first() else { usage() };
+    let json = args.iter().any(|a| a == "--json");
+    let Some(module) = build_app(name) else {
+        eprintln!("unknown app {name}");
+        std::process::exit(1);
+    };
+    let setup = AppSetup::new(module);
+    let mut guids = std::collections::HashMap::new();
+    for meta in setup.guid_map.iter() {
+        guids.insert(meta.at, meta.guid);
+    }
+    // Seeded Table 2 bugs are intentional lint findings: keep them visible
+    // as "allowed" instead of failing the gate.
+    let suppressions = pm_apps::lint_allow(name)
+        .iter()
+        .map(|(check, loc, reason)| {
+            pir_lint::Suppression::new(pir_lint::Check::parse(check), loc, reason)
+        })
+        .collect();
+    let opts = pir_lint::LintOptions {
+        suppressions,
+        guids,
+    };
+    let report = pir_lint::lint_module(&setup.module, &setup.analysis, &opts);
+    if json {
+        print!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+    std::process::exit(if report.error_count() > 0 { 1 } else { 0 });
 }
 
 fn cmd_disasm(args: &[String]) {

@@ -1,0 +1,538 @@
+fn cceh_init() {
+bb0:
+  %0 = const 32                               ; cceh.c:init
+  %1 = pmroot(%0)                             ; cceh.c:init
+  %2 = gep %1, +0                             ; cceh.c:init
+  %3 = load8 %2                               ; cceh.c:init
+  %4 = const 0                                ; cceh.c:init
+  %5 = cmp.eq %3, %4                          ; cceh.c:init
+  condbr %5, bb1, bb2                         ; cceh.c:init
+bb1:
+  %7 = const 4                                ; cceh.c:init
+  %8 = const 8                                ; cceh.c:init
+  %9 = mul %7, %8                             ; cceh.c:init
+  %10 = pmalloc(%9)                           ; cceh.c:init
+  %11 = const 0                               ; cceh.c:init
+  %12 = cmp.eq %10, %11                       ; cceh.c:init
+  condbr %12, bb3, bb4                        ; cceh.c:init
+bb2:
+  ret                                         ; cceh.c:init
+bb3:
+  %14 = const 79                              ; cceh.c:init
+  abort(%14)                                  ; cceh.c:init
+  br bb4                                      ; cceh.c:init
+bb4:
+  %17 = const 2                               ; cceh.c:init
+  %18 = const 0                               ; cceh.c:init
+  %19 = const 4                               ; cceh.c:init
+  %20 = alloca 8                              ; cceh.c:init
+  store8 %20, %18                             ; cceh.c:init
+  br bb5                                      ; cceh.c:init
+bb5:
+  %23 = load8 %20                             ; cceh.c:init
+  %24 = cmp.ult %23, %19                      ; cceh.c:init
+  condbr %24, bb6, bb7                        ; cceh.c:init
+bb6:
+  %26 = const 2                               ; cceh.c:init
+  %27 = call seg_new(%26)                     ; cceh.c:init
+  %28 = load8 %20                             ; cceh.c:init
+  %29 = const 8                               ; cceh.c:init
+  %30 = mul %28, %29                          ; cceh.c:init
+  %31 = gep %10, %30                          ; cceh.c:init
+  store8 %31, %27                             ; cceh.c:init
+  %33 = load8 %20                             ; cceh.c:init
+  %34 = const 1                               ; cceh.c:init
+  %35 = add %33, %34                          ; cceh.c:init
+  store8 %20, %35                             ; cceh.c:init
+  br bb5                                      ; cceh.c:init
+bb7:
+  %38 = const 32                              ; cceh.c:init
+  pmpersist(%10, %38)                         ; cceh.c:init
+  %40 = gep %1, +0                            ; cceh.c:init
+  store8 %40, %10                             ; cceh.c:init
+  %42 = gep %1, +8                            ; cceh.c:init
+  store8 %42, %17                             ; cceh.c:init
+  %44 = const 32                              ; cceh.c:init
+  pmpersist(%1, %44)                          ; cceh.c:init
+  br bb2                                      ; cceh.c:init
+}
+
+fn cceh_recover() {
+bb0:
+  recoverbegin()                              ; cceh.c:recover
+  %1 = call cceh_init()                       ; cceh.c:recover
+  %2 = const 32                               ; cceh.c:recover
+  %3 = pmroot(%2)                             ; cceh.c:recover
+  %4 = gep %3, +0                             ; cceh.c:recover
+  %5 = load8 %4                               ; cceh.c:recover
+  %6 = gep %3, +8                             ; cceh.c:recover
+  %7 = load8 %6                               ; cceh.c:recover
+  %8 = const 1                                ; cceh.c:recover
+  %9 = shl %8, %7                             ; cceh.c:recover
+  %10 = const 0                               ; cceh.c:recover
+  %11 = alloca 8                              ; cceh.c:recover
+  store8 %11, %10                             ; cceh.c:recover
+  br bb1                                      ; cceh.c:recover
+bb1:
+  %14 = load8 %11                             ; cceh.c:recover
+  %15 = cmp.ult %14, %9                       ; cceh.c:recover
+  condbr %15, bb2, bb3                        ; cceh.c:recover
+bb2:
+  %17 = load8 %11                             ; cceh.c:recover
+  %18 = const 8                               ; cceh.c:recover
+  %19 = mul %17, %18                          ; cceh.c:recover
+  %20 = gep %5, %19                           ; cceh.c:recover
+  %21 = load8 %20                             ; cceh.c:recover
+  %22 = const 0                               ; cceh.c:recover
+  %23 = cmp.ne %21, %22                       ; cceh.c:recover
+  condbr %23, bb4, bb5                        ; cceh.c:recover
+bb3:
+  recoverend()                                ; cceh.c:recover
+  ret                                         ; cceh.c:recover
+bb4:
+  %25 = load8 %21                             ; cceh.c:recover
+  %26 = const 0                               ; cceh.c:recover
+  %27 = const 4                               ; cceh.c:recover
+  %28 = alloca 8                              ; cceh.c:recover
+  store8 %28, %26                             ; cceh.c:recover
+  br bb6                                      ; cceh.c:recover
+bb5:
+  %47 = load8 %11                             ; cceh.c:recover
+  %48 = const 1                               ; cceh.c:recover
+  %49 = add %47, %48                          ; cceh.c:recover
+  store8 %11, %49                             ; cceh.c:recover
+  br bb1                                      ; cceh.c:recover
+bb6:
+  %31 = load8 %28                             ; cceh.c:recover
+  %32 = cmp.ult %31, %27                      ; cceh.c:recover
+  condbr %32, bb7, bb8                        ; cceh.c:recover
+bb7:
+  %34 = load8 %28                             ; cceh.c:recover
+  %35 = const 16                              ; cceh.c:recover
+  %36 = mul %34, %35                          ; cceh.c:recover
+  %37 = const 16                              ; cceh.c:recover
+  %38 = add %37, %36                          ; cceh.c:recover
+  %39 = gep %21, %38                          ; cceh.c:recover
+  %40 = load8 %39                             ; cceh.c:recover
+  %41 = load8 %28                             ; cceh.c:recover
+  %42 = const 1                               ; cceh.c:recover
+  %43 = add %41, %42                          ; cceh.c:recover
+  store8 %28, %43                             ; cceh.c:recover
+  br bb6                                      ; cceh.c:recover
+bb8:
+  br bb5                                      ; cceh.c:recover
+}
+
+fn seg_new(%0) -> u64 {
+bb0:
+  %0 = param 0                                ; cceh.c:seg-new
+  %1 = const 80                               ; cceh.c:seg-new
+  %2 = pmalloc(%1)                            ; cceh.c:seg-new
+  %3 = const 0                                ; cceh.c:seg-new
+  %4 = cmp.eq %2, %3                          ; cceh.c:seg-new
+  condbr %4, bb1, bb2                         ; cceh.c:seg-new
+bb1:
+  %6 = const 79                               ; cceh.c:seg-new
+  abort(%6)                                   ; cceh.c:seg-new
+  br bb2                                      ; cceh.c:seg-new
+bb2:
+  store8 %2, %0                               ; cceh.c:seg-new
+  %10 = gep %2, +8                            ; cceh.c:seg-new
+  %11 = const 0                               ; cceh.c:seg-new
+  store8 %10, %11                             ; cceh.c:seg-new
+  %13 = const 80                              ; cceh.c:seg-new
+  pmpersist(%2, %13)                          ; cceh.c:seg-new
+  ret %2                                      ; cceh.c:seg-new
+}
+
+fn insert(%0, %1) -> u64 {
+bb0:
+  %0 = param 0                                ; cceh.c:seg-new
+  %1 = param 1                                ; cceh.c:seg-new
+  %2 = call cceh_init()                       ; cceh.c:insert
+  %3 = const 0                                ; cceh.c:insert
+  %4 = alloca 8                               ; cceh.c:insert
+  store8 %4, %3                               ; cceh.c:insert
+  br bb1                                      ; cceh.c:insert
+bb1:
+  %7 = load8 %4                               ; cceh.c:insert
+  %8 = const 64                               ; cceh.c:insert
+  %9 = cmp.uge %7, %8                         ; cceh.c:insert
+  condbr %9, bb3, bb4                         ; cceh.c:insert
+bb2:
+  %270 = const 0                              ; cceh.c:split
+  ret %270                                    ; cceh.c:split
+bb3:
+  %11 = const 0                               ; cceh.c:insert
+  ret %11                                     ; cceh.c:insert
+bb4:
+  %13 = const 1                               ; cceh.c:insert
+  %14 = add %7, %13                           ; cceh.c:insert
+  store8 %4, %14                              ; cceh.c:insert
+  %16 = const 32                              ; cceh.c:insert
+  %17 = pmroot(%16)                           ; cceh.c:insert
+  %18 = gep %17, +8                           ; cceh.c:insert
+  %19 = load8 %18                             ; cceh.c:insert
+  %20 = gep %17, +0                           ; cceh.c:insert
+  %21 = load8 %20                             ; cceh.c:insert
+  %22 = const 1                               ; cceh.c:insert
+  %23 = shl %22, %19                          ; cceh.c:insert
+  %24 = sub %23, %22                          ; cceh.c:insert
+  %25 = and %0, %24                           ; cceh.c:insert
+  %26 = const 8                               ; cceh.c:insert
+  %27 = mul %25, %26                          ; cceh.c:insert
+  %28 = gep %21, %27                          ; cceh.c:insert
+  %29 = load8 %28                             ; cceh.c:insert
+  %30 = const 0                               ; cceh.c:insert
+  %31 = const 4                               ; cceh.c:insert
+  %32 = alloca 8                              ; cceh.c:insert
+  store8 %32, %30                             ; cceh.c:insert
+  br bb5                                      ; cceh.c:insert
+bb5:
+  %35 = load8 %32                             ; cceh.c:insert
+  %36 = cmp.ult %35, %31                      ; cceh.c:insert
+  condbr %36, bb6, bb7                        ; cceh.c:insert
+bb6:
+  %38 = load8 %32                             ; cceh.c:insert
+  %39 = const 16                              ; cceh.c:insert
+  %40 = mul %38, %39                          ; cceh.c:insert
+  %41 = const 16                              ; cceh.c:insert
+  %42 = add %41, %40                          ; cceh.c:insert
+  %43 = gep %29, %42                          ; cceh.c:insert
+  %44 = load8 %43                             ; cceh.c:insert
+  %45 = cmp.eq %44, %0                        ; cceh.c:insert
+  %46 = const 0                               ; cceh.c:insert
+  %47 = cmp.eq %44, %46                       ; cceh.c:insert
+  %48 = or %45, %47                           ; cceh.c:insert
+  condbr %48, bb8, bb9                        ; cceh.c:insert
+bb7:
+  %62 = load8 %29                             ; cceh.c:slot-persist
+  %63 = cmp.ugt %62, %19                      ; cceh.c:slot-persist
+  condbr %63, bb10, bb11                      ; cceh.c:slot-persist
+bb8:
+  %50 = gep %43, +8                           ; cceh.c:insert
+  store8 %50, %1                              ; cceh.c:insert
+  store8 %43, %0                              ; cceh.c:insert
+  %53 = const 16                              ; cceh.c:insert
+  pmpersist(%43, %53)                         ; cceh.c:slot-persist
+  %55 = const 1                               ; cceh.c:slot-persist
+  ret %55                                     ; cceh.c:slot-persist
+bb9:
+  %57 = load8 %32                             ; cceh.c:slot-persist
+  %58 = const 1                               ; cceh.c:slot-persist
+  %59 = add %57, %58                          ; cceh.c:slot-persist
+  store8 %32, %59                             ; cceh.c:slot-persist
+  br bb5                                      ; cceh.c:slot-persist
+bb10:
+  br bb12                                     ; cceh.c:wait-loop
+bb11:
+  %78 = cmp.eq %62, %19                       ; cceh.c:wait-loop
+  condbr %78, bb18, bb19                      ; cceh.c:wait-loop
+bb12:
+  %66 = const 32                              ; cceh.c:wait-loop
+  %67 = pmroot(%66)                           ; cceh.c:wait-loop
+  %68 = gep %67, +8                           ; cceh.c:wait-loop
+  %69 = load8 %68                             ; cceh.c:wait-loop
+  %70 = cmp.uge %69, %62                      ; cceh.c:wait-loop
+  condbr %70, bb14, bb15                      ; cceh.c:wait-loop
+bb13:
+  br bb1                                      ; cceh.c:wait-loop
+bb14:
+  br bb13                                     ; cceh.c:wait-loop
+bb15:
+  yield()                                     ; cceh.c:wait-loop
+  br bb12                                     ; cceh.c:wait-loop
+bb16:
+  br bb15                                     ; cceh.c:wait-loop
+bb17:
+  br bb11                                     ; cceh.c:wait-loop
+bb18:
+  %80 = const 1                               ; cceh.c:double
+  %81 = add %62, %80                          ; cceh.c:double
+  %82 = call seg_new(%81)                     ; cceh.c:double
+  %83 = call seg_new(%81)                     ; cceh.c:double
+  %84 = const 0                               ; cceh.c:double
+  %85 = const 4                               ; cceh.c:double
+  %86 = alloca 8                              ; cceh.c:double
+  store8 %86, %84                             ; cceh.c:double
+  br bb21                                     ; cceh.c:double
+bb19:
+  %192 = const 1                              ; cceh.c:split
+  %193 = add %62, %192                        ; cceh.c:split
+  %194 = call seg_new(%193)                   ; cceh.c:split
+  %195 = call seg_new(%193)                   ; cceh.c:split
+  %196 = const 0                              ; cceh.c:split
+  %197 = const 4                              ; cceh.c:split
+  %198 = alloca 8                             ; cceh.c:split
+  store8 %198, %196                           ; cceh.c:split
+  br bb29                                     ; cceh.c:split
+bb20:
+  br bb1                                      ; cceh.c:split
+bb21:
+  %89 = load8 %86                             ; cceh.c:double
+  %90 = cmp.ult %89, %85                      ; cceh.c:double
+  condbr %90, bb22, bb23                      ; cceh.c:double
+bb22:
+  %92 = load8 %86                             ; cceh.c:double
+  %93 = const 16                              ; cceh.c:double
+  %94 = mul %92, %93                          ; cceh.c:double
+  %95 = const 16                              ; cceh.c:double
+  %96 = add %95, %94                          ; cceh.c:double
+  %97 = gep %29, %96                          ; cceh.c:double
+  %98 = load8 %97                             ; cceh.c:double
+  %99 = gep %97, +8                           ; cceh.c:double
+  %100 = load8 %99                            ; cceh.c:double
+  %101 = lshr %98, %62                        ; cceh.c:double
+  %102 = const 1                              ; cceh.c:double
+  %103 = and %101, %102                       ; cceh.c:double
+  %104 = const 0                              ; cceh.c:double
+  %105 = cmp.ne %103, %104                    ; cceh.c:double
+  %106 = select %105, %83, %82                ; cceh.c:double
+  %107 = gep %106, +8                         ; cceh.c:double
+  %108 = load8 %107                           ; cceh.c:double
+  %109 = const 16                             ; cceh.c:double
+  %110 = mul %108, %109                       ; cceh.c:double
+  %111 = const 16                             ; cceh.c:double
+  %112 = add %111, %110                       ; cceh.c:double
+  %113 = gep %106, %112                       ; cceh.c:double
+  store8 %113, %98                            ; cceh.c:double
+  %115 = gep %113, +8                         ; cceh.c:double
+  store8 %115, %100                           ; cceh.c:double
+  %117 = add %108, %102                       ; cceh.c:double
+  store8 %107, %117                           ; cceh.c:double
+  %119 = load8 %86                            ; cceh.c:double
+  %120 = const 1                              ; cceh.c:double
+  %121 = add %119, %120                       ; cceh.c:double
+  store8 %86, %121                            ; cceh.c:double
+  br bb21                                     ; cceh.c:double
+bb23:
+  %124 = const 80                             ; cceh.c:double
+  pmpersist(%82, %124)                        ; cceh.c:double
+  %126 = const 80                             ; cceh.c:double
+  pmpersist(%83, %126)                        ; cceh.c:double
+  %128 = const 1                              ; cceh.c:double
+  %129 = add %19, %128                        ; cceh.c:double
+  %130 = shl %128, %129                       ; cceh.c:double
+  %131 = const 8                              ; cceh.c:double
+  %132 = mul %130, %131                       ; cceh.c:double
+  %133 = pmalloc(%132)                        ; cceh.c:double
+  %134 = const 0                              ; cceh.c:double
+  %135 = cmp.eq %133, %134                    ; cceh.c:double
+  condbr %135, bb24, bb25                     ; cceh.c:double
+bb24:
+  %137 = const 79                             ; cceh.c:double
+  abort(%137)                                 ; cceh.c:double
+  br bb25                                     ; cceh.c:double
+bb25:
+  %140 = const 0                              ; cceh.c:double
+  %141 = alloca 8                             ; cceh.c:double
+  store8 %141, %140                           ; cceh.c:double
+  br bb26                                     ; cceh.c:double
+bb26:
+  %144 = load8 %141                           ; cceh.c:double
+  %145 = cmp.ult %144, %130                   ; cceh.c:double
+  condbr %145, bb27, bb28                     ; cceh.c:double
+bb27:
+  %147 = load8 %141                           ; cceh.c:double
+  %148 = const 1                              ; cceh.c:double
+  %149 = const 32                             ; cceh.c:double
+  %150 = pmroot(%149)                         ; cceh.c:double
+  %151 = gep %150, +8                         ; cceh.c:double
+  %152 = load8 %151                           ; cceh.c:double
+  %153 = shl %148, %152                       ; cceh.c:double
+  %154 = sub %153, %148                       ; cceh.c:double
+  %155 = and %147, %154                       ; cceh.c:double
+  %156 = const 8                              ; cceh.c:double
+  %157 = mul %155, %156                       ; cceh.c:double
+  %158 = const 32                             ; cceh.c:double
+  %159 = pmroot(%158)                         ; cceh.c:double
+  %160 = gep %159, +0                         ; cceh.c:double
+  %161 = load8 %160                           ; cceh.c:double
+  %162 = gep %161, %157                       ; cceh.c:double
+  %163 = load8 %162                           ; cceh.c:double
+  %164 = cmp.eq %163, %29                     ; cceh.c:double
+  %165 = lshr %147, %62                       ; cceh.c:double
+  %166 = const 1                              ; cceh.c:double
+  %167 = and %165, %166                       ; cceh.c:double
+  %168 = const 0                              ; cceh.c:double
+  %169 = cmp.ne %167, %168                    ; cceh.c:double
+  %170 = select %169, %83, %82                ; cceh.c:double
+  %171 = select %164, %170, %163              ; cceh.c:double
+  %172 = mul %147, %156                       ; cceh.c:double
+  %173 = gep %133, %172                       ; cceh.c:double
+  store8 %173, %171                           ; cceh.c:double
+  %175 = load8 %141                           ; cceh.c:double
+  %176 = const 1                              ; cceh.c:double
+  %177 = add %175, %176                       ; cceh.c:double
+  store8 %141, %177                           ; cceh.c:double
+  br bb26                                     ; cceh.c:double
+bb28:
+  pmpersist(%133, %132)                       ; cceh.c:double
+  %181 = const 32                             ; cceh.c:double
+  %182 = pmroot(%181)                         ; cceh.c:double
+  %183 = gep %182, +0                         ; cceh.c:double
+  store8 %183, %133                           ; cceh.c:dir-persist
+  %185 = const 8                              ; cceh.c:dir-persist
+  pmpersist(%183, %185)                       ; cceh.c:dir-persist
+  %187 = gep %182, +8                         ; cceh.c:dir-persist
+  store8 %187, %129                           ; cceh.c:depth-persist
+  %189 = const 8                              ; cceh.c:depth-persist
+  pmpersist(%187, %189)                       ; cceh.c:depth-persist
+  br bb20                                     ; cceh.c:depth-persist
+bb29:
+  %201 = load8 %198                           ; cceh.c:split
+  %202 = cmp.ult %201, %197                   ; cceh.c:split
+  condbr %202, bb30, bb31                     ; cceh.c:split
+bb30:
+  %204 = load8 %198                           ; cceh.c:split
+  %205 = const 16                             ; cceh.c:split
+  %206 = mul %204, %205                       ; cceh.c:split
+  %207 = const 16                             ; cceh.c:split
+  %208 = add %207, %206                       ; cceh.c:split
+  %209 = gep %29, %208                        ; cceh.c:split
+  %210 = load8 %209                           ; cceh.c:split
+  %211 = gep %209, +8                         ; cceh.c:split
+  %212 = load8 %211                           ; cceh.c:split
+  %213 = lshr %210, %62                       ; cceh.c:split
+  %214 = const 1                              ; cceh.c:split
+  %215 = and %213, %214                       ; cceh.c:split
+  %216 = const 0                              ; cceh.c:split
+  %217 = cmp.ne %215, %216                    ; cceh.c:split
+  %218 = select %217, %195, %194              ; cceh.c:split
+  %219 = gep %218, +8                         ; cceh.c:split
+  %220 = load8 %219                           ; cceh.c:split
+  %221 = const 16                             ; cceh.c:split
+  %222 = mul %220, %221                       ; cceh.c:split
+  %223 = const 16                             ; cceh.c:split
+  %224 = add %223, %222                       ; cceh.c:split
+  %225 = gep %218, %224                       ; cceh.c:split
+  store8 %225, %210                           ; cceh.c:split
+  %227 = gep %225, +8                         ; cceh.c:split
+  store8 %227, %212                           ; cceh.c:split
+  %229 = add %220, %214                       ; cceh.c:split
+  store8 %219, %229                           ; cceh.c:split
+  %231 = load8 %198                           ; cceh.c:split
+  %232 = const 1                              ; cceh.c:split
+  %233 = add %231, %232                       ; cceh.c:split
+  store8 %198, %233                           ; cceh.c:split
+  br bb29                                     ; cceh.c:split
+bb31:
+  %236 = const 80                             ; cceh.c:split
+  pmpersist(%194, %236)                       ; cceh.c:split
+  %238 = const 80                             ; cceh.c:split
+  pmpersist(%195, %238)                       ; cceh.c:split
+  %240 = alloca 8                             ; cceh.c:split
+  store8 %240, %196                           ; cceh.c:split
+  br bb32                                     ; cceh.c:split
+bb32:
+  %243 = load8 %240                           ; cceh.c:split
+  %244 = cmp.ult %243, %23                    ; cceh.c:split
+  condbr %244, bb33, bb34                     ; cceh.c:split
+bb33:
+  %246 = load8 %240                           ; cceh.c:split
+  %247 = const 8                              ; cceh.c:split
+  %248 = mul %246, %247                       ; cceh.c:split
+  %249 = gep %21, %248                        ; cceh.c:split
+  %250 = load8 %249                           ; cceh.c:split
+  %251 = cmp.eq %250, %29                     ; cceh.c:split
+  condbr %251, bb35, bb36                     ; cceh.c:split
+bb34:
+  br bb20                                     ; cceh.c:split
+bb35:
+  %253 = lshr %246, %62                       ; cceh.c:split
+  %254 = const 1                              ; cceh.c:split
+  %255 = and %253, %254                       ; cceh.c:split
+  %256 = const 0                              ; cceh.c:split
+  %257 = cmp.ne %255, %256                    ; cceh.c:split
+  %258 = select %257, %195, %194              ; cceh.c:split
+  store8 %249, %258                           ; cceh.c:split
+  %260 = const 8                              ; cceh.c:split
+  pmpersist(%249, %260)                       ; cceh.c:split
+  br bb36                                     ; cceh.c:split
+bb36:
+  %263 = load8 %240                           ; cceh.c:split
+  %264 = const 1                              ; cceh.c:split
+  %265 = add %263, %264                       ; cceh.c:split
+  store8 %240, %265                           ; cceh.c:split
+  br bb32                                     ; cceh.c:split
+}
+
+fn lookup(%0) -> u64 {
+bb0:
+  %0 = param 0                                ; cceh.c:seg-new
+  %1 = call cceh_init()                       ; cceh.c:lookup
+  %2 = const 32                               ; cceh.c:lookup
+  %3 = pmroot(%2)                             ; cceh.c:lookup
+  %4 = gep %3, +8                             ; cceh.c:lookup
+  %5 = load8 %4                               ; cceh.c:lookup
+  %6 = gep %3, +0                             ; cceh.c:lookup
+  %7 = load8 %6                               ; cceh.c:lookup
+  %8 = const 1                                ; cceh.c:lookup
+  %9 = shl %8, %5                             ; cceh.c:lookup
+  %10 = sub %9, %8                            ; cceh.c:lookup
+  %11 = and %0, %10                           ; cceh.c:lookup
+  %12 = const 8                               ; cceh.c:lookup
+  %13 = mul %11, %12                          ; cceh.c:lookup
+  %14 = gep %7, %13                           ; cceh.c:lookup
+  %15 = load8 %14                             ; cceh.c:lookup
+  %16 = const 0                               ; cceh.c:lookup
+  %17 = const 4                               ; cceh.c:lookup
+  %18 = alloca 8                              ; cceh.c:lookup
+  store8 %18, %16                             ; cceh.c:lookup
+  br bb1                                      ; cceh.c:lookup
+bb1:
+  %21 = load8 %18                             ; cceh.c:lookup
+  %22 = cmp.ult %21, %17                      ; cceh.c:lookup
+  condbr %22, bb2, bb3                        ; cceh.c:lookup
+bb2:
+  %24 = load8 %18                             ; cceh.c:lookup
+  %25 = const 16                              ; cceh.c:lookup
+  %26 = mul %24, %25                          ; cceh.c:lookup
+  %27 = const 16                              ; cceh.c:lookup
+  %28 = add %27, %26                          ; cceh.c:lookup
+  %29 = gep %15, %28                          ; cceh.c:lookup
+  %30 = load8 %29                             ; cceh.c:lookup
+  %31 = cmp.eq %30, %0                        ; cceh.c:lookup
+  condbr %31, bb4, bb5                        ; cceh.c:lookup
+bb3:
+  %41 = const 0xffffffffffffffff              ; cceh.c:lookup
+  ret %41                                     ; cceh.c:lookup
+bb4:
+  %33 = gep %29, +8                           ; cceh.c:lookup
+  %34 = load8 %33                             ; cceh.c:lookup
+  ret %34                                     ; cceh.c:lookup
+bb5:
+  %36 = load8 %18                             ; cceh.c:lookup
+  %37 = const 1                               ; cceh.c:lookup
+  %38 = add %36, %37                          ; cceh.c:lookup
+  store8 %18, %38                             ; cceh.c:lookup
+  br bb1                                      ; cceh.c:lookup
+}
+
+fn check_keys(%0, %1) {
+bb0:
+  %0 = param 0                                ; cceh.c:seg-new
+  %1 = param 1                                ; cceh.c:seg-new
+  %2 = alloca 8                               ; check.c:cceh-keys
+  store8 %2, %0                               ; check.c:cceh-keys
+  br bb1                                      ; check.c:cceh-keys
+bb1:
+  %5 = load8 %2                               ; check.c:cceh-keys
+  %6 = cmp.ult %5, %1                         ; check.c:cceh-keys
+  condbr %6, bb2, bb3                         ; check.c:cceh-keys
+bb2:
+  %8 = load8 %2                               ; check.c:cceh-keys
+  %9 = call lookup(%8)                        ; check.c:cceh-keys
+  %10 = const 0xffffffffffffffff              ; check.c:cceh-keys
+  %11 = cmp.ne %9, %10                        ; check.c:cceh-keys
+  %12 = const 92                              ; check.c:cceh-assert
+  assert(%11, %12)                            ; check.c:cceh-assert
+  %14 = load8 %2                              ; check.c:cceh-assert
+  %15 = const 1                               ; check.c:cceh-assert
+  %16 = add %14, %15                          ; check.c:cceh-assert
+  store8 %2, %16                              ; check.c:cceh-assert
+  br bb1                                      ; check.c:cceh-assert
+bb3:
+  ret                                         ; check.c:cceh-assert
+}
+

@@ -1,0 +1,965 @@
+global ht_lock [8 bytes]
+
+fn kv_init() {
+bb0:
+  %0 = const 128                              ; assoc.c:init
+  %1 = pmroot(%0)                             ; assoc.c:init
+  %2 = gep %1, +0                             ; assoc.c:init
+  %3 = load8 %2                               ; assoc.c:init
+  %4 = const 0                                ; assoc.c:init
+  %5 = cmp.eq %3, %4                          ; assoc.c:init
+  condbr %5, bb1, bb2                         ; assoc.c:init
+bb1:
+  %7 = const 16                               ; assoc.c:init
+  %8 = const 8                                ; assoc.c:init
+  %9 = mul %7, %8                             ; assoc.c:init
+  %10 = pmalloc(%9)                           ; assoc.c:init
+  %11 = const 0                               ; assoc.c:init
+  %12 = cmp.eq %10, %11                       ; assoc.c:init
+  condbr %12, bb3, bb4                        ; assoc.c:init
+bb2:
+  ret                                         ; assoc.c:init
+bb3:
+  %14 = const 77                              ; assoc.c:init
+  abort(%14)                                  ; assoc.c:init
+  br bb4                                      ; assoc.c:init
+bb4:
+  %17 = gep %1, +0                            ; assoc.c:init
+  store8 %17, %10                             ; assoc.c:init
+  %19 = gep %1, +8                            ; assoc.c:init
+  store8 %19, %7                              ; assoc.c:init
+  %21 = gep %1, +16                           ; assoc.c:init
+  %22 = const 0                               ; assoc.c:init
+  store8 %21, %22                             ; assoc.c:init
+  %24 = gep %1, +24                           ; assoc.c:init
+  %25 = const 0                               ; assoc.c:init
+  store8 %24, %25                             ; assoc.c:init
+  %27 = gep %1, +32                           ; assoc.c:init
+  %28 = const 0                               ; assoc.c:init
+  store8 %27, %28                             ; assoc.c:init
+  %30 = gep %1, +40                           ; assoc.c:init
+  %31 = const 0                               ; assoc.c:init
+  store8 %30, %31                             ; assoc.c:init
+  %33 = gep %1, +48                           ; assoc.c:init
+  %34 = const 0                               ; assoc.c:init
+  store8 %33, %34                             ; assoc.c:init
+  %36 = gep %1, +56                           ; assoc.c:init
+  %37 = const 0                               ; assoc.c:init
+  store8 %36, %37                             ; assoc.c:init
+  %39 = gep %1, +64                           ; assoc.c:init
+  %40 = const 0                               ; assoc.c:init
+  store8 %39, %40                             ; assoc.c:init
+  %42 = const 128                             ; assoc.c:init
+  pmpersist(%1, %42)                          ; assoc.c:init
+  br bb2                                      ; assoc.c:init
+}
+
+fn kv_recover() {
+bb0:
+  recoverbegin()                              ; assoc.c:recover
+  %1 = call kv_init()                         ; assoc.c:recover
+  %2 = const 128                              ; assoc.c:recover
+  %3 = pmroot(%2)                             ; assoc.c:recover
+  %4 = gep %3, +0                             ; assoc.c:recover
+  %5 = load8 %4                               ; assoc.c:recover
+  %6 = gep %3, +8                             ; assoc.c:recover
+  %7 = load8 %6                               ; assoc.c:recover
+  %8 = const 0                                ; assoc.c:recover
+  %9 = alloca 8                               ; assoc.c:recover
+  store8 %9, %8                               ; assoc.c:recover
+  br bb1                                      ; assoc.c:recover
+bb1:
+  %12 = load8 %9                              ; assoc.c:recover
+  %13 = cmp.ult %12, %7                       ; assoc.c:recover
+  condbr %13, bb2, bb3                        ; assoc.c:recover
+bb2:
+  %15 = load8 %9                              ; assoc.c:recover
+  %16 = const 8                               ; assoc.c:recover
+  %17 = mul %15, %16                          ; assoc.c:recover
+  %18 = gep %5, %17                           ; assoc.c:recover
+  %19 = load8 %18                             ; assoc.c:recover
+  %20 = alloca 8                              ; assoc.c:recover
+  store8 %20, %19                             ; assoc.c:recover
+  %22 = const 0                               ; assoc.c:recover
+  %23 = alloca 8                              ; assoc.c:recover
+  store8 %23, %22                             ; assoc.c:recover
+  br bb4                                      ; assoc.c:recover
+bb3:
+  recoverend()                                ; assoc.c:recover
+  ret                                         ; assoc.c:recover
+bb4:
+  %26 = load8 %20                             ; assoc.c:recover
+  %27 = const 0                               ; assoc.c:recover
+  %28 = cmp.ne %26, %27                       ; assoc.c:recover
+  %29 = load8 %23                             ; assoc.c:recover
+  %30 = const 0xf4240                         ; assoc.c:recover
+  %31 = cmp.ult %29, %30                      ; assoc.c:recover
+  %32 = and %28, %31                          ; assoc.c:recover
+  condbr %32, bb5, bb6                        ; assoc.c:recover
+bb5:
+  %34 = load8 %20                             ; assoc.c:recover
+  %35 = gep %34, +0                           ; assoc.c:recover
+  %36 = load8 %35                             ; assoc.c:recover
+  %37 = gep %34, +64                          ; assoc.c:recover
+  %38 = load8 %37                             ; assoc.c:recover
+  %39 = gep %34, +224                         ; assoc.c:recover
+  %40 = load8 %39                             ; assoc.c:recover
+  store8 %20, %40                             ; assoc.c:recover
+  %42 = load8 %23                             ; assoc.c:recover
+  %43 = const 1                               ; assoc.c:recover
+  %44 = add %42, %43                          ; assoc.c:recover
+  store8 %23, %44                             ; assoc.c:recover
+  br bb4                                      ; assoc.c:recover
+bb6:
+  %47 = load8 %9                              ; assoc.c:recover
+  %48 = const 1                               ; assoc.c:recover
+  %49 = add %47, %48                          ; assoc.c:recover
+  store8 %9, %49                              ; assoc.c:recover
+  br bb1                                      ; assoc.c:recover
+}
+
+fn table_for_lookup() -> u64 {
+bb0:
+  %0 = const 128                              ; assoc.c:init
+  %1 = pmroot(%0)                             ; assoc.c:init
+  %2 = gep %1, +48                            ; assoc.c:init
+  %3 = load8 %2                               ; assoc.c:init
+  %4 = const 0                                ; assoc.c:init
+  %5 = cmp.ne %3, %4                          ; assoc.c:init
+  %6 = const 0                                ; assoc.c:init
+  %7 = alloca 8                               ; assoc.c:init
+  store8 %7, %6                               ; assoc.c:init
+  condbr %5, bb1, bb2                         ; assoc.c:init
+bb1:
+  %10 = gep %1, +56                           ; assoc.c:init
+  %11 = load8 %10                             ; assoc.c:init
+  store8 %7, %11                              ; assoc.c:init
+  br bb3                                      ; assoc.c:init
+bb2:
+  %14 = gep %1, +0                            ; assoc.c:init
+  %15 = load8 %14                             ; assoc.c:init
+  store8 %7, %15                              ; assoc.c:init
+  br bb3                                      ; assoc.c:init
+bb3:
+  %18 = load8 %7                              ; assoc.c:init
+  ret %18                                     ; assoc.c:init
+}
+
+fn lookup_nb() -> u64 {
+bb0:
+  %0 = const 128                              ; assoc.c:init
+  %1 = pmroot(%0)                             ; assoc.c:init
+  %2 = gep %1, +48                            ; assoc.c:init
+  %3 = load8 %2                               ; assoc.c:init
+  %4 = const 0                                ; assoc.c:init
+  %5 = cmp.ne %3, %4                          ; assoc.c:init
+  %6 = const 0                                ; assoc.c:init
+  %7 = alloca 8                               ; assoc.c:init
+  store8 %7, %6                               ; assoc.c:init
+  condbr %5, bb1, bb2                         ; assoc.c:init
+bb1:
+  %10 = gep %1, +64                           ; assoc.c:init
+  %11 = load8 %10                             ; assoc.c:init
+  store8 %7, %11                              ; assoc.c:init
+  br bb3                                      ; assoc.c:init
+bb2:
+  %14 = gep %1, +8                            ; assoc.c:init
+  %15 = load8 %14                             ; assoc.c:init
+  store8 %7, %15                              ; assoc.c:init
+  br bb3                                      ; assoc.c:init
+bb3:
+  %18 = load8 %7                              ; assoc.c:init
+  ret %18                                     ; assoc.c:init
+}
+
+fn assoc_find(%0) -> u64 {
+bb0:
+  %0 = param 0                                ; assoc.c:init
+  %1 = call table_for_lookup()                ; assoc.c:find
+  %2 = call lookup_nb()                       ; assoc.c:find
+  %3 = const 0                                ; assoc.c:find
+  %4 = cmp.eq %2, %3                          ; assoc.c:find
+  condbr %4, bb1, bb2                         ; assoc.c:find
+bb1:
+  %6 = const 0                                ; assoc.c:find
+  ret %6                                      ; assoc.c:find
+bb2:
+  %8 = urem %0, %2                            ; assoc.c:find
+  %9 = const 8                                ; assoc.c:find
+  %10 = mul %8, %9                            ; assoc.c:find
+  %11 = gep %1, %10                           ; assoc.c:find
+  %12 = load8 %11                             ; assoc.c:find
+  %13 = alloca 8                              ; assoc.c:find
+  store8 %13, %12                             ; assoc.c:find
+  br bb3                                      ; assoc.c:find-loop
+bb3:
+  %16 = load8 %13                             ; assoc.c:find-loop
+  %17 = const 0                               ; assoc.c:find-loop
+  %18 = cmp.ne %16, %17                       ; assoc.c:find-loop
+  condbr %18, bb4, bb5                        ; assoc.c:find-loop
+bb4:
+  %20 = load8 %13                             ; assoc.c:find-loop
+  %21 = gep %20, +0                           ; assoc.c:find-loop
+  %22 = load8 %21                             ; assoc.c:find-loop
+  %23 = cmp.eq %22, %0                        ; assoc.c:find-loop
+  condbr %23, bb6, bb7                        ; assoc.c:find-loop
+bb5:
+  %32 = const 0                               ; assoc.c:find-next
+  ret %32                                     ; assoc.c:find-next
+bb6:
+  %25 = load8 %13                             ; assoc.c:find-loop
+  ret %25                                     ; assoc.c:find-loop
+bb7:
+  %27 = load8 %13                             ; assoc.c:find-next
+  %28 = gep %27, +224                         ; assoc.c:find-next
+  %29 = load8 %28                             ; assoc.c:find-next
+  store8 %13, %29                             ; assoc.c:find-next
+  br bb3                                      ; assoc.c:find-next
+}
+
+fn assoc_insert(%0) {
+bb0:
+  %0 = param 0                                ; assoc.c:init
+  %1 = call table_for_lookup()                ; assoc.c:insert
+  %2 = call lookup_nb()                       ; assoc.c:insert
+  %3 = gep %0, +0                             ; assoc.c:insert
+  %4 = load8 %3                               ; assoc.c:insert
+  %5 = urem %4, %2                            ; assoc.c:insert
+  %6 = const 8                                ; assoc.c:insert
+  %7 = mul %5, %6                             ; assoc.c:insert
+  %8 = gep %1, %7                             ; assoc.c:insert
+  %9 = load8 %8                               ; assoc.c:insert
+  %10 = gep %0, +224                          ; assoc.c:insert
+  store8 %10, %9                              ; assoc.c:insert
+  %12 = const 8                               ; assoc.c:insert
+  pmpersist(%10, %12)                         ; assoc.c:insert
+  store8 %8, %0                               ; assoc.c:insert-bucket
+  %15 = const 8                               ; assoc.c:insert-bucket
+  pmpersist(%8, %15)                          ; assoc.c:insert-bucket
+  ret                                         ; assoc.c:insert-bucket
+}
+
+fn assoc_unlink(%0) {
+bb0:
+  %0 = param 0                                ; assoc.c:init
+  %1 = call table_for_lookup()                ; assoc.c:unlink
+  %2 = call lookup_nb()                       ; assoc.c:unlink
+  %3 = gep %0, +0                             ; assoc.c:unlink
+  %4 = load8 %3                               ; assoc.c:unlink
+  %5 = urem %4, %2                            ; assoc.c:unlink
+  %6 = const 8                                ; assoc.c:unlink
+  %7 = mul %5, %6                             ; assoc.c:unlink
+  %8 = gep %1, %7                             ; assoc.c:unlink
+  %9 = load8 %8                               ; assoc.c:unlink
+  %10 = cmp.eq %9, %0                         ; assoc.c:unlink
+  condbr %10, bb1, bb2                        ; assoc.c:unlink
+bb1:
+  %12 = gep %0, +224                          ; assoc.c:unlink
+  %13 = load8 %12                             ; assoc.c:unlink
+  store8 %8, %13                              ; assoc.c:unlink
+  %15 = const 8                               ; assoc.c:unlink
+  pmpersist(%8, %15)                          ; assoc.c:unlink
+  br bb3                                      ; assoc.c:unlink
+bb2:
+  %18 = alloca 8                              ; assoc.c:unlink
+  store8 %18, %9                              ; assoc.c:unlink
+  %20 = const 0                               ; assoc.c:unlink
+  %21 = alloca 8                              ; assoc.c:unlink
+  store8 %21, %20                             ; assoc.c:unlink
+  br bb4                                      ; assoc.c:unlink
+bb3:
+  ret                                         ; assoc.c:unlink
+bb4:
+  %24 = load8 %18                             ; assoc.c:unlink
+  %25 = const 0                               ; assoc.c:unlink
+  %26 = cmp.ne %24, %25                       ; assoc.c:unlink
+  %27 = load8 %21                             ; assoc.c:unlink
+  %28 = const 0x186a0                         ; assoc.c:unlink
+  %29 = cmp.ult %27, %28                      ; assoc.c:unlink
+  %30 = and %26, %29                          ; assoc.c:unlink
+  condbr %30, bb5, bb6                        ; assoc.c:unlink
+bb5:
+  %32 = load8 %18                             ; assoc.c:unlink
+  %33 = gep %32, +224                         ; assoc.c:unlink
+  %34 = load8 %33                             ; assoc.c:unlink
+  %35 = cmp.eq %34, %0                        ; assoc.c:unlink
+  condbr %35, bb7, bb8                        ; assoc.c:unlink
+bb6:
+  br bb3                                      ; assoc.c:unlink
+bb7:
+  %37 = gep %0, +224                          ; assoc.c:unlink
+  %38 = load8 %37                             ; assoc.c:unlink
+  %39 = load8 %18                             ; assoc.c:unlink
+  %40 = gep %39, +224                         ; assoc.c:unlink
+  store8 %40, %38                             ; assoc.c:unlink
+  %42 = const 8                               ; assoc.c:unlink
+  pmpersist(%40, %42)                         ; assoc.c:unlink
+  ret                                         ; assoc.c:unlink
+bb8:
+  store8 %18, %34                             ; assoc.c:unlink
+  %46 = load8 %21                             ; assoc.c:unlink
+  %47 = const 1                               ; assoc.c:unlink
+  %48 = add %46, %47                          ; assoc.c:unlink
+  store8 %21, %48                             ; assoc.c:unlink
+  br bb4                                      ; assoc.c:unlink
+}
+
+fn item_alloc(%0, %1, %2) -> u64 {
+bb0:
+  %0 = param 0                                ; assoc.c:init
+  %1 = param 1                                ; assoc.c:init
+  %2 = param 2                                ; assoc.c:init
+  %3 = const 512                              ; items.c:alloc
+  %4 = pmalloc(%3)                            ; items.c:alloc
+  %5 = const 0                                ; items.c:alloc
+  %6 = cmp.eq %4, %5                          ; items.c:alloc
+  condbr %6, bb1, bb2                         ; items.c:alloc
+bb1:
+  %8 = const 0                                ; items.c:alloc
+  ret %8                                      ; items.c:alloc
+bb2:
+  %10 = gep %4, +0                            ; items.c:alloc
+  store8 %10, %0                              ; items.c:alloc
+  %12 = gep %4, +8                            ; items.c:alloc
+  %13 = const 1                               ; items.c:alloc
+  store1 %12, %13                             ; items.c:alloc
+  %15 = gep %4, +16                           ; items.c:alloc
+  %16 = clock()                               ; items.c:alloc
+  store8 %15, %16                             ; items.c:alloc
+  %18 = gep %4, +24                           ; items.c:alloc
+  %19 = const 160                             ; items.c:alloc
+  %20 = cmp.ugt %2, %19                       ; items.c:alloc
+  %21 = select %20, %19, %2                   ; items.c:alloc
+  store8 %18, %21                             ; items.c:alloc
+  %23 = gep %4, +48                           ; items.c:alloc
+  %24 = const 1                               ; items.c:alloc
+  store8 %23, %24                             ; items.c:alloc
+  %26 = gep %4, +64                           ; items.c:alloc
+  memset(%26, %1, %21)                        ; items.c:alloc
+  %28 = const 512                             ; items.c:alloc
+  pmpersist(%4, %28)                          ; items.c:alloc
+  ret %4                                      ; items.c:alloc
+}
+
+fn lru_push(%0) {
+bb0:
+  %0 = param 0                                ; assoc.c:init
+  %1 = const 128                              ; items.c:lru-push
+  %2 = pmroot(%1)                             ; items.c:lru-push
+  %3 = gep %2, +24                            ; items.c:lru-push
+  %4 = load8 %3                               ; items.c:lru-push
+  %5 = gep %0, +32                            ; items.c:lru-push
+  store8 %5, %4                               ; items.c:lru-push
+  %7 = gep %0, +40                            ; items.c:lru-push
+  %8 = const 0                                ; items.c:lru-push
+  store8 %7, %8                               ; items.c:lru-push
+  %10 = const 0                               ; items.c:lru-push
+  %11 = cmp.ne %4, %10                        ; items.c:lru-push
+  condbr %11, bb1, bb2                        ; items.c:lru-push
+bb1:
+  %13 = gep %4, +40                           ; items.c:lru-push
+  store8 %13, %0                              ; items.c:lru-push
+  %15 = const 8                               ; items.c:lru-push
+  pmpersist(%13, %15)                         ; items.c:lru-push
+  br bb3                                      ; items.c:lru-push
+bb2:
+  %18 = gep %2, +32                           ; items.c:lru-push
+  store8 %18, %0                              ; items.c:lru-push
+  %20 = const 8                               ; items.c:lru-push
+  pmpersist(%18, %20)                         ; items.c:lru-push
+  br bb3                                      ; items.c:lru-push
+bb3:
+  store8 %3, %0                               ; items.c:lru-push
+  %24 = const 8                               ; items.c:lru-push
+  pmpersist(%3, %24)                          ; items.c:lru-push
+  %26 = const 16                              ; items.c:lru-push
+  pmpersist(%5, %26)                          ; items.c:lru-push
+  ret                                         ; items.c:lru-push
+}
+
+fn lru_remove(%0) {
+bb0:
+  %0 = param 0                                ; assoc.c:init
+  %1 = const 128                              ; items.c:lru-remove
+  %2 = pmroot(%1)                             ; items.c:lru-remove
+  %3 = gep %0, +32                            ; items.c:lru-remove
+  %4 = load8 %3                               ; items.c:lru-remove
+  %5 = gep %0, +40                            ; items.c:lru-remove
+  %6 = load8 %5                               ; items.c:lru-remove
+  %7 = const 0                                ; items.c:lru-remove
+  %8 = cmp.ne %6, %7                          ; items.c:lru-remove
+  condbr %8, bb1, bb2                         ; items.c:lru-remove
+bb1:
+  %10 = gep %6, +32                           ; items.c:lru-remove
+  store8 %10, %4                              ; items.c:lru-remove
+  %12 = const 8                               ; items.c:lru-remove
+  pmpersist(%10, %12)                         ; items.c:lru-remove
+  br bb3                                      ; items.c:lru-remove
+bb2:
+  %15 = gep %2, +24                           ; items.c:lru-remove
+  store8 %15, %4                              ; items.c:lru-remove
+  %17 = const 8                               ; items.c:lru-remove
+  pmpersist(%15, %17)                         ; items.c:lru-remove
+  br bb3                                      ; items.c:lru-remove
+bb3:
+  %20 = cmp.ne %4, %7                         ; items.c:lru-remove
+  condbr %20, bb4, bb5                        ; items.c:lru-remove
+bb4:
+  %22 = gep %4, +40                           ; items.c:lru-remove
+  store8 %22, %6                              ; items.c:lru-remove
+  %24 = const 8                               ; items.c:lru-remove
+  pmpersist(%22, %24)                         ; items.c:lru-remove
+  br bb6                                      ; items.c:lru-remove
+bb5:
+  %27 = gep %2, +32                           ; items.c:lru-remove
+  store8 %27, %6                              ; items.c:lru-remove
+  %29 = const 8                               ; items.c:lru-remove
+  pmpersist(%27, %29)                         ; items.c:lru-remove
+  br bb6                                      ; items.c:lru-remove
+bb6:
+  ret                                         ; items.c:lru-remove
+}
+
+fn item_reaper() {
+bb0:
+  %0 = const 128                              ; items.c:reaper
+  %1 = pmroot(%0)                             ; items.c:reaper
+  %2 = gep %1, +32                            ; items.c:reaper
+  %3 = load8 %2                               ; items.c:reaper
+  %4 = const 0                                ; items.c:reaper
+  %5 = cmp.ne %3, %4                          ; items.c:reaper
+  condbr %5, bb1, bb2                         ; items.c:reaper
+bb1:
+  %7 = gep %3, +8                             ; items.c:reaper
+  %8 = load1 %7                               ; items.c:reaper
+  %9 = const 0                                ; items.c:reaper
+  %10 = cmp.eq %8, %9                         ; items.c:reaper
+  condbr %10, bb3, bb4                        ; items.c:reaper
+bb2:
+  ret                                         ; items.c:reaper-free
+bb3:
+  %12 = call lru_remove(%3)                   ; items.c:reaper-free
+  %13 = const 128                             ; items.c:reaper-free
+  %14 = pmroot(%13)                           ; items.c:reaper-free
+  %15 = gep %14, +16                          ; items.c:reaper-free
+  %16 = load8 %15                             ; items.c:reaper-free
+  %17 = const 1                               ; items.c:reaper-free
+  %18 = sub %16, %17                          ; items.c:reaper-free
+  store8 %15, %18                             ; items.c:reaper-free
+  %20 = const 8                               ; items.c:reaper-free
+  pmpersist(%15, %20)                         ; items.c:reaper-free
+  pmfree(%3)                                  ; items.c:reaper-free
+  br bb4                                      ; items.c:reaper-free
+bb4:
+  br bb2                                      ; items.c:reaper-free
+}
+
+fn maybe_expand() {
+bb0:
+  %0 = const 128                              ; assoc.c:expand
+  %1 = pmroot(%0)                             ; assoc.c:expand
+  %2 = gep %1, +48                            ; assoc.c:expand
+  %3 = load8 %2                               ; assoc.c:expand
+  %4 = const 0                                ; assoc.c:expand
+  %5 = cmp.ne %3, %4                          ; assoc.c:expand
+  condbr %5, bb1, bb2                         ; assoc.c:expand
+bb1:
+  ret                                         ; assoc.c:expand
+bb2:
+  %8 = gep %1, +16                            ; assoc.c:expand
+  %9 = load8 %8                               ; assoc.c:expand
+  %10 = gep %1, +8                            ; assoc.c:expand
+  %11 = load8 %10                             ; assoc.c:expand
+  %12 = const 2                               ; assoc.c:expand
+  %13 = mul %11, %12                          ; assoc.c:expand
+  %14 = cmp.ugt %9, %13                       ; assoc.c:expand
+  condbr %14, bb3, bb4                        ; assoc.c:expand
+bb3:
+  %16 = gep %1, +0                            ; assoc.c:expand
+  %17 = load8 %16                             ; assoc.c:expand
+  %18 = gep %1, +56                           ; assoc.c:expand
+  store8 %18, %17                             ; assoc.c:expand
+  %20 = gep %1, +64                           ; assoc.c:expand
+  store8 %20, %11                             ; assoc.c:expand
+  %22 = const 16                              ; assoc.c:expand
+  pmpersist(%18, %22)                         ; assoc.c:expand
+  %24 = const 2                               ; assoc.c:expand
+  %25 = mul %11, %24                          ; assoc.c:expand
+  %26 = const 8                               ; assoc.c:expand
+  %27 = mul %25, %26                          ; assoc.c:expand
+  %28 = pmalloc(%27)                          ; assoc.c:expand
+  %29 = const 0                               ; assoc.c:expand
+  %30 = cmp.eq %28, %29                       ; assoc.c:expand
+  condbr %30, bb5, bb6                        ; assoc.c:expand
+bb4:
+  ret                                         ; assoc.c:swap
+bb5:
+  %32 = const 77                              ; assoc.c:expand
+  abort(%32)                                  ; assoc.c:expand
+  br bb6                                      ; assoc.c:expand
+bb6:
+  %35 = const 1                               ; assoc.c:rehash-flag
+  %36 = gep %1, +48                           ; assoc.c:rehash-flag
+  store8 %36, %35                             ; assoc.c:rehash-flag
+  %38 = const 8                               ; assoc.c:rehash-flag
+  pmpersist(%36, %38)                         ; assoc.c:rehash-flag
+  %40 = globaladdr ht_lock                    ; assoc.c:rehash-flag
+  mutexunlock(%40)                            ; assoc.c:rehash-flag
+  %42 = const 0                               ; assoc.c:rehash-flag
+  %43 = alloca 8                              ; assoc.c:rehash-flag
+  store8 %43, %42                             ; assoc.c:rehash-flag
+  br bb7                                      ; assoc.c:rehash-flag
+bb7:
+  %46 = load8 %43                             ; assoc.c:rehash-flag
+  %47 = cmp.ult %46, %11                      ; assoc.c:rehash-flag
+  condbr %47, bb8, bb9                        ; assoc.c:rehash-flag
+bb8:
+  %49 = load8 %43                             ; assoc.c:rehash-flag
+  %50 = const 8                               ; assoc.c:rehash-flag
+  %51 = mul %49, %50                          ; assoc.c:rehash-flag
+  %52 = gep %17, %51                          ; assoc.c:rehash-flag
+  %53 = load8 %52                             ; assoc.c:rehash-flag
+  %54 = alloca 8                              ; assoc.c:rehash-flag
+  store8 %54, %53                             ; assoc.c:rehash-flag
+  br bb10                                     ; assoc.c:rehash-flag
+bb9:
+  %95 = globaladdr ht_lock                    ; assoc.c:rehash-flag
+  mutexlock(%95)                              ; assoc.c:rehash-flag
+  %97 = gep %1, +0                            ; assoc.c:swap
+  store8 %97, %28                             ; assoc.c:swap
+  %99 = gep %1, +8                            ; assoc.c:swap
+  %100 = const 2                              ; assoc.c:swap
+  %101 = mul %11, %100                        ; assoc.c:swap
+  store8 %99, %101                            ; assoc.c:swap
+  %103 = const 16                             ; assoc.c:swap
+  pmpersist(%97, %103)                        ; assoc.c:swap
+  %105 = gep %1, +48                          ; assoc.c:swap
+  %106 = const 0                              ; assoc.c:swap
+  store8 %105, %106                           ; assoc.c:swap
+  %108 = const 8                              ; assoc.c:swap
+  pmpersist(%105, %108)                       ; assoc.c:swap
+  br bb4                                      ; assoc.c:swap
+bb10:
+  %57 = load8 %54                             ; assoc.c:rehash-flag
+  %58 = const 0                               ; assoc.c:rehash-flag
+  %59 = cmp.ne %57, %58                       ; assoc.c:rehash-flag
+  condbr %59, bb11, bb12                      ; assoc.c:rehash-flag
+bb11:
+  %61 = load8 %54                             ; assoc.c:rehash-flag
+  %62 = gep %61, +224                         ; assoc.c:rehash-flag
+  %63 = load8 %62                             ; assoc.c:rehash-flag
+  %64 = gep %61, +0                           ; assoc.c:rehash-flag
+  %65 = load8 %64                             ; assoc.c:rehash-flag
+  %66 = const 2                               ; assoc.c:rehash-flag
+  %67 = const 128                             ; assoc.c:rehash-flag
+  %68 = pmroot(%67)                           ; assoc.c:rehash-flag
+  %69 = gep %68, +8                           ; assoc.c:rehash-flag
+  %70 = load8 %69                             ; assoc.c:rehash-flag
+  %71 = mul %70, %66                          ; assoc.c:rehash-flag
+  %72 = urem %65, %71                         ; assoc.c:rehash-flag
+  %73 = const 8                               ; assoc.c:rehash-flag
+  %74 = mul %72, %73                          ; assoc.c:rehash-flag
+  %75 = gep %28, %74                          ; assoc.c:rehash-flag
+  %76 = load8 %75                             ; assoc.c:rehash-flag
+  store8 %62, %76                             ; assoc.c:rehash-flag
+  %78 = const 8                               ; assoc.c:rehash-flag
+  pmpersist(%62, %78)                         ; assoc.c:rehash-flag
+  store8 %75, %61                             ; assoc.c:rehash-flag
+  %81 = const 8                               ; assoc.c:rehash-flag
+  pmpersist(%75, %81)                         ; assoc.c:rehash-flag
+  store8 %54, %63                             ; assoc.c:rehash-flag
+  br bb10                                     ; assoc.c:rehash-flag
+bb12:
+  %85 = const 0                               ; assoc.c:rehash-flag
+  store8 %52, %85                             ; assoc.c:rehash-flag
+  %87 = const 8                               ; assoc.c:rehash-flag
+  pmpersist(%52, %87)                         ; assoc.c:rehash-flag
+  yield()                                     ; assoc.c:rehash-flag
+  %90 = load8 %43                             ; assoc.c:rehash-flag
+  %91 = const 1                               ; assoc.c:rehash-flag
+  %92 = add %90, %91                          ; assoc.c:rehash-flag
+  store8 %43, %92                             ; assoc.c:rehash-flag
+  br bb7                                      ; assoc.c:rehash-flag
+}
+
+fn put(%0, %1, %2) -> u64 {
+bb0:
+  %0 = param 0                                ; assoc.c:init
+  %1 = param 1                                ; assoc.c:init
+  %2 = param 2                                ; assoc.c:init
+  %3 = call kv_init()                         ; memcached.c:put
+  %4 = globaladdr ht_lock                     ; memcached.c:put
+  mutexlock(%4)                               ; memcached.c:put
+  %6 = call assoc_find(%0)                    ; memcached.c:put
+  %7 = const 0                                ; memcached.c:put
+  %8 = cmp.ne %6, %7                          ; memcached.c:put
+  condbr %8, bb1, bb2                         ; memcached.c:put
+bb1:
+  %10 = gep %6, +64                           ; memcached.c:put
+  %11 = const 160                             ; memcached.c:put
+  %12 = cmp.ugt %2, %11                       ; memcached.c:put
+  %13 = select %12, %11, %2                   ; memcached.c:put
+  memset(%10, %1, %13)                        ; memcached.c:put
+  %15 = gep %6, +24                           ; memcached.c:put
+  store8 %15, %13                             ; memcached.c:put
+  %17 = const 512                             ; memcached.c:put
+  pmpersist(%6, %17)                          ; memcached.c:put
+  %19 = globaladdr ht_lock                    ; memcached.c:put
+  mutexunlock(%19)                            ; memcached.c:put
+  %21 = const 1                               ; memcached.c:put
+  ret %21                                     ; memcached.c:put
+bb2:
+  %23 = call item_alloc(%0, %1, %2)           ; memcached.c:put
+  %24 = cmp.eq %23, %7                        ; memcached.c:put
+  condbr %24, bb3, bb4                        ; memcached.c:put
+bb3:
+  %26 = const 77                              ; memcached.c:put-oom
+  abort(%26)                                  ; memcached.c:put-oom
+  br bb4                                      ; memcached.c:put-oom
+bb4:
+  %29 = call assoc_insert(%23)                ; memcached.c:put-oom
+  %30 = call lru_push(%23)                    ; memcached.c:put-oom
+  %31 = const 128                             ; memcached.c:put-oom
+  %32 = pmroot(%31)                           ; memcached.c:put-oom
+  %33 = gep %32, +16                          ; memcached.c:put-oom
+  %34 = load8 %33                             ; memcached.c:put-oom
+  %35 = const 1                               ; memcached.c:put-oom
+  %36 = add %34, %35                          ; memcached.c:put-oom
+  store8 %33, %36                             ; memcached.c:count
+  %38 = const 8                               ; memcached.c:count
+  pmpersist(%33, %38)                         ; memcached.c:count
+  %40 = call item_reaper()                    ; memcached.c:count
+  %41 = call maybe_expand()                   ; memcached.c:count
+  %42 = globaladdr ht_lock                    ; memcached.c:count
+  mutexunlock(%42)                            ; memcached.c:count
+  %44 = const 1                               ; memcached.c:count
+  ret %44                                     ; memcached.c:count
+}
+
+fn worker_put(%0) {
+bb0:
+  %0 = param 0                                ; assoc.c:init
+  %1 = const 34                               ; assoc.c:init
+  %2 = const 16                               ; assoc.c:init
+  %3 = call put(%0, %1, %2)                   ; assoc.c:init
+  ret                                         ; assoc.c:init
+}
+
+fn concurrent_put(%0, %1) {
+bb0:
+  %0 = param 0                                ; assoc.c:init
+  %1 = param 1                                ; assoc.c:init
+  %2 = funcaddr worker_put                    ; memcached.c:concurrent
+  %3 = spawn(%2, %1)                          ; memcached.c:concurrent
+  %4 = const 17                               ; memcached.c:concurrent
+  %5 = const 16                               ; memcached.c:concurrent
+  %6 = call put(%0, %4, %5)                   ; memcached.c:concurrent
+  join(%3)                                    ; memcached.c:concurrent
+  ret                                         ; memcached.c:concurrent
+}
+
+fn get(%0) -> u64 {
+bb0:
+  %0 = param 0                                ; assoc.c:init
+  %1 = call kv_init()                         ; memcached.c:get
+  %2 = const 128                              ; memcached.c:get
+  %3 = pmroot(%2)                             ; memcached.c:get
+  %4 = gep %3, +40                            ; memcached.c:get
+  %5 = load8 %4                               ; memcached.c:flush-check
+  %6 = const 0                                ; memcached.c:flush-check
+  %7 = cmp.ne %5, %6                          ; memcached.c:flush-check
+  condbr %7, bb1, bb2                         ; memcached.c:flush-check
+bb1:
+  %9 = call assoc_find(%0)                    ; memcached.c:flush-check
+  %10 = const 0                               ; memcached.c:flush-check
+  %11 = cmp.ne %9, %10                        ; memcached.c:flush-check
+  condbr %11, bb3, bb4                        ; memcached.c:flush-check
+bb2:
+  %37 = call assoc_find(%0)                   ; memcached.c:flush-unlink
+  %38 = cmp.eq %37, %6                        ; memcached.c:flush-unlink
+  condbr %38, bb7, bb8                        ; memcached.c:flush-unlink
+bb3:
+  %13 = gep %9, +16                           ; memcached.c:flush-check
+  %14 = load8 %13                             ; memcached.c:flush-check
+  %15 = cmp.ult %14, %5                       ; memcached.c:flush-check
+  condbr %15, bb5, bb6                        ; memcached.c:flush-check
+bb4:
+  br bb2                                      ; memcached.c:flush-unlink
+bb5:
+  %17 = call assoc_unlink(%9)                 ; memcached.c:flush-unlink
+  %18 = call lru_remove(%9)                   ; memcached.c:flush-unlink
+  %19 = gep %9, +48                           ; memcached.c:flush-unlink
+  %20 = const 0                               ; memcached.c:flush-unlink
+  store8 %19, %20                             ; memcached.c:flush-unlink
+  %22 = const 8                               ; memcached.c:flush-unlink
+  pmpersist(%19, %22)                         ; memcached.c:flush-unlink
+  %24 = const 128                             ; memcached.c:flush-unlink
+  %25 = pmroot(%24)                           ; memcached.c:flush-unlink
+  %26 = gep %25, +16                          ; memcached.c:flush-unlink
+  %27 = load8 %26                             ; memcached.c:flush-unlink
+  %28 = const 1                               ; memcached.c:flush-unlink
+  %29 = sub %27, %28                          ; memcached.c:flush-unlink
+  store8 %26, %29                             ; memcached.c:flush-unlink
+  %31 = const 8                               ; memcached.c:flush-unlink
+  pmpersist(%26, %31)                         ; memcached.c:flush-unlink
+  %33 = const 0xffffffffffffffff              ; memcached.c:flush-unlink
+  ret %33                                     ; memcached.c:flush-unlink
+bb6:
+  br bb4                                      ; memcached.c:flush-unlink
+bb7:
+  %40 = const 0xffffffffffffffff              ; memcached.c:flush-unlink
+  ret %40                                     ; memcached.c:flush-unlink
+bb8:
+  %42 = gep %37, +8                           ; memcached.c:get-refcount
+  %43 = load1 %42                             ; memcached.c:get-refcount
+  %44 = const 1                               ; memcached.c:get-refcount
+  %45 = add %43, %44                          ; memcached.c:get-refcount
+  store1 %42, %45                             ; memcached.c:get-refcount
+  %47 = gep %37, +64                          ; memcached.c:get-refcount
+  %48 = load8 %47                             ; memcached.c:get-value
+  %49 = load1 %42                             ; memcached.c:get-refcount
+  %50 = sub %49, %44                          ; memcached.c:get-refcount
+  store1 %42, %50                             ; memcached.c:get-refcount
+  ret %48                                     ; memcached.c:get-refcount
+}
+
+fn delete(%0) -> u64 {
+bb0:
+  %0 = param 0                                ; assoc.c:init
+  %1 = call kv_init()                         ; memcached.c:delete
+  %2 = globaladdr ht_lock                     ; memcached.c:delete
+  mutexlock(%2)                               ; memcached.c:delete
+  %4 = call assoc_find(%0)                    ; memcached.c:delete
+  %5 = const 0                                ; memcached.c:delete
+  %6 = cmp.eq %4, %5                          ; memcached.c:delete
+  condbr %6, bb1, bb2                         ; memcached.c:delete
+bb1:
+  %8 = globaladdr ht_lock                     ; memcached.c:delete
+  mutexunlock(%8)                             ; memcached.c:delete
+  %10 = const 0                               ; memcached.c:delete
+  ret %10                                     ; memcached.c:delete
+bb2:
+  %12 = call assoc_unlink(%4)                 ; memcached.c:delete
+  %13 = call lru_remove(%4)                   ; memcached.c:delete
+  %14 = gep %4, +48                           ; memcached.c:delete
+  %15 = const 0                               ; memcached.c:delete
+  store8 %14, %15                             ; memcached.c:delete
+  %17 = const 8                               ; memcached.c:delete
+  pmpersist(%14, %17)                         ; memcached.c:delete
+  %19 = const 128                             ; memcached.c:delete
+  %20 = pmroot(%19)                           ; memcached.c:delete
+  %21 = gep %20, +16                          ; memcached.c:delete
+  %22 = load8 %21                             ; memcached.c:delete
+  %23 = const 1                               ; memcached.c:delete
+  %24 = sub %22, %23                          ; memcached.c:delete
+  store8 %21, %24                             ; memcached.c:delete
+  %26 = const 8                               ; memcached.c:delete
+  pmpersist(%21, %26)                         ; memcached.c:delete
+  %28 = gep %4, +8                            ; memcached.c:delete
+  %29 = load1 %28                             ; memcached.c:delete
+  %30 = const 1                               ; memcached.c:delete
+  %31 = cmp.ule %29, %30                      ; memcached.c:delete
+  condbr %31, bb3, bb4                        ; memcached.c:delete
+bb3:
+  pmfree(%4)                                  ; memcached.c:delete
+  br bb4                                      ; memcached.c:delete
+bb4:
+  %35 = globaladdr ht_lock                    ; memcached.c:delete
+  mutexunlock(%35)                            ; memcached.c:delete
+  %37 = const 1                               ; memcached.c:delete
+  ret %37                                     ; memcached.c:delete
+}
+
+fn get_hold(%0) -> u64 {
+bb0:
+  %0 = param 0                                ; assoc.c:init
+  %1 = call kv_init()                         ; memcached.c:get-hold
+  %2 = call assoc_find(%0)                    ; memcached.c:get-hold
+  %3 = const 0                                ; memcached.c:get-hold
+  %4 = cmp.eq %2, %3                          ; memcached.c:get-hold
+  condbr %4, bb1, bb2                         ; memcached.c:get-hold
+bb1:
+  %6 = const 0                                ; memcached.c:get-hold
+  ret %6                                      ; memcached.c:get-hold
+bb2:
+  %8 = gep %2, +8                             ; memcached.c:refcount-inc
+  %9 = load1 %8                               ; memcached.c:refcount-inc
+  %10 = const 1                               ; memcached.c:refcount-inc
+  %11 = add %9, %10                           ; memcached.c:refcount-inc
+  store1 %8, %11                              ; memcached.c:refcount-inc
+  %13 = const 1                               ; memcached.c:refcount-inc
+  pmpersist(%8, %13)                          ; memcached.c:refcount-inc
+  %15 = const 1                               ; memcached.c:refcount-inc
+  ret %15                                     ; memcached.c:refcount-inc
+}
+
+fn append(%0, %1, %2) -> u64 {
+bb0:
+  %0 = param 0                                ; assoc.c:init
+  %1 = param 1                                ; assoc.c:init
+  %2 = param 2                                ; assoc.c:init
+  %3 = call kv_init()                         ; memcached.c:append
+  %4 = globaladdr ht_lock                     ; memcached.c:append
+  mutexlock(%4)                               ; memcached.c:append
+  %6 = call assoc_find(%0)                    ; memcached.c:append
+  %7 = const 0                                ; memcached.c:append
+  %8 = cmp.eq %6, %7                          ; memcached.c:append
+  condbr %8, bb1, bb2                         ; memcached.c:append
+bb1:
+  %10 = globaladdr ht_lock                    ; memcached.c:append
+  mutexunlock(%10)                            ; memcached.c:append
+  %12 = const 0                               ; memcached.c:append
+  ret %12                                     ; memcached.c:append
+bb2:
+  %14 = gep %6, +24                           ; memcached.c:append
+  %15 = load8 %14                             ; memcached.c:append
+  %16 = add %15, %1                           ; memcached.c:append-len
+  %17 = const 255                             ; memcached.c:append-len
+  %18 = and %16, %17                          ; memcached.c:append-len
+  %19 = const 160                             ; memcached.c:append-len
+  %20 = cmp.ule %18, %19                      ; memcached.c:append-len
+  condbr %20, bb3, bb4                        ; memcached.c:append-len
+bb3:
+  %22 = gep %6, +64                           ; memcached.c:append-len
+  %23 = gep %22, %15                          ; memcached.c:append-len
+  memset(%23, %2, %1)                         ; memcached.c:append-write
+  %25 = gep %6, +24                           ; memcached.c:append-write
+  store8 %25, %18                             ; memcached.c:append-write
+  %27 = const 512                             ; memcached.c:append-write
+  pmpersist(%6, %27)                          ; memcached.c:append-write
+  br bb4                                      ; memcached.c:append-write
+bb4:
+  %30 = globaladdr ht_lock                    ; memcached.c:append-write
+  mutexunlock(%30)                            ; memcached.c:append-write
+  %32 = const 1                               ; memcached.c:append-write
+  ret %32                                     ; memcached.c:append-write
+}
+
+fn flush_all(%0) {
+bb0:
+  %0 = param 0                                ; assoc.c:init
+  %1 = call kv_init()                         ; memcached.c:flush-all
+  %2 = const 128                              ; memcached.c:flush-all
+  %3 = pmroot(%2)                             ; memcached.c:flush-all
+  %4 = clock()                                ; memcached.c:flush-all
+  %5 = add %4, %0                             ; memcached.c:flush-all
+  %6 = gep %3, +40                            ; memcached.c:flush-all
+  store8 %6, %5                               ; memcached.c:flush-store
+  %8 = const 8                                ; memcached.c:flush-store
+  pmpersist(%6, %8)                           ; memcached.c:flush-store
+  ret                                         ; memcached.c:flush-store
+}
+
+fn check_keys(%0, %1) {
+bb0:
+  %0 = param 0                                ; assoc.c:init
+  %1 = param 1                                ; assoc.c:init
+  %2 = alloca 8                               ; check.c:keys
+  store8 %2, %0                               ; check.c:keys
+  br bb1                                      ; check.c:keys
+bb1:
+  %5 = load8 %2                               ; check.c:keys
+  %6 = cmp.ult %5, %1                         ; check.c:keys
+  condbr %6, bb2, bb3                         ; check.c:keys
+bb2:
+  %8 = load8 %2                               ; check.c:keys
+  %9 = call get(%8)                           ; check.c:keys
+  %10 = const 0xffffffffffffffff              ; check.c:keys
+  %11 = cmp.ne %9, %10                        ; check.c:keys
+  %12 = const 91                              ; check.c:keys-assert
+  assert(%11, %12)                            ; check.c:keys-assert
+  %14 = load8 %2                              ; check.c:keys-assert
+  %15 = const 1                               ; check.c:keys-assert
+  %16 = add %14, %15                          ; check.c:keys-assert
+  store8 %2, %16                              ; check.c:keys-assert
+  br bb1                                      ; check.c:keys-assert
+bb3:
+  ret                                         ; check.c:keys-assert
+}
+
+fn check_invariant() {
+bb0:
+  %0 = call count_reachable()                 ; check.c:invariant
+  %1 = call stored_count()                    ; check.c:invariant
+  %2 = cmp.eq %0, %1                          ; check.c:invariant
+  %3 = const 90                               ; check.c:invariant-assert
+  assert(%2, %3)                              ; check.c:invariant-assert
+  ret                                         ; check.c:invariant-assert
+}
+
+fn count_reachable() -> u64 {
+bb0:
+  %0 = call kv_init()                         ; check.c:reachable
+  %1 = const 128                              ; check.c:reachable
+  %2 = pmroot(%1)                             ; check.c:reachable
+  %3 = gep %2, +0                             ; check.c:reachable
+  %4 = load8 %3                               ; check.c:reachable
+  %5 = gep %2, +8                             ; check.c:reachable
+  %6 = load8 %5                               ; check.c:reachable
+  %7 = const 0                                ; check.c:reachable
+  %8 = alloca 8                               ; check.c:reachable
+  store8 %8, %7                               ; check.c:reachable
+  %10 = const 0                               ; check.c:reachable
+  %11 = alloca 8                              ; check.c:reachable
+  store8 %11, %10                             ; check.c:reachable
+  br bb1                                      ; check.c:reachable
+bb1:
+  %14 = load8 %11                             ; check.c:reachable
+  %15 = cmp.ult %14, %6                       ; check.c:reachable
+  condbr %15, bb2, bb3                        ; check.c:reachable
+bb2:
+  %17 = load8 %11                             ; check.c:reachable
+  %18 = const 8                               ; check.c:reachable
+  %19 = mul %17, %18                          ; check.c:reachable
+  %20 = gep %4, %19                           ; check.c:reachable
+  %21 = load8 %20                             ; check.c:reachable
+  %22 = alloca 8                              ; check.c:reachable
+  store8 %22, %21                             ; check.c:reachable
+  %24 = const 0                               ; check.c:reachable
+  %25 = alloca 8                              ; check.c:reachable
+  store8 %25, %24                             ; check.c:reachable
+  br bb4                                      ; check.c:reachable
+bb3:
+  %54 = load8 %8                              ; check.c:reachable
+  ret %54                                     ; check.c:reachable
+bb4:
+  %28 = load8 %22                             ; check.c:reachable
+  %29 = const 0                               ; check.c:reachable
+  %30 = cmp.ne %28, %29                       ; check.c:reachable
+  %31 = load8 %25                             ; check.c:reachable
+  %32 = const 0x186a0                         ; check.c:reachable
+  %33 = cmp.ult %31, %32                      ; check.c:reachable
+  %34 = and %30, %33                          ; check.c:reachable
+  condbr %34, bb5, bb6                        ; check.c:reachable
+bb5:
+  %36 = load8 %8                              ; check.c:reachable
+  %37 = const 1                               ; check.c:reachable
+  %38 = add %36, %37                          ; check.c:reachable
+  store8 %8, %38                              ; check.c:reachable
+  %40 = load8 %22                             ; check.c:reachable
+  %41 = gep %40, +224                         ; check.c:reachable
+  %42 = load8 %41                             ; check.c:reachable
+  store8 %22, %42                             ; check.c:reachable
+  %44 = load8 %25                             ; check.c:reachable
+  %45 = const 1                               ; check.c:reachable
+  %46 = add %44, %45                          ; check.c:reachable
+  store8 %25, %46                             ; check.c:reachable
+  br bb4                                      ; check.c:reachable
+bb6:
+  %49 = load8 %11                             ; check.c:reachable
+  %50 = const 1                               ; check.c:reachable
+  %51 = add %49, %50                          ; check.c:reachable
+  store8 %11, %51                             ; check.c:reachable
+  br bb1                                      ; check.c:reachable
+}
+
+fn stored_count() -> u64 {
+bb0:
+  %0 = call kv_init()                         ; assoc.c:init
+  %1 = const 128                              ; assoc.c:init
+  %2 = pmroot(%1)                             ; assoc.c:init
+  %3 = gep %2, +16                            ; assoc.c:init
+  %4 = load8 %3                               ; assoc.c:init
+  ret %4                                      ; assoc.c:init
+}
+

@@ -1,0 +1,830 @@
+fn ldb_init() {
+bb0:
+  %0 = const 64                               ; server.c:init
+  %1 = pmroot(%0)                             ; server.c:init
+  %2 = gep %1, +0                             ; server.c:init
+  %3 = load8 %2                               ; server.c:init
+  %4 = const 0                                ; server.c:init
+  %5 = cmp.eq %3, %4                          ; server.c:init
+  condbr %5, bb1, bb2                         ; server.c:init
+bb1:
+  %7 = const 512                              ; server.c:init
+  %8 = pmalloc(%7)                            ; server.c:init
+  %9 = const 512                              ; server.c:init
+  %10 = pmalloc(%9)                           ; server.c:init
+  %11 = const 0                               ; server.c:init
+  %12 = cmp.eq %8, %11                        ; server.c:init
+  condbr %12, bb3, bb4                        ; server.c:init
+bb2:
+  ret                                         ; server.c:init
+bb3:
+  %14 = const 78                              ; server.c:init
+  abort(%14)                                  ; server.c:init
+  br bb4                                      ; server.c:init
+bb4:
+  %17 = const 0                               ; server.c:init
+  %18 = cmp.eq %10, %17                       ; server.c:init
+  condbr %18, bb5, bb6                        ; server.c:init
+bb5:
+  %20 = const 78                              ; server.c:init
+  abort(%20)                                  ; server.c:init
+  br bb6                                      ; server.c:init
+bb6:
+  %23 = gep %1, +0                            ; server.c:init
+  store8 %23, %8                              ; server.c:init
+  %25 = gep %1, +8                            ; server.c:init
+  store8 %25, %10                             ; server.c:init
+  %27 = gep %1, +16                           ; server.c:init
+  %28 = const 0                               ; server.c:init
+  store8 %27, %28                             ; server.c:init
+  %30 = gep %1, +24                           ; server.c:init
+  %31 = const 0                               ; server.c:init
+  store8 %30, %31                             ; server.c:init
+  %33 = gep %1, +32                           ; server.c:init
+  %34 = const 0                               ; server.c:init
+  store8 %33, %34                             ; server.c:init
+  %36 = const 64                              ; server.c:init
+  pmpersist(%1, %36)                          ; server.c:init
+  br bb2                                      ; server.c:init
+}
+
+fn ldb_recover() {
+bb0:
+  recoverbegin()                              ; server.c:recover
+  %1 = call ldb_init()                        ; server.c:recover
+  %2 = const 64                               ; server.c:recover
+  %3 = pmroot(%2)                             ; server.c:recover
+  %4 = gep %3, +0                             ; server.c:recover
+  %5 = load8 %4                               ; server.c:recover
+  %6 = const 0                                ; server.c:recover
+  %7 = const 64                               ; server.c:recover
+  %8 = alloca 8                               ; server.c:recover
+  store8 %8, %6                               ; server.c:recover
+  br bb1                                      ; server.c:recover
+bb1:
+  %11 = load8 %8                              ; server.c:recover
+  %12 = cmp.ult %11, %7                       ; server.c:recover
+  condbr %12, bb2, bb3                        ; server.c:recover
+bb2:
+  %14 = load8 %8                              ; server.c:recover
+  %15 = const 8                               ; server.c:recover
+  %16 = mul %14, %15                          ; server.c:recover
+  %17 = gep %5, %16                           ; server.c:recover
+  %18 = load8 %17                             ; server.c:recover
+  %19 = alloca 8                              ; server.c:recover
+  store8 %19, %18                             ; server.c:recover
+  br bb4                                      ; server.c:recover
+bb3:
+  %45 = gep %3, +8                            ; server.c:recover
+  %46 = load8 %45                             ; server.c:recover
+  %47 = const 0                               ; server.c:recover
+  %48 = const 64                              ; server.c:recover
+  %49 = alloca 8                              ; server.c:recover
+  store8 %49, %47                             ; server.c:recover
+  br bb9                                      ; server.c:recover
+bb4:
+  %22 = load8 %19                             ; server.c:recover
+  %23 = const 0                               ; server.c:recover
+  %24 = cmp.ne %22, %23                       ; server.c:recover
+  condbr %24, bb5, bb6                        ; server.c:recover
+bb5:
+  %26 = load8 %19                             ; server.c:recover
+  %27 = gep %26, +0                           ; server.c:recover
+  %28 = load8 %27                             ; server.c:recover
+  %29 = gep %26, +8                           ; server.c:recover
+  %30 = load8 %29                             ; server.c:recover
+  %31 = const 0                               ; server.c:recover
+  %32 = cmp.ne %30, %31                       ; server.c:recover
+  condbr %32, bb7, bb8                        ; server.c:recover
+bb6:
+  %40 = load8 %8                              ; server.c:recover
+  %41 = const 1                               ; server.c:recover
+  %42 = add %40, %41                          ; server.c:recover
+  store8 %8, %42                              ; server.c:recover
+  br bb1                                      ; server.c:recover
+bb7:
+  %34 = load8 %30                             ; server.c:recover
+  br bb8                                      ; server.c:recover
+bb8:
+  %36 = gep %26, +16                          ; server.c:recover
+  %37 = load8 %36                             ; server.c:recover
+  store8 %19, %37                             ; server.c:recover
+  br bb4                                      ; server.c:recover
+bb9:
+  %52 = load8 %49                             ; server.c:recover
+  %53 = cmp.ult %52, %48                      ; server.c:recover
+  condbr %53, bb10, bb11                      ; server.c:recover
+bb10:
+  %55 = load8 %49                             ; server.c:recover
+  %56 = const 8                               ; server.c:recover
+  %57 = mul %55, %56                          ; server.c:recover
+  %58 = gep %46, %57                          ; server.c:recover
+  %59 = load8 %58                             ; server.c:recover
+  %60 = alloca 8                              ; server.c:recover
+  store8 %60, %59                             ; server.c:recover
+  br bb12                                     ; server.c:recover
+bb11:
+  %86 = gep %3, +16                           ; server.c:recover
+  %87 = load8 %86                             ; server.c:recover
+  %88 = alloca 8                              ; server.c:recover
+  store8 %88, %87                             ; server.c:recover
+  %90 = const 0                               ; server.c:recover
+  %91 = alloca 8                              ; server.c:recover
+  store8 %91, %90                             ; server.c:recover
+  br bb17                                     ; server.c:recover
+bb12:
+  %63 = load8 %60                             ; server.c:recover
+  %64 = const 0                               ; server.c:recover
+  %65 = cmp.ne %63, %64                       ; server.c:recover
+  condbr %65, bb13, bb14                      ; server.c:recover
+bb13:
+  %67 = load8 %60                             ; server.c:recover
+  %68 = gep %67, +0                           ; server.c:recover
+  %69 = load8 %68                             ; server.c:recover
+  %70 = gep %67, +8                           ; server.c:recover
+  %71 = load8 %70                             ; server.c:recover
+  %72 = const 0                               ; server.c:recover
+  %73 = cmp.ne %71, %72                       ; server.c:recover
+  condbr %73, bb15, bb16                      ; server.c:recover
+bb14:
+  %81 = load8 %49                             ; server.c:recover
+  %82 = const 1                               ; server.c:recover
+  %83 = add %81, %82                          ; server.c:recover
+  store8 %49, %83                             ; server.c:recover
+  br bb9                                      ; server.c:recover
+bb15:
+  %75 = load8 %71                             ; server.c:recover
+  br bb16                                     ; server.c:recover
+bb16:
+  %77 = gep %67, +16                          ; server.c:recover
+  %78 = load8 %77                             ; server.c:recover
+  store8 %60, %78                             ; server.c:recover
+  br bb12                                     ; server.c:recover
+bb17:
+  %94 = load8 %88                             ; server.c:recover
+  %95 = const 0                               ; server.c:recover
+  %96 = cmp.ne %94, %95                       ; server.c:recover
+  %97 = load8 %91                             ; server.c:recover
+  %98 = const 0x186a0                         ; server.c:recover
+  %99 = cmp.ult %97, %98                      ; server.c:recover
+  %100 = and %96, %99                         ; server.c:recover
+  condbr %100, bb18, bb19                     ; server.c:recover
+bb18:
+  %102 = load8 %88                            ; server.c:recover
+  %103 = load8 %102                           ; server.c:recover
+  %104 = gep %102, +16                        ; server.c:recover
+  %105 = load8 %104                           ; server.c:recover
+  store8 %88, %105                            ; server.c:recover
+  %107 = load8 %91                            ; server.c:recover
+  %108 = const 1                              ; server.c:recover
+  %109 = add %107, %108                       ; server.c:recover
+  store8 %91, %109                            ; server.c:recover
+  br bb17                                     ; server.c:recover
+bb19:
+  recoverend()                                ; server.c:recover
+  ret                                         ; server.c:recover
+}
+
+fn dict_find(%0, %1) -> u64 {
+bb0:
+  %0 = param 0                                ; server.c:init
+  %1 = param 1                                ; server.c:init
+  %2 = const 64                               ; dict.c:find
+  %3 = urem %1, %2                            ; dict.c:find
+  %4 = const 8                                ; dict.c:find
+  %5 = mul %3, %4                             ; dict.c:find
+  %6 = gep %0, %5                             ; dict.c:find
+  %7 = load8 %6                               ; dict.c:find
+  %8 = alloca 8                               ; dict.c:find
+  store8 %8, %7                               ; dict.c:find
+  br bb1                                      ; dict.c:find
+bb1:
+  %11 = load8 %8                              ; dict.c:find
+  %12 = const 0                               ; dict.c:find
+  %13 = cmp.ne %11, %12                       ; dict.c:find
+  condbr %13, bb2, bb3                        ; dict.c:find
+bb2:
+  %15 = load8 %8                              ; dict.c:find
+  %16 = gep %15, +0                           ; dict.c:find
+  %17 = load8 %16                             ; dict.c:find
+  %18 = cmp.eq %17, %1                        ; dict.c:find
+  condbr %18, bb4, bb5                        ; dict.c:find
+bb3:
+  %26 = const 0                               ; dict.c:find
+  ret %26                                     ; dict.c:find
+bb4:
+  %20 = load8 %8                              ; dict.c:find
+  ret %20                                     ; dict.c:find
+bb5:
+  %22 = gep %15, +16                          ; dict.c:find
+  %23 = load8 %22                             ; dict.c:find
+  store8 %8, %23                              ; dict.c:find
+  br bb1                                      ; dict.c:find
+}
+
+fn dict_insert(%0, %1, %2) -> u64 {
+bb0:
+  %0 = param 0                                ; server.c:init
+  %1 = param 1                                ; server.c:init
+  %2 = param 2                                ; server.c:init
+  %3 = const 32                               ; dict.c:insert
+  %4 = pmalloc(%3)                            ; dict.c:insert
+  %5 = const 0                                ; dict.c:insert
+  %6 = cmp.eq %4, %5                          ; dict.c:insert
+  condbr %6, bb1, bb2                         ; dict.c:insert
+bb1:
+  %8 = const 78                               ; dict.c:insert
+  abort(%8)                                   ; dict.c:insert
+  br bb2                                      ; dict.c:insert
+bb2:
+  %11 = gep %4, +0                            ; dict.c:insert
+  store8 %11, %1                              ; dict.c:insert
+  %13 = gep %4, +8                            ; dict.c:insert
+  store8 %13, %2                              ; dict.c:insert
+  %15 = const 64                              ; dict.c:insert
+  %16 = urem %1, %15                          ; dict.c:insert
+  %17 = const 8                               ; dict.c:insert
+  %18 = mul %16, %17                          ; dict.c:insert
+  %19 = gep %0, %18                           ; dict.c:insert
+  %20 = load8 %19                             ; dict.c:insert
+  %21 = gep %4, +16                           ; dict.c:insert
+  store8 %21, %20                             ; dict.c:insert
+  %23 = const 32                              ; dict.c:insert
+  pmpersist(%4, %23)                          ; dict.c:insert
+  store8 %19, %4                              ; dict.c:insert-bucket
+  %26 = const 8                               ; dict.c:insert-bucket
+  pmpersist(%19, %26)                         ; dict.c:insert-bucket
+  ret %4                                      ; dict.c:insert-bucket
+}
+
+fn dict_unlink(%0, %1) {
+bb0:
+  %0 = param 0                                ; server.c:init
+  %1 = param 1                                ; server.c:init
+  %2 = const 64                               ; dict.c:unlink
+  %3 = urem %1, %2                            ; dict.c:unlink
+  %4 = const 8                                ; dict.c:unlink
+  %5 = mul %3, %4                             ; dict.c:unlink
+  %6 = gep %0, %5                             ; dict.c:unlink
+  %7 = load8 %6                               ; dict.c:unlink
+  %8 = const 0                                ; dict.c:unlink
+  %9 = cmp.eq %7, %8                          ; dict.c:unlink
+  condbr %9, bb1, bb2                         ; dict.c:unlink
+bb1:
+  ret                                         ; dict.c:unlink
+bb2:
+  %12 = gep %7, +0                            ; dict.c:unlink
+  %13 = load8 %12                             ; dict.c:unlink
+  %14 = cmp.eq %13, %1                        ; dict.c:unlink
+  condbr %14, bb3, bb4                        ; dict.c:unlink
+bb3:
+  %16 = gep %7, +16                           ; dict.c:unlink
+  %17 = load8 %16                             ; dict.c:unlink
+  store8 %6, %17                              ; dict.c:unlink-head
+  %19 = const 8                               ; dict.c:unlink-head
+  pmpersist(%6, %19)                          ; dict.c:unlink-head
+  ret                                         ; dict.c:unlink-head
+bb4:
+  %22 = alloca 8                              ; dict.c:unlink-head
+  store8 %22, %7                              ; dict.c:unlink-head
+  br bb5                                      ; dict.c:unlink-head
+bb5:
+  %25 = load8 %22                             ; dict.c:unlink-head
+  %26 = gep %25, +16                          ; dict.c:unlink-head
+  %27 = load8 %26                             ; dict.c:unlink-head
+  %28 = const 0                               ; dict.c:unlink-head
+  %29 = cmp.ne %27, %28                       ; dict.c:unlink-head
+  condbr %29, bb6, bb7                        ; dict.c:unlink-head
+bb6:
+  %31 = load8 %22                             ; dict.c:unlink-head
+  %32 = gep %31, +16                          ; dict.c:unlink-head
+  %33 = load8 %32                             ; dict.c:unlink-head
+  %34 = gep %33, +0                           ; dict.c:unlink-head
+  %35 = load8 %34                             ; dict.c:unlink-head
+  %36 = cmp.eq %35, %1                        ; dict.c:unlink-head
+  condbr %36, bb8, bb9                        ; dict.c:unlink-head
+bb7:
+  ret                                         ; dict.c:unlink-mid
+bb8:
+  %38 = gep %33, +16                          ; dict.c:unlink-head
+  %39 = load8 %38                             ; dict.c:unlink-head
+  %40 = load8 %22                             ; dict.c:unlink-head
+  %41 = gep %40, +16                          ; dict.c:unlink-head
+  store8 %41, %39                             ; dict.c:unlink-mid
+  %43 = const 8                               ; dict.c:unlink-mid
+  pmpersist(%41, %43)                         ; dict.c:unlink-mid
+  ret                                         ; dict.c:unlink-mid
+bb9:
+  store8 %22, %33                             ; dict.c:unlink-mid
+  br bb5                                      ; dict.c:unlink-mid
+}
+
+fn rpush(%0, %1, %2) -> u64 {
+bb0:
+  %0 = param 0                                ; server.c:init
+  %1 = param 1                                ; server.c:init
+  %2 = param 2                                ; server.c:init
+  %3 = call ldb_init()                        ; listpack.c:rpush
+  %4 = const 64                               ; listpack.c:rpush
+  %5 = pmroot(%4)                             ; listpack.c:rpush
+  %6 = gep %5, +0                             ; listpack.c:rpush
+  %7 = load8 %6                               ; listpack.c:rpush
+  %8 = call dict_find(%7, %0)                 ; listpack.c:rpush
+  %9 = const 0                                ; listpack.c:rpush
+  %10 = cmp.eq %8, %9                         ; listpack.c:rpush
+  %11 = const 0                               ; listpack.c:rpush
+  %12 = alloca 8                              ; listpack.c:rpush
+  store8 %12, %11                             ; listpack.c:rpush
+  condbr %10, bb1, bb2                        ; listpack.c:rpush
+bb1:
+  %15 = const 4608                            ; listpack.c:rpush
+  %16 = pmalloc(%15)                          ; listpack.c:rpush
+  %17 = const 0                               ; listpack.c:rpush
+  %18 = cmp.eq %16, %17                       ; listpack.c:rpush
+  condbr %18, bb4, bb5                        ; listpack.c:rpush
+bb2:
+  %38 = gep %8, +8                            ; listpack.c:rpush
+  %39 = load8 %38                             ; listpack.c:rpush
+  store8 %12, %39                             ; listpack.c:rpush
+  br bb3                                      ; listpack.c:rpush
+bb3:
+  %42 = load8 %12                             ; listpack.c:rpush
+  %43 = gep %42, +0                           ; listpack.c:rpush
+  %44 = load8 %43                             ; listpack.c:rpush
+  %45 = const 16                              ; listpack.c:rpush
+  %46 = add %1, %45                           ; listpack.c:rpush
+  %47 = add %44, %46                          ; listpack.c:rpush
+  %48 = const 4592                            ; listpack.c:rpush
+  %49 = cmp.ugt %47, %48                      ; listpack.c:rpush
+  condbr %49, bb6, bb7                        ; listpack.c:rpush
+bb4:
+  %20 = const 78                              ; listpack.c:rpush
+  abort(%20)                                  ; listpack.c:rpush
+  br bb5                                      ; listpack.c:rpush
+bb5:
+  %23 = gep %16, +0                           ; listpack.c:rpush
+  %24 = const 16                              ; listpack.c:rpush
+  store8 %23, %24                             ; listpack.c:rpush
+  %26 = gep %16, +8                           ; listpack.c:rpush
+  %27 = const 0                               ; listpack.c:rpush
+  store8 %26, %27                             ; listpack.c:rpush
+  %29 = const 16                              ; listpack.c:rpush
+  pmpersist(%16, %29)                         ; listpack.c:rpush
+  %31 = const 64                              ; listpack.c:rpush
+  %32 = pmroot(%31)                           ; listpack.c:rpush
+  %33 = gep %32, +0                           ; listpack.c:rpush
+  %34 = load8 %33                             ; listpack.c:rpush
+  %35 = call dict_insert(%34, %0, %16)        ; listpack.c:rpush
+  store8 %12, %16                             ; listpack.c:rpush
+  br bb3                                      ; listpack.c:rpush
+bb6:
+  %51 = const 0                               ; listpack.c:rpush
+  ret %51                                     ; listpack.c:rpush
+bb7:
+  %53 = const 4096                            ; listpack.c:rpush
+  %54 = cmp.ule %47, %53                      ; listpack.c:rpush
+  %55 = gep %42, %44                          ; listpack.c:rpush
+  condbr %54, bb8, bb9                        ; listpack.c:rpush
+bb8:
+  store8 %55, %1                              ; listpack.c:rpush
+  %58 = gep %55, +16                          ; listpack.c:rpush
+  memset(%58, %2, %1)                         ; listpack.c:rpush
+  %60 = const 16                              ; listpack.c:rpush
+  %61 = add %60, %1                           ; listpack.c:rpush
+  pmpersist(%55, %61)                         ; listpack.c:rpush
+  br bb10                                     ; listpack.c:rpush
+bb9:
+  %64 = const 255                             ; listpack.c:encode-bug
+  %65 = and %1, %64                           ; listpack.c:encode-bug
+  store8 %55, %65                             ; listpack.c:encode-bug
+  %67 = gep %55, +16                          ; listpack.c:encode-bug
+  memset(%67, %2, %1)                         ; listpack.c:encode-bug
+  %69 = const 16                              ; listpack.c:encode-bug
+  %70 = add %69, %1                           ; listpack.c:encode-bug
+  pmpersist(%55, %70)                         ; listpack.c:encode-bug
+  br bb10                                     ; listpack.c:encode-bug
+bb10:
+  %73 = load8 %43                             ; listpack.c:encode-bug
+  %74 = add %73, %46                          ; listpack.c:encode-bug
+  store8 %43, %74                             ; listpack.c:total
+  %76 = gep %42, +8                           ; listpack.c:total
+  %77 = load8 %76                             ; listpack.c:total
+  %78 = const 1                               ; listpack.c:total
+  %79 = add %77, %78                          ; listpack.c:total
+  store8 %76, %79                             ; listpack.c:total
+  %81 = const 16                              ; listpack.c:total
+  pmpersist(%42, %81)                         ; listpack.c:total
+  %83 = const 1                               ; listpack.c:total
+  ret %83                                     ; listpack.c:total
+}
+
+fn llast(%0) -> u64 {
+bb0:
+  %0 = param 0                                ; server.c:init
+  %1 = call ldb_init()                        ; listpack.c:llast
+  %2 = const 64                               ; listpack.c:llast
+  %3 = pmroot(%2)                             ; listpack.c:llast
+  %4 = gep %3, +0                             ; listpack.c:llast
+  %5 = load8 %4                               ; listpack.c:llast
+  %6 = call dict_find(%5, %0)                 ; listpack.c:llast
+  %7 = const 0                                ; listpack.c:llast
+  %8 = cmp.eq %6, %7                          ; listpack.c:llast
+  condbr %8, bb1, bb2                         ; listpack.c:llast
+bb1:
+  %10 = const 0xffffffffffffffff              ; listpack.c:llast
+  ret %10                                     ; listpack.c:llast
+bb2:
+  %12 = gep %6, +8                            ; listpack.c:llast
+  %13 = load8 %12                             ; listpack.c:llast
+  %14 = gep %13, +8                           ; listpack.c:llast
+  %15 = load8 %14                             ; listpack.c:llast
+  %16 = cmp.eq %15, %7                        ; listpack.c:llast
+  condbr %16, bb3, bb4                        ; listpack.c:llast
+bb3:
+  %18 = const 0xffffffffffffffff              ; listpack.c:llast
+  ret %18                                     ; listpack.c:llast
+bb4:
+  %20 = gep %13, +16                          ; listpack.c:llast
+  %21 = alloca 8                              ; listpack.c:llast
+  store8 %21, %20                             ; listpack.c:llast
+  %23 = const 0                               ; listpack.c:llast
+  %24 = alloca 8                              ; listpack.c:llast
+  store8 %24, %23                             ; listpack.c:llast
+  %26 = const 1                               ; listpack.c:llast
+  %27 = sub %15, %26                          ; listpack.c:llast
+  br bb5                                      ; listpack.c:llast
+bb5:
+  %29 = load8 %24                             ; listpack.c:llast
+  %30 = cmp.ult %29, %27                      ; listpack.c:llast
+  condbr %30, bb6, bb7                        ; listpack.c:llast
+bb6:
+  %32 = load8 %21                             ; listpack.c:llast
+  %33 = load8 %32                             ; listpack.c:walk
+  %34 = const 16                              ; listpack.c:walk
+  %35 = add %33, %34                          ; listpack.c:walk
+  %36 = gep %32, %35                          ; listpack.c:walk
+  store8 %21, %36                             ; listpack.c:walk
+  %38 = load8 %24                             ; listpack.c:walk
+  %39 = const 1                               ; listpack.c:walk
+  %40 = add %38, %39                          ; listpack.c:walk
+  store8 %24, %40                             ; listpack.c:walk
+  br bb5                                      ; listpack.c:walk
+bb7:
+  %43 = load8 %21                             ; listpack.c:walk
+  %44 = gep %43, +16                          ; listpack.c:walk
+  %45 = load8 %44                             ; listpack.c:read-value
+  ret %45                                     ; listpack.c:read-value
+}
+
+fn llen(%0) -> u64 {
+bb0:
+  %0 = param 0                                ; server.c:init
+  %1 = call ldb_init()                        ; listpack.c:llen
+  %2 = const 64                               ; listpack.c:llen
+  %3 = pmroot(%2)                             ; listpack.c:llen
+  %4 = gep %3, +0                             ; listpack.c:llen
+  %5 = load8 %4                               ; listpack.c:llen
+  %6 = call dict_find(%5, %0)                 ; listpack.c:llen
+  %7 = const 0                                ; listpack.c:llen
+  %8 = cmp.eq %6, %7                          ; listpack.c:llen
+  condbr %8, bb1, bb2                         ; listpack.c:llen
+bb1:
+  %10 = const 0                               ; listpack.c:llen
+  ret %10                                     ; listpack.c:llen
+bb2:
+  %12 = gep %6, +8                            ; listpack.c:llen
+  %13 = load8 %12                             ; listpack.c:llen
+  %14 = gep %13, +8                           ; listpack.c:llen
+  %15 = load8 %14                             ; listpack.c:llen
+  ret %15                                     ; listpack.c:llen
+}
+
+fn obj_set(%0, %1) {
+bb0:
+  %0 = param 0                                ; server.c:init
+  %1 = param 1                                ; server.c:init
+  %2 = call ldb_init()                        ; object.c:set
+  %3 = const 64                               ; object.c:set
+  %4 = pmroot(%3)                             ; object.c:set
+  %5 = gep %4, +8                             ; object.c:set
+  %6 = load8 %5                               ; object.c:set
+  %7 = call dict_find(%6, %0)                 ; object.c:set
+  %8 = const 0                                ; object.c:set
+  %9 = cmp.ne %7, %8                          ; object.c:set
+  condbr %9, bb1, bb2                         ; object.c:set
+bb1:
+  %11 = gep %7, +8                            ; object.c:set
+  %12 = load8 %11                             ; object.c:set
+  store8 %12, %1                              ; object.c:set
+  %14 = const 8                               ; object.c:set
+  pmpersist(%12, %14)                         ; object.c:set
+  ret                                         ; object.c:set
+bb2:
+  %17 = const 32                              ; object.c:set
+  %18 = pmalloc(%17)                          ; object.c:set
+  %19 = cmp.eq %18, %8                        ; object.c:set
+  condbr %19, bb3, bb4                        ; object.c:set
+bb3:
+  %21 = const 78                              ; object.c:set
+  abort(%21)                                  ; object.c:set
+  br bb4                                      ; object.c:set
+bb4:
+  store8 %18, %1                              ; object.c:set
+  %25 = const 8                               ; object.c:set
+  pmpersist(%18, %25)                         ; object.c:set
+  %27 = gep %18, +8                           ; object.c:set
+  %28 = const 1                               ; object.c:set
+  store8 %27, %28                             ; object.c:refcount-init
+  %30 = const 8                               ; object.c:refcount-init
+  pmpersist(%27, %30)                         ; object.c:refcount-init
+  %32 = call dict_insert(%6, %0, %18)         ; object.c:refcount-init
+  ret                                         ; object.c:refcount-init
+}
+
+fn obj_retain(%0) {
+bb0:
+  %0 = param 0                                ; server.c:init
+  %1 = call ldb_init()                        ; object.c:retain
+  %2 = const 64                               ; object.c:retain
+  %3 = pmroot(%2)                             ; object.c:retain
+  %4 = gep %3, +8                             ; object.c:retain
+  %5 = load8 %4                               ; object.c:retain
+  %6 = call dict_find(%5, %0)                 ; object.c:retain
+  %7 = const 0                                ; object.c:retain
+  %8 = cmp.ne %6, %7                          ; object.c:retain
+  %9 = const 70                               ; object.c:retain-panic
+  assert(%8, %9)                              ; object.c:retain-panic
+  %11 = gep %6, +8                            ; object.c:retain-panic
+  %12 = load8 %11                             ; object.c:retain-panic
+  %13 = gep %12, +8                           ; object.c:retain-panic
+  %14 = load8 %13                             ; object.c:retain-panic
+  %15 = const 1                               ; object.c:retain-panic
+  %16 = add %14, %15                          ; object.c:retain-panic
+  store8 %13, %16                             ; object.c:retain-panic
+  %18 = const 8                               ; object.c:retain-panic
+  pmpersist(%13, %18)                         ; object.c:retain-panic
+  ret                                         ; object.c:retain-panic
+}
+
+fn obj_release(%0) {
+bb0:
+  %0 = param 0                                ; server.c:init
+  %1 = call ldb_init()                        ; object.c:release
+  %2 = const 64                               ; object.c:release
+  %3 = pmroot(%2)                             ; object.c:release
+  %4 = gep %3, +8                             ; object.c:release
+  %5 = load8 %4                               ; object.c:release
+  %6 = call dict_find(%5, %0)                 ; object.c:release
+  %7 = const 0                                ; object.c:release
+  %8 = cmp.eq %6, %7                          ; object.c:release
+  condbr %8, bb1, bb2                         ; object.c:release
+bb1:
+  ret                                         ; object.c:release
+bb2:
+  %11 = gep %6, +8                            ; object.c:release
+  %12 = load8 %11                             ; object.c:release
+  %13 = gep %12, +8                           ; object.c:release
+  %14 = load8 %13                             ; object.c:release
+  %15 = const 2                               ; object.c:release
+  %16 = cmp.eq %14, %15                       ; object.c:release
+  %17 = const 1                               ; object.c:release
+  %18 = select %16, %15, %17                  ; object.c:release
+  %19 = sub %14, %18                          ; object.c:release
+  store8 %13, %19                             ; object.c:release-bug
+  %21 = const 8                               ; object.c:release-bug
+  pmpersist(%13, %21)                         ; object.c:release-bug
+  %23 = cmp.eq %19, %7                        ; object.c:release-bug
+  condbr %23, bb3, bb4                        ; object.c:release-bug
+bb3:
+  %25 = const 64                              ; object.c:release-bug
+  %26 = pmroot(%25)                           ; object.c:release-bug
+  %27 = gep %26, +8                           ; object.c:release-bug
+  %28 = load8 %27                             ; object.c:release-bug
+  %29 = call dict_unlink(%28, %0)             ; object.c:release-bug
+  br bb4                                      ; object.c:release-bug
+bb4:
+  ret                                         ; object.c:release-bug
+}
+
+fn obj_get(%0) -> u64 {
+bb0:
+  %0 = param 0                                ; server.c:init
+  %1 = call ldb_init()                        ; object.c:get
+  %2 = const 64                               ; object.c:get
+  %3 = pmroot(%2)                             ; object.c:get
+  %4 = gep %3, +8                             ; object.c:get
+  %5 = load8 %4                               ; object.c:get
+  %6 = call dict_find(%5, %0)                 ; object.c:get
+  %7 = const 0                                ; object.c:get
+  %8 = cmp.eq %6, %7                          ; object.c:get
+  condbr %8, bb1, bb2                         ; object.c:get
+bb1:
+  %10 = const 0xffffffffffffffff              ; object.c:get
+  ret %10                                     ; object.c:get
+bb2:
+  %12 = gep %6, +8                            ; object.c:get
+  %13 = load8 %12                             ; object.c:get
+  %14 = load8 %13                             ; object.c:get
+  ret %14                                     ; object.c:get
+}
+
+fn obj_invariant() {
+bb0:
+  %0 = call ldb_init()                        ; check.c:obj-invariant
+  %1 = const 64                               ; check.c:obj-invariant
+  %2 = pmroot(%1)                             ; check.c:obj-invariant
+  %3 = gep %2, +8                             ; check.c:obj-invariant
+  %4 = load8 %3                               ; check.c:obj-invariant
+  %5 = const 0                                ; check.c:obj-invariant
+  %6 = const 64                               ; check.c:obj-invariant
+  %7 = alloca 8                               ; check.c:obj-invariant
+  store8 %7, %5                               ; check.c:obj-invariant
+  br bb1                                      ; check.c:obj-invariant
+bb1:
+  %10 = load8 %7                              ; check.c:obj-invariant
+  %11 = cmp.ult %10, %6                       ; check.c:obj-invariant
+  condbr %11, bb2, bb3                        ; check.c:obj-invariant
+bb2:
+  %13 = load8 %7                              ; check.c:obj-invariant
+  %14 = const 8                               ; check.c:obj-invariant
+  %15 = mul %13, %14                          ; check.c:obj-invariant
+  %16 = gep %4, %15                           ; check.c:obj-invariant
+  %17 = load8 %16                             ; check.c:obj-invariant
+  %18 = alloca 8                              ; check.c:obj-invariant
+  store8 %18, %17                             ; check.c:obj-invariant
+  br bb4                                      ; check.c:obj-invariant
+bb3:
+  ret                                         ; check.c:obj-invariant-assert
+bb4:
+  %21 = load8 %18                             ; check.c:obj-invariant
+  %22 = const 0                               ; check.c:obj-invariant
+  %23 = cmp.ne %21, %22                       ; check.c:obj-invariant
+  condbr %23, bb5, bb6                        ; check.c:obj-invariant
+bb5:
+  %25 = load8 %18                             ; check.c:obj-invariant
+  %26 = gep %25, +8                           ; check.c:obj-invariant
+  %27 = load8 %26                             ; check.c:obj-invariant
+  %28 = gep %27, +8                           ; check.c:obj-invariant
+  %29 = load8 %28                             ; check.c:obj-invariant
+  %30 = const 0                               ; check.c:obj-invariant
+  %31 = cmp.ugt %29, %30                      ; check.c:obj-invariant
+  %32 = const 72                              ; check.c:obj-invariant-assert
+  assert(%31, %32)                            ; check.c:obj-invariant-assert
+  %34 = gep %25, +16                          ; check.c:obj-invariant-assert
+  %35 = load8 %34                             ; check.c:obj-invariant-assert
+  store8 %18, %35                             ; check.c:obj-invariant-assert
+  br bb4                                      ; check.c:obj-invariant-assert
+bb6:
+  %38 = load8 %7                              ; check.c:obj-invariant-assert
+  %39 = const 1                               ; check.c:obj-invariant-assert
+  %40 = add %38, %39                          ; check.c:obj-invariant-assert
+  store8 %7, %40                              ; check.c:obj-invariant-assert
+  br bb1                                      ; check.c:obj-invariant-assert
+}
+
+fn command(%0) {
+bb0:
+  %0 = param 0                                ; server.c:init
+  %1 = call ldb_init()                        ; slowlog.c:command
+  %2 = const 64                               ; slowlog.c:command
+  %3 = pmroot(%2)                             ; slowlog.c:command
+  %4 = const 10                               ; slowlog.c:command
+  %5 = cmp.ugt %0, %4                         ; slowlog.c:command
+  condbr %5, bb1, bb2                         ; slowlog.c:command
+bb1:
+  %7 = const 128                              ; slowlog.c:command
+  %8 = pmalloc(%7)                            ; slowlog.c:command
+  %9 = const 0                                ; slowlog.c:command
+  %10 = cmp.eq %8, %9                         ; slowlog.c:command
+  condbr %10, bb3, bb4                        ; slowlog.c:command
+bb2:
+  ret                                         ; slowlog.c:trim-leak
+bb3:
+  %12 = const 78                              ; slowlog.c:oom
+  abort(%12)                                  ; slowlog.c:oom
+  br bb4                                      ; slowlog.c:oom
+bb4:
+  %15 = gep %3, +32                           ; slowlog.c:oom
+  %16 = load8 %15                             ; slowlog.c:oom
+  %17 = const 1                               ; slowlog.c:oom
+  %18 = add %16, %17                          ; slowlog.c:oom
+  store8 %15, %18                             ; slowlog.c:oom
+  %20 = const 8                               ; slowlog.c:oom
+  pmpersist(%15, %20)                         ; slowlog.c:oom
+  store8 %8, %16                              ; slowlog.c:oom
+  %23 = gep %8, +8                            ; slowlog.c:oom
+  store8 %23, %0                              ; slowlog.c:oom
+  %25 = gep %3, +16                           ; slowlog.c:oom
+  %26 = load8 %25                             ; slowlog.c:oom
+  %27 = gep %8, +16                           ; slowlog.c:oom
+  store8 %27, %26                             ; slowlog.c:oom
+  %29 = const 128                             ; slowlog.c:oom
+  pmpersist(%8, %29)                          ; slowlog.c:oom
+  store8 %25, %8                              ; slowlog.c:oom
+  %32 = const 8                               ; slowlog.c:oom
+  pmpersist(%25, %32)                         ; slowlog.c:oom
+  %34 = gep %3, +24                           ; slowlog.c:oom
+  %35 = load8 %34                             ; slowlog.c:oom
+  %36 = add %35, %17                          ; slowlog.c:oom
+  store8 %34, %36                             ; slowlog.c:oom
+  %38 = const 8                               ; slowlog.c:oom
+  pmpersist(%34, %38)                         ; slowlog.c:oom
+  %40 = const 8                               ; slowlog.c:oom
+  %41 = cmp.ugt %36, %40                      ; slowlog.c:oom
+  condbr %41, bb5, bb6                        ; slowlog.c:oom
+bb5:
+  %43 = const 64                              ; slowlog.c:oom
+  %44 = pmroot(%43)                           ; slowlog.c:oom
+  %45 = gep %44, +16                          ; slowlog.c:oom
+  %46 = load8 %45                             ; slowlog.c:oom
+  %47 = alloca 8                              ; slowlog.c:oom
+  store8 %47, %46                             ; slowlog.c:oom
+  br bb7                                      ; slowlog.c:oom
+bb6:
+  br bb2                                      ; slowlog.c:trim-leak
+bb7:
+  %50 = load8 %47                             ; slowlog.c:oom
+  %51 = gep %50, +16                          ; slowlog.c:oom
+  %52 = load8 %51                             ; slowlog.c:oom
+  %53 = const 0                               ; slowlog.c:oom
+  %54 = cmp.ne %52, %53                       ; slowlog.c:oom
+  %55 = gep %52, +16                          ; slowlog.c:oom
+  %56 = gep %50, +16                          ; slowlog.c:oom
+  %57 = select %54, %55, %56                  ; slowlog.c:oom
+  %58 = load8 %57                             ; slowlog.c:oom
+  %59 = const 0                               ; slowlog.c:oom
+  %60 = cmp.eq %58, %59                       ; slowlog.c:oom
+  %61 = cmp.eq %60, %59                       ; slowlog.c:oom
+  %62 = and %54, %61                          ; slowlog.c:oom
+  condbr %62, bb8, bb9                        ; slowlog.c:oom
+bb8:
+  %64 = load8 %47                             ; slowlog.c:oom
+  %65 = gep %64, +16                          ; slowlog.c:oom
+  %66 = load8 %65                             ; slowlog.c:oom
+  store8 %47, %66                             ; slowlog.c:oom
+  br bb7                                      ; slowlog.c:oom
+bb9:
+  %69 = load8 %47                             ; slowlog.c:oom
+  %70 = gep %69, +16                          ; slowlog.c:oom
+  %71 = load8 %70                             ; slowlog.c:oom
+  %72 = const 0                               ; slowlog.c:oom
+  %73 = cmp.ne %71, %72                       ; slowlog.c:oom
+  condbr %73, bb10, bb11                      ; slowlog.c:oom
+bb10:
+  %75 = load8 %47                             ; slowlog.c:trim-leak
+  %76 = gep %75, +16                          ; slowlog.c:trim-leak
+  %77 = const 0                               ; slowlog.c:trim-leak
+  store8 %76, %77                             ; slowlog.c:trim-leak
+  %79 = const 8                               ; slowlog.c:trim-leak
+  pmpersist(%76, %79)                         ; slowlog.c:trim-leak
+  %81 = const 64                              ; slowlog.c:trim-leak
+  %82 = pmroot(%81)                           ; slowlog.c:trim-leak
+  %83 = gep %82, +24                          ; slowlog.c:trim-leak
+  %84 = load8 %83                             ; slowlog.c:trim-leak
+  %85 = const 1                               ; slowlog.c:trim-leak
+  %86 = sub %84, %85                          ; slowlog.c:trim-leak
+  store8 %83, %86                             ; slowlog.c:trim-leak
+  %88 = const 8                               ; slowlog.c:trim-leak
+  pmpersist(%83, %88)                         ; slowlog.c:trim-leak
+  br bb11                                     ; slowlog.c:trim-leak
+bb11:
+  br bb6                                      ; slowlog.c:trim-leak
+}
+
+fn slowlog_count() -> u64 {
+bb0:
+  %0 = call ldb_init()                        ; server.c:init
+  %1 = const 64                               ; server.c:init
+  %2 = pmroot(%1)                             ; server.c:init
+  %3 = gep %2, +24                            ; server.c:init
+  %4 = load8 %3                               ; server.c:init
+  ret %4                                      ; server.c:init
+}
+
+fn check_lists(%0, %1) {
+bb0:
+  %0 = param 0                                ; server.c:init
+  %1 = param 1                                ; server.c:init
+  %2 = alloca 8                               ; check.c:lists
+  store8 %2, %0                               ; check.c:lists
+  br bb1                                      ; check.c:lists
+bb1:
+  %5 = load8 %2                               ; check.c:lists
+  %6 = cmp.ult %5, %1                         ; check.c:lists
+  condbr %6, bb2, bb3                         ; check.c:lists
+bb2:
+  %8 = load8 %2                               ; check.c:lists
+  %9 = call llast(%8)                         ; check.c:lists
+  %10 = const 0xffffffffffffffff              ; check.c:lists
+  %11 = cmp.ne %9, %10                        ; check.c:lists
+  %12 = const 73                              ; check.c:lists-assert
+  assert(%11, %12)                            ; check.c:lists-assert
+  %14 = load8 %2                              ; check.c:lists-assert
+  %15 = const 1                               ; check.c:lists-assert
+  %16 = add %14, %15                          ; check.c:lists-assert
+  store8 %2, %16                              ; check.c:lists-assert
+  br bb1                                      ; check.c:lists-assert
+bb3:
+  ret                                         ; check.c:lists-assert
+}
+

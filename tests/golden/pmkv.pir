@@ -1,0 +1,376 @@
+global fq_head [8 bytes]
+global worker_stop [8 bytes]
+
+fn pmkv_init() {
+bb0:
+  %0 = const 32                               ; pmemkv.c:init
+  %1 = pmroot(%0)                             ; pmemkv.c:init
+  %2 = gep %1, +0                             ; pmemkv.c:init
+  %3 = load8 %2                               ; pmemkv.c:init
+  %4 = const 0                                ; pmemkv.c:init
+  %5 = cmp.eq %3, %4                          ; pmemkv.c:init
+  condbr %5, bb1, bb2                         ; pmemkv.c:init
+bb1:
+  %7 = const 512                              ; pmemkv.c:init
+  %8 = pmalloc(%7)                            ; pmemkv.c:init
+  %9 = const 0                                ; pmemkv.c:init
+  %10 = cmp.eq %8, %9                         ; pmemkv.c:init
+  condbr %10, bb3, bb4                        ; pmemkv.c:init
+bb2:
+  ret                                         ; pmemkv.c:init
+bb3:
+  %12 = const 81                              ; pmemkv.c:init
+  abort(%12)                                  ; pmemkv.c:init
+  br bb4                                      ; pmemkv.c:init
+bb4:
+  %15 = gep %1, +0                            ; pmemkv.c:init
+  store8 %15, %8                              ; pmemkv.c:init
+  %17 = gep %1, +8                            ; pmemkv.c:init
+  %18 = const 0                               ; pmemkv.c:init
+  store8 %17, %18                             ; pmemkv.c:init
+  %20 = const 32                              ; pmemkv.c:init
+  pmpersist(%1, %20)                          ; pmemkv.c:init
+  br bb2                                      ; pmemkv.c:init
+}
+
+fn pmkv_recover() {
+bb0:
+  recoverbegin()                              ; pmemkv.c:recover
+  %1 = call pmkv_init()                       ; pmemkv.c:recover
+  %2 = const 32                               ; pmemkv.c:recover
+  %3 = pmroot(%2)                             ; pmemkv.c:recover
+  %4 = gep %3, +0                             ; pmemkv.c:recover
+  %5 = load8 %4                               ; pmemkv.c:recover
+  %6 = const 0                                ; pmemkv.c:recover
+  %7 = const 64                               ; pmemkv.c:recover
+  %8 = alloca 8                               ; pmemkv.c:recover
+  store8 %8, %6                               ; pmemkv.c:recover
+  br bb1                                      ; pmemkv.c:recover
+bb1:
+  %11 = load8 %8                              ; pmemkv.c:recover
+  %12 = cmp.ult %11, %7                       ; pmemkv.c:recover
+  condbr %12, bb2, bb3                        ; pmemkv.c:recover
+bb2:
+  %14 = load8 %8                              ; pmemkv.c:recover
+  %15 = const 8                               ; pmemkv.c:recover
+  %16 = mul %14, %15                          ; pmemkv.c:recover
+  %17 = gep %5, %16                           ; pmemkv.c:recover
+  %18 = load8 %17                             ; pmemkv.c:recover
+  %19 = alloca 8                              ; pmemkv.c:recover
+  store8 %19, %18                             ; pmemkv.c:recover
+  br bb4                                      ; pmemkv.c:recover
+bb3:
+  recoverend()                                ; pmemkv.c:recover
+  ret                                         ; pmemkv.c:recover
+bb4:
+  %22 = load8 %19                             ; pmemkv.c:recover
+  %23 = const 0                               ; pmemkv.c:recover
+  %24 = cmp.ne %22, %23                       ; pmemkv.c:recover
+  condbr %24, bb5, bb6                        ; pmemkv.c:recover
+bb5:
+  %26 = load8 %19                             ; pmemkv.c:recover
+  %27 = load8 %26                             ; pmemkv.c:recover
+  %28 = gep %26, +8                           ; pmemkv.c:recover
+  %29 = load8 %28                             ; pmemkv.c:recover
+  %30 = gep %26, +16                          ; pmemkv.c:recover
+  %31 = load8 %30                             ; pmemkv.c:recover
+  store8 %19, %31                             ; pmemkv.c:recover
+  br bb4                                      ; pmemkv.c:recover
+bb6:
+  %34 = load8 %8                              ; pmemkv.c:recover
+  %35 = const 1                               ; pmemkv.c:recover
+  %36 = add %34, %35                          ; pmemkv.c:recover
+  store8 %8, %36                              ; pmemkv.c:recover
+  br bb1                                      ; pmemkv.c:recover
+}
+
+fn free_worker(%0) {
+bb0:
+  %0 = param 0                                ; pmemkv.c:init
+  %1 = clock()                                ; pmemkv.c:worker
+  %2 = alloca 8                               ; pmemkv.c:worker
+  store8 %2, %1                               ; pmemkv.c:worker
+  br bb1                                      ; pmemkv.c:worker
+bb1:
+  %5 = globaladdr worker_stop                 ; pmemkv.c:worker
+  %6 = load8 %5                               ; pmemkv.c:worker
+  %7 = const 0                                ; pmemkv.c:worker
+  %8 = cmp.ne %6, %7                          ; pmemkv.c:worker
+  condbr %8, bb3, bb4                         ; pmemkv.c:worker
+bb2:
+  ret                                         ; pmemkv.c:lazy-free
+bb3:
+  ret                                         ; pmemkv.c:worker
+bb4:
+  %11 = clock()                               ; pmemkv.c:worker
+  %12 = load8 %2                              ; pmemkv.c:worker
+  %13 = cmp.ne %11, %12                       ; pmemkv.c:worker
+  condbr %13, bb5, bb6                        ; pmemkv.c:worker
+bb5:
+  %15 = clock()                               ; pmemkv.c:worker
+  store8 %2, %15                              ; pmemkv.c:worker
+  br bb8                                      ; pmemkv.c:worker
+bb6:
+  yield()                                     ; pmemkv.c:lazy-free
+  br bb7                                      ; pmemkv.c:lazy-free
+bb7:
+  br bb1                                      ; pmemkv.c:lazy-free
+bb8:
+  %18 = globaladdr fq_head                    ; pmemkv.c:worker
+  %19 = load8 %18                             ; pmemkv.c:worker
+  %20 = const 0                               ; pmemkv.c:worker
+  %21 = cmp.eq %19, %20                       ; pmemkv.c:worker
+  condbr %21, bb10, bb11                      ; pmemkv.c:worker
+bb9:
+  br bb7                                      ; pmemkv.c:lazy-free
+bb10:
+  br bb9                                      ; pmemkv.c:worker
+bb11:
+  %25 = gep %19, +24                          ; pmemkv.c:worker
+  %26 = load8 %25                             ; pmemkv.c:worker
+  %27 = globaladdr fq_head                    ; pmemkv.c:worker
+  store8 %27, %26                             ; pmemkv.c:worker
+  pmfree(%19)                                 ; pmemkv.c:lazy-free
+  yield()                                     ; pmemkv.c:lazy-free
+  br bb8                                      ; pmemkv.c:lazy-free
+bb12:
+  br bb11                                     ; pmemkv.c:worker
+}
+
+fn start_worker() {
+bb0:
+  %0 = funcaddr free_worker                   ; pmemkv.c:start-worker
+  %1 = const 0                                ; pmemkv.c:start-worker
+  %2 = spawn(%0, %1)                          ; pmemkv.c:start-worker
+  ret                                         ; pmemkv.c:start-worker
+}
+
+fn kv_put(%0, %1) -> u64 {
+bb0:
+  %0 = param 0                                ; pmemkv.c:init
+  %1 = param 1                                ; pmemkv.c:init
+  %2 = call pmkv_init()                       ; pmemkv.c:put
+  %3 = const 32                               ; pmemkv.c:put
+  %4 = pmroot(%3)                             ; pmemkv.c:put
+  %5 = gep %4, +0                             ; pmemkv.c:put
+  %6 = load8 %5                               ; pmemkv.c:put
+  %7 = const 64                               ; pmemkv.c:put
+  %8 = urem %0, %7                            ; pmemkv.c:put
+  %9 = const 8                                ; pmemkv.c:put
+  %10 = mul %8, %9                            ; pmemkv.c:put
+  %11 = gep %6, %10                           ; pmemkv.c:put
+  %12 = load8 %11                             ; pmemkv.c:put
+  %13 = alloca 8                              ; pmemkv.c:put
+  store8 %13, %12                             ; pmemkv.c:put
+  br bb1                                      ; pmemkv.c:put
+bb1:
+  %16 = load8 %13                             ; pmemkv.c:put
+  %17 = const 0                               ; pmemkv.c:put
+  %18 = cmp.ne %16, %17                       ; pmemkv.c:put
+  condbr %18, bb2, bb3                        ; pmemkv.c:put
+bb2:
+  %20 = load8 %13                             ; pmemkv.c:put
+  %21 = gep %20, +0                           ; pmemkv.c:put
+  %22 = load8 %21                             ; pmemkv.c:put
+  %23 = cmp.eq %22, %0                        ; pmemkv.c:put
+  condbr %23, bb4, bb5                        ; pmemkv.c:put
+bb3:
+  %36 = const 64                              ; pmemkv.c:put
+  %37 = pmalloc(%36)                          ; pmemkv.c:put
+  %38 = const 0                               ; pmemkv.c:put
+  %39 = cmp.eq %37, %38                       ; pmemkv.c:put
+  condbr %39, bb6, bb7                        ; pmemkv.c:put
+bb4:
+  %25 = load8 %13                             ; pmemkv.c:put
+  %26 = gep %25, +8                           ; pmemkv.c:put
+  store8 %26, %1                              ; pmemkv.c:put
+  %28 = const 8                               ; pmemkv.c:put
+  pmpersist(%26, %28)                         ; pmemkv.c:put
+  %30 = const 1                               ; pmemkv.c:put
+  ret %30                                     ; pmemkv.c:put
+bb5:
+  %32 = gep %20, +16                          ; pmemkv.c:put
+  %33 = load8 %32                             ; pmemkv.c:put
+  store8 %13, %33                             ; pmemkv.c:put
+  br bb1                                      ; pmemkv.c:put
+bb6:
+  %41 = const 81                              ; pmemkv.c:put-oom
+  abort(%41)                                  ; pmemkv.c:put-oom
+  br bb7                                      ; pmemkv.c:put-oom
+bb7:
+  store8 %37, %0                              ; pmemkv.c:put-oom
+  %45 = gep %37, +8                           ; pmemkv.c:put-oom
+  store8 %45, %1                              ; pmemkv.c:put-oom
+  %47 = load8 %11                             ; pmemkv.c:put-oom
+  %48 = gep %37, +16                          ; pmemkv.c:put-oom
+  store8 %48, %47                             ; pmemkv.c:put-oom
+  %50 = const 64                              ; pmemkv.c:put-oom
+  pmpersist(%37, %50)                         ; pmemkv.c:put-oom
+  store8 %11, %37                             ; pmemkv.c:put-bucket
+  %53 = const 8                               ; pmemkv.c:put-bucket
+  pmpersist(%11, %53)                         ; pmemkv.c:put-bucket
+  %55 = gep %4, +8                            ; pmemkv.c:put-bucket
+  %56 = load8 %55                             ; pmemkv.c:put-bucket
+  %57 = const 1                               ; pmemkv.c:put-bucket
+  %58 = add %56, %57                          ; pmemkv.c:put-bucket
+  store8 %55, %58                             ; pmemkv.c:put-bucket
+  %60 = const 8                               ; pmemkv.c:put-bucket
+  pmpersist(%55, %60)                         ; pmemkv.c:put-bucket
+  %62 = const 1                               ; pmemkv.c:put-bucket
+  ret %62                                     ; pmemkv.c:put-bucket
+}
+
+fn kv_get(%0) -> u64 {
+bb0:
+  %0 = param 0                                ; pmemkv.c:init
+  %1 = call pmkv_init()                       ; pmemkv.c:get
+  %2 = const 32                               ; pmemkv.c:get
+  %3 = pmroot(%2)                             ; pmemkv.c:get
+  %4 = gep %3, +0                             ; pmemkv.c:get
+  %5 = load8 %4                               ; pmemkv.c:get
+  %6 = const 64                               ; pmemkv.c:get
+  %7 = urem %0, %6                            ; pmemkv.c:get
+  %8 = const 8                                ; pmemkv.c:get
+  %9 = mul %7, %8                             ; pmemkv.c:get
+  %10 = gep %5, %9                            ; pmemkv.c:get
+  %11 = load8 %10                             ; pmemkv.c:get
+  %12 = alloca 8                              ; pmemkv.c:get
+  store8 %12, %11                             ; pmemkv.c:get
+  br bb1                                      ; pmemkv.c:get
+bb1:
+  %15 = load8 %12                             ; pmemkv.c:get
+  %16 = const 0                               ; pmemkv.c:get
+  %17 = cmp.ne %15, %16                       ; pmemkv.c:get
+  condbr %17, bb2, bb3                        ; pmemkv.c:get
+bb2:
+  %19 = load8 %12                             ; pmemkv.c:get
+  %20 = gep %19, +0                           ; pmemkv.c:get
+  %21 = load8 %20                             ; pmemkv.c:get
+  %22 = cmp.eq %21, %0                        ; pmemkv.c:get
+  condbr %22, bb4, bb5                        ; pmemkv.c:get
+bb3:
+  %32 = const 0xffffffffffffffff              ; pmemkv.c:get
+  ret %32                                     ; pmemkv.c:get
+bb4:
+  %24 = load8 %12                             ; pmemkv.c:get
+  %25 = gep %24, +8                           ; pmemkv.c:get
+  %26 = load8 %25                             ; pmemkv.c:get
+  ret %26                                     ; pmemkv.c:get
+bb5:
+  %28 = gep %19, +16                          ; pmemkv.c:get
+  %29 = load8 %28                             ; pmemkv.c:get
+  store8 %12, %29                             ; pmemkv.c:get
+  br bb1                                      ; pmemkv.c:get
+}
+
+fn kv_del(%0) -> u64 {
+bb0:
+  %0 = param 0                                ; pmemkv.c:init
+  %1 = call pmkv_init()                       ; pmemkv.c:del
+  %2 = const 32                               ; pmemkv.c:del
+  %3 = pmroot(%2)                             ; pmemkv.c:del
+  %4 = gep %3, +0                             ; pmemkv.c:del
+  %5 = load8 %4                               ; pmemkv.c:del
+  %6 = const 64                               ; pmemkv.c:del
+  %7 = urem %0, %6                            ; pmemkv.c:del
+  %8 = const 8                                ; pmemkv.c:del
+  %9 = mul %7, %8                             ; pmemkv.c:del
+  %10 = gep %5, %9                            ; pmemkv.c:del
+  %11 = load8 %10                             ; pmemkv.c:del
+  %12 = const 0                               ; pmemkv.c:del
+  %13 = cmp.eq %11, %12                       ; pmemkv.c:del
+  condbr %13, bb1, bb2                        ; pmemkv.c:del
+bb1:
+  %15 = const 0                               ; pmemkv.c:del
+  ret %15                                     ; pmemkv.c:del
+bb2:
+  %17 = const 0                               ; pmemkv.c:del
+  %18 = alloca 8                              ; pmemkv.c:del
+  store8 %18, %17                             ; pmemkv.c:del
+  %20 = gep %11, +0                           ; pmemkv.c:del
+  %21 = load8 %20                             ; pmemkv.c:del
+  %22 = cmp.eq %21, %0                        ; pmemkv.c:del
+  condbr %22, bb3, bb4                        ; pmemkv.c:del
+bb3:
+  %24 = gep %11, +16                          ; pmemkv.c:del
+  %25 = load8 %24                             ; pmemkv.c:del
+  store8 %10, %25                             ; pmemkv.c:del-head
+  %27 = const 8                               ; pmemkv.c:del-head
+  pmpersist(%10, %27)                         ; pmemkv.c:del-head
+  store8 %18, %11                             ; pmemkv.c:del-head
+  br bb5                                      ; pmemkv.c:del-head
+bb4:
+  %31 = alloca 8                              ; pmemkv.c:del-head
+  store8 %31, %11                             ; pmemkv.c:del-head
+  br bb6                                      ; pmemkv.c:del-head
+bb5:
+  %60 = load8 %18                             ; pmemkv.c:del-mid
+  %61 = cmp.ne %60, %12                       ; pmemkv.c:del-mid
+  condbr %61, bb12, bb13                      ; pmemkv.c:del-mid
+bb6:
+  %34 = load8 %31                             ; pmemkv.c:del-head
+  %35 = gep %34, +16                          ; pmemkv.c:del-head
+  %36 = load8 %35                             ; pmemkv.c:del-head
+  %37 = const 0                               ; pmemkv.c:del-head
+  %38 = cmp.ne %36, %37                       ; pmemkv.c:del-head
+  condbr %38, bb7, bb8                        ; pmemkv.c:del-head
+bb7:
+  %40 = load8 %31                             ; pmemkv.c:del-head
+  %41 = gep %40, +16                          ; pmemkv.c:del-head
+  %42 = load8 %41                             ; pmemkv.c:del-head
+  %43 = gep %42, +0                           ; pmemkv.c:del-head
+  %44 = load8 %43                             ; pmemkv.c:del-head
+  %45 = cmp.eq %44, %0                        ; pmemkv.c:del-head
+  condbr %45, bb9, bb10                       ; pmemkv.c:del-head
+bb8:
+  br bb5                                      ; pmemkv.c:del-mid
+bb9:
+  %47 = gep %42, +16                          ; pmemkv.c:del-head
+  %48 = load8 %47                             ; pmemkv.c:del-head
+  %49 = load8 %31                             ; pmemkv.c:del-head
+  %50 = gep %49, +16                          ; pmemkv.c:del-head
+  store8 %50, %48                             ; pmemkv.c:del-mid
+  %52 = const 8                               ; pmemkv.c:del-mid
+  pmpersist(%50, %52)                         ; pmemkv.c:del-mid
+  store8 %18, %42                             ; pmemkv.c:del-mid
+  br bb8                                      ; pmemkv.c:del-mid
+bb10:
+  store8 %31, %42                             ; pmemkv.c:del-mid
+  br bb6                                      ; pmemkv.c:del-mid
+bb11:
+  br bb10                                     ; pmemkv.c:del-mid
+bb12:
+  %63 = globaladdr fq_head                    ; pmemkv.c:queue-free
+  %64 = load8 %63                             ; pmemkv.c:queue-free
+  %65 = load8 %18                             ; pmemkv.c:queue-free
+  %66 = gep %65, +24                          ; pmemkv.c:queue-free
+  store8 %66, %64                             ; pmemkv.c:queue-free
+  %68 = const 8                               ; pmemkv.c:queue-free
+  pmpersist(%66, %68)                         ; pmemkv.c:queue-free
+  store8 %63, %65                             ; pmemkv.c:queue-free
+  %71 = const 32                              ; pmemkv.c:queue-free
+  %72 = pmroot(%71)                           ; pmemkv.c:queue-free
+  %73 = gep %72, +8                           ; pmemkv.c:queue-free
+  %74 = load8 %73                             ; pmemkv.c:queue-free
+  %75 = const 1                               ; pmemkv.c:queue-free
+  %76 = sub %74, %75                          ; pmemkv.c:queue-free
+  store8 %73, %76                             ; pmemkv.c:queue-free
+  %78 = const 8                               ; pmemkv.c:queue-free
+  pmpersist(%73, %78)                         ; pmemkv.c:queue-free
+  %80 = const 1                               ; pmemkv.c:queue-free
+  ret %80                                     ; pmemkv.c:queue-free
+bb13:
+  %82 = const 0                               ; pmemkv.c:queue-free
+  ret %82                                     ; pmemkv.c:queue-free
+}
+
+fn live_count() -> u64 {
+bb0:
+  %0 = call pmkv_init()                       ; pmemkv.c:init
+  %1 = const 32                               ; pmemkv.c:init
+  %2 = pmroot(%1)                             ; pmemkv.c:init
+  %3 = gep %2, +8                             ; pmemkv.c:init
+  %4 = load8 %3                               ; pmemkv.c:init
+  ret %4                                      ; pmemkv.c:init
+}
+

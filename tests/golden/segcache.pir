@@ -1,0 +1,274 @@
+fn sc_init() {
+bb0:
+  %0 = const 64                               ; segcache.c:init
+  %1 = pmroot(%0)                             ; segcache.c:init
+  %2 = gep %1, +0                             ; segcache.c:init
+  %3 = load8 %2                               ; segcache.c:init
+  %4 = gep %1, +8                             ; segcache.c:init
+  %5 = load8 %4                               ; segcache.c:init
+  %6 = const 0                                ; segcache.c:init
+  %7 = or %3, %5                              ; segcache.c:init
+  %8 = cmp.eq %7, %6                          ; segcache.c:init
+  condbr %8, bb1, bb2                         ; segcache.c:init
+bb1:
+  %10 = gep %1, +0                            ; segcache.c:init
+  %11 = const 0                               ; segcache.c:init
+  store8 %10, %11                             ; segcache.c:init
+  %13 = gep %1, +8                            ; segcache.c:init
+  %14 = const 0                               ; segcache.c:init
+  store8 %13, %14                             ; segcache.c:init
+  %16 = gep %1, +16                           ; segcache.c:init
+  %17 = const 0                               ; segcache.c:init
+  store8 %16, %17                             ; segcache.c:init
+  %19 = gep %1, +24                           ; segcache.c:init
+  %20 = const 0                               ; segcache.c:init
+  store8 %19, %20                             ; segcache.c:init
+  %22 = const 64                              ; segcache.c:init
+  pmpersist(%1, %22)                          ; segcache.c:init
+  br bb2                                      ; segcache.c:init
+bb2:
+  ret                                         ; segcache.c:init
+}
+
+fn sc_recover() {
+bb0:
+  recoverbegin()                              ; segcache.c:recover
+  %1 = call sc_init()                         ; segcache.c:recover
+  %2 = const 64                               ; segcache.c:recover
+  %3 = pmroot(%2)                             ; segcache.c:recover
+  %4 = gep %3, +0                             ; segcache.c:recover
+  %5 = load8 %4                               ; segcache.c:recover
+  %6 = alloca 8                               ; segcache.c:recover
+  store8 %6, %5                               ; segcache.c:recover
+  %8 = const 0                                ; segcache.c:recover
+  %9 = alloca 8                               ; segcache.c:recover
+  store8 %9, %8                               ; segcache.c:recover
+  br bb1                                      ; segcache.c:recover
+bb1:
+  %12 = load8 %6                              ; segcache.c:recover
+  %13 = const 0                               ; segcache.c:recover
+  %14 = cmp.ne %12, %13                       ; segcache.c:recover
+  %15 = load8 %9                              ; segcache.c:recover
+  %16 = const 0x186a0                         ; segcache.c:recover
+  %17 = cmp.ult %15, %16                      ; segcache.c:recover
+  %18 = and %14, %17                          ; segcache.c:recover
+  condbr %18, bb2, bb3                        ; segcache.c:recover
+bb2:
+  %20 = load8 %6                              ; segcache.c:recover
+  %21 = load8 %20                             ; segcache.c:recover
+  %22 = gep %20, +416                         ; segcache.c:recover
+  %23 = load8 %22                             ; segcache.c:recover
+  store8 %6, %23                              ; segcache.c:recover
+  %25 = load8 %9                              ; segcache.c:recover
+  %26 = const 1                               ; segcache.c:recover
+  %27 = add %25, %26                          ; segcache.c:recover
+  store8 %9, %27                              ; segcache.c:recover
+  br bb1                                      ; segcache.c:recover
+bb3:
+  %30 = gep %3, +24                           ; segcache.c:recover
+  %31 = load8 %30                             ; segcache.c:recover
+  %32 = const 0                               ; segcache.c:recover
+  %33 = cmp.ne %31, %32                       ; segcache.c:recover
+  condbr %33, bb4, bb5                        ; segcache.c:recover
+bb4:
+  %35 = load8 %31                             ; segcache.c:recover
+  br bb5                                      ; segcache.c:recover
+bb5:
+  recoverend()                                ; segcache.c:recover
+  ret                                         ; segcache.c:recover
+}
+
+fn set(%0, %1, %2) -> u64 {
+bb0:
+  %0 = param 0                                ; segcache.c:init
+  %1 = param 1                                ; segcache.c:init
+  %2 = param 2                                ; segcache.c:init
+  %3 = call sc_init()                         ; segcache.c:set
+  %4 = const 512                              ; segcache.c:set
+  %5 = pmalloc(%4)                            ; segcache.c:set
+  %6 = const 0                                ; segcache.c:set
+  %7 = cmp.eq %5, %6                          ; segcache.c:set
+  condbr %7, bb1, bb2                         ; segcache.c:set
+bb1:
+  %9 = const 80                               ; segcache.c:set
+  abort(%9)                                   ; segcache.c:set
+  br bb2                                      ; segcache.c:set
+bb2:
+  %12 = gep %5, +0                            ; segcache.c:set
+  store8 %12, %0                              ; segcache.c:set
+  %14 = const 64                              ; segcache.c:set
+  %15 = pmroot(%14)                           ; segcache.c:set
+  %16 = gep %15, +0                           ; segcache.c:set
+  %17 = load8 %16                             ; segcache.c:set
+  %18 = gep %5, +416                          ; segcache.c:set
+  store8 %18, %17                             ; segcache.c:link
+  %20 = gep %5, +8                            ; segcache.c:vlen-store
+  store1 %20, %1                              ; segcache.c:vlen-store
+  %22 = load1 %20                             ; segcache.c:vlen-store
+  %23 = const 400                             ; segcache.c:vlen-store
+  %24 = cmp.ule %22, %23                      ; segcache.c:vlen-store
+  condbr %24, bb3, bb4                        ; segcache.c:vlen-store
+bb3:
+  %26 = gep %5, +16                           ; segcache.c:vlen-store
+  memset(%26, %2, %1)                         ; segcache.c:value-write
+  br bb4                                      ; segcache.c:value-write
+bb4:
+  %29 = const 512                             ; segcache.c:value-write
+  pmpersist(%5, %29)                          ; segcache.c:value-write
+  store8 %16, %5                              ; segcache.c:value-write
+  %32 = const 8                               ; segcache.c:value-write
+  pmpersist(%16, %32)                         ; segcache.c:value-write
+  %34 = gep %15, +8                           ; segcache.c:value-write
+  %35 = load8 %34                             ; segcache.c:value-write
+  %36 = const 1                               ; segcache.c:value-write
+  %37 = add %35, %36                          ; segcache.c:value-write
+  store8 %34, %37                             ; segcache.c:value-write
+  %39 = const 8                               ; segcache.c:value-write
+  pmpersist(%34, %39)                         ; segcache.c:value-write
+  %41 = const 1                               ; segcache.c:value-write
+  ret %41                                     ; segcache.c:value-write
+}
+
+fn get(%0) -> u64 {
+bb0:
+  %0 = param 0                                ; segcache.c:init
+  %1 = call sc_init()                         ; segcache.c:get
+  %2 = const 64                               ; segcache.c:get
+  %3 = pmroot(%2)                             ; segcache.c:get
+  %4 = gep %3, +0                             ; segcache.c:get
+  %5 = load8 %4                               ; segcache.c:get
+  %6 = alloca 8                               ; segcache.c:get
+  store8 %6, %5                               ; segcache.c:get
+  br bb1                                      ; segcache.c:get
+bb1:
+  %9 = load8 %6                               ; segcache.c:get
+  %10 = const 0                               ; segcache.c:get
+  %11 = cmp.ne %9, %10                        ; segcache.c:get
+  condbr %11, bb2, bb3                        ; segcache.c:get
+bb2:
+  %13 = load8 %6                              ; segcache.c:get
+  %14 = gep %13, +0                           ; segcache.c:scan-key
+  %15 = load8 %14                             ; segcache.c:scan-key
+  %16 = cmp.eq %15, %0                        ; segcache.c:scan-key
+  condbr %16, bb4, bb5                        ; segcache.c:scan-key
+bb3:
+  %26 = const 0xffffffffffffffff              ; segcache.c:scan-key
+  ret %26                                     ; segcache.c:scan-key
+bb4:
+  %18 = load8 %6                              ; segcache.c:scan-key
+  %19 = gep %18, +16                          ; segcache.c:scan-key
+  %20 = load8 %19                             ; segcache.c:scan-key
+  ret %20                                     ; segcache.c:scan-key
+bb5:
+  %22 = gep %13, +416                         ; segcache.c:scan-key
+  %23 = load8 %22                             ; segcache.c:scan-key
+  store8 %6, %23                              ; segcache.c:scan-key
+  br bb1                                      ; segcache.c:scan-key
+}
+
+fn enable_metrics() {
+bb0:
+  %0 = call sc_init()                         ; stats.c:enable
+  %1 = const 64                               ; stats.c:enable
+  %2 = pmroot(%1)                             ; stats.c:enable
+  %3 = gep %2, +16                            ; stats.c:enable
+  %4 = const 1                                ; stats.c:enable
+  store8 %3, %4                               ; stats.c:flag-store
+  %6 = const 8                                ; stats.c:flag-store
+  pmpersist(%3, %6)                           ; stats.c:flag-store
+  %8 = const 128                              ; stats.c:flag-store
+  %9 = pmalloc(%8)                            ; stats.c:flag-store
+  %10 = const 0                               ; stats.c:flag-store
+  %11 = cmp.eq %9, %10                        ; stats.c:flag-store
+  condbr %11, bb1, bb2                        ; stats.c:flag-store
+bb1:
+  %13 = const 80                              ; stats.c:flag-store
+  abort(%13)                                  ; stats.c:flag-store
+  br bb2                                      ; stats.c:flag-store
+bb2:
+  %16 = const 128                             ; stats.c:flag-store
+  pmpersist(%9, %16)                          ; stats.c:flag-store
+  %18 = gep %2, +24                           ; stats.c:flag-store
+  store8 %18, %9                              ; stats.c:ptr-store
+  %20 = const 8                               ; stats.c:ptr-store
+  pmpersist(%18, %20)                         ; stats.c:ptr-store
+  ret                                         ; stats.c:ptr-store
+}
+
+fn stats() -> u64 {
+bb0:
+  %0 = call sc_init()                         ; stats.c:report
+  %1 = const 64                               ; stats.c:report
+  %2 = pmroot(%1)                             ; stats.c:report
+  %3 = gep %2, +16                            ; stats.c:report
+  %4 = load8 %3                               ; stats.c:report
+  %5 = const 0                                ; stats.c:report
+  %6 = cmp.ne %4, %5                          ; stats.c:report
+  condbr %6, bb1, bb2                         ; stats.c:report
+bb1:
+  %8 = gep %2, +24                            ; stats.c:report
+  %9 = load8 %8                               ; stats.c:report
+  %10 = load8 %9                              ; stats.c:deref
+  ret %10                                     ; stats.c:deref
+bb2:
+  %12 = const 0                               ; stats.c:deref
+  ret %12                                     ; stats.c:deref
+}
+
+fn bump_stat(%0) {
+bb0:
+  %0 = param 0                                ; segcache.c:init
+  %1 = call sc_init()                         ; stats.c:bump
+  %2 = const 64                               ; stats.c:bump
+  %3 = pmroot(%2)                             ; stats.c:bump
+  %4 = gep %3, +16                            ; stats.c:bump
+  %5 = load8 %4                               ; stats.c:bump
+  %6 = const 0                                ; stats.c:bump
+  %7 = cmp.ne %5, %6                          ; stats.c:bump
+  condbr %7, bb1, bb2                         ; stats.c:bump
+bb1:
+  %9 = gep %3, +24                            ; stats.c:bump
+  %10 = load8 %9                              ; stats.c:bump
+  %11 = const 8                               ; stats.c:bump
+  %12 = const 15                              ; stats.c:bump
+  %13 = and %0, %12                           ; stats.c:bump
+  %14 = mul %13, %11                          ; stats.c:bump
+  %15 = gep %10, %14                          ; stats.c:bump
+  %16 = load8 %15                             ; stats.c:bump
+  %17 = const 1                               ; stats.c:bump
+  %18 = add %16, %17                          ; stats.c:bump
+  store8 %15, %18                             ; stats.c:bump
+  %20 = const 8                               ; stats.c:bump
+  pmpersist(%15, %20)                         ; stats.c:bump
+  br bb2                                      ; stats.c:bump
+bb2:
+  ret                                         ; stats.c:bump
+}
+
+fn check_keys(%0, %1) {
+bb0:
+  %0 = param 0                                ; segcache.c:init
+  %1 = param 1                                ; segcache.c:init
+  %2 = alloca 8                               ; check.c:sc-keys
+  store8 %2, %0                               ; check.c:sc-keys
+  br bb1                                      ; check.c:sc-keys
+bb1:
+  %5 = load8 %2                               ; check.c:sc-keys
+  %6 = cmp.ult %5, %1                         ; check.c:sc-keys
+  condbr %6, bb2, bb3                         ; check.c:sc-keys
+bb2:
+  %8 = load8 %2                               ; check.c:sc-keys
+  %9 = call get(%8)                           ; check.c:sc-keys
+  %10 = const 0xffffffffffffffff              ; check.c:sc-keys
+  %11 = cmp.ne %9, %10                        ; check.c:sc-keys
+  %12 = const 93                              ; check.c:sc-assert
+  assert(%11, %12)                            ; check.c:sc-assert
+  %14 = load8 %2                              ; check.c:sc-assert
+  %15 = const 1                               ; check.c:sc-assert
+  %16 = add %14, %15                          ; check.c:sc-assert
+  store8 %2, %16                              ; check.c:sc-assert
+  br bb1                                      ; check.c:sc-assert
+bb3:
+  ret                                         ; check.c:sc-assert
+}
+

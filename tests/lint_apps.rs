@@ -1,0 +1,61 @@
+//! The five pm-apps must lint clean: no unsuppressed findings at all, and
+//! every `pm_apps::lint_allow` entry must actually match something (no
+//! stale suppressions).
+
+use pir_lint::{lint, Check, LintOptions, Suppression};
+
+const APPS: [&str; 5] = ["kvcache", "listdb", "cceh", "segcache", "pmkv"];
+
+fn build(name: &str) -> pir::ir::Module {
+    match name {
+        "kvcache" => pm_apps::kvcache::build(),
+        "listdb" => pm_apps::listdb::build(),
+        "cceh" => pm_apps::cceh::build(),
+        "segcache" => pm_apps::segcache::build(),
+        "pmkv" => pm_apps::pmkv::build(),
+        _ => unreachable!(),
+    }
+}
+
+#[test]
+fn all_apps_lint_clean_under_documented_allowances() {
+    for app in APPS {
+        let module = build(app);
+        let opts = LintOptions {
+            suppressions: pm_apps::lint_allow(app)
+                .iter()
+                .map(|(c, l, r)| Suppression::new(Check::parse(c), l, r))
+                .collect(),
+            ..Default::default()
+        };
+        let report = lint(&module, &opts);
+        let active: Vec<_> = report.active().collect();
+        assert!(
+            active.is_empty(),
+            "{app} has unsuppressed lint findings:\n{}",
+            report.render_text()
+        );
+        for s in pm_apps::lint_allow(app) {
+            assert!(
+                report
+                    .diagnostics
+                    .iter()
+                    .any(|d| d.suppressed.is_some() && d.loc.contains(s.1)),
+                "{app}: allowance {s:?} matched no finding (stale entry?)"
+            );
+        }
+    }
+}
+
+#[test]
+fn allowance_check_ids_are_valid() {
+    for app in APPS {
+        for (c, _, reason) in pm_apps::lint_allow(app) {
+            assert!(
+                Check::parse(c).is_some(),
+                "{app}: bad check id {c:?} in lint_allow"
+            );
+            assert!(!reason.is_empty(), "{app}: empty allowance reason");
+        }
+    }
+}

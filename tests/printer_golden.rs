@@ -1,0 +1,81 @@
+//! Printer golden test: the disassembly of every pm-app is pinned to a
+//! checked-in golden file, so accidental IR or printer changes show up as
+//! a reviewable diff. Regenerate with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test printer_golden
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+
+fn golden_path(app: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{app}.pir"))
+}
+
+fn check(app: &str, module: &pir::ir::Module) {
+    let got = pir::printer::format_module(module);
+    let path = golden_path(app);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(&path, &got).unwrap();
+        return;
+    }
+    let want = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run UPDATE_GOLDEN=1 cargo test --test printer_golden",
+            path.display()
+        )
+    });
+    if got != want {
+        // Point at the first diverging line rather than dumping both
+        // multi-thousand-line modules.
+        let line = got
+            .lines()
+            .zip(want.lines())
+            .position(|(g, w)| g != w)
+            .map(|i| i + 1)
+            .unwrap_or_else(|| got.lines().count().min(want.lines().count()) + 1);
+        panic!(
+            "{app} disassembly differs from {} at line {line}\n  got:  {:?}\n  want: {:?}\n\
+             (UPDATE_GOLDEN=1 to accept)",
+            path.display(),
+            got.lines().nth(line - 1).unwrap_or(""),
+            want.lines().nth(line - 1).unwrap_or(""),
+        );
+    }
+}
+
+#[test]
+fn kvcache_prints_stably() {
+    check("kvcache", &pm_apps::kvcache::build());
+}
+
+#[test]
+fn listdb_prints_stably() {
+    check("listdb", &pm_apps::listdb::build());
+}
+
+#[test]
+fn cceh_prints_stably() {
+    check("cceh", &pm_apps::cceh::build());
+}
+
+#[test]
+fn segcache_prints_stably() {
+    check("segcache", &pm_apps::segcache::build());
+}
+
+#[test]
+fn pmkv_prints_stably() {
+    check("pmkv", &pm_apps::pmkv::build());
+}
+
+#[test]
+fn printing_twice_is_deterministic() {
+    let a = pir::printer::format_module(&pm_apps::cceh::build());
+    let b = pir::printer::format_module(&pm_apps::cceh::build());
+    assert_eq!(a, b);
+}
