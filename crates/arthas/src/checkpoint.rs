@@ -13,11 +13,25 @@
 //! restarts of the target exactly like a separate pool would.
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::Arc;
 
 use pmemsim::PmSink;
 
 /// Maximum number of retained versions per address (the paper's default).
 pub const MAX_VERSIONS: usize = 3;
+
+/// Locks a shared checkpoint log, recovering from a poisoned mutex.
+///
+/// A panic on another thread while the lock is held — e.g. a speculative
+/// re-execution fork dying mid-attempt — poisons the mutex. Mitigation is
+/// precisely the code that must keep running after such a panic (recovery
+/// is the whole point), and every log mutation is applied through `&mut
+/// self` methods that complete before the guard drops, so the data behind
+/// a poisoned lock is still coherent. Use this instead of
+/// `log.lock().unwrap()` anywhere the log is shared across threads.
+pub fn lock_log(log: &std::sync::Mutex<CheckpointLog>) -> std::sync::MutexGuard<'_, CheckpointLog> {
+    log.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
 
 /// One retained version of an address's data.
 #[derive(Debug, Clone)]
@@ -40,6 +54,21 @@ pub struct Entry {
     /// freed and reallocated (the paper's `old_entry` chaining). Resolve
     /// with [`CheckpointLog::retired_entry`].
     pub old_entry: Option<usize>,
+}
+
+/// Lifetime counters of a [`CheckpointLog`] (the paper's Table 4 "log
+/// overhead" measurements are derived from these).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LogStats {
+    /// Checkpointed PM updates (same lifetime count as
+    /// [`CheckpointLog::total_updates`]).
+    pub updates: u64,
+    /// Payload bytes appended to the log.
+    pub bytes_logged: u64,
+    /// Versions dropped because an address exceeded [`MAX_VERSIONS`].
+    pub versions_rotated: u64,
+    /// Entries parked in the retired arena by realloc chaining.
+    pub entries_retired: u64,
 }
 
 /// Allocation record for the leak-mitigation pass (§4.7).
@@ -86,6 +115,8 @@ pub struct CheckpointLog {
     total_updates: u64,
     /// Largest data size ever recorded; bounds the `covering` scan.
     max_len: u64,
+    stats: LogStats,
+    recorder: Option<Arc<dyn obs::Recorder>>,
 }
 
 impl CheckpointLog {
@@ -100,6 +131,27 @@ impl CheckpointLog {
     /// Enables or disables recording.
     pub fn set_enabled(&mut self, enabled: bool) {
         self.enabled = enabled;
+    }
+
+    /// Attaches a recorder; the log bumps `log.*` counters as it records.
+    pub fn set_recorder(&mut self, recorder: Arc<dyn obs::Recorder>) {
+        self.recorder = Some(recorder);
+    }
+
+    fn rec_add(&self, counter: &'static str, delta: u64) {
+        if let Some(r) = &self.recorder {
+            r.add(counter, delta);
+        }
+    }
+
+    /// Lifetime counters of this log.
+    pub fn stats(&self) -> LogStats {
+        self.stats
+    }
+
+    /// Iterates every live entry as `(address, entry)`, ascending.
+    pub fn iter_entries(&self) -> impl Iterator<Item = (u64, &Entry)> {
+        self.entries.iter().map(|(&a, e)| (a, e))
     }
 
     /// Next sequence number (the atomic counter of the paper).
@@ -159,6 +211,10 @@ impl CheckpointLog {
         }
         let seq = self.next_seq();
         self.total_updates += 1;
+        self.stats.updates += 1;
+        self.stats.bytes_logged += data.len() as u64;
+        self.rec_add("log.updates", 1);
+        self.rec_add("log.bytes_logged", data.len() as u64);
         self.max_len = self.max_len.max(data.len() as u64);
         self.seq_to_addr.insert(seq, addr);
         if let Some(tx) = tx_id {
@@ -170,9 +226,15 @@ impl CheckpointLog {
             data: data.to_vec(),
             tx_id,
         });
+        let mut rotated = 0u64;
         while entry.versions.len() > MAX_VERSIONS {
             let dropped = entry.versions.pop_front().expect("non-empty");
             self.seq_to_addr.remove(&dropped.seq);
+            rotated += 1;
+        }
+        if rotated > 0 {
+            self.stats.versions_rotated += rotated;
+            self.rec_add("log.versions_rotated", rotated);
         }
     }
 
@@ -282,8 +344,12 @@ impl CheckpointLog {
         let mut buf = newest.data.clone();
         let len = buf.len() as u64;
         // Overlay newer overlapping entries. Entries start at persist
-        // range starts; scan a bounded window below and all within range.
-        let lo = addr.saturating_sub(1 << 16);
+        // range starts; an overlapping entry below `addr` starts within
+        // `max_len - 1` bytes of it — the same exact bound `covering`
+        // uses. (A fixed 64 KiB window here used to miss newer entries
+        // larger than 64 KiB that start below the window.)
+        let lo = addr.saturating_sub(self.max_len.saturating_sub(1));
+        let mut overlays: Vec<(u64, u64, &Vec<u8>)> = Vec::new();
         for (&a2, e2) in self.entries.range(lo..addr + len) {
             if a2 == addr {
                 continue;
@@ -294,7 +360,14 @@ impl CheckpointLog {
             if v2.seq <= my_seq {
                 continue;
             }
-            let l2 = v2.data.len() as u64;
+            overlays.push((v2.seq, a2, &v2.data));
+        }
+        // Apply in seq order so where overlays themselves overlap, the
+        // newest write wins — address-order application would make the
+        // result depend on entry layout instead of update time.
+        overlays.sort_unstable_by_key(|&(seq, _, _)| seq);
+        for (_, a2, data) in overlays {
+            let l2 = data.len() as u64;
             // Overlap of [a2, a2+l2) with [addr, addr+len).
             let start = a2.max(addr);
             let end = (a2 + l2).min(addr + len);
@@ -304,7 +377,7 @@ impl CheckpointLog {
             let dst = (start - addr) as usize;
             let src = (start - a2) as usize;
             let n = (end - start) as usize;
-            buf[dst..dst + n].copy_from_slice(&v2.data[src..src + n]);
+            buf[dst..dst + n].copy_from_slice(&data[src..src + n]);
         }
         Some(buf)
     }
@@ -391,6 +464,8 @@ impl PmSink for CheckpointLog {
                     }
                     let idx = self.retired.len();
                     self.retired.push(old);
+                    self.stats.entries_retired += 1;
+                    self.rec_add("log.entries_retired", 1);
                     self.entries.insert(
                         offset,
                         Entry {
@@ -554,6 +629,36 @@ mod tests {
         let hits = log.covering(5000);
         assert!(hits.iter().any(|&(a, _)| a == 0), "large entry missed");
         assert!(hits.iter().any(|&(a, _)| a == 5000));
+    }
+
+    #[test]
+    fn expected_current_sees_overlay_larger_than_64k() {
+        let mut log = CheckpointLog::new();
+        // Older small entry, then a newer >64 KiB entry starting more than
+        // 64 KiB below it that overlaps it. The old fixed 1<<16 window
+        // missed the overlay entirely.
+        let addr = 200_000u64;
+        log.on_persist(addr, &[1u8; 8]); // seq 1
+        let big_start = addr - 100_000;
+        log.on_persist(big_start, &vec![9u8; 100_008]); // seq 2, covers addr..addr+8
+        assert_eq!(log.expected_current(addr).unwrap(), vec![9u8; 8]);
+    }
+
+    #[test]
+    fn log_stats_track_updates_rotations_and_retirements() {
+        let mut log = CheckpointLog::new();
+        for i in 1..=5u64 {
+            log.on_persist(100, &i.to_le_bytes()); // 2 rotations past MAX_VERSIONS
+        }
+        log.on_alloc(100, 8);
+        log.on_free(100);
+        log.on_alloc(100, 8); // realloc retires the old incarnation
+        let s = log.stats();
+        assert_eq!(s.updates, 5);
+        assert_eq!(s.bytes_logged, 40);
+        assert_eq!(s.versions_rotated, 2);
+        assert_eq!(s.entries_retired, 1);
+        assert_eq!(log.iter_entries().count(), 1);
     }
 
     #[test]

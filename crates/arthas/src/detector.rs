@@ -7,6 +7,8 @@
 //! the reactor. The heuristic may misfire; the reactor prunes false alarms
 //! when its reversion plan turns out empty (§4.5).
 
+use std::sync::Arc;
+
 use pir::ir::InstRef;
 use pir::vm::VmError;
 
@@ -23,6 +25,19 @@ pub enum FailureKind {
     Leak,
     /// A user-defined check failed (wrong result / data loss).
     WrongResult,
+}
+
+impl FailureKind {
+    /// Stable lowercase name, used in reports.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            FailureKind::Crash => "crash",
+            FailureKind::Hang => "hang",
+            FailureKind::Panic => "panic",
+            FailureKind::Leak => "leak",
+            FailureKind::WrongResult => "wrong_result",
+        }
+    }
 }
 
 /// One observed failure.
@@ -129,6 +144,8 @@ pub enum Verdict {
 #[derive(Default)]
 pub struct Detector {
     history: Vec<FailureRecord>,
+    verdicts: Vec<Verdict>,
+    recorder: Option<Arc<dyn obs::Recorder>>,
 }
 
 impl Detector {
@@ -137,15 +154,40 @@ impl Detector {
         Self::default()
     }
 
+    /// Attaches a recorder; each observation emits a `detector.observe`
+    /// event.
+    pub fn set_recorder(&mut self, recorder: Arc<dyn obs::Recorder>) {
+        self.recorder = Some(recorder);
+    }
+
     /// Observes a failure and renders a verdict.
     pub fn observe(&mut self, rec: FailureRecord) -> Verdict {
         let recurring = self.history.iter().any(|h| h.similar_to(&rec));
-        self.history.push(rec);
-        if recurring {
+        let verdict = if recurring {
             Verdict::SuspectedHard
         } else {
             Verdict::FirstSighting
+        };
+        if let Some(r) = &self.recorder {
+            r.event(
+                "detector.observe",
+                vec![
+                    ("kind", obs::Value::from(rec.kind.as_str())),
+                    ("exit_code", obs::Value::from(rec.exit_code)),
+                    (
+                        "verdict",
+                        obs::Value::from(match verdict {
+                            Verdict::FirstSighting => "first_sighting",
+                            Verdict::SuspectedHard => "suspected_hard",
+                        }),
+                    ),
+                ],
+            );
+            r.add("detector.observations", 1);
         }
+        self.history.push(rec);
+        self.verdicts.push(verdict);
+        verdict
     }
 
     /// Number of failures observed so far.
@@ -156,6 +198,17 @@ impl Detector {
     /// The most recent failure.
     pub fn last(&self) -> Option<&FailureRecord> {
         self.history.last()
+    }
+
+    /// Every failure observed, oldest first.
+    pub fn history(&self) -> &[FailureRecord] {
+        &self.history
+    }
+
+    /// The verdict rendered for each observation, parallel to
+    /// [`Detector::history`].
+    pub fn verdicts(&self) -> &[Verdict] {
+        &self.verdicts
     }
 }
 
@@ -246,6 +299,65 @@ mod tests {
     }
 
     #[test]
+    fn identical_fault_code_with_disjoint_stacks_is_not_similar() {
+        // Same exit code and fault instruction, but the stacks share no
+        // suffix frame at all: the two failures came through different
+        // paths, so the heuristic must not conflate them.
+        let a = rec(11, 5, &["main", "put", "grow"]);
+        let b = rec(11, 5, &["repl", "del", "shrink"]);
+        assert!(!a.similar_to(&b));
+        assert!(!b.similar_to(&a), "similarity is symmetric");
+    }
+
+    #[test]
+    fn stack_prefix_match_does_not_count() {
+        // Shared *prefix* (outermost frames) with divergent innermost
+        // frames: the similarity is suffix-based (where the fault actually
+        // happened), so a common entry path alone is not similar.
+        let a = rec(11, 5, &["main", "dispatch", "get"]);
+        let b = rec(11, 5, &["main", "dispatch", "put"]);
+        assert!(!a.similar_to(&b));
+    }
+
+    #[test]
+    fn exactly_half_shared_suffix_is_similar() {
+        // shared * 2 >= min(len): the boundary case counts as similar.
+        let a = rec(11, 5, &["w", "x", "y", "z"]);
+        let b = rec(11, 5, &["p", "q", "y", "z"]);
+        assert!(a.similar_to(&b), "2 of min(4,4) frames shared");
+    }
+
+    #[test]
+    fn empty_stack_boundary_cases() {
+        // Both empty: trivially similar (nothing to disagree on).
+        let a = rec(11, 5, &[]);
+        let b = rec(11, 5, &[]);
+        assert!(a.similar_to(&b));
+        // One empty, one not: min length is 0, so the suffix test is
+        // vacuously satisfied — documented boundary of the loose heuristic.
+        let c = rec(11, 5, &["main", "get"]);
+        assert!(a.similar_to(&c));
+        assert!(c.similar_to(&a));
+    }
+
+    #[test]
+    fn detector_keeps_history_and_verdicts() {
+        let mut d = Detector::new();
+        d.observe(rec(11, 5, &["main", "get"]));
+        d.observe(rec(12, 6, &["main", "put"]));
+        d.observe(rec(11, 5, &["main", "get"]));
+        assert_eq!(d.history().len(), 3);
+        assert_eq!(
+            d.verdicts(),
+            &[
+                Verdict::FirstSighting,
+                Verdict::FirstSighting,
+                Verdict::SuspectedHard
+            ]
+        );
+    }
+
+    #[test]
     fn leak_monitor_needs_sustained_growth() {
         let mut m = LeakMonitor::new();
         for v in [100, 200, 300, 400] {
@@ -257,5 +369,25 @@ mod tests {
             m.sample(v);
         }
         assert!(!m.suspected(3, 50));
+    }
+
+    #[test]
+    fn leak_monitor_threshold_boundaries() {
+        // Growth of exactly `threshold` per run: suspected (>=, not >).
+        let mut m = LeakMonitor::new();
+        for v in [100, 150, 200, 250] {
+            m.sample(v);
+        }
+        assert!(m.suspected(4, 50));
+        // One byte short of the threshold on a single step: not suspected.
+        let mut m = LeakMonitor::new();
+        for v in [100, 150, 199, 249] {
+            m.sample(v);
+        }
+        assert!(!m.suspected(4, 50));
+        // Too few samples: never suspected, even with runs < 2.
+        let mut m = LeakMonitor::new();
+        m.sample(100);
+        assert!(!m.suspected(1, 0));
     }
 }

@@ -31,9 +31,10 @@ pub mod reactor;
 pub mod trace;
 
 pub use analyzer::{analyze_and_instrument, AnalyzerOutput, GuidMap, GuidMeta};
-pub use checkpoint::{CheckpointLog, Entry, VersionData, MAX_VERSIONS};
+pub use checkpoint::{lock_log, CheckpointLog, Entry, LogStats, VersionData, MAX_VERSIONS};
 pub use detector::{Detector, FailureKind, FailureRecord, LeakMonitor, Verdict};
 pub use reactor::{
-    BatchStrategy, ForkableTarget, MitigationOutcome, Mode, Plan, Reactor, ReactorConfig, Target,
+    BatchStrategy, ForkableTarget, MitigationOutcome, Mode, PhaseTimes, Plan, Reactor,
+    ReactorConfig, Target,
 };
 pub use trace::PmTrace;

@@ -31,8 +31,10 @@ use pir::ir::InstRef;
 use pir_analysis::{backward_slice, ModuleAnalysis};
 use pmemsim::PmPool;
 
+use obs::Value;
+
 use crate::analyzer::GuidMap;
-use crate::checkpoint::{CheckpointLog, MAX_VERSIONS};
+use crate::checkpoint::{lock_log, CheckpointLog, MAX_VERSIONS};
 use crate::detector::{FailureKind, FailureRecord};
 use crate::trace::PmTrace;
 
@@ -149,6 +151,23 @@ pub trait ForkableTarget: Target {
     fn fork_target(&self) -> Box<dyn Target + Send + '_>;
 }
 
+/// Wall time spent in each mitigation phase (the per-phase breakdown
+/// behind the paper's Fig. 8/Table 9 timing discussion). The phases are
+/// disjoint: `slice` is carved out of planning, and time outside all four
+/// (bookkeeping, lock waits) is unattributed.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseTimes {
+    /// Backward slicing of the fault instruction.
+    pub slice: Duration,
+    /// The rest of candidate planning (trace join, covering lookup, sort).
+    pub plan: Duration,
+    /// Applying reversion batches to the pool.
+    pub revert: Duration,
+    /// Re-executing the target (wall time; concurrent speculative
+    /// re-executions count once per round, not per fork).
+    pub reexec: Duration,
+}
+
 /// Result of a mitigation.
 #[derive(Debug, Clone)]
 pub struct MitigationOutcome {
@@ -176,10 +195,18 @@ pub struct MitigationOutcome {
     pub mode_fellback: bool,
     /// Suspected leak objects freed (leak mitigation only).
     pub leaks_freed: u64,
+    /// Per-phase wall-time breakdown.
+    pub phases: PhaseTimes,
 }
 
 impl MitigationOutcome {
-    fn failed(plan_len: usize, attempts: u32, rounds: u32, wall: Duration) -> Self {
+    fn failed(
+        plan_len: usize,
+        attempts: u32,
+        rounds: u32,
+        wall: Duration,
+        phases: PhaseTimes,
+    ) -> Self {
         MitigationOutcome {
             recovered: false,
             via_restart_only: false,
@@ -192,6 +219,7 @@ impl MitigationOutcome {
             wall,
             mode_fellback: false,
             leaks_freed: 0,
+            phases,
         }
     }
 }
@@ -247,6 +275,7 @@ pub struct Reactor<'a> {
     cfg: ReactorConfig,
     /// Wall time of the most recent slicing operation (Table 9).
     pub last_slice_time: Duration,
+    recorder: Arc<dyn obs::Recorder>,
 }
 
 impl<'a> Reactor<'a> {
@@ -257,7 +286,15 @@ impl<'a> Reactor<'a> {
             guid_map,
             cfg,
             last_slice_time: Duration::ZERO,
+            recorder: Arc::new(obs::NullRecorder),
         }
+    }
+
+    /// Attaches a recorder; the reactor emits a `reactor.*` event timeline
+    /// (plan, per-attempt, fallbacks, waves, outcome) and phase-duration
+    /// histograms while mitigating.
+    pub fn set_recorder(&mut self, recorder: Arc<dyn obs::Recorder>) {
+        self.recorder = recorder;
     }
 
     /// Computes the candidate sequence list for a fault instruction
@@ -331,20 +368,69 @@ impl<'a> Reactor<'a> {
         }
         let Some(fault) = failure.fault else {
             // No fault instruction: all we can do is restart.
-            return self.restart_only(pool, target, t0, 0);
+            return self.restart_only(pool, target, t0, 0, PhaseTimes::default());
         };
-        let plan = {
-            let log_ref = log.lock().unwrap();
-            self.plan(fault, trace, &log_ref, pool)
-        };
+        let (plan, phases) = self.timed_plan(fault, trace, log, pool);
         if plan.seqs.is_empty() {
             // §4.5: likely a false alarm — not caused by bad PM values.
-            return self.restart_only(pool, target, t0, 0);
+            return self.restart_only(pool, target, t0, 0, phases);
         }
-        log.lock().unwrap().set_enabled(false);
-        let out = self.revert_loop(pool, log, &plan, trace, target, t0);
-        log.lock().unwrap().set_enabled(true);
+        lock_log(log).set_enabled(false);
+        let out = self.revert_loop(pool, log, &plan, trace, target, t0, phases);
+        lock_log(log).set_enabled(true);
+        self.record_outcome(&out);
         out
+    }
+
+    /// Runs [`Reactor::plan`] with phase timing and the `reactor.plan`
+    /// event.
+    fn timed_plan(
+        &mut self,
+        fault: InstRef,
+        trace: &PmTrace,
+        log: &Arc<Mutex<CheckpointLog>>,
+        pool: &mut PmPool,
+    ) -> (Plan, PhaseTimes) {
+        let t_plan = Instant::now();
+        let plan = {
+            let log_ref = lock_log(log);
+            self.plan(fault, trace, &log_ref, pool)
+        };
+        let mut phases = PhaseTimes {
+            slice: self.last_slice_time,
+            ..Default::default()
+        };
+        phases.plan = t_plan.elapsed().saturating_sub(phases.slice);
+        self.recorder.event(
+            "reactor.plan",
+            vec![
+                ("plan_len", Value::from(plan.seqs.len())),
+                ("slice_us", Value::from(phases.slice.as_micros() as u64)),
+                ("plan_us", Value::from(phases.plan.as_micros() as u64)),
+                ("candidate_seqs", Value::from(seq_list(&plan.seqs))),
+            ],
+        );
+        (plan, phases)
+    }
+
+    fn record_outcome(&self, out: &MitigationOutcome) {
+        self.recorder.event(
+            "reactor.outcome",
+            vec![
+                ("recovered", Value::from(out.recovered)),
+                ("restart_only", Value::from(out.via_restart_only)),
+                ("attempts", Value::from(out.attempts)),
+                ("rounds", Value::from(out.reexec_rounds)),
+                ("discarded_updates", Value::from(out.discarded_updates)),
+                ("mode_fellback", Value::from(out.mode_fellback)),
+                ("leaks_freed", Value::from(out.leaks_freed)),
+                ("wall_us", Value::from(out.wall.as_micros() as u64)),
+            ],
+        );
+        self.recorder.add("reactor.mitigations", 1);
+        if out.recovered {
+            self.recorder.add("reactor.recoveries", 1);
+        }
     }
 
     /// Mitigates a suspected hard failure, re-executing candidate
@@ -377,18 +463,17 @@ impl<'a> Reactor<'a> {
             return self.mitigate_leak(pool, log, target, t0);
         }
         let Some(fault) = failure.fault else {
-            return self.restart_only(pool, target, t0, 0);
+            return self.restart_only(pool, target, t0, 0, PhaseTimes::default());
         };
-        let plan = {
-            let log_ref = log.lock().unwrap();
-            self.plan(fault, trace, &log_ref, pool)
-        };
+        let (plan, phases) = self.timed_plan(fault, trace, log, pool);
         if plan.seqs.is_empty() {
-            return self.restart_only(pool, target, t0, 0);
+            return self.restart_only(pool, target, t0, 0, phases);
         }
-        log.lock().unwrap().set_enabled(false);
-        let out = self.revert_loop_speculative(pool, log, &plan, trace, target, t0, workers);
-        log.lock().unwrap().set_enabled(true);
+        lock_log(log).set_enabled(false);
+        let out =
+            self.revert_loop_speculative(pool, log, &plan, trace, target, t0, workers, phases);
+        lock_log(log).set_enabled(true);
+        self.record_outcome(&out);
         out
     }
 
@@ -398,9 +483,21 @@ impl<'a> Reactor<'a> {
         target: &mut dyn Target,
         t0: Instant,
         plan_len: usize,
+        mut phases: PhaseTimes,
     ) -> MitigationOutcome {
+        let t_re = Instant::now();
         let ok = target.reexecute(pool).is_ok();
-        MitigationOutcome {
+        phases.reexec += t_re.elapsed();
+        self.recorder
+            .observe_duration("reactor.reexec_us", t_re.elapsed());
+        self.recorder.event(
+            "reactor.restart_only",
+            vec![
+                ("recovered", Value::from(ok)),
+                ("plan_len", Value::from(plan_len)),
+            ],
+        );
+        let out = MitigationOutcome {
             recovered: ok,
             via_restart_only: true,
             attempts: 1,
@@ -412,9 +509,13 @@ impl<'a> Reactor<'a> {
             wall: t0.elapsed(),
             mode_fellback: false,
             leaks_freed: 0,
-        }
+            phases,
+        };
+        self.record_outcome(&out);
+        out
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn revert_loop(
         &mut self,
         pool: &mut PmPool,
@@ -423,6 +524,7 @@ impl<'a> Reactor<'a> {
         trace: &PmTrace,
         target: &mut dyn Target,
         t0: Instant,
+        mut phases: PhaseTimes,
     ) -> MitigationOutcome {
         let mut attempts = 0u32;
         let mut mode = self.cfg.mode;
@@ -446,14 +548,32 @@ impl<'a> Reactor<'a> {
                         attempts,
                         attempts,
                         t0.elapsed(),
+                        phases,
                     );
                 }
                 if mode == Mode::Purge && attempts >= self.cfg.purge_fallback_after {
                     mode = Mode::Rollback;
                     mode_fellback = true;
+                    self.recorder.event(
+                        "reactor.fallback",
+                        vec![
+                            ("attempt", Value::from(attempts)),
+                            ("reason", Value::from("attempt_budget")),
+                        ],
+                    );
                 }
                 let take = batch_size.min(pending.len());
                 let batch: Vec<u64> = pending.drain(..take).collect();
+                self.recorder.event(
+                    "reactor.attempt",
+                    vec![
+                        ("attempt", Value::from(attempts + 1)),
+                        ("depth", Value::from(depth)),
+                        ("mode", Value::from(mode_name(mode))),
+                        ("batch_seqs", Value::from(seq_list(&batch))),
+                    ],
+                );
+                let t_rv = Instant::now();
                 self.apply_batch(
                     pool,
                     log_rc,
@@ -465,11 +585,21 @@ impl<'a> Reactor<'a> {
                     fwd.as_ref(),
                     &mut ledger,
                 );
+                phases.revert += t_rv.elapsed();
+                self.recorder
+                    .observe_duration("reactor.revert_us", t_rv.elapsed());
                 attempts += 1;
-                match target.reexecute(pool) {
+                let t_re = Instant::now();
+                let result = target.reexecute(pool);
+                phases.reexec += t_re.elapsed();
+                self.recorder
+                    .observe_duration("reactor.reexec_us", t_re.elapsed());
+                match result {
                     Ok(()) => {
                         if self.cfg.minimize_loss {
+                            let t_min = Instant::now();
                             attempts += self.minimize(pool, &mut ledger, target);
+                            phases.reexec += t_min.elapsed();
                         }
                         return MitigationOutcome {
                             recovered: true,
@@ -483,6 +613,7 @@ impl<'a> Reactor<'a> {
                             wall: t0.elapsed(),
                             mode_fellback,
                             leaks_freed: 0,
+                            phases,
                         };
                     }
                     Err(f) => {
@@ -491,12 +622,19 @@ impl<'a> Reactor<'a> {
                         if mode == Mode::Purge && f.kind == FailureKind::Panic {
                             mode = Mode::Rollback;
                             mode_fellback = true;
+                            self.recorder.event(
+                                "reactor.fallback",
+                                vec![
+                                    ("attempt", Value::from(attempts)),
+                                    ("reason", Value::from("recovery_panic")),
+                                ],
+                            );
                         }
                     }
                 }
             }
         }
-        MitigationOutcome::failed(plan.seqs.len(), attempts, attempts, t0.elapsed())
+        MitigationOutcome::failed(plan.seqs.len(), attempts, attempts, t0.elapsed(), phases)
     }
 
     /// The speculative counterpart of [`Reactor::revert_loop`].
@@ -529,6 +667,7 @@ impl<'a> Reactor<'a> {
         target: &mut dyn ForkableTarget,
         t0: Instant,
         workers: usize,
+        mut phases: PhaseTimes,
     ) -> MitigationOutcome {
         struct SpecStep {
             /// Pool state after this step's batch (and all before it).
@@ -563,10 +702,12 @@ impl<'a> Reactor<'a> {
                         attempts,
                         rounds,
                         t0.elapsed(),
+                        phases,
                     );
                 }
                 // Build the wave: simulate the next `workers` sequential
                 // steps, forking the pool after each batch.
+                let t_rv = Instant::now();
                 let mut steps: Vec<SpecStep> = Vec::new();
                 {
                     let mut sim_pool = pool.fork();
@@ -609,8 +750,12 @@ impl<'a> Reactor<'a> {
                     }
                 }
                 debug_assert!(!steps.is_empty(), "pending non-empty, attempts below cap");
+                phases.revert += t_rv.elapsed();
+                self.recorder
+                    .observe_duration("reactor.revert_us", t_rv.elapsed());
                 // Fork the target per step and re-execute concurrently.
                 rounds += 1;
+                let t_re = Instant::now();
                 let results: Vec<Option<FailureRecord>> = std::thread::scope(|s| {
                     let handles: Vec<_> = steps
                         .iter_mut()
@@ -628,6 +773,9 @@ impl<'a> Reactor<'a> {
                         })
                         .collect()
                 });
+                phases.reexec += t_re.elapsed();
+                self.recorder
+                    .observe_duration("reactor.reexec_us", t_re.elapsed());
                 // Commit in candidate order.
                 let mut winner: Option<usize> = None;
                 let mut last_valid = 0usize;
@@ -650,6 +798,21 @@ impl<'a> Reactor<'a> {
                         }
                     }
                 }
+                self.recorder.event(
+                    "reactor.wave",
+                    vec![
+                        ("round", Value::from(rounds)),
+                        ("steps", Value::from(steps.len())),
+                        (
+                            "outcome",
+                            Value::from(match (winner, flipped) {
+                                (Some(_), _) => "success",
+                                (None, true) => "purge_flip",
+                                (None, false) => "all_failed",
+                            }),
+                        ),
+                    ],
+                );
                 if let Some(j) = winner {
                     let step = steps.swap_remove(j);
                     pool.reabsorb(step.pool);
@@ -659,7 +822,9 @@ impl<'a> Reactor<'a> {
                     if self.cfg.minimize_loss {
                         // Minimization is result-dependent at every step;
                         // it stays sequential.
+                        let t_min = Instant::now();
                         let used = self.minimize(pool, &mut ledger, target);
+                        phases.reexec += t_min.elapsed();
                         attempts += used;
                         rounds += used;
                     }
@@ -675,6 +840,7 @@ impl<'a> Reactor<'a> {
                         wall: t0.elapsed(),
                         mode_fellback,
                         leaks_freed: 0,
+                        phases,
                     };
                 }
                 // No success: adopt the last valid step's state.
@@ -688,10 +854,17 @@ impl<'a> Reactor<'a> {
                 if flipped {
                     mode = Mode::Rollback;
                     mode_fellback = true;
+                    self.recorder.event(
+                        "reactor.fallback",
+                        vec![
+                            ("attempt", Value::from(attempts)),
+                            ("reason", Value::from("recovery_panic")),
+                        ],
+                    );
                 }
             }
         }
-        MitigationOutcome::failed(plan.seqs.len(), attempts, rounds, t0.elapsed())
+        MitigationOutcome::failed(plan.seqs.len(), attempts, rounds, t0.elapsed(), phases)
     }
 
     /// One reversion step: reverts `batch` under `mode` at version `depth`.
@@ -736,7 +909,7 @@ impl<'a> Reactor<'a> {
                 let mut normal: Vec<u64> = Vec::new();
                 for &s in batch {
                     let healed = {
-                        let log = log_rc.lock().unwrap();
+                        let log = lock_log(log_rc);
                         if seq_diverged(&log, pool, s) {
                             log.addr_of_seq(s)
                                 .and_then(|addr| log.expected_current(addr).map(|d| (addr, d)))
@@ -750,6 +923,10 @@ impl<'a> Reactor<'a> {
                             let _ = pool.write(addr, &data);
                             let _ = pool.persist(addr, data.len() as u64);
                             ledger.by_addr.entry(addr).or_default();
+                            self.recorder.event(
+                                "reactor.heal",
+                                vec![("seq", Value::from(s)), ("addr", Value::from(addr))],
+                            );
                         }
                         None => normal.push(s),
                     }
@@ -784,10 +961,10 @@ impl<'a> Reactor<'a> {
         // Externally corrupted entries (divergence) did not propagate via
         // program writes: restoring the durable truth needs no sibling or
         // forward-dependency expansion.
-        let externally_corrupted = seq_diverged(&log_rc.lock().unwrap(), pool, seq);
+        let externally_corrupted = seq_diverged(&lock_log(log_rc), pool, seq);
         // Transaction siblings (§4.6).
         if !externally_corrupted {
-            let log = log_rc.lock().unwrap();
+            let log = lock_log(log_rc);
             if let Some(tx) = log.tx_of_seq(seq) {
                 worklist.extend(log.tx_seqs(tx).iter().copied());
             }
@@ -824,7 +1001,7 @@ impl<'a> Reactor<'a> {
                     break;
                 }
             }
-            let log = log_rc.lock().unwrap();
+            let log = lock_log(log_rc);
             for at in seen {
                 if !self.analysis.pm.pm_writes.contains(&at) {
                     continue;
@@ -845,7 +1022,7 @@ impl<'a> Reactor<'a> {
         worklist.dedup();
         for s in worklist {
             let (addr, data) = {
-                let log = log_rc.lock().unwrap();
+                let log = lock_log(log_rc);
                 let Some(addr) = log.addr_of_seq(s) else {
                     continue;
                 };
@@ -867,7 +1044,7 @@ impl<'a> Reactor<'a> {
             let _ = pool.write(addr, &data);
             let _ = pool.persist(addr, data.len() as u64);
             // Versions discarded: the newest `depth` versions of the entry.
-            let log = log_rc.lock().unwrap();
+            let log = lock_log(log_rc);
             let slot = ledger.by_addr.entry(addr).or_default();
             if let Some(e) = log.entry(addr) {
                 let n = e.versions.len();
@@ -918,6 +1095,12 @@ impl<'a> Reactor<'a> {
                 let _ = pool.persist(addr, current.len() as u64);
             }
         }
+        if used > 0 {
+            self.recorder.event(
+                "reactor.minimize",
+                vec![("reexecutions", Value::from(used))],
+            );
+        }
         used
     }
 
@@ -931,7 +1114,7 @@ impl<'a> Reactor<'a> {
         ledger: &mut RevertLedger,
     ) {
         let victims: Vec<(u64, Vec<u8>)> = {
-            let log = log_rc.lock().unwrap();
+            let log = lock_log(log_rc);
             log.addrs_touched_since(cut)
                 .into_iter()
                 .filter_map(|a| log.data_before_seq(a, cut).map(|d| (a, d)))
@@ -943,7 +1126,7 @@ impl<'a> Reactor<'a> {
             let _ = pool.persist(addr, data.len() as u64);
             ledger.by_addr.entry(addr).or_default();
         }
-        let log = log_rc.lock().unwrap();
+        let log = lock_log(log_rc);
         for s in log.all_seqs() {
             if s >= cut {
                 if let Some(addr) = log.addr_of_seq(s) {
@@ -963,21 +1146,36 @@ impl<'a> Reactor<'a> {
         target: &mut dyn Target,
         t0: Instant,
     ) -> MitigationOutcome {
-        log_rc.lock().unwrap().set_enabled(false);
-        log_rc.lock().unwrap().clear_recovery_reads();
+        let mut phases = PhaseTimes::default();
+        lock_log(log_rc).set_enabled(false);
+        lock_log(log_rc).clear_recovery_reads();
         // Run recovery + verification once to populate the recovery reads.
+        let t_re = Instant::now();
         let _ = target.reexecute(pool);
-        let suspects = log_rc.lock().unwrap().suspected_leaks();
+        phases.reexec += t_re.elapsed();
+        let suspects = lock_log(log_rc).suspected_leaks();
         let mut freed = 0u64;
+        let t_rv = Instant::now();
         for (addr, _size) in &suspects {
             if pool.is_allocated(*addr) && pool.free(*addr).is_ok() {
-                log_rc.lock().unwrap().note_reactor_free(*addr);
+                lock_log(log_rc).note_reactor_free(*addr);
                 freed += 1;
             }
         }
+        phases.revert += t_rv.elapsed();
+        let t_re = Instant::now();
         let ok = target.reexecute(pool).is_ok();
-        log_rc.lock().unwrap().set_enabled(true);
-        MitigationOutcome {
+        phases.reexec += t_re.elapsed();
+        lock_log(log_rc).set_enabled(true);
+        self.recorder.event(
+            "reactor.leak_mitigation",
+            vec![
+                ("suspects", Value::from(suspects.len())),
+                ("freed", Value::from(freed)),
+                ("recovered", Value::from(ok && freed > 0)),
+            ],
+        );
+        let out = MitigationOutcome {
             recovered: ok && freed > 0,
             via_restart_only: false,
             attempts: 2,
@@ -989,8 +1187,34 @@ impl<'a> Reactor<'a> {
             wall: t0.elapsed(),
             mode_fellback: false,
             leaks_freed: freed,
-        }
+            phases,
+        };
+        self.record_outcome(&out);
+        out
     }
+}
+
+fn mode_name(mode: Mode) -> &'static str {
+    match mode {
+        Mode::Purge => "purge",
+        Mode::Rollback => "rollback",
+    }
+}
+
+/// Renders up to 16 sequence numbers for event fields; longer lists end
+/// with `…(+n)`.
+fn seq_list(seqs: &[u64]) -> String {
+    const SHOWN: usize = 16;
+    let mut s = seqs
+        .iter()
+        .take(SHOWN)
+        .map(|n| n.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    if seqs.len() > SHOWN {
+        s.push_str(&format!("…(+{})", seqs.len() - SHOWN));
+    }
+    s
 }
 
 /// Whether the pool's durable bytes at a logged sequence number differ

@@ -1,0 +1,29 @@
+//! # obs — structured events and metrics for the recovery pipeline
+//!
+//! The paper evaluates Arthas through *recovery timelines*: how many
+//! re-execution attempts a mitigation took, which sequence numbers were
+//! reverted, how long each phase ran, how much data was discarded (§5,
+//! Figs. 8–11). This crate is the substrate those timelines are built on:
+//! a dependency-free observability layer that every level of the stack
+//! (`pmemsim` pools, the checkpoint log, the detector, the reactor) can
+//! record into without caring who — if anyone — is listening.
+//!
+//! Three pieces:
+//!
+//! - [`Recorder`]: the recording trait. Producers hold an
+//!   `Arc<dyn Recorder>` and emit [`Event`]s, bump monotonic counters and
+//!   observe durations; [`NullRecorder`] makes all of it free when
+//!   observability is off, and [`RingRecorder`] retains a bounded event
+//!   ring plus counters and log-scale histograms.
+//! - [`json`]: a minimal JSON value type with renderer *and* parser, so
+//!   reports can be emitted and re-validated without external crates.
+//! - [`schema`]: a structural schema validator used to keep the `report`
+//!   CLI output schema-stable (CI validates every emitted report).
+
+pub mod json;
+pub mod recorder;
+pub mod schema;
+
+pub use json::Json;
+pub use recorder::{Event, HistogramSnapshot, NullRecorder, Recorder, RingRecorder, Value};
+pub use schema::{validate, Field, Schema};

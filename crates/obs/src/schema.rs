@@ -1,0 +1,276 @@
+//! A structural schema validator for [`Json`] documents.
+//!
+//! The `report` CLI subcommand promises a *schema-stable* JSON output;
+//! this module is how that promise is kept: the expected shape is written
+//! down once as a [`Schema`] value, every emitted report is validated
+//! against it (in tests and in CI), and any drift fails loudly with a
+//! JSON-path-annotated error list.
+
+use crate::json::Json;
+
+/// One object member in an [`Schema::Obj`].
+#[derive(Debug, Clone)]
+pub struct Field {
+    /// Member name.
+    pub name: &'static str,
+    /// Whether the member must be present.
+    pub required: bool,
+    /// Schema of the member's value.
+    pub schema: Schema,
+}
+
+impl Field {
+    /// A required member.
+    pub fn req(name: &'static str, schema: Schema) -> Field {
+        Field {
+            name,
+            required: true,
+            schema,
+        }
+    }
+
+    /// An optional member (validated when present).
+    pub fn opt(name: &'static str, schema: Schema) -> Field {
+        Field {
+            name,
+            required: false,
+            schema,
+        }
+    }
+}
+
+/// A structural JSON schema.
+#[derive(Debug, Clone)]
+pub enum Schema {
+    /// `null` only.
+    Null,
+    /// A boolean.
+    Bool,
+    /// A non-negative integer.
+    UInt,
+    /// Any number (integer or float).
+    Num,
+    /// A string.
+    Str,
+    /// An array whose every element matches the inner schema.
+    Arr(Box<Schema>),
+    /// An object with the given members. Unknown members are allowed
+    /// (additions are not schema breaks; removals and type changes are).
+    Obj(Vec<Field>),
+    /// An object with arbitrary keys whose every value matches the inner
+    /// schema (a map).
+    Map(Box<Schema>),
+    /// Matches when any alternative matches.
+    AnyOf(Vec<Schema>),
+    /// Matches anything.
+    Any,
+}
+
+impl Schema {
+    /// Convenience constructor for [`Schema::Arr`].
+    pub fn arr(inner: Schema) -> Schema {
+        Schema::Arr(Box::new(inner))
+    }
+
+    /// Convenience constructor for [`Schema::Map`].
+    pub fn map(inner: Schema) -> Schema {
+        Schema::Map(Box::new(inner))
+    }
+
+    /// Convenience: `AnyOf([inner, Null])` — a nullable value.
+    pub fn nullable(inner: Schema) -> Schema {
+        Schema::AnyOf(vec![inner, Schema::Null])
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            Schema::Null => "null",
+            Schema::Bool => "bool",
+            Schema::UInt => "uint",
+            Schema::Num => "number",
+            Schema::Str => "string",
+            Schema::Arr(_) => "array",
+            Schema::Obj(_) => "object",
+            Schema::Map(_) => "map",
+            Schema::AnyOf(_) => "any-of",
+            Schema::Any => "any",
+        }
+    }
+}
+
+/// Validates `value` against `schema`. `Ok(())` or every violation found,
+/// each annotated with its JSON path.
+pub fn validate(value: &Json, schema: &Schema) -> Result<(), Vec<String>> {
+    let mut errors = Vec::new();
+    walk(value, schema, "$", &mut errors);
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+fn type_name(value: &Json) -> &'static str {
+    match value {
+        Json::Null => "null",
+        Json::Bool(_) => "bool",
+        Json::U64(_) | Json::I64(_) | Json::F64(_) => "number",
+        Json::Str(_) => "string",
+        Json::Arr(_) => "array",
+        Json::Obj(_) => "object",
+    }
+}
+
+fn walk(value: &Json, schema: &Schema, path: &str, errors: &mut Vec<String>) {
+    let mismatch = |errors: &mut Vec<String>| {
+        errors.push(format!(
+            "{path}: expected {}, got {}",
+            schema.name(),
+            type_name(value)
+        ));
+    };
+    match schema {
+        Schema::Any => {}
+        Schema::Null => {
+            if !matches!(value, Json::Null) {
+                mismatch(errors);
+            }
+        }
+        Schema::Bool => {
+            if !matches!(value, Json::Bool(_)) {
+                mismatch(errors);
+            }
+        }
+        Schema::UInt => {
+            if value.as_u64().is_none() {
+                mismatch(errors);
+            }
+        }
+        Schema::Num => {
+            if value.as_f64().is_none() {
+                mismatch(errors);
+            }
+        }
+        Schema::Str => {
+            if !matches!(value, Json::Str(_)) {
+                mismatch(errors);
+            }
+        }
+        Schema::Arr(inner) => match value {
+            Json::Arr(items) => {
+                for (i, item) in items.iter().enumerate() {
+                    walk(item, inner, &format!("{path}[{i}]"), errors);
+                }
+            }
+            _ => mismatch(errors),
+        },
+        Schema::Map(inner) => match value {
+            Json::Obj(pairs) => {
+                for (k, v) in pairs {
+                    walk(v, inner, &format!("{path}.{k}"), errors);
+                }
+            }
+            _ => mismatch(errors),
+        },
+        Schema::Obj(fields) => match value {
+            Json::Obj(_) => {
+                for field in fields {
+                    match value.get(field.name) {
+                        Some(member) => {
+                            walk(
+                                member,
+                                &field.schema,
+                                &format!("{path}.{}", field.name),
+                                errors,
+                            );
+                        }
+                        None if field.required => {
+                            errors
+                                .push(format!("{path}: missing required member `{}`", field.name));
+                        }
+                        None => {}
+                    }
+                }
+            }
+            _ => mismatch(errors),
+        },
+        Schema::AnyOf(options) => {
+            if options.iter().any(|s| {
+                let mut sub = Vec::new();
+                walk(value, s, path, &mut sub);
+                sub.is_empty()
+            }) {
+                return;
+            }
+            let names: Vec<&str> = options.iter().map(|s| s.name()).collect();
+            errors.push(format!(
+                "{path}: expected one of [{}], got {}",
+                names.join(", "),
+                type_name(value)
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::Obj(vec![
+            Field::req("id", Schema::Str),
+            Field::req("count", Schema::UInt),
+            Field::req("ok", Schema::Bool),
+            Field::req("scores", Schema::arr(Schema::Num)),
+            Field::req("meta", Schema::map(Schema::UInt)),
+            Field::req("verdict", Schema::nullable(Schema::Bool)),
+            Field::opt("note", Schema::Str),
+        ])
+    }
+
+    #[test]
+    fn valid_document_passes() {
+        let doc = Json::parse(
+            r#"{"id":"f1","count":3,"ok":true,"scores":[1,2.5],
+                "meta":{"a":1},"verdict":null,"extra":"ignored"}"#,
+        )
+        .unwrap();
+        assert!(validate(&doc, &schema()).is_ok());
+    }
+
+    #[test]
+    fn missing_required_member_fails_with_path() {
+        let doc =
+            Json::parse(r#"{"id":"f1","ok":true,"scores":[],"meta":{},"verdict":true}"#).unwrap();
+        let errs = validate(&doc, &schema()).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("`count`")), "{errs:?}");
+    }
+
+    #[test]
+    fn type_mismatch_inside_array_is_located() {
+        let doc = Json::parse(
+            r#"{"id":"f1","count":1,"ok":true,"scores":[1,"two"],"meta":{},"verdict":false}"#,
+        )
+        .unwrap();
+        let errs = validate(&doc, &schema()).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("$.scores[1]")), "{errs:?}");
+    }
+
+    #[test]
+    fn negative_is_not_uint() {
+        let doc =
+            Json::parse(r#"{"id":"x","count":-1,"ok":true,"scores":[],"meta":{},"verdict":null}"#)
+                .unwrap();
+        assert!(validate(&doc, &schema()).is_err());
+    }
+
+    #[test]
+    fn optional_member_validated_when_present() {
+        let doc = Json::parse(
+            r#"{"id":"x","count":1,"ok":true,"scores":[],"meta":{},"verdict":null,"note":7}"#,
+        )
+        .unwrap();
+        let errs = validate(&doc, &schema()).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("$.note")), "{errs:?}");
+    }
+}

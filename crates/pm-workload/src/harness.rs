@@ -14,8 +14,8 @@ use std::sync::Mutex;
 use std::time::Duration;
 
 use arthas::{
-    analyze_and_instrument, CheckpointLog, Detector, FailureRecord, ForkableTarget, GuidMap,
-    LeakMonitor, PmTrace, Reactor, ReactorConfig, Target, Verdict,
+    analyze_and_instrument, lock_log, CheckpointLog, Detector, FailureRecord, ForkableTarget,
+    GuidMap, LeakMonitor, PhaseTimes, PmTrace, Reactor, ReactorConfig, Target, Verdict,
 };
 use baselines::{ArCkpt, PmCriu};
 use pir::ir::Module;
@@ -170,10 +170,15 @@ pub struct Production {
     pub restarts: u32,
     /// Whether the detector flagged the failure as hard.
     pub detected_hard: bool,
+    /// The detector with its full observation history.
+    pub detector: Detector,
+    /// The recorder attached during production (re-attached to the
+    /// reactor by [`mitigate`]).
+    pub recorder: Option<Arc<dyn obs::Recorder>>,
 }
 
 /// Which auxiliary machinery runs during production.
-#[derive(Debug, Clone, Copy)]
+#[derive(Clone)]
 pub struct RunConfig {
     /// Attach the Arthas checkpoint sink.
     pub checkpoint: bool,
@@ -183,6 +188,10 @@ pub struct RunConfig {
     pub seed: u64,
     /// VM options.
     pub vm: VmOpts,
+    /// Observability recorder to attach to the pool, the checkpoint log,
+    /// the detector and (during mitigation) the reactor. `None` leaves
+    /// every layer on its unobserved fast path.
+    pub recorder: Option<Arc<dyn obs::Recorder>>,
 }
 
 impl Default for RunConfig {
@@ -195,7 +204,20 @@ impl Default for RunConfig {
                 step_limit: 2_000_000,
                 ..VmOpts::default()
             },
+            recorder: None,
         }
+    }
+}
+
+impl std::fmt::Debug for RunConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunConfig")
+            .field("checkpoint", &self.checkpoint)
+            .field("criu", &self.criu)
+            .field("seed", &self.seed)
+            .field("vm", &self.vm)
+            .field("recorder", &self.recorder.is_some())
+            .finish()
     }
 }
 
@@ -211,6 +233,13 @@ pub fn run_production(scn: &dyn Scenario, setup: &AppSetup, cfg: &RunConfig) -> 
     let mut detector = Detector::new();
     let mut leakmon = LeakMonitor::new();
     let mut ctx = RunCtx::new(cfg.seed);
+    if let Some(rec) = &cfg.recorder {
+        if let Some(p) = pool.as_mut() {
+            p.set_recorder(rec.clone());
+        }
+        lock_log(&log).set_recorder(rec.clone());
+        detector.set_recorder(rec.clone());
+    }
 
     let mut t = 0u64;
     let mut items_last = 0u64;
@@ -243,6 +272,8 @@ pub fn run_production(scn: &dyn Scenario, setup: &AppSetup, cfg: &RunConfig) -> 
                         alloc_last,
                         criu,
                         ctx.restarts,
+                        detector,
+                        cfg.recorder.clone(),
                     ));
                 }
                 continue 'run;
@@ -293,6 +324,8 @@ pub fn run_production(scn: &dyn Scenario, setup: &AppSetup, cfg: &RunConfig) -> 
                             alloc_last,
                             criu,
                             ctx.restarts,
+                            detector,
+                            cfg.recorder.clone(),
                         ));
                     }
                     // First sighting: restart and re-drive the same tick
@@ -337,6 +370,8 @@ pub fn run_production(scn: &dyn Scenario, setup: &AppSetup, cfg: &RunConfig) -> 
                 alloc_last,
                 criu,
                 ctx.restarts,
+                detector,
+                cfg.recorder.clone(),
             ));
         }
         return None;
@@ -353,6 +388,8 @@ fn finish(
     allocated_before: u64,
     criu: PmCriu,
     restarts: u32,
+    detector: Detector,
+    recorder: Option<Arc<dyn obs::Recorder>>,
 ) -> Production {
     Production {
         pool,
@@ -364,6 +401,8 @@ fn finish(
         criu,
         restarts,
         detected_hard: true,
+        detector,
+        recorder,
     }
 }
 
@@ -471,6 +510,9 @@ pub struct MitigationResult {
     pub leaks_freed: u64,
     /// Whether purge mode fell back to rollback.
     pub mode_fellback: bool,
+    /// Per-phase wall-time breakdown (zeroed for the baselines, which
+    /// have no slice/plan/revert machinery).
+    pub phases: PhaseTimes,
 }
 
 /// Per-re-execution restart delay used for the modelled mitigation time
@@ -484,7 +526,7 @@ pub fn mitigate(
     setup: &AppSetup,
     solution: Solution,
 ) -> MitigationResult {
-    let total_updates = production.log.lock().unwrap().total_updates();
+    let total_updates = lock_log(&production.log).total_updates();
     let items_before = production.items_before.max(1);
     let mut target = ScenarioTarget::new(
         scn,
@@ -499,52 +541,62 @@ pub fn mitigate(
         },
     );
 
-    let (recovered, attempts, rounds, wall, discarded, leaks_freed, fellback) = match solution {
-        Solution::Arthas(cfg) => {
-            let mut reactor = Reactor::new(&setup.analysis, &setup.guid_map, cfg);
-            let out = reactor.mitigate_speculative(
-                &mut production.pool,
-                &production.log,
-                &production.failure,
-                &production.trace,
-                &mut target,
-            );
-            (
-                out.recovered,
-                out.attempts,
-                out.reexec_rounds,
-                out.wall,
-                out.discarded_updates,
-                out.leaks_freed,
-                out.mode_fellback,
-            )
-        }
-        Solution::PmCriu => {
-            let out = production.criu.mitigate(&mut production.pool, &mut target);
-            (
-                out.recovered,
-                out.attempts,
-                out.attempts,
-                out.wall,
-                0,
-                0,
-                false,
-            )
-        }
-        Solution::ArCkpt(budget) => {
-            let out =
-                ArCkpt::new(budget).mitigate(&mut production.pool, &production.log, &mut target);
-            (
-                out.recovered,
-                out.attempts,
-                out.attempts,
-                out.wall,
-                out.reverted_updates,
-                0,
-                false,
-            )
-        }
-    };
+    let (recovered, attempts, rounds, wall, discarded, leaks_freed, fellback, phases) =
+        match solution {
+            Solution::Arthas(cfg) => {
+                let mut reactor = Reactor::new(&setup.analysis, &setup.guid_map, cfg);
+                if let Some(rec) = &production.recorder {
+                    reactor.set_recorder(rec.clone());
+                }
+                let out = reactor.mitigate_speculative(
+                    &mut production.pool,
+                    &production.log,
+                    &production.failure,
+                    &production.trace,
+                    &mut target,
+                );
+                (
+                    out.recovered,
+                    out.attempts,
+                    out.reexec_rounds,
+                    out.wall,
+                    out.discarded_updates,
+                    out.leaks_freed,
+                    out.mode_fellback,
+                    out.phases,
+                )
+            }
+            Solution::PmCriu => {
+                let out = production.criu.mitigate(&mut production.pool, &mut target);
+                (
+                    out.recovered,
+                    out.attempts,
+                    out.attempts,
+                    out.wall,
+                    0,
+                    0,
+                    false,
+                    PhaseTimes::default(),
+                )
+            }
+            Solution::ArCkpt(budget) => {
+                let out = ArCkpt::new(budget).mitigate(
+                    &mut production.pool,
+                    &production.log,
+                    &mut target,
+                );
+                (
+                    out.recovered,
+                    out.attempts,
+                    out.attempts,
+                    out.wall,
+                    out.reverted_updates,
+                    0,
+                    false,
+                    PhaseTimes::default(),
+                )
+            }
+        };
 
     // Recoverability criterion (b): some persistent state must remain.
     let (items_after, recovered) = if recovered {
@@ -590,6 +642,7 @@ pub fn mitigate(
         consistent,
         leaks_freed,
         mode_fellback: fellback,
+        phases,
     }
 }
 

@@ -9,10 +9,14 @@
 //!   mitigation wrappers for Arthas, pmCRIU and ArCkpt with the measured
 //!   metrics (recoverability, attempts, mitigation time, discarded data,
 //!   post-recovery consistency);
+//! - [`report`]: the `report` CLI subcommand's engine — one scenario run
+//!   with a ring recorder attached to every layer, rendered as a
+//!   schema-stable JSON document and a human-readable recovery timeline;
 //! - [`ycsb`]: YCSB-style workload generation for the overhead
 //!   experiments.
 
 pub mod harness;
+pub mod report;
 pub mod scenarios;
 pub mod ycsb;
 

@@ -18,7 +18,7 @@ use crate::sink::PmSink;
 /// Counters of pool-level events.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PoolStats {
-    /// Explicit user persists.
+    /// Explicit user persists (including fenced flush ranges).
     pub persists: u64,
     /// Committed transactions.
     pub tx_commits: u64,
@@ -28,6 +28,41 @@ pub struct PoolStats {
     pub allocs: u64,
     /// Frees.
     pub frees: u64,
+    /// Staged cache-line flushes (`flush_range`).
+    pub flushes: u64,
+    /// Fences (`drain_fence`).
+    pub drains: u64,
+    /// Simulated crashes (`crash_and_reopen`).
+    pub crashes: u64,
+}
+
+impl PoolStats {
+    /// Field-wise difference `self - base` (saturating; counters only
+    /// grow, so a genuine descendant never saturates).
+    pub fn delta_since(&self, base: &PoolStats) -> PoolStats {
+        PoolStats {
+            persists: self.persists.saturating_sub(base.persists),
+            tx_commits: self.tx_commits.saturating_sub(base.tx_commits),
+            tx_aborts: self.tx_aborts.saturating_sub(base.tx_aborts),
+            allocs: self.allocs.saturating_sub(base.allocs),
+            frees: self.frees.saturating_sub(base.frees),
+            flushes: self.flushes.saturating_sub(base.flushes),
+            drains: self.drains.saturating_sub(base.drains),
+            crashes: self.crashes.saturating_sub(base.crashes),
+        }
+    }
+
+    /// Field-wise accumulation of a delta.
+    pub fn absorb(&mut self, delta: &PoolStats) {
+        self.persists += delta.persists;
+        self.tx_commits += delta.tx_commits;
+        self.tx_aborts += delta.tx_aborts;
+        self.allocs += delta.allocs;
+        self.frees += delta.frees;
+        self.flushes += delta.flushes;
+        self.drains += delta.drains;
+        self.crashes += delta.crashes;
+    }
 }
 
 /// One issue found by [`PmPool::check`], the `pmempool-check` analogue.
@@ -50,6 +85,13 @@ pub struct PmPool {
     tx: Option<OpenTx>,
     recovering: bool,
     stats: PoolStats,
+    /// The receiving pool's counter snapshot at the root of this pool's
+    /// fork lineage (`None` for pools made by `create`/`open`). Lets
+    /// [`PmPool::reabsorb`] merge a fork's counters as a *delta*, so
+    /// events recorded on the parent between `fork()` and `reabsorb()`
+    /// are kept and nothing is double-counted across fork-of-fork chains.
+    fork_base: Option<PoolStats>,
+    recorder: Option<Arc<dyn obs::Recorder>>,
     pending_flush: Vec<(u64, u64)>,
 }
 
@@ -70,6 +112,8 @@ impl PmPool {
             tx: None,
             recovering: false,
             stats: PoolStats::default(),
+            fork_base: None,
+            recorder: None,
             pending_flush: Vec::new(),
         };
         pool.write_u64(hdr::MAGIC, layout::MAGIC)?;
@@ -102,6 +146,8 @@ impl PmPool {
             tx: None,
             recovering: false,
             stats: PoolStats::default(),
+            fork_base: None,
+            recorder: None,
             pending_flush: Vec::new(),
         };
         if pool.read_u64(hdr::MAGIC)? != layout::MAGIC {
@@ -118,6 +164,11 @@ impl PmPool {
     }
 
     /// Attaches a durability-event sink (checkpointing library).
+    ///
+    /// The sink mutex may be shared with threads that can panic while
+    /// holding it (speculative re-execution forks); every notification
+    /// site recovers a poisoned lock rather than propagating the panic,
+    /// since pool operations must keep working during mitigation.
     pub fn set_sink(&mut self, sink: Arc<Mutex<dyn PmSink + Send>>) {
         self.sink = Some(sink);
     }
@@ -125,6 +176,31 @@ impl PmPool {
     /// Detaches the sink.
     pub fn clear_sink(&mut self) {
         self.sink = None;
+    }
+
+    /// Attaches an observability recorder. Unlike the sink — which models
+    /// in-process interception and is dropped by a crash — the recorder is
+    /// the *observer's* tap and survives [`PmPool::crash_and_reopen`], so
+    /// the crash itself lands on the recovery timeline.
+    pub fn set_recorder(&mut self, recorder: Arc<dyn obs::Recorder>) {
+        self.recorder = Some(recorder);
+    }
+
+    /// Detaches the recorder.
+    pub fn clear_recorder(&mut self) {
+        self.recorder = None;
+    }
+
+    fn rec_add(&self, counter: &'static str, delta: u64) {
+        if let Some(r) = &self.recorder {
+            r.add(counter, delta);
+        }
+    }
+
+    fn rec_event(&self, kind: &'static str, fields: Vec<(&'static str, obs::Value)>) {
+        if let Some(r) = &self.recorder {
+            r.event(kind, fields);
+        }
     }
 
     /// Pool capacity in bytes.
@@ -154,7 +230,9 @@ impl PmPool {
         let bytes = self.dev.read(offset, len)?;
         if self.recovering {
             if let Some(sink) = self.sink.clone() {
-                sink.lock().unwrap().on_recover_read(offset, len);
+                sink.lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner())
+                    .on_recover_read(offset, len);
             }
         }
         Ok(bytes)
@@ -181,9 +259,13 @@ impl PmPool {
     pub fn persist(&mut self, offset: u64, len: u64) -> PmResult<()> {
         self.dev.persist(offset, len)?;
         self.stats.persists += 1;
+        self.rec_add("pool.persists", 1);
+        self.rec_add("pool.bytes_persisted", len);
         if let Some(sink) = self.sink.clone() {
             let data = self.dev.read(offset, len)?;
-            sink.lock().unwrap().on_persist(offset, &data);
+            sink.lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                .on_persist(offset, &data);
         }
         Ok(())
     }
@@ -194,6 +276,8 @@ impl PmPool {
     /// programs are checkpointable exactly like `persist`-based ones.
     pub fn flush_range(&mut self, offset: u64, len: u64) -> PmResult<()> {
         self.dev.flush(offset, len)?;
+        self.stats.flushes += 1;
+        self.rec_add("pool.flushes", 1);
         self.pending_flush.push((offset, len));
         Ok(())
     }
@@ -202,12 +286,18 @@ impl PmPool {
     /// the sink once per range flushed since the previous fence.
     pub fn drain_fence(&mut self) {
         self.dev.drain();
+        self.stats.drains += 1;
+        self.rec_add("pool.drains", 1);
         let ranges = std::mem::take(&mut self.pending_flush);
         if let Some(sink) = self.sink.clone() {
             for (off, len) in ranges {
                 if let Ok(data) = self.dev.read(off, len) {
                     self.stats.persists += 1;
-                    sink.lock().unwrap().on_persist(off, &data);
+                    self.rec_add("pool.persists", 1);
+                    self.rec_add("pool.bytes_persisted", len);
+                    sink.lock()
+                        .unwrap_or_else(|poisoned| poisoned.into_inner())
+                        .on_persist(off, &data);
                 }
             }
         }
@@ -228,6 +318,12 @@ impl PmPool {
         self.sink = None;
         self.recovering = false;
         self.pending_flush.clear();
+        self.stats.crashes += 1;
+        self.rec_add("pool.crashes", 1);
+        self.rec_event(
+            "pool.crash",
+            vec![("crash_no", obs::Value::from(self.stats.crashes))],
+        );
         self.recover()
     }
 
@@ -363,8 +459,11 @@ impl PmPool {
                 self.dev.write(payload, &vec![0u8; payload_size as usize])?;
                 self.persist_internal(payload, payload_size)?;
                 self.stats.allocs += 1;
+                self.rec_add("pool.allocs", 1);
                 if let Some(sink) = self.sink.clone() {
-                    sink.lock().unwrap().on_alloc(payload, payload_size);
+                    sink.lock()
+                        .unwrap_or_else(|poisoned| poisoned.into_inner())
+                        .on_alloc(payload, payload_size);
                 }
                 return Ok(payload);
             }
@@ -392,8 +491,11 @@ impl PmPool {
         ];
         self.redo_apply(&writes)?;
         self.stats.frees += 1;
+        self.rec_add("pool.frees", 1);
         if let Some(sink) = self.sink.clone() {
-            sink.lock().unwrap().on_free(offset);
+            sink.lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                .on_free(offset);
         }
         Ok(())
     }
@@ -472,8 +574,11 @@ impl PmPool {
             ranges: Vec::new(),
             undo_cursor: 0,
         });
+        self.rec_add("pool.tx_begins", 1);
         if let Some(sink) = self.sink.clone() {
-            sink.lock().unwrap().on_tx_begin(id);
+            sink.lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                .on_tx_begin(id);
         }
         Ok(id)
     }
@@ -522,8 +627,11 @@ impl PmPool {
         self.write_u64(hdr::TX_ACTIVE, 0)?;
         self.persist_internal(hdr::TX_ACTIVE, 8)?;
         self.stats.tx_commits += 1;
+        self.rec_add("pool.tx_commits", 1);
         if let Some(sink) = self.sink.clone() {
-            sink.lock().unwrap().on_tx_commit(tx.id, &committed);
+            sink.lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                .on_tx_commit(tx.id, &committed);
         }
         Ok(())
     }
@@ -538,8 +646,11 @@ impl PmPool {
         self.write_u64(hdr::TX_ACTIVE, 0)?;
         self.persist_internal(hdr::TX_ACTIVE, 8)?;
         self.stats.tx_aborts += 1;
+        self.rec_add("pool.tx_aborts", 1);
         if let Some(sink) = self.sink.clone() {
-            sink.lock().unwrap().on_tx_abort(tx.id);
+            sink.lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                .on_tx_abort(tx.id);
         }
         Ok(())
     }
@@ -575,16 +686,22 @@ impl PmPool {
     /// (`pmem_recover_begin`, §4.7 of the paper).
     pub fn recover_begin(&mut self) {
         self.recovering = true;
+        self.rec_event("pool.recover_begin", Vec::new());
         if let Some(sink) = self.sink.clone() {
-            sink.lock().unwrap().on_recover_begin();
+            sink.lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                .on_recover_begin();
         }
     }
 
     /// Marks the end of the application's recovery function.
     pub fn recover_end(&mut self) {
         self.recovering = false;
+        self.rec_event("pool.recover_end", Vec::new());
         if let Some(sink) = self.sink.clone() {
-            sink.lock().unwrap().on_recover_end();
+            sink.lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                .on_recover_end();
         }
     }
 
@@ -615,19 +732,29 @@ impl PmPool {
             tx: None,
             recovering: false,
             stats: self.stats,
+            // Lineage-root snapshot: a fork of a fork keeps the original
+            // base, so reabsorbing a grandchild adds the whole lineage's
+            // delta exactly once.
+            fork_base: Some(self.fork_base.unwrap_or(self.stats)),
+            recorder: None,
             pending_flush: self.pending_flush.clone(),
         }
     }
 
-    /// Adopts a fork's device state and counters, committing a speculative
-    /// attempt. The receiving pool keeps its own sink; the fork's open
-    /// transaction (if any) is dropped, as a restart would drop it.
+    /// Adopts a fork's device state, committing a speculative attempt.
+    /// Counters merge delta-based: only the activity the fork's lineage
+    /// performed since it diverged is added, so work the receiving pool did
+    /// between `fork()` and `reabsorb()` is never discarded. The receiving
+    /// pool keeps its own sink and recorder; the fork's open transaction
+    /// (if any) is dropped, as a restart would drop it.
     pub fn reabsorb(&mut self, fork: PmPool) {
+        let delta = fork.stats.delta_since(&fork.fork_base.unwrap_or_default());
         self.dev = fork.dev;
         self.tx = None;
         self.recovering = fork.recovering;
-        self.stats = fork.stats;
+        self.stats.absorb(&delta);
         self.pending_flush = fork.pending_flush;
+        self.rec_add("pool.reabsorbs", 1);
     }
 
     // ---- snapshot / integrity ----------------------------------------------
@@ -967,5 +1094,97 @@ mod tests {
         pool.write_u64(a - layout::BLOCK_HDR, 3).unwrap();
         pool.persist(a - layout::BLOCK_HDR, 8).unwrap();
         assert!(!pool.check().is_empty());
+    }
+
+    #[test]
+    fn reabsorb_keeps_parent_activity_between_fork_and_reabsorb() {
+        let mut pool = PmPool::create(CAP).unwrap();
+        let a = pool.alloc(64).unwrap();
+        pool.persist(a, 8).unwrap();
+        assert_eq!(pool.stats().persists, 1);
+
+        let mut fork = pool.fork();
+
+        // Parent keeps working after the fork diverges.
+        pool.persist(a, 8).unwrap();
+        pool.persist(a, 8).unwrap();
+
+        // The fork does its own (smaller) amount of work.
+        let b = fork.alloc(32).unwrap();
+        fork.persist(b, 8).unwrap();
+
+        pool.reabsorb(fork);
+        let s = pool.stats();
+        // 1 pre-fork + 2 parent-only + 1 fork delta; the old wholesale
+        // assignment would have reported 2 (fork's view), losing the
+        // parent's post-fork persists.
+        assert_eq!(s.persists, 4);
+        assert_eq!(s.allocs, 2);
+    }
+
+    #[test]
+    fn reabsorb_fork_of_fork_counts_lineage_delta_once() {
+        // Mirrors the speculative wave: sim_pool = pool.fork(), then each
+        // step gets step.pool = sim_pool.fork().
+        let mut pool = PmPool::create(CAP).unwrap();
+        let a = pool.alloc(64).unwrap();
+        pool.persist(a, 8).unwrap();
+
+        let mut sim = pool.fork();
+        sim.persist(a, 8).unwrap(); // batch work in the intermediate fork
+
+        let mut step = sim.fork();
+        step.persist(a, 8).unwrap();
+
+        pool.persist(a, 8).unwrap(); // parent activity meanwhile
+
+        pool.reabsorb(step);
+        let s = pool.stats();
+        // 1 pre-fork + 1 parent + (sim 1 + step 1) lineage delta.
+        assert_eq!(s.persists, 4);
+        assert_eq!(s.allocs, 1, "pre-fork alloc not double counted");
+    }
+
+    #[test]
+    fn reabsorbing_a_non_fork_pool_adds_its_whole_stats() {
+        let mut pool = PmPool::create(CAP).unwrap();
+        let a = pool.alloc(64).unwrap();
+        pool.persist(a, 8).unwrap();
+
+        let mut other = PmPool::create(CAP).unwrap();
+        let b = other.alloc(64).unwrap();
+        other.persist(b, 8).unwrap();
+        other.persist(b, 8).unwrap();
+
+        pool.reabsorb(other);
+        let s = pool.stats();
+        assert_eq!(s.persists, 3);
+        assert_eq!(s.allocs, 2);
+    }
+
+    #[test]
+    fn recorder_counts_pool_operations_and_survives_crash() {
+        let rec = std::sync::Arc::new(obs::RingRecorder::new(64));
+        let mut pool = PmPool::create(CAP).unwrap();
+        pool.set_recorder(rec.clone());
+
+        let a = pool.alloc(64).unwrap();
+        pool.persist(a, 64).unwrap();
+        pool.tx_begin().unwrap();
+        pool.tx_add(a, 8).unwrap();
+        pool.tx_commit().unwrap();
+        pool.crash_and_reopen().unwrap();
+        pool.persist(a, 8).unwrap();
+
+        let counters = rec.counters();
+        assert_eq!(counters.get("pool.allocs"), Some(&1));
+        assert_eq!(counters.get("pool.persists"), Some(&2));
+        assert_eq!(counters.get("pool.bytes_persisted"), Some(&72));
+        assert_eq!(counters.get("pool.tx_commits"), Some(&1));
+        assert_eq!(counters.get("pool.crashes"), Some(&1));
+        assert!(
+            rec.events().iter().any(|e| e.kind == "pool.crash"),
+            "crash event recorded"
+        );
     }
 }

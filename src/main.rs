@@ -3,6 +3,8 @@
 //! ```text
 //! arthas-repro list                      # the 12 fault scenarios
 //! arthas-repro run f6 [arthas|pmcriu|arckpt] [seed]
+//! arthas-repro report f6 [--json]        # observed run: timeline / JSON
+//! arthas-repro report all --out reports  # one JSON document per scenario
 //! arthas-repro study                     # the S2 empirical-study stats
 //! arthas-repro analyze kvcache           # analyzer summary for an app
 //! arthas-repro lint kvcache [--json]     # crash-consistency lint report
@@ -32,6 +34,10 @@ fn usage() -> ! {
          \x20 run <fN> [solution] [seed]    run one scenario to failure and mitigate\n\
          \x20                               solution: arthas (default) | arthas-spec[:k]\n\
          \x20                               | pmcriu | arckpt\n\
+         \x20 report <fN|all> [solution]    run with the observability recorder attached\n\
+         \x20        [--seed N] [--json]    and print the recovery timeline (or the\n\
+         \x20        [--out DIR]            schema-validated JSON document); --out writes\n\
+         \x20                               one <id>.json per scenario\n\
          \x20 study                         print the empirical-study statistics (S2)\n\
          \x20 analyze <app>                 analyzer summary (apps: kvcache, listdb,\n\
          \x20                               cceh, segcache, pmkv)\n\
@@ -56,6 +62,7 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("list") => cmd_list(),
         Some("run") => cmd_run(&args[1..]),
+        Some("report") => cmd_report(&args[1..]),
         Some("study") => cmd_study(),
         Some("analyze") => cmd_analyze(&args[1..]),
         Some("lint") => cmd_lint(&args[1..]),
@@ -80,13 +87,10 @@ fn cmd_list() {
     }
 }
 
-fn cmd_run(args: &[String]) {
-    let Some(id) = args.first() else { usage() };
-    let Some(scn) = scenarios::by_id(id) else {
-        eprintln!("unknown scenario {id} (try `arthas-repro list`)");
-        std::process::exit(1);
-    };
-    let solution = match args.get(1).map(String::as_str) {
+/// Parses a solution name (`arthas`, `arthas-spec[:k]`, `pmcriu`,
+/// `arckpt`); exits with a message on anything else.
+fn parse_solution(name: Option<&str>) -> Solution {
+    match name {
         None | Some("arthas") => Solution::Arthas(ReactorConfig::default()),
         Some("pmcriu") => Solution::PmCriu,
         Some("arckpt") => Solution::ArCkpt(200),
@@ -109,7 +113,16 @@ fn cmd_run(args: &[String]) {
             eprintln!("unknown solution {other}");
             std::process::exit(1);
         }
+    }
+}
+
+fn cmd_run(args: &[String]) {
+    let Some(id) = args.first() else { usage() };
+    let Some(scn) = scenarios::by_id(id) else {
+        eprintln!("unknown scenario {id} (try `arthas-repro list`)");
+        std::process::exit(1);
     };
+    let solution = parse_solution(args.get(1).map(String::as_str));
     let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1);
 
     println!("== {}: {} — {} ==", scn.id(), scn.system(), scn.fault());
@@ -134,7 +147,7 @@ fn cmd_run(args: &[String]) {
         prod.failure.kind,
         prod.failure.exit_code,
         prod.restarts,
-        prod.log.lock().unwrap().total_updates(),
+        arthas::lock_log(&prod.log).total_updates(),
     );
     let res = mitigate(&mut prod, scn.as_ref(), &setup, solution);
     println!(
@@ -148,6 +161,96 @@ fn cmd_run(args: &[String]) {
         res.leaks_freed,
     );
     std::process::exit(if res.recovered { 0 } else { 1 });
+}
+
+fn cmd_report(args: &[String]) {
+    let Some(which) = args.first() else { usage() };
+    let mut solution_arg: Option<&str> = None;
+    let mut seed: u64 = 1;
+    let mut json = false;
+    let mut out_dir: Option<&str> = None;
+    let mut rest = args[1..].iter();
+    while let Some(a) = rest.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--seed" => match rest.next().and_then(|s| s.parse().ok()) {
+                Some(n) => seed = n,
+                None => {
+                    eprintln!("--seed needs a number");
+                    std::process::exit(2);
+                }
+            },
+            "--out" => match rest.next() {
+                Some(d) => out_dir = Some(d),
+                None => {
+                    eprintln!("--out needs a directory");
+                    std::process::exit(2);
+                }
+            },
+            name if solution_arg.is_none() && !name.starts_with('-') => {
+                solution_arg = Some(name);
+            }
+            other => {
+                eprintln!("unknown report argument {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let targets: Vec<_> = if which == "all" {
+        scenarios::all()
+    } else {
+        match scenarios::by_id(which) {
+            Some(s) => vec![s],
+            None => {
+                eprintln!("unknown scenario {which} (try `arthas-repro list`)");
+                std::process::exit(1);
+            }
+        }
+    };
+    if let Some(dir) = out_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {dir}: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    let mut failed = 0u32;
+    for scn in &targets {
+        let solution = parse_solution(solution_arg);
+        let Some(report) = pm_workload::report::run_report(scn.as_ref(), solution, seed) else {
+            eprintln!(
+                "{}: production completed with no detected hard failure",
+                scn.id()
+            );
+            failed += 1;
+            continue;
+        };
+        // Every document self-validates against the embedded schema;
+        // drift (member removal, type change) fails the run.
+        if let Err(errors) = report.validate_rendered() {
+            eprintln!("{}: report JSON failed schema validation:", scn.id());
+            for e in errors {
+                eprintln!("  {e}");
+            }
+            failed += 1;
+            continue;
+        }
+        if json {
+            println!("{}", report.json.render_pretty());
+        } else {
+            print!("{}", report.render_timeline());
+        }
+        if let Some(dir) = out_dir {
+            let path = format!("{dir}/{}.json", scn.id());
+            if let Err(e) = std::fs::write(&path, report.json.render_pretty() + "\n") {
+                eprintln!("cannot write {path}: {e}");
+                failed += 1;
+            } else {
+                eprintln!("wrote {path}");
+            }
+        }
+    }
+    std::process::exit(if failed > 0 { 1 } else { 0 });
 }
 
 fn cmd_study() {
