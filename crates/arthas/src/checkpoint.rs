@@ -13,7 +13,7 @@
 //! restarts of the target exactly like a separate pool would.
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use pmemsim::PmSink;
 
@@ -21,16 +21,80 @@ use pmemsim::PmSink;
 pub const MAX_VERSIONS: usize = 3;
 
 /// Locks a shared checkpoint log, recovering from a poisoned mutex.
+#[doc(hidden)]
+#[deprecated(since = "0.4.0", note = "use `SharedLog::lock` instead")]
+pub fn lock_log(log: &Mutex<CheckpointLog>) -> MutexGuard<'_, CheckpointLog> {
+    log.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// A cloneable, poison-tolerant handle to a [`CheckpointLog`] shared
+/// between the production driver, the reactor and the pool's sink.
 ///
 /// A panic on another thread while the lock is held — e.g. a speculative
-/// re-execution fork dying mid-attempt — poisons the mutex. Mitigation is
-/// precisely the code that must keep running after such a panic (recovery
-/// is the whole point), and every log mutation is applied through `&mut
-/// self` methods that complete before the guard drops, so the data behind
-/// a poisoned lock is still coherent. Use this instead of
-/// `log.lock().unwrap()` anywhere the log is shared across threads.
-pub fn lock_log(log: &std::sync::Mutex<CheckpointLog>) -> std::sync::MutexGuard<'_, CheckpointLog> {
-    log.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+/// re-execution fork dying mid-attempt — poisons the inner mutex.
+/// Mitigation is precisely the code that must keep running after such a
+/// panic (recovery is the whole point), and every log mutation is applied
+/// through `&mut self` methods that complete before the guard drops, so
+/// the data behind a poisoned lock is still coherent. [`SharedLog::lock`]
+/// therefore recovers poisoning internally; there is no panicking variant.
+#[derive(Clone)]
+pub struct SharedLog(Arc<Mutex<CheckpointLog>>);
+
+impl SharedLog {
+    /// Creates a handle to a fresh, enabled log.
+    pub fn new() -> Self {
+        SharedLog(Arc::new(Mutex::new(CheckpointLog::new())))
+    }
+
+    /// Wraps an existing log.
+    pub fn from_log(log: CheckpointLog) -> Self {
+        SharedLog(Arc::new(Mutex::new(log)))
+    }
+
+    /// Locks the log, recovering from a poisoned mutex.
+    pub fn lock(&self) -> MutexGuard<'_, CheckpointLog> {
+        self.0
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// The same handle viewed as a pool sink, for
+    /// [`pmemsim::PmPool::set_sink`].
+    pub fn as_sink(&self) -> Arc<Mutex<dyn PmSink + Send>> {
+        self.0.clone()
+    }
+}
+
+impl Default for SharedLog {
+    fn default() -> Self {
+        SharedLog::new()
+    }
+}
+
+impl From<CheckpointLog> for SharedLog {
+    fn from(log: CheckpointLog) -> Self {
+        SharedLog::from_log(log)
+    }
+}
+
+impl obs::Instrument for SharedLog {
+    fn instrument(&mut self, recorder: Arc<dyn obs::Recorder>) {
+        self.lock().recorder = Some(recorder);
+    }
+
+    fn uninstrument(&mut self) {
+        self.lock().recorder = None;
+    }
+}
+
+impl obs::Instrument for CheckpointLog {
+    fn instrument(&mut self, recorder: Arc<dyn obs::Recorder>) {
+        self.recorder = Some(recorder);
+    }
+
+    fn uninstrument(&mut self) {
+        self.recorder = None;
+    }
 }
 
 /// One retained version of an address's data.
@@ -134,6 +198,8 @@ impl CheckpointLog {
     }
 
     /// Attaches a recorder; the log bumps `log.*` counters as it records.
+    #[doc(hidden)]
+    #[deprecated(since = "0.4.0", note = "use `obs::Instrument::instrument` instead")]
     pub fn set_recorder(&mut self, recorder: Arc<dyn obs::Recorder>) {
         self.recorder = Some(recorder);
     }

@@ -65,7 +65,7 @@ impl FailureRecord {
             }
             StepLimit | Deadlock => FailureKind::Hang,
             AssertFail { .. } | Abort { .. } => FailureKind::Panic,
-            InjectedCrash => FailureKind::Crash,
+            InjectedCrash | SiteCrash { .. } => FailureKind::Crash,
         };
         FailureRecord {
             kind,
@@ -154,8 +154,9 @@ impl Detector {
         Self::default()
     }
 
-    /// Attaches a recorder; each observation emits a `detector.observe`
-    /// event.
+    /// Attaches a recorder.
+    #[doc(hidden)]
+    #[deprecated(since = "0.4.0", note = "use `obs::Instrument::instrument` instead")]
     pub fn set_recorder(&mut self, recorder: Arc<dyn obs::Recorder>) {
         self.recorder = Some(recorder);
     }
@@ -209,6 +210,18 @@ impl Detector {
     /// [`Detector::history`].
     pub fn verdicts(&self) -> &[Verdict] {
         &self.verdicts
+    }
+}
+
+impl obs::Instrument for Detector {
+    /// Attaches a recorder; each observation emits a `detector.observe`
+    /// event.
+    fn instrument(&mut self, recorder: Arc<dyn obs::Recorder>) {
+        self.recorder = Some(recorder);
+    }
+
+    fn uninstrument(&mut self) {
+        self.recorder = None;
     }
 }
 

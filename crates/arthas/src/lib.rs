@@ -31,10 +31,12 @@ pub mod reactor;
 pub mod trace;
 
 pub use analyzer::{analyze_and_instrument, AnalyzerOutput, GuidMap, GuidMeta};
-pub use checkpoint::{lock_log, CheckpointLog, Entry, LogStats, VersionData, MAX_VERSIONS};
+#[allow(deprecated)]
+pub use checkpoint::lock_log;
+pub use checkpoint::{CheckpointLog, Entry, LogStats, SharedLog, VersionData, MAX_VERSIONS};
 pub use detector::{Detector, FailureKind, FailureRecord, LeakMonitor, Verdict};
 pub use reactor::{
-    BatchStrategy, ForkableTarget, MitigationOutcome, Mode, PhaseTimes, Plan, Reactor,
-    ReactorConfig, Target,
+    BatchStrategy, ConfigError, ForkableTarget, MitigationOutcome, Mode, PhaseTimes, Plan, Reactor,
+    ReactorConfig, ReactorConfigBuilder, Target,
 };
 pub use trace::PmTrace;

@@ -24,7 +24,6 @@
 
 use std::collections::BTreeSet;
 use std::sync::Arc;
-use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use pir::ir::InstRef;
@@ -34,9 +33,21 @@ use pmemsim::PmPool;
 use obs::Value;
 
 use crate::analyzer::GuidMap;
-use crate::checkpoint::{lock_log, CheckpointLog, MAX_VERSIONS};
+use crate::checkpoint::{CheckpointLog, SharedLog, MAX_VERSIONS};
 use crate::detector::{FailureKind, FailureRecord};
 use crate::trace::PmTrace;
+
+/// An invalid configuration rejected by a builder's `build()`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError(pub String);
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid configuration: {}", self.0)
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Reversion strategy: strict time order vs dependent-only.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,25 +69,37 @@ pub enum BatchStrategy {
 }
 
 /// Reactor configuration.
+///
+/// Construct with [`ReactorConfig::builder`] (validated) or start from
+/// [`ReactorConfig::default`]. The fields remain public for one release
+/// to keep struct-literal construction compiling, but are hidden from
+/// the documented API surface — new code should use the builder.
 #[derive(Debug, Clone, Copy)]
 pub struct ReactorConfig {
     /// Reversion mode.
+    #[doc(hidden)]
     pub mode: Mode,
     /// Batching strategy.
+    #[doc(hidden)]
     pub batch: BatchStrategy,
     /// Re-execution budget before giving up (the paper's 10-minute
     /// timeout analogue).
+    #[doc(hidden)]
     pub max_attempts: u32,
     /// Optional cap on slice distance for candidate selection.
+    #[doc(hidden)]
     pub max_distance: Option<u32>,
     /// Bound on slice exploration.
+    #[doc(hidden)]
     pub max_slice_nodes: usize,
     /// Purge attempts before falling back to rollback mode.
+    #[doc(hidden)]
     pub purge_fallback_after: u32,
     /// After a successful recovery, spend extra re-executions restoring
     /// reverted entries that turn out not to be needed (the technical
     /// report's reduction of the reverted sequence-number set). Lowers
     /// discarded data at the cost of more attempts.
+    #[doc(hidden)]
     pub minimize_loss: bool,
     /// Speculative mitigation: `Some(k)` forks the pool for the next `k`
     /// candidate reversions at each step and re-executes the forks
@@ -86,7 +109,94 @@ pub struct ReactorConfig {
     /// [`std::thread::available_parallelism`]; `None` keeps the
     /// sequential loop. Requires a [`ForkableTarget`]
     /// (see [`Reactor::mitigate_speculative`]).
+    #[doc(hidden)]
     pub speculation: Option<usize>,
+}
+
+/// Validating builder for [`ReactorConfig`]; see the field setters for
+/// what each knob does. Obtained from [`ReactorConfig::builder`].
+#[derive(Debug, Clone, Copy)]
+pub struct ReactorConfigBuilder {
+    cfg: ReactorConfig,
+}
+
+impl ReactorConfigBuilder {
+    /// Reversion mode (default [`Mode::Purge`]).
+    pub fn mode(mut self, mode: Mode) -> Self {
+        self.cfg.mode = mode;
+        self
+    }
+
+    /// Batching strategy (default [`BatchStrategy::OneByOne`]).
+    /// `Batch(0)` is rejected by [`ReactorConfigBuilder::build`].
+    pub fn batch(mut self, batch: BatchStrategy) -> Self {
+        self.cfg.batch = batch;
+        self
+    }
+
+    /// Re-execution budget before giving up, ≥ 1 (the paper's 10-minute
+    /// timeout analogue; default 200).
+    pub fn max_attempts(mut self, max_attempts: u32) -> Self {
+        self.cfg.max_attempts = max_attempts;
+        self
+    }
+
+    /// Optional cap on slice distance for candidate selection (default
+    /// none).
+    pub fn max_distance(mut self, max_distance: Option<u32>) -> Self {
+        self.cfg.max_distance = max_distance;
+        self
+    }
+
+    /// Bound on slice exploration, ≥ 1 (default 100 000).
+    pub fn max_slice_nodes(mut self, max_slice_nodes: usize) -> Self {
+        self.cfg.max_slice_nodes = max_slice_nodes;
+        self
+    }
+
+    /// Purge attempts before falling back to rollback mode, ≥ 1
+    /// (default 60).
+    pub fn purge_fallback_after(mut self, purge_fallback_after: u32) -> Self {
+        self.cfg.purge_fallback_after = purge_fallback_after;
+        self
+    }
+
+    /// After a successful recovery, spend extra re-executions restoring
+    /// reverted entries that turn out not to be needed (default off).
+    pub fn minimize_loss(mut self, minimize_loss: bool) -> Self {
+        self.cfg.minimize_loss = minimize_loss;
+        self
+    }
+
+    /// Speculative mitigation workers: `Some(k)` re-executes the next `k`
+    /// candidate reversions concurrently on pool forks, `Some(0)` sizes
+    /// the fleet from [`std::thread::available_parallelism`], `None`
+    /// (the default) keeps the sequential loop.
+    pub fn speculation(mut self, speculation: Option<usize>) -> Self {
+        self.cfg.speculation = speculation;
+        self
+    }
+
+    /// Validates and produces the configuration.
+    pub fn build(self) -> Result<ReactorConfig, ConfigError> {
+        if self.cfg.max_attempts == 0 {
+            return Err(ConfigError("max_attempts must be at least 1".into()));
+        }
+        if self.cfg.max_slice_nodes == 0 {
+            return Err(ConfigError("max_slice_nodes must be at least 1".into()));
+        }
+        if self.cfg.purge_fallback_after == 0 {
+            return Err(ConfigError(
+                "purge_fallback_after must be at least 1".into(),
+            ));
+        }
+        if self.cfg.batch == BatchStrategy::Batch(0) {
+            return Err(ConfigError(
+                "batch size 0 would revert nothing per attempt; use OneByOne".into(),
+            ));
+        }
+        Ok(self.cfg)
+    }
 }
 
 impl Default for ReactorConfig {
@@ -105,6 +215,18 @@ impl Default for ReactorConfig {
 }
 
 impl ReactorConfig {
+    /// A validating builder seeded with the defaults.
+    pub fn builder() -> ReactorConfigBuilder {
+        ReactorConfigBuilder {
+            cfg: ReactorConfig::default(),
+        }
+    }
+
+    /// A builder seeded with this configuration, for deriving variants.
+    pub fn to_builder(self) -> ReactorConfigBuilder {
+        ReactorConfigBuilder { cfg: self }
+    }
+
     /// Number of concurrent re-execution workers this configuration asks
     /// for: 1 means sequential.
     pub fn speculation_workers(&self) -> usize {
@@ -290,9 +412,9 @@ impl<'a> Reactor<'a> {
         }
     }
 
-    /// Attaches a recorder; the reactor emits a `reactor.*` event timeline
-    /// (plan, per-attempt, fallbacks, waves, outcome) and phase-duration
-    /// histograms while mitigating.
+    /// Attaches a recorder.
+    #[doc(hidden)]
+    #[deprecated(since = "0.4.0", note = "use `obs::Instrument::instrument` instead")]
     pub fn set_recorder(&mut self, recorder: Arc<dyn obs::Recorder>) {
         self.recorder = recorder;
     }
@@ -357,7 +479,7 @@ impl<'a> Reactor<'a> {
     pub fn mitigate(
         &mut self,
         pool: &mut PmPool,
-        log: &Arc<Mutex<CheckpointLog>>,
+        log: &SharedLog,
         failure: &FailureRecord,
         trace: &PmTrace,
         target: &mut dyn Target,
@@ -375,9 +497,9 @@ impl<'a> Reactor<'a> {
             // §4.5: likely a false alarm — not caused by bad PM values.
             return self.restart_only(pool, target, t0, 0, phases);
         }
-        lock_log(log).set_enabled(false);
+        log.lock().set_enabled(false);
         let out = self.revert_loop(pool, log, &plan, trace, target, t0, phases);
-        lock_log(log).set_enabled(true);
+        log.lock().set_enabled(true);
         self.record_outcome(&out);
         out
     }
@@ -388,12 +510,12 @@ impl<'a> Reactor<'a> {
         &mut self,
         fault: InstRef,
         trace: &PmTrace,
-        log: &Arc<Mutex<CheckpointLog>>,
+        log: &SharedLog,
         pool: &mut PmPool,
     ) -> (Plan, PhaseTimes) {
         let t_plan = Instant::now();
         let plan = {
-            let log_ref = lock_log(log);
+            let log_ref = log.lock();
             self.plan(fault, trace, &log_ref, pool)
         };
         let mut phases = PhaseTimes {
@@ -448,7 +570,7 @@ impl<'a> Reactor<'a> {
     pub fn mitigate_speculative(
         &mut self,
         pool: &mut PmPool,
-        log: &Arc<Mutex<CheckpointLog>>,
+        log: &SharedLog,
         failure: &FailureRecord,
         trace: &PmTrace,
         target: &mut dyn ForkableTarget,
@@ -469,10 +591,10 @@ impl<'a> Reactor<'a> {
         if plan.seqs.is_empty() {
             return self.restart_only(pool, target, t0, 0, phases);
         }
-        lock_log(log).set_enabled(false);
+        log.lock().set_enabled(false);
         let out =
             self.revert_loop_speculative(pool, log, &plan, trace, target, t0, workers, phases);
-        lock_log(log).set_enabled(true);
+        log.lock().set_enabled(true);
         self.record_outcome(&out);
         out
     }
@@ -519,7 +641,7 @@ impl<'a> Reactor<'a> {
     fn revert_loop(
         &mut self,
         pool: &mut PmPool,
-        log_rc: &Arc<Mutex<CheckpointLog>>,
+        log_rc: &SharedLog,
         plan: &Plan,
         trace: &PmTrace,
         target: &mut dyn Target,
@@ -661,7 +783,7 @@ impl<'a> Reactor<'a> {
     fn revert_loop_speculative(
         &mut self,
         pool: &mut PmPool,
-        log_rc: &Arc<Mutex<CheckpointLog>>,
+        log_rc: &SharedLog,
         plan: &Plan,
         trace: &PmTrace,
         target: &mut dyn ForkableTarget,
@@ -875,7 +997,7 @@ impl<'a> Reactor<'a> {
     fn apply_batch(
         &self,
         pool: &mut PmPool,
-        log_rc: &Arc<Mutex<CheckpointLog>>,
+        log_rc: &SharedLog,
         plan: &Plan,
         trace: &PmTrace,
         batch: &[u64],
@@ -909,7 +1031,7 @@ impl<'a> Reactor<'a> {
                 let mut normal: Vec<u64> = Vec::new();
                 for &s in batch {
                     let healed = {
-                        let log = lock_log(log_rc);
+                        let log = log_rc.lock();
                         if seq_diverged(&log, pool, s) {
                             log.addr_of_seq(s)
                                 .and_then(|addr| log.expected_current(addr).map(|d| (addr, d)))
@@ -949,7 +1071,7 @@ impl<'a> Reactor<'a> {
     fn purge_seq(
         &self,
         pool: &mut PmPool,
-        log_rc: &Arc<Mutex<CheckpointLog>>,
+        log_rc: &SharedLog,
         plan: &Plan,
         trace: &PmTrace,
         seq: u64,
@@ -961,10 +1083,10 @@ impl<'a> Reactor<'a> {
         // Externally corrupted entries (divergence) did not propagate via
         // program writes: restoring the durable truth needs no sibling or
         // forward-dependency expansion.
-        let externally_corrupted = seq_diverged(&lock_log(log_rc), pool, seq);
+        let externally_corrupted = seq_diverged(&log_rc.lock(), pool, seq);
         // Transaction siblings (§4.6).
         if !externally_corrupted {
-            let log = lock_log(log_rc);
+            let log = log_rc.lock();
             if let Some(tx) = log.tx_of_seq(seq) {
                 worklist.extend(log.tx_seqs(tx).iter().copied());
             }
@@ -1001,7 +1123,7 @@ impl<'a> Reactor<'a> {
                     break;
                 }
             }
-            let log = lock_log(log_rc);
+            let log = log_rc.lock();
             for at in seen {
                 if !self.analysis.pm.pm_writes.contains(&at) {
                     continue;
@@ -1022,7 +1144,7 @@ impl<'a> Reactor<'a> {
         worklist.dedup();
         for s in worklist {
             let (addr, data) = {
-                let log = lock_log(log_rc);
+                let log = log_rc.lock();
                 let Some(addr) = log.addr_of_seq(s) else {
                     continue;
                 };
@@ -1044,7 +1166,7 @@ impl<'a> Reactor<'a> {
             let _ = pool.write(addr, &data);
             let _ = pool.persist(addr, data.len() as u64);
             // Versions discarded: the newest `depth` versions of the entry.
-            let log = lock_log(log_rc);
+            let log = log_rc.lock();
             let slot = ledger.by_addr.entry(addr).or_default();
             if let Some(e) = log.entry(addr) {
                 let n = e.versions.len();
@@ -1109,12 +1231,12 @@ impl<'a> Reactor<'a> {
     fn rollback_to(
         &self,
         pool: &mut PmPool,
-        log_rc: &Arc<Mutex<CheckpointLog>>,
+        log_rc: &SharedLog,
         cut: u64,
         ledger: &mut RevertLedger,
     ) {
         let victims: Vec<(u64, Vec<u8>)> = {
-            let log = lock_log(log_rc);
+            let log = log_rc.lock();
             log.addrs_touched_since(cut)
                 .into_iter()
                 .filter_map(|a| log.data_before_seq(a, cut).map(|d| (a, d)))
@@ -1126,7 +1248,7 @@ impl<'a> Reactor<'a> {
             let _ = pool.persist(addr, data.len() as u64);
             ledger.by_addr.entry(addr).or_default();
         }
-        let log = lock_log(log_rc);
+        let log = log_rc.lock();
         for s in log.all_seqs() {
             if s >= cut {
                 if let Some(addr) = log.addr_of_seq(s) {
@@ -1142,23 +1264,23 @@ impl<'a> Reactor<'a> {
     fn mitigate_leak(
         &mut self,
         pool: &mut PmPool,
-        log_rc: &Arc<Mutex<CheckpointLog>>,
+        log_rc: &SharedLog,
         target: &mut dyn Target,
         t0: Instant,
     ) -> MitigationOutcome {
         let mut phases = PhaseTimes::default();
-        lock_log(log_rc).set_enabled(false);
-        lock_log(log_rc).clear_recovery_reads();
+        log_rc.lock().set_enabled(false);
+        log_rc.lock().clear_recovery_reads();
         // Run recovery + verification once to populate the recovery reads.
         let t_re = Instant::now();
         let _ = target.reexecute(pool);
         phases.reexec += t_re.elapsed();
-        let suspects = lock_log(log_rc).suspected_leaks();
+        let suspects = log_rc.lock().suspected_leaks();
         let mut freed = 0u64;
         let t_rv = Instant::now();
         for (addr, _size) in &suspects {
             if pool.is_allocated(*addr) && pool.free(*addr).is_ok() {
-                lock_log(log_rc).note_reactor_free(*addr);
+                log_rc.lock().note_reactor_free(*addr);
                 freed += 1;
             }
         }
@@ -1166,7 +1288,7 @@ impl<'a> Reactor<'a> {
         let t_re = Instant::now();
         let ok = target.reexecute(pool).is_ok();
         phases.reexec += t_re.elapsed();
-        lock_log(log_rc).set_enabled(true);
+        log_rc.lock().set_enabled(true);
         self.recorder.event(
             "reactor.leak_mitigation",
             vec![
@@ -1191,6 +1313,19 @@ impl<'a> Reactor<'a> {
         };
         self.record_outcome(&out);
         out
+    }
+}
+
+impl obs::Instrument for Reactor<'_> {
+    /// Attaches a recorder; the reactor emits a `reactor.*` event timeline
+    /// (plan, per-attempt, fallbacks, waves, outcome) and phase-duration
+    /// histograms while mitigating.
+    fn instrument(&mut self, recorder: Arc<dyn obs::Recorder>) {
+        self.recorder = recorder;
+    }
+
+    fn uninstrument(&mut self) {
+        self.recorder = Arc::new(obs::NullRecorder);
     }
 }
 

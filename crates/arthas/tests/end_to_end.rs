@@ -9,11 +9,10 @@
 //! restart, because the flag is durable.
 
 use std::sync::Arc;
-use std::sync::Mutex;
 
 use arthas::{
-    analyze_and_instrument, CheckpointLog, Detector, FailureRecord, PmTrace, Reactor,
-    ReactorConfig, Target, Verdict,
+    analyze_and_instrument, Detector, FailureRecord, PmTrace, Reactor, ReactorConfig, SharedLog,
+    Target, Verdict,
 };
 use pir::builder::ModuleBuilder;
 use pir::ir::Module;
@@ -94,7 +93,7 @@ fn new_pool() -> PmPool {
 
 struct MiniTarget {
     module: Arc<Module>,
-    log: Arc<Mutex<CheckpointLog>>,
+    log: SharedLog,
 }
 
 impl Target for MiniTarget {
@@ -107,7 +106,7 @@ impl Target for MiniTarget {
         let mut vm = Vm::new(self.module.clone(), reopened, VmOpts::default());
         // Recovery reads are tracked for leak mitigation; updates are not
         // recorded (the log is disabled during mitigation).
-        vm.pool_mut().set_sink(self.log.clone());
+        vm.pool_mut().set_sink(self.log.as_sink());
         vm.call("recover", &[])
             .map_err(|e| FailureRecord::from_vm(&e))?;
         vm.call("get", &[])
@@ -131,13 +130,13 @@ fn full_pipeline_recovers_with_minimal_loss() {
     let module = build_app();
     let out = analyze_and_instrument(&module);
     let instrumented = Arc::new(out.instrumented);
-    let log = Arc::new(Mutex::new(CheckpointLog::new()));
+    let log = SharedLog::new();
     let mut trace = PmTrace::new();
     let mut detector = Detector::new();
 
     // --- production run -------------------------------------------------
     let mut vm = Vm::new(instrumented.clone(), new_pool(), VmOpts::default());
-    vm.pool_mut().set_sink(log.clone());
+    vm.pool_mut().set_sink(log.as_sink());
     for v in [1u64, 2, 3] {
         vm.call("put", &[v]).unwrap();
     }
@@ -149,7 +148,7 @@ fn full_pipeline_recovers_with_minimal_loss() {
 
     // --- restart: soft-fault hypothesis fails, symptom recurs -----------
     let mut pool = vm.crash();
-    pool.set_sink(log.clone());
+    pool.set_sink(log.as_sink());
     let mut vm = Vm::new(instrumented.clone(), pool, VmOpts::default());
     vm.call("recover", &[]).unwrap();
     let err2 = vm.call("get", &[]).unwrap_err();
@@ -160,7 +159,7 @@ fn full_pipeline_recovers_with_minimal_loss() {
 
     // --- reactor mitigation ---------------------------------------------
     let mut pool = vm.crash();
-    let total_updates = log.lock().unwrap().total_updates();
+    let total_updates = log.lock().total_updates();
     assert!(
         total_updates >= 9,
         "puts were checkpointed: {total_updates}"
@@ -216,7 +215,7 @@ fn plan_is_empty_for_unrelated_fault() {
     // reactor falls back to plain restart (false-alarm pruning, §4.5).
     let module = build_app();
     let out = analyze_and_instrument(&module);
-    let log = Arc::new(Mutex::new(CheckpointLog::new()));
+    let log = SharedLog::new();
     let trace = PmTrace::new();
     let mut reactor = Reactor::new(&out.analysis, &out.guid_map, ReactorConfig::default());
     // Use the first instruction of `recover` (a recover_begin intrinsic
@@ -224,6 +223,6 @@ fn plan_is_empty_for_unrelated_fault() {
     let fid = module.func_by_name("recover").unwrap();
     let fault = pir::ir::InstRef { func: fid, inst: 0 };
     let mut pool = new_pool();
-    let plan = reactor.plan(fault, &trace, &log.lock().unwrap(), &mut pool);
+    let plan = reactor.plan(fault, &trace, &log.lock(), &mut pool);
     assert!(plan.seqs.is_empty());
 }

@@ -5,10 +5,9 @@
 //! reactor must recover a fault planted through that path.
 
 use std::sync::Arc;
-use std::sync::Mutex;
 
 use arthas::{
-    analyze_and_instrument, CheckpointLog, FailureRecord, PmTrace, Reactor, ReactorConfig, Target,
+    analyze_and_instrument, FailureRecord, PmTrace, Reactor, ReactorConfig, SharedLog, Target,
 };
 use pir::builder::ModuleBuilder;
 use pir::ir::{Intrinsic, Module};
@@ -71,21 +70,21 @@ fn new_pool() -> PmPool {
 #[test]
 fn fence_completion_is_a_checkpoint_point() {
     let module = Arc::new(native_app());
-    let log = Arc::new(Mutex::new(CheckpointLog::new()));
+    let log = SharedLog::new();
     let mut vm = Vm::new(module, new_pool(), VmOpts::default());
-    vm.pool_mut().set_sink(log.clone());
+    vm.pool_mut().set_sink(log.as_sink());
     vm.call("put", &[7]).unwrap();
     vm.call("put", &[8]).unwrap();
     assert_eq!(
-        log.lock().unwrap().total_updates(),
+        log.lock().total_updates(),
         2,
         "each flush+fence pair checkpointed once"
     );
     // The entry holds the post-fence durable value with versioning.
     let root = vm.pool_mut().root_offset().unwrap();
-    let e = log.lock().unwrap().data_at_depth(root, 0).unwrap();
+    let e = log.lock().data_at_depth(root, 0).unwrap();
     assert_eq!(e, 8u64.to_le_bytes());
-    let prev = log.lock().unwrap().data_at_depth(root, 1).unwrap();
+    let prev = log.lock().data_at_depth(root, 1).unwrap();
     assert_eq!(prev, 7u64.to_le_bytes());
 }
 
@@ -103,15 +102,11 @@ fn flush_without_fence_is_not_checkpointed_or_durable() {
     f.ret(None);
     f.finish();
     let module = Arc::new(m.finish().unwrap());
-    let log = Arc::new(Mutex::new(CheckpointLog::new()));
+    let log = SharedLog::new();
     let mut vm = Vm::new(module, new_pool(), VmOpts::default());
-    vm.pool_mut().set_sink(log.clone());
+    vm.pool_mut().set_sink(log.as_sink());
     vm.call("half_put", &[7]).unwrap();
-    assert_eq!(
-        log.lock().unwrap().total_updates(),
-        0,
-        "no durability point yet"
-    );
+    assert_eq!(log.lock().total_updates(), 0, "no durability point yet");
     let mut pool = vm.crash();
     let root = pool.root_offset().unwrap();
     assert_eq!(pool.read_u64(root).unwrap(), 0, "in-flight line dropped");
@@ -119,7 +114,7 @@ fn flush_without_fence_is_not_checkpointed_or_durable() {
 
 struct NativeTarget {
     module: Arc<Module>,
-    log: Arc<Mutex<CheckpointLog>>,
+    log: SharedLog,
 }
 
 impl Target for NativeTarget {
@@ -127,7 +122,7 @@ impl Target for NativeTarget {
         let p2 = PmPool::open(pool.snapshot())
             .map_err(|e| FailureRecord::wrong_result(format!("{e}")))?;
         let mut vm = Vm::new(self.module.clone(), p2, VmOpts::default());
-        vm.pool_mut().set_sink(self.log.clone());
+        vm.pool_mut().set_sink(self.log.as_sink());
         vm.call("recover", &[])
             .map_err(|e| FailureRecord::from_vm(&e))?;
         vm.call("get", &[])
@@ -141,11 +136,11 @@ fn reactor_recovers_a_natively_persisted_fault() {
     let module = native_app();
     let out = analyze_and_instrument(&module);
     let instrumented = Arc::new(out.instrumented);
-    let log = Arc::new(Mutex::new(CheckpointLog::new()));
+    let log = SharedLog::new();
     let mut trace = PmTrace::new();
 
     let mut vm = Vm::new(instrumented.clone(), new_pool(), VmOpts::default());
-    vm.pool_mut().set_sink(log.clone());
+    vm.pool_mut().set_sink(log.as_sink());
     vm.call("put", &[5]).unwrap();
     vm.call("put", &[99]).unwrap(); // the poison, flushed + fenced
     let err = vm.call("get", &[]).unwrap_err();

@@ -1,16 +1,15 @@
 //! Regression test: a speculative re-execution fork that panics while
 //! holding the shared checkpoint-log mutex poisons it. Mitigation is
 //! exactly the code that must keep running after such a panic, so the
-//! reactor recovers the lock (`lock_log`) instead of unwrapping — a later
+//! reactor recovers the lock (`SharedLog::lock`) instead of unwrapping — a later
 //! mitigation over the same log must still succeed.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
-use std::sync::Mutex;
 
 use arthas::{
-    analyze_and_instrument, CheckpointLog, Detector, FailureRecord, ForkableTarget, PmTrace,
-    Reactor, ReactorConfig, Target, Verdict,
+    analyze_and_instrument, Detector, FailureRecord, ForkableTarget, PmTrace, Reactor,
+    ReactorConfig, SharedLog, Target, Verdict,
 };
 use pir::builder::ModuleBuilder;
 use pir::ir::Module;
@@ -77,7 +76,7 @@ fn build_app() -> Module {
 
 struct MiniTarget {
     module: Arc<Module>,
-    log: Arc<Mutex<CheckpointLog>>,
+    log: SharedLog,
 }
 
 impl Target for MiniTarget {
@@ -89,7 +88,7 @@ impl Target for MiniTarget {
         // Recovery reads feed leak mitigation; the sink itself also takes
         // the (possibly poisoned) log lock inside pmemsim, so attaching it
         // here keeps the re-execution path realistic.
-        vm.pool_mut().set_sink(self.log.clone());
+        vm.pool_mut().set_sink(self.log.as_sink());
         vm.call("recover", &[])
             .map_err(|e| FailureRecord::from_vm(&e))?;
         vm.call("get", &[])
@@ -101,19 +100,16 @@ impl Target for MiniTarget {
 /// A target whose speculative forks grab the shared log lock and die —
 /// the worst-case re-execution crash, leaving the mutex poisoned.
 struct PanickingForkTarget {
-    log: Arc<Mutex<CheckpointLog>>,
+    log: SharedLog,
 }
 
 struct PanickingFork {
-    log: Arc<Mutex<CheckpointLog>>,
+    log: SharedLog,
 }
 
 impl Target for PanickingFork {
     fn reexecute(&mut self, _pool: &mut PmPool) -> Result<(), FailureRecord> {
-        let _guard = self
-            .log
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let _guard = self.log.lock();
         panic!("simulated crash during speculative re-execution");
     }
 }
@@ -140,7 +136,7 @@ impl ForkableTarget for PanickingForkTarget {
 fn setup() -> (
     arthas::AnalyzerOutput,
     Arc<Module>,
-    Arc<Mutex<CheckpointLog>>,
+    SharedLog,
     PmTrace,
     FailureRecord,
     PmPool,
@@ -148,13 +144,13 @@ fn setup() -> (
     let module = build_app();
     let out = analyze_and_instrument(&module);
     let instrumented = Arc::new(out.instrumented.clone());
-    let log = Arc::new(Mutex::new(CheckpointLog::new()));
+    let log = SharedLog::new();
     let mut trace = PmTrace::new();
     let mut detector = Detector::new();
 
     let pool = PmPool::create(pmemsim::layout::HEAP_OFF + (1 << 20)).unwrap();
     let mut vm = Vm::new(instrumented.clone(), pool, VmOpts::default());
-    vm.pool_mut().set_sink(log.clone());
+    vm.pool_mut().set_sink(log.as_sink());
     for v in [1u64, 2, 3] {
         vm.call("put", &[v]).unwrap();
     }
@@ -167,7 +163,7 @@ fn setup() -> (
     );
 
     let mut pool = vm.crash();
-    pool.set_sink(log.clone());
+    pool.set_sink(log.as_sink());
     let mut vm = Vm::new(instrumented.clone(), pool, VmOpts::default());
     vm.call("recover", &[]).unwrap();
     let err2 = vm.call("get", &[]).unwrap_err();
@@ -185,10 +181,10 @@ fn mitigation_survives_a_log_mutex_poisoned_by_a_panicking_fork() {
     // First mitigation: every speculative fork grabs the log lock and
     // panics. The panic propagates out of the reactor (re-execution died;
     // there is no outcome to report) and leaves the mutex poisoned.
-    let cfg = ReactorConfig {
-        speculation: Some(2),
-        ..ReactorConfig::default()
-    };
+    let cfg = ReactorConfig::builder()
+        .speculation(Some(2))
+        .build()
+        .unwrap();
     let mut reactor = Reactor::new(&out.analysis, &out.guid_map, cfg);
     let mut bad_target = PanickingForkTarget { log: log.clone() };
     let crashed = catch_unwind(AssertUnwindSafe(|| {
@@ -198,8 +194,10 @@ fn mitigation_survives_a_log_mutex_poisoned_by_a_panicking_fork() {
         crashed.is_err(),
         "the panicking fork brings mitigation down"
     );
+    // Observe the poisoning through the raw sink handle: `SharedLog::lock`
+    // itself recovers, so the raw mutex is the only place it is visible.
     assert!(
-        log.lock().is_err(),
+        log.as_sink().lock().is_err(),
         "the shared log mutex is poisoned by the fork's panic"
     );
 
@@ -216,6 +214,6 @@ fn mitigation_survives_a_log_mutex_poisoned_by_a_panicking_fork() {
         "mitigation over a poisoned log recovered the system: {outcome:?}"
     );
     assert!(!outcome.via_restart_only, "a real reversion was applied");
-    // The helper exposed for harness code recovers too.
-    assert!(arthas::lock_log(&log).total_updates() > 0);
+    // The accessor exposed for harness code recovers too.
+    assert!(log.lock().total_updates() > 0);
 }

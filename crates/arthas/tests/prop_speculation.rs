@@ -3,11 +3,10 @@
 //! and values), randomized reactor configurations and fleet sizes.
 
 use std::sync::Arc;
-use std::sync::Mutex;
 
 use arthas::{
     analyze_and_instrument, AnalyzerOutput, BatchStrategy, CheckpointLog, FailureRecord,
-    ForkableTarget, Mode, PmTrace, Reactor, ReactorConfig, Target,
+    ForkableTarget, Mode, PmTrace, Reactor, ReactorConfig, SharedLog, Target,
 };
 use pir::builder::ModuleBuilder;
 use pir::ir::Module;
@@ -83,7 +82,7 @@ fn build_app(use_tx: bool) -> Module {
 
 struct AppTarget {
     module: Arc<Module>,
-    log: Arc<Mutex<CheckpointLog>>,
+    log: SharedLog,
 }
 
 impl Target for AppTarget {
@@ -91,7 +90,7 @@ impl Target for AppTarget {
         let p2 = PmPool::open(pool.snapshot())
             .map_err(|e| FailureRecord::wrong_result(format!("{e}")))?;
         let mut vm = Vm::new(self.module.clone(), p2, VmOpts::default());
-        vm.pool_mut().set_sink(self.log.clone());
+        vm.pool_mut().set_sink(self.log.as_sink());
         vm.call("recover", &[])
             .map_err(|e| FailureRecord::from_vm(&e))?;
         vm.call("get", &[])
@@ -106,7 +105,7 @@ impl ForkableTarget for AppTarget {
         log.set_enabled(false);
         Box::new(AppTarget {
             module: self.module.clone(),
-            log: Arc::new(Mutex::new(log)),
+            log: SharedLog::from_log(log),
         })
     }
 }
@@ -121,7 +120,7 @@ fn run_to_failure(
 ) -> (
     AnalyzerOutput,
     Arc<Module>,
-    Arc<Mutex<CheckpointLog>>,
+    SharedLog,
     PmTrace,
     FailureRecord,
     PmPool,
@@ -129,11 +128,11 @@ fn run_to_failure(
     let module = build_app(use_tx);
     let out = analyze_and_instrument(&module);
     let instrumented = Arc::new(out.instrumented.clone());
-    let log = Arc::new(Mutex::new(CheckpointLog::new()));
+    let log = SharedLog::new();
     let mut trace = PmTrace::new();
     let pool = PmPool::create(pmemsim::layout::HEAP_OFF + (1 << 20)).unwrap();
     let mut vm = Vm::new(instrumented.clone(), pool, VmOpts::default());
-    vm.pool_mut().set_sink(log.clone());
+    vm.pool_mut().set_sink(log.as_sink());
     for &v in puts {
         vm.call("put", &[v]).unwrap();
     }
@@ -172,21 +171,21 @@ proptest! {
         fallback in 1u32..8,
         workers in 2usize..6
     ) {
-        let base = ReactorConfig {
-            mode: if mode_sel == 0 { Mode::Purge } else { Mode::Rollback },
-            batch: if batch_n == 1 {
+        let base = ReactorConfig::builder()
+            .mode(if mode_sel == 0 { Mode::Purge } else { Mode::Rollback })
+            .batch(if batch_n == 1 {
                 BatchStrategy::OneByOne
             } else {
                 BatchStrategy::Batch(batch_n)
-            },
+            })
             // A small fallback threshold exercises the attempt-triggered
             // purge-to-rollback flip inside speculative waves.
-            purge_fallback_after: fallback,
-            ..ReactorConfig::default()
-        };
+            .purge_fallback_after(fallback)
+            .build()
+            .unwrap();
         let puts: Vec<u64> = puts.iter().map(|v| if *v == 666 { 667 } else { *v }).collect();
         let (seq, seq_image) = mitigate_with(base, use_tx, &puts);
-        let spec_cfg = ReactorConfig { speculation: Some(workers), ..base };
+        let spec_cfg = base.to_builder().speculation(Some(workers)).build().unwrap();
         let (spec, spec_image) = mitigate_with(spec_cfg, use_tx, &puts);
 
         prop_assert_eq!(seq.recovered, spec.recovered);

@@ -2,11 +2,10 @@
 //! distance cap, loss minimization, and transaction-sibling grouping.
 
 use std::sync::Arc;
-use std::sync::Mutex;
 
 use arthas::{
-    analyze_and_instrument, AnalyzerOutput, BatchStrategy, CheckpointLog, FailureRecord, Mode,
-    PmTrace, Reactor, ReactorConfig, Target,
+    analyze_and_instrument, AnalyzerOutput, BatchStrategy, FailureRecord, Mode, PmTrace, Reactor,
+    ReactorConfig, SharedLog, Target,
 };
 use pir::builder::ModuleBuilder;
 use pir::ir::Module;
@@ -86,7 +85,7 @@ fn new_pool() -> PmPool {
 
 struct AppTarget {
     module: Arc<Module>,
-    log: Arc<Mutex<CheckpointLog>>,
+    log: SharedLog,
 }
 
 impl Target for AppTarget {
@@ -94,7 +93,7 @@ impl Target for AppTarget {
         let p2 = PmPool::open(pool.snapshot())
             .map_err(|e| FailureRecord::wrong_result(format!("{e}")))?;
         let mut vm = Vm::new(self.module.clone(), p2, VmOpts::default());
-        vm.pool_mut().set_sink(self.log.clone());
+        vm.pool_mut().set_sink(self.log.as_sink());
         vm.call("recover", &[])
             .map_err(|e| FailureRecord::from_vm(&e))?;
         vm.call("get", &[])
@@ -110,7 +109,7 @@ fn run_to_failure(
 ) -> (
     AnalyzerOutput,
     Arc<Module>,
-    Arc<Mutex<CheckpointLog>>,
+    SharedLog,
     PmTrace,
     FailureRecord,
     PmPool,
@@ -118,10 +117,10 @@ fn run_to_failure(
     let module = build_app(use_tx);
     let out = analyze_and_instrument(&module);
     let instrumented = Arc::new(out.instrumented.clone());
-    let log = Arc::new(Mutex::new(CheckpointLog::new()));
+    let log = SharedLog::new();
     let mut trace = PmTrace::new();
     let mut vm = Vm::new(instrumented.clone(), new_pool(), VmOpts::default());
-    vm.pool_mut().set_sink(log.clone());
+    vm.pool_mut().set_sink(log.as_sink());
     for v in [1u64, 2, 3, 4] {
         vm.call("put", &[v]).unwrap();
     }
@@ -148,10 +147,10 @@ fn mitigate_with(cfg: ReactorConfig, use_tx: bool) -> (arthas::MitigationOutcome
 fn batch_reversion_recovers_with_fewer_attempts() {
     let (single, _) = mitigate_with(ReactorConfig::default(), false);
     let (batched, _) = mitigate_with(
-        ReactorConfig {
-            batch: BatchStrategy::Batch(5),
-            ..ReactorConfig::default()
-        },
+        ReactorConfig::builder()
+            .batch(BatchStrategy::Batch(5))
+            .build()
+            .unwrap(),
         false,
     );
     assert!(single.recovered && batched.recovered);
@@ -168,10 +167,10 @@ fn batch_reversion_recovers_with_fewer_attempts() {
 fn rollback_mode_recovers_and_discards_at_least_as_much() {
     let (purge, _) = mitigate_with(ReactorConfig::default(), false);
     let (rollback, _) = mitigate_with(
-        ReactorConfig {
-            mode: Mode::Rollback,
-            ..ReactorConfig::default()
-        },
+        ReactorConfig::builder()
+            .mode(Mode::Rollback)
+            .build()
+            .unwrap(),
         false,
     );
     assert!(purge.recovered && rollback.recovered);
@@ -182,10 +181,10 @@ fn rollback_mode_recovers_and_discards_at_least_as_much() {
 fn minimize_loss_never_discards_more() {
     let (default, _) = mitigate_with(ReactorConfig::default(), false);
     let (minimized, pool) = mitigate_with(
-        ReactorConfig {
-            minimize_loss: true,
-            ..ReactorConfig::default()
-        },
+        ReactorConfig::builder()
+            .minimize_loss(true)
+            .build()
+            .unwrap(),
         false,
     );
     assert!(default.recovered && minimized.recovered);
@@ -200,10 +199,10 @@ fn tiny_distance_cap_yields_an_empty_plan_and_restart_fallback() {
     // the reactor aborts to plain restart, which cannot cure a hard
     // fault (§4.5's false-alarm pruning, exercised in the negative).
     let (outcome, _) = mitigate_with(
-        ReactorConfig {
-            max_distance: Some(0),
-            ..ReactorConfig::default()
-        },
+        ReactorConfig::builder()
+            .max_distance(Some(0))
+            .build()
+            .unwrap(),
         false,
     );
     assert!(outcome.via_restart_only);

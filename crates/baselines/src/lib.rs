@@ -10,12 +10,10 @@
 //!   an alternative" (§6.1), demonstrating that fine-grained checkpoints
 //!   alone do not recover systems whose root cause lies far in the past.
 
-use std::sync::Arc;
-use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use arthas::checkpoint::MAX_VERSIONS;
-use arthas::{CheckpointLog, Target};
+use arthas::{SharedLog, Target};
 use pmemsim::PmPool;
 
 /// Outcome of a baseline mitigation.
@@ -145,13 +143,13 @@ impl ArCkpt {
     pub fn mitigate(
         &self,
         pool: &mut PmPool,
-        log: &Arc<Mutex<CheckpointLog>>,
+        log: &SharedLog,
         target: &mut dyn Target,
     ) -> BaselineOutcome {
         let t0 = Instant::now();
-        log.lock().unwrap().set_enabled(false);
+        log.lock().set_enabled(false);
         let seqs: Vec<u64> = {
-            let l = log.lock().unwrap();
+            let l = log.lock();
             let mut s = l.all_seqs();
             s.reverse();
             s
@@ -161,7 +159,7 @@ impl ArCkpt {
         for depth in 1..=MAX_VERSIONS {
             for &s in &seqs {
                 if attempts >= self.max_attempts {
-                    log.lock().unwrap().set_enabled(true);
+                    log.lock().set_enabled(true);
                     return BaselineOutcome {
                         recovered: false,
                         attempts,
@@ -171,7 +169,7 @@ impl ArCkpt {
                     };
                 }
                 let (addr, data) = {
-                    let l = log.lock().unwrap();
+                    let l = log.lock();
                     let Some(addr) = l.addr_of_seq(s) else {
                         continue;
                     };
@@ -185,7 +183,7 @@ impl ArCkpt {
                 reverted += 1;
                 attempts += 1;
                 if target.reexecute(pool).is_ok() {
-                    log.lock().unwrap().set_enabled(true);
+                    log.lock().set_enabled(true);
                     return BaselineOutcome {
                         recovered: true,
                         attempts,
@@ -196,7 +194,7 @@ impl ArCkpt {
                 }
             }
         }
-        log.lock().unwrap().set_enabled(true);
+        log.lock().set_enabled(true);
         BaselineOutcome {
             recovered: false,
             attempts,
@@ -278,8 +276,8 @@ mod tests {
         // Immediate fault: the bad update is the most recent one.
         let mut pool = new_pool();
         let a = pool.alloc(64).unwrap();
-        let log = Arc::new(Mutex::new(CheckpointLog::new()));
-        pool.set_sink(log.clone());
+        let log = SharedLog::new();
+        pool.set_sink(log.as_sink());
         pool.write_u64(a, 1).unwrap();
         pool.persist(a, 8).unwrap();
         pool.write_u64(a, 999).unwrap();
@@ -297,8 +295,8 @@ mod tests {
         // other addresses — one-at-a-time reversion hits the budget.
         let mut pool = new_pool();
         let bad = pool.alloc(64).unwrap();
-        let log = Arc::new(Mutex::new(CheckpointLog::new()));
-        pool.set_sink(log.clone());
+        let log = SharedLog::new();
+        pool.set_sink(log.as_sink());
         pool.write_u64(bad, 999).unwrap();
         pool.persist(bad, 8).unwrap();
         for _ in 0..30 {

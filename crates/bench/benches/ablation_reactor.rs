@@ -12,15 +12,19 @@ use arthas_bench::{arthas_batched, arthas_default, arthas_rollback, run_with_set
 use pm_workload::{AppSetup, Solution};
 
 fn main() {
-    let minimizing = Solution::Arthas(ReactorConfig {
-        minimize_loss: true,
-        ..ReactorConfig::default()
-    });
-    let rollback_min = Solution::Arthas(ReactorConfig {
-        mode: Mode::Rollback,
-        minimize_loss: true,
-        ..ReactorConfig::default()
-    });
+    let minimizing = Solution::Arthas(
+        ReactorConfig::builder()
+            .minimize_loss(true)
+            .build()
+            .expect("valid reactor config"),
+    );
+    let rollback_min = Solution::Arthas(
+        ReactorConfig::builder()
+            .mode(Mode::Rollback)
+            .minimize_loss(true)
+            .build()
+            .expect("valid reactor config"),
+    );
     println!("== Ablation: reactor variants (attempts / discarded updates) ==");
     println!(
         "{:<5} {:>14} {:>14} {:>14} {:>14} {:>14}",

@@ -19,12 +19,11 @@
 //! checkpoint log — the acceptance bar is a ring-vs-null delta under 5%.
 
 use std::sync::Arc;
-use std::sync::Mutex;
 
-use arthas::CheckpointLog;
+use arthas::SharedLog;
 use arthas_bench::bench_pool;
 use baselines::PmCriu;
-use obs::{NullRecorder, Recorder, RingRecorder};
+use obs::{Instrument, NullRecorder, Recorder, RingRecorder};
 use pir::vm::{Vm, VmOpts};
 use pm_workload::ycsb::{KvOp, KvWorkload};
 
@@ -120,14 +119,14 @@ fn run_once(
     };
     let mut pool = bench_pool();
     if let Some(r) = &recorder {
-        pool.set_recorder(r.clone());
+        pool.instrument(r.clone());
     }
     if checkpoint {
-        let mut log = CheckpointLog::new();
+        let mut log = SharedLog::new();
         if let Some(r) = &recorder {
-            log.set_recorder(r.clone());
+            log.instrument(r.clone());
         }
-        pool.set_sink(Arc::new(Mutex::new(log)));
+        pool.set_sink(log.as_sink());
     }
     let mut vm = Vm::new(module.clone(), pool, VmOpts::default());
     let mut snapshotter = PmCriu::new(1);

@@ -3,9 +3,8 @@
 //! vs fully Arthas-enabled (instrumentation + checkpointing).
 
 use std::sync::Arc;
-use std::sync::Mutex;
 
-use arthas::CheckpointLog;
+use arthas::SharedLog;
 use criterion::{criterion_group, criterion_main, Criterion};
 use pir::vm::{Vm, VmOpts};
 
@@ -18,7 +17,7 @@ fn make_vm(instrumented: bool, checkpoint: bool) -> Vm {
     };
     let mut pool = pmemsim::PmPool::create(pmemsim::layout::HEAP_OFF + (8 << 20)).unwrap();
     if checkpoint {
-        pool.set_sink(Arc::new(Mutex::new(CheckpointLog::new())));
+        pool.set_sink(SharedLog::new().as_sink());
     }
     let mut vm = Vm::new(module, pool, VmOpts::default());
     for k in 1..200u64 {

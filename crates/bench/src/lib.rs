@@ -50,35 +50,43 @@ pub fn arthas_default() -> Solution {
 /// re-executions (outcome-identical to [`arthas_default`]; only the
 /// restart delays overlap).
 pub fn arthas_speculative(workers: usize) -> Solution {
-    Solution::Arthas(ReactorConfig {
-        speculation: Some(workers),
-        ..ReactorConfig::default()
-    })
+    Solution::Arthas(
+        ReactorConfig::builder()
+            .speculation(Some(workers))
+            .build()
+            .expect("valid reactor config"),
+    )
 }
 
 /// Arthas in pure rollback mode.
 pub fn arthas_rollback() -> Solution {
-    Solution::Arthas(ReactorConfig {
-        mode: Mode::Rollback,
-        ..ReactorConfig::default()
-    })
+    Solution::Arthas(
+        ReactorConfig::builder()
+            .mode(Mode::Rollback)
+            .build()
+            .expect("valid reactor config"),
+    )
 }
 
 /// Arthas in pure purge mode (no fallback to rollback).
 pub fn arthas_purge_only() -> Solution {
-    Solution::Arthas(ReactorConfig {
-        mode: Mode::Purge,
-        purge_fallback_after: u32::MAX,
-        ..ReactorConfig::default()
-    })
+    Solution::Arthas(
+        ReactorConfig::builder()
+            .mode(Mode::Purge)
+            .purge_fallback_after(u32::MAX)
+            .build()
+            .expect("valid reactor config"),
+    )
 }
 
 /// Arthas with batched reversion.
 pub fn arthas_batched(n: usize) -> Solution {
-    Solution::Arthas(ReactorConfig {
-        batch: BatchStrategy::Batch(n),
-        ..ReactorConfig::default()
-    })
+    Solution::Arthas(
+        ReactorConfig::builder()
+            .batch(BatchStrategy::Batch(n))
+            .build()
+            .expect("valid reactor config"),
+    )
 }
 
 /// A ✓/✗ cell.

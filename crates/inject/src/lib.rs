@@ -1,0 +1,886 @@
+//! # inject — deterministic crash-point injection campaigns
+//!
+//! A systematic crash-consistency exerciser over the fault scenarios
+//! (WITCHER-style exploration adapted to the Arthas pipeline): enumerate
+//! every durability boundary a scenario run crosses (`pmemsim`'s
+//! monotonic site counter numbers each persist, drain, alloc, free and
+//! transaction boundary), then replay the identical workload once per
+//! *trial* — a (site, [`CrashPolicy`]) pair — crashing the pool exactly
+//! at that boundary and feeding the raw post-crash image through the
+//! detection/mitigation pipeline.
+//!
+//! Every trial ends in one of five [`TrialVerdict`]s:
+//!
+//! - **clean-recovery** — pool reopen + application recovery + the
+//!   scenario's verification workload and domain invariants all pass
+//!   without Arthas intervening;
+//! - **mitigated** — recovery kept failing (the detector ruled
+//!   suspected-hard), the reactor reverted checkpointed updates, and the
+//!   system then passed the full consistency check;
+//! - **unrecoverable** — the reactor exhausted its budget without
+//!   restoring an operational system;
+//! - **invariant-violated** — the system *looks* operational after
+//!   recovery or mitigation but the scenario's consistency routine finds
+//!   broken domain invariants (lost durability it should have kept);
+//! - **not-reached** — the armed site never fired on replay, which a
+//!   deterministic workload should make impossible; a nonzero count is a
+//!   determinism bug, and the CI campaign treats it as one.
+//!
+//! Results aggregate into a schema-validated JSON matrix (site × policy
+//! × verdict) plus a human-readable coverage table; the `inject` CLI
+//! subcommand drives it.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use arthas::{
+    CheckpointLog, ConfigError, Detector, FailureRecord, ForkableTarget, Reactor, ReactorConfig,
+    SharedLog, Target, Verdict,
+};
+use obs::{Field, Json, Schema};
+use pir::vm::{Vm, VmOpts};
+use pm_workload::{
+    run_with_injection, AppSetup, CrashCapture, InjectionOutcome, RunConfig, Scenario,
+    SiteInjection,
+};
+use pmemsim::{CrashPolicy, PmPool, SiteKind};
+
+/// Version stamp of the campaign matrix document layout.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Restart attempts the classifier grants the application before the
+/// detector's verdict decides between clean recovery and mitigation
+/// (mirrors the production harness's restart-based detection).
+pub const MAX_TRIAL_RESTARTS: u32 = 3;
+
+// ---------------------------------------------------------------------------
+// Campaign configuration
+// ---------------------------------------------------------------------------
+
+/// Parameters of one injection campaign.
+///
+/// Construct via [`CampaignConfig::builder`]; the fields remain `pub`
+/// for one release to keep struct-literal call sites compiling.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Maximum trials per scenario (site × policy pairs), ≥ 1.
+    #[doc(hidden)]
+    pub budget: usize,
+    /// Test every `stride`-th site, ≥ 1 (1 = exhaustive).
+    #[doc(hidden)]
+    pub stride: u64,
+    /// Worker threads running trials, ≥ 1. Verdicts are
+    /// runner-count-independent: trials are indexed up front and results
+    /// land by index.
+    #[doc(hidden)]
+    pub runners: usize,
+    /// Workload seed shared by the enumeration run and every trial (the
+    /// replay contract: same seed ⇒ same boundary sequence).
+    #[doc(hidden)]
+    pub seed: u64,
+    /// Crash policies applied at each tested site.
+    #[doc(hidden)]
+    pub policies: Vec<CrashPolicy>,
+    /// Reactor configuration for trials that need mitigation.
+    #[doc(hidden)]
+    pub reactor: ReactorConfig,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            budget: 400,
+            stride: 1,
+            runners: 1,
+            seed: 1,
+            policies: vec![CrashPolicy::DropStaged, CrashPolicy::KeepStaged],
+            reactor: ReactorConfig::default(),
+        }
+    }
+}
+
+impl CampaignConfig {
+    /// A validating builder seeded with the defaults.
+    pub fn builder() -> CampaignConfigBuilder {
+        CampaignConfigBuilder {
+            cfg: CampaignConfig::default(),
+        }
+    }
+}
+
+/// Validating builder for [`CampaignConfig`].
+#[derive(Debug, Clone)]
+pub struct CampaignConfigBuilder {
+    cfg: CampaignConfig,
+}
+
+impl CampaignConfigBuilder {
+    /// Maximum trials per scenario (default 400).
+    pub fn budget(mut self, budget: usize) -> Self {
+        self.cfg.budget = budget;
+        self
+    }
+
+    /// Site stride (default 1 = every site).
+    pub fn stride(mut self, stride: u64) -> Self {
+        self.cfg.stride = stride;
+        self
+    }
+
+    /// Parallel trial runners (default 1).
+    pub fn runners(mut self, runners: usize) -> Self {
+        self.cfg.runners = runners;
+        self
+    }
+
+    /// Workload seed (default 1).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Crash policies to apply at each tested site (default
+    /// `DropStaged` + `KeepStaged`).
+    pub fn policies(mut self, policies: Vec<CrashPolicy>) -> Self {
+        self.cfg.policies = policies;
+        self
+    }
+
+    /// Reactor configuration for mitigation trials.
+    pub fn reactor(mut self, reactor: ReactorConfig) -> Self {
+        self.cfg.reactor = reactor;
+        self
+    }
+
+    /// Validates and produces the configuration.
+    pub fn build(self) -> Result<CampaignConfig, ConfigError> {
+        if self.cfg.budget == 0 {
+            return Err(ConfigError("budget must be at least 1 trial".into()));
+        }
+        if self.cfg.stride == 0 {
+            return Err(ConfigError("stride must be at least 1".into()));
+        }
+        if self.cfg.runners == 0 {
+            return Err(ConfigError("runners must be at least 1".into()));
+        }
+        if self.cfg.policies.is_empty() {
+            return Err(ConfigError("at least one crash policy is required".into()));
+        }
+        Ok(self.cfg)
+    }
+}
+
+/// Parses a `--policies` list (`drop`, `keep`, `random`) into concrete
+/// policies; `random` expands to `seeds` deterministic [`CrashPolicy::
+/// RandomStaged`] variants derived from `base_seed`.
+pub fn parse_policies(
+    spec: &str,
+    seeds: u32,
+    base_seed: u64,
+) -> Result<Vec<CrashPolicy>, ConfigError> {
+    let mut out = Vec::new();
+    for name in spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        match name {
+            "drop" => out.push(CrashPolicy::DropStaged),
+            "keep" => out.push(CrashPolicy::KeepStaged),
+            "random" => {
+                if seeds == 0 {
+                    return Err(ConfigError("random policy needs --seeds >= 1".into()));
+                }
+                for k in 0..seeds {
+                    out.push(CrashPolicy::RandomStaged(
+                        base_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ u64::from(k),
+                    ));
+                }
+            }
+            other => {
+                return Err(ConfigError(format!(
+                    "unknown crash policy `{other}` (expected drop, keep or random)"
+                )))
+            }
+        }
+    }
+    if out.is_empty() {
+        return Err(ConfigError("empty policy list".into()));
+    }
+    Ok(out)
+}
+
+/// Canonical name of a crash policy in the matrix document.
+pub fn policy_name(p: CrashPolicy) -> String {
+    match p {
+        CrashPolicy::DropStaged => "drop".into(),
+        CrashPolicy::KeepStaged => "keep".into(),
+        CrashPolicy::RandomStaged(seed) => format!("random:{seed}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Verdicts and results
+// ---------------------------------------------------------------------------
+
+/// Classification of one injection trial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TrialVerdict {
+    /// Restart-based recovery restored an operational, consistent system.
+    CleanRecovery,
+    /// The reactor reverted checkpointed updates and the system passed
+    /// the consistency check afterwards.
+    Mitigated,
+    /// Neither recovery nor mitigation produced an operational system.
+    Unrecoverable,
+    /// The system runs but the scenario's domain invariants are broken.
+    InvariantViolated,
+    /// The armed site never fired on replay (a determinism bug).
+    NotReached,
+}
+
+impl TrialVerdict {
+    /// Stable document name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TrialVerdict::CleanRecovery => "clean_recovery",
+            TrialVerdict::Mitigated => "mitigated",
+            TrialVerdict::Unrecoverable => "unrecoverable",
+            TrialVerdict::InvariantViolated => "invariant_violated",
+            TrialVerdict::NotReached => "not_reached",
+        }
+    }
+}
+
+/// One cell of the site × policy matrix.
+#[derive(Debug, Clone)]
+pub struct Trial {
+    /// The durability-boundary index the crash was armed at.
+    pub site: u64,
+    /// What kind of boundary it is (from the enumeration census).
+    pub kind: SiteKind,
+    /// The crash policy applied.
+    pub policy: CrashPolicy,
+    /// The classified outcome.
+    pub verdict: TrialVerdict,
+    /// Restarts consumed by the classifier (including production
+    /// restarts before the site fired).
+    pub restarts: u32,
+    /// Reactor re-executions, when mitigation ran.
+    pub attempts: u32,
+}
+
+/// Campaign results for one scenario.
+#[derive(Debug, Clone)]
+pub struct ScenarioCampaign {
+    /// Scenario id (`"f1"`…).
+    pub id: &'static str,
+    /// Target system name.
+    pub system: &'static str,
+    /// Total durability boundaries the enumeration run crossed.
+    pub sites_total: u64,
+    /// Distinct sites actually tested (after stride and budget).
+    pub sites_tested: u64,
+    /// Site census by boundary kind.
+    pub site_kinds: BTreeMap<&'static str, u64>,
+    /// Every classified trial, in (site, policy) order.
+    pub trials: Vec<Trial>,
+}
+
+impl ScenarioCampaign {
+    /// Verdict → count map over the trials.
+    pub fn verdict_counts(&self) -> BTreeMap<&'static str, u64> {
+        let mut m = BTreeMap::new();
+        for t in &self.trials {
+            *m.entry(t.verdict.as_str()).or_insert(0) += 1;
+        }
+        m
+    }
+
+    /// Number of trials with the given verdict.
+    pub fn count(&self, v: TrialVerdict) -> u64 {
+        self.trials.iter().filter(|t| t.verdict == v).count() as u64
+    }
+}
+
+/// A full campaign: one [`ScenarioCampaign`] per requested scenario.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// Per-scenario results.
+    pub scenarios: Vec<ScenarioCampaign>,
+    /// The configuration the campaign ran under.
+    pub config: CampaignConfig,
+}
+
+// ---------------------------------------------------------------------------
+// Campaign execution
+// ---------------------------------------------------------------------------
+
+/// Tight step budget for classifier/verification runs (a hang is evident
+/// long before the production limit).
+fn trial_vm_opts() -> VmOpts {
+    VmOpts {
+        step_limit: 500_000,
+        ..VmOpts::default()
+    }
+}
+
+/// Re-execution target for trial mitigation. Unlike the production
+/// `ScenarioTarget`, whose success criterion is the scenario's
+/// end-of-workload `verify`, a trial only demands the *trial-level*
+/// operational bar: recovery succeeds and the structural check plus
+/// domain invariants hold. (A mid-run crash legitimately lost
+/// unacknowledged work, so the full dataset cannot be expected.)
+struct TrialTarget<'a> {
+    scn: &'a dyn Scenario,
+    setup: &'a AppSetup,
+    log: SharedLog,
+}
+
+impl Target for TrialTarget<'_> {
+    fn reexecute(&mut self, pool: &mut PmPool) -> Result<(), FailureRecord> {
+        let mut p2 = PmPool::open(pool.snapshot())
+            .map_err(|e| FailureRecord::wrong_result(format!("pool reopen: {e}")))?;
+        let issues: Vec<String> = p2.check().iter().map(|i| format!("{i:?}")).collect();
+        let mut vm = Vm::new(self.setup.instrumented.clone(), p2, trial_vm_opts());
+        // The (disabled) log still tracks recovery reads for the leak
+        // mitigation pass.
+        vm.pool_mut().set_sink(self.log.as_sink());
+        vm.call(self.scn.recover_call(), &[])
+            .map_err(|e| FailureRecord::from_vm(&e))?;
+        if let Some(check) = self.scn.invariant_call() {
+            vm.call(check, &[])
+                .map_err(|e| FailureRecord::from_vm(&e))?;
+        }
+        if issues.is_empty() {
+            Ok(())
+        } else {
+            Err(FailureRecord::wrong_result(issues.join("; ")))
+        }
+    }
+}
+
+impl ForkableTarget for TrialTarget<'_> {
+    fn fork_target(&self) -> Box<dyn Target + Send + '_> {
+        // Forks record into a disabled throwaway log so losing attempts
+        // leave no trace (same contract as the production target).
+        let mut log = CheckpointLog::new();
+        log.set_enabled(false);
+        Box::new(TrialTarget {
+            scn: self.scn,
+            setup: self.setup,
+            log: SharedLog::from_log(log),
+        })
+    }
+}
+
+/// One attempted restart over a post-crash image.
+enum RestartResult {
+    /// Reopen, structural check, recovery and domain invariants all pass.
+    Clean,
+    /// The system is operational but the structural check or the
+    /// scenario's invariants report issues (silent corruption).
+    Inconsistent(FailureRecord),
+    /// Reopen or recovery itself failed.
+    Failed(FailureRecord),
+}
+
+/// Restarts the application over a copy of the post-crash image:
+/// pool-level reopen, the pmempool-check analogue, application recovery,
+/// then the scenario's domain invariants.
+///
+/// Deliberately *not* the production `check_consistency`: a mid-run crash
+/// legitimately loses in-flight, unacknowledged work, so the scenario's
+/// end-of-workload `verify` (which expects the complete dataset) does not
+/// apply — only structural integrity and domain invariants do.
+fn try_restart(scn: &dyn Scenario, setup: &AppSetup, image: &PmPool) -> RestartResult {
+    let mut p2 = match PmPool::open(image.snapshot()) {
+        Ok(p) => p,
+        Err(e) => {
+            return RestartResult::Failed(FailureRecord::wrong_result(format!("pool reopen: {e}")))
+        }
+    };
+    let issues: Vec<String> = p2.check().iter().map(|i| format!("{i:?}")).collect();
+    let mut vm = Vm::new(setup.instrumented.clone(), p2, trial_vm_opts());
+    if let Err(e) = vm.call(scn.recover_call(), &[]) {
+        return RestartResult::Failed(FailureRecord::from_vm(&e));
+    }
+    if let Some(check) = scn.invariant_call() {
+        // A trap here carries the check's fault location — the anchor the
+        // reactor slices backward from to find the updates to revert.
+        if let Err(e) = vm.call(check, &[]) {
+            return RestartResult::Inconsistent(FailureRecord::from_vm(&e));
+        }
+    }
+    if issues.is_empty() {
+        RestartResult::Clean
+    } else {
+        RestartResult::Inconsistent(FailureRecord::wrong_result(issues.join("; ")))
+    }
+}
+
+/// Classifies a fired injection: restart-based recovery first (the
+/// detector owns the soft-vs-hard call, seeded with the production run's
+/// pre-crash observations), reactor mitigation when the verdict is
+/// suspected-hard. Invariant breakage is itself handed to the reactor —
+/// reverting the torn checkpointed updates is exactly its job — and
+/// [`TrialVerdict::InvariantViolated`] is the verdict only when
+/// mitigation cannot restore the invariants either.
+fn classify(
+    scn: &dyn Scenario,
+    setup: &AppSetup,
+    cfg: &CampaignConfig,
+    capture: CrashCapture,
+) -> (TrialVerdict, u32, u32) {
+    let CrashCapture {
+        pool: raw,
+        log,
+        trace,
+        site: _,
+        restarts: mut restart_count,
+        detector,
+    } = capture;
+    let mut detector: Detector = detector;
+
+    let mut hard: Option<FailureRecord> = None;
+    let mut operational = false;
+    for _ in 0..MAX_TRIAL_RESTARTS {
+        restart_count += 1;
+        let rec = match try_restart(scn, setup, &raw) {
+            RestartResult::Clean => return (TrialVerdict::CleanRecovery, restart_count, 0),
+            RestartResult::Inconsistent(rec) => {
+                operational = true;
+                rec
+            }
+            RestartResult::Failed(rec) => {
+                operational = false;
+                rec
+            }
+        };
+        if detector.observe(rec.clone()) == Verdict::SuspectedHard {
+            hard = Some(rec);
+            break;
+        }
+    }
+    // Without a suspected-hard verdict there is nothing to hand the
+    // reactor; the last restart decides how the trial reads.
+    let unaided = |operational: bool| {
+        if operational {
+            TrialVerdict::InvariantViolated
+        } else {
+            TrialVerdict::Unrecoverable
+        }
+    };
+    let Some(failure) = hard else {
+        return (unaided(operational), restart_count, 0);
+    };
+
+    // Reactor mitigation over the captured checkpoint log and trace. The
+    // pool-level reopen may itself fail on a torn image; the reactor then
+    // works on the raw image (its reverts re-persist what they touch).
+    let mut work = match PmPool::open(raw.snapshot()) {
+        Ok(p) => p,
+        Err(_) => raw,
+    };
+    let mut target = TrialTarget {
+        scn,
+        setup,
+        log: log.clone(),
+    };
+    let mut reactor = Reactor::new(&setup.analysis, &setup.guid_map, cfg.reactor);
+    let out = reactor.mitigate_speculative(&mut work, &log, &failure, &trace, &mut target);
+    if !out.recovered {
+        return (unaided(operational), restart_count, out.attempts);
+    }
+    let verdict = match try_restart(scn, setup, &work) {
+        RestartResult::Clean => TrialVerdict::Mitigated,
+        RestartResult::Inconsistent(_) => TrialVerdict::InvariantViolated,
+        RestartResult::Failed(_) => TrialVerdict::Unrecoverable,
+    };
+    (verdict, restart_count, out.attempts)
+}
+
+/// Runs one trial: replay the workload with the crash armed, classify
+/// the outcome.
+fn run_trial(
+    scn: &dyn Scenario,
+    setup: &AppSetup,
+    cfg: &CampaignConfig,
+    site: u64,
+    kind: SiteKind,
+    policy: CrashPolicy,
+) -> Trial {
+    let run_cfg = RunConfig {
+        seed: cfg.seed,
+        injection: Some(SiteInjection { site, policy }),
+        ..RunConfig::default()
+    };
+    match run_with_injection(scn, setup, &run_cfg) {
+        InjectionOutcome::SiteCrash(capture) => {
+            let (verdict, restarts, attempts) = classify(scn, setup, cfg, *capture);
+            Trial {
+                site,
+                kind,
+                policy,
+                verdict,
+                restarts,
+                attempts,
+            }
+        }
+        // The workload finished (or hit its scripted hard fault) without
+        // crossing the armed boundary — on a deterministic replay this
+        // cannot happen; surface it instead of panicking.
+        InjectionOutcome::HardFailure(_) | InjectionOutcome::Completed(_) => Trial {
+            site,
+            kind,
+            policy,
+            verdict: TrialVerdict::NotReached,
+            restarts: 0,
+            attempts: 0,
+        },
+    }
+}
+
+/// Runs the campaign for one scenario: enumeration run, trial matrix,
+/// parallel classification.
+pub fn run_scenario_campaign(scn: &dyn Scenario, cfg: &CampaignConfig) -> ScenarioCampaign {
+    let setup = AppSetup::new(scn.build_module());
+
+    // Enumeration: one un-armed run with the site census recorder on.
+    let enum_cfg = RunConfig {
+        seed: cfg.seed,
+        record_sites: true,
+        ..RunConfig::default()
+    };
+    let (sites_total, kinds) = match run_with_injection(scn, &setup, &enum_cfg) {
+        InjectionOutcome::Completed(p) => (p.site_count(), p.site_kinds().to_vec()),
+        InjectionOutcome::HardFailure(p) => (p.pool.site_count(), p.pool.site_kinds().to_vec()),
+        // No injection armed, so a site crash is impossible here.
+        InjectionOutcome::SiteCrash(c) => (c.pool.site_count(), c.pool.site_kinds().to_vec()),
+    };
+    let mut site_kinds: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for k in &kinds {
+        *site_kinds.entry(k.as_str()).or_insert(0) += 1;
+    }
+
+    // The trial matrix, truncated to the budget. Indexed up front so the
+    // verdict list is identical for any runner count.
+    let mut matrix: Vec<(u64, SiteKind, CrashPolicy)> = Vec::new();
+    'sites: for site in (0..sites_total).step_by(cfg.stride.max(1) as usize) {
+        let kind = kinds
+            .get(site as usize)
+            .copied()
+            .unwrap_or(SiteKind::Persist);
+        for &policy in &cfg.policies {
+            if matrix.len() >= cfg.budget {
+                break 'sites;
+            }
+            matrix.push((site, kind, policy));
+        }
+    }
+    let sites_tested = {
+        let mut s: Vec<u64> = matrix.iter().map(|t| t.0).collect();
+        s.dedup();
+        s.len() as u64
+    };
+
+    let next = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<Trial>>> = matrix.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..cfg.runners.min(matrix.len().max(1)) {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&(site, kind, policy)) = matrix.get(i) else {
+                    break;
+                };
+                let trial = run_trial(scn, &setup, cfg, site, kind, policy);
+                *results[i].lock().unwrap_or_else(|p| p.into_inner()) = Some(trial);
+            });
+        }
+    });
+    let trials = results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .unwrap_or_else(|p| p.into_inner())
+                .expect("every trial ran")
+        })
+        .collect();
+
+    ScenarioCampaign {
+        id: scn.id(),
+        system: scn.system(),
+        sites_total,
+        sites_tested,
+        site_kinds,
+        trials,
+    }
+}
+
+/// Runs the campaign over a set of scenarios.
+pub fn run_campaign(scenarios: &[Box<dyn Scenario>], cfg: &CampaignConfig) -> CampaignReport {
+    let scenarios = scenarios
+        .iter()
+        .map(|s| run_scenario_campaign(s.as_ref(), cfg))
+        .collect();
+    CampaignReport {
+        scenarios,
+        config: cfg.clone(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rendering and schema
+// ---------------------------------------------------------------------------
+
+impl CampaignReport {
+    /// Total invariant-violated trials (the CI gate).
+    pub fn invariant_violations(&self) -> u64 {
+        self.scenarios
+            .iter()
+            .map(|s| s.count(TrialVerdict::InvariantViolated))
+            .sum()
+    }
+
+    /// Total not-reached trials (a determinism bug when nonzero).
+    pub fn not_reached(&self) -> u64 {
+        self.scenarios
+            .iter()
+            .map(|s| s.count(TrialVerdict::NotReached))
+            .sum()
+    }
+
+    /// The schema-stable JSON matrix document.
+    pub fn json(&self) -> Json {
+        let mut totals: BTreeMap<&'static str, u64> = BTreeMap::new();
+        let scenarios: Vec<Json> = self
+            .scenarios
+            .iter()
+            .map(|s| {
+                for t in &s.trials {
+                    *totals.entry(t.verdict.as_str()).or_insert(0) += 1;
+                }
+                Json::obj([
+                    ("id", Json::Str(s.id.to_string())),
+                    ("system", Json::Str(s.system.to_string())),
+                    ("sites_total", Json::U64(s.sites_total)),
+                    ("sites_tested", Json::U64(s.sites_tested)),
+                    (
+                        "site_kinds",
+                        Json::obj(
+                            s.site_kinds
+                                .iter()
+                                .map(|(k, &n)| (k.to_string(), Json::U64(n))),
+                        ),
+                    ),
+                    (
+                        "verdicts",
+                        Json::obj(
+                            s.verdict_counts()
+                                .into_iter()
+                                .map(|(k, n)| (k.to_string(), Json::U64(n))),
+                        ),
+                    ),
+                    (
+                        "trials",
+                        Json::Arr(
+                            s.trials
+                                .iter()
+                                .map(|t| {
+                                    Json::obj([
+                                        ("site", Json::U64(t.site)),
+                                        ("kind", Json::Str(t.kind.as_str().to_string())),
+                                        ("policy", Json::Str(policy_name(t.policy))),
+                                        ("verdict", Json::Str(t.verdict.as_str().to_string())),
+                                        ("restarts", Json::U64(u64::from(t.restarts))),
+                                        ("attempts", Json::U64(u64::from(t.attempts))),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        Json::obj([
+            ("schema_version", Json::U64(SCHEMA_VERSION)),
+            (
+                "config",
+                Json::obj([
+                    ("seed", Json::U64(self.config.seed)),
+                    ("stride", Json::U64(self.config.stride)),
+                    ("budget", Json::U64(self.config.budget as u64)),
+                    ("runners", Json::U64(self.config.runners as u64)),
+                    (
+                        "policies",
+                        Json::Arr(
+                            self.config
+                                .policies
+                                .iter()
+                                .map(|&p| Json::Str(policy_name(p)))
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ),
+            ("scenarios", Json::Arr(scenarios)),
+            (
+                "totals",
+                Json::obj([
+                    (
+                        "sites",
+                        Json::U64(self.scenarios.iter().map(|s| s.sites_total).sum()),
+                    ),
+                    (
+                        "trials",
+                        Json::U64(self.scenarios.iter().map(|s| s.trials.len() as u64).sum()),
+                    ),
+                    (
+                        "verdicts",
+                        Json::obj(
+                            totals
+                                .into_iter()
+                                .map(|(k, n)| (k.to_string(), Json::U64(n))),
+                        ),
+                    ),
+                ]),
+            ),
+        ])
+    }
+
+    /// Validates the rendered document against [`schema`] (drift guard:
+    /// additions pass, removals and type changes fail).
+    pub fn validate_rendered(&self) -> Result<(), Vec<String>> {
+        obs::validate(&self.json(), &schema())
+    }
+
+    /// Human-readable coverage table.
+    pub fn render_table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<5} {:<22} {:>6} {:>7} {:>7} {:>6} {:>6} {:>6} {:>5} {:>8}",
+            "id",
+            "system",
+            "sites",
+            "tested",
+            "trials",
+            "clean",
+            "mitig",
+            "unrec",
+            "inv!",
+            "missed"
+        );
+        for s in &self.scenarios {
+            let _ = writeln!(
+                out,
+                "{:<5} {:<22} {:>6} {:>7} {:>7} {:>6} {:>6} {:>6} {:>5} {:>8}",
+                s.id,
+                s.system,
+                s.sites_total,
+                s.sites_tested,
+                s.trials.len(),
+                s.count(TrialVerdict::CleanRecovery),
+                s.count(TrialVerdict::Mitigated),
+                s.count(TrialVerdict::Unrecoverable),
+                s.count(TrialVerdict::InvariantViolated),
+                s.count(TrialVerdict::NotReached),
+            );
+        }
+        let sites: u64 = self.scenarios.iter().map(|s| s.sites_total).sum();
+        let trials: usize = self.scenarios.iter().map(|s| s.trials.len()).sum();
+        let _ = writeln!(
+            out,
+            "total: {} sites enumerated, {} trials, {} invariant violation(s), {} missed",
+            sites,
+            trials,
+            self.invariant_violations(),
+            self.not_reached(),
+        );
+        out
+    }
+}
+
+/// The campaign matrix schema. [`Schema::Obj`] members are a floor:
+/// unknown additions pass, removals and type changes fail.
+pub fn schema() -> Schema {
+    use Schema::{Obj, Str, UInt};
+    let trial = Obj(vec![
+        Field::req("site", UInt),
+        Field::req("kind", Str),
+        Field::req("policy", Str),
+        Field::req("verdict", Str),
+        Field::req("restarts", UInt),
+        Field::req("attempts", UInt),
+    ]);
+    let scenario = Obj(vec![
+        Field::req("id", Str),
+        Field::req("system", Str),
+        Field::req("sites_total", UInt),
+        Field::req("sites_tested", UInt),
+        Field::req("site_kinds", Schema::map(UInt)),
+        Field::req("verdicts", Schema::map(UInt)),
+        Field::req("trials", Schema::arr(trial)),
+    ]);
+    Obj(vec![
+        Field::req("schema_version", UInt),
+        Field::req(
+            "config",
+            Obj(vec![
+                Field::req("seed", UInt),
+                Field::req("stride", UInt),
+                Field::req("budget", UInt),
+                Field::req("runners", UInt),
+                Field::req("policies", Schema::arr(Str)),
+            ]),
+        ),
+        Field::req("scenarios", Schema::arr(scenario)),
+        Field::req(
+            "totals",
+            Obj(vec![
+                Field::req("sites", UInt),
+                Field::req("trials", UInt),
+                Field::req("verdicts", Schema::map(UInt)),
+            ]),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_validates() {
+        assert!(CampaignConfig::builder().build().is_ok());
+        assert!(CampaignConfig::builder().budget(0).build().is_err());
+        assert!(CampaignConfig::builder().stride(0).build().is_err());
+        assert!(CampaignConfig::builder().runners(0).build().is_err());
+        assert!(CampaignConfig::builder()
+            .policies(Vec::new())
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn policy_parsing() {
+        let ps = parse_policies("drop,keep", 2, 1).unwrap();
+        assert_eq!(ps, vec![CrashPolicy::DropStaged, CrashPolicy::KeepStaged]);
+        let ps = parse_policies("random", 3, 7).unwrap();
+        assert_eq!(ps.len(), 3);
+        assert!(ps.iter().all(|p| matches!(p, CrashPolicy::RandomStaged(_))));
+        // Deterministic in the base seed.
+        assert_eq!(ps, parse_policies("random", 3, 7).unwrap());
+        assert_ne!(ps, parse_policies("random", 3, 8).unwrap());
+        assert!(parse_policies("bogus", 1, 1).is_err());
+        assert!(parse_policies("", 1, 1).is_err());
+        assert!(parse_policies("random", 0, 1).is_err());
+    }
+
+    #[test]
+    fn verdict_names_are_stable() {
+        assert_eq!(TrialVerdict::CleanRecovery.as_str(), "clean_recovery");
+        assert_eq!(
+            TrialVerdict::InvariantViolated.as_str(),
+            "invariant_violated"
+        );
+    }
+}

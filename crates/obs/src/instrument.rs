@@ -1,0 +1,28 @@
+//! The unified instrumentation surface.
+//!
+//! Every observable layer of the recovery pipeline (`pmemsim` pools, the
+//! checkpoint log, the detector, the reactor, the campaign engine) used
+//! to grow its own `set_recorder`/`clear_recorder` pair; drivers that
+//! wire a recorder through the whole stack had to know each one. The
+//! [`Instrument`] trait replaces that setter sprawl with one verb:
+//! attach a [`Recorder`] tap, or detach it and fall back to the
+//! unobserved fast path.
+
+use std::sync::Arc;
+
+use crate::recorder::Recorder;
+
+/// A component that can record into an observability [`Recorder`].
+///
+/// Implementations hold the recorder as an `Arc<dyn Recorder>` (or an
+/// `Option` of one) and emit events/counters through it; detaching must
+/// restore the component's zero-overhead unobserved behaviour. The same
+/// recorder may be attached to any number of components — that is the
+/// normal way to assemble a cross-layer recovery timeline.
+pub trait Instrument {
+    /// Attaches `recorder`, replacing any previously attached one.
+    fn instrument(&mut self, recorder: Arc<dyn Recorder>);
+
+    /// Detaches the recorder, restoring the unobserved fast path.
+    fn uninstrument(&mut self);
+}

@@ -8,8 +8,12 @@
 //! (`pmemsim` pools, the checkpoint log, the detector, the reactor) can
 //! record into without caring who — if anyone — is listening.
 //!
-//! Three pieces:
+//! Four pieces:
 //!
+//! - [`Instrument`]: the unified attachment surface — every observable
+//!   component (pool, checkpoint log, detector, reactor, campaign
+//!   engine) exposes the same `instrument`/`uninstrument` pair instead
+//!   of ad-hoc `set_recorder` setters.
 //! - [`Recorder`]: the recording trait. Producers hold an
 //!   `Arc<dyn Recorder>` and emit [`Event`]s, bump monotonic counters and
 //!   observe durations; [`NullRecorder`] makes all of it free when
@@ -20,10 +24,12 @@
 //! - [`schema`]: a structural schema validator used to keep the `report`
 //!   CLI output schema-stable (CI validates every emitted report).
 
+pub mod instrument;
 pub mod json;
 pub mod recorder;
 pub mod schema;
 
+pub use instrument::Instrument;
 pub use json::Json;
 pub use recorder::{Event, HistogramSnapshot, NullRecorder, Recorder, RingRecorder, Value};
 pub use schema::{validate, Field, Schema};

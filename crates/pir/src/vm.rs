@@ -59,6 +59,14 @@ pub enum Trap {
     },
     /// An injected crash fired (power failure / untimely kill).
     InjectedCrash,
+    /// A campaign crash injection armed at a numbered durability-boundary
+    /// site fired (see `PmPool::arm_crash_at_site`). Distinct from
+    /// [`Trap::InjectedCrash`] so harnesses can tell a scenario's own
+    /// scripted crashes from campaign-driven ones.
+    SiteCrash {
+        /// The durability-boundary site that fired.
+        site: u64,
+    },
     /// `unreachable` executed or another invariant broke.
     Misc(String),
 }
@@ -76,6 +84,7 @@ impl Trap {
             Trap::StackOverflow => 139,
             Trap::BadFree { .. } => 7,
             Trap::InjectedCrash => 137,
+            Trap::SiteCrash { .. } => 138,
             Trap::Misc(_) => 1,
         }
     }
@@ -862,6 +871,7 @@ impl Vm {
                 match self.pool.root(size) {
                     Ok(off) => setreg!(pm_addr(off)),
                     Err(PmError::OutOfPmSpace { .. }) => setreg!(0),
+                    Err(PmError::InjectedCrash { site }) => trap!(Trap::SiteCrash { site }),
                     Err(e) => trap!(Trap::Misc(format!("pm_root: {e}"))),
                 }
             }
@@ -870,6 +880,7 @@ impl Vm {
                 match self.pool.alloc(size) {
                     Ok(off) => setreg!(pm_addr(off)),
                     Err(PmError::OutOfPmSpace { .. }) => setreg!(0),
+                    Err(PmError::InjectedCrash { site }) => trap!(Trap::SiteCrash { site }),
                     Err(e) => trap!(Trap::Misc(format!("pm_alloc: {e}"))),
                 }
             }
@@ -883,6 +894,7 @@ impl Vm {
                     Err(PmError::DoubleFree { .. }) | Err(PmError::NotAllocated { .. }) => {
                         trap!(Trap::BadFree { addr: a })
                     }
+                    Err(PmError::InjectedCrash { site }) => trap!(Trap::SiteCrash { site }),
                     Err(e) => trap!(Trap::Misc(format!("pm_free: {e}"))),
                 }
             }
@@ -891,8 +903,10 @@ impl Vm {
                 if !is_pm(a) {
                     trap!(Trap::Segfault { addr: a });
                 }
-                if self.pool.persist(pm_offset(a), len).is_err() {
-                    trap!(Trap::Segfault { addr: a });
+                match self.pool.persist(pm_offset(a), len) {
+                    Ok(()) => {}
+                    Err(PmError::InjectedCrash { site }) => trap!(Trap::SiteCrash { site }),
+                    Err(_) => trap!(Trap::Segfault { addr: a }),
                 }
             }
             Intrinsic::PmFlush => {
@@ -901,9 +915,14 @@ impl Vm {
                     trap!(Trap::Segfault { addr: a });
                 }
             }
-            Intrinsic::PmDrain => self.pool.drain_fence(),
+            Intrinsic::PmDrain => match self.pool.drain_fence() {
+                Ok(()) => {}
+                Err(PmError::InjectedCrash { site }) => trap!(Trap::SiteCrash { site }),
+                Err(e) => trap!(Trap::Misc(format!("drain: {e}"))),
+            },
             Intrinsic::PmTxBegin => match self.pool.tx_begin() {
                 Ok(id) => setreg!(id),
+                Err(PmError::InjectedCrash { site }) => trap!(Trap::SiteCrash { site }),
                 Err(e) => trap!(Trap::Misc(format!("tx_begin: {e}"))),
             },
             Intrinsic::PmTxAdd => {
@@ -915,16 +934,16 @@ impl Vm {
                     trap!(Trap::Misc(format!("tx_add: {e}")));
                 }
             }
-            Intrinsic::PmTxCommit => {
-                if let Err(e) = self.pool.tx_commit() {
-                    trap!(Trap::Misc(format!("tx_commit: {e}")));
-                }
-            }
-            Intrinsic::PmTxAbort => {
-                if let Err(e) = self.pool.tx_abort() {
-                    trap!(Trap::Misc(format!("tx_abort: {e}")));
-                }
-            }
+            Intrinsic::PmTxCommit => match self.pool.tx_commit() {
+                Ok(()) => {}
+                Err(PmError::InjectedCrash { site }) => trap!(Trap::SiteCrash { site }),
+                Err(e) => trap!(Trap::Misc(format!("tx_commit: {e}"))),
+            },
+            Intrinsic::PmTxAbort => match self.pool.tx_abort() {
+                Ok(()) => {}
+                Err(PmError::InjectedCrash { site }) => trap!(Trap::SiteCrash { site }),
+                Err(e) => trap!(Trap::Misc(format!("tx_abort: {e}"))),
+            },
             Intrinsic::RecoverBegin => self.pool.recover_begin(),
             Intrinsic::RecoverEnd => self.pool.recover_end(),
             Intrinsic::Malloc => {

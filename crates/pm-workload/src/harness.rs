@@ -10,18 +10,18 @@
 
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::sync::Mutex;
 use std::time::Duration;
 
 use arthas::{
-    analyze_and_instrument, lock_log, CheckpointLog, Detector, FailureRecord, ForkableTarget,
-    GuidMap, LeakMonitor, PhaseTimes, PmTrace, Reactor, ReactorConfig, Target, Verdict,
+    analyze_and_instrument, CheckpointLog, Detector, FailureRecord, ForkableTarget, GuidMap,
+    LeakMonitor, PhaseTimes, PmTrace, Reactor, ReactorConfig, SharedLog, Target, Verdict,
 };
 use baselines::{ArCkpt, PmCriu};
+use obs::Instrument;
 use pir::ir::Module;
 use pir::vm::{Trap, Vm, VmError, VmOpts};
 use pir_analysis::ModuleAnalysis;
-use pmemsim::PmPool;
+use pmemsim::{CrashPolicy, PmPool};
 
 /// Default pool size for scenario runs.
 pub const POOL_SIZE: u64 = pmemsim::layout::HEAP_OFF + (8 << 20);
@@ -128,6 +128,16 @@ pub trait Scenario: Sync {
     fn verify(&self, vm: &mut Vm) -> Result<(), FailureRecord>;
     /// Domain consistency checks (Table 4); returns found issues.
     fn consistency(&self, vm: &mut Vm) -> Vec<String>;
+    /// Name of the app's *self-contained* invariant-check routine (no
+    /// arguments, traps on violation), safe to run against any post-crash
+    /// state. Crash-injection trials use it as the post-restart
+    /// consistency probe: unlike [`Scenario::consistency`], whose checks
+    /// may assume the verification workload ran, a trap from this routine
+    /// carries a fault location the reactor can slice from. `None` limits
+    /// trials to the pool-level structural check.
+    fn invariant_call(&self) -> Option<&'static str> {
+        None
+    }
     /// Application item count (data-loss accounting for pmCRIU).
     fn count_items(&self, vm: &mut Vm) -> u64;
     /// Whether the failure mode is a persistent leak.
@@ -155,7 +165,7 @@ pub struct Production {
     /// The pool holding the bad persistent state.
     pub pool: PmPool,
     /// The checkpoint log accumulated during the run.
-    pub log: Arc<Mutex<CheckpointLog>>,
+    pub log: SharedLog,
     /// The dynamic PM address trace.
     pub trace: PmTrace,
     /// The detected failure.
@@ -192,6 +202,13 @@ pub struct RunConfig {
     /// the detector and (during mitigation) the reactor. `None` leaves
     /// every layer on its unobserved fast path.
     pub recorder: Option<Arc<dyn obs::Recorder>>,
+    /// Record the kind of every durability boundary crossed (site
+    /// enumeration for crash-injection campaigns).
+    pub record_sites: bool,
+    /// Arm a crash injection before the run starts: the pool crashes at
+    /// the given site under the given policy, and the run returns
+    /// [`InjectionOutcome::SiteCrash`] with the post-crash image.
+    pub injection: Option<SiteInjection>,
 }
 
 impl Default for RunConfig {
@@ -205,6 +222,8 @@ impl Default for RunConfig {
                 ..VmOpts::default()
             },
             recorder: None,
+            record_sites: false,
+            injection: None,
         }
     }
 }
@@ -217,8 +236,51 @@ impl std::fmt::Debug for RunConfig {
             .field("seed", &self.seed)
             .field("vm", &self.vm)
             .field("recorder", &self.recorder.is_some())
+            .field("record_sites", &self.record_sites)
+            .field("injection", &self.injection)
             .finish()
     }
+}
+
+/// A crash injection to arm for one production run.
+#[derive(Debug, Clone, Copy)]
+pub struct SiteInjection {
+    /// The durability-boundary site to crash at (see
+    /// [`pmemsim::PmPool::arm_crash_at_site`]).
+    pub site: u64,
+    /// The crash policy for in-flight lines at the injected crash.
+    pub policy: CrashPolicy,
+}
+
+/// The post-crash state captured when an armed injection fired.
+pub struct CrashCapture {
+    /// The pool holding the raw post-crash image. The device has crashed
+    /// but the pool has *not* been reopened: recovery belongs to the
+    /// trial's classification loop, exactly as it would to a restarted
+    /// process.
+    pub pool: PmPool,
+    /// The checkpoint log accumulated up to the crash.
+    pub log: SharedLog,
+    /// The dynamic PM address trace up to the crash.
+    pub trace: PmTrace,
+    /// The site that fired.
+    pub site: u64,
+    /// Restarts performed before the injection fired.
+    pub restarts: u32,
+    /// The detector with any pre-injection observation history.
+    pub detector: Detector,
+}
+
+/// How a production run under [`run_with_injection`] ended.
+pub enum InjectionOutcome {
+    /// The armed injection fired; here is the machine state at the crash.
+    SiteCrash(Box<CrashCapture>),
+    /// The scenario reached its own detected hard failure (the armed
+    /// site — if any — was never crossed first).
+    HardFailure(Box<Production>),
+    /// The workload ran to completion without a detected failure; the
+    /// final pool is returned (site census for enumeration runs).
+    Completed(Box<PmPool>),
 }
 
 /// Runs a scenario's production phase to a detected hard failure.
@@ -226,20 +288,55 @@ impl std::fmt::Debug for RunConfig {
 /// Returns `None` when the workload completed with no (detected) failure —
 /// which would indicate a scenario bug in this reproduction.
 pub fn run_production(scn: &dyn Scenario, setup: &AppSetup, cfg: &RunConfig) -> Option<Production> {
+    match run_with_injection(scn, setup, cfg) {
+        InjectionOutcome::HardFailure(p) => Some(*p),
+        InjectionOutcome::SiteCrash(_) | InjectionOutcome::Completed(_) => None,
+    }
+}
+
+/// Runs a scenario's production phase as a *replayable* trial: the run is
+/// deterministic in `cfg`, so re-running with [`RunConfig::injection`]
+/// armed crashes at exactly the numbered boundary a prior
+/// [`RunConfig::record_sites`] enumeration run crossed.
+pub fn run_with_injection(
+    scn: &dyn Scenario,
+    setup: &AppSetup,
+    cfg: &RunConfig,
+) -> InjectionOutcome {
     let mut pool = Some(PmPool::create(POOL_SIZE).expect("create pool"));
-    let log = Arc::new(Mutex::new(CheckpointLog::new()));
+    let mut log = SharedLog::new();
     let mut trace = PmTrace::new();
     let mut criu = PmCriu::new(CRIU_INTERVAL);
     let mut detector = Detector::new();
     let mut leakmon = LeakMonitor::new();
     let mut ctx = RunCtx::new(cfg.seed);
-    if let Some(rec) = &cfg.recorder {
-        if let Some(p) = pool.as_mut() {
-            p.set_recorder(rec.clone());
+    {
+        let p = pool.as_mut().expect("pool present");
+        if let Some(rec) = &cfg.recorder {
+            p.instrument(rec.clone());
+            log.instrument(rec.clone());
+            detector.instrument(rec.clone());
         }
-        lock_log(&log).set_recorder(rec.clone());
-        detector.set_recorder(rec.clone());
+        if cfg.record_sites {
+            p.record_site_kinds(true);
+        }
+        if let Some(inj) = cfg.injection {
+            p.arm_crash_at_site(inj.site, inj.policy);
+        }
     }
+
+    // Wraps up a fired injection: the pool keeps the raw post-crash image
+    // (no recovery has run), and the trial's classifier takes over.
+    let capture = |vm: Vm, site: u64, trace: PmTrace, log: SharedLog, restarts, detector| {
+        InjectionOutcome::SiteCrash(Box::new(CrashCapture {
+            pool: vm.into_pool(),
+            log,
+            trace,
+            site,
+            restarts,
+            detector,
+        }))
+    };
 
     let mut t = 0u64;
     let mut items_last = 0u64;
@@ -251,19 +348,22 @@ pub fn run_production(scn: &dyn Scenario, setup: &AppSetup, cfg: &RunConfig) -> 
             cfg.vm,
         );
         if cfg.checkpoint {
-            vm.pool_mut().set_sink(log.clone());
+            vm.pool_mut().set_sink(log.as_sink());
         }
         if ctx.restarts > 0 {
             // Application recovery on restart.
             if let Err(e) = vm.call(scn.recover_call(), &[]) {
+                trace.absorb(vm.take_trace());
+                if let Trap::SiteCrash { site } = e.trap {
+                    return capture(vm, site, trace, log, ctx.restarts, detector);
+                }
                 // Recovery itself failing is a failure observation.
                 let rec = FailureRecord::from_vm(&e);
-                trace.absorb(vm.take_trace());
                 let verdict = detector.observe(rec.clone());
                 pool = Some(vm.crash());
                 ctx.restarts += 1;
                 if verdict == Verdict::SuspectedHard {
-                    return Some(finish(
+                    return InjectionOutcome::HardFailure(Box::new(finish(
                         pool.take().expect("pool"),
                         log,
                         trace,
@@ -274,7 +374,7 @@ pub fn run_production(scn: &dyn Scenario, setup: &AppSetup, cfg: &RunConfig) -> 
                         ctx.restarts,
                         detector,
                         cfg.recorder.clone(),
-                    ));
+                    )));
                 }
                 continue 'run;
             }
@@ -301,6 +401,12 @@ pub fn run_production(scn: &dyn Scenario, setup: &AppSetup, cfg: &RunConfig) -> 
                     ctx.restarts += 1;
                     continue 'run;
                 }
+                Err(e) if matches!(e.trap, Trap::SiteCrash { .. }) => {
+                    let Trap::SiteCrash { site } = e.trap else {
+                        unreachable!("matched above");
+                    };
+                    return capture(vm, site, trace, log, ctx.restarts, detector);
+                }
                 Err(e) if e.trap == Trap::InjectedCrash => {
                     // An untimely power failure (the trigger), not a
                     // symptom.
@@ -315,7 +421,7 @@ pub fn run_production(scn: &dyn Scenario, setup: &AppSetup, cfg: &RunConfig) -> 
                     let mut broken = vm.crash();
                     ctx.restarts += 1;
                     if verdict == Verdict::SuspectedHard {
-                        return Some(finish(
+                        return InjectionOutcome::HardFailure(Box::new(finish(
                             broken,
                             log,
                             trace,
@@ -326,7 +432,7 @@ pub fn run_production(scn: &dyn Scenario, setup: &AppSetup, cfg: &RunConfig) -> 
                             ctx.restarts,
                             detector,
                             cfg.recorder.clone(),
-                        ));
+                        )));
                     }
                     // First sighting: restart and re-drive the same tick
                     // (the soft-fault hypothesis).
@@ -361,7 +467,7 @@ pub fn run_production(scn: &dyn Scenario, setup: &AppSetup, cfg: &RunConfig) -> 
             let rec = FailureRecord::leak(format!(
                 "PM utilisation grew to {alloc_last} bytes across restarts"
             ));
-            return Some(finish(
+            return InjectionOutcome::HardFailure(Box::new(finish(
                 p,
                 log,
                 trace,
@@ -372,16 +478,16 @@ pub fn run_production(scn: &dyn Scenario, setup: &AppSetup, cfg: &RunConfig) -> 
                 ctx.restarts,
                 detector,
                 cfg.recorder.clone(),
-            ));
+            )));
         }
-        return None;
+        return InjectionOutcome::Completed(Box::new(p));
     }
 }
 
 #[allow(clippy::too_many_arguments)]
 fn finish(
     pool: PmPool,
-    log: Arc<Mutex<CheckpointLog>>,
+    log: SharedLog,
     trace: PmTrace,
     failure: FailureRecord,
     items_before: u64,
@@ -411,7 +517,7 @@ fn finish(
 pub struct ScenarioTarget<'a> {
     scn: &'a dyn Scenario,
     module: Arc<Module>,
-    log: Arc<Mutex<CheckpointLog>>,
+    log: SharedLog,
     vm_opts: VmOpts,
     /// Simulated per-re-execution delay (the paper reports 3–5 s per
     /// restart); accumulated for the Figure 8 model.
@@ -423,7 +529,7 @@ impl<'a> ScenarioTarget<'a> {
     pub fn new(
         scn: &'a dyn Scenario,
         module: Arc<Module>,
-        log: Arc<Mutex<CheckpointLog>>,
+        log: SharedLog,
         vm_opts: VmOpts,
     ) -> Self {
         ScenarioTarget {
@@ -445,7 +551,7 @@ impl Target for ScenarioTarget<'_> {
         let mut vm = Vm::new(self.module.clone(), p2, self.vm_opts);
         // The (disabled) log still tracks recovery reads for the leak
         // mitigation pass.
-        vm.pool_mut().set_sink(self.log.clone());
+        vm.pool_mut().set_sink(self.log.as_sink());
         vm.call(self.scn.recover_call(), &[])
             .map_err(|e| FailureRecord::from_vm(&e))?;
         self.scn.verify(&mut vm)
@@ -463,7 +569,7 @@ impl ForkableTarget for ScenarioTarget<'_> {
         Box::new(ScenarioTarget {
             scn: self.scn,
             module: self.module.clone(),
-            log: Arc::new(Mutex::new(log)),
+            log: SharedLog::from_log(log),
             vm_opts: self.vm_opts,
             reexecutions: 0,
         })
@@ -526,7 +632,7 @@ pub fn mitigate(
     setup: &AppSetup,
     solution: Solution,
 ) -> MitigationResult {
-    let total_updates = lock_log(&production.log).total_updates();
+    let total_updates = production.log.lock().total_updates();
     let items_before = production.items_before.max(1);
     let mut target = ScenarioTarget::new(
         scn,
@@ -546,7 +652,7 @@ pub fn mitigate(
             Solution::Arthas(cfg) => {
                 let mut reactor = Reactor::new(&setup.analysis, &setup.guid_map, cfg);
                 if let Some(rec) = &production.recorder {
-                    reactor.set_recorder(rec.clone());
+                    reactor.instrument(rec.clone());
                 }
                 let out = reactor.mitigate_speculative(
                     &mut production.pool,

@@ -21,6 +21,7 @@ pub mod scenarios;
 pub mod ycsb;
 
 pub use harness::{
-    check_consistency, mitigate, run_production, AppSetup, Drive, MitigationResult, Production,
-    RunConfig, RunCtx, Scenario, ScenarioTarget, Solution, CRIU_INTERVAL, POOL_SIZE, RUN_TICKS,
+    check_consistency, mitigate, run_production, run_with_injection, AppSetup, CrashCapture, Drive,
+    InjectionOutcome, MitigationResult, Production, RunConfig, RunCtx, Scenario, ScenarioTarget,
+    SiteInjection, Solution, CRIU_INTERVAL, POOL_SIZE, RUN_TICKS,
 };

@@ -12,7 +12,7 @@
 use std::fmt::Write as _;
 use std::sync::Arc;
 
-use arthas::{lock_log, Verdict};
+use arthas::Verdict;
 use obs::{Event, Field, Json, RingRecorder, Schema};
 
 use crate::harness::{mitigate, run_production, AppSetup, MitigationResult, RunConfig, Solution};
@@ -85,7 +85,7 @@ pub fn run_report(scn: &dyn Scenario, solution: Solution, seed: u64) -> Option<R
     // Production-side numbers, captured before mitigation mutates the
     // pool and the log.
     let pool_stats = prod.pool.stats();
-    let log_stats = lock_log(&prod.log).stats();
+    let log_stats = prod.log.lock().stats();
     let failure = prod.failure.clone();
     let restarts = prod.restarts;
     let detected_hard = prod.detected_hard;

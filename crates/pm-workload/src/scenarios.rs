@@ -165,6 +165,9 @@ impl Scenario for F1RefcountOverflow {
     fn consistency(&self, vm: &mut Vm) -> Vec<String> {
         kv_consistency(vm)
     }
+    fn invariant_call(&self) -> Option<&'static str> {
+        Some("check_invariant")
+    }
     fn count_items(&self, vm: &mut Vm) -> u64 {
         kv_items(vm)
     }
@@ -224,6 +227,9 @@ impl Scenario for F2FlushAll {
     }
     fn consistency(&self, vm: &mut Vm) -> Vec<String> {
         kv_consistency(vm)
+    }
+    fn invariant_call(&self) -> Option<&'static str> {
+        Some("check_invariant")
     }
     fn count_items(&self, vm: &mut Vm) -> u64 {
         kv_items(vm)
@@ -290,6 +296,9 @@ impl Scenario for F3HashtableRace {
     fn consistency(&self, vm: &mut Vm) -> Vec<String> {
         kv_consistency(vm)
     }
+    fn invariant_call(&self) -> Option<&'static str> {
+        Some("check_invariant")
+    }
     fn count_items(&self, vm: &mut Vm) -> u64 {
         kv_items(vm)
     }
@@ -349,6 +358,9 @@ impl Scenario for F4AppendOverflow {
     }
     fn consistency(&self, vm: &mut Vm) -> Vec<String> {
         kv_consistency(vm)
+    }
+    fn invariant_call(&self) -> Option<&'static str> {
+        Some("check_invariant")
     }
     fn count_items(&self, vm: &mut Vm) -> u64 {
         kv_items(vm)
@@ -428,6 +440,9 @@ impl Scenario for F5RehashBitflip {
     }
     fn consistency(&self, vm: &mut Vm) -> Vec<String> {
         kv_consistency(vm)
+    }
+    fn invariant_call(&self) -> Option<&'static str> {
+        Some("check_invariant")
     }
     fn count_items(&self, vm: &mut Vm) -> u64 {
         kv_items(vm)
@@ -511,6 +526,9 @@ impl Scenario for F6ListpackOverflow {
     fn consistency(&self, _vm: &mut Vm) -> Vec<String> {
         Vec::new()
     }
+    fn invariant_call(&self) -> Option<&'static str> {
+        Some("obj_invariant")
+    }
     fn count_items(&self, vm: &mut Vm) -> u64 {
         ldb_items(vm)
     }
@@ -581,6 +599,9 @@ impl Scenario for F7RefcountLogic {
             issues.push(format!("linked-implies-referenced invariant: {e}"));
         }
         issues
+    }
+    fn invariant_call(&self) -> Option<&'static str> {
+        Some("obj_invariant")
     }
     fn count_items(&self, vm: &mut Vm) -> u64 {
         let mut n = 0;
@@ -660,6 +681,9 @@ impl Scenario for F8SlowlogLeak {
     }
     fn consistency(&self, _vm: &mut Vm) -> Vec<String> {
         Vec::new()
+    }
+    fn invariant_call(&self) -> Option<&'static str> {
+        Some("obj_invariant")
     }
     fn count_items(&self, vm: &mut Vm) -> u64 {
         ldb_items(vm)

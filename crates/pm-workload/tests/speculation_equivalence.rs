@@ -26,10 +26,10 @@ fn mitigate_once(
             ..VmOpts::default()
         },
     );
-    let cfg = ReactorConfig {
-        speculation,
-        ..ReactorConfig::default()
-    };
+    let cfg = ReactorConfig::builder()
+        .speculation(speculation)
+        .build()
+        .unwrap();
     let mut reactor = Reactor::new(&setup.analysis, &setup.guid_map, cfg);
     let out = reactor.mitigate_speculative(
         &mut prod.pool,

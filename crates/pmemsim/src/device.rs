@@ -100,6 +100,11 @@ impl PmDevice {
         self.policy = policy;
     }
 
+    /// The current crash policy for in-flight lines.
+    pub fn crash_policy(&self) -> CrashPolicy {
+        self.policy
+    }
+
     /// Device capacity in bytes.
     pub fn capacity(&self) -> u64 {
         self.media.len() as u64

@@ -40,6 +40,15 @@ pub enum PmError {
     },
     /// Pool integrity check failed.
     Corruption(String),
+    /// An armed crash-point injection fired: the device crashed at the
+    /// given zero-based durability-boundary index (see
+    /// `PmPool::arm_crash_at_site`). Not a fault of the program under
+    /// test — the campaign harness catches this and captures the
+    /// post-crash image.
+    InjectedCrash {
+        /// The durability-boundary index that fired.
+        site: u64,
+    },
 }
 
 impl fmt::Display for PmError {
@@ -67,6 +76,9 @@ impl fmt::Display for PmError {
             PmError::TxState(msg) => write!(f, "transaction state error: {msg}"),
             PmError::LogFull { log } => write!(f, "{log} log is full"),
             PmError::Corruption(msg) => write!(f, "pool corruption: {msg}"),
+            PmError::InjectedCrash { site } => {
+                write!(f, "injected crash at durability site {site}")
+            }
         }
     }
 }

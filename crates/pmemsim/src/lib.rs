@@ -12,7 +12,10 @@
 //!   persistent allocator (redo-logged metadata) and undo-log transactions;
 //! - [`PmSink`]: the durability-event interception surface that the Arthas
 //!   checkpoint library and the baselines attach to;
-//! - a `pmempool-check`-style integrity checker ([`PmPool::check`]).
+//! - a `pmempool-check`-style integrity checker ([`PmPool::check`]);
+//! - numbered crash-injection sites at every durability boundary
+//!   ([`PmPool::arm_crash_at_site`], [`SiteKind`]), the substrate of the
+//!   `inject` campaign engine.
 //!
 //! What matters for hard-fault reproduction is *which values survive a
 //! restart*, and the simulator gives exact, deterministic answers to that
@@ -39,5 +42,5 @@ pub mod sink;
 
 pub use device::{CrashPolicy, DeviceStats, PmDevice, CACHE_LINE};
 pub use error::{PmError, PmResult};
-pub use pool::{CheckIssue, PmPool, PoolStats};
+pub use pool::{CheckIssue, PmPool, PoolStats, SiteKind};
 pub use sink::{NullSink, PmSink};

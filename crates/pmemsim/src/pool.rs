@@ -65,6 +65,47 @@ impl PoolStats {
     }
 }
 
+/// The kind of durability boundary a crash-injection site sits on.
+///
+/// Every call that makes (or retires) durable state — `persist`, the
+/// fence of a flush+fence pair, allocator entry points and transaction
+/// boundaries — is one *site*, numbered by a monotonic counter over the
+/// pool's lifetime (restarts included). Campaign drivers enumerate sites
+/// with [`PmPool::record_site_kinds`] and crash at one with
+/// [`PmPool::arm_crash_at_site`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SiteKind {
+    /// An explicit `persist` call.
+    Persist,
+    /// A `drain_fence` retiring staged flushes.
+    Drain,
+    /// A persistent-heap allocation.
+    Alloc,
+    /// A persistent-heap free.
+    Free,
+    /// A transaction begin.
+    TxBegin,
+    /// A transaction commit.
+    TxCommit,
+    /// A transaction abort.
+    TxAbort,
+}
+
+impl SiteKind {
+    /// Stable lowercase name, used in reports and recorder events.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SiteKind::Persist => "persist",
+            SiteKind::Drain => "drain",
+            SiteKind::Alloc => "alloc",
+            SiteKind::Free => "free",
+            SiteKind::TxBegin => "tx_begin",
+            SiteKind::TxCommit => "tx_commit",
+            SiteKind::TxAbort => "tx_abort",
+        }
+    }
+}
+
 /// One issue found by [`PmPool::check`], the `pmempool-check` analogue.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CheckIssue {
@@ -93,6 +134,15 @@ pub struct PmPool {
     fork_base: Option<PoolStats>,
     recorder: Option<Arc<dyn obs::Recorder>>,
     pending_flush: Vec<(u64, u64)>,
+    /// Monotonic durability-boundary counter; never reset, not even by a
+    /// crash, so site N names the same boundary in every deterministic
+    /// replay of a workload.
+    site_counter: u64,
+    /// An armed crash injection: crash with the given policy when the
+    /// counter reaches the given site.
+    armed: Option<(u64, CrashPolicy)>,
+    /// When enumerating, the kind of every boundary crossed so far.
+    site_log: Option<Vec<SiteKind>>,
 }
 
 impl PmPool {
@@ -115,6 +165,9 @@ impl PmPool {
             fork_base: None,
             recorder: None,
             pending_flush: Vec::new(),
+            site_counter: 0,
+            armed: None,
+            site_log: None,
         };
         pool.write_u64(hdr::MAGIC, layout::MAGIC)?;
         pool.write_u64(hdr::VERSION, layout::VERSION)?;
@@ -149,6 +202,9 @@ impl PmPool {
             fork_base: None,
             recorder: None,
             pending_flush: Vec::new(),
+            site_counter: 0,
+            armed: None,
+            site_log: None,
         };
         if pool.read_u64(hdr::MAGIC)? != layout::MAGIC {
             return Err(PmError::BadHeader("bad magic".into()));
@@ -178,15 +234,16 @@ impl PmPool {
         self.sink = None;
     }
 
-    /// Attaches an observability recorder. Unlike the sink — which models
-    /// in-process interception and is dropped by a crash — the recorder is
-    /// the *observer's* tap and survives [`PmPool::crash_and_reopen`], so
-    /// the crash itself lands on the recovery timeline.
+    /// Attaches an observability recorder.
+    #[doc(hidden)]
+    #[deprecated(since = "0.4.0", note = "use `obs::Instrument::instrument` instead")]
     pub fn set_recorder(&mut self, recorder: Arc<dyn obs::Recorder>) {
         self.recorder = Some(recorder);
     }
 
     /// Detaches the recorder.
+    #[doc(hidden)]
+    #[deprecated(since = "0.4.0", note = "use `obs::Instrument::uninstrument` instead")]
     pub fn clear_recorder(&mut self) {
         self.recorder = None;
     }
@@ -223,6 +280,88 @@ impl PmPool {
         &self.dev
     }
 
+    // ---- crash-point injection sites --------------------------------------
+
+    /// Number of durability-boundary sites crossed so far (monotonic over
+    /// the pool's lifetime, restarts included).
+    pub fn site_count(&self) -> u64 {
+        self.site_counter
+    }
+
+    /// Arms a crash injection: when the site counter reaches `site`, the
+    /// device crashes under `policy` (the pool's configured policy is
+    /// untouched) and the triggering operation returns
+    /// [`PmError::InjectedCrash`]. The armed state survives
+    /// [`PmPool::crash_and_reopen`] (a scenario's own scripted crashes must
+    /// not disarm a campaign injection at a later site) but is dropped by
+    /// [`PmPool::fork`], since speculative forks re-execute history that
+    /// already happened.
+    pub fn arm_crash_at_site(&mut self, site: u64, policy: CrashPolicy) {
+        self.armed = Some((site, policy));
+    }
+
+    /// Disarms a pending [`PmPool::arm_crash_at_site`] injection.
+    pub fn disarm_site_crash(&mut self) {
+        self.armed = None;
+    }
+
+    /// Enables or disables site-kind recording. While enabled, every
+    /// boundary crossed appends its [`SiteKind`] to a log retrievable via
+    /// [`PmPool::site_kinds`]. Enumeration runs turn this on; trial runs
+    /// leave it off.
+    pub fn record_site_kinds(&mut self, enable: bool) {
+        self.site_log = if enable {
+            Some(self.site_log.take().unwrap_or_default())
+        } else {
+            None
+        };
+    }
+
+    /// The kinds of all boundaries crossed while recording was enabled
+    /// (index = site number only when recording was on from site 0).
+    pub fn site_kinds(&self) -> &[SiteKind] {
+        self.site_log.as_deref().unwrap_or(&[])
+    }
+
+    /// Crosses one durability boundary: bumps the counter, logs the kind,
+    /// and fires an armed injection if this is its site. On fire the
+    /// device crashes under the armed policy exactly as
+    /// [`PmPool::crash_and_reopen`] would crash it — volatile state
+    /// (open transaction, sink, staged flush ranges) is dropped — but the
+    /// pool is *not* reopened: the caller owns the post-crash image and
+    /// decides when recovery runs.
+    fn site_boundary(&mut self, kind: SiteKind) -> PmResult<()> {
+        let site = self.site_counter;
+        self.site_counter += 1;
+        if let Some(log) = &mut self.site_log {
+            log.push(kind);
+        }
+        if let Some((target, policy)) = self.armed {
+            if site == target {
+                self.armed = None;
+                let configured = self.dev.crash_policy();
+                self.dev.set_crash_policy(policy);
+                self.dev.crash();
+                self.dev.set_crash_policy(configured);
+                self.tx = None;
+                self.sink = None;
+                self.recovering = false;
+                self.pending_flush.clear();
+                self.stats.crashes += 1;
+                self.rec_add("pool.crashes", 1);
+                self.rec_event(
+                    "pool.site_crash",
+                    vec![
+                        ("site", obs::Value::from(site)),
+                        ("kind", obs::Value::from(kind.as_str())),
+                    ],
+                );
+                return Err(PmError::InjectedCrash { site });
+            }
+        }
+        Ok(())
+    }
+
     // ---- raw access -----------------------------------------------------
 
     /// Reads `len` bytes at `offset` (sees unpersisted stores).
@@ -257,6 +396,7 @@ impl PmPool {
     /// Explicitly persists `[offset, offset + len)` (the `pmem_persist`
     /// primitive) and notifies the sink with the durable bytes.
     pub fn persist(&mut self, offset: u64, len: u64) -> PmResult<()> {
+        self.site_boundary(SiteKind::Persist)?;
         self.dev.persist(offset, len)?;
         self.stats.persists += 1;
         self.rec_add("pool.persists", 1);
@@ -284,7 +424,10 @@ impl PmPool {
 
     /// Fence (the `sfence` analogue): commits staged lines, then notifies
     /// the sink once per range flushed since the previous fence.
-    pub fn drain_fence(&mut self) {
+    ///
+    /// Errs only when an armed crash injection fires at this boundary.
+    pub fn drain_fence(&mut self) -> PmResult<()> {
+        self.site_boundary(SiteKind::Drain)?;
         self.dev.drain();
         self.stats.drains += 1;
         self.rec_add("pool.drains", 1);
@@ -301,6 +444,7 @@ impl PmPool {
                 }
             }
         }
+        Ok(())
     }
 
     /// Persists without notifying the sink; used for allocator and log
@@ -418,6 +562,7 @@ impl PmPool {
         if size == 0 {
             return Err(PmError::OutOfPmSpace { requested: 0 });
         }
+        self.site_boundary(SiteKind::Alloc)?;
         let need = (layout::align_up(size) + layout::BLOCK_HDR).max(layout::MIN_BLOCK);
         // First-fit walk of the free list.
         let mut prev: Option<u64> = None;
@@ -478,6 +623,7 @@ impl PmPool {
         if offset < layout::HEAP_OFF + layout::BLOCK_HDR || offset >= self.capacity() {
             return Err(PmError::NotAllocated { offset });
         }
+        self.site_boundary(SiteKind::Free)?;
         let block = offset - layout::BLOCK_HDR;
         let bsize = self.read_u64(block)?;
         if bsize & 1 == 0 {
@@ -563,6 +709,7 @@ impl PmPool {
         if self.tx.is_some() {
             return Err(PmError::TxState("transaction already open".into()));
         }
+        self.site_boundary(SiteKind::TxBegin)?;
         let id = self.read_u64(hdr::TX_NEXT_ID)?;
         self.write_u64(hdr::TX_NEXT_ID, id + 1)?;
         self.write_u64(hdr::TX_COUNT, 0)?;
@@ -612,10 +759,11 @@ impl PmPool {
     /// Commits the open transaction: persists every snapshotted range,
     /// notifies the sink, then retires the undo log.
     pub fn tx_commit(&mut self) -> PmResult<()> {
-        let tx = self
-            .tx
-            .take()
-            .ok_or_else(|| PmError::TxState("commit without transaction".into()))?;
+        if self.tx.is_none() {
+            return Err(PmError::TxState("commit without transaction".into()));
+        }
+        self.site_boundary(SiteKind::TxCommit)?;
+        let tx = self.tx.take().expect("tx checked above");
         for &(off, len) in &tx.ranges {
             self.dev.flush(off, len)?;
         }
@@ -638,10 +786,11 @@ impl PmPool {
 
     /// Aborts the open transaction, restoring all snapshotted ranges.
     pub fn tx_abort(&mut self) -> PmResult<()> {
-        let tx = self
-            .tx
-            .take()
-            .ok_or_else(|| PmError::TxState("abort without transaction".into()))?;
+        if self.tx.is_none() {
+            return Err(PmError::TxState("abort without transaction".into()));
+        }
+        self.site_boundary(SiteKind::TxAbort)?;
+        let tx = self.tx.take().expect("tx checked above");
         self.undo_replay()?;
         self.write_u64(hdr::TX_ACTIVE, 0)?;
         self.persist_internal(hdr::TX_ACTIVE, 8)?;
@@ -738,6 +887,12 @@ impl PmPool {
             fork_base: Some(self.fork_base.unwrap_or(self.stats)),
             recorder: None,
             pending_flush: self.pending_flush.clone(),
+            // The counter continues (site numbers stay comparable across
+            // speculation), but armed injections and enumeration logs
+            // belong to the parent's timeline, not the fork's replay.
+            site_counter: self.site_counter,
+            armed: None,
+            site_log: None,
         }
     }
 
@@ -754,6 +909,7 @@ impl PmPool {
         self.recovering = fork.recovering;
         self.stats.absorb(&delta);
         self.pending_flush = fork.pending_flush;
+        self.site_counter = self.site_counter.max(fork.site_counter);
         self.rec_add("pool.reabsorbs", 1);
     }
 
@@ -868,6 +1024,20 @@ impl PmPool {
             }
         }
         issues
+    }
+}
+
+impl obs::Instrument for PmPool {
+    /// Attaches an observability recorder. Unlike the sink — which models
+    /// in-process interception and is dropped by a crash — the recorder is
+    /// the *observer's* tap and survives [`PmPool::crash_and_reopen`], so
+    /// the crash itself lands on the recovery timeline.
+    fn instrument(&mut self, recorder: Arc<dyn obs::Recorder>) {
+        self.recorder = Some(recorder);
+    }
+
+    fn uninstrument(&mut self) {
+        self.recorder = None;
     }
 }
 
@@ -1164,9 +1334,10 @@ mod tests {
 
     #[test]
     fn recorder_counts_pool_operations_and_survives_crash() {
+        use obs::Instrument;
         let rec = std::sync::Arc::new(obs::RingRecorder::new(64));
         let mut pool = PmPool::create(CAP).unwrap();
-        pool.set_recorder(rec.clone());
+        pool.instrument(rec.clone());
 
         let a = pool.alloc(64).unwrap();
         pool.persist(a, 64).unwrap();
@@ -1186,5 +1357,85 @@ mod tests {
             rec.events().iter().any(|e| e.kind == "pool.crash"),
             "crash event recorded"
         );
+    }
+
+    #[test]
+    fn site_counter_numbers_every_durability_boundary() {
+        let mut pool = PmPool::create(CAP).unwrap();
+        pool.record_site_kinds(true);
+        let a = pool.alloc(64).unwrap(); // site 0
+        pool.persist(a, 8).unwrap(); // site 1
+        pool.flush_range(a, 8).unwrap(); // not a site
+        pool.drain_fence().unwrap(); // site 2
+        pool.tx_begin().unwrap(); // site 3
+        pool.tx_add(a, 8).unwrap(); // not a site
+        pool.tx_commit().unwrap(); // site 4
+        pool.free(a).unwrap(); // site 5
+        assert_eq!(pool.site_count(), 6);
+        assert_eq!(
+            pool.site_kinds(),
+            &[
+                SiteKind::Alloc,
+                SiteKind::Persist,
+                SiteKind::Drain,
+                SiteKind::TxBegin,
+                SiteKind::TxCommit,
+                SiteKind::Free,
+            ]
+        );
+    }
+
+    #[test]
+    fn armed_site_crash_fires_once_and_loses_unpersisted_data() {
+        let mut pool = PmPool::create(CAP).unwrap();
+        let a = pool.alloc(64).unwrap(); // site 0
+        pool.write_u64(a, 1).unwrap();
+        pool.persist(a, 8).unwrap(); // site 1
+        pool.arm_crash_at_site(2, CrashPolicy::DropStaged);
+        pool.write_u64(a + 8, 2).unwrap();
+        let err = pool.persist(a + 8, 8).unwrap_err(); // site 2: boom
+        assert_eq!(err, PmError::InjectedCrash { site: 2 });
+        // The caller owns the image; reopen it like a restart would.
+        let mut reopened = PmPool::open(pool.snapshot()).unwrap();
+        assert_eq!(reopened.read_u64(a).unwrap(), 1, "persisted data kept");
+        assert_eq!(reopened.read_u64(a + 8).unwrap(), 0, "in-flight data lost");
+        // Disarmed after firing: the same pool keeps working.
+        pool.persist(a, 8).unwrap();
+    }
+
+    #[test]
+    fn armed_site_crash_survives_scripted_crash_and_fork_drops_it() {
+        let mut pool = PmPool::create(CAP).unwrap();
+        let a = pool.alloc(64).unwrap(); // site 0
+        pool.arm_crash_at_site(3, CrashPolicy::DropStaged);
+        pool.crash_and_reopen().unwrap(); // scenario's own crash
+        pool.persist(a, 8).unwrap(); // site 1
+        let mut fork = pool.fork();
+        fork.persist(a, 8).unwrap(); // fork site 2: injection dropped
+        fork.persist(a, 8).unwrap(); // fork site 3: still no injection
+        pool.persist(a, 8).unwrap(); // site 2
+        assert_eq!(
+            pool.persist(a, 8).unwrap_err(), // site 3
+            PmError::InjectedCrash { site: 3 },
+            "armed injection survives an intervening scripted crash"
+        );
+    }
+
+    #[test]
+    fn site_crash_preserves_configured_policy() {
+        let mut pool = PmPool::create(CAP).unwrap();
+        let a = pool.alloc(64).unwrap();
+        pool.set_crash_policy(CrashPolicy::KeepStaged);
+        pool.arm_crash_at_site(1, CrashPolicy::DropStaged);
+        pool.write_u64(a, 7).unwrap();
+        pool.flush_range(a, 8).unwrap();
+        assert!(pool.drain_fence().is_err()); // fires under DropStaged
+        assert_eq!(
+            pool.device().crash_policy(),
+            CrashPolicy::KeepStaged,
+            "injection policy does not leak into the configured policy"
+        );
+        let mut reopened = PmPool::open(pool.snapshot()).unwrap();
+        assert_eq!(reopened.read_u64(a).unwrap(), 0, "staged line dropped");
     }
 }

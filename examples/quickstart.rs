@@ -14,11 +14,10 @@
 //! the bad entries.
 
 use std::sync::Arc;
-use std::sync::Mutex;
 
 use arthas::{
-    analyze_and_instrument, CheckpointLog, Detector, FailureRecord, PmTrace, Reactor,
-    ReactorConfig, Target, Verdict,
+    analyze_and_instrument, Detector, FailureRecord, PmTrace, Reactor, ReactorConfig, SharedLog,
+    Target, Verdict,
 };
 use pir::builder::ModuleBuilder;
 use pir::ir::Module;
@@ -85,7 +84,7 @@ fn build_app() -> Module {
 
 struct MiniTarget {
     module: Arc<Module>,
-    log: Arc<Mutex<CheckpointLog>>,
+    log: SharedLog,
 }
 
 impl Target for MiniTarget {
@@ -94,7 +93,7 @@ impl Target for MiniTarget {
         let reopened =
             PmPool::open(image).map_err(|e| FailureRecord::wrong_result(format!("reopen: {e}")))?;
         let mut vm = Vm::new(self.module.clone(), reopened, VmOpts::default());
-        vm.pool_mut().set_sink(self.log.clone());
+        vm.pool_mut().set_sink(self.log.as_sink());
         vm.call("recover", &[])
             .map_err(|e| FailureRecord::from_vm(&e))?;
         vm.call("get", &[])
@@ -120,10 +119,10 @@ fn main() {
     let instrumented = Arc::new(out.instrumented);
 
     println!("2. Run production with checkpointing attached");
-    let log = Arc::new(Mutex::new(CheckpointLog::new()));
+    let log = SharedLog::new();
     let mut trace = PmTrace::new();
     let mut vm = Vm::new(instrumented.clone(), new_pool(), VmOpts::default());
-    vm.pool_mut().set_sink(log.clone());
+    vm.pool_mut().set_sink(log.as_sink());
     for v in [1u64, 2, 3] {
         vm.call("put", &[v]).unwrap();
     }
@@ -136,7 +135,7 @@ fn main() {
     let mut detector = Detector::new();
     detector.observe(FailureRecord::from_vm(&err));
     let mut pool = vm.crash();
-    pool.set_sink(log.clone());
+    pool.set_sink(log.as_sink());
     let mut vm = Vm::new(instrumented.clone(), pool, VmOpts::default());
     vm.call("recover", &[]).unwrap();
     let err2 = vm.call("get", &[]).unwrap_err();
@@ -148,7 +147,7 @@ fn main() {
 
     println!("4. Reactor: slice the fault, revert dependent PM state");
     let mut pool = vm.crash();
-    let total = log.lock().unwrap().total_updates();
+    let total = log.lock().total_updates();
     let mut reactor = Reactor::new(&out.analysis, &out.guid_map, ReactorConfig::default());
     let mut target = MiniTarget {
         module: instrumented.clone(),

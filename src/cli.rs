@@ -1,0 +1,275 @@
+//! A small declarative flag parser for the `arthas-repro` subcommands.
+//!
+//! Each subcommand declares its positional arguments and flags once as a
+//! [`CommandSpec`]; parsing, validation, and `--help` text all derive
+//! from that declaration, replacing the previous per-command hand-rolled
+//! loops. No external dependencies.
+//!
+//! ```
+//! use arthas_repro::cli::{ArgSpec, CommandSpec, FlagSpec};
+//!
+//! const SPEC: CommandSpec = CommandSpec {
+//!     name: "frob",
+//!     summary: "frobnicate a widget",
+//!     args: &[ArgSpec { name: "widget", required: true, help: "widget id" }],
+//!     flags: &[
+//!         FlagSpec { name: "--count", value: Some("N"), help: "how many times" },
+//!         FlagSpec { name: "--json", value: None, help: "machine-readable output" },
+//!     ],
+//! };
+//! let parsed = SPEC
+//!     .parse(&["w1".to_string(), "--count".to_string(), "3".to_string()])
+//!     .unwrap();
+//! assert_eq!(parsed.pos(0), Some("w1"));
+//! assert_eq!(parsed.get_u64("--count").unwrap(), Some(3));
+//! assert!(!parsed.has("--json"));
+//! ```
+
+use std::collections::HashMap;
+
+/// A positional argument declaration.
+#[derive(Debug, Clone, Copy)]
+pub struct ArgSpec {
+    /// Name shown in usage text, e.g. `"scenario"`.
+    pub name: &'static str,
+    /// Whether omitting it is a parse error.
+    pub required: bool,
+    /// One-line description for `--help`.
+    pub help: &'static str,
+}
+
+/// A flag declaration. `value: Some("N")` makes it a valued flag
+/// (`--seed 7`); `None` makes it a boolean switch (`--json`).
+#[derive(Debug, Clone, Copy)]
+pub struct FlagSpec {
+    /// The flag itself, including dashes, e.g. `"--seed"`.
+    pub name: &'static str,
+    /// Placeholder for the value in usage text; `None` for switches.
+    pub value: Option<&'static str>,
+    /// One-line description for `--help`.
+    pub help: &'static str,
+}
+
+/// One subcommand's full argument declaration.
+#[derive(Debug, Clone, Copy)]
+pub struct CommandSpec {
+    /// Subcommand name, e.g. `"report"`.
+    pub name: &'static str,
+    /// One-line summary for the top-level usage listing.
+    pub summary: &'static str,
+    /// Positional arguments, in order; required ones must precede
+    /// optional ones.
+    pub args: &'static [ArgSpec],
+    /// Accepted flags.
+    pub flags: &'static [FlagSpec],
+}
+
+/// Parsed arguments for one subcommand invocation.
+#[derive(Debug, Default)]
+pub struct Parsed {
+    positionals: Vec<String>,
+    values: HashMap<&'static str, String>,
+    switches: Vec<&'static str>,
+}
+
+impl Parsed {
+    /// The `i`-th positional argument.
+    pub fn pos(&self, i: usize) -> Option<&str> {
+        self.positionals.get(i).map(String::as_str)
+    }
+
+    /// The value of a valued flag, if given.
+    pub fn get(&self, flag: &str) -> Option<&str> {
+        self.values.get(flag).map(String::as_str)
+    }
+
+    /// The value of a valued flag parsed as `u64`; `Err` carries a
+    /// user-facing message when the value is present but not a number.
+    pub fn get_u64(&self, flag: &str) -> Result<Option<u64>, String> {
+        match self.get(flag) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("{flag} expects a number, got `{v}`")),
+        }
+    }
+
+    /// Whether a boolean switch was given.
+    pub fn has(&self, flag: &str) -> bool {
+        self.switches.contains(&flag)
+    }
+}
+
+impl CommandSpec {
+    /// Parses `args` (everything after the subcommand name) against this
+    /// declaration. `Err` carries a user-facing message; `--help` yields
+    /// the generated usage text as an `Err` so callers print-and-exit on
+    /// one path.
+    pub fn parse(&self, args: &[String]) -> Result<Parsed, String> {
+        let mut out = Parsed::default();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            if a == "--help" || a == "-h" {
+                return Err(self.usage());
+            }
+            if a.starts_with("--") {
+                let Some(spec) = self.flags.iter().find(|f| f.name == a.as_str()) else {
+                    return Err(format!(
+                        "unknown flag {a} for `{}`\n\n{}",
+                        self.name,
+                        self.usage()
+                    ));
+                };
+                if spec.value.is_some() {
+                    let Some(v) = it.next() else {
+                        return Err(format!("{} needs a value ({})", spec.name, spec.help));
+                    };
+                    out.values.insert(spec.name, v.clone());
+                } else if !out.switches.contains(&spec.name) {
+                    out.switches.push(spec.name);
+                }
+            } else {
+                if out.positionals.len() >= self.args.len() {
+                    return Err(format!(
+                        "unexpected argument `{a}` for `{}`\n\n{}",
+                        self.name,
+                        self.usage()
+                    ));
+                }
+                out.positionals.push(a.clone());
+            }
+        }
+        for (i, spec) in self.args.iter().enumerate() {
+            if spec.required && out.positionals.len() <= i {
+                return Err(format!(
+                    "missing required argument <{}>\n\n{}",
+                    spec.name,
+                    self.usage()
+                ));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Usage text generated from the declaration.
+    pub fn usage(&self) -> String {
+        use std::fmt::Write as _;
+        let mut line = format!("usage: arthas-repro {}", self.name);
+        for a in self.args {
+            if a.required {
+                let _ = write!(line, " <{}>", a.name);
+            } else {
+                let _ = write!(line, " [{}]", a.name);
+            }
+        }
+        if !self.flags.is_empty() {
+            line.push_str(" [flags]");
+        }
+        let mut out = format!("{line}\n\n{}\n", self.summary);
+        if !self.args.is_empty() {
+            out.push_str("\narguments:\n");
+            for a in self.args {
+                let _ = writeln!(out, "  {:<18} {}", a.name, a.help);
+            }
+        }
+        if !self.flags.is_empty() {
+            out.push_str("\nflags:\n");
+            for f in self.flags {
+                let shown = match f.value {
+                    Some(v) => format!("{} {}", f.name, v),
+                    None => f.name.to_string(),
+                };
+                let _ = writeln!(out, "  {shown:<18} {}", f.help);
+            }
+        }
+        out
+    }
+
+    /// The one-line entry for the top-level command listing.
+    pub fn summary_line(&self) -> String {
+        format!("  {:<10} {}", self.name, self.summary)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SPEC: CommandSpec = CommandSpec {
+        name: "demo",
+        summary: "demo command",
+        args: &[
+            ArgSpec {
+                name: "target",
+                required: true,
+                help: "what to demo",
+            },
+            ArgSpec {
+                name: "extra",
+                required: false,
+                help: "optional extra",
+            },
+        ],
+        flags: &[
+            FlagSpec {
+                name: "--seed",
+                value: Some("N"),
+                help: "run seed",
+            },
+            FlagSpec {
+                name: "--json",
+                value: None,
+                help: "JSON output",
+            },
+        ],
+    };
+
+    fn sv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn positionals_and_flags_mix_in_any_order() {
+        let p = SPEC
+            .parse(&sv(&["--json", "t1", "--seed", "9", "x"]))
+            .unwrap();
+        assert_eq!(p.pos(0), Some("t1"));
+        assert_eq!(p.pos(1), Some("x"));
+        assert_eq!(p.get_u64("--seed").unwrap(), Some(9));
+        assert!(p.has("--json"));
+    }
+
+    #[test]
+    fn missing_required_positional_is_an_error() {
+        let e = SPEC.parse(&sv(&["--json"])).unwrap_err();
+        assert!(e.contains("missing required argument <target>"), "{e}");
+    }
+
+    #[test]
+    fn unknown_flag_and_excess_positional_are_errors() {
+        assert!(SPEC.parse(&sv(&["t", "--bogus"])).is_err());
+        assert!(SPEC.parse(&sv(&["t", "x", "y"])).is_err());
+    }
+
+    #[test]
+    fn valued_flag_without_value_is_an_error() {
+        let e = SPEC.parse(&sv(&["t", "--seed"])).unwrap_err();
+        assert!(e.contains("--seed needs a value"), "{e}");
+    }
+
+    #[test]
+    fn bad_number_reports_the_flag() {
+        let p = SPEC.parse(&sv(&["t", "--seed", "abc"])).unwrap();
+        let e = p.get_u64("--seed").unwrap_err();
+        assert!(e.contains("--seed expects a number"), "{e}");
+    }
+
+    #[test]
+    fn help_is_generated_from_the_declaration() {
+        let e = SPEC.parse(&sv(&["--help"])).unwrap_err();
+        assert!(e.contains("usage: arthas-repro demo <target> [extra] [flags]"));
+        assert!(e.contains("--seed N"));
+        assert!(e.contains("run seed"));
+    }
+}

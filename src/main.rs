@@ -5,14 +5,189 @@
 //! arthas-repro run f6 [arthas|pmcriu|arckpt] [seed]
 //! arthas-repro report f6 [--json]        # observed run: timeline / JSON
 //! arthas-repro report all --out reports  # one JSON document per scenario
+//! arthas-repro inject f6 --stride 8      # crash-point injection campaign
 //! arthas-repro study                     # the S2 empirical-study stats
 //! arthas-repro analyze kvcache           # analyzer summary for an app
 //! arthas-repro lint kvcache [--json]     # crash-consistency lint report
 //! arthas-repro disasm cceh [insert]      # IR disassembly
 //! ```
+//!
+//! Every subcommand's arguments are declared once as a
+//! [`cli::CommandSpec`]; parsing and `--help` derive from the
+//! declaration.
 
 use arthas::ReactorConfig;
+use arthas_repro::cli::{ArgSpec, CommandSpec, FlagSpec, Parsed};
 use pm_workload::{mitigate, run_production, scenarios, AppSetup, RunConfig, Solution};
+
+const COMMANDS: &[CommandSpec] = &[
+    CommandSpec {
+        name: "list",
+        summary: "list the 12 fault scenarios (Table 2)",
+        args: &[],
+        flags: &[],
+    },
+    CommandSpec {
+        name: "run",
+        summary: "run one scenario to failure and mitigate it",
+        args: &[
+            ArgSpec {
+                name: "scenario",
+                required: true,
+                help: "scenario id (f1..f12; see `list`)",
+            },
+            ArgSpec {
+                name: "solution",
+                required: false,
+                help: "arthas (default) | arthas-spec[:k] | pmcriu | arckpt",
+            },
+            ArgSpec {
+                name: "seed",
+                required: false,
+                help: "workload seed (default 1)",
+            },
+        ],
+        flags: &[],
+    },
+    CommandSpec {
+        name: "report",
+        summary: "observed run: recovery timeline or schema-validated JSON",
+        args: &[
+            ArgSpec {
+                name: "scenario",
+                required: true,
+                help: "scenario id, or `all`",
+            },
+            ArgSpec {
+                name: "solution",
+                required: false,
+                help: "arthas (default) | arthas-spec[:k] | pmcriu | arckpt",
+            },
+        ],
+        flags: &[
+            FlagSpec {
+                name: "--seed",
+                value: Some("N"),
+                help: "workload seed (default 1)",
+            },
+            FlagSpec {
+                name: "--json",
+                value: None,
+                help: "print the JSON document instead of the timeline",
+            },
+            FlagSpec {
+                name: "--out",
+                value: Some("DIR"),
+                help: "also write one <id>.json per scenario into DIR",
+            },
+        ],
+    },
+    CommandSpec {
+        name: "inject",
+        summary: "crash-point injection campaign over a scenario's durability boundaries",
+        args: &[ArgSpec {
+            name: "scenario",
+            required: true,
+            help: "scenario id, or `all`",
+        }],
+        flags: &[
+            FlagSpec {
+                name: "--stride",
+                value: Some("N"),
+                help: "test every N-th site (default 1 = exhaustive)",
+            },
+            FlagSpec {
+                name: "--budget",
+                value: Some("N"),
+                help: "max trials per scenario (default 400)",
+            },
+            FlagSpec {
+                name: "--runners",
+                value: Some("N"),
+                help: "parallel trial runners (default 1)",
+            },
+            FlagSpec {
+                name: "--policies",
+                value: Some("LIST"),
+                help: "comma list of drop, keep, random (default drop,keep)",
+            },
+            FlagSpec {
+                name: "--seeds",
+                value: Some("K"),
+                help: "RandomStaged seeds when `random` is listed (default 2)",
+            },
+            FlagSpec {
+                name: "--seed",
+                value: Some("N"),
+                help: "workload seed (default 1)",
+            },
+            FlagSpec {
+                name: "--json",
+                value: None,
+                help: "print the matrix JSON instead of the coverage table",
+            },
+            FlagSpec {
+                name: "--out",
+                value: Some("FILE"),
+                help: "write the matrix JSON to FILE",
+            },
+        ],
+    },
+    CommandSpec {
+        name: "study",
+        summary: "print the empirical-study statistics (S2)",
+        args: &[],
+        flags: &[],
+    },
+    CommandSpec {
+        name: "analyze",
+        summary: "analyzer summary for an application module",
+        args: &[ArgSpec {
+            name: "app",
+            required: true,
+            help: "kvcache | listdb | cceh | segcache | pmkv",
+        }],
+        flags: &[],
+    },
+    CommandSpec {
+        name: "lint",
+        summary: "crash-consistency lint checks (L1-L5); exits 1 on errors",
+        args: &[ArgSpec {
+            name: "app",
+            required: true,
+            help: "kvcache | listdb | cceh | segcache | pmkv",
+        }],
+        flags: &[FlagSpec {
+            name: "--json",
+            value: None,
+            help: "machine-readable report",
+        }],
+    },
+    CommandSpec {
+        name: "disasm",
+        summary: "disassemble an application module",
+        args: &[
+            ArgSpec {
+                name: "app",
+                required: true,
+                help: "kvcache | listdb | cceh | segcache | pmkv",
+            },
+            ArgSpec {
+                name: "function",
+                required: false,
+                help: "single function to print (default: whole module)",
+            },
+        ],
+        flags: &[],
+    },
+];
+
+fn spec(name: &str) -> &'static CommandSpec {
+    COMMANDS
+        .iter()
+        .find(|c| c.name == name)
+        .expect("spec declared")
+}
 
 fn build_app(name: &str) -> Option<pir::ir::Module> {
     match name {
@@ -26,26 +201,37 @@ fn build_app(name: &str) -> Option<pir::ir::Module> {
 }
 
 fn usage() -> ! {
-    eprintln!(
-        "usage: arthas-repro <command>\n\
-         \n\
-         commands:\n\
-         \x20 list                          list the 12 fault scenarios (Table 2)\n\
-         \x20 run <fN> [solution] [seed]    run one scenario to failure and mitigate\n\
-         \x20                               solution: arthas (default) | arthas-spec[:k]\n\
-         \x20                               | pmcriu | arckpt\n\
-         \x20 report <fN|all> [solution]    run with the observability recorder attached\n\
-         \x20        [--seed N] [--json]    and print the recovery timeline (or the\n\
-         \x20        [--out DIR]            schema-validated JSON document); --out writes\n\
-         \x20                               one <id>.json per scenario\n\
-         \x20 study                         print the empirical-study statistics (S2)\n\
-         \x20 analyze <app>                 analyzer summary (apps: kvcache, listdb,\n\
-         \x20                               cceh, segcache, pmkv)\n\
-         \x20 lint <app> [--json]           run the crash-consistency checks (L1-L5);\n\
-         \x20                               exits 1 on any unsuppressed error\n\
-         \x20 disasm <app> [function]       disassemble an application module"
-    );
+    eprintln!("usage: arthas-repro <command> [args]\n\ncommands:");
+    for c in COMMANDS {
+        eprintln!("{}", c.summary_line());
+    }
+    eprintln!("\nrun `arthas-repro <command> --help` for per-command flags");
     std::process::exit(2);
+}
+
+/// Parses a subcommand's arguments or exits with the spec's message:
+/// `--help` prints the generated usage to stdout and exits 0, parse
+/// errors go to stderr and exit 2.
+fn parse_or_exit(name: &str, args: &[String]) -> Parsed {
+    spec(name).parse(args).unwrap_or_else(|msg| {
+        if msg.starts_with("usage:") {
+            println!("{msg}");
+            std::process::exit(0);
+        }
+        eprintln!("{msg}");
+        std::process::exit(2);
+    })
+}
+
+/// `get_u64` with the parse-error exit path.
+fn flag_u64(p: &Parsed, flag: &str, default: u64) -> u64 {
+    match p.get_u64(flag) {
+        Ok(v) => v.unwrap_or(default),
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    }
 }
 
 fn main() {
@@ -61,12 +247,13 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("list") => cmd_list(),
-        Some("run") => cmd_run(&args[1..]),
-        Some("report") => cmd_report(&args[1..]),
+        Some("run") => cmd_run(parse_or_exit("run", &args[1..])),
+        Some("report") => cmd_report(parse_or_exit("report", &args[1..])),
+        Some("inject") => cmd_inject(parse_or_exit("inject", &args[1..])),
         Some("study") => cmd_study(),
-        Some("analyze") => cmd_analyze(&args[1..]),
-        Some("lint") => cmd_lint(&args[1..]),
-        Some("disasm") => cmd_disasm(&args[1..]),
+        Some("analyze") => cmd_analyze(parse_or_exit("analyze", &args[1..])),
+        Some("lint") => cmd_lint(parse_or_exit("lint", &args[1..])),
+        Some("disasm") => cmd_disasm(parse_or_exit("disasm", &args[1..])),
         _ => usage(),
     }
 }
@@ -104,10 +291,12 @@ fn parse_solution(name: Option<&str>) -> Solution {
                 }),
                 None => 4,
             };
-            Solution::Arthas(ReactorConfig {
-                speculation: Some(workers),
-                ..ReactorConfig::default()
-            })
+            Solution::Arthas(
+                ReactorConfig::builder()
+                    .speculation(Some(workers))
+                    .build()
+                    .expect("valid reactor config"),
+            )
         }
         Some(other) => {
             eprintln!("unknown solution {other}");
@@ -116,14 +305,29 @@ fn parse_solution(name: Option<&str>) -> Solution {
     }
 }
 
-fn cmd_run(args: &[String]) {
-    let Some(id) = args.first() else { usage() };
+/// Resolves a scenario positional (`fN` or `all`) to the target list.
+fn resolve_scenarios(which: &str) -> Vec<Box<dyn pm_workload::Scenario>> {
+    if which == "all" {
+        scenarios::all()
+    } else {
+        match scenarios::by_id(which) {
+            Some(s) => vec![s],
+            None => {
+                eprintln!("unknown scenario {which} (try `arthas-repro list`)");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+fn cmd_run(p: Parsed) {
+    let id = p.pos(0).expect("required");
     let Some(scn) = scenarios::by_id(id) else {
         eprintln!("unknown scenario {id} (try `arthas-repro list`)");
         std::process::exit(1);
     };
-    let solution = parse_solution(args.get(1).map(String::as_str));
-    let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let solution = parse_solution(p.pos(1));
+    let seed: u64 = p.pos(2).and_then(|s| s.parse().ok()).unwrap_or(1);
 
     println!("== {}: {} — {} ==", scn.id(), scn.system(), scn.fault());
     let setup = AppSetup::new(scn.build_module());
@@ -147,7 +351,7 @@ fn cmd_run(args: &[String]) {
         prod.failure.kind,
         prod.failure.exit_code,
         prod.restarts,
-        arthas::lock_log(&prod.log).total_updates(),
+        prod.log.lock().total_updates(),
     );
     let res = mitigate(&mut prod, scn.as_ref(), &setup, solution);
     println!(
@@ -163,50 +367,12 @@ fn cmd_run(args: &[String]) {
     std::process::exit(if res.recovered { 0 } else { 1 });
 }
 
-fn cmd_report(args: &[String]) {
-    let Some(which) = args.first() else { usage() };
-    let mut solution_arg: Option<&str> = None;
-    let mut seed: u64 = 1;
-    let mut json = false;
-    let mut out_dir: Option<&str> = None;
-    let mut rest = args[1..].iter();
-    while let Some(a) = rest.next() {
-        match a.as_str() {
-            "--json" => json = true,
-            "--seed" => match rest.next().and_then(|s| s.parse().ok()) {
-                Some(n) => seed = n,
-                None => {
-                    eprintln!("--seed needs a number");
-                    std::process::exit(2);
-                }
-            },
-            "--out" => match rest.next() {
-                Some(d) => out_dir = Some(d),
-                None => {
-                    eprintln!("--out needs a directory");
-                    std::process::exit(2);
-                }
-            },
-            name if solution_arg.is_none() && !name.starts_with('-') => {
-                solution_arg = Some(name);
-            }
-            other => {
-                eprintln!("unknown report argument {other}");
-                std::process::exit(2);
-            }
-        }
-    }
-    let targets: Vec<_> = if which == "all" {
-        scenarios::all()
-    } else {
-        match scenarios::by_id(which) {
-            Some(s) => vec![s],
-            None => {
-                eprintln!("unknown scenario {which} (try `arthas-repro list`)");
-                std::process::exit(1);
-            }
-        }
-    };
+fn cmd_report(p: Parsed) {
+    let which = p.pos(0).expect("required");
+    let seed = flag_u64(&p, "--seed", 1);
+    let json = p.has("--json");
+    let out_dir = p.get("--out");
+    let targets = resolve_scenarios(which);
     if let Some(dir) = out_dir {
         if let Err(e) = std::fs::create_dir_all(dir) {
             eprintln!("cannot create {dir}: {e}");
@@ -216,7 +382,7 @@ fn cmd_report(args: &[String]) {
 
     let mut failed = 0u32;
     for scn in &targets {
-        let solution = parse_solution(solution_arg);
+        let solution = parse_solution(p.pos(1));
         let Some(report) = pm_workload::report::run_report(scn.as_ref(), solution, seed) else {
             eprintln!(
                 "{}: production completed with no detected hard failure",
@@ -253,6 +419,57 @@ fn cmd_report(args: &[String]) {
     std::process::exit(if failed > 0 { 1 } else { 0 });
 }
 
+fn cmd_inject(p: Parsed) {
+    let which = p.pos(0).expect("required");
+    let seed = flag_u64(&p, "--seed", 1);
+    let seeds = flag_u64(&p, "--seeds", 2) as u32;
+    let policies = inject::parse_policies(p.get("--policies").unwrap_or("drop,keep"), seeds, seed)
+        .unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        });
+    let cfg = inject::CampaignConfig::builder()
+        .stride(flag_u64(&p, "--stride", 1))
+        .budget(flag_u64(&p, "--budget", 400) as usize)
+        .runners(flag_u64(&p, "--runners", 1) as usize)
+        .seed(seed)
+        .policies(policies)
+        .build()
+        .unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        });
+    let targets = resolve_scenarios(which);
+
+    let report = inject::run_campaign(&targets, &cfg);
+    if let Err(errors) = report.validate_rendered() {
+        eprintln!("campaign matrix failed schema validation:");
+        for e in errors {
+            eprintln!("  {e}");
+        }
+        std::process::exit(1);
+    }
+    if p.has("--json") {
+        println!("{}", report.json().render_pretty());
+    } else {
+        print!("{}", report.render_table());
+    }
+    if let Some(path) = p.get("--out") {
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        if let Err(e) = std::fs::write(path, report.json().render_pretty() + "\n") {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {path}");
+    }
+    // Gate: silent durability loss (or a replay-determinism bug) fails
+    // the campaign.
+    let bad = report.invariant_violations() + report.not_reached();
+    std::process::exit(if bad > 0 { 1 } else { 0 });
+}
+
 fn cmd_study() {
     println!("-- Table 1 --");
     for (system, kind, n) in pm_study::table1() {
@@ -272,8 +489,8 @@ fn cmd_study() {
     }
 }
 
-fn cmd_analyze(args: &[String]) {
-    let Some(name) = args.first() else { usage() };
+fn cmd_analyze(p: Parsed) {
+    let name = p.pos(0).expect("required");
     let Some(module) = build_app(name) else {
         eprintln!("unknown app {name}");
         std::process::exit(1);
@@ -304,9 +521,9 @@ fn cmd_analyze(args: &[String]) {
     }
 }
 
-fn cmd_lint(args: &[String]) {
-    let Some(name) = args.first() else { usage() };
-    let json = args.iter().any(|a| a == "--json");
+fn cmd_lint(p: Parsed) {
+    let name = p.pos(0).expect("required");
+    let json = p.has("--json");
     let Some(module) = build_app(name) else {
         eprintln!("unknown app {name}");
         std::process::exit(1);
@@ -337,13 +554,13 @@ fn cmd_lint(args: &[String]) {
     std::process::exit(if report.error_count() > 0 { 1 } else { 0 });
 }
 
-fn cmd_disasm(args: &[String]) {
-    let Some(name) = args.first() else { usage() };
+fn cmd_disasm(p: Parsed) {
+    let name = p.pos(0).expect("required");
     let Some(module) = build_app(name) else {
         eprintln!("unknown app {name}");
         std::process::exit(1);
     };
-    match args.get(1) {
+    match p.pos(1) {
         Some(fname) => match module.func_by_name(fname) {
             Some(fid) => print!(
                 "{}",
