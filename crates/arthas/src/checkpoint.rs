@@ -6,13 +6,33 @@
 //! to [`MAX_VERSIONS`] old values per address and a global logical sequence
 //! number — a direct transcription of the paper's Figure 5 entry layout.
 //!
-//! The log implements [`PmSink`], so attaching it to a pool is the moral
-//! equivalent of linking the Arthas checkpoint library into the target
-//! binary. In the paper the log lives in a dedicated PM pool; here it is a
-//! host-side structure owned by the driver, which survives simulated
-//! restarts of the target exactly like a separate pool would.
+//! Two stores share that entry layout:
+//!
+//! - [`CheckpointLog`] — the single-threaded store, unchanged since the
+//!   first release. All invariants (version rotation, realloc chaining,
+//!   the bounded `covering`/`expected_current` scans) live here.
+//! - [`ShardedLog`] — an address-sharded concurrent store: N independent
+//!   `CheckpointLog` shards behind their own mutexes, sharing one global
+//!   [`AtomicU64`] sequence allocator. Durability events route to the
+//!   shard owning their address range; reads go through a merged,
+//!   seq-ordered [`LogView`] that reproduces the single-log read API
+//!   byte-for-byte, so the reactor's candidate-list computation (§4.4)
+//!   and the leak monitor's allocation diff (§4.7) are oblivious to the
+//!   shard count.
+//!
+//! [`SharedLog`] remains as a shard-count-1 wrapper (deref-coercible to
+//! [`ShardedLog`]) so existing call sites migrate mechanically; it is
+//! kept for one release.
+//!
+//! Either store implements [`PmSink`], so attaching it to a pool is the
+//! moral equivalent of linking the Arthas checkpoint library into the
+//! target binary. In the paper the log lives in a dedicated PM pool; here
+//! it is a host-side structure owned by the driver, which survives
+//! simulated restarts of the target exactly like a separate pool would.
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::ops::Deref;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
 use pmemsim::PmSink;
@@ -20,81 +40,30 @@ use pmemsim::PmSink;
 /// Maximum number of retained versions per address (the paper's default).
 pub const MAX_VERSIONS: usize = 3;
 
-/// Locks a shared checkpoint log, recovering from a poisoned mutex.
-#[doc(hidden)]
-#[deprecated(since = "0.4.0", note = "use `SharedLog::lock` instead")]
-pub fn lock_log(log: &Mutex<CheckpointLog>) -> MutexGuard<'_, CheckpointLog> {
-    log.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
-}
+/// Shard count used by [`ShardedLog::default`]. Eight shards keep the
+/// per-shard mutexes uncontended up to the 16-writer workloads the
+/// multi-threaded scenario drives while costing nothing at one writer.
+pub const DEFAULT_SHARDS: usize = 8;
 
-/// A cloneable, poison-tolerant handle to a [`CheckpointLog`] shared
-/// between the production driver, the reactor and the pool's sink.
-///
-/// A panic on another thread while the lock is held — e.g. a speculative
-/// re-execution fork dying mid-attempt — poisons the inner mutex.
-/// Mitigation is precisely the code that must keep running after such a
-/// panic (recovery is the whole point), and every log mutation is applied
-/// through `&mut self` methods that complete before the guard drops, so
-/// the data behind a poisoned lock is still coherent. [`SharedLog::lock`]
-/// therefore recovers poisoning internally; there is no panicking variant.
-#[derive(Clone)]
-pub struct SharedLog(Arc<Mutex<CheckpointLog>>);
+/// Addresses are sharded at this granularity: one contiguous
+/// `1 << SHARD_GRAIN_BITS`-byte range maps to one shard, so an object's
+/// persist ranges stay local to a shard while independent objects spread
+/// across all of them.
+const SHARD_GRAIN_BITS: u32 = 12;
 
-impl SharedLog {
-    /// Creates a handle to a fresh, enabled log.
-    pub fn new() -> Self {
-        SharedLog(Arc::new(Mutex::new(CheckpointLog::new())))
+/// The shard owning `addr` among `n` shards. SplitMix64-finalizes the
+/// range index so contiguous allocation patterns still spread: the pool
+/// allocator hands out monotonically increasing addresses, and a plain
+/// modulo would put every hot writer region on a handful of shards.
+fn shard_index(addr: u64, n: usize) -> usize {
+    if n <= 1 {
+        return 0;
     }
-
-    /// Wraps an existing log.
-    pub fn from_log(log: CheckpointLog) -> Self {
-        SharedLog(Arc::new(Mutex::new(log)))
-    }
-
-    /// Locks the log, recovering from a poisoned mutex.
-    pub fn lock(&self) -> MutexGuard<'_, CheckpointLog> {
-        self.0
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner())
-    }
-
-    /// The same handle viewed as a pool sink, for
-    /// [`pmemsim::PmPool::set_sink`].
-    pub fn as_sink(&self) -> Arc<Mutex<dyn PmSink + Send>> {
-        self.0.clone()
-    }
-}
-
-impl Default for SharedLog {
-    fn default() -> Self {
-        SharedLog::new()
-    }
-}
-
-impl From<CheckpointLog> for SharedLog {
-    fn from(log: CheckpointLog) -> Self {
-        SharedLog::from_log(log)
-    }
-}
-
-impl obs::Instrument for SharedLog {
-    fn instrument(&mut self, recorder: Arc<dyn obs::Recorder>) {
-        self.lock().recorder = Some(recorder);
-    }
-
-    fn uninstrument(&mut self) {
-        self.lock().recorder = None;
-    }
-}
-
-impl obs::Instrument for CheckpointLog {
-    fn instrument(&mut self, recorder: Arc<dyn obs::Recorder>) {
-        self.recorder = Some(recorder);
-    }
-
-    fn uninstrument(&mut self) {
-        self.recorder = None;
-    }
+    let mut z = (addr >> SHARD_GRAIN_BITS).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z % n as u64) as usize
 }
 
 /// One retained version of an address's data.
@@ -135,6 +104,16 @@ pub struct LogStats {
     pub entries_retired: u64,
 }
 
+impl LogStats {
+    /// Field-wise sum, used to aggregate per-shard stats.
+    fn merge(&mut self, other: LogStats) {
+        self.updates += other.updates;
+        self.bytes_logged += other.bytes_logged;
+        self.versions_rotated += other.versions_rotated;
+        self.entries_retired += other.entries_retired;
+    }
+}
+
 /// Allocation record for the leak-mitigation pass (§4.7).
 #[derive(Debug, Clone)]
 pub struct AllocRecord {
@@ -166,7 +145,13 @@ pub struct CheckpointLog {
     /// Entries of freed-then-reallocated blocks, parked here so
     /// `old_entry` chains keep resolving (§4.2).
     retired: Vec<Entry>,
+    /// Largest sequence number issued *through this log*. Standalone logs
+    /// allocate from it directly; shards of a [`ShardedLog`] allocate from
+    /// the shared atomic and mirror the result here.
     seq: u64,
+    /// Shared allocator installed by [`ShardedLog`]; `None` for a
+    /// standalone log.
+    seq_alloc: Option<Arc<AtomicU64>>,
     seq_to_addr: HashMap<u64, u64>,
     tx_members: HashMap<u64, Vec<u64>>,
     allocs: BTreeMap<u64, AllocRecord>,
@@ -197,13 +182,6 @@ impl CheckpointLog {
         self.enabled = enabled;
     }
 
-    /// Attaches a recorder; the log bumps `log.*` counters as it records.
-    #[doc(hidden)]
-    #[deprecated(since = "0.4.0", note = "use `obs::Instrument::instrument` instead")]
-    pub fn set_recorder(&mut self, recorder: Arc<dyn obs::Recorder>) {
-        self.recorder = Some(recorder);
-    }
-
     fn rec_add(&self, counter: &'static str, delta: u64) {
         if let Some(r) = &self.recorder {
             r.add(counter, delta);
@@ -220,13 +198,32 @@ impl CheckpointLog {
         self.entries.iter().map(|(&a, e)| (a, e))
     }
 
-    /// Next sequence number (the atomic counter of the paper).
+    /// Next sequence number (the atomic counter of the paper). When a
+    /// shared allocator is installed the number is globally unique across
+    /// every shard; the allocation happens under the owning shard's lock,
+    /// so per-address version order always equals seq order.
     fn next_seq(&mut self) -> u64 {
-        self.seq += 1;
-        self.seq
+        let seq = match &self.seq_alloc {
+            Some(alloc) => alloc.fetch_add(1, Ordering::Relaxed) + 1,
+            None => self.seq + 1,
+        };
+        self.seq = seq;
+        seq
     }
 
-    /// The largest sequence number issued so far.
+    /// The latest sequence number issued anywhere: the shared allocator's
+    /// value when installed, this log's own counter otherwise. Events
+    /// that stamp "the current time" without consuming a number (alloc,
+    /// free) use this, so their stamps are identical whether the log
+    /// stands alone or shards a [`ShardedLog`].
+    fn current_seq(&self) -> u64 {
+        match &self.seq_alloc {
+            Some(alloc) => alloc.load(Ordering::Relaxed),
+            None => self.seq,
+        }
+    }
+
+    /// The largest sequence number issued through this log.
     pub fn latest_seq(&self) -> u64 {
         self.seq
     }
@@ -309,12 +306,20 @@ impl CheckpointLog {
     /// the newest version of each covering entry.
     pub fn covering(&self, addr: u64) -> Vec<(u64, u64)> {
         let mut out = Vec::new();
+        self.covering_into(addr, self.max_len, &mut out);
+        out
+    }
+
+    /// `covering` with a caller-supplied scan bound, appending to `out` in
+    /// descending address order. [`LogView`] passes the *global* max data
+    /// size so per-shard scans use the same window a single log would.
+    fn covering_into(&self, addr: u64, max_len: u64, out: &mut Vec<(u64, u64)>) {
         // An entry at address `a` of max size `s` covers addr when
         // a <= addr < a + s. No entry's data is larger than `max_len`, so
         // every covering entry starts within `max_len - 1` bytes below
         // `addr` — an exact bound, unlike a fixed candidate count, which a
         // large entry hidden behind many small ones below `addr` escapes.
-        let lo = addr.saturating_sub(self.max_len.saturating_sub(1));
+        let lo = addr.saturating_sub(max_len.saturating_sub(1));
         for (&a, e) in self.entries.range(lo..=addr).rev() {
             let max_size = e
                 .versions
@@ -328,7 +333,6 @@ impl CheckpointLog {
                 }
             }
         }
-        out
     }
 
     /// The data an address held *before* the version `depth` steps back
@@ -409,13 +413,32 @@ impl CheckpointLog {
         let my_seq = newest.seq;
         let mut buf = newest.data.clone();
         let len = buf.len() as u64;
-        // Overlay newer overlapping entries. Entries start at persist
-        // range starts; an overlapping entry below `addr` starts within
-        // `max_len - 1` bytes of it — the same exact bound `covering`
-        // uses. (A fixed 64 KiB window here used to miss newer entries
-        // larger than 64 KiB that start below the window.)
-        let lo = addr.saturating_sub(self.max_len.saturating_sub(1));
         let mut overlays: Vec<(u64, u64, &Vec<u8>)> = Vec::new();
+        self.overlays_into(addr, len, my_seq, self.max_len, &mut overlays);
+        // Apply in seq order so where overlays themselves overlap, the
+        // newest write wins — address-order application would make the
+        // result depend on entry layout instead of update time.
+        overlays.sort_unstable_by_key(|&(seq, _, _)| seq);
+        apply_overlays(&mut buf, addr, &overlays);
+        Some(buf)
+    }
+
+    /// Collects newer overlapping entries over `[addr, addr+len)` as
+    /// `(seq, entry_addr, data)`. Entries start at persist range starts;
+    /// an overlapping entry below `addr` starts within `max_len - 1`
+    /// bytes of it — the same exact bound `covering` uses. (A fixed
+    /// 64 KiB window here used to miss newer entries larger than 64 KiB
+    /// that start below the window.) [`LogView`] passes the global max
+    /// data size and collects from every shard before applying.
+    fn overlays_into<'a>(
+        &'a self,
+        addr: u64,
+        len: u64,
+        my_seq: u64,
+        max_len: u64,
+        out: &mut Vec<(u64, u64, &'a Vec<u8>)>,
+    ) {
+        let lo = addr.saturating_sub(max_len.saturating_sub(1));
         for (&a2, e2) in self.entries.range(lo..addr + len) {
             if a2 == addr {
                 continue;
@@ -426,26 +449,8 @@ impl CheckpointLog {
             if v2.seq <= my_seq {
                 continue;
             }
-            overlays.push((v2.seq, a2, &v2.data));
+            out.push((v2.seq, a2, &v2.data));
         }
-        // Apply in seq order so where overlays themselves overlap, the
-        // newest write wins — address-order application would make the
-        // result depend on entry layout instead of update time.
-        overlays.sort_unstable_by_key(|&(seq, _, _)| seq);
-        for (_, a2, data) in overlays {
-            let l2 = data.len() as u64;
-            // Overlap of [a2, a2+l2) with [addr, addr+len).
-            let start = a2.max(addr);
-            let end = (a2 + l2).min(addr + len);
-            if start >= end {
-                continue;
-            }
-            let dst = (start - addr) as usize;
-            let src = (start - a2) as usize;
-            let n = (end - start) as usize;
-            buf[dst..dst + n].copy_from_slice(&data[src..src + n]);
-        }
-        Some(buf)
     }
 
     /// All sequence numbers in the log, ascending.
@@ -493,10 +498,29 @@ impl CheckpointLog {
     /// Marks an allocation freed by the reactor itself (leak mitigation),
     /// keeping the log consistent with the pool.
     pub fn note_reactor_free(&mut self, addr: u64) {
-        let seq = self.seq;
+        let seq = self.current_seq();
         if let Some(rec) = self.allocs.get_mut(&addr) {
             rec.freed = Some(seq);
         }
+    }
+}
+
+/// Copies each `(seq, entry_addr, data)` overlay's overlap with
+/// `[addr, addr + buf.len())` into `buf`, in the order given.
+fn apply_overlays(buf: &mut [u8], addr: u64, overlays: &[(u64, u64, &Vec<u8>)]) {
+    let len = buf.len() as u64;
+    for &(_, a2, data) in overlays {
+        let l2 = data.len() as u64;
+        // Overlap of [a2, a2+l2) with [addr, addr+len).
+        let start = a2.max(addr);
+        let end = (a2 + l2).min(addr + len);
+        if start >= end {
+            continue;
+        }
+        let dst = (start - addr) as usize;
+        let src = (start - a2) as usize;
+        let n = (end - start) as usize;
+        buf[dst..dst + n].copy_from_slice(&data[src..src + n]);
     }
 }
 
@@ -515,7 +539,7 @@ impl PmSink for CheckpointLog {
         if !self.enabled {
             return;
         }
-        let seq = self.seq;
+        let seq = self.current_seq();
         // Reallocation chaining (§4.2): when a freed block's address is
         // handed out again, the previous incarnation's entry is retired to
         // the arena — its versions leave the seq maps, exactly as version
@@ -556,7 +580,7 @@ impl PmSink for CheckpointLog {
         if !self.enabled {
             return;
         }
-        let seq = self.seq;
+        let seq = self.current_seq();
         if let Some(rec) = self.allocs.get_mut(&offset) {
             rec.freed = Some(seq);
         }
@@ -574,6 +598,545 @@ impl PmSink for CheckpointLog {
         if self.recovering {
             self.recovery_reads.push((offset, len));
         }
+    }
+}
+
+impl obs::Instrument for CheckpointLog {
+    fn instrument(&mut self, recorder: Arc<dyn obs::Recorder>) {
+        self.recorder = Some(recorder);
+    }
+
+    fn uninstrument(&mut self) {
+        self.recorder = None;
+    }
+}
+
+/// An address-sharded, seq-ordered concurrent checkpoint store.
+///
+/// N independent [`CheckpointLog`] shards behind their own mutexes share
+/// one global atomic sequence allocator. A durability event locks only
+/// the shard owning its address range (the range's SplitMix64 hash), so
+/// writer threads touching disjoint regions proceed in parallel; the
+/// sequence number is drawn from the shared allocator *while the shard
+/// lock is held*, so per-address version order always equals seq order
+/// and a single-threaded event stream produces exactly the seqs a
+/// [`CheckpointLog`] would.
+///
+/// Reads that need the whole log go through [`ShardedLog::view`], which
+/// locks every shard (in index order — the only multi-shard lock pattern,
+/// so shards cannot deadlock against each other) and merges per-shard
+/// results back into the single-log orders: `covering` by descending
+/// address, overlays and [`LogView::iter_merged`] by ascending seq.
+///
+/// Cloning is shallow: clones share the shards and the allocator. Each
+/// [`ShardedLog::as_sink`] call wraps a fresh clone in its own outer
+/// mutex, so every forked pool gets an uncontended sink handle and
+/// cross-thread contention happens only on the shards themselves.
+///
+/// Poisoning: a panic on another thread while a shard lock is held — e.g.
+/// a speculative re-execution fork dying mid-attempt — poisons that shard.
+/// Mitigation is precisely the code that must keep running after such a
+/// panic, and every shard mutation completes before its guard drops, so
+/// the data behind a poisoned lock is still coherent. Every internal lock
+/// therefore recovers poisoning; [`ShardedLog::is_poisoned`] reports it
+/// for diagnostics.
+#[derive(Clone)]
+pub struct ShardedLog {
+    shards: Arc<Vec<Mutex<CheckpointLog>>>,
+    seq: Arc<AtomicU64>,
+}
+
+impl ShardedLog {
+    /// Creates a store with `n_shards` shards (clamped to at least 1),
+    /// all enabled, sharing a fresh sequence allocator.
+    pub fn new(n_shards: usize) -> Self {
+        let seq = Arc::new(AtomicU64::new(0));
+        let shards = (0..n_shards.max(1))
+            .map(|_| {
+                let mut log = CheckpointLog::new();
+                log.seq_alloc = Some(seq.clone());
+                Mutex::new(log)
+            })
+            .collect();
+        ShardedLog {
+            shards: Arc::new(shards),
+            seq,
+        }
+    }
+
+    /// Wraps an existing log as the sole shard, continuing its sequence
+    /// numbering.
+    pub fn from_log(mut log: CheckpointLog) -> Self {
+        let seq = Arc::new(AtomicU64::new(log.seq));
+        log.seq_alloc = Some(seq.clone());
+        ShardedLog {
+            shards: Arc::new(vec![Mutex::new(log)]),
+            seq,
+        }
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard index owning `addr`.
+    pub fn shard_of(&self, addr: u64) -> usize {
+        shard_index(addr, self.shards.len())
+    }
+
+    /// Locks one shard, recovering from poisoning.
+    fn shard(&self, idx: usize) -> MutexGuard<'_, CheckpointLog> {
+        self.shards[idx]
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Locks the shard owning `addr`, recovering from poisoning.
+    fn owner(&self, addr: u64) -> MutexGuard<'_, CheckpointLog> {
+        self.shard(self.shard_of(addr))
+    }
+
+    /// Whether any shard mutex has been poisoned by a panicking holder.
+    /// All store operations recover poisoning transparently; this is a
+    /// diagnostic for tests and post-mortems.
+    pub fn is_poisoned(&self) -> bool {
+        self.shards.iter().any(|m| m.is_poisoned())
+    }
+
+    /// Locks every shard (in index order) and returns the merged,
+    /// seq-ordered read view.
+    ///
+    /// The view holds all shard locks: never hold one across a pool write
+    /// or persist, which would dispatch back into the sink and deadlock —
+    /// the same rule `SharedLog::lock` always had.
+    pub fn view(&self) -> LogView<'_> {
+        let shards: Vec<MutexGuard<'_, CheckpointLog>> = self
+            .shards
+            .iter()
+            .map(|m| m.lock().unwrap_or_else(|poisoned| poisoned.into_inner()))
+            .collect();
+        // Loaded after every shard lock is held, so it covers every event
+        // that completed before the view was taken.
+        let latest = self.seq.load(Ordering::Relaxed);
+        LogView { shards, latest }
+    }
+
+    /// A fresh sink handle for [`pmemsim::PmPool::set_sink`].
+    ///
+    /// Each call mints its own outer mutex around a shallow clone, so
+    /// every pool (each writer thread forks its own) dispatches through
+    /// an uncontended handle and serializes only on the shards.
+    pub fn as_sink(&self) -> Arc<Mutex<dyn PmSink + Send>> {
+        Arc::new(Mutex::new(self.clone()))
+    }
+
+    /// Enables or disables recording on every shard.
+    pub fn set_enabled(&self, enabled: bool) {
+        for i in 0..self.shards.len() {
+            self.shard(i).set_enabled(enabled);
+        }
+    }
+
+    /// Clears recorded recovery reads on every shard (before a fresh
+    /// recovery run).
+    pub fn clear_recovery_reads(&self) {
+        for i in 0..self.shards.len() {
+            self.shard(i).clear_recovery_reads();
+        }
+    }
+
+    /// Marks an allocation freed by the reactor itself (leak mitigation).
+    pub fn note_reactor_free(&self, addr: u64) {
+        self.owner(addr).note_reactor_free(addr);
+    }
+
+    /// Live allocations the last recovery never touched, across all
+    /// shards (see [`CheckpointLog::suspected_leaks`]).
+    pub fn suspected_leaks(&self) -> Vec<(u64, u64)> {
+        self.view().suspected_leaks()
+    }
+
+    /// Total checkpointed PM updates across all shards.
+    pub fn total_updates(&self) -> u64 {
+        (0..self.shards.len())
+            .map(|i| self.shard(i).total_updates())
+            .sum()
+    }
+
+    /// The largest sequence number issued so far.
+    pub fn latest_seq(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+
+    /// Aggregated lifetime counters over all shards.
+    pub fn stats(&self) -> LogStats {
+        let mut out = LogStats::default();
+        for i in 0..self.shards.len() {
+            out.merge(self.shard(i).stats());
+        }
+        out
+    }
+
+    /// Number of distinct checkpointed addresses across all shards.
+    pub fn n_entries(&self) -> usize {
+        (0..self.shards.len())
+            .map(|i| self.shard(i).n_entries())
+            .sum()
+    }
+}
+
+impl Default for ShardedLog {
+    fn default() -> Self {
+        ShardedLog::new(DEFAULT_SHARDS)
+    }
+}
+
+impl PmSink for ShardedLog {
+    fn on_persist(&mut self, offset: u64, data: &[u8]) {
+        self.owner(offset).on_persist(offset, data);
+    }
+
+    fn on_tx_commit(&mut self, tx_id: u64, ranges: &[(u64, Vec<u8>)]) {
+        // Deliver ranges in arrival order — seq assignment must match the
+        // single-log store exactly — but batch consecutive same-shard runs
+        // under one lock acquisition.
+        let mut i = 0;
+        while i < ranges.len() {
+            let s = self.shard_of(ranges[i].0);
+            let mut j = i + 1;
+            while j < ranges.len() && self.shard_of(ranges[j].0) == s {
+                j += 1;
+            }
+            self.shard(s).on_tx_commit(tx_id, &ranges[i..j]);
+            i = j;
+        }
+    }
+
+    fn on_alloc(&mut self, offset: u64, size: u64) {
+        self.owner(offset).on_alloc(offset, size);
+    }
+
+    fn on_free(&mut self, offset: u64) {
+        self.owner(offset).on_free(offset);
+    }
+
+    fn on_recover_begin(&mut self) {
+        for i in 0..self.shards.len() {
+            self.shard(i).on_recover_begin();
+        }
+    }
+
+    fn on_recover_end(&mut self) {
+        for i in 0..self.shards.len() {
+            self.shard(i).on_recover_end();
+        }
+    }
+
+    fn on_recover_read(&mut self, offset: u64, len: u64) {
+        self.owner(offset).on_recover_read(offset, len);
+    }
+}
+
+impl obs::Instrument for ShardedLog {
+    /// Attaches `recorder` to every shard, replacing any previously
+    /// attached one — attaching twice must never duplicate counter
+    /// streams (each shard holds exactly one recorder slot).
+    fn instrument(&mut self, recorder: Arc<dyn obs::Recorder>) {
+        for i in 0..self.shards.len() {
+            self.shard(i).recorder = Some(recorder.clone());
+        }
+    }
+
+    fn uninstrument(&mut self) {
+        for i in 0..self.shards.len() {
+            self.shard(i).recorder = None;
+        }
+    }
+}
+
+/// A merged, seq-ordered read view over every shard of a [`ShardedLog`].
+///
+/// Holds all shard locks for its lifetime, so the view is a consistent
+/// snapshot; every query reproduces the corresponding
+/// [`CheckpointLog`] method byte-for-byte — same candidate windows (the
+/// scan bound is the *global* max data size), same result orders
+/// (`covering` descending by address, overlays and seq lists ascending
+/// by seq), same zero-fill semantics through realloc chains.
+///
+/// Do not hold a view across pool writes/persists: the pool would
+/// dispatch into the sink and deadlock on the shard locks.
+pub struct LogView<'a> {
+    shards: Vec<MutexGuard<'a, CheckpointLog>>,
+    latest: u64,
+}
+
+impl LogView<'_> {
+    fn owner(&self, addr: u64) -> &CheckpointLog {
+        &self.shards[shard_index(addr, self.shards.len())]
+    }
+
+    /// The global scan bound: the largest data size any shard recorded.
+    fn max_len(&self) -> u64 {
+        self.shards.iter().map(|s| s.max_len).max().unwrap_or(0)
+    }
+
+    /// Number of shards under the view.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Per-shard update counts, in shard-index order. The distribution
+    /// is the store's serialization profile: a single-lock store funnels
+    /// the sum through one mutex, a sharded store at most the maximum
+    /// through any one — the Amdahl bound the `fig12_sharded` bench
+    /// reports independently of the host's core count.
+    pub fn shard_updates(&self) -> Vec<u64> {
+        self.shards.iter().map(|s| s.total_updates()).collect()
+    }
+
+    /// Every retained version across all shards as `(seq, addr, bytes)`,
+    /// ascending by seq — the merged checkpoint stream.
+    pub fn iter_merged(&self) -> Vec<(u64, u64, &[u8])> {
+        let mut out: Vec<(u64, u64, &[u8])> = Vec::new();
+        for s in &self.shards {
+            for (&a, e) in &s.entries {
+                for v in &e.versions {
+                    out.push((v.seq, a, v.data.as_slice()));
+                }
+            }
+        }
+        out.sort_unstable_by_key(|&(seq, _, _)| seq);
+        out
+    }
+
+    /// See [`CheckpointLog::covering`].
+    pub fn covering(&self, addr: u64) -> Vec<(u64, u64)> {
+        let max_len = self.max_len();
+        let mut out = Vec::new();
+        for s in &self.shards {
+            s.covering_into(addr, max_len, &mut out);
+        }
+        // Each shard appends in descending address order; merge back into
+        // the single-log order (addresses are unique across shards).
+        out.sort_unstable_by_key(|c| std::cmp::Reverse(c.0));
+        out
+    }
+
+    /// See [`CheckpointLog::expected_current`].
+    pub fn expected_current(&self, addr: u64) -> Option<Vec<u8>> {
+        let own = self.owner(addr);
+        let e = own.entries.get(&addr)?;
+        let newest = e.versions.back()?;
+        let my_seq = newest.seq;
+        let mut buf = newest.data.clone();
+        let len = buf.len() as u64;
+        let max_len = self.max_len();
+        let mut overlays: Vec<(u64, u64, &Vec<u8>)> = Vec::new();
+        for s in &self.shards {
+            s.overlays_into(addr, len, my_seq, max_len, &mut overlays);
+        }
+        // Seqs are globally unique, so the merged overlay order is the
+        // exact order a single log would apply.
+        overlays.sort_unstable_by_key(|&(seq, _, _)| seq);
+        apply_overlays(&mut buf, addr, &overlays);
+        Some(buf)
+    }
+
+    /// See [`CheckpointLog::data_at_depth`] — an address's history
+    /// (including its realloc chain) lives entirely on its owning shard.
+    pub fn data_at_depth(&self, addr: u64, depth: usize) -> Option<Vec<u8>> {
+        self.owner(addr).data_at_depth(addr, depth)
+    }
+
+    /// See [`CheckpointLog::data_before_seq`].
+    pub fn data_before_seq(&self, addr: u64, cut: u64) -> Option<Vec<u8>> {
+        self.owner(addr).data_before_seq(addr, cut)
+    }
+
+    /// See [`CheckpointLog::entry`].
+    pub fn entry(&self, addr: u64) -> Option<&Entry> {
+        self.owner(addr).entry(addr)
+    }
+
+    /// See [`CheckpointLog::addr_of_seq`].
+    pub fn addr_of_seq(&self, seq: u64) -> Option<u64> {
+        self.shards.iter().find_map(|s| s.addr_of_seq(seq))
+    }
+
+    /// See [`CheckpointLog::tx_of_seq`].
+    pub fn tx_of_seq(&self, seq: u64) -> Option<u64> {
+        let addr = self.addr_of_seq(seq)?;
+        self.owner(addr).tx_of_seq(seq)
+    }
+
+    /// All sequence numbers belonging to transaction `tx`, ascending —
+    /// a transaction's ranges may land on several shards.
+    pub fn tx_seqs(&self, tx: u64) -> Vec<u64> {
+        let mut out: Vec<u64> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.tx_seqs(tx).iter().copied())
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// See [`CheckpointLog::all_seqs`].
+    pub fn all_seqs(&self) -> Vec<u64> {
+        let mut out: Vec<u64> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.seq_to_addr.keys().copied())
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// See [`CheckpointLog::addrs_touched_since`] (ascending by address).
+    pub fn addrs_touched_since(&self, cut: u64) -> Vec<u64> {
+        let mut out: Vec<u64> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.addrs_touched_since(cut))
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Every live entry as `(address, entry)`, ascending by address.
+    pub fn iter_entries(&self) -> Vec<(u64, &Entry)> {
+        let mut out: Vec<(u64, &Entry)> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.entries.iter().map(|(&a, e)| (a, e)))
+            .collect();
+        out.sort_unstable_by_key(|&(a, _)| a);
+        out
+    }
+
+    /// See [`CheckpointLog::live_allocs`] (ascending by address).
+    pub fn live_allocs(&self) -> Vec<(u64, u64)> {
+        let mut out: Vec<(u64, u64)> = self.shards.iter().flat_map(|s| s.live_allocs()).collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Recovery-read ranges across all shards, sorted by address. Arrival
+    /// order is shard-local and therefore not reconstructible; only the
+    /// overlap *set* matters to the leak diff, so the merged view reports
+    /// a canonical ordering regardless of shard count.
+    pub fn recovery_reads(&self) -> Vec<(u64, u64)> {
+        let mut out: Vec<(u64, u64)> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.recovery_reads().iter().copied())
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// See [`CheckpointLog::suspected_leaks`] — live allocations from
+    /// every shard diffed against recovery reads from every shard.
+    pub fn suspected_leaks(&self) -> Vec<(u64, u64)> {
+        let reads = self.recovery_reads();
+        self.live_allocs()
+            .into_iter()
+            .filter(|(a, s)| !reads.iter().any(|(ra, rl)| *ra < a + s && *a < ra + rl))
+            .collect()
+    }
+
+    /// The largest sequence number issued before the view was taken.
+    pub fn latest_seq(&self) -> u64 {
+        self.latest
+    }
+
+    /// Total checkpointed PM updates across all shards.
+    pub fn total_updates(&self) -> u64 {
+        self.shards.iter().map(|s| s.total_updates()).sum()
+    }
+
+    /// Number of distinct checkpointed addresses across all shards.
+    pub fn n_entries(&self) -> usize {
+        self.shards.iter().map(|s| s.n_entries()).sum()
+    }
+
+    /// Aggregated lifetime counters over all shards.
+    pub fn stats(&self) -> LogStats {
+        let mut out = LogStats::default();
+        for s in &self.shards {
+            out.merge(s.stats());
+        }
+        out
+    }
+}
+
+/// The shard-count-1 compatibility wrapper around [`ShardedLog`].
+///
+/// Kept for one release so existing call sites migrate mechanically:
+/// `&SharedLog` deref-coerces to `&ShardedLog` everywhere the reactor and
+/// baselines now expect the sharded store, and [`SharedLog::lock`] still
+/// hands out the single shard's guard (it panics on a multi-shard store,
+/// where no single guard can represent the log — use
+/// [`ShardedLog::view`]).
+#[derive(Clone, Default)]
+pub struct SharedLog(ShardedLog);
+
+impl SharedLog {
+    /// Creates a handle to a fresh, enabled single-shard log.
+    pub fn new() -> Self {
+        SharedLog(ShardedLog::new(1))
+    }
+
+    /// Creates a handle over an `n_shards`-way [`ShardedLog`] — the
+    /// bridge for call sites that still name `SharedLog` but want the
+    /// concurrent store underneath.
+    pub fn sharded(n_shards: usize) -> Self {
+        SharedLog(ShardedLog::new(n_shards))
+    }
+
+    /// Wraps an existing log.
+    pub fn from_log(log: CheckpointLog) -> Self {
+        SharedLog(ShardedLog::from_log(log))
+    }
+
+    /// Locks the log, recovering from a poisoned mutex.
+    ///
+    /// # Panics
+    ///
+    /// On a multi-shard store (from [`SharedLog::sharded`]), where a
+    /// single shard guard cannot represent the whole log.
+    pub fn lock(&self) -> MutexGuard<'_, CheckpointLog> {
+        assert_eq!(
+            self.0.n_shards(),
+            1,
+            "SharedLog::lock is only exact on a single shard; use view()"
+        );
+        self.0.shard(0)
+    }
+}
+
+impl Deref for SharedLog {
+    type Target = ShardedLog;
+
+    fn deref(&self) -> &ShardedLog {
+        &self.0
+    }
+}
+
+impl From<CheckpointLog> for SharedLog {
+    fn from(log: CheckpointLog) -> Self {
+        SharedLog::from_log(log)
+    }
+}
+
+impl obs::Instrument for SharedLog {
+    fn instrument(&mut self, recorder: Arc<dyn obs::Recorder>) {
+        obs::Instrument::instrument(&mut self.0, recorder);
+    }
+
+    fn uninstrument(&mut self) {
+        obs::Instrument::uninstrument(&mut self.0);
     }
 }
 
@@ -735,5 +1298,134 @@ mod tests {
         log.on_persist(30, &[3]); // seq 3
         let v = log.addrs_touched_since(2);
         assert_eq!(v, vec![20, 30]);
+    }
+
+    // ---- sharded store ----------------------------------------------------
+
+    /// Addresses spread wide enough to land on different shards of a
+    /// small shard count (4 KiB grain).
+    fn spread(i: u64) -> u64 {
+        1000 + i * 8192
+    }
+
+    #[test]
+    fn sharded_seq_assignment_matches_single_log() {
+        let mut single = CheckpointLog::new();
+        let mut sharded = ShardedLog::new(4);
+        for i in 0..32u64 {
+            let a = spread(i % 7);
+            single.on_persist(a, &i.to_le_bytes());
+            sharded.on_persist(a, &i.to_le_bytes());
+        }
+        let view = sharded.view();
+        assert_eq!(view.all_seqs(), single.all_seqs());
+        assert_eq!(view.total_updates(), single.total_updates());
+        assert_eq!(view.latest_seq(), single.latest_seq());
+        for i in 0..7 {
+            let a = spread(i);
+            assert_eq!(view.data_at_depth(a, 1), single.data_at_depth(a, 1));
+            assert_eq!(view.expected_current(a), single.expected_current(a));
+            assert_eq!(view.covering(a), single.covering(a));
+        }
+    }
+
+    #[test]
+    fn sharded_tx_commit_preserves_arrival_order_across_shards() {
+        let mut single = CheckpointLog::new();
+        let mut sharded = ShardedLog::new(4);
+        // Ranges deliberately ping-pong between different shards.
+        let ranges: Vec<(u64, Vec<u8>)> = (0..8u64).map(|i| (spread(i), vec![i as u8])).collect();
+        single.on_tx_commit(7, &ranges);
+        sharded.on_tx_commit(7, &ranges);
+        let view = sharded.view();
+        assert_eq!(view.tx_seqs(7), single.tx_seqs(7).to_vec());
+        for s in view.all_seqs() {
+            assert_eq!(view.addr_of_seq(s), single.addr_of_seq(s));
+            assert_eq!(view.tx_of_seq(s), single.tx_of_seq(s));
+        }
+        let merged = view.iter_merged();
+        let expect: Vec<(u64, u64)> = (0..8u64).map(|i| (i + 1, spread(i))).collect();
+        assert_eq!(
+            merged.iter().map(|&(s, a, _)| (s, a)).collect::<Vec<_>>(),
+            expect
+        );
+    }
+
+    #[test]
+    fn sharded_leak_diff_spans_shards() {
+        let mut sharded = ShardedLog::new(4);
+        sharded.on_alloc(spread(0), 32);
+        sharded.on_alloc(spread(1), 32);
+        sharded.on_alloc(spread(2), 32);
+        sharded.on_free(spread(2));
+        sharded.on_recover_begin();
+        sharded.on_recover_read(spread(0), 8);
+        sharded.on_recover_end();
+        assert_eq!(sharded.suspected_leaks(), vec![(spread(1), 32)]);
+        sharded.note_reactor_free(spread(1));
+        assert!(sharded.suspected_leaks().is_empty());
+    }
+
+    #[test]
+    fn sharded_disable_covers_every_shard() {
+        let mut sharded = ShardedLog::new(4);
+        sharded.set_enabled(false);
+        for i in 0..8u64 {
+            sharded.on_persist(spread(i), &[1]);
+        }
+        assert_eq!(sharded.total_updates(), 0);
+        sharded.set_enabled(true);
+        sharded.on_persist(spread(0), &[1]);
+        assert_eq!(sharded.total_updates(), 1);
+    }
+
+    #[test]
+    fn as_sink_handles_share_the_shards() {
+        let sharded = ShardedLog::new(4);
+        let s1 = sharded.as_sink();
+        let s2 = sharded.as_sink();
+        s1.lock().unwrap().on_persist(spread(0), &[1]);
+        s2.lock().unwrap().on_persist(spread(1), &[2]);
+        assert_eq!(sharded.total_updates(), 2);
+        assert_eq!(sharded.latest_seq(), 2);
+    }
+
+    #[test]
+    fn instrument_twice_replaces_counter_stream() {
+        use obs::{Instrument, RingRecorder};
+        let ring = Arc::new(RingRecorder::new(64));
+        let mut sharded = ShardedLog::new(4);
+        sharded.instrument(ring.clone());
+        // Re-attaching the same recorder must replace the slot, not stack
+        // a second subscription that would double every counter.
+        sharded.instrument(ring.clone());
+        for i in 0..3u64 {
+            sharded.on_persist(spread(i), &[0; 4]);
+        }
+        let counters = ring.counters();
+        assert_eq!(counters.get("log.updates"), Some(&3));
+        assert_eq!(counters.get("log.bytes_logged"), Some(&12));
+    }
+
+    #[test]
+    fn shared_log_is_a_single_shard_sharded_log() {
+        let log = SharedLog::new();
+        assert_eq!(log.n_shards(), 1);
+        log.as_sink().lock().unwrap().on_persist(64, &[9]);
+        assert_eq!(log.lock().total_updates(), 1);
+        // Deref exposes the sharded API on the same data.
+        assert_eq!(log.total_updates(), 1);
+        assert_eq!(log.view().iter_merged().len(), 1);
+    }
+
+    #[test]
+    fn from_log_continues_sequence_numbering() {
+        let mut inner = CheckpointLog::new();
+        inner.on_persist(0, &[1]); // seq 1
+        let sharded = ShardedLog::from_log(inner);
+        sharded.as_sink().lock().unwrap().on_persist(8, &[2]);
+        assert_eq!(sharded.latest_seq(), 2);
+        let view = sharded.view();
+        assert_eq!(view.all_seqs(), vec![1, 2]);
     }
 }

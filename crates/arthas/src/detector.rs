@@ -154,13 +154,6 @@ impl Detector {
         Self::default()
     }
 
-    /// Attaches a recorder.
-    #[doc(hidden)]
-    #[deprecated(since = "0.4.0", note = "use `obs::Instrument::instrument` instead")]
-    pub fn set_recorder(&mut self, recorder: Arc<dyn obs::Recorder>) {
-        self.recorder = Some(recorder);
-    }
-
     /// Observes a failure and renders a verdict.
     pub fn observe(&mut self, rec: FailureRecord) -> Verdict {
         let recurring = self.history.iter().any(|h| h.similar_to(&rec));

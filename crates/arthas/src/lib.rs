@@ -31,9 +31,10 @@ pub mod reactor;
 pub mod trace;
 
 pub use analyzer::{analyze_and_instrument, AnalyzerOutput, GuidMap, GuidMeta};
-#[allow(deprecated)]
-pub use checkpoint::lock_log;
-pub use checkpoint::{CheckpointLog, Entry, LogStats, SharedLog, VersionData, MAX_VERSIONS};
+pub use checkpoint::{
+    CheckpointLog, Entry, LogStats, LogView, ShardedLog, SharedLog, VersionData, DEFAULT_SHARDS,
+    MAX_VERSIONS,
+};
 pub use detector::{Detector, FailureKind, FailureRecord, LeakMonitor, Verdict};
 pub use reactor::{
     BatchStrategy, ConfigError, ForkableTarget, MitigationOutcome, Mode, PhaseTimes, Plan, Reactor,

@@ -33,7 +33,7 @@ use pmemsim::PmPool;
 use obs::Value;
 
 use crate::analyzer::GuidMap;
-use crate::checkpoint::{CheckpointLog, SharedLog, MAX_VERSIONS};
+use crate::checkpoint::{LogView, ShardedLog, MAX_VERSIONS};
 use crate::detector::{FailureKind, FailureRecord};
 use crate::trace::PmTrace;
 
@@ -71,36 +71,30 @@ pub enum BatchStrategy {
 /// Reactor configuration.
 ///
 /// Construct with [`ReactorConfig::builder`] (validated) or start from
-/// [`ReactorConfig::default`]. The fields remain public for one release
-/// to keep struct-literal construction compiling, but are hidden from
-/// the documented API surface — new code should use the builder.
+/// [`ReactorConfig::default`]; derive variants with
+/// [`ReactorConfig::to_builder`]. The builder is the only construction
+/// path — the struct-literal fields deprecated in 0.4.0 have been
+/// removed.
 #[derive(Debug, Clone, Copy)]
 pub struct ReactorConfig {
     /// Reversion mode.
-    #[doc(hidden)]
-    pub mode: Mode,
+    mode: Mode,
     /// Batching strategy.
-    #[doc(hidden)]
-    pub batch: BatchStrategy,
+    batch: BatchStrategy,
     /// Re-execution budget before giving up (the paper's 10-minute
     /// timeout analogue).
-    #[doc(hidden)]
-    pub max_attempts: u32,
+    max_attempts: u32,
     /// Optional cap on slice distance for candidate selection.
-    #[doc(hidden)]
-    pub max_distance: Option<u32>,
+    max_distance: Option<u32>,
     /// Bound on slice exploration.
-    #[doc(hidden)]
-    pub max_slice_nodes: usize,
+    max_slice_nodes: usize,
     /// Purge attempts before falling back to rollback mode.
-    #[doc(hidden)]
-    pub purge_fallback_after: u32,
+    purge_fallback_after: u32,
     /// After a successful recovery, spend extra re-executions restoring
     /// reverted entries that turn out not to be needed (the technical
     /// report's reduction of the reverted sequence-number set). Lowers
     /// discarded data at the cost of more attempts.
-    #[doc(hidden)]
-    pub minimize_loss: bool,
+    minimize_loss: bool,
     /// Speculative mitigation: `Some(k)` forks the pool for the next `k`
     /// candidate reversions at each step and re-executes the forks
     /// concurrently, committing the first success in candidate order —
@@ -109,8 +103,7 @@ pub struct ReactorConfig {
     /// [`std::thread::available_parallelism`]; `None` keeps the
     /// sequential loop. Requires a [`ForkableTarget`]
     /// (see [`Reactor::mitigate_speculative`]).
-    #[doc(hidden)]
-    pub speculation: Option<usize>,
+    speculation: Option<usize>,
 }
 
 /// Validating builder for [`ReactorConfig`]; see the field setters for
@@ -237,6 +230,13 @@ impl ReactorConfig {
                 .unwrap_or(1),
             Some(k) => k.max(1),
         }
+    }
+
+    /// Whether speculative mitigation was requested (even with a fleet
+    /// size of one) — what distinguishes the `arthas-spec` solution label
+    /// in reports from the sequential loop.
+    pub fn is_speculative(&self) -> bool {
+        self.speculation.is_some()
     }
 }
 
@@ -412,15 +412,9 @@ impl<'a> Reactor<'a> {
         }
     }
 
-    /// Attaches a recorder.
-    #[doc(hidden)]
-    #[deprecated(since = "0.4.0", note = "use `obs::Instrument::instrument` instead")]
-    pub fn set_recorder(&mut self, recorder: Arc<dyn obs::Recorder>) {
-        self.recorder = recorder;
-    }
-
     /// Computes the candidate sequence list for a fault instruction
-    /// (slice → PM filter → trace join → covering checkpoint entries).
+    /// (slice → PM filter → trace join → covering checkpoint entries)
+    /// over a merged view of the checkpoint store.
     ///
     /// Policy: candidates whose durable pool bytes *diverge* from their
     /// latest checkpointed version are ordered first — divergence means
@@ -432,7 +426,7 @@ impl<'a> Reactor<'a> {
         &mut self,
         fault: InstRef,
         trace: &PmTrace,
-        log: &CheckpointLog,
+        log: &LogView<'_>,
         pool: &mut PmPool,
     ) -> Plan {
         let t0 = Instant::now();
@@ -475,11 +469,12 @@ impl<'a> Reactor<'a> {
         }
     }
 
-    /// Mitigates a suspected hard failure.
+    /// Mitigates a suspected hard failure. Takes the sharded store
+    /// directly; a [`crate::SharedLog`] deref-coerces here.
     pub fn mitigate(
         &mut self,
         pool: &mut PmPool,
-        log: &SharedLog,
+        log: &ShardedLog,
         failure: &FailureRecord,
         trace: &PmTrace,
         target: &mut dyn Target,
@@ -497,9 +492,9 @@ impl<'a> Reactor<'a> {
             // §4.5: likely a false alarm — not caused by bad PM values.
             return self.restart_only(pool, target, t0, 0, phases);
         }
-        log.lock().set_enabled(false);
+        log.set_enabled(false);
         let out = self.revert_loop(pool, log, &plan, trace, target, t0, phases);
-        log.lock().set_enabled(true);
+        log.set_enabled(true);
         self.record_outcome(&out);
         out
     }
@@ -510,13 +505,13 @@ impl<'a> Reactor<'a> {
         &mut self,
         fault: InstRef,
         trace: &PmTrace,
-        log: &SharedLog,
+        log: &ShardedLog,
         pool: &mut PmPool,
     ) -> (Plan, PhaseTimes) {
         let t_plan = Instant::now();
         let plan = {
-            let log_ref = log.lock();
-            self.plan(fault, trace, &log_ref, pool)
+            let view = log.view();
+            self.plan(fault, trace, &view, pool)
         };
         let mut phases = PhaseTimes {
             slice: self.last_slice_time,
@@ -570,7 +565,7 @@ impl<'a> Reactor<'a> {
     pub fn mitigate_speculative(
         &mut self,
         pool: &mut PmPool,
-        log: &SharedLog,
+        log: &ShardedLog,
         failure: &FailureRecord,
         trace: &PmTrace,
         target: &mut dyn ForkableTarget,
@@ -591,10 +586,10 @@ impl<'a> Reactor<'a> {
         if plan.seqs.is_empty() {
             return self.restart_only(pool, target, t0, 0, phases);
         }
-        log.lock().set_enabled(false);
+        log.set_enabled(false);
         let out =
             self.revert_loop_speculative(pool, log, &plan, trace, target, t0, workers, phases);
-        log.lock().set_enabled(true);
+        log.set_enabled(true);
         self.record_outcome(&out);
         out
     }
@@ -641,7 +636,7 @@ impl<'a> Reactor<'a> {
     fn revert_loop(
         &mut self,
         pool: &mut PmPool,
-        log_rc: &SharedLog,
+        log_rc: &ShardedLog,
         plan: &Plan,
         trace: &PmTrace,
         target: &mut dyn Target,
@@ -783,7 +778,7 @@ impl<'a> Reactor<'a> {
     fn revert_loop_speculative(
         &mut self,
         pool: &mut PmPool,
-        log_rc: &SharedLog,
+        log_rc: &ShardedLog,
         plan: &Plan,
         trace: &PmTrace,
         target: &mut dyn ForkableTarget,
@@ -997,7 +992,7 @@ impl<'a> Reactor<'a> {
     fn apply_batch(
         &self,
         pool: &mut PmPool,
-        log_rc: &SharedLog,
+        log_rc: &ShardedLog,
         plan: &Plan,
         trace: &PmTrace,
         batch: &[u64],
@@ -1030,8 +1025,11 @@ impl<'a> Reactor<'a> {
                 // it would re-plant the stale value.
                 let mut normal: Vec<u64> = Vec::new();
                 for &s in batch {
+                    // The view (all shard locks) is dropped before the
+                    // heal writes below — the persist dispatches back
+                    // into the sink.
                     let healed = {
-                        let log = log_rc.lock();
+                        let log = log_rc.view();
                         if seq_diverged(&log, pool, s) {
                             log.addr_of_seq(s)
                                 .and_then(|addr| log.expected_current(addr).map(|d| (addr, d)))
@@ -1071,7 +1069,7 @@ impl<'a> Reactor<'a> {
     fn purge_seq(
         &self,
         pool: &mut PmPool,
-        log_rc: &SharedLog,
+        log_rc: &ShardedLog,
         plan: &Plan,
         trace: &PmTrace,
         seq: u64,
@@ -1083,12 +1081,13 @@ impl<'a> Reactor<'a> {
         // Externally corrupted entries (divergence) did not propagate via
         // program writes: restoring the durable truth needs no sibling or
         // forward-dependency expansion.
-        let externally_corrupted = seq_diverged(&log_rc.lock(), pool, seq);
-        // Transaction siblings (§4.6).
+        let externally_corrupted = seq_diverged(&log_rc.view(), pool, seq);
+        // Transaction siblings (§4.6) — a transaction's members may span
+        // shards, so the merged view collects them all.
         if !externally_corrupted {
-            let log = log_rc.lock();
+            let log = log_rc.view();
             if let Some(tx) = log.tx_of_seq(seq) {
-                worklist.extend(log.tx_seqs(tx).iter().copied());
+                worklist.extend(log.tx_seqs(tx));
             }
         }
         // Forward-dependency second pass: PM writes reachable forward from
@@ -1123,7 +1122,7 @@ impl<'a> Reactor<'a> {
                     break;
                 }
             }
-            let log = log_rc.lock();
+            let log = log_rc.view();
             for at in seen {
                 if !self.analysis.pm.pm_writes.contains(&at) {
                     continue;
@@ -1143,8 +1142,9 @@ impl<'a> Reactor<'a> {
         worklist.sort_unstable();
         worklist.dedup();
         for s in worklist {
+            // View dropped before the pool write/persist below.
             let (addr, data) = {
-                let log = log_rc.lock();
+                let log = log_rc.view();
                 let Some(addr) = log.addr_of_seq(s) else {
                     continue;
                 };
@@ -1166,7 +1166,7 @@ impl<'a> Reactor<'a> {
             let _ = pool.write(addr, &data);
             let _ = pool.persist(addr, data.len() as u64);
             // Versions discarded: the newest `depth` versions of the entry.
-            let log = log_rc.lock();
+            let log = log_rc.view();
             let slot = ledger.by_addr.entry(addr).or_default();
             if let Some(e) = log.entry(addr) {
                 let n = e.versions.len();
@@ -1231,12 +1231,12 @@ impl<'a> Reactor<'a> {
     fn rollback_to(
         &self,
         pool: &mut PmPool,
-        log_rc: &SharedLog,
+        log_rc: &ShardedLog,
         cut: u64,
         ledger: &mut RevertLedger,
     ) {
         let victims: Vec<(u64, Vec<u8>)> = {
-            let log = log_rc.lock();
+            let log = log_rc.view();
             log.addrs_touched_since(cut)
                 .into_iter()
                 .filter_map(|a| log.data_before_seq(a, cut).map(|d| (a, d)))
@@ -1248,7 +1248,7 @@ impl<'a> Reactor<'a> {
             let _ = pool.persist(addr, data.len() as u64);
             ledger.by_addr.entry(addr).or_default();
         }
-        let log = log_rc.lock();
+        let log = log_rc.view();
         for s in log.all_seqs() {
             if s >= cut {
                 if let Some(addr) = log.addr_of_seq(s) {
@@ -1264,23 +1264,23 @@ impl<'a> Reactor<'a> {
     fn mitigate_leak(
         &mut self,
         pool: &mut PmPool,
-        log_rc: &SharedLog,
+        log_rc: &ShardedLog,
         target: &mut dyn Target,
         t0: Instant,
     ) -> MitigationOutcome {
         let mut phases = PhaseTimes::default();
-        log_rc.lock().set_enabled(false);
-        log_rc.lock().clear_recovery_reads();
+        log_rc.set_enabled(false);
+        log_rc.clear_recovery_reads();
         // Run recovery + verification once to populate the recovery reads.
         let t_re = Instant::now();
         let _ = target.reexecute(pool);
         phases.reexec += t_re.elapsed();
-        let suspects = log_rc.lock().suspected_leaks();
+        let suspects = log_rc.suspected_leaks();
         let mut freed = 0u64;
         let t_rv = Instant::now();
         for (addr, _size) in &suspects {
             if pool.is_allocated(*addr) && pool.free(*addr).is_ok() {
-                log_rc.lock().note_reactor_free(*addr);
+                log_rc.note_reactor_free(*addr);
                 freed += 1;
             }
         }
@@ -1288,7 +1288,7 @@ impl<'a> Reactor<'a> {
         let t_re = Instant::now();
         let ok = target.reexecute(pool).is_ok();
         phases.reexec += t_re.elapsed();
-        log_rc.lock().set_enabled(true);
+        log_rc.set_enabled(true);
         self.recorder.event(
             "reactor.leak_mitigation",
             vec![
@@ -1356,7 +1356,7 @@ fn seq_list(seqs: &[u64]) -> String {
 /// from what the checkpoint log says they should be (the newest version
 /// overlaid with newer overlapping entries) — the signature of corruption
 /// that bypassed every durability point (hardware faults).
-fn seq_diverged(log: &CheckpointLog, pool: &mut PmPool, seq: u64) -> bool {
+fn seq_diverged(log: &LogView<'_>, pool: &mut PmPool, seq: u64) -> bool {
     let Some(addr) = log.addr_of_seq(seq) else {
         return false;
     };

@@ -223,6 +223,6 @@ fn plan_is_empty_for_unrelated_fault() {
     let fid = module.func_by_name("recover").unwrap();
     let fault = pir::ir::InstRef { func: fid, inst: 0 };
     let mut pool = new_pool();
-    let plan = reactor.plan(fault, &trace, &log.lock(), &mut pool);
+    let plan = reactor.plan(fault, &trace, &log.view(), &mut pool);
     assert!(plan.seqs.is_empty());
 }

@@ -194,10 +194,10 @@ fn mitigation_survives_a_log_mutex_poisoned_by_a_panicking_fork() {
         crashed.is_err(),
         "the panicking fork brings mitigation down"
     );
-    // Observe the poisoning through the raw sink handle: `SharedLog::lock`
-    // itself recovers, so the raw mutex is the only place it is visible.
+    // Observe the poisoning through the shard mutexes: `SharedLog::lock`
+    // itself recovers, so `is_poisoned` is the only place it is visible.
     assert!(
-        log.as_sink().lock().is_err(),
+        log.is_poisoned(),
         "the shared log mutex is poisoned by the fork's panic"
     );
 

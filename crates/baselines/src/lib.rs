@@ -13,7 +13,7 @@
 use std::time::{Duration, Instant};
 
 use arthas::checkpoint::MAX_VERSIONS;
-use arthas::{SharedLog, Target};
+use arthas::{ShardedLog, Target};
 use pmemsim::PmPool;
 
 /// Outcome of a baseline mitigation.
@@ -143,13 +143,13 @@ impl ArCkpt {
     pub fn mitigate(
         &self,
         pool: &mut PmPool,
-        log: &SharedLog,
+        log: &ShardedLog,
         target: &mut dyn Target,
     ) -> BaselineOutcome {
         let t0 = Instant::now();
-        log.lock().set_enabled(false);
+        log.set_enabled(false);
         let seqs: Vec<u64> = {
-            let l = log.lock();
+            let l = log.view();
             let mut s = l.all_seqs();
             s.reverse();
             s
@@ -159,7 +159,7 @@ impl ArCkpt {
         for depth in 1..=MAX_VERSIONS {
             for &s in &seqs {
                 if attempts >= self.max_attempts {
-                    log.lock().set_enabled(true);
+                    log.set_enabled(true);
                     return BaselineOutcome {
                         recovered: false,
                         attempts,
@@ -168,8 +168,9 @@ impl ArCkpt {
                         wall: t0.elapsed(),
                     };
                 }
+                // View dropped before the pool write below re-enters the sink.
                 let (addr, data) = {
-                    let l = log.lock();
+                    let l = log.view();
                     let Some(addr) = l.addr_of_seq(s) else {
                         continue;
                     };
@@ -183,7 +184,7 @@ impl ArCkpt {
                 reverted += 1;
                 attempts += 1;
                 if target.reexecute(pool).is_ok() {
-                    log.lock().set_enabled(true);
+                    log.set_enabled(true);
                     return BaselineOutcome {
                         recovered: true,
                         attempts,
@@ -194,7 +195,7 @@ impl ArCkpt {
                 }
             }
         }
-        log.lock().set_enabled(true);
+        log.set_enabled(true);
         BaselineOutcome {
             recovered: false,
             attempts,
@@ -208,7 +209,7 @@ impl ArCkpt {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use arthas::FailureRecord;
+    use arthas::{FailureRecord, SharedLog};
 
     fn new_pool() -> PmPool {
         PmPool::create(pmemsim::layout::HEAP_OFF + (1 << 20)).unwrap()

@@ -1,0 +1,177 @@
+//! Sharded-store throughput: the concurrency counterpart of Figure 12.
+//!
+//! `W` writer threads each drive a [`PmPool::fork`] of one parent pool in
+//! a tight `write_u64 + persist` loop over a private 8 KiB bank, all
+//! feeding one shared checkpoint store through their own
+//! [`ShardedLog::as_sink`] handle. Two store shapes per writer count:
+//!
+//! - **single** — `ShardedLog::new(1)`, the classic `SharedLog` layout:
+//!   every durability point funnels through one mutex;
+//! - **sharded** — `ShardedLog::new(8)`: banks are wider than the 4 KiB
+//!   shard grain, so concurrent writers land on different shard locks and
+//!   only the `AtomicU64` seq allocator is globally shared.
+//!
+//! Two measurements, because wall-clock speedup is a property of the
+//! host, not just the store:
+//!
+//! 1. **Aggregate op/s** per writer count. On a multi-core host the
+//!    acceptance bar is a 2x speedup at 8 writers; on a single hardware
+//!    thread the writers never overlap, the single mutex is never
+//!    contended at acquisition time, and both shapes measure the same —
+//!    the printed table says which regime it was collected in.
+//! 2. **Serialization profile** — per-shard update counts from
+//!    [`arthas::LogView::shard_updates`] after a real 8-writer run. The
+//!    single-lock store funnels the *sum* through one mutex; the sharded
+//!    store at most the *maximum* through any one. Sum/max is the
+//!    critical-path reduction, the Amdahl bound on any host, independent
+//!    of this machine's core count.
+//!
+//! A final section re-runs the 8-writer pair with a retaining
+//! [`RingRecorder`] attached to the store, mirroring fig12_overhead's
+//! observability columns: the recorder must not reintroduce a global
+//! serialization point.
+
+use std::sync::Arc;
+use std::thread;
+
+use arthas::ShardedLog;
+use obs::{Instrument, Recorder, RingRecorder};
+use pm_workload::concurrent::{BANK_BYTES, BANK_SLOTS, POOL_BYTES};
+use pmemsim::PmPool;
+
+/// Drives `writers` forked pools against one shared store, `ops`
+/// persists each over disjoint banks; returns aggregate op/s.
+fn drive(log: &ShardedLog, writers: usize, ops: u64) -> f64 {
+    let mut parent = PmPool::create(POOL_BYTES).expect("create pool");
+    let banks: Vec<u64> = (0..writers)
+        .map(|_| parent.alloc(BANK_BYTES).expect("alloc bank"))
+        .collect();
+
+    let t0 = std::time::Instant::now();
+    thread::scope(|s| {
+        for &bank in &banks {
+            let mut pool = parent.fork();
+            pool.set_sink(log.as_sink());
+            s.spawn(move || {
+                for op in 0..ops {
+                    let addr = bank + op % BANK_SLOTS * 8;
+                    pool.write_u64(addr, op | 1).expect("write");
+                    pool.persist(addr, 8).expect("persist");
+                }
+            });
+        }
+    });
+    (writers as u64 * ops) as f64 / t0.elapsed().as_secs_f64()
+}
+
+/// One timed pass against a fresh store.
+fn run_once(writers: usize, shards: usize, ring: bool, ops: u64) -> f64 {
+    let mut log = ShardedLog::new(shards);
+    if ring {
+        let rec: Arc<dyn Recorder> = Arc::new(RingRecorder::new(4096));
+        log.instrument(rec);
+    }
+    drive(&log, writers, ops)
+}
+
+/// Median op/s over interleaved repetitions (round-robin within each rep
+/// so machine-speed drift hits every configuration equally).
+fn measure(configs: &[(usize, usize, bool)], ops: u64) -> Vec<f64> {
+    const REPS: usize = 5;
+    let mut samples: Vec<Vec<f64>> = vec![Vec::new(); configs.len()];
+    for rep in 0..=REPS {
+        for (ci, &(writers, shards, ring)) in configs.iter().enumerate() {
+            let n = if rep == 0 { ops / 4 } else { ops };
+            let rate = run_once(writers, shards, ring, n);
+            if rep > 0 {
+                samples[ci].push(rate);
+            }
+        }
+    }
+    samples
+        .into_iter()
+        .map(|mut v| {
+            v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            v[v.len() / 2]
+        })
+        .collect()
+}
+
+fn main() {
+    const OPS: u64 = 40_000;
+    let cores = thread::available_parallelism().map_or(1, |n| n.get());
+    let writer_counts = [1usize, 2, 4, 8];
+
+    let configs: Vec<(usize, usize, bool)> = writer_counts
+        .iter()
+        .flat_map(|&w| [(w, 1, false), (w, 8, false)])
+        .collect();
+    let rates = measure(&configs, OPS);
+
+    println!("== fig12_sharded: checkpoint-store throughput vs writer count (op/s) ==");
+    println!("host parallelism: {cores} hardware thread(s)");
+    println!(
+        "{:<8} {:>14} {:>14} {:>9}",
+        "Writers", "single-lock", "sharded(8)", "speedup"
+    );
+    let mut speedup_at_8 = 0.0;
+    for (i, &w) in writer_counts.iter().enumerate() {
+        let single = rates[2 * i];
+        let sharded = rates[2 * i + 1];
+        let speedup = sharded / single;
+        if w == 8 {
+            speedup_at_8 = speedup;
+        }
+        println!("{w:<8} {single:>14.0} {sharded:>14.0} {speedup:>8.2}x");
+    }
+    let single_writer_delta = 100.0 * (1.0 - rates[0] / rates[1]);
+    println!("\nsingle-writer delta (1 shard vs 8): {single_writer_delta:.1}%");
+    println!("8-writer wall-clock speedup: {speedup_at_8:.2}x");
+    if cores == 1 {
+        println!("(single hardware thread: writers never overlap, so lock");
+        println!("contention cannot surface in wall-clock time — see the");
+        println!("serialization profile below for the core-independent bound)");
+    }
+
+    // Serialization profile from one real 8-writer run per shape: how
+    // many updates funnel through the busiest mutex.
+    println!("\n== serialization profile: updates through the busiest lock ==");
+    let mut reductions = Vec::new();
+    for shards in [1usize, 8] {
+        let log = ShardedLog::new(shards);
+        drive(&log, 8, OPS);
+        let per_shard = log.view().shard_updates();
+        let total: u64 = per_shard.iter().sum();
+        let busiest = per_shard.iter().copied().max().unwrap_or(0);
+        reductions.push((shards, total, busiest));
+        println!(
+            "{:>2} shard(s): {:>7} total updates, busiest lock serializes {:>7} ({:.1}% of total)",
+            shards,
+            total,
+            busiest,
+            100.0 * busiest as f64 / total.max(1) as f64,
+        );
+    }
+    let (_, total, busiest) = reductions[1];
+    let reduction = total as f64 / busiest.max(1) as f64;
+    println!("\ncritical-path reduction at 8 writers: {reduction:.2}x");
+    println!("acceptance: >=2x — the serialized fraction bounds multi-core");
+    println!("throughput (Amdahl), and the 1-writer single-shard path within 5%.");
+
+    let ring_configs = [(8usize, 1usize, true), (8, 8, true)];
+    let ring_rates = measure(&ring_configs, OPS);
+    println!("\n== 8 writers with a retaining ring recorder attached (op/s) ==");
+    println!(
+        "{:<8} {:>14} {:>14} {:>9}",
+        "Writers", "single-lock", "sharded(8)", "speedup"
+    );
+    println!(
+        "{:<8} {:>14.0} {:>14.0} {:>8.2}x",
+        8,
+        ring_rates[0],
+        ring_rates[1],
+        ring_rates[1] / ring_rates[0]
+    );
+    println!("\nacceptance: the recorder is an Arc broadcast per shard, not a");
+    println!("global lock — sharded scaling must survive observability.");
+}

@@ -64,9 +64,9 @@ fn main() {
         .expect("fault instruction");
         let mut reactor = Reactor::new(&setup.analysis, &setup.guid_map, ReactorConfig::default());
         let trace = arthas::PmTrace::new();
-        let log = arthas::CheckpointLog::new();
+        let log = arthas::SharedLog::new();
         let mut pool = arthas_bench::bench_pool();
-        let _ = reactor.plan(fault, &trace, &log, &mut pool);
+        let _ = reactor.plan(fault, &trace, &log.view(), &mut pool);
         println!(
             "{:<10} {:>8} {:>14.2} {:>9.2} {:>8.2} {:>7.2} {:>14.2} {:>10.3}",
             name,

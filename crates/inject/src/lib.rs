@@ -60,31 +60,25 @@ pub const MAX_TRIAL_RESTARTS: u32 = 3;
 
 /// Parameters of one injection campaign.
 ///
-/// Construct via [`CampaignConfig::builder`]; the fields remain `pub`
-/// for one release to keep struct-literal call sites compiling.
+/// The builder is the only construction path — the struct-literal
+/// fields deprecated in 0.4.0 have been removed.
 #[derive(Debug, Clone)]
 pub struct CampaignConfig {
     /// Maximum trials per scenario (site × policy pairs), ≥ 1.
-    #[doc(hidden)]
-    pub budget: usize,
+    budget: usize,
     /// Test every `stride`-th site, ≥ 1 (1 = exhaustive).
-    #[doc(hidden)]
-    pub stride: u64,
+    stride: u64,
     /// Worker threads running trials, ≥ 1. Verdicts are
     /// runner-count-independent: trials are indexed up front and results
     /// land by index.
-    #[doc(hidden)]
-    pub runners: usize,
+    runners: usize,
     /// Workload seed shared by the enumeration run and every trial (the
     /// replay contract: same seed ⇒ same boundary sequence).
-    #[doc(hidden)]
-    pub seed: u64,
+    seed: u64,
     /// Crash policies applied at each tested site.
-    #[doc(hidden)]
-    pub policies: Vec<CrashPolicy>,
+    policies: Vec<CrashPolicy>,
     /// Reactor configuration for trials that need mitigation.
-    #[doc(hidden)]
-    pub reactor: ReactorConfig,
+    reactor: ReactorConfig,
 }
 
 impl Default for CampaignConfig {

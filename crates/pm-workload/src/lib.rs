@@ -12,9 +12,13 @@
 //! - [`report`]: the `report` CLI subcommand's engine — one scenario run
 //!   with a ring recorder attached to every layer, rendered as a
 //!   schema-stable JSON document and a human-readable recovery timeline;
+//! - [`concurrent`]: the multi-threaded YCSB-style scenario over the
+//!   sharded checkpoint store (writer forks sharing one `ShardedLog`),
+//!   with writer-count-independent detection and mitigation outcomes;
 //! - [`ycsb`]: YCSB-style workload generation for the overhead
 //!   experiments.
 
+pub mod concurrent;
 pub mod harness;
 pub mod report;
 pub mod scenarios;

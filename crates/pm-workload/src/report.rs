@@ -29,7 +29,7 @@ pub const EVENT_CAPACITY: usize = 4096;
 /// Canonical CLI name of a [`Solution`].
 pub fn solution_name(solution: &Solution) -> &'static str {
     match solution {
-        Solution::Arthas(cfg) if cfg.speculation.is_some() => "arthas-spec",
+        Solution::Arthas(cfg) if cfg.is_speculative() => "arthas-spec",
         Solution::Arthas(_) => "arthas",
         Solution::PmCriu => "pmcriu",
         Solution::ArCkpt(_) => "arckpt",
@@ -85,7 +85,7 @@ pub fn run_report(scn: &dyn Scenario, solution: Solution, seed: u64) -> Option<R
     // Production-side numbers, captured before mitigation mutates the
     // pool and the log.
     let pool_stats = prod.pool.stats();
-    let log_stats = prod.log.lock().stats();
+    let log_stats = prod.log.stats();
     let failure = prod.failure.clone();
     let restarts = prod.restarts;
     let detected_hard = prod.detected_hard;
