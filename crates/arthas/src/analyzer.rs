@@ -15,10 +15,11 @@
 //! the original.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use pir::ir::{Inst, InstRef, Intrinsic, Module, Op, Val};
-use pir_analysis::{ModuleAnalysis, PmInfo};
+use pir_analysis::{AnalysisCache, ModuleAnalysis, PmInfo};
 
 /// Metadata for one instrumented instruction.
 #[derive(Debug, Clone)]
@@ -117,8 +118,9 @@ impl GuidMap {
 
 /// Full analyzer output: static analysis + instrumented module + metadata.
 pub struct AnalyzerOutput {
-    /// Static analysis of the original module.
-    pub analysis: ModuleAnalysis,
+    /// Static analysis of the original module (shared: a cache may hand
+    /// the same result to several consumers).
+    pub analysis: Arc<ModuleAnalysis>,
     /// The instrumented module (trace calls inserted).
     pub instrumented: Module,
     /// GUID metadata.
@@ -127,9 +129,24 @@ pub struct AnalyzerOutput {
     pub instrument_time: Duration,
 }
 
-/// Runs the analyzer on a module.
+/// Runs the analyzer on a module, always computing the analysis.
 pub fn analyze_and_instrument(module: &Module) -> AnalyzerOutput {
-    let analysis = ModuleAnalysis::compute(module);
+    analyze_and_instrument_cached(module, None)
+}
+
+/// Runs the analyzer on a module, loading the static analysis from
+/// `cache` when one is given (computing and saving on a miss).
+/// Instrumentation is cheap (Table 9) and always re-runs, so the
+/// instrumented module and GUID map are exactly those of the uncached
+/// path regardless of where the analysis came from.
+pub fn analyze_and_instrument_cached(
+    module: &Module,
+    cache: Option<&AnalysisCache>,
+) -> AnalyzerOutput {
+    let analysis = match cache {
+        Some(c) => c.load_or_compute(module),
+        None => Arc::new(ModuleAnalysis::compute(module)),
+    };
     let t0 = Instant::now();
     let (instrumented, guid_map) = instrument(module, &analysis.pm);
     let instrument_time = t0.elapsed();

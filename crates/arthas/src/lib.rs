@@ -30,12 +30,15 @@ pub mod detector;
 pub mod reactor;
 pub mod trace;
 
-pub use analyzer::{analyze_and_instrument, AnalyzerOutput, GuidMap, GuidMeta};
+pub use analyzer::{
+    analyze_and_instrument, analyze_and_instrument_cached, AnalyzerOutput, GuidMap, GuidMeta,
+};
 pub use checkpoint::{
     CheckpointLog, Entry, LogStats, LogView, ShardedLog, SharedLog, VersionData, DEFAULT_SHARDS,
     MAX_VERSIONS,
 };
 pub use detector::{Detector, FailureKind, FailureRecord, LeakMonitor, Verdict};
+pub use pir_analysis::{AnalysisCache, CacheOutcome};
 pub use reactor::{
     BatchStrategy, ConfigError, ForkableTarget, MitigationOutcome, Mode, PhaseTimes, Plan, Reactor,
     ReactorConfig, ReactorConfigBuilder, Target,

@@ -22,12 +22,12 @@
 //! allocations in the checkpoint log that the application's recovery
 //! function never touched are freed.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use pir::ir::InstRef;
-use pir_analysis::{backward_slice, ModuleAnalysis};
+use pir_analysis::{backward_slice, ModuleAnalysis, Slice};
 use pmemsim::PmPool;
 
 use obs::Value;
@@ -397,6 +397,18 @@ pub struct Reactor<'a> {
     cfg: ReactorConfig,
     /// Wall time of the most recent slicing operation (Table 9).
     pub last_slice_time: Duration,
+    /// Slicing wall time accrued since the last reported outcome.
+    /// [`Reactor::timed_plan`] drains it into `PhaseTimes.slice`, so an
+    /// outcome accounts *every* slice taken on its behalf — a
+    /// multi-attempt recovery that planned several times no longer
+    /// reports only the final attempt's slice time.
+    pending_slice_time: Duration,
+    /// Backward slices memoized per fault location for the lifetime of
+    /// this reactor: within one recovery, multi-attempt mitigation
+    /// slices each fault location exactly once.
+    slice_memo: HashMap<InstRef, Arc<Slice>>,
+    slice_computes: u64,
+    slice_memo_hits: u64,
     recorder: Arc<dyn obs::Recorder>,
 }
 
@@ -408,8 +420,42 @@ impl<'a> Reactor<'a> {
             guid_map,
             cfg,
             last_slice_time: Duration::ZERO,
+            pending_slice_time: Duration::ZERO,
+            slice_memo: HashMap::new(),
+            slice_computes: 0,
+            slice_memo_hits: 0,
             recorder: Arc::new(obs::NullRecorder),
         }
+    }
+
+    /// Backward slices actually computed by this reactor (memo misses).
+    pub fn slice_computes(&self) -> u64 {
+        self.slice_computes
+    }
+
+    /// Slice requests served from the per-fault-location memo.
+    pub fn slice_memo_hits(&self) -> u64 {
+        self.slice_memo_hits
+    }
+
+    /// The backward slice for `fault`, memoized per fault location. The
+    /// `reactor.slice_compute` / `reactor.slice_memo_hit` counters let
+    /// regression tests assert the exactly-once property.
+    fn slice_for(&mut self, fault: InstRef) -> Arc<Slice> {
+        if let Some(hit) = self.slice_memo.get(&fault) {
+            self.slice_memo_hits += 1;
+            self.recorder.add("reactor.slice_memo_hit", 1);
+            return hit.clone();
+        }
+        let slice = Arc::new(backward_slice(
+            &self.analysis.pdg,
+            fault,
+            self.cfg.max_slice_nodes,
+        ));
+        self.slice_computes += 1;
+        self.recorder.add("reactor.slice_compute", 1);
+        self.slice_memo.insert(fault, slice.clone());
+        slice
     }
 
     /// Computes the candidate sequence list for a fault instruction
@@ -430,8 +476,9 @@ impl<'a> Reactor<'a> {
         pool: &mut PmPool,
     ) -> Plan {
         let t0 = Instant::now();
-        let slice = backward_slice(&self.analysis.pdg, fault, self.cfg.max_slice_nodes);
+        let slice = self.slice_for(fault);
         self.last_slice_time = t0.elapsed();
+        self.pending_slice_time += self.last_slice_time;
         let mut seqs: BTreeSet<u64> = BTreeSet::new();
         let mut sources: std::collections::HashMap<u64, Vec<InstRef>> =
             std::collections::HashMap::new();
@@ -514,10 +561,13 @@ impl<'a> Reactor<'a> {
             self.plan(fault, trace, &view, pool)
         };
         let mut phases = PhaseTimes {
-            slice: self.last_slice_time,
+            // Drain the accrued slicing time: if the caller planned for
+            // earlier attempts of this recovery before reaching the
+            // outcome, those slices are attributed here too.
+            slice: std::mem::take(&mut self.pending_slice_time),
             ..Default::default()
         };
-        phases.plan = t_plan.elapsed().saturating_sub(phases.slice);
+        phases.plan = t_plan.elapsed().saturating_sub(self.last_slice_time);
         self.recorder.event(
             "reactor.plan",
             vec![

@@ -34,9 +34,11 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use std::sync::Arc;
+
 use arthas::{
-    CheckpointLog, ConfigError, Detector, FailureRecord, ForkableTarget, Reactor, ReactorConfig,
-    SharedLog, Target, Verdict,
+    AnalysisCache, CheckpointLog, ConfigError, Detector, FailureRecord, ForkableTarget, Reactor,
+    ReactorConfig, SharedLog, Target, Verdict,
 };
 use obs::{Field, Json, Schema};
 use pir::vm::{Vm, VmOpts};
@@ -79,6 +81,12 @@ pub struct CampaignConfig {
     policies: Vec<CrashPolicy>,
     /// Reactor configuration for trials that need mitigation.
     reactor: ReactorConfig,
+    /// Optional analysis cache: scenarios over the same application
+    /// module share one `ModuleAnalysis` (and a persistent cache makes
+    /// repeated campaign invocations skip analysis entirely). Every
+    /// trial of a scenario already shares its scenario's analysis;
+    /// verdicts are cache-independent.
+    cache: Option<Arc<AnalysisCache>>,
 }
 
 impl Default for CampaignConfig {
@@ -90,6 +98,7 @@ impl Default for CampaignConfig {
             seed: 1,
             policies: vec![CrashPolicy::DropStaged, CrashPolicy::KeepStaged],
             reactor: ReactorConfig::default(),
+            cache: None,
         }
     }
 }
@@ -144,6 +153,13 @@ impl CampaignConfigBuilder {
     /// Reactor configuration for mitigation trials.
     pub fn reactor(mut self, reactor: ReactorConfig) -> Self {
         self.cfg.reactor = reactor;
+        self
+    }
+
+    /// Analysis cache shared by the campaign's scenarios (default none:
+    /// each scenario computes its own analysis).
+    pub fn analysis_cache(mut self, cache: Option<Arc<AnalysisCache>>) -> Self {
+        self.cfg.cache = cache;
         self
     }
 
@@ -535,7 +551,7 @@ fn run_trial(
 /// Runs the campaign for one scenario: enumeration run, trial matrix,
 /// parallel classification.
 pub fn run_scenario_campaign(scn: &dyn Scenario, cfg: &CampaignConfig) -> ScenarioCampaign {
-    let setup = AppSetup::new(scn.build_module());
+    let setup = AppSetup::new_with_cache(scn.build_module(), cfg.cache.as_deref());
 
     // Enumeration: one un-armed run with the site census recorder on.
     let enum_cfg = RunConfig {

@@ -313,20 +313,16 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
                 }
                 *pos += 1;
             }
-            Some(&c) => {
-                // Consume one UTF-8 code point.
+            Some(_) => {
+                // Consume the maximal run of bytes with no quote or
+                // escape in one copy; validated as UTF-8 wholesale.
                 let start = *pos;
-                let len = match c {
-                    0x00..=0x7f => 1,
-                    0xc0..=0xdf => 2,
-                    0xe0..=0xef => 3,
-                    _ => 4,
-                };
-                let chunk = b
-                    .get(start..start + len)
-                    .ok_or("truncated UTF-8".to_string())?;
-                out.push_str(std::str::from_utf8(chunk).map_err(|e| e.to_string())?);
-                *pos += len;
+                let mut end = *pos;
+                while end < b.len() && b[end] != b'"' && b[end] != b'\\' {
+                    end += 1;
+                }
+                out.push_str(std::str::from_utf8(&b[start..end]).map_err(|e| e.to_string())?);
+                *pos = end;
             }
         }
     }

@@ -1,0 +1,77 @@
+//! Property-based round-trip fidelity for [`obs::Json`]:
+//! `parse(render(x)) == x` for generated documents mixing finite
+//! floats, escape-heavy strings, and nested arrays/objects — the same
+//! (de)serialization the persistent analysis cache trusts for
+//! byte-identical warm restarts.
+
+use obs::Json;
+use proptest::prelude::*;
+
+/// Characters spanning the interesting encoder paths: plain ASCII,
+/// every short escape, a control character (`\u` escape), and
+/// multi-byte UTF-8.
+const PALETTE: [char; 12] = [
+    'a', 'z', '0', ' ', '"', '\\', '\n', '\r', '\t', '\u{1}', 'é', '🦀',
+];
+
+fn text() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0..PALETTE.len(), 0..12)
+        .prop_map(|ix| ix.into_iter().map(|i| PALETTE[i]).collect())
+}
+
+fn scalar() -> impl Strategy<Value = Json> {
+    prop_oneof![
+        Just(Json::Null),
+        (0..2u64).prop_map(|b| Json::Bool(b == 1)),
+        any::<u64>().prop_map(Json::U64),
+        // Non-negative i64 renders as bare digits and re-parses as U64,
+        // so I64 round-trips only for the negative range it is used for.
+        (1..i64::MAX).prop_map(|v| Json::I64(-v)),
+        // Finite floats with a fractional scale; Display gives the
+        // shortest representation that re-parses exactly.
+        (any::<i32>(), 1..1000u32).prop_map(|(n, d)| Json::F64(f64::from(n) / f64::from(d))),
+        text().prop_map(Json::Str),
+    ]
+}
+
+/// A depth-≤3 document: scalars at the leaves, arrays and objects
+/// (possibly with duplicate or escape-heavy keys) above them.
+fn document() -> impl Strategy<Value = Json> {
+    let array = proptest::collection::vec(scalar(), 0..6).prop_map(Json::Arr);
+    let object = proptest::collection::vec((text(), scalar()), 0..6)
+        .prop_map(|pairs| Json::Obj(pairs.into_iter().collect()));
+    let node = prop_oneof![scalar(), array, object];
+    proptest::collection::vec((text(), node), 0..8).prop_map(|pairs| {
+        Json::obj([
+            ("payload", Json::Obj(pairs.into_iter().collect())),
+            ("tail", Json::Arr(vec![Json::U64(1), Json::Null])),
+        ])
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn compact_render_round_trips(doc in document()) {
+        let text = doc.render();
+        let back = Json::parse(&text).expect("rendered JSON must parse");
+        prop_assert_eq!(&back, &doc, "compact round trip through {}", text);
+    }
+
+    #[test]
+    fn pretty_render_round_trips(doc in document()) {
+        let text = doc.render_pretty();
+        let back = Json::parse(&text).expect("pretty JSON must parse");
+        prop_assert_eq!(&back, &doc, "pretty round trip through {}", text);
+    }
+
+    #[test]
+    fn render_is_stable_across_a_round_trip(doc in document()) {
+        // parse(render(x)) renders byte-identically — the canonical-form
+        // property the analysis cache checksum relies on.
+        let once = doc.render();
+        let twice = Json::parse(&once).unwrap().render();
+        prop_assert_eq!(once, twice);
+    }
+}

@@ -14,8 +14,11 @@
 //! - [`slice`]: backward program slicing from a fault instruction.
 //!
 //! [`ModuleAnalysis`] bundles the full pipeline and records per-phase wall
-//! times (reproduced in Table 9 of the paper).
+//! times (reproduced in Table 9 of the paper). [`cache`] persists the
+//! result keyed on the module fingerprint so a warm restart skips the
+//! whole pipeline.
 
+pub mod cache;
 pub mod cfg;
 pub mod cover;
 pub mod pdg;
@@ -23,6 +26,7 @@ pub mod pm;
 pub mod pointsto;
 pub mod slice;
 
+pub use cache::{AnalysisCache, CacheOutcome, CACHE_FORMAT_VERSION, CACHE_MAGIC};
 pub use cfg::DomTree;
 pub use cover::{covered_to_exit, DurKind, DurPoint, FlushCover};
 pub use pdg::{DepKind, Pdg};
@@ -30,9 +34,20 @@ pub use pm::PmInfo;
 pub use pointsto::{AbsObj, Field, PointsTo};
 pub use slice::{backward_slice, Slice};
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use pir::ir::Module;
+
+/// Process-wide count of full [`ModuleAnalysis::compute`] runs.
+static COMPUTES: AtomicU64 = AtomicU64::new(0);
+
+/// How many times this process has run the full analysis pipeline.
+/// Dedup regressions (a layer recomputing an analysis the caller already
+/// holds) assert on deltas of this counter.
+pub fn compute_count() -> u64 {
+    COMPUTES.load(Ordering::Relaxed)
+}
 
 /// The complete static-analysis result for one module.
 pub struct ModuleAnalysis {
@@ -55,6 +70,7 @@ pub struct ModuleAnalysis {
 impl ModuleAnalysis {
     /// Runs points-to, PM classification and PDG construction.
     pub fn compute(module: &Module) -> ModuleAnalysis {
+        COMPUTES.fetch_add(1, Ordering::Relaxed);
         let t0 = Instant::now();
         let pointsto = PointsTo::compute(module);
         let pointsto_time = t0.elapsed();

@@ -38,7 +38,7 @@ pub enum DepKind {
 
 /// The PDG, with backward adjacency.
 pub struct Pdg {
-    deps: HashMap<InstRef, Vec<(InstRef, DepKind)>>,
+    pub(crate) deps: HashMap<InstRef, Vec<(InstRef, DepKind)>>,
     /// Total number of edges.
     pub n_edges: usize,
 }

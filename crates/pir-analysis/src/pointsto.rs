@@ -79,8 +79,8 @@ pub type LocSet = BTreeSet<Loc>;
 
 /// Result of the points-to analysis.
 pub struct PointsTo {
-    val_pts: HashMap<(FuncId, Val), LocSet>,
-    heap_pts: BTreeMap<Loc, LocSet>,
+    pub(crate) val_pts: HashMap<(FuncId, Val), LocSet>,
+    pub(crate) heap_pts: BTreeMap<Loc, LocSet>,
     /// Functions whose address is taken (indirect-call / spawn targets).
     pub address_taken: BTreeSet<FuncId>,
     /// Resolved call graph: call instruction → possible callees.

@@ -1,0 +1,271 @@
+//! Equivalence and corruption-safety tests for the persistent analysis
+//! cache: a cache round trip must reproduce the computed analysis
+//! byte-for-byte, and no damaged cache file — bit-flipped, truncated,
+//! version-skewed or wrongly keyed — may ever panic or serve a wrong
+//! analysis; each must log `analysis.cache_invalid` and recompute.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use obs::{Instrument, RingRecorder};
+use pir::builder::ModuleBuilder;
+use pir::ir::Module;
+use pir_analysis::{AnalysisCache, CacheOutcome, ModuleAnalysis};
+use proptest::prelude::*;
+
+/// A random two-function program over distinct PM cells with a call
+/// between the functions, so the serialized analysis exercises val_pts,
+/// heap_pts, callees, PM classification and interprocedural PDG edges.
+#[derive(Debug, Clone, Copy)]
+enum Step {
+    SetConst { dst: usize, val: u64 },
+    Copy { dst: usize, src: usize },
+    Memcpy { dst: usize, src: usize },
+}
+
+const N_CELLS: usize = 4;
+
+fn step() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (0..N_CELLS, 1..1000u64).prop_map(|(dst, val)| Step::SetConst { dst, val }),
+        (0..N_CELLS, 0..N_CELLS).prop_map(|(dst, src)| Step::Copy { dst, src }),
+        (0..N_CELLS, 0..N_CELLS).prop_map(|(dst, src)| Step::Memcpy { dst, src }),
+    ]
+}
+
+fn build(steps: &[Step]) -> Module {
+    let mut m = ModuleBuilder::new();
+    m.declare("helper", 1, true);
+    {
+        let mut f = m.func("helper", 1, true);
+        let p = f.param(0);
+        let v = f.load8(p);
+        f.store8(p, v);
+        f.pm_persist_c(p, 8);
+        f.ret(Some(v));
+        f.finish();
+    }
+    {
+        let mut f = m.func("main", 0, true);
+        let cells: Vec<_> = (0..N_CELLS)
+            .map(|_| {
+                let sz = f.konst(8);
+                f.pm_alloc(sz)
+            })
+            .collect();
+        for s in steps {
+            match s {
+                Step::SetConst { dst, val } => {
+                    let v = f.konst(*val);
+                    f.store8(cells[*dst], v);
+                }
+                Step::Copy { dst, src } => {
+                    let v = f.load8(cells[*src]);
+                    f.store8(cells[*dst], v);
+                }
+                Step::Memcpy { dst, src } => {
+                    let len = f.konst(8);
+                    f.memcpy(cells[*dst], cells[*src], len);
+                }
+            }
+        }
+        let out = f.call("helper", &[cells[0]]).unwrap();
+        f.ret(Some(out));
+        f.finish();
+    }
+    m.finish().unwrap()
+}
+
+/// A fresh scratch directory under the system temp dir.
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("arthas-cache-test-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// `load(save(compute(m)))` renders byte-identically to `compute(m)`
+    /// — the equivalence the warm-restart CI job gates on.
+    #[test]
+    fn round_trip_is_byte_identical(steps in proptest::collection::vec(step(), 1..16)) {
+        let module = build(&steps);
+        let fresh = ModuleAnalysis::compute(&module);
+        let fp = module.fingerprint();
+        let loaded = ModuleAnalysis::from_cache_file(&fresh.to_cache_file(fp), fp)
+            .expect("a freshly written envelope must load");
+        prop_assert_eq!(
+            fresh.semantic_json().render(),
+            loaded.semantic_json().render(),
+        );
+    }
+
+    /// Structural equality of the parsed form, not just of the rendering:
+    /// PM classification and PDG shape survive the trip exactly.
+    #[test]
+    fn round_trip_preserves_structure(steps in proptest::collection::vec(step(), 1..16)) {
+        let module = build(&steps);
+        let fresh = ModuleAnalysis::compute(&module);
+        let fp = module.fingerprint();
+        let loaded = ModuleAnalysis::from_cache_file(&fresh.to_cache_file(fp), fp).unwrap();
+        prop_assert_eq!(&fresh.pm.pm_writes, &loaded.pm.pm_writes);
+        prop_assert_eq!(&fresh.pm.pm_reads, &loaded.pm.pm_reads);
+        prop_assert_eq!(fresh.pdg.n_edges, loaded.pdg.n_edges);
+        prop_assert_eq!(fresh.pointsto.passes, loaded.pointsto.passes);
+    }
+}
+
+#[test]
+fn cold_store_then_warm_disk_hit() {
+    let dir = scratch("warm");
+    let module = build(&[Step::SetConst { dst: 0, val: 7 }]);
+
+    let cold = AnalysisCache::persistent(&dir).unwrap();
+    let (computed, outcome) = cold.load_or_compute_traced(&module);
+    assert_eq!(outcome, CacheOutcome::Miss);
+    assert_eq!((cold.misses(), cold.stores(), cold.hits()), (1, 1, 0));
+
+    // Same cache object: in-process memory hit.
+    let (_, outcome) = cold.load_or_compute_traced(&module);
+    assert_eq!(outcome, CacheOutcome::HitMemory);
+
+    // Fresh cache over the same directory — a restarted process.
+    let warm = AnalysisCache::persistent(&dir).unwrap();
+    let (loaded, outcome) = warm.load_or_compute_traced(&module);
+    assert_eq!(outcome, CacheOutcome::HitDisk);
+    assert_eq!(
+        (warm.hits(), warm.misses(), warm.invalidations()),
+        (1, 0, 0)
+    );
+    assert_eq!(
+        computed.semantic_json().render(),
+        loaded.semantic_json().render()
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Damages the stored cache file with `damage`, then loads through a
+/// fresh cache and asserts: outcome is `Invalid`, the
+/// `analysis.cache_invalid` event fired, nothing panicked, and the
+/// recomputed result matches a clean compute.
+fn corruption_case(name: &str, damage: impl FnOnce(Vec<u8>) -> Vec<u8>) -> String {
+    let dir = scratch(name);
+    let module = build(&[
+        Step::SetConst { dst: 0, val: 3 },
+        Step::Copy { dst: 1, src: 0 },
+    ]);
+    let seeded = AnalysisCache::persistent(&dir).unwrap();
+    let (clean, _) = seeded.load_or_compute_traced(&module);
+    let path = seeded.path_for(module.fingerprint()).unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::write(&path, damage(bytes)).unwrap();
+
+    let recorder = Arc::new(RingRecorder::new(64));
+    let mut cache = AnalysisCache::persistent(&dir).unwrap();
+    cache.instrument(recorder.clone());
+    let (recomputed, outcome) = cache.load_or_compute_traced(&module);
+    let CacheOutcome::Invalid(reason) = outcome else {
+        panic!("{name}: expected Invalid, got {outcome:?}");
+    };
+    assert_eq!(cache.invalidations(), 1, "{name}");
+    assert_eq!(recorder.counters().get("analysis.cache_invalid"), Some(&1));
+    assert!(
+        recorder
+            .events()
+            .iter()
+            .any(|e| e.kind == "analysis.cache_invalid"),
+        "{name}: no cache_invalid event"
+    );
+    assert_eq!(
+        clean.semantic_json().render(),
+        recomputed.semantic_json().render(),
+        "{name}: recomputed analysis differs"
+    );
+    // The recompute overwrote the bad file: the next restart hits disk.
+    let retry = AnalysisCache::persistent(&dir).unwrap();
+    let (_, outcome) = retry.load_or_compute_traced(&module);
+    assert_eq!(
+        outcome,
+        CacheOutcome::HitDisk,
+        "{name}: bad file not replaced"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    reason
+}
+
+#[test]
+fn bit_flipped_payload_is_rejected_and_recomputed() {
+    let reason = corruption_case("bitflip", |mut bytes| {
+        // Flip one bit in the middle of the payload line.
+        let payload_start = bytes.iter().position(|&b| b == b'\n').unwrap() + 1;
+        let mid = payload_start + (bytes.len() - payload_start) / 2;
+        bytes[mid] ^= 0x01;
+        bytes
+    });
+    assert!(reason.contains("checksum"), "unexpected reason: {reason}");
+}
+
+#[test]
+fn truncated_file_is_rejected_and_recomputed() {
+    let reason = corruption_case("truncate", |bytes| {
+        // A short read: half the payload never made it to disk.
+        let keep = bytes.len() / 2;
+        bytes[..keep].to_vec()
+    });
+    assert!(reason.contains("checksum"), "unexpected reason: {reason}");
+}
+
+#[test]
+fn header_only_file_is_rejected_and_recomputed() {
+    let reason = corruption_case("headeronly", |bytes| {
+        let header_end = bytes.iter().position(|&b| b == b'\n').unwrap();
+        bytes[..header_end].to_vec()
+    });
+    assert!(reason.contains("truncated"), "unexpected reason: {reason}");
+}
+
+#[test]
+fn version_skewed_file_is_rejected_and_recomputed() {
+    let reason = corruption_case("version", |bytes| {
+        let text = String::from_utf8(bytes).unwrap();
+        // A file written by a future binary with a bumped format.
+        let skewed = text.replace("\"version\":1", "\"version\":999");
+        assert_ne!(skewed, text, "version member not found to skew");
+        skewed.into_bytes()
+    });
+    assert!(
+        reason.contains("version skew"),
+        "unexpected reason: {reason}"
+    );
+}
+
+#[test]
+fn garbage_file_is_rejected_and_recomputed() {
+    let reason = corruption_case("garbage", |_| b"not a cache file at all".to_vec());
+    assert!(!reason.is_empty());
+}
+
+#[test]
+fn wrong_fingerprint_is_rejected() {
+    let module = build(&[Step::SetConst { dst: 0, val: 9 }]);
+    let analysis = ModuleAnalysis::compute(&module);
+    let fp = module.fingerprint();
+    let text = analysis.to_cache_file(fp);
+    let err = match ModuleAnalysis::from_cache_file(&text, fp ^ 1) {
+        Ok(_) => panic!("an envelope keyed for another module must not load"),
+        Err(e) => e,
+    };
+    assert!(err.contains("fingerprint mismatch"), "got: {err}");
+}
+
+#[test]
+fn fingerprint_tracks_module_content() {
+    let a = build(&[Step::SetConst { dst: 0, val: 1 }]);
+    let b = build(&[Step::SetConst { dst: 0, val: 2 }]);
+    assert_eq!(
+        a.fingerprint(),
+        build(&[Step::SetConst { dst: 0, val: 1 }]).fingerprint()
+    );
+    assert_ne!(a.fingerprint(), b.fingerprint());
+}

@@ -322,8 +322,16 @@ pub fn lint_module(module: &Module, analysis: &ModuleAnalysis, opts: &LintOption
     LintReport { diagnostics: diags }
 }
 
-/// Convenience entry point: computes the analysis, then lints.
-pub fn lint(module: &Module, opts: &LintOptions) -> LintReport {
-    let analysis = ModuleAnalysis::compute(module);
-    lint_module(module, &analysis, opts)
+/// Convenience entry point. Pass the [`ModuleAnalysis`] you already
+/// hold (an analyzer-pipeline or cache result) and the lint engine
+/// reuses it; pass `None` and it computes one. The old
+/// always-recompute signature made any process that ran both the
+/// harness and the lint engine analyze the same module twice —
+/// `pir_analysis::compute_count` deltas in the dedup regression tests
+/// keep that from coming back.
+pub fn lint(module: &Module, analysis: Option<&ModuleAnalysis>, opts: &LintOptions) -> LintReport {
+    match analysis {
+        Some(a) => lint_module(module, a, opts),
+        None => lint_module(module, &ModuleAnalysis::compute(module), opts),
+    }
 }

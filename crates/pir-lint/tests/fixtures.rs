@@ -7,7 +7,7 @@ use pir::ir::{Intrinsic, Module};
 use pir_lint::{lint, Check, LintOptions, Severity, Suppression};
 
 fn active(m: &Module) -> Vec<(Check, Severity, String)> {
-    lint(m, &LintOptions::default())
+    lint(m, None, &LintOptions::default())
         .active()
         .map(|d| (d.check, d.severity, d.loc.clone()))
         .collect::<Vec<_>>()
@@ -371,7 +371,7 @@ fn suppressions_keep_findings_but_clear_the_gate() {
         )],
         ..Default::default()
     };
-    let report = lint(&m, &opts);
+    let report = lint(&m, None, &opts);
     assert_eq!(report.error_count(), 0);
     assert_eq!(report.diagnostics.len(), 1);
     assert_eq!(
@@ -383,7 +383,7 @@ fn suppressions_keep_findings_but_clear_the_gate() {
 
 #[test]
 fn json_report_is_well_formed_enough() {
-    let report = lint(&l1_positive(), &LintOptions::default());
+    let report = lint(&l1_positive(), None, &LintOptions::default());
     let json = report.render_json();
     assert!(json.contains("\"check\": \"L1\""));
     assert!(json.contains("\"severity\": \"error\""));

@@ -1,0 +1,77 @@
+//! Regression: a process that runs both the harness and the lint
+//! engine must analyze a module exactly once. The old `lint` entry
+//! point always recomputed internally, silently doubling whole-module
+//! analysis; it now accepts the caller's (possibly cache-loaded)
+//! [`ModuleAnalysis`].
+//!
+//! This file deliberately holds a single `#[test]`: it asserts deltas
+//! of the process-global `pir_analysis::compute_count`, which parallel
+//! tests in the same binary would race.
+
+use pir::builder::ModuleBuilder;
+use pir::ir::Module;
+use pir_analysis::{AnalysisCache, ModuleAnalysis};
+use pir_lint::LintOptions;
+
+/// A module with one unflushed PM store, so the lint pass has a real
+/// finding to produce on both paths.
+fn build() -> Module {
+    let mut m = ModuleBuilder::new();
+    let mut f = m.func("main", 0, false);
+    let sz = f.konst(16);
+    let cell = f.pm_alloc(sz);
+    let v = f.konst(7);
+    f.store8(cell, v);
+    f.ret(None);
+    f.finish();
+    m.finish().unwrap()
+}
+
+#[test]
+fn lint_reuses_the_callers_analysis() {
+    let module = build();
+
+    // The harness path: one analysis, here served through the cache the
+    // CLI would share across layers.
+    let cache = AnalysisCache::in_memory();
+    let before = pir_analysis::compute_count();
+    let analysis = cache.load_or_compute(&module);
+    assert_eq!(pir_analysis::compute_count(), before + 1);
+
+    // Linting with the precomputed analysis must not analyze again.
+    let with_shared = pir_lint::lint(&module, Some(&analysis), &LintOptions::default());
+    assert_eq!(
+        pir_analysis::compute_count(),
+        before + 1,
+        "lint recomputed an analysis the caller already held"
+    );
+
+    // A second cache lookup is a hit, not a compute.
+    let again = cache.load_or_compute(&module);
+    assert_eq!(pir_analysis::compute_count(), before + 1);
+    assert_eq!(cache.hits(), 1);
+    assert_eq!(cache.misses(), 1);
+    drop(again);
+
+    // The `None` convenience path computes exactly once, and finds the
+    // same diagnostics.
+    let standalone = pir_lint::lint(&module, None, &LintOptions::default());
+    assert_eq!(pir_analysis::compute_count(), before + 2);
+    assert_eq!(
+        with_shared.diagnostics.len(),
+        standalone.diagnostics.len(),
+        "shared-analysis lint diverged from the recompute path"
+    );
+    assert!(
+        with_shared.error_count() + with_shared.warning_count() > 0,
+        "the unflushed store should produce a finding"
+    );
+
+    // And a cache round trip feeds lint identically: diagnostics from a
+    // disk-loaded analysis match the computed one.
+    let fp = module.fingerprint();
+    let loaded = ModuleAnalysis::from_cache_file(&analysis.to_cache_file(fp), fp).unwrap();
+    let from_cache = pir_lint::lint(&module, Some(&loaded), &LintOptions::default());
+    assert_eq!(pir_analysis::compute_count(), before + 2);
+    assert_eq!(from_cache.render_text(), with_shared.render_text());
+}

@@ -468,4 +468,34 @@ impl Module {
             })
         })
     }
+
+    /// A stable 64-bit structural fingerprint of the whole module.
+    ///
+    /// Two modules with identical functions, instructions, blocks,
+    /// globals and location tables produce the same value; any structural
+    /// edit (an extra instruction, a renamed function, a changed operand)
+    /// changes it with overwhelming probability. Derived analysis
+    /// artifacts can therefore be keyed on the fingerprint — the
+    /// persistent `ModuleAnalysis` cache uses it as both file name and
+    /// in-envelope integrity check.
+    pub fn fingerprint(&self) -> u64 {
+        use std::fmt::Write as _;
+        // FNV-1a over the canonical `Debug` rendering, streamed through a
+        // `fmt::Write` adapter so no intermediate string is built. The IR
+        // types derive `Debug` exhaustively, so every structural field
+        // feeds the hash.
+        struct FnvWriter(u64);
+        impl std::fmt::Write for FnvWriter {
+            fn write_str(&mut self, s: &str) -> std::fmt::Result {
+                for b in s.as_bytes() {
+                    self.0 ^= u64::from(*b);
+                    self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+                }
+                Ok(())
+            }
+        }
+        let mut h = FnvWriter(0xcbf2_9ce4_8422_2325);
+        let _ = write!(h, "{self:?}");
+        h.0
+    }
 }

@@ -16,6 +16,7 @@ pub mod kvcache;
 pub mod listdb;
 pub mod pmkv;
 pub mod segcache;
+pub mod stress;
 pub mod util;
 
 /// Documented `pir-lint` allowances for one app, as

@@ -1,0 +1,124 @@
+//! `stress` — a synthetic pointer-chasing module for analyzer scaling
+//! runs.
+//!
+//! The five reproduced systems are miniatures (hundreds of
+//! instructions), so their whole-module analysis finishes in about a
+//! millisecond — far from the paper's 53–469 s — and restart-cost
+//! effects are invisible at that scale. This module restores the
+//! asymmetry the paper measures: a call chain of `depth` hop functions
+//! all storing freshly-allocated cells through one shared root slot,
+//! then loading it back. Every hop's load may observe every hop's
+//! allocation, so the Andersen solver needs on the order of `depth`
+//! fixpoint passes, each touching every instruction and copying
+//! `depth`-sized location sets — superlinear work — while the *result*
+//! (and hence the serialized cache payload) stays quadratic at worst.
+//! That is exactly the regime where a warm restart from the analysis
+//! cache beats recomputing by an order of magnitude.
+
+use pir::builder::ModuleBuilder;
+use pir::ir::Module;
+
+/// Hop count of [`build`]; sized so whole-module analysis costs tens of
+/// milliseconds (vs. ~a millisecond to reload it from the cache).
+pub const DEFAULT_DEPTH: u32 = 96;
+
+/// Root layout: the shared cell pointer at offset 0.
+pub const ROOT_SIZE: u64 = 16;
+
+/// Assert code of `check_chain`.
+pub const CHAIN_ASSERT: u64 = 77;
+
+/// Builds the stress module at [`DEFAULT_DEPTH`].
+pub fn build() -> Module {
+    build_depth(DEFAULT_DEPTH)
+}
+
+/// Builds the stress module with `depth` chained hop functions.
+///
+/// Handlers: `stress_init()` kicks off the chain; `hop_<i>(cell)` each
+/// allocate a PM cell, publish it through the shared root slot, write
+/// through the re-loaded (maximally aliased) pointer, and call the next
+/// hop; `check_chain()` asserts the shared slot still points at a cell
+/// holding a hop index.
+pub fn build_depth(depth: u32) -> Module {
+    assert!(depth >= 1, "stress chain needs at least one hop");
+    let mut m = ModuleBuilder::new();
+
+    m.declare("stress_init", 0, false);
+    for i in 0..depth {
+        m.declare(&format!("hop_{i}"), 1, true);
+    }
+    m.declare("check_chain", 0, false);
+
+    // ---- stress_init --------------------------------------------------------
+    {
+        let mut f = m.func("stress_init", 0, false);
+        f.loc("stress.c:init");
+        let rs = f.konst(ROOT_SIZE);
+        let root = f.pm_root(rs);
+        let z = f.konst(0);
+        f.store8(root, z);
+        f.pm_persist_c(root, 8);
+        let _ = f.call("hop_0", &[root]);
+        f.ret(None);
+        f.finish();
+    }
+
+    // ---- hop_i --------------------------------------------------------------
+    for i in 0..depth {
+        let mut f = m.func(&format!("hop_{i}"), 1, true);
+        f.loc("stress.c:hop");
+        let cell = f.param(0);
+        let sz = f.konst(16);
+        let a = f.pm_alloc(sz);
+        // Publish this hop's cell through the shared slot, then write
+        // through the re-loaded pointer: the load may observe any hop's
+        // allocation, which is what blows up the location sets.
+        f.store8(cell, a);
+        f.pm_persist_c(cell, 8);
+        let q = f.load8(cell);
+        let v = f.konst(u64::from(i) + 1);
+        f.store8(q, v);
+        f.pm_persist_c(q, 8);
+        let r = if i + 1 < depth {
+            f.call(&format!("hop_{}", i + 1), &[cell]).expect("hop ret")
+        } else {
+            q
+        };
+        f.ret(Some(r));
+        f.finish();
+    }
+
+    // ---- check_chain --------------------------------------------------------
+    {
+        let mut f = m.func("check_chain", 0, false);
+        f.loc("check.c:stress-chain");
+        let rs = f.konst(ROOT_SIZE);
+        let root = f.pm_root(rs);
+        let p = f.load8(root);
+        let val = f.load8(p);
+        let zero = f.konst(0);
+        let ok = f.ne(val, zero);
+        f.loc("check.c:stress-assert");
+        f.assert_(ok, CHAIN_ASSERT);
+        f.ret(None);
+        f.finish();
+    }
+
+    m.finish().expect("stress module verifies")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_scales_with_depth() {
+        let small = build_depth(4);
+        let big = build_depth(16);
+        assert!(big.inst_count() > small.inst_count());
+        assert!(small.func_by_name("check_chain").is_some());
+        assert!(small.func_by_name("hop_3").is_some());
+        assert!(small.func_by_name("hop_4").is_none());
+    }
+}

@@ -13,8 +13,9 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use arthas::{
-    analyze_and_instrument, CheckpointLog, Detector, FailureRecord, ForkableTarget, GuidMap,
-    LeakMonitor, PhaseTimes, PmTrace, Reactor, ReactorConfig, SharedLog, Target, Verdict,
+    analyze_and_instrument_cached, AnalysisCache, CheckpointLog, Detector, FailureRecord,
+    ForkableTarget, GuidMap, LeakMonitor, PhaseTimes, PmTrace, Reactor, ReactorConfig, SharedLog,
+    Target, Verdict,
 };
 use baselines::{ArCkpt, PmCriu};
 use obs::Instrument;
@@ -36,8 +37,9 @@ pub struct AppSetup {
     pub module: Arc<Module>,
     /// The trace-instrumented module (what production runs).
     pub instrumented: Arc<Module>,
-    /// Static analysis over the original module.
-    pub analysis: ModuleAnalysis,
+    /// Static analysis over the original module (shared with the
+    /// analysis cache when one was used).
+    pub analysis: Arc<ModuleAnalysis>,
     /// GUID metadata.
     pub guid_map: GuidMap,
     /// Instrumentation wall time (Table 9).
@@ -47,7 +49,15 @@ pub struct AppSetup {
 impl AppSetup {
     /// Runs the analyzer pipeline over an application module.
     pub fn new(module: Module) -> AppSetup {
-        let out = analyze_and_instrument(&module);
+        AppSetup::new_with_cache(module, None)
+    }
+
+    /// Like [`AppSetup::new`], but loads the static analysis from
+    /// `cache` when one is given (computing and saving on a miss) — the
+    /// restart-fast path: a warm restart of the same module skips the
+    /// whole points-to/PDG pipeline.
+    pub fn new_with_cache(module: Module, cache: Option<&AnalysisCache>) -> AppSetup {
+        let out = analyze_and_instrument_cached(&module, cache);
         AppSetup {
             module: Arc::new(module),
             instrumented: Arc::new(out.instrumented),

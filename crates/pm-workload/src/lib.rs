@@ -24,6 +24,7 @@ pub mod report;
 pub mod scenarios;
 pub mod ycsb;
 
+pub use arthas::{AnalysisCache, CacheOutcome};
 pub use harness::{
     check_consistency, mitigate, run_production, run_with_injection, AppSetup, CrashCapture, Drive,
     InjectionOutcome, MitigationResult, Production, RunConfig, RunCtx, Scenario, ScenarioTarget,

@@ -73,8 +73,20 @@ pub struct Report {
 /// and assembles the [`Report`]. `None` when production completed with
 /// no detected failure (a scenario bug in this reproduction).
 pub fn run_report(scn: &dyn Scenario, solution: Solution, seed: u64) -> Option<Report> {
+    run_report_cached(scn, solution, seed, None)
+}
+
+/// [`run_report`] with an optional analysis cache: the module analysis
+/// is loaded from `cache` when fingerprint, version and checksum match,
+/// making repeated `report` invocations skip the whole-module analysis.
+pub fn run_report_cached(
+    scn: &dyn Scenario,
+    solution: Solution,
+    seed: u64,
+    cache: Option<&arthas::AnalysisCache>,
+) -> Option<Report> {
     let recorder = Arc::new(RingRecorder::new(EVENT_CAPACITY));
-    let setup = AppSetup::new(scn.build_module());
+    let setup = AppSetup::new_with_cache(scn.build_module(), cache);
     let cfg = RunConfig {
         seed,
         recorder: Some(recorder.clone()),

@@ -50,6 +50,24 @@ pub struct FlagSpec {
     pub help: &'static str,
 }
 
+/// Shared `--analysis-cache DIR` declaration for every subcommand that
+/// runs the analyzer pipeline: point it at a directory and the
+/// `ModuleAnalysis` is loaded from (or saved to) fingerprint-keyed files
+/// there, making warm restarts skip static analysis.
+pub const ANALYSIS_CACHE_FLAG: FlagSpec = FlagSpec {
+    name: "--analysis-cache",
+    value: Some("DIR"),
+    help: "persistent analysis cache directory (or $ARTHAS_ANALYSIS_CACHE)",
+};
+
+/// Companion switch disabling the analysis cache even when
+/// `--analysis-cache` or `ARTHAS_ANALYSIS_CACHE` is set.
+pub const NO_ANALYSIS_CACHE_FLAG: FlagSpec = FlagSpec {
+    name: "--no-analysis-cache",
+    value: None,
+    help: "always recompute the analysis (overrides --analysis-cache)",
+};
+
 /// One subcommand's full argument declaration.
 #[derive(Debug, Clone, Copy)]
 pub struct CommandSpec {

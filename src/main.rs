@@ -16,9 +16,15 @@
 //! [`cli::CommandSpec`]; parsing and `--help` derive from the
 //! declaration.
 
+use std::sync::Arc;
+
 use arthas::ReactorConfig;
-use arthas_repro::cli::{ArgSpec, CommandSpec, FlagSpec, Parsed};
-use pm_workload::{mitigate, run_production, scenarios, AppSetup, RunConfig, Solution};
+use arthas_repro::cli::{
+    ArgSpec, CommandSpec, FlagSpec, Parsed, ANALYSIS_CACHE_FLAG, NO_ANALYSIS_CACHE_FLAG,
+};
+use pm_workload::{
+    mitigate, run_production, scenarios, AnalysisCache, AppSetup, RunConfig, Solution,
+};
 
 const COMMANDS: &[CommandSpec] = &[
     CommandSpec {
@@ -47,7 +53,7 @@ const COMMANDS: &[CommandSpec] = &[
                 help: "workload seed (default 1)",
             },
         ],
-        flags: &[],
+        flags: &[ANALYSIS_CACHE_FLAG, NO_ANALYSIS_CACHE_FLAG],
     },
     CommandSpec {
         name: "report",
@@ -80,6 +86,8 @@ const COMMANDS: &[CommandSpec] = &[
                 value: Some("DIR"),
                 help: "also write one <id>.json per scenario into DIR",
             },
+            ANALYSIS_CACHE_FLAG,
+            NO_ANALYSIS_CACHE_FLAG,
         ],
     },
     CommandSpec {
@@ -131,6 +139,8 @@ const COMMANDS: &[CommandSpec] = &[
                 value: Some("FILE"),
                 help: "write the matrix JSON to FILE",
             },
+            ANALYSIS_CACHE_FLAG,
+            NO_ANALYSIS_CACHE_FLAG,
         ],
     },
     CommandSpec {
@@ -174,7 +184,7 @@ const COMMANDS: &[CommandSpec] = &[
             required: true,
             help: "kvcache | listdb | cceh | segcache | pmkv",
         }],
-        flags: &[],
+        flags: &[ANALYSIS_CACHE_FLAG, NO_ANALYSIS_CACHE_FLAG],
     },
     CommandSpec {
         name: "lint",
@@ -184,11 +194,15 @@ const COMMANDS: &[CommandSpec] = &[
             required: true,
             help: "kvcache | listdb | cceh | segcache | pmkv",
         }],
-        flags: &[FlagSpec {
-            name: "--json",
-            value: None,
-            help: "machine-readable report",
-        }],
+        flags: &[
+            FlagSpec {
+                name: "--json",
+                value: None,
+                help: "machine-readable report",
+            },
+            ANALYSIS_CACHE_FLAG,
+            NO_ANALYSIS_CACHE_FLAG,
+        ],
     },
     CommandSpec {
         name: "disasm",
@@ -248,6 +262,42 @@ fn parse_or_exit(name: &str, args: &[String]) -> Parsed {
         eprintln!("{msg}");
         std::process::exit(2);
     })
+}
+
+/// Resolves the analysis-cache flags to an open cache:
+/// `--no-analysis-cache` wins, then `--analysis-cache DIR`, then the
+/// `ARTHAS_ANALYSIS_CACHE` environment variable; with none of them the
+/// analysis is recomputed every invocation (the pre-cache behaviour).
+fn resolve_cache(p: &Parsed) -> Option<Arc<AnalysisCache>> {
+    if p.has(NO_ANALYSIS_CACHE_FLAG.name) {
+        return None;
+    }
+    let dir = p
+        .get(ANALYSIS_CACHE_FLAG.name)
+        .map(str::to_string)
+        .or_else(|| std::env::var("ARTHAS_ANALYSIS_CACHE").ok())
+        .filter(|d| !d.is_empty())?;
+    match AnalysisCache::persistent(&dir) {
+        Ok(cache) => Some(Arc::new(cache)),
+        Err(e) => {
+            eprintln!("cannot open analysis cache {dir}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// One-line cache summary printed by `analyze`.
+fn cache_summary(cache: &AnalysisCache) -> String {
+    format!(
+        "analysis cache: {} ({} hit(s), {} miss(es), {} invalid)",
+        cache
+            .dir()
+            .map(|d| d.display().to_string())
+            .unwrap_or_else(|| "in-memory".to_string()),
+        cache.hits(),
+        cache.misses(),
+        cache.invalidations(),
+    )
 }
 
 /// `get_u64` with the parse-error exit path.
@@ -358,7 +408,8 @@ fn cmd_run(p: Parsed) {
     let seed: u64 = p.pos(2).and_then(|s| s.parse().ok()).unwrap_or(1);
 
     println!("== {}: {} — {} ==", scn.id(), scn.system(), scn.fault());
-    let setup = AppSetup::new(scn.build_module());
+    let cache = resolve_cache(&p);
+    let setup = AppSetup::new_with_cache(scn.build_module(), cache.as_deref());
     println!(
         "analyzer: {} instructions, {} PM sites instrumented, PDG {} edges ({:.1} ms)",
         setup.module.inst_count(),
@@ -482,10 +533,13 @@ fn cmd_report(p: Parsed) {
         }
     }
 
+    let cache = resolve_cache(&p);
     let mut failed = 0u32;
     for scn in &targets {
         let solution = parse_solution(p.pos(1));
-        let Some(report) = pm_workload::report::run_report(scn.as_ref(), solution, seed) else {
+        let Some(report) =
+            pm_workload::report::run_report_cached(scn.as_ref(), solution, seed, cache.as_deref())
+        else {
             eprintln!(
                 "{}: production completed with no detected hard failure",
                 scn.id()
@@ -536,6 +590,7 @@ fn cmd_inject(p: Parsed) {
         .runners(flag_u64(&p, "--runners", 1) as usize)
         .seed(seed)
         .policies(policies)
+        .analysis_cache(resolve_cache(&p))
         .build()
         .unwrap_or_else(|e| {
             eprintln!("{e}");
@@ -597,7 +652,8 @@ fn cmd_analyze(p: Parsed) {
         eprintln!("unknown app {name}");
         std::process::exit(1);
     };
-    let setup = AppSetup::new(module);
+    let cache = resolve_cache(&p);
+    let setup = AppSetup::new_with_cache(module, cache.as_deref());
     println!("app: {name}");
     println!("functions: {}", setup.module.funcs.len());
     println!("instructions: {}", setup.module.inst_count());
@@ -612,6 +668,9 @@ fn cmd_analyze(p: Parsed) {
         setup.analysis.analysis_time.as_secs_f64() * 1e3,
         setup.instrument_time.as_secs_f64() * 1e3,
     );
+    if let Some(cache) = &cache {
+        println!("{}", cache_summary(cache));
+    }
     println!("instrumented sites by function:");
     let mut per_fn: std::collections::BTreeMap<&str, usize> = Default::default();
     for meta in setup.guid_map.iter() {
@@ -630,7 +689,8 @@ fn cmd_lint(p: Parsed) {
         eprintln!("unknown app {name}");
         std::process::exit(1);
     };
-    let setup = AppSetup::new(module);
+    let cache = resolve_cache(&p);
+    let setup = AppSetup::new_with_cache(module, cache.as_deref());
     let mut guids = std::collections::HashMap::new();
     for meta in setup.guid_map.iter() {
         guids.insert(meta.at, meta.guid);

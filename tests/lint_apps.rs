@@ -28,7 +28,7 @@ fn all_apps_lint_clean_under_documented_allowances() {
                 .collect(),
             ..Default::default()
         };
-        let report = lint(&module, &opts);
+        let report = lint(&module, None, &opts);
         let active: Vec<_> = report.active().collect();
         assert!(
             active.is_empty(),
