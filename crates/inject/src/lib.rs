@@ -9,7 +9,7 @@
 //! at that boundary and feeding the raw post-crash image through the
 //! detection/mitigation pipeline.
 //!
-//! Every trial ends in one of five [`TrialVerdict`]s:
+//! Every trial ends in one of six [`TrialVerdict`]s:
 //!
 //! - **clean-recovery** — pool reopen + application recovery + the
 //!   scenario's verification workload and domain invariants all pass
@@ -22,6 +22,10 @@
 //! - **invariant-violated** — the system *looks* operational after
 //!   recovery or mitigation but the scenario's consistency routine finds
 //!   broken domain invariants (lost durability it should have kept);
+//! - **silent-corruption** — recovery passes *and* the scenario's own
+//!   checks pass, but the raw post-crash image breaks an invariant the
+//!   [`invariants`] miner promoted from passing runs (the application
+//!   cannot see the damage; the mined oracle can);
 //! - **not-reached** — the armed site never fired on replay, which a
 //!   deterministic workload should make impossible; a nonzero count is a
 //!   determinism bug, and the CI campaign treats it as one.
@@ -47,6 +51,10 @@ use pm_workload::{
     SiteInjection,
 };
 use pmemsim::{CrashPolicy, PmPool, SiteKind};
+
+pub mod invariants;
+
+pub use invariants::{MinedInvariant, MinedInvariants};
 
 /// Version stamp of the campaign matrix document layout.
 pub const SCHEMA_VERSION: u64 = 1;
@@ -81,6 +89,10 @@ pub struct CampaignConfig {
     policies: Vec<CrashPolicy>,
     /// Reactor configuration for trials that need mitigation.
     reactor: ReactorConfig,
+    /// Mine likely invariants from passing runs and evaluate them as an
+    /// oracle over every trial's raw post-crash image (adds the
+    /// `silent_corruption` verdict class).
+    invariants: bool,
     /// Optional analysis cache: scenarios over the same application
     /// module share one `ModuleAnalysis` (and a persistent cache makes
     /// repeated campaign invocations skip analysis entirely). Every
@@ -98,6 +110,7 @@ impl Default for CampaignConfig {
             seed: 1,
             policies: vec![CrashPolicy::DropStaged, CrashPolicy::KeepStaged],
             reactor: ReactorConfig::default(),
+            invariants: false,
             cache: None,
         }
     }
@@ -153,6 +166,14 @@ impl CampaignConfigBuilder {
     /// Reactor configuration for mitigation trials.
     pub fn reactor(mut self, reactor: ReactorConfig) -> Self {
         self.cfg.reactor = reactor;
+        self
+    }
+
+    /// Enable the mined-invariant oracle (default off): passing runs are
+    /// mined for likely invariants, and every clean-recovery trial's raw
+    /// image is re-judged against the promoted set.
+    pub fn invariants(mut self, enabled: bool) -> Self {
+        self.cfg.invariants = enabled;
         self
     }
 
@@ -242,6 +263,9 @@ pub enum TrialVerdict {
     Unrecoverable,
     /// The system runs but the scenario's domain invariants are broken.
     InvariantViolated,
+    /// Recovery and the scenario's own checks pass, but the raw
+    /// post-crash image breaks a mined invariant ([`invariants`]).
+    SilentCorruption,
     /// The armed site never fired on replay (a determinism bug).
     NotReached,
 }
@@ -254,6 +278,7 @@ impl TrialVerdict {
             TrialVerdict::Mitigated => "mitigated",
             TrialVerdict::Unrecoverable => "unrecoverable",
             TrialVerdict::InvariantViolated => "invariant_violated",
+            TrialVerdict::SilentCorruption => "silent_corruption",
             TrialVerdict::NotReached => "not_reached",
         }
     }
@@ -288,10 +313,15 @@ pub struct ScenarioCampaign {
     pub sites_total: u64,
     /// Distinct sites actually tested (after stride and budget).
     pub sites_tested: u64,
-    /// Site census by boundary kind.
+    /// Census of *tested* sites by boundary kind: distinct sites, not
+    /// trials, so the per-kind counts sum to `sites_tested` at any
+    /// stride or policy count.
     pub site_kinds: BTreeMap<&'static str, u64>,
-    /// Every classified trial, in (site, policy) order.
+    /// Every classified trial, in canonical (site, policy-name) order.
     pub trials: Vec<Trial>,
+    /// The mined-invariant oracle's promotion summary, when the campaign
+    /// ran with invariants enabled.
+    pub invariants: Option<MinedInvariants>,
 }
 
 impl ScenarioCampaign {
@@ -433,14 +463,22 @@ fn try_restart(scn: &dyn Scenario, setup: &AppSetup, image: &PmPool) -> RestartR
 /// reverting the torn checkpointed updates is exactly its job — and
 /// [`TrialVerdict::InvariantViolated`] is the verdict only when
 /// mitigation cannot restore the invariants either.
+///
+/// A clean recovery is additionally re-judged by the mined-invariant
+/// oracle when the campaign promoted any (`--invariants`): a raw image
+/// that breaks a promoted invariant downgrades the trial to
+/// [`TrialVerdict::SilentCorruption`] — the application recovered onto
+/// state every passing run contradicts.
 fn classify(
     scn: &dyn Scenario,
     setup: &AppSetup,
     cfg: &CampaignConfig,
+    policy: CrashPolicy,
+    mined: &[MinedInvariant],
     capture: CrashCapture,
 ) -> (TrialVerdict, u32, u32) {
     let CrashCapture {
-        pool: raw,
+        pool: mut raw,
         log,
         trace,
         site: _,
@@ -454,7 +492,22 @@ fn classify(
     for _ in 0..MAX_TRIAL_RESTARTS {
         restart_count += 1;
         let rec = match try_restart(scn, setup, &raw) {
-            RestartResult::Clean => return (TrialVerdict::CleanRecovery, restart_count, 0),
+            RestartResult::Clean => {
+                let image_is_durable = matches!(policy, CrashPolicy::DropStaged);
+                let viols =
+                    invariants::check_image(mined, &mut raw, &log, &trace, image_is_durable);
+                let verdict = if viols.is_empty() {
+                    TrialVerdict::CleanRecovery
+                } else {
+                    if std::env::var_os("ARTHAS_INVARIANT_DEBUG").is_some() {
+                        for v in &viols {
+                            eprintln!("[invariant] {}: {v}", scn.id());
+                        }
+                    }
+                    TrialVerdict::SilentCorruption
+                };
+                return (verdict, restart_count, 0);
+            }
             RestartResult::Inconsistent(rec) => {
                 operational = true;
                 rec
@@ -513,6 +566,7 @@ fn run_trial(
     scn: &dyn Scenario,
     setup: &AppSetup,
     cfg: &CampaignConfig,
+    mined: &[MinedInvariant],
     site: u64,
     kind: SiteKind,
     policy: CrashPolicy,
@@ -524,7 +578,7 @@ fn run_trial(
     };
     match run_with_injection(scn, setup, &run_cfg) {
         InjectionOutcome::SiteCrash(capture) => {
-            let (verdict, restarts, attempts) = classify(scn, setup, cfg, *capture);
+            let (verdict, restarts, attempts) = classify(scn, setup, cfg, policy, mined, *capture);
             Trial {
                 site,
                 kind,
@@ -560,15 +614,18 @@ pub fn run_scenario_campaign(scn: &dyn Scenario, cfg: &CampaignConfig) -> Scenar
         ..RunConfig::default()
     };
     let (sites_total, kinds) = match run_with_injection(scn, &setup, &enum_cfg) {
-        InjectionOutcome::Completed(p) => (p.site_count(), p.site_kinds().to_vec()),
+        InjectionOutcome::Completed(c) => (c.pool.site_count(), c.pool.site_kinds().to_vec()),
         InjectionOutcome::HardFailure(p) => (p.pool.site_count(), p.pool.site_kinds().to_vec()),
         // No injection armed, so a site crash is impossible here.
         InjectionOutcome::SiteCrash(c) => (c.pool.site_count(), c.pool.site_kinds().to_vec()),
     };
-    let mut site_kinds: BTreeMap<&'static str, u64> = BTreeMap::new();
-    for k in &kinds {
-        *site_kinds.entry(k.as_str()).or_insert(0) += 1;
-    }
+
+    // Invariant mining (stage 2): un-injected runs across derived seeds,
+    // promotion of the candidates that survive all of them.
+    let mined = cfg
+        .invariants
+        .then(|| invariants::mine(scn, &setup, cfg.seed, None));
+    let promoted: &[MinedInvariant] = mined.as_ref().map_or(&[], |m| &m.promoted);
 
     // The trial matrix, truncated to the budget. Indexed up front so the
     // verdict list is identical for any runner count.
@@ -585,11 +642,18 @@ pub fn run_scenario_campaign(scn: &dyn Scenario, cfg: &CampaignConfig) -> Scenar
             matrix.push((site, kind, policy));
         }
     }
-    let sites_tested = {
-        let mut s: Vec<u64> = matrix.iter().map(|t| t.0).collect();
-        s.dedup();
-        s.len() as u64
+    let tested_sites: Vec<(u64, SiteKind)> = {
+        let mut s: Vec<(u64, SiteKind)> = matrix.iter().map(|t| (t.0, t.1)).collect();
+        s.dedup_by_key(|t| t.0);
+        s
     };
+    let sites_tested = tested_sites.len() as u64;
+    // Census over *distinct tested* sites, not trials: the per-kind
+    // counts sum to `sites_tested` regardless of stride or policy count.
+    let mut site_kinds: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for &(_, kind) in &tested_sites {
+        *site_kinds.entry(kind.as_str()).or_insert(0) += 1;
+    }
 
     let next = AtomicUsize::new(0);
     let results: Vec<Mutex<Option<Trial>>> = matrix.iter().map(|_| Mutex::new(None)).collect();
@@ -600,12 +664,12 @@ pub fn run_scenario_campaign(scn: &dyn Scenario, cfg: &CampaignConfig) -> Scenar
                 let Some(&(site, kind, policy)) = matrix.get(i) else {
                     break;
                 };
-                let trial = run_trial(scn, &setup, cfg, site, kind, policy);
+                let trial = run_trial(scn, &setup, cfg, promoted, site, kind, policy);
                 *results[i].lock().unwrap_or_else(|p| p.into_inner()) = Some(trial);
             });
         }
     });
-    let trials = results
+    let mut trials: Vec<Trial> = results
         .into_iter()
         .map(|m| {
             m.into_inner()
@@ -613,6 +677,8 @@ pub fn run_scenario_campaign(scn: &dyn Scenario, cfg: &CampaignConfig) -> Scenar
                 .expect("every trial ran")
         })
         .collect();
+    // Canonical row order, independent of the configured policy order.
+    trials.sort_by_key(|t| (t.site, policy_name(t.policy)));
 
     ScenarioCampaign {
         id: scn.id(),
@@ -621,6 +687,7 @@ pub fn run_scenario_campaign(scn: &dyn Scenario, cfg: &CampaignConfig) -> Scenar
         sites_tested,
         site_kinds,
         trials,
+        invariants: mined,
     }
 }
 
@@ -640,6 +707,40 @@ pub fn run_campaign(scenarios: &[Box<dyn Scenario>], cfg: &CampaignConfig) -> Ca
 // Rendering and schema
 // ---------------------------------------------------------------------------
 
+/// The per-scenario `invariants` document section. Always present, with
+/// an `enabled` discriminant, so one schema covers both oracle modes.
+/// Promoted rows are already canonically sorted (class, then GUIDs) by
+/// the miner's promotion set.
+fn invariants_json(mined: Option<&MinedInvariants>) -> Json {
+    let Some(m) = mined else {
+        return Json::obj([
+            ("enabled", Json::Bool(false)),
+            ("promoted", Json::Arr(Vec::new())),
+            ("discarded", Json::U64(0)),
+            ("seeds", Json::U64(0)),
+        ]);
+    };
+    Json::obj([
+        ("enabled", Json::Bool(true)),
+        (
+            "promoted",
+            Json::Arr(
+                m.promoted
+                    .iter()
+                    .map(|inv| {
+                        Json::obj([
+                            ("kind", Json::Str(inv.kind().to_string())),
+                            ("detail", Json::Str(inv.describe())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("discarded", Json::U64(m.discarded)),
+        ("seeds", Json::U64(u64::from(m.seeds))),
+    ])
+}
+
 impl CampaignReport {
     /// Total invariant-violated trials (the CI gate).
     pub fn invariant_violations(&self) -> u64 {
@@ -654,6 +755,14 @@ impl CampaignReport {
         self.scenarios
             .iter()
             .map(|s| s.count(TrialVerdict::NotReached))
+            .sum()
+    }
+
+    /// Total silent-corruption trials (the mined-oracle CI gate).
+    pub fn silent_corruptions(&self) -> u64 {
+        self.scenarios
+            .iter()
+            .map(|s| s.count(TrialVerdict::SilentCorruption))
             .sum()
     }
 
@@ -706,6 +815,7 @@ impl CampaignReport {
                                 .collect(),
                         ),
                     ),
+                    ("invariants", invariants_json(s.invariants.as_ref())),
                 ])
             })
             .collect();
@@ -767,7 +877,7 @@ impl CampaignReport {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "{:<5} {:<22} {:>6} {:>7} {:>7} {:>6} {:>6} {:>6} {:>5} {:>8}",
+            "{:<5} {:<22} {:>6} {:>7} {:>7} {:>6} {:>6} {:>6} {:>5} {:>7} {:>8}",
             "id",
             "system",
             "sites",
@@ -777,12 +887,13 @@ impl CampaignReport {
             "mitig",
             "unrec",
             "inv!",
+            "silent!",
             "missed"
         );
         for s in &self.scenarios {
             let _ = writeln!(
                 out,
-                "{:<5} {:<22} {:>6} {:>7} {:>7} {:>6} {:>6} {:>6} {:>5} {:>8}",
+                "{:<5} {:<22} {:>6} {:>7} {:>7} {:>6} {:>6} {:>6} {:>5} {:>7} {:>8}",
                 s.id,
                 s.system,
                 s.sites_total,
@@ -792,6 +903,7 @@ impl CampaignReport {
                 s.count(TrialVerdict::Mitigated),
                 s.count(TrialVerdict::Unrecoverable),
                 s.count(TrialVerdict::InvariantViolated),
+                s.count(TrialVerdict::SilentCorruption),
                 s.count(TrialVerdict::NotReached),
             );
         }
@@ -799,10 +911,12 @@ impl CampaignReport {
         let trials: usize = self.scenarios.iter().map(|s| s.trials.len()).sum();
         let _ = writeln!(
             out,
-            "total: {} sites enumerated, {} trials, {} invariant violation(s), {} missed",
+            "total: {} sites enumerated, {} trials, {} invariant violation(s), \
+             {} silent corruption(s), {} missed",
             sites,
             trials,
             self.invariant_violations(),
+            self.silent_corruptions(),
             self.not_reached(),
         );
         out
@@ -821,6 +935,7 @@ pub fn schema() -> Schema {
         Field::req("restarts", UInt),
         Field::req("attempts", UInt),
     ]);
+    let invariant = Obj(vec![Field::req("kind", Str), Field::req("detail", Str)]);
     let scenario = Obj(vec![
         Field::req("id", Str),
         Field::req("system", Str),
@@ -829,6 +944,15 @@ pub fn schema() -> Schema {
         Field::req("site_kinds", Schema::map(UInt)),
         Field::req("verdicts", Schema::map(UInt)),
         Field::req("trials", Schema::arr(trial)),
+        Field::req(
+            "invariants",
+            Obj(vec![
+                Field::req("enabled", Schema::Bool),
+                Field::req("promoted", Schema::arr(invariant)),
+                Field::req("discarded", UInt),
+                Field::req("seeds", UInt),
+            ]),
+        ),
     ]);
     Obj(vec![
         Field::req("schema_version", UInt),

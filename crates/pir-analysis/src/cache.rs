@@ -13,8 +13,8 @@
 //! lines of JSON: a header and the payload.
 //!
 //! ```json
-//! {"magic": "arthas-module-analysis", "version": 1, "fingerprint": 1234, "checksum": 5678}
-//! {"pointsto": …, "pm": …, "pdg": …}
+//! {"magic": "arthas-module-analysis", "version": 2, "fingerprint": 1234, "checksum": 5678}
+//! {"pointsto": …, "pm": …, "pdg": …, "ordering": …}
 //! ```
 //!
 //! `version` guards against format skew across binaries, `fingerprint`
@@ -45,14 +45,16 @@ use std::time::{Duration, Instant};
 use obs::{Json, NullRecorder, Recorder, Value};
 use pir::ir::{FuncId, GlobalId, InstRef, Module, Val};
 
+use crate::ordering::{OrderingInfo, OrderingPair};
 use crate::pdg::{DepKind, Pdg};
 use crate::pm::PmInfo;
 use crate::pointsto::{AbsObj, Field, Loc, LocSet, PointsTo};
 use crate::ModuleAnalysis;
 
 /// Version of the on-disk envelope; bump on any change to the
-/// serialization layout below.
-pub const CACHE_FORMAT_VERSION: u64 = 1;
+/// serialization layout below. v2 added the `ordering` payload member
+/// (inferred persist-ordering invariants).
+pub const CACHE_FORMAT_VERSION: u64 = 2;
 
 /// Envelope magic string.
 pub const CACHE_MAGIC: &str = "arthas-module-analysis";
@@ -403,6 +405,62 @@ fn parse_pdg(j: &Json) -> Result<Pdg, String> {
     Ok(Pdg { deps, n_edges })
 }
 
+fn ordering_json(ord: &OrderingInfo) -> Json {
+    // Pairs are already canonically sorted by the pass; each renders as
+    // "firstFunc:firstInst>secondFunc:secondInst:kind:coveredFlag".
+    Json::obj([(
+        "pairs",
+        Json::Arr(
+            ord.pairs
+                .iter()
+                .map(|p| {
+                    Json::Str(format!(
+                        "{}>{}:{}:{}",
+                        inst_ref_str(p.first),
+                        inst_ref_str(p.second),
+                        dep_kind_char(p.kind),
+                        if p.covered { 1 } else { 0 },
+                    ))
+                })
+                .collect(),
+        ),
+    )])
+}
+
+fn parse_ordering(j: &Json) -> Result<OrderingInfo, String> {
+    let mut pairs = Vec::new();
+    for v in member(j, "pairs")?
+        .as_arr()
+        .ok_or("ordering pairs is not an array")?
+    {
+        let s = v.as_str().ok_or("ordering pair is not a string")?;
+        let (first, rest) = s
+            .split_once('>')
+            .ok_or_else(|| format!("bad ordering pair `{s}`"))?;
+        let mut parts = rest.rsplitn(3, ':');
+        let covered = parts
+            .next()
+            .ok_or_else(|| format!("bad ordering pair `{s}`"))?;
+        let kind = parts
+            .next()
+            .ok_or_else(|| format!("bad ordering pair `{s}`"))?;
+        let second = parts
+            .next()
+            .ok_or_else(|| format!("bad ordering pair `{s}`"))?;
+        pairs.push(OrderingPair {
+            first: parse_inst_ref(first)?,
+            second: parse_inst_ref(second)?,
+            kind: parse_dep_kind(kind)?,
+            covered: match covered {
+                "1" => true,
+                "0" => false,
+                other => return Err(format!("bad covered flag `{other}`")),
+            },
+        });
+    }
+    Ok(OrderingInfo { pairs })
+}
+
 impl ModuleAnalysis {
     /// The canonical JSON form of the analysis *content* (everything the
     /// recovery pipeline consumes; wall times are measurement metadata
@@ -413,6 +471,7 @@ impl ModuleAnalysis {
             ("pointsto", pointsto_json(&self.pointsto)),
             ("pm", pm_json(&self.pm)),
             ("pdg", pdg_json(&self.pdg)),
+            ("ordering", ordering_json(&self.ordering)),
         ])
     }
 
@@ -423,9 +482,11 @@ impl ModuleAnalysis {
             pointsto: parse_pointsto(member(j, "pointsto")?)?,
             pm: parse_pm(member(j, "pm")?)?,
             pdg: parse_pdg(member(j, "pdg")?)?,
+            ordering: parse_ordering(member(j, "ordering")?)?,
             pointsto_time: Duration::ZERO,
             pm_time: Duration::ZERO,
             pdg_time: Duration::ZERO,
+            ordering_time: Duration::ZERO,
             analysis_time: Duration::ZERO,
         })
     }

@@ -21,6 +21,7 @@
 pub mod cache;
 pub mod cfg;
 pub mod cover;
+pub mod ordering;
 pub mod pdg;
 pub mod pm;
 pub mod pointsto;
@@ -29,6 +30,7 @@ pub mod slice;
 pub use cache::{AnalysisCache, CacheOutcome, CACHE_FORMAT_VERSION, CACHE_MAGIC};
 pub use cfg::DomTree;
 pub use cover::{covered_to_exit, DurKind, DurPoint, FlushCover};
+pub use ordering::{OrderingInfo, OrderingPair};
 pub use pdg::{DepKind, Pdg};
 pub use pm::PmInfo;
 pub use pointsto::{AbsObj, Field, PointsTo};
@@ -57,18 +59,23 @@ pub struct ModuleAnalysis {
     pub pm: PmInfo,
     /// The program dependence graph.
     pub pdg: Pdg,
+    /// Inferred persist-ordering candidates (WITCHER-style).
+    pub ordering: OrderingInfo,
     /// Wall time of the points-to phase.
     pub pointsto_time: Duration,
     /// Wall time of the PM-classification phase.
     pub pm_time: Duration,
     /// Wall time of the PDG-construction phase.
     pub pdg_time: Duration,
-    /// Total static-analysis wall time (sum of the three phases).
+    /// Wall time of the ordering-inference phase.
+    pub ordering_time: Duration,
+    /// Total static-analysis wall time (sum of the phases).
     pub analysis_time: Duration,
 }
 
 impl ModuleAnalysis {
-    /// Runs points-to, PM classification and PDG construction.
+    /// Runs points-to, PM classification, PDG construction and
+    /// persist-ordering inference.
     pub fn compute(module: &Module) -> ModuleAnalysis {
         COMPUTES.fetch_add(1, Ordering::Relaxed);
         let t0 = Instant::now();
@@ -80,13 +87,18 @@ impl ModuleAnalysis {
         let t2 = Instant::now();
         let pdg = Pdg::compute(module, &pointsto);
         let pdg_time = t2.elapsed();
+        let t3 = Instant::now();
+        let ordering = OrderingInfo::compute(module, &pointsto, &pm, &pdg);
+        let ordering_time = t3.elapsed();
         ModuleAnalysis {
             pointsto,
             pm,
             pdg,
+            ordering,
             pointsto_time,
             pm_time,
             pdg_time,
+            ordering_time,
             analysis_time: t0.elapsed(),
         }
     }

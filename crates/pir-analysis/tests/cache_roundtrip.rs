@@ -10,7 +10,7 @@ use std::sync::Arc;
 use obs::{Instrument, RingRecorder};
 use pir::builder::ModuleBuilder;
 use pir::ir::Module;
-use pir_analysis::{AnalysisCache, CacheOutcome, ModuleAnalysis};
+use pir_analysis::{AnalysisCache, CacheOutcome, ModuleAnalysis, CACHE_FORMAT_VERSION};
 use proptest::prelude::*;
 
 /// A random two-function program over distinct PM cells with a call
@@ -113,6 +113,7 @@ proptest! {
         prop_assert_eq!(&fresh.pm.pm_reads, &loaded.pm.pm_reads);
         prop_assert_eq!(fresh.pdg.n_edges, loaded.pdg.n_edges);
         prop_assert_eq!(fresh.pointsto.passes, loaded.pointsto.passes);
+        prop_assert_eq!(&fresh.ordering.pairs, &loaded.ordering.pairs);
     }
 }
 
@@ -230,7 +231,8 @@ fn version_skewed_file_is_rejected_and_recomputed() {
     let reason = corruption_case("version", |bytes| {
         let text = String::from_utf8(bytes).unwrap();
         // A file written by a future binary with a bumped format.
-        let skewed = text.replace("\"version\":1", "\"version\":999");
+        let needle = format!("\"version\":{CACHE_FORMAT_VERSION}");
+        let skewed = text.replace(&needle, "\"version\":999");
         assert_ne!(skewed, text, "version member not found to skew");
         skewed.into_bytes()
     });

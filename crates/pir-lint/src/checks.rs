@@ -1,4 +1,4 @@
-//! The five lint checks (L1–L5).
+//! The six lint checks (L1–L6).
 //!
 //! All checks are intraprocedural path queries layered on inter-procedural
 //! facts: the Andersen points-to result resolves which abstract objects an
@@ -523,6 +523,46 @@ fn check_volatile_ptr_in_pm(module: &Module, pt: &PointsTo, out: &mut Vec<Diagno
     }
 }
 
+/// L6: statically-decidable persist-order violations, straight from the
+/// [`pir_analysis::ordering`] pass: PM store B depends on PM store A but
+/// no durability point covering A must execute between them. Severity is
+/// `Warning` — the inference is a likely-invariant heuristic, and the
+/// dynamic oracle (inject `--invariants`) is the authority on whether a
+/// crash actually exposes the order.
+///
+/// Only value-flow pairs (`Data`/`Memory`) are reported: B consumed the
+/// bytes A wrote, so persisting B first durably publishes a derivative of
+/// possibly-lost data. Control- and interprocedural dependence stay
+/// *mining candidates* (the dynamic promotion protocol sorts them out)
+/// but are not diagnosed — the dominant static instance is the
+/// idempotent init-guard pattern (`if magic != MAGIC { store...; }`),
+/// where re-running initialisation after a crash is the intended
+/// recovery, not a bug.
+fn check_persist_order(module: &Module, analysis: &ModuleAnalysis, out: &mut Vec<Diagnostic>) {
+    for p in analysis.ordering.violations() {
+        if !matches!(p.kind, DepKind::Data | DepKind::Memory) {
+            continue;
+        }
+        let dep = "reads the value written by";
+        let first_loc = module.loc_of(p.first);
+        let first_where = if first_loc.is_empty() {
+            format!("{}", p.first)
+        } else {
+            format!("{} ({first_loc})", p.first)
+        };
+        out.push(diag(
+            Check::PersistOrder,
+            p.second,
+            Severity::Warning,
+            format!(
+                "PM store {dep} the PM store at {first_where}, but no \
+                 pm_flush/pm_persist of that range must execute between \
+                 them; a crash here can persist the dependent store first"
+            ),
+        ));
+    }
+}
+
 /// Runs every check. Locations, function names, guids and suppressions are
 /// filled in by [`crate::lint_module`].
 pub(crate) fn run_all(module: &Module, analysis: &ModuleAnalysis) -> Vec<Diagnostic> {
@@ -534,5 +574,6 @@ pub(crate) fn run_all(module: &Module, analysis: &ModuleAnalysis) -> Vec<Diagnos
     check_store_outside_tx(module, pt, &cover, &mut out);
     check_pm_leaks(module, pt, &mut out);
     check_volatile_ptr_in_pm(module, pt, &mut out);
+    check_persist_order(module, analysis, &mut out);
     out
 }

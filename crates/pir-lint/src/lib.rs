@@ -19,6 +19,7 @@
 //! | L3 | store outside transaction | un-undo-logged tx update → torn state |
 //! | L4 | static PM leak | alloc never linked into PM nor freed |
 //! | L5 | volatile pointer stored into PM | stale pointer after restart |
+//! | L6 | persist-order violation | dependent store may persist first (WITCHER) |
 //!
 //! Each diagnostic carries the instruction reference, the interned source
 //! location, and the Arthas GUID when a [`GuidMap`]-derived lookup is
@@ -40,7 +41,7 @@ use std::fmt;
 use pir::ir::{InstRef, Module};
 use pir_analysis::ModuleAnalysis;
 
-/// The five lint checks.
+/// The six lint checks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Check {
     /// L1: a PM store that may reach a function exit with no covering
@@ -58,10 +59,14 @@ pub enum Check {
     /// L5: a volatile (malloc/alloca/global) pointer stored through a PM
     /// address — stale after restart.
     VolatilePtrInPm,
+    /// L6: a statically-decidable persist-order violation — a PM store
+    /// that depends on another PM store with no durability point forced
+    /// between them (WITCHER's ordering rule).
+    PersistOrder,
 }
 
 impl Check {
-    /// The short id used in reports and suppressions ("L1".."L5").
+    /// The short id used in reports and suppressions ("L1".."L6").
     pub fn id(self) -> &'static str {
         match self {
             Check::UnflushedStore => "L1",
@@ -69,6 +74,7 @@ impl Check {
             Check::StoreOutsideTx => "L3",
             Check::PmLeak => "L4",
             Check::VolatilePtrInPm => "L5",
+            Check::PersistOrder => "L6",
         }
     }
 
@@ -80,6 +86,7 @@ impl Check {
             Check::StoreOutsideTx => "store-outside-tx",
             Check::PmLeak => "pm-leak",
             Check::VolatilePtrInPm => "volatile-ptr-in-pm",
+            Check::PersistOrder => "persist-order",
         }
     }
 
@@ -93,12 +100,13 @@ impl Check {
 }
 
 /// All checks, in report order.
-pub const ALL_CHECKS: [Check; 5] = [
+pub const ALL_CHECKS: [Check; 6] = [
     Check::UnflushedStore,
     Check::MissingDrain,
     Check::StoreOutsideTx,
     Check::PmLeak,
     Check::VolatilePtrInPm,
+    Check::PersistOrder,
 ];
 
 /// Diagnostic severity.
@@ -318,7 +326,13 @@ pub fn lint_module(module: &Module, analysis: &ModuleAnalysis, opts: &LintOption
             d.suppressed = Some(s.reason.clone());
         }
     }
-    diags.sort_by_key(|d| (d.inst.func, d.inst.inst, d.check));
+    // Full deterministic order — site, then check, then severity and
+    // message — so rendered reports diff cleanly across runs.
+    diags.sort_by(|a, b| {
+        (a.inst.func, a.inst.inst, a.check, a.severity)
+            .cmp(&(b.inst.func, b.inst.inst, b.check, b.severity))
+            .then_with(|| a.message.cmp(&b.message))
+    });
     LintReport { diagnostics: diags }
 }
 

@@ -10,8 +10,13 @@
 //! - [`cceh`] — the CCEH dynamic hashing scheme (f9);
 //! - [`segcache`] — Pelikan-like segment cache (f10, f11);
 //! - [`pmkv`] — PMEMKV-like engine with asynchronous lazy free (f12).
+//!
+//! Plus [`fixture`], a seeded-bug ordered buffer (fx1) whose deliberate
+//! persist-order violation only the mined-invariant oracle catches — the
+//! regression target for `inject --invariants`.
 
 pub mod cceh;
+pub mod fixture;
 pub mod kvcache;
 pub mod listdb;
 pub mod pmkv;
@@ -34,6 +39,7 @@ pub fn lint_allow(name: &str) -> &'static [(&'static str, &'static str, &'static
         "cceh" => cceh::LINT_ALLOW,
         "segcache" | "pelikan" => segcache::LINT_ALLOW,
         "pmkv" | "pmemkv" => pmkv::LINT_ALLOW,
+        "fixture" | "obuf" => fixture::LINT_ALLOW,
         _ => &[],
     }
 }

@@ -287,6 +287,18 @@ pub struct CrashCapture {
     pub detector: Detector,
 }
 
+/// The machine state of a run that completed without a detected failure:
+/// the final pool plus the full checkpoint log and PM trace — a *passing
+/// run*, the raw material invariant mining learns from.
+pub struct CompletedRun {
+    /// The final pool (site census for enumeration runs).
+    pub pool: PmPool,
+    /// The complete checkpoint log of the run.
+    pub log: SharedLog,
+    /// The complete dynamic PM address trace of the run.
+    pub trace: PmTrace,
+}
+
 /// How a production run under [`run_with_injection`] ended.
 pub enum InjectionOutcome {
     /// The armed injection fired; here is the machine state at the crash.
@@ -294,9 +306,8 @@ pub enum InjectionOutcome {
     /// The scenario reached its own detected hard failure (the armed
     /// site — if any — was never crossed first).
     HardFailure(Box<Production>),
-    /// The workload ran to completion without a detected failure; the
-    /// final pool is returned (site census for enumeration runs).
-    Completed(Box<PmPool>),
+    /// The workload ran to completion without a detected failure.
+    Completed(Box<CompletedRun>),
 }
 
 /// Runs a scenario's production phase to a detected hard failure.
@@ -496,7 +507,11 @@ pub fn run_with_injection(
                 cfg.recorder.clone(),
             )));
         }
-        return InjectionOutcome::Completed(Box::new(p));
+        return InjectionOutcome::Completed(Box::new(CompletedRun {
+            pool: p,
+            log,
+            trace,
+        }));
     }
 }
 

@@ -9,13 +9,16 @@
 
 use pir::ir::Module;
 use pir::vm::{Vm, VmError};
-use pm_apps::{cceh, kvcache, listdb, pmkv, segcache, util};
+use pm_apps::{cceh, fixture, kvcache, listdb, pmkv, segcache, util};
 
 use arthas::FailureRecord;
 
 use crate::harness::{Drive, RunCtx, Scenario};
 
-/// All twelve scenarios, in paper order.
+/// All twelve scenarios, in paper order. The seeded-bug fixture (fx1) is
+/// deliberately *not* part of this set: the 12-scenario gates (zero false
+/// positives, paper tables) quantify over exactly these, and the fixture
+/// exists to be convicted, not to pass.
 pub fn all() -> Vec<Box<dyn Scenario>> {
     vec![
         Box::new(F1RefcountOverflow),
@@ -33,8 +36,12 @@ pub fn all() -> Vec<Box<dyn Scenario>> {
     ]
 }
 
-/// Looks a scenario up by id ("f1".."f12").
+/// Looks a scenario up by id ("f1".."f12", or the "fx1" seeded-bug
+/// fixture).
 pub fn by_id(id: &str) -> Option<Box<dyn Scenario>> {
+    if id == "fx1" {
+        return Some(Box::new(FxUnorderedPublish));
+    }
     all().into_iter().find(|s| s.id() == id)
 }
 
@@ -998,5 +1005,78 @@ impl Scenario for F12AsyncFreeLeak {
     }
     fn is_leak(&self) -> bool {
         true
+    }
+}
+
+// ======================================================================
+// Seeded-bug fixture (fx1) — not one of the paper's 12 scenarios
+// ======================================================================
+
+/// fx1: the fixture app's deliberate persist-order bug. `ob_put`
+/// publishes a cell (link, tag, head, count all persisted) before its
+/// payload ever reaches media. The workload itself never fails — the run
+/// completes, recovery always succeeds, and there is no domain invariant
+/// routine to object — so every crash trial in the window classifies as
+/// clean recovery. Only the mined-invariant oracle (`inject
+/// --invariants`) convicts the image: the promoted `payload
+/// persists-before tag` invariant is broken whenever a crash lands
+/// between the tag persist and the final payload persist.
+pub struct FxUnorderedPublish;
+
+impl FxUnorderedPublish {
+    /// Ticks that issue a put (enough sites for a strided campaign while
+    /// keeping trials cheap).
+    const PUTS: u64 = 40;
+}
+
+impl Scenario for FxUnorderedPublish {
+    fn id(&self) -> &'static str {
+        "fx1"
+    }
+    fn system(&self) -> &'static str {
+        "fixture (obuf)"
+    }
+    fn fault(&self) -> &'static str {
+        "Dependent store persisted before its source"
+    }
+    fn consequence(&self) -> &'static str {
+        "Silent corruption"
+    }
+    fn build_module(&self) -> Module {
+        fixture::build()
+    }
+    fn recover_call(&self) -> &'static str {
+        "ob_recover"
+    }
+    fn drive(&self, vm: &mut Vm, t: u64, ctx: &mut RunCtx) -> Result<Drive, VmError> {
+        if t < Self::PUTS {
+            // Seed-dependent non-zero payloads, deterministic per tick.
+            let k = 1 + hash_seed(ctx.seed ^ t) % 997;
+            call(vm, "ob_put", &[k])?;
+        } else {
+            let k = 1 + hash_seed(ctx.seed ^ (t % Self::PUTS)) % 997;
+            call(vm, "ob_get", &[k])?;
+        }
+        Ok(Drive::Continue)
+    }
+    fn verify(&self, vm: &mut Vm) -> Result<(), FailureRecord> {
+        let before = self.count_items(vm);
+        vcall(vm, "ob_put", &[4242])?;
+        let tag = vm
+            .call("ob_get", &[4242])
+            .map_err(|e| FailureRecord::from_vm(&e))?;
+        if tag != Some(4243) {
+            return Err(FailureRecord::wrong_result("tag roundtrip failed"));
+        }
+        if self.count_items(vm) != before + 1 {
+            return Err(FailureRecord::wrong_result("count did not advance"));
+        }
+        Ok(())
+    }
+    fn consistency(&self, _vm: &mut Vm) -> Vec<String> {
+        Vec::new()
+    }
+    fn count_items(&self, vm: &mut Vm) -> u64 {
+        vm.call("ob_count", &[]).ok().flatten().unwrap_or(0)
     }
 }

@@ -6,6 +6,7 @@
 //! arthas-repro report f6 [--json]        # observed run: timeline / JSON
 //! arthas-repro report all --out reports  # one JSON document per scenario
 //! arthas-repro inject f6 --stride 8      # crash-point injection campaign
+//! arthas-repro inject fx1 --invariants   # campaign with the mined-invariant oracle
 //! arthas-repro study                     # the S2 empirical-study stats
 //! arthas-repro analyze kvcache           # analyzer summary for an app
 //! arthas-repro lint kvcache [--json]     # crash-consistency lint report
@@ -96,7 +97,7 @@ const COMMANDS: &[CommandSpec] = &[
         args: &[ArgSpec {
             name: "scenario",
             required: true,
-            help: "scenario id, or `all`",
+            help: "scenario id (f1..f12, fx1), or `all`",
         }],
         flags: &[
             FlagSpec {
@@ -128,6 +129,17 @@ const COMMANDS: &[CommandSpec] = &[
                 name: "--seed",
                 value: Some("N"),
                 help: "workload seed (default 1)",
+            },
+            FlagSpec {
+                name: "--invariants",
+                value: None,
+                help: "mine likely invariants from passing runs and convict clean-looking \
+                       images that break them (silent_corruption verdicts)",
+            },
+            FlagSpec {
+                name: "--no-invariants",
+                value: None,
+                help: "force the mined-invariant oracle off (wins over --invariants)",
             },
             FlagSpec {
                 name: "--json",
@@ -188,11 +200,11 @@ const COMMANDS: &[CommandSpec] = &[
     },
     CommandSpec {
         name: "lint",
-        summary: "crash-consistency lint checks (L1-L5); exits 1 on errors",
+        summary: "crash-consistency lint checks (L1-L6); exits 1 on errors",
         args: &[ArgSpec {
             name: "app",
             required: true,
-            help: "kvcache | listdb | cceh | segcache | pmkv",
+            help: "kvcache | listdb | cceh | segcache | pmkv | fixture",
         }],
         flags: &[
             FlagSpec {
@@ -237,6 +249,7 @@ fn build_app(name: &str) -> Option<pir::ir::Module> {
         "cceh" => Some(pm_apps::cceh::build()),
         "segcache" | "pelikan" => Some(pm_apps::segcache::build()),
         "pmkv" | "pmemkv" => Some(pm_apps::pmkv::build()),
+        "fixture" | "obuf" => Some(pm_apps::fixture::build()),
         _ => None,
     }
 }
@@ -590,6 +603,7 @@ fn cmd_inject(p: Parsed) {
         .runners(flag_u64(&p, "--runners", 1) as usize)
         .seed(seed)
         .policies(policies)
+        .invariants(p.has("--invariants") && !p.has("--no-invariants"))
         .analysis_cache(resolve_cache(&p))
         .build()
         .unwrap_or_else(|e| {
@@ -622,8 +636,8 @@ fn cmd_inject(p: Parsed) {
         eprintln!("wrote {path}");
     }
     // Gate: silent durability loss (or a replay-determinism bug) fails
-    // the campaign.
-    let bad = report.invariant_violations() + report.not_reached();
+    // the campaign, as does any mined-invariant conviction.
+    let bad = report.invariant_violations() + report.silent_corruptions() + report.not_reached();
     std::process::exit(if bad > 0 { 1 } else { 0 });
 }
 

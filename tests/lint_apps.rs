@@ -1,10 +1,10 @@
-//! The five pm-apps must lint clean: no unsuppressed findings at all, and
-//! every `pm_apps::lint_allow` entry must actually match something (no
-//! stale suppressions).
+//! The five pm-apps (plus the seeded-bug fixture) must lint clean: no
+//! unsuppressed findings at all, and every `pm_apps::lint_allow` entry
+//! must actually match something (no stale suppressions).
 
 use pir_lint::{lint, Check, LintOptions, Suppression};
 
-const APPS: [&str; 5] = ["kvcache", "listdb", "cceh", "segcache", "pmkv"];
+const APPS: [&str; 6] = ["kvcache", "listdb", "cceh", "segcache", "pmkv", "fixture"];
 
 fn build(name: &str) -> pir::ir::Module {
     match name {
@@ -13,6 +13,7 @@ fn build(name: &str) -> pir::ir::Module {
         "cceh" => pm_apps::cceh::build(),
         "segcache" => pm_apps::segcache::build(),
         "pmkv" => pm_apps::pmkv::build(),
+        "fixture" => pm_apps::fixture::build(),
         _ => unreachable!(),
     }
 }
