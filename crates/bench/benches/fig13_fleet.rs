@@ -1,0 +1,122 @@
+//! Fleet campaign throughput: the batch-scale counterpart of the
+//! injection figures.
+//!
+//! The same stride-8 campaign over the 12 stock scenarios runs twice per
+//! worker count: once through the sequential
+//! [`inject::run_campaign`] (scenario after scenario, trial runners
+//! confined to one scenario at a time) and once through the fleet
+//! runtime [`inject::run_fleet`] (all scenarios prepared in parallel,
+//! one globally interleaved trial queue). Both paths share one
+//! in-memory analysis cache, as the CLI does.
+//!
+//! Two properties are measured, one is *asserted*:
+//!
+//! 1. **Byte-identity (always asserted)** — at every worker count the
+//!    fleet matrix document must render byte-identically to the
+//!    sequential one. This holds on any host, single-core included:
+//!    verdicts are pure functions of (seed, site, policy) and both
+//!    paths share the same matrix/census/sort code.
+//! 2. **Wall-clock speedup (host-dependent)** — the fleet at 8 workers
+//!    against the pre-fleet baseline (sequential, 1 runner — the CLI
+//!    default before `--fleet`). On a single hardware thread workers
+//!    never overlap and the speedup is ~1x by construction; the printed
+//!    table says which regime it was collected in. With
+//!    `FIG13_EXPECT_SPEEDUP=1` (set in CI on multi-core runners) the
+//!    bench exits non-zero below the 2x acceptance floor.
+//!
+//! Knobs: `FIG13_BUDGET` (trials per scenario, default 24),
+//! `FIG13_EXPECT_SPEEDUP=1` (enforce the floor).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use inject::{run_campaign, run_fleet, CampaignConfig, FleetConfig};
+use pir_analysis::AnalysisCache;
+use pm_workload::scenarios;
+
+fn campaign_cfg(runners: usize, budget: usize, cache: &Arc<AnalysisCache>) -> CampaignConfig {
+    CampaignConfig::builder()
+        .stride(8)
+        .budget(budget)
+        .runners(runners)
+        .analysis_cache(Some(cache.clone()))
+        .build()
+        .expect("valid campaign config")
+}
+
+fn main() {
+    let budget: usize = std::env::var("FIG13_BUDGET")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(24);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // One shared analysis tier: both paths skip recomputation the same
+    // way, so the timing difference is scheduling, not analysis.
+    let cache = Arc::new(AnalysisCache::in_memory());
+
+    println!("== fig13_fleet: stride-8 campaign over the 12 stock scenarios ==");
+    println!("host parallelism: {cores} hardware thread(s), budget {budget}/scenario");
+    println!(
+        "{:<9} {:>10} {:>10} {:>9} {:>8}",
+        "Workers", "seq (s)", "fleet (s)", "speedup", "trials"
+    );
+
+    let mut baseline_seq = 0.0; // sequential at 1 runner
+    let mut fleet_at_max = 0.0;
+    let worker_counts = [1usize, 8];
+    for &w in &worker_counts {
+        let scenarios = scenarios::all();
+        let cfg = campaign_cfg(w, budget, &cache);
+
+        let t0 = Instant::now();
+        let seq = run_campaign(&scenarios, &cfg);
+        let seq_s = t0.elapsed().as_secs_f64();
+
+        let fcfg = FleetConfig::builder(cfg)
+            .build()
+            .expect("valid fleet config");
+        let t0 = Instant::now();
+        let fleet = run_fleet(&scenarios, &fcfg).expect("fleet run");
+        let fleet_s = t0.elapsed().as_secs_f64();
+
+        // The acceptance bar that holds on every host: same document,
+        // byte for byte.
+        assert!(fleet.complete, "fleet run left unclassified rows");
+        assert_eq!(
+            fleet.campaign.json().render(),
+            seq.json().render(),
+            "fleet matrix diverged from sequential at {w} worker(s)"
+        );
+
+        let trials: usize = seq.scenarios.iter().map(|s| s.trials.len()).sum();
+        println!(
+            "{w:<9} {seq_s:>10.2} {fleet_s:>10.2} {:>8.2}x {trials:>8}",
+            seq_s / fleet_s
+        );
+        if w == 1 {
+            baseline_seq = seq_s;
+        }
+        if w == *worker_counts.last().expect("nonempty") {
+            fleet_at_max = fleet_s;
+        }
+    }
+
+    let campaign_speedup = baseline_seq / fleet_at_max;
+    println!(
+        "\ncampaign speedup, fleet at {} workers vs sequential baseline: {campaign_speedup:.2}x",
+        worker_counts.last().expect("nonempty")
+    );
+    println!("acceptance: matrices byte-identical at every worker count (asserted);");
+    println!(">=2x wall-clock at 8 workers on a multi-core host.");
+    if cores == 1 {
+        println!("(single hardware thread: workers cannot overlap, wall-clock");
+        println!("speedup is not measurable here — identity still gates)");
+    }
+    if std::env::var_os("FIG13_EXPECT_SPEEDUP").is_some() {
+        assert!(
+            campaign_speedup >= 2.0,
+            "FIG13_EXPECT_SPEEDUP set but fleet speedup is {campaign_speedup:.2}x (< 2x)"
+        );
+        println!("speedup floor enforced: {campaign_speedup:.2}x >= 2x");
+    }
+}

@@ -52,8 +52,12 @@ use pm_workload::{
 };
 use pmemsim::{CrashPolicy, PmPool, SiteKind};
 
+pub mod fleet;
 pub mod invariants;
 
+pub use fleet::{
+    read_header, run_fleet, FleetConfig, FleetConfigBuilder, FleetError, FleetReport, JournalHeader,
+};
 pub use invariants::{MinedInvariant, MinedInvariants};
 
 /// Version stamp of the campaign matrix document layout.
@@ -122,6 +126,36 @@ impl CampaignConfig {
         CampaignConfigBuilder {
             cfg: CampaignConfig::default(),
         }
+    }
+
+    /// Maximum trials per scenario.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Site stride.
+    pub fn stride(&self) -> u64 {
+        self.stride
+    }
+
+    /// Parallel trial runners.
+    pub fn runners(&self) -> usize {
+        self.runners
+    }
+
+    /// Workload seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Crash policies applied at each tested site.
+    pub fn policies(&self) -> &[CrashPolicy] {
+        &self.policies
+    }
+
+    /// Whether the mined-invariant oracle is on.
+    pub fn invariants(&self) -> bool {
+        self.invariants
     }
 }
 
@@ -198,6 +232,16 @@ impl CampaignConfigBuilder {
         if self.cfg.policies.is_empty() {
             return Err(ConfigError("at least one crash policy is required".into()));
         }
+        // The matrix only admits whole sites (every policy at a site, or
+        // none — partially-tested sites would skew the census), so the
+        // budget must fit at least one full policy row.
+        if self.cfg.budget < self.cfg.policies.len() {
+            return Err(ConfigError(format!(
+                "budget {} cannot fit one site under {} policies",
+                self.cfg.budget,
+                self.cfg.policies.len()
+            )));
+        }
         Ok(self.cfg)
     }
 }
@@ -247,6 +291,20 @@ pub fn policy_name(p: CrashPolicy) -> String {
     }
 }
 
+/// Inverse of [`policy_name`] — the resume path reconstructs policies
+/// from the journal header's canonical names.
+pub fn policy_from_name(name: &str) -> Option<CrashPolicy> {
+    match name {
+        "drop" => Some(CrashPolicy::DropStaged),
+        "keep" => Some(CrashPolicy::KeepStaged),
+        _ => name
+            .strip_prefix("random:")?
+            .parse()
+            .ok()
+            .map(CrashPolicy::RandomStaged),
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Verdicts and results
 // ---------------------------------------------------------------------------
@@ -281,6 +339,21 @@ impl TrialVerdict {
             TrialVerdict::SilentCorruption => "silent_corruption",
             TrialVerdict::NotReached => "not_reached",
         }
+    }
+
+    /// Inverse of [`TrialVerdict::as_str`] — journal lines carry the
+    /// document name.
+    pub fn parse(s: &str) -> Option<TrialVerdict> {
+        [
+            TrialVerdict::CleanRecovery,
+            TrialVerdict::Mitigated,
+            TrialVerdict::Unrecoverable,
+            TrialVerdict::InvariantViolated,
+            TrialVerdict::SilentCorruption,
+            TrialVerdict::NotReached,
+        ]
+        .into_iter()
+        .find(|v| v.as_str() == s)
     }
 }
 
@@ -602,9 +675,97 @@ fn run_trial(
     }
 }
 
-/// Runs the campaign for one scenario: enumeration run, trial matrix,
-/// parallel classification.
-pub fn run_scenario_campaign(scn: &dyn Scenario, cfg: &CampaignConfig) -> ScenarioCampaign {
+/// One row of the trial matrix before classification.
+pub type MatrixRow = (u64, SiteKind, CrashPolicy);
+
+/// Builds the site × policy trial matrix from an enumeration census.
+///
+/// Every enumerated site must carry a recorded kind: a `kinds` slice
+/// shorter than `sites_total` is a hard error, never a silent `Persist`
+/// fallback (which used to skew the per-kind census for every site past
+/// the recorded prefix). The budget admits only *whole* sites — when the
+/// remaining budget cannot fit a site's full policy row, that site is
+/// dropped rather than partially tested, so per-policy trial counts and
+/// the distinct-site census always reconcile:
+/// `trials == sites_tested × policies`.
+pub fn build_matrix(
+    sites_total: u64,
+    kinds: &[SiteKind],
+    cfg: &CampaignConfig,
+) -> Result<Vec<MatrixRow>, ConfigError> {
+    if (kinds.len() as u64) < sites_total {
+        return Err(ConfigError(format!(
+            "enumeration recorded {} site kind(s) for {} sites — the census \
+             must cover every durability boundary (is site-kind recording on?)",
+            kinds.len(),
+            sites_total
+        )));
+    }
+    let mut matrix: Vec<MatrixRow> = Vec::new();
+    for site in (0..sites_total).step_by(cfg.stride.max(1) as usize) {
+        if matrix.len() + cfg.policies.len() > cfg.budget {
+            break;
+        }
+        let kind = kinds[site as usize];
+        for &policy in &cfg.policies {
+            matrix.push((site, kind, policy));
+        }
+    }
+    Ok(matrix)
+}
+
+/// Census of the distinct sites a trial matrix tests: `(sites_tested,
+/// per-kind counts)`. Dedup goes through a keyed map, so the result is
+/// independent of row order — the fleet queue interleaves scenarios and
+/// offers no site-sortedness to lean on (the previous consecutive-dup
+/// `dedup_by_key` silently miscounted on any unsorted matrix).
+pub fn site_census(matrix: &[MatrixRow]) -> (u64, BTreeMap<&'static str, u64>) {
+    let distinct: BTreeMap<u64, SiteKind> = matrix.iter().map(|&(s, k, _)| (s, k)).collect();
+    let mut site_kinds: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for kind in distinct.values() {
+        *site_kinds.entry(kind.as_str()).or_insert(0) += 1;
+    }
+    (distinct.len() as u64, site_kinds)
+}
+
+/// A scenario with its enumeration, mining and matrix done — trials not
+/// yet classified. The unit the fleet queue schedules from.
+pub(crate) struct PreparedScenario<'a> {
+    pub scn: &'a dyn Scenario,
+    pub setup: AppSetup,
+    pub sites_total: u64,
+    pub matrix: Vec<MatrixRow>,
+    pub mined: Option<MinedInvariants>,
+}
+
+impl PreparedScenario<'_> {
+    /// The promoted invariant set (empty when the oracle is off).
+    pub fn promoted(&self) -> &[MinedInvariant] {
+        self.mined.as_ref().map_or(&[], |m| &m.promoted)
+    }
+
+    /// Classifies one matrix row.
+    pub fn run_row(&self, cfg: &CampaignConfig, row: MatrixRow) -> Trial {
+        let (site, kind, policy) = row;
+        run_trial(
+            self.scn,
+            &self.setup,
+            cfg,
+            self.promoted(),
+            site,
+            kind,
+            policy,
+        )
+    }
+}
+
+/// Enumeration run + invariant mining + matrix construction for one
+/// scenario — everything a campaign shares across that scenario's
+/// trials, on either the sequential or the fleet path.
+pub(crate) fn prepare_scenario<'a>(
+    scn: &'a dyn Scenario,
+    cfg: &CampaignConfig,
+) -> PreparedScenario<'a> {
     let setup = AppSetup::new_with_cache(scn.build_module(), cfg.cache.as_deref());
 
     // Enumeration: one un-armed run with the site census recorder on.
@@ -625,51 +786,61 @@ pub fn run_scenario_campaign(scn: &dyn Scenario, cfg: &CampaignConfig) -> Scenar
     let mined = cfg
         .invariants
         .then(|| invariants::mine(scn, &setup, cfg.seed, None));
-    let promoted: &[MinedInvariant] = mined.as_ref().map_or(&[], |m| &m.promoted);
 
-    // The trial matrix, truncated to the budget. Indexed up front so the
-    // verdict list is identical for any runner count.
-    let mut matrix: Vec<(u64, SiteKind, CrashPolicy)> = Vec::new();
-    'sites: for site in (0..sites_total).step_by(cfg.stride.max(1) as usize) {
-        let kind = kinds
-            .get(site as usize)
-            .copied()
-            .unwrap_or(SiteKind::Persist);
-        for &policy in &cfg.policies {
-            if matrix.len() >= cfg.budget {
-                break 'sites;
-            }
-            matrix.push((site, kind, policy));
-        }
-    }
-    let tested_sites: Vec<(u64, SiteKind)> = {
-        let mut s: Vec<(u64, SiteKind)> = matrix.iter().map(|t| (t.0, t.1)).collect();
-        s.dedup_by_key(|t| t.0);
-        s
-    };
-    let sites_tested = tested_sites.len() as u64;
-    // Census over *distinct tested* sites, not trials: the per-kind
-    // counts sum to `sites_tested` regardless of stride or policy count.
-    let mut site_kinds: BTreeMap<&'static str, u64> = BTreeMap::new();
-    for &(_, kind) in &tested_sites {
-        *site_kinds.entry(kind.as_str()).or_insert(0) += 1;
-    }
+    let matrix = build_matrix(sites_total, &kinds, cfg).unwrap_or_else(|e| {
+        panic!("{}: {e:?} — enumeration census is broken", scn.id());
+    });
 
+    PreparedScenario {
+        scn,
+        setup,
+        sites_total,
+        matrix,
+        mined,
+    }
+}
+
+/// Assembles the final per-scenario result from classified trials:
+/// census over the matrix, canonical row order. Shared by the sequential
+/// and fleet paths so their matrices are byte-identical by construction.
+pub(crate) fn finish_scenario(
+    prep: PreparedScenario<'_>,
+    mut trials: Vec<Trial>,
+) -> ScenarioCampaign {
+    let (sites_tested, site_kinds) = site_census(&prep.matrix);
+    // Canonical row order, independent of the configured policy order
+    // (and of fleet-queue completion order).
+    trials.sort_by_key(|t| (t.site, policy_name(t.policy)));
+    ScenarioCampaign {
+        id: prep.scn.id(),
+        system: prep.scn.system(),
+        sites_total: prep.sites_total,
+        sites_tested,
+        site_kinds,
+        trials,
+        invariants: prep.mined,
+    }
+}
+
+/// Runs the campaign for one scenario: enumeration run, trial matrix,
+/// parallel classification.
+pub fn run_scenario_campaign(scn: &dyn Scenario, cfg: &CampaignConfig) -> ScenarioCampaign {
+    let prep = prepare_scenario(scn, cfg);
     let next = AtomicUsize::new(0);
-    let results: Vec<Mutex<Option<Trial>>> = matrix.iter().map(|_| Mutex::new(None)).collect();
+    let results: Vec<Mutex<Option<Trial>>> = prep.matrix.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|s| {
-        for _ in 0..cfg.runners.min(matrix.len().max(1)) {
+        for _ in 0..cfg.runners.min(prep.matrix.len().max(1)) {
             s.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(&(site, kind, policy)) = matrix.get(i) else {
+                let Some(&row) = prep.matrix.get(i) else {
                     break;
                 };
-                let trial = run_trial(scn, &setup, cfg, promoted, site, kind, policy);
+                let trial = prep.run_row(cfg, row);
                 *results[i].lock().unwrap_or_else(|p| p.into_inner()) = Some(trial);
             });
         }
     });
-    let mut trials: Vec<Trial> = results
+    let trials: Vec<Trial> = results
         .into_iter()
         .map(|m| {
             m.into_inner()
@@ -677,18 +848,7 @@ pub fn run_scenario_campaign(scn: &dyn Scenario, cfg: &CampaignConfig) -> Scenar
                 .expect("every trial ran")
         })
         .collect();
-    // Canonical row order, independent of the configured policy order.
-    trials.sort_by_key(|t| (t.site, policy_name(t.policy)));
-
-    ScenarioCampaign {
-        id: scn.id(),
-        system: scn.system(),
-        sites_total,
-        sites_tested,
-        site_kinds,
-        trials,
-        invariants: mined,
-    }
+    finish_scenario(prep, trials)
 }
 
 /// Runs the campaign over a set of scenarios.

@@ -78,3 +78,135 @@ fn verdicts_independent_of_runner_count() {
         .iter()
         .all(|t| t.verdict != TrialVerdict::NotReached));
 }
+
+// ---------------------------------------------------------------------------
+// Trial-matrix accounting
+// ---------------------------------------------------------------------------
+
+use inject::{build_matrix, site_census, MatrixRow};
+use pmemsim::SiteKind;
+
+fn kinds(n: u64) -> Vec<SiteKind> {
+    // A deterministic mix so per-kind counts are nontrivial.
+    (0..n)
+        .map(|i| match i % 3 {
+            0 => SiteKind::Persist,
+            1 => SiteKind::Drain,
+            _ => SiteKind::Alloc,
+        })
+        .collect()
+}
+
+/// A `kinds` census shorter than the site count is a hard error, not a
+/// silent `Persist` fallback (the old fallback mislabeled every site
+/// past the recorded prefix and skewed the per-kind census).
+#[test]
+fn short_kind_census_is_a_hard_error() {
+    let cfg = CampaignConfig::builder().build().unwrap();
+    let err = build_matrix(10, &kinds(7), &cfg).unwrap_err();
+    assert!(
+        err.0.contains("7 site kind(s) for 10 sites"),
+        "unhelpful error: {}",
+        err.0
+    );
+    // Exact coverage is fine.
+    assert!(build_matrix(10, &kinds(10), &cfg).is_ok());
+}
+
+/// When the budget runs out partway through a site's policy list the
+/// whole site is dropped: only fully-tested sites enter the matrix, so
+/// trials == sites_tested × policies and the per-kind census sums to
+/// sites_tested.
+#[test]
+fn budget_truncation_drops_partial_sites() {
+    let policies = vec![
+        CrashPolicy::DropStaged,
+        CrashPolicy::KeepStaged,
+        CrashPolicy::RandomStaged(7),
+    ];
+    // Budget 8 fits two whole 3-policy sites; the old code pushed two
+    // rows of a third site and still counted it as tested.
+    let cfg = CampaignConfig::builder()
+        .policies(policies.clone())
+        .budget(8)
+        .build()
+        .unwrap();
+    let matrix = build_matrix(20, &kinds(20), &cfg).unwrap();
+    assert_eq!(matrix.len(), 6, "two whole sites only");
+    let (sites_tested, census) = site_census(&matrix);
+    assert_eq!(sites_tested, 2);
+    assert_eq!(matrix.len() as u64, sites_tested * policies.len() as u64);
+    assert_eq!(
+        census.values().sum::<u64>(),
+        sites_tested,
+        "per-kind counts must sum to sites_tested"
+    );
+}
+
+/// The census must not depend on matrix row order: the fleet queue
+/// interleaves scenarios, so rows are not site-sorted (the old
+/// consecutive-only `dedup_by_key` overcounted on shuffled input).
+#[test]
+fn site_census_is_order_independent() {
+    let cfg = CampaignConfig::builder()
+        .stride(2)
+        .budget(40)
+        .build()
+        .unwrap();
+    let matrix = build_matrix(30, &kinds(30), &cfg).unwrap();
+    let (tested, census) = site_census(&matrix);
+    assert_eq!(tested, 15);
+    assert_eq!(census.values().sum::<u64>(), tested);
+
+    // Deterministic shuffle: rotate and interleave halves.
+    let mut shuffled: Vec<MatrixRow> = Vec::new();
+    let half = matrix.len() / 2;
+    for i in 0..half {
+        shuffled.push(matrix[half + i]);
+        shuffled.push(matrix[i]);
+    }
+    shuffled.extend_from_slice(&matrix[2 * half..]);
+    assert_eq!(shuffled.len(), matrix.len());
+    assert_ne!(shuffled, matrix, "shuffle must change the order");
+    assert_eq!(
+        site_census(&shuffled),
+        (tested, census),
+        "census changed under row reordering"
+    );
+}
+
+/// End-to-end reconciliation on a real scenario: Σ(per-kind) ==
+/// sites_tested and trials == sites_tested × policies, with a budget
+/// chosen to not divide the policy count.
+#[test]
+fn campaign_census_reconciles_under_truncation() {
+    let scn = scenarios::by_id("f1").expect("f1 exists");
+    let cfg = CampaignConfig::builder()
+        .stride(4)
+        .budget(7) // not a multiple of 2 policies: forces truncation
+        .build()
+        .unwrap();
+    let c = run_scenario_campaign(scn.as_ref(), &cfg);
+    assert_eq!(c.site_kinds.values().sum::<u64>(), c.sites_tested);
+    assert_eq!(
+        c.trials.len() as u64,
+        c.sites_tested * cfg.policies().len() as u64
+    );
+    assert!(c.trials.len() <= 7, "budget is an upper bound");
+}
+
+/// A budget that cannot fit even one site's policy row is rejected at
+/// build time instead of yielding an empty matrix at run time.
+#[test]
+fn budget_below_policy_count_is_rejected() {
+    let err = CampaignConfig::builder()
+        .policies(vec![
+            CrashPolicy::DropStaged,
+            CrashPolicy::KeepStaged,
+            CrashPolicy::RandomStaged(1),
+        ])
+        .budget(2)
+        .build()
+        .unwrap_err();
+    assert!(err.0.contains("budget"), "unhelpful error: {}", err.0);
+}

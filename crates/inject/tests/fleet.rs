@@ -1,0 +1,220 @@
+//! Fleet runtime guarantees: byte-identity with the sequential path,
+//! kill-and-resume correctness, and journal header validation.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use inject::{run_campaign, run_fleet, CampaignConfig, FleetConfig, FleetError};
+use obs::RingRecorder;
+use pm_workload::{scenarios, Scenario};
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("inject-fleet-tests").join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn targets() -> Vec<Box<dyn Scenario>> {
+    vec![
+        scenarios::by_id("f1").unwrap(),
+        scenarios::by_id("f2").unwrap(),
+        scenarios::by_id("f4").unwrap(),
+    ]
+}
+
+fn small_cfg(runners: usize) -> CampaignConfig {
+    CampaignConfig::builder()
+        .stride(8)
+        .budget(16)
+        .runners(runners)
+        .build()
+        .unwrap()
+}
+
+/// The tentpole identity: a fleet run's matrix document renders
+/// byte-identically to the sequential `run_campaign` under the same
+/// configuration, journal on or off.
+#[test]
+fn fleet_matrix_is_byte_identical_to_sequential() {
+    let cfg = small_cfg(4);
+    let sequential = run_campaign(&targets(), &cfg).json().render();
+
+    let plain = FleetConfig::builder(cfg.clone()).build().unwrap();
+    let fleet = run_fleet(&targets(), &plain).unwrap();
+    assert!(fleet.complete);
+    assert_eq!(fleet.skipped, 0);
+    assert_eq!(fleet.campaign.json().render(), sequential);
+
+    let dir = tmp_dir("identity");
+    let journaled = FleetConfig::builder(cfg)
+        .journal_dir(&dir)
+        .fsync_batch(4)
+        .build()
+        .unwrap();
+    let fleet = run_fleet(&targets(), &journaled).unwrap();
+    assert_eq!(fleet.campaign.json().render(), sequential);
+    // Header + one line per trial.
+    let trials: u64 = fleet
+        .campaign
+        .scenarios
+        .iter()
+        .map(|s| s.trials.len() as u64)
+        .sum();
+    assert_eq!(fleet.journal_appended, trials, "one journal line per trial");
+    assert_eq!(fleet.executed, trials);
+}
+
+/// Kill-and-resume: stop a journaled stride-8 campaign mid-queue (the
+/// `trial_limit` hook drops the runtime exactly as a kill would — the
+/// journal simply stops growing), resume from the journal, and require
+/// (a) the final matrix is byte-identical to an uninterrupted run and
+/// (b) no journaled trial re-executed, counted via journal lines.
+#[test]
+fn killed_campaign_resumes_to_identical_matrix_without_rerunning_trials() {
+    let dir = tmp_dir("resume");
+    let cfg = small_cfg(2);
+    let uninterrupted = run_campaign(&targets(), &cfg).json().render();
+
+    const KILL_AFTER: u64 = 9;
+    let first = FleetConfig::builder(cfg.clone())
+        .journal_dir(&dir)
+        .fsync_batch(2)
+        .trial_limit(Some(KILL_AFTER))
+        .build()
+        .unwrap();
+    let killed = run_fleet(&targets(), &first).unwrap();
+    assert!(!killed.complete, "trial limit must stop the run mid-queue");
+    assert_eq!(killed.executed, KILL_AFTER);
+    assert_eq!(killed.journal_appended, KILL_AFTER);
+
+    let resume = FleetConfig::builder(cfg)
+        .journal_dir(&dir)
+        .resume(true)
+        .build()
+        .unwrap();
+    let resumed = run_fleet(&targets(), &resume).unwrap();
+    assert!(resumed.complete);
+    assert_eq!(resumed.skipped, KILL_AFTER, "journaled trials re-admitted");
+    assert_eq!(
+        resumed.campaign.json().render(),
+        uninterrupted,
+        "resumed matrix must be byte-identical to an uninterrupted run"
+    );
+
+    // Journal accounting proves no re-execution: header + first run's
+    // lines + exactly the remaining trials.
+    let total: u64 = resumed
+        .campaign
+        .scenarios
+        .iter()
+        .map(|s| s.trials.len() as u64)
+        .sum();
+    assert_eq!(resumed.executed, total - KILL_AFTER);
+    assert_eq!(resumed.journal_appended, total - KILL_AFTER);
+    let read = obs::read_journal(&dir.join(inject::fleet::JOURNAL_FILE)).unwrap();
+    assert_eq!(
+        read.lines.len() as u64,
+        1 + total,
+        "header + one line per trial"
+    );
+    assert_eq!(read.skipped, 0);
+}
+
+/// A journal written under one configuration refuses to drive another:
+/// any drift in the matrix-determining knobs is a hard error, not a
+/// silent partial resume.
+#[test]
+fn resume_rejects_mismatched_header() {
+    let dir = tmp_dir("mismatch");
+    let write = FleetConfig::builder(small_cfg(2))
+        .journal_dir(&dir)
+        .trial_limit(Some(3))
+        .build()
+        .unwrap();
+    run_fleet(&targets(), &write).unwrap();
+
+    // Different seed ⇒ different matrix key space.
+    let other = CampaignConfig::builder()
+        .stride(8)
+        .budget(16)
+        .runners(2)
+        .seed(99)
+        .build()
+        .unwrap();
+    let resume = FleetConfig::builder(other)
+        .journal_dir(&dir)
+        .resume(true)
+        .build()
+        .unwrap();
+    match run_fleet(&targets(), &resume) {
+        Err(FleetError::Journal(msg)) => {
+            assert!(msg.contains("header mismatch"), "unhelpful error: {msg}")
+        }
+        Err(e) => panic!("expected a journal header mismatch, got: {e}"),
+        Ok(_) => panic!("resume must fail on a mismatched header"),
+    }
+
+    // A different scenario set is a mismatch too.
+    let resume = FleetConfig::builder(small_cfg(2))
+        .journal_dir(&dir)
+        .resume(true)
+        .build()
+        .unwrap();
+    let two: Vec<Box<dyn Scenario>> = vec![
+        scenarios::by_id("f1").unwrap(),
+        scenarios::by_id("f2").unwrap(),
+    ];
+    assert!(matches!(
+        run_fleet(&two, &resume),
+        Err(FleetError::Journal(_))
+    ));
+}
+
+/// `read_header` round-trips the matrix-determining configuration.
+#[test]
+fn journal_header_round_trips() {
+    let dir = tmp_dir("header");
+    let cfg = small_cfg(3);
+    let fcfg = FleetConfig::builder(cfg.clone())
+        .journal_dir(&dir)
+        .trial_limit(Some(1))
+        .build()
+        .unwrap();
+    run_fleet(&targets(), &fcfg).unwrap();
+    let h = inject::read_header(&dir).unwrap();
+    assert_eq!(h.seed, cfg.seed());
+    assert_eq!(h.stride, cfg.stride());
+    assert_eq!(h.budget, cfg.budget());
+    assert_eq!(h.runners, cfg.runners());
+    assert_eq!(h.policies, cfg.policies());
+    assert_eq!(h.invariants, cfg.invariants());
+    assert_eq!(h.scenarios, vec!["f1", "f2", "f4"]);
+    let from_header = scenarios::by_ids(&h.scenarios).unwrap();
+    assert_eq!(from_header.len(), 3);
+    assert_eq!(from_header[2].id(), "f4");
+}
+
+/// The fleet instrumentation surfaces queue progress: per-scenario
+/// readiness, per-trial completion with remaining-queue depth, and the
+/// terminal summary event.
+#[test]
+fn fleet_recorder_sees_queue_lifecycle() {
+    let rec = Arc::new(RingRecorder::new(4096));
+    let fcfg = FleetConfig::builder(small_cfg(2))
+        .recorder(rec.clone())
+        .build()
+        .unwrap();
+    let report = run_fleet(&targets(), &fcfg).unwrap();
+    let events = rec.events();
+    let count = |kind: &str| events.iter().filter(|e| e.kind == kind).count() as u64;
+    assert_eq!(count("fleet.scenario_ready"), 3);
+    assert_eq!(count("fleet.trial_done"), report.executed);
+    assert_eq!(count("fleet.queue_built"), 1);
+    assert_eq!(count("fleet.done"), 1);
+    assert_eq!(
+        rec.counters().get("fleet.trials_executed").copied(),
+        Some(report.executed)
+    );
+    assert!(rec.histograms().contains_key("fleet.trial_us"));
+}

@@ -1,0 +1,256 @@
+//! Append-only JSON-lines journals with batched durability.
+//!
+//! The fleet campaign runtime persists per-trial progress as one
+//! [`Json`] document per line. The format is chosen for kill-safety, not
+//! elegance: appends are strictly sequential, each line is flushed to
+//! the OS as soon as it is complete (a `SIGKILL` therefore loses at most
+//! the line being written), and `fdatasync` runs once per
+//! [`JournalWriter::batch`] lines (a *power* failure therefore loses at
+//! most one unsynced batch). Everything a crash can corrupt is the tail,
+//! so [`read_journal`] tolerates — and counts — unparsable lines
+//! instead of failing: a half-written record reads as a skipped line and
+//! the trial it described simply re-executes on resume.
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::json::Json;
+
+/// Default number of appended lines between `fdatasync` calls.
+pub const DEFAULT_FSYNC_BATCH: usize = 32;
+
+/// An append-only writer of one-[`Json`]-per-line journal files.
+///
+/// # Examples
+///
+/// ```
+/// use obs::{journal, Json};
+///
+/// let dir = std::env::temp_dir().join("obs-journal-doctest");
+/// std::fs::create_dir_all(&dir).unwrap();
+/// let path = dir.join("j.jsonl");
+/// let mut w = journal::JournalWriter::create(&path, 2).unwrap();
+/// w.append(&Json::obj([("n", Json::U64(1))])).unwrap();
+/// w.append(&Json::obj([("n", Json::U64(2))])).unwrap();
+/// drop(w);
+/// let read = journal::read_journal(&path).unwrap();
+/// assert_eq!(read.lines.len(), 2);
+/// assert_eq!(read.skipped, 0);
+/// # std::fs::remove_file(&path).unwrap();
+/// ```
+pub struct JournalWriter {
+    file: BufWriter<File>,
+    batch: usize,
+    pending: usize,
+    appended: u64,
+    syncs: u64,
+}
+
+impl JournalWriter {
+    /// Creates (or truncates) the journal at `path`. `batch` is the
+    /// number of appended lines between fsyncs (clamped to ≥ 1).
+    pub fn create(path: &Path, batch: usize) -> std::io::Result<JournalWriter> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let file = File::create(path)?;
+        Ok(JournalWriter::over(file, batch))
+    }
+
+    /// Opens the journal at `path` for appending (creating it when
+    /// absent) — the resume path: prior lines are left untouched.
+    pub fn append_existing(path: &Path, batch: usize) -> std::io::Result<JournalWriter> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(JournalWriter::over(file, batch))
+    }
+
+    fn over(file: File, batch: usize) -> JournalWriter {
+        JournalWriter {
+            file: BufWriter::new(file),
+            batch: batch.max(1),
+            pending: 0,
+            appended: 0,
+            syncs: 0,
+        }
+    }
+
+    /// Appends one document as a compact single line and flushes it to
+    /// the OS; every [`JournalWriter::batch`]-th append also fsyncs.
+    pub fn append(&mut self, doc: &Json) -> std::io::Result<()> {
+        writeln!(self.file, "{}", doc.render())?;
+        // Reach the OS page cache immediately: a killed *process* loses
+        // nothing that was appended, fsynced or not.
+        self.file.flush()?;
+        self.pending += 1;
+        self.appended += 1;
+        if self.pending >= self.batch {
+            self.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Forces an fsync of everything appended so far.
+    pub fn sync(&mut self) -> std::io::Result<()> {
+        self.file.flush()?;
+        self.file.get_ref().sync_data()?;
+        self.pending = 0;
+        self.syncs += 1;
+        Ok(())
+    }
+
+    /// The configured lines-per-fsync batch size.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// Lines appended through this writer (not counting pre-existing
+    /// lines of an appended-to journal).
+    pub fn appended(&self) -> u64 {
+        self.appended
+    }
+
+    /// fsyncs issued by this writer.
+    pub fn syncs(&self) -> u64 {
+        self.syncs
+    }
+}
+
+impl Drop for JournalWriter {
+    fn drop(&mut self) {
+        // Best-effort final durability point; errors have no channel
+        // here, and the reader tolerates a torn tail anyway.
+        let _ = self.sync();
+    }
+}
+
+/// The parsed content of a journal file.
+#[derive(Debug, Clone, Default)]
+pub struct JournalRead {
+    /// Every line that parsed as a JSON document, in file order.
+    pub lines: Vec<Json>,
+    /// Non-empty lines that failed to parse (a torn tail after a crash,
+    /// or foreign garbage); these are skipped, never fatal.
+    pub skipped: u64,
+}
+
+/// Reads a journal written by [`JournalWriter`]. Unparsable lines are
+/// counted in [`JournalRead::skipped`] and otherwise ignored — after a
+/// kill mid-append the final line is legitimately torn.
+pub fn read_journal(path: &Path) -> std::io::Result<JournalRead> {
+    let mut text = String::new();
+    File::open(path)?.read_to_string(&mut text)?;
+    let mut out = JournalRead::default();
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match Json::parse(line) {
+            Ok(doc) => out.lines.push(doc),
+            Err(_) => out.skipped += 1,
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("obs-journal-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn line(i: u64) -> Json {
+        Json::obj([("i", Json::U64(i))])
+    }
+
+    #[test]
+    fn append_and_read_round_trip() {
+        let path = tmp("roundtrip.jsonl");
+        let mut w = JournalWriter::create(&path, 4).unwrap();
+        for i in 0..10 {
+            w.append(&line(i)).unwrap();
+        }
+        assert_eq!(w.appended(), 10);
+        drop(w);
+        let read = read_journal(&path).unwrap();
+        assert_eq!(read.skipped, 0);
+        let got: Vec<u64> = read
+            .lines
+            .iter()
+            .map(|j| j.get("i").unwrap().as_u64().unwrap())
+            .collect();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn fsync_runs_once_per_batch_plus_final() {
+        let path = tmp("batch.jsonl");
+        let mut w = JournalWriter::create(&path, 4).unwrap();
+        for i in 0..10 {
+            w.append(&line(i)).unwrap();
+        }
+        // 10 appends at batch 4: syncs after lines 4 and 8.
+        assert_eq!(w.syncs(), 2);
+        w.sync().unwrap();
+        assert_eq!(w.syncs(), 3);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_skipped_not_fatal() {
+        let path = tmp("torn.jsonl");
+        let mut w = JournalWriter::create(&path, 1).unwrap();
+        for i in 0..3 {
+            w.append(&line(i)).unwrap();
+        }
+        drop(w);
+        // Simulate a crash mid-append: a truncated final record.
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"{\"i\": 99").unwrap();
+        drop(f);
+        let read = read_journal(&path).unwrap();
+        assert_eq!(read.lines.len(), 3);
+        assert_eq!(read.skipped, 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn append_existing_preserves_prior_lines() {
+        let path = tmp("resume.jsonl");
+        let mut w = JournalWriter::create(&path, 1).unwrap();
+        w.append(&line(0)).unwrap();
+        drop(w);
+        let mut w = JournalWriter::append_existing(&path, 1).unwrap();
+        w.append(&line(1)).unwrap();
+        assert_eq!(w.appended(), 1, "counts only this handle's appends");
+        drop(w);
+        let read = read_journal(&path).unwrap();
+        assert_eq!(read.lines.len(), 2);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn create_truncates() {
+        let path = tmp("trunc.jsonl");
+        let mut w = JournalWriter::create(&path, 1).unwrap();
+        w.append(&line(0)).unwrap();
+        drop(w);
+        let w = JournalWriter::create(&path, 1).unwrap();
+        drop(w);
+        let read = read_journal(&path).unwrap();
+        assert!(read.lines.is_empty());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -23,13 +23,19 @@
 //!   reports can be emitted and re-validated without external crates.
 //! - [`schema`]: a structural schema validator used to keep the `report`
 //!   CLI output schema-stable (CI validates every emitted report).
+//!
+//! Plus one durable primitive: [`journal`], an append-only
+//! one-JSON-document-per-line file with per-line OS flushes and batched
+//! fsyncs — the progress substrate of resumable fleet campaigns.
 
 pub mod instrument;
+pub mod journal;
 pub mod json;
 pub mod recorder;
 pub mod schema;
 
 pub use instrument::Instrument;
+pub use journal::{read_journal, JournalRead, JournalWriter, DEFAULT_FSYNC_BATCH};
 pub use json::Json;
 pub use recorder::{Event, HistogramSnapshot, NullRecorder, Recorder, RingRecorder, Value};
 pub use schema::{validate, Field, Schema};

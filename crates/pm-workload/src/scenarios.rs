@@ -45,6 +45,18 @@ pub fn by_id(id: &str) -> Option<Box<dyn Scenario>> {
     all().into_iter().find(|s| s.id() == id)
 }
 
+/// Resolves a list of scenario ids in order, failing on the first
+/// unknown id — the resume path reconstructing a campaign's scenario
+/// set from a journal header must not silently drop entries.
+pub fn by_ids<S: AsRef<str>>(ids: &[S]) -> Result<Vec<Box<dyn Scenario>>, String> {
+    ids.iter()
+        .map(|id| {
+            let id = id.as_ref();
+            by_id(id).ok_or_else(|| format!("unknown scenario id `{id}`"))
+        })
+        .collect()
+}
+
 fn call(vm: &mut Vm, name: &str, args: &[u64]) -> Result<(), VmError> {
     vm.call(name, args).map(|_| ())
 }

@@ -104,6 +104,21 @@ impl SiteKind {
             SiteKind::TxAbort => "tx_abort",
         }
     }
+
+    /// Inverse of [`SiteKind::as_str`] — journal lines carry the name.
+    pub fn parse(s: &str) -> Option<SiteKind> {
+        [
+            SiteKind::Persist,
+            SiteKind::Drain,
+            SiteKind::Alloc,
+            SiteKind::Free,
+            SiteKind::TxBegin,
+            SiteKind::TxCommit,
+            SiteKind::TxAbort,
+        ]
+        .into_iter()
+        .find(|k| k.as_str() == s)
+    }
 }
 
 /// One issue found by [`PmPool::check`], the `pmempool-check` analogue.

@@ -96,8 +96,8 @@ const COMMANDS: &[CommandSpec] = &[
         summary: "crash-point injection campaign over a scenario's durability boundaries",
         args: &[ArgSpec {
             name: "scenario",
-            required: true,
-            help: "scenario id (f1..f12, fx1), or `all`",
+            required: false,
+            help: "scenario id (f1..f12, fx1), or `all` (required unless --resume)",
         }],
         flags: &[
             FlagSpec {
@@ -150,6 +150,35 @@ const COMMANDS: &[CommandSpec] = &[
                 name: "--out",
                 value: Some("FILE"),
                 help: "write the matrix JSON to FILE",
+            },
+            FlagSpec {
+                name: "--fleet",
+                value: None,
+                help: "drain one globally interleaved trial queue across all scenarios \
+                       with --runners workers (matrix byte-identical to sequential)",
+            },
+            FlagSpec {
+                name: "--journal",
+                value: Some("DIR"),
+                help: "journal per-trial progress under DIR (implies --fleet); a killed \
+                       campaign resumes with --resume DIR",
+            },
+            FlagSpec {
+                name: "--resume",
+                value: Some("DIR"),
+                help: "resume from the journal under DIR: the campaign configuration is \
+                       reconstructed from its header and finished trials are not re-run",
+            },
+            FlagSpec {
+                name: "--fsync-batch",
+                value: Some("N"),
+                help: "journal lines between fsyncs (default 32)",
+            },
+            FlagSpec {
+                name: "--trial-limit",
+                value: Some("N"),
+                help: "stop after executing N new trials (mid-queue-kill simulation; \
+                       progress stays in the journal)",
             },
             ANALYSIS_CACHE_FLAG,
             NO_ANALYSIS_CACHE_FLAG,
@@ -588,31 +617,132 @@ fn cmd_report(p: Parsed) {
     std::process::exit(if failed > 0 { 1 } else { 0 });
 }
 
-fn cmd_inject(p: Parsed) {
-    let which = p.pos(0).expect("required");
-    let seed = flag_u64(&p, "--seed", 1);
-    let seeds = flag_u64(&p, "--seeds", 2) as u32;
-    let policies = inject::parse_policies(p.get("--policies").unwrap_or("drop,keep"), seeds, seed)
-        .unwrap_or_else(|e| {
-            eprintln!("{e}");
+/// Builds the resumed campaign from a journal header: scenario set,
+/// policies and every matrix-determining knob come from the journal, so
+/// supplying any of them on the resume command line is a contradiction
+/// and rejected up front.
+fn resume_campaign(
+    p: &Parsed,
+    dir: &str,
+) -> (inject::CampaignConfig, Vec<Box<dyn pm_workload::Scenario>>) {
+    const MATRIX_FLAGS: &[&str] = &[
+        "--stride",
+        "--budget",
+        "--runners",
+        "--policies",
+        "--seeds",
+        "--seed",
+        "--invariants",
+        "--no-invariants",
+    ];
+    for f in MATRIX_FLAGS {
+        if p.get(f).is_some() || p.has(f) {
+            eprintln!("{f} conflicts with --resume: the journal header fixes it");
             std::process::exit(2);
-        });
+        }
+    }
+    if p.pos(0).is_some() {
+        eprintln!("a scenario argument conflicts with --resume: the journal header fixes the scenario set");
+        std::process::exit(2);
+    }
+    let header = inject::read_header(std::path::Path::new(dir)).unwrap_or_else(|e| {
+        eprintln!("cannot resume from {dir}: {e}");
+        std::process::exit(1);
+    });
+    let targets = scenarios::by_ids(&header.scenarios).unwrap_or_else(|e| {
+        eprintln!("cannot resume from {dir}: {e}");
+        std::process::exit(1);
+    });
     let cfg = inject::CampaignConfig::builder()
-        .stride(flag_u64(&p, "--stride", 1))
-        .budget(flag_u64(&p, "--budget", 400) as usize)
-        .runners(flag_u64(&p, "--runners", 1) as usize)
-        .seed(seed)
-        .policies(policies)
-        .invariants(p.has("--invariants") && !p.has("--no-invariants"))
-        .analysis_cache(resolve_cache(&p))
+        .stride(header.stride)
+        .budget(header.budget)
+        .runners(header.runners)
+        .seed(header.seed)
+        .policies(header.policies)
+        .invariants(header.invariants)
+        .analysis_cache(resolve_cache(p))
         .build()
         .unwrap_or_else(|e| {
+            eprintln!("cannot resume from {dir}: {e}");
+            std::process::exit(1);
+        });
+    (cfg, targets)
+}
+
+fn cmd_inject(p: Parsed) {
+    let resume_dir = p.get("--resume").map(str::to_string);
+    let (cfg, targets) = if let Some(dir) = &resume_dir {
+        resume_campaign(&p, dir)
+    } else {
+        let Some(which) = p.pos(0) else {
+            eprintln!("missing required argument <scenario> (or --resume DIR)");
+            std::process::exit(2);
+        };
+        let seed = flag_u64(&p, "--seed", 1);
+        let seeds = flag_u64(&p, "--seeds", 2) as u32;
+        let policies =
+            inject::parse_policies(p.get("--policies").unwrap_or("drop,keep"), seeds, seed)
+                .unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                });
+        let cfg = inject::CampaignConfig::builder()
+            .stride(flag_u64(&p, "--stride", 1))
+            .budget(flag_u64(&p, "--budget", 400) as usize)
+            .runners(flag_u64(&p, "--runners", 1) as usize)
+            .seed(seed)
+            .policies(policies)
+            .invariants(p.has("--invariants") && !p.has("--no-invariants"))
+            .analysis_cache(resolve_cache(&p))
+            .build()
+            .unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(2);
+            });
+        (cfg, resolve_scenarios(which))
+    };
+
+    if let (Some(r), Some(j)) = (&resume_dir, p.get("--journal")) {
+        if r != j {
+            eprintln!("--journal {j} conflicts with --resume {r}: a resume appends to the journal it resumes from");
+            std::process::exit(2);
+        }
+    }
+    let journal_dir = resume_dir
+        .clone()
+        .or_else(|| p.get("--journal").map(str::to_string));
+    let fleet_mode = journal_dir.is_some() || p.has("--fleet");
+    let report = if fleet_mode {
+        let mut b = inject::FleetConfig::builder(cfg)
+            .resume(resume_dir.is_some())
+            .fsync_batch(flag_u64(&p, "--fsync-batch", obs::DEFAULT_FSYNC_BATCH as u64) as usize)
+            .trial_limit(
+                p.get("--trial-limit")
+                    .map(|_| flag_u64(&p, "--trial-limit", 0)),
+            );
+        if let Some(dir) = &journal_dir {
+            b = b.journal_dir(dir);
+        }
+        let fcfg = b.build().unwrap_or_else(|e| {
             eprintln!("{e}");
             std::process::exit(2);
         });
-    let targets = resolve_scenarios(which);
-
-    let report = inject::run_campaign(&targets, &cfg);
+        let fleet = inject::run_fleet(&targets, &fcfg).unwrap_or_else(|e| {
+            eprintln!("fleet campaign failed: {e}");
+            std::process::exit(1);
+        });
+        eprint!("{}", fleet.render_summary());
+        if !fleet.complete {
+            // A trial-limited run intentionally stops mid-queue; the
+            // journal holds the progress and `--resume` finishes it. An
+            // incomplete matrix must never be published or gated on.
+            eprintln!("campaign incomplete; resume with: arthas-repro inject --resume <DIR>");
+            std::process::exit(0);
+        }
+        fleet.campaign
+    } else {
+        inject::run_campaign(&targets, &cfg)
+    };
     if let Err(errors) = report.validate_rendered() {
         eprintln!("campaign matrix failed schema validation:");
         for e in errors {
