@@ -37,7 +37,15 @@ use std::sync::{Arc, Mutex, MutexGuard};
 
 use pmemsim::PmSink;
 
-/// Maximum number of retained versions per address (the paper's default).
+/// Default number of retained versions per address (the paper's default).
+/// Individual logs can retain more via [`CheckpointLog::set_max_versions`]:
+/// offline campaigns detect faults at the crash site, so three versions
+/// reach back far enough, but an online server detects lazily (every
+/// `health_every` requests) and keeps writing in between — hot addresses
+/// such as a store's item counter or bucket heads rotate their pre-fault
+/// versions out of a 3-deep window before the detector fires, leaving
+/// rollback nothing to restore to. Serving deployments must size retention
+/// to at least a couple of detection intervals.
 pub const MAX_VERSIONS: usize = 3;
 
 /// Shard count used by [`ShardedLog::default`]. Eight shards keep the
@@ -161,6 +169,10 @@ pub struct CheckpointLog {
     /// re-executes the target during mitigation, so reversion attempts do
     /// not rotate good versions out of the log).
     enabled: bool,
+    /// Per-address version retention cap; [`MAX_VERSIONS`] unless raised
+    /// with [`CheckpointLog::set_max_versions`] (0 is treated as the
+    /// default so `Default`-constructed logs behave like `new`).
+    max_versions: usize,
     total_updates: u64,
     /// Largest data size ever recorded; bounds the `covering` scan.
     max_len: u64,
@@ -180,6 +192,23 @@ impl CheckpointLog {
     /// Enables or disables recording.
     pub fn set_enabled(&mut self, enabled: bool) {
         self.enabled = enabled;
+    }
+
+    /// Sets the per-address version retention cap (clamped to at least 1).
+    /// Already-rotated versions are gone; raise the cap before the
+    /// workload runs. Online servers should keep at least a couple of
+    /// detection intervals' worth of history (see [`MAX_VERSIONS`]).
+    pub fn set_max_versions(&mut self, n: usize) {
+        self.max_versions = n.max(1);
+    }
+
+    /// The per-address version retention cap currently in force.
+    pub fn max_versions(&self) -> usize {
+        if self.max_versions == 0 {
+            MAX_VERSIONS
+        } else {
+            self.max_versions
+        }
     }
 
     fn rec_add(&self, counter: &'static str, delta: u64) {
@@ -283,6 +312,7 @@ impl CheckpointLog {
         if let Some(tx) = tx_id {
             self.tx_members.entry(tx).or_default().push(seq);
         }
+        let cap = self.max_versions();
         let entry = self.entries.entry(addr).or_default();
         entry.versions.push_back(VersionData {
             seq,
@@ -290,7 +320,7 @@ impl CheckpointLog {
             tx_id,
         });
         let mut rotated = 0u64;
-        while entry.versions.len() > MAX_VERSIONS {
+        while entry.versions.len() > cap {
             let dropped = entry.versions.pop_front().expect("non-empty");
             self.seq_to_addr.remove(&dropped.seq);
             rotated += 1;
@@ -735,6 +765,14 @@ impl ShardedLog {
     pub fn set_enabled(&self, enabled: bool) {
         for i in 0..self.shards.len() {
             self.shard(i).set_enabled(enabled);
+        }
+    }
+
+    /// Sets the per-address version retention cap on every shard (see
+    /// [`CheckpointLog::set_max_versions`]).
+    pub fn set_max_versions(&self, n: usize) {
+        for i in 0..self.shards.len() {
+            self.shard(i).set_max_versions(n);
         }
     }
 

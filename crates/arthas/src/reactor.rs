@@ -104,6 +104,26 @@ pub struct ReactorConfig {
     /// sequential loop. Requires a [`ForkableTarget`]
     /// (see [`Reactor::mitigate_speculative`]).
     speculation: Option<usize>,
+    /// Apply every attempt to a fork of the *original* crashed image
+    /// instead of accumulating reversions across attempts, and restore
+    /// that image when mitigation fails. Cumulative attempts (the
+    /// default, the paper's offline semantics) can poison the pool: a
+    /// failed purge's writes are not checkpointed (the log is disabled
+    /// during mitigation), so later attempts inherit damage that neither
+    /// healing nor rollback can see. A live server mitigating online
+    /// with traffic entries above the fault in the candidate list needs
+    /// each attempt judged on its own merits — and a failed mitigation
+    /// must hand back the image it was given, not a mangled one.
+    isolate_attempts: bool,
+    /// In rollback mode, double the number of candidates consumed per
+    /// attempt after every failed attempt (1, 2, 4, …) instead of
+    /// crawling one candidate deeper each time. The rollback cut reaches
+    /// a depth of `d` candidates in O(log d) re-executions rather than
+    /// `d`; the price is overshooting the minimal cut by up to the last
+    /// stride, discarding more data than a one-by-one walk would. Offline
+    /// campaigns favour minimal discard (default off); an online server
+    /// favours time-to-recover and accounts the extra discard honestly.
+    accelerate_rollback: bool,
 }
 
 /// Validating builder for [`ReactorConfig`]; see the field setters for
@@ -170,6 +190,24 @@ impl ReactorConfigBuilder {
         self
     }
 
+    /// Judge each attempt against a fork of the original crashed image
+    /// instead of accumulating reversions, and restore that image on
+    /// failure (default off — the cumulative offline semantics). The
+    /// online serving path sets this: see [`ReactorConfig`]'s field docs
+    /// for why cumulative attempts poison a live pool.
+    pub fn isolate_attempts(mut self, isolate_attempts: bool) -> Self {
+        self.cfg.isolate_attempts = isolate_attempts;
+        self
+    }
+
+    /// Geometrically grow the rollback batch after each failed attempt
+    /// (default off — one-by-one minimises discard). See
+    /// [`ReactorConfig`]'s field docs for the trade-off.
+    pub fn accelerate_rollback(mut self, accelerate_rollback: bool) -> Self {
+        self.cfg.accelerate_rollback = accelerate_rollback;
+        self
+    }
+
     /// Validates and produces the configuration.
     pub fn build(self) -> Result<ReactorConfig, ConfigError> {
         if self.cfg.max_attempts == 0 {
@@ -203,6 +241,8 @@ impl Default for ReactorConfig {
             purge_fallback_after: 60,
             minimize_loss: false,
             speculation: None,
+            isolate_attempts: false,
+            accelerate_rollback: false,
         }
     }
 }
@@ -697,6 +737,9 @@ impl<'a> Reactor<'a> {
         let mut mode = self.cfg.mode;
         let mut mode_fellback = false;
         let mut ledger = RevertLedger::default();
+        // Isolated attempts: every batch is applied to a fresh fork of
+        // the crashed image, and a failed mitigation restores it.
+        let base = self.cfg.isolate_attempts.then(|| pool.fork());
         let fwd = match self.cfg.mode {
             Mode::Purge => Some(self.analysis.pdg.forward_index()),
             Mode::Rollback => None,
@@ -705,11 +748,17 @@ impl<'a> Reactor<'a> {
             BatchStrategy::OneByOne => 1,
             BatchStrategy::Batch(n) => n.max(1),
         };
-
         for depth in 1..=MAX_VERSIONS {
             let mut pending: Vec<u64> = plan.seqs.clone();
+            // Geometric rollback stride (see `accelerate_rollback`):
+            // doubles after every failed rollback attempt, resets per
+            // depth.
+            let mut stride = batch_size;
             while !pending.is_empty() {
                 if attempts >= self.cfg.max_attempts {
+                    if let Some(b) = base {
+                        pool.reabsorb(b);
+                    }
                     return MitigationOutcome::failed(
                         plan.seqs.len(),
                         attempts,
@@ -729,7 +778,11 @@ impl<'a> Reactor<'a> {
                         ],
                     );
                 }
-                let take = batch_size.min(pending.len());
+                let take = if mode == Mode::Rollback && self.cfg.accelerate_rollback {
+                    stride.min(pending.len())
+                } else {
+                    batch_size.min(pending.len())
+                };
                 let batch: Vec<u64> = pending.drain(..take).collect();
                 self.recorder.event(
                     "reactor.attempt",
@@ -741,6 +794,10 @@ impl<'a> Reactor<'a> {
                     ],
                 );
                 let t_rv = Instant::now();
+                if let Some(b) = &base {
+                    pool.reabsorb(b.fork());
+                    ledger = RevertLedger::default();
+                }
                 self.apply_batch(
                     pool,
                     log_rc,
@@ -784,6 +841,9 @@ impl<'a> Reactor<'a> {
                         };
                     }
                     Err(f) => {
+                        if mode == Mode::Rollback && self.cfg.accelerate_rollback {
+                            stride = stride.saturating_mul(2);
+                        }
                         // An assertion in recovery under purge mode means
                         // the purge introduced an inconsistency: fall back.
                         if mode == Mode::Purge && f.kind == FailureKind::Panic {
@@ -800,6 +860,9 @@ impl<'a> Reactor<'a> {
                     }
                 }
             }
+        }
+        if let Some(b) = base {
+            pool.reabsorb(b);
         }
         MitigationOutcome::failed(plan.seqs.len(), attempts, attempts, t0.elapsed(), phases)
     }
@@ -844,6 +907,7 @@ impl<'a> Reactor<'a> {
             attempts: u32,
             mode: Mode,
             mode_fellback: bool,
+            stride: usize,
         }
 
         let mut attempts = 0u32;
@@ -859,9 +923,11 @@ impl<'a> Reactor<'a> {
             BatchStrategy::OneByOne => 1,
             BatchStrategy::Batch(n) => n.max(1),
         };
-
         for depth in 1..=MAX_VERSIONS {
             let mut pending: Vec<u64> = plan.seqs.clone();
+            // Geometric rollback stride (see `accelerate_rollback`),
+            // simulated per wave exactly like the sequential loop.
+            let mut stride = batch_size;
             while !pending.is_empty() {
                 if attempts >= self.cfg.max_attempts {
                     return MitigationOutcome::failed(
@@ -883,6 +949,7 @@ impl<'a> Reactor<'a> {
                     let mut sim_attempts = attempts;
                     let mut sim_mode = mode;
                     let mut sim_fellback = mode_fellback;
+                    let mut sim_stride = stride;
                     while steps.len() < workers
                         && !sim_pending.is_empty()
                         && sim_attempts < self.cfg.max_attempts
@@ -892,8 +959,19 @@ impl<'a> Reactor<'a> {
                             sim_mode = Mode::Rollback;
                             sim_fellback = true;
                         }
-                        let take = batch_size.min(sim_pending.len());
+                        let take = if sim_mode == Mode::Rollback && self.cfg.accelerate_rollback {
+                            sim_stride.min(sim_pending.len())
+                        } else {
+                            batch_size.min(sim_pending.len())
+                        };
                         let batch: Vec<u64> = sim_pending.drain(..take).collect();
+                        if self.cfg.isolate_attempts {
+                            // Isolated attempts: every step starts from the
+                            // crashed image (`pool` is never polluted — a
+                            // failed wave adopts only control state below).
+                            sim_pool = pool.fork();
+                            sim_ledger = RevertLedger::default();
+                        }
                         self.apply_batch(
                             &mut sim_pool,
                             log_rc,
@@ -906,6 +984,11 @@ impl<'a> Reactor<'a> {
                             &mut sim_ledger,
                         );
                         sim_attempts += 1;
+                        // Speculation assumes this step fails; a success
+                        // discards the later steps anyway.
+                        if sim_mode == Mode::Rollback && self.cfg.accelerate_rollback {
+                            sim_stride = sim_stride.saturating_mul(2);
+                        }
                         steps.push(SpecStep {
                             pool: sim_pool.fork(),
                             ledger: sim_ledger.clone(),
@@ -913,6 +996,7 @@ impl<'a> Reactor<'a> {
                             attempts: sim_attempts,
                             mode: sim_mode,
                             mode_fellback: sim_fellback,
+                            stride: sim_stride,
                         });
                     }
                 }
@@ -1010,14 +1094,19 @@ impl<'a> Reactor<'a> {
                         phases,
                     };
                 }
-                // No success: adopt the last valid step's state.
+                // No success: adopt the last valid step's state. Under
+                // isolated attempts only the control state advances — the
+                // pool stays the crashed image every step forked from.
                 let step = steps.swap_remove(last_valid);
-                pool.reabsorb(step.pool);
-                ledger = step.ledger;
+                if !self.cfg.isolate_attempts {
+                    pool.reabsorb(step.pool);
+                    ledger = step.ledger;
+                }
                 attempts = step.attempts;
                 pending = step.pending;
                 mode = step.mode;
                 mode_fellback = step.mode_fellback;
+                stride = step.stride;
                 if flipped {
                     mode = Mode::Rollback;
                     mode_fellback = true;
@@ -1105,6 +1194,45 @@ impl<'a> Reactor<'a> {
                 // seq in the batch.
                 if let Some(&cut) = normal.iter().min() {
                     self.rollback_to(pool, log_rc, cut, ledger);
+                    // Media corruption below the cut is invisible to the
+                    // rewind: an address whose newest logged version is
+                    // older than the cut is never restored by
+                    // `rollback_to`, so its diverged media bytes survive
+                    // every rollback attempt. Heal those plan candidates
+                    // to the durable truth — with no logged write between
+                    // their newest version and the cut, the expected
+                    // value at the cut equals `expected_current`.
+                    let heals: Vec<(u64, u64, Vec<u8>)> = {
+                        let log = log_rc.view();
+                        let touched: std::collections::HashSet<u64> =
+                            log.addrs_touched_since(cut).into_iter().collect();
+                        let mut seen = std::collections::HashSet::new();
+                        plan.seqs
+                            .iter()
+                            .filter(|s| !batch.contains(s))
+                            .filter_map(|&s| {
+                                let addr = log.addr_of_seq(s)?;
+                                if touched.contains(&addr) || !seen.insert(addr) {
+                                    return None;
+                                }
+                                if !seq_diverged(&log, pool, s) {
+                                    return None;
+                                }
+                                let data = log.expected_current(addr)?;
+                                Some((s, addr, data))
+                            })
+                            .collect()
+                    };
+                    for (s, addr, data) in heals {
+                        ledger.capture(pool, addr, data.len());
+                        let _ = pool.write(addr, &data);
+                        let _ = pool.persist(addr, data.len() as u64);
+                        ledger.by_addr.entry(addr).or_default();
+                        self.recorder.event(
+                            "reactor.heal",
+                            vec![("seq", Value::from(s)), ("addr", Value::from(addr))],
+                        );
+                    }
                 }
             }
         }

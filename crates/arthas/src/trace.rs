@@ -70,6 +70,25 @@ impl PmTrace {
         self.total = 0;
     }
 
+    /// Caps each GUID's offset list to its `max_per_guid` most recent
+    /// entries, returning how many older offsets were dropped.
+    ///
+    /// A long-running server absorbs the trace continuously; only recent
+    /// offsets can join still-live checkpoint-log versions, so the older
+    /// tail is dead weight. Reversion candidates are drawn from recent
+    /// updates, which this keeps.
+    pub fn retain_recent(&mut self, max_per_guid: usize) -> usize {
+        let mut dropped = 0;
+        for v in self.by_guid.values_mut() {
+            if v.len() > max_per_guid {
+                let excess = v.len() - max_per_guid;
+                v.drain(..excess);
+                dropped += excess;
+            }
+        }
+        dropped
+    }
+
     /// Appends raw VM trace records to a file (`guid<TAB>offset` lines) —
     /// the asynchronously flushed PM address trace of §4.1. Non-PM
     /// addresses are dropped, as in [`PmTrace::absorb`].
@@ -126,6 +145,17 @@ mod tests {
         assert_eq!(t.offsets(2), &[200]);
         assert_eq!(t.total_records(), 3);
         assert!(t.offsets(3).is_empty());
+    }
+
+    #[test]
+    fn retain_recent_keeps_the_tail() {
+        let mut t = PmTrace::new();
+        t.absorb((0..10u64).map(|i| (1, pm_addr(64 + 8 * i))));
+        t.absorb([(2, pm_addr(0))]);
+        let dropped = t.retain_recent(3);
+        assert_eq!(dropped, 7);
+        assert_eq!(t.offsets(1), &[120, 128, 136]);
+        assert_eq!(t.offsets(2), &[0], "under-cap guids untouched");
     }
 
     #[test]

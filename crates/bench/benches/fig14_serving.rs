@@ -1,0 +1,112 @@
+//! Figure 14 (extension): serving under online hard-fault mitigation.
+//!
+//! The paper evaluates Arthas on offline crash campaigns; this figure
+//! extends the evaluation to a live front-end. For each servable
+//! scenario a memcached/RESP server backs onto the PM app while YCSB-
+//! shaped get/set traffic streams over concurrent connections; mid-run
+//! the hard fault is armed, and the detector/reactor must recover the
+//! pool **online**. Reported per scenario:
+//!
+//! * throughput over the whole run (ops/s),
+//! * overall and during-mitigation p99 latency (client-observed),
+//! * the outage bound (fault armed → recovery observed),
+//! * requests lost vs the reactor's discarded-update accounting — the
+//!   serving analogue of fig9: every acked-then-lost tracked set must
+//!   be covered by a discarded checkpoint update.
+//!
+//! Knobs: `FIG14_CONNS` (default 64), `FIG14_OPS` (default 10000),
+//! `FIG14_FAULT_AT` (default ops/2; `none` disables the fault for a
+//! clean-run baseline row).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use pm_workload::{run_load, LoadConfig, LoadReport};
+use serve::{EngineConfig, Server, ServerConfig, SERVABLE};
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn run_one(scenario: &str, conns: usize, ops: u64, fault_at: Option<u64>) -> Option<LoadReport> {
+    let recorder = Arc::new(obs::RingRecorder::new(1 << 16));
+    let handle = Server::start(
+        ServerConfig {
+            workers: 4,
+            engine: EngineConfig {
+                scenario: scenario.into(),
+                ..EngineConfig::default()
+            },
+            ..ServerConfig::default()
+        },
+        None,
+        recorder,
+    )
+    .ok()?;
+    let cfg = LoadConfig {
+        conns,
+        ops,
+        fault_at,
+        recovery_timeout: Duration::from_secs(120),
+        ..LoadConfig::default()
+    };
+    run_load(handle.addr(), &cfg).ok()
+}
+
+fn main() {
+    let conns = env_u64("FIG14_CONNS", 64) as usize;
+    let ops = env_u64("FIG14_OPS", 10_000);
+    let fault_at = match std::env::var("FIG14_FAULT_AT").as_deref() {
+        Ok("none") => None,
+        Ok(v) => v.parse().ok(),
+        Err(_) => Some(ops / 2),
+    };
+    println!("== Figure 14: serving under online hard-fault mitigation ==");
+    println!("conns={conns} ops={ops} fault_at={fault_at:?}");
+    println!(
+        "{:<5} {:>10} {:>9} {:>12} {:>11} {:>10} {:>11} {:>10}",
+        "id", "ops/s", "p99 ms", "p99-mit ms", "outage ms", "lost", "discarded", "recovered"
+    );
+    for &scn in SERVABLE {
+        let Some(r) = run_one(scn, conns, ops, fault_at) else {
+            println!("{scn:<5} {:>10}", "n/a");
+            continue;
+        };
+        let outage_ms = match (r.fault_armed_at_us, r.recovered_at_us) {
+            (Some(a), Some(b)) if b > a => format!("{:.1}", (b - a) as f64 / 1000.0),
+            (Some(_), _) => "∞".into(),
+            (None, _) => "-".into(),
+        };
+        let p99_mit = r
+            .p99_during_mitigation_us
+            .map(|v| format!("{:.2}", v as f64 / 1000.0))
+            .unwrap_or_else(|| "-".into());
+        let discarded = r.stat_u64("discarded_updates").unwrap_or(0);
+        let total = r.stat_u64("total_updates").unwrap_or(0);
+        println!(
+            "{:<5} {:>10.0} {:>9.2} {:>12} {:>11} {:>10} {:>11} {:>10}",
+            scn,
+            r.throughput_ops_s,
+            r.p99_us as f64 / 1000.0,
+            p99_mit,
+            outage_ms,
+            r.tracked_lost,
+            format!("{discarded}/{total}"),
+            if fault_at.is_none() {
+                "n/a".to_string()
+            } else {
+                r.recovered.to_string()
+            },
+        );
+        if fault_at.is_some() {
+            assert!(
+                r.tracked_lost <= discarded,
+                "{scn}: tracked loss {} exceeds discarded updates {discarded}",
+                r.tracked_lost
+            );
+        }
+    }
+}

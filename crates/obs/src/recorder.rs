@@ -340,6 +340,17 @@ impl RingRecorder {
             .collect()
     }
 
+    /// Snapshot of a single histogram (`None` if it has no observations),
+    /// without cloning the whole map — for per-request stats paths.
+    pub fn histogram(&self, name: &str) -> Option<HistogramSnapshot> {
+        self.lock().hists.get(name).map(|h| h.snapshot())
+    }
+
+    /// Current value of a single counter (0 if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.lock().counters.get(name).copied().unwrap_or(0)
+    }
+
     /// Microseconds elapsed since the recorder's epoch.
     pub fn now_us(&self) -> u64 {
         self.epoch.elapsed().as_micros().min(u64::MAX as u128) as u64

@@ -96,7 +96,8 @@ pub const PRESENCE_ASSERT: u64 = 91;
 /// `kv_init()`, `kv_recover()`, `put(k, fill, n) -> ok`,
 /// `get(k) -> first8|MISS`, `get_hold(k) -> ok`, `append(k, n, fill) -> ok`,
 /// `flush_all(delay)`, `concurrent_put(k1, k2)`, `check_keys(k0, k1)`,
-/// `check_invariant()`, `count_reachable() -> n`, `stored_count() -> n`.
+/// `check_invariant()`, `count_reachable() -> n`, `stored_count() -> n`,
+/// `value_len(k) -> n|MISS`.
 pub fn build() -> Module {
     let mut m = ModuleBuilder::new();
     let ht_lock = m.global("ht_lock", 8);
@@ -125,6 +126,7 @@ pub fn build() -> Module {
     m.declare("check_invariant", 0, false);
     m.declare("count_reachable", 0, true);
     m.declare("stored_count", 0, true);
+    m.declare("value_len", 1, true);
 
     // ---- kv_init -------------------------------------------------------
     {
@@ -1066,6 +1068,25 @@ pub fn build() -> Module {
         f.ret(None);
         f.finish();
     }
+    {
+        // Stored byte length of a value (MISS when absent) — lets a wire
+        // front-end report the true length alongside `get`'s first8.
+        let mut f = m.func("value_len", 1, true);
+        f.loc("memcached.c:value-len");
+        let k = f.param(0);
+        f.call("kv_init", &[]);
+        let it = f.call("assoc_find", &[k]).unwrap();
+        let zero = f.konst(0);
+        let none = f.eq(it, zero);
+        f.if_(none, |f| {
+            let miss = f.konst(MISS);
+            f.ret(Some(miss));
+        });
+        let np = f.gep(it, item::NBYTES);
+        let n = f.load8(np);
+        f.ret(Some(n));
+        f.finish();
+    }
 
     m.finish().expect("kvcache module verifies")
 }
@@ -1099,6 +1120,17 @@ mod tests {
         let got = v.call("get", &[5]).unwrap().unwrap();
         assert_eq!(got, 0xABABABABABABABAB);
         assert_eq!(v.call("get", &[6]).unwrap(), Some(MISS));
+    }
+
+    #[test]
+    fn value_len_reports_stored_length() {
+        let mut v = vm();
+        v.call("kv_init", &[]).unwrap();
+        v.call("put", &[5, 0xAB, 16]).unwrap();
+        assert_eq!(v.call("value_len", &[5]).unwrap(), Some(16));
+        assert_eq!(v.call("value_len", &[6]).unwrap(), Some(MISS));
+        v.call("append", &[5, 8, 0xCC]).unwrap();
+        assert_eq!(v.call("value_len", &[5]).unwrap(), Some(24));
     }
 
     #[test]

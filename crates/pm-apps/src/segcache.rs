@@ -61,7 +61,7 @@ pub const PRESENCE_ASSERT: u64 = 93;
 ///
 /// Handlers: `sc_init()`, `sc_recover()`, `set(k, vlen, fill) -> ok`,
 /// `get(k) -> first8|MISS`, `enable_metrics()`, `stats() -> v`,
-/// `bump_stat(i)`, `check_keys(k0, k1)`.
+/// `bump_stat(i)`, `check_keys(k0, k1)`, `value_len(k) -> n|MISS`.
 pub fn build() -> Module {
     let mut m = ModuleBuilder::new();
 
@@ -340,6 +340,47 @@ pub fn build() -> Module {
         f.finish();
     }
 
+    // ---- value_len -----------------------------------------------------------
+    {
+        // Stored byte length of a value (MISS when absent). Reads the
+        // 8-bit length field the way `set` wrote it, so a wire front-end
+        // reports exactly what the cache holds.
+        let mut f = m.func("value_len", 1, true);
+        f.loc("segcache.c:value-len");
+        let k = f.param(0);
+        f.call("sc_init", &[]);
+        let rs = f.konst(ROOT_SIZE);
+        let r = f.pm_root(rs);
+        let hp = f.gep(r, root::HEAD);
+        let head = f.load8(hp);
+        let cur = f.local(head);
+        f.while_(
+            |f| {
+                let cv = f.load8(cur);
+                let z = f.konst(0);
+                f.ne(cv, z)
+            },
+            |f| {
+                let cv = f.load8(cur);
+                let kp = f.gep(cv, item::KEY);
+                let ik = f.load8(kp);
+                let hit = f.eq(ik, k);
+                f.if_(hit, |f| {
+                    let cv = f.load8(cur);
+                    let lp = f.gep(cv, item::VLEN);
+                    let n = f.load(lp, 1);
+                    f.ret(Some(n));
+                });
+                let np = f.gep(cv, item::NEXT);
+                let nxt = f.load8(np);
+                f.store8(cur, nxt);
+            },
+        );
+        let miss = f.konst(MISS);
+        f.ret(Some(miss));
+        f.finish();
+    }
+
     m.finish().expect("segcache module verifies")
 }
 
@@ -368,6 +409,18 @@ mod tests {
         v.call("bump_stat", &[0]).unwrap();
         v.call("bump_stat", &[0]).unwrap();
         assert_eq!(v.call("stats", &[]).unwrap(), Some(2));
+    }
+
+    #[test]
+    fn value_len_reports_stored_length() {
+        let module = Arc::new(build());
+        let mut v = Vm::new(module, pool(), VmOpts::default());
+        v.call("set", &[1, 32, 0xCD]).unwrap();
+        assert_eq!(v.call("value_len", &[1]).unwrap(), Some(32));
+        assert_eq!(v.call("value_len", &[2]).unwrap(), Some(MISS));
+        // The newest write wins (chain is head-first).
+        v.call("set", &[1, 100, 0x11]).unwrap();
+        assert_eq!(v.call("value_len", &[1]).unwrap(), Some(100));
     }
 
     #[test]

@@ -16,10 +16,15 @@
 //!   sharded checkpoint store (writer forks sharing one `ShardedLog`),
 //!   with writer-count-independent detection and mitigation outcomes;
 //! - [`ycsb`]: YCSB-style workload generation for the overhead
-//!   experiments.
+//!   experiments;
+//! - [`loadgen`]: the TCP load driver for the `serve` front-end —
+//!   YCSB-shaped traffic over N connections with mid-run fault arming,
+//!   mitigation-window latency percentiles and exact acked-but-lost
+//!   accounting (fig14).
 
 pub mod concurrent;
 pub mod harness;
+pub mod loadgen;
 pub mod report;
 pub mod scenarios;
 pub mod ycsb;
@@ -30,3 +35,4 @@ pub use harness::{
     CrashCapture, Drive, InjectionOutcome, MitigationResult, Production, RunConfig, RunCtx,
     Scenario, ScenarioTarget, SiteInjection, Solution, CRIU_INTERVAL, POOL_SIZE, RUN_TICKS,
 };
+pub use loadgen::{run_load, LoadConfig, LoadReport};

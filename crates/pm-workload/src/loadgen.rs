@@ -1,0 +1,533 @@
+//! Client-side load driver for the serving front-end (fig14).
+//!
+//! Streams YCSB-shaped get/set traffic over N concurrent TCP
+//! connections (a configurable share speaking RESP, the rest the
+//! memcached text protocol — both reusing the `serve` crate's codecs
+//! client-side), arms the server's configured hard fault when the
+//! global op counter crosses `fault_at`, and measures what clients
+//! actually observe while the detector/reactor recover the pool
+//! **online**: error counts, latency percentiles inside the mitigation
+//! window, and exact acked-but-lost writes via tracked sets — the
+//! serving-side counterpart of the fig9 discarded-data accounting.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use serve::command::{Cmd, Parse, Reply};
+use serve::{memcached, resp};
+
+use crate::ycsb::{KvOp, KvWorkload};
+
+/// Per-request socket timeout; a mitigation inside an `exec` call can
+/// stall the engine mutex for the whole recovery, so this bounds how
+/// long one client op can be held.
+const REQUEST_TIMEOUT: Duration = Duration::from_secs(30);
+/// Tracked-set key namespace: far from the traffic keyspace and from
+/// the server's canary/probe keys.
+const TRACK_BASE: u64 = 500_000;
+/// Per-connection tracked-key stride.
+const TRACK_STRIDE: u64 = 10_000;
+
+/// Load-run configuration.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Concurrent connections.
+    pub conns: usize,
+    /// Total ops across all connections.
+    pub ops: u64,
+    /// Read percentage of the YCSB mix.
+    pub read_pct: u32,
+    /// Percentage of connections speaking RESP (the rest memcached).
+    pub resp_pct: u32,
+    /// Zipfian key-space size.
+    pub key_space: u64,
+    /// First traffic key.
+    pub key_base: u64,
+    /// Workload seed.
+    pub seed: u64,
+    /// Global op index at which one connection arms the server's fault
+    /// (`None` = clean run).
+    pub fault_at: Option<u64>,
+    /// Per-connection cadence of tracked sets (0 disables loss
+    /// accounting).
+    pub tracked_every: u64,
+    /// How long to wait for the server to report a completed
+    /// mitigation after arming.
+    pub recovery_timeout: Duration,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            conns: 16,
+            ops: 10_000,
+            read_pct: 50,
+            resp_pct: 50,
+            key_space: 512,
+            key_base: 1_000,
+            seed: 1,
+            fault_at: None,
+            tracked_every: 32,
+            recovery_timeout: Duration::from_secs(60),
+        }
+    }
+}
+
+/// What the clients observed.
+#[derive(Debug, Clone, Default)]
+pub struct LoadReport {
+    /// Requests attempted.
+    pub ops_attempted: u64,
+    /// Requests acknowledged successfully.
+    pub ops_ok: u64,
+    /// `SERVER_ERROR`/`-BUSY` replies (degraded-mode rejections and
+    /// post-recovery failures).
+    pub server_errors: u64,
+    /// `CLIENT_ERROR`/`-ERR` replies.
+    pub client_errors: u64,
+    /// Client-side reply-parse failures (must be zero for the codec
+    /// gate).
+    pub codec_errors: u64,
+    /// Connection-level failures.
+    pub io_errors: u64,
+    /// Wall time of the traffic phase.
+    pub wall: Duration,
+    /// Successful ops per second over the traffic phase.
+    pub throughput_ops_s: f64,
+    /// Overall client-observed latency percentiles (microseconds).
+    pub p50_us: u64,
+    /// 99th percentile, microseconds.
+    pub p99_us: u64,
+    /// Worst client-observed latency, microseconds.
+    pub max_us: u64,
+    /// When the fault was armed (µs since the run epoch).
+    pub fault_armed_at_us: Option<u64>,
+    /// When the server first reported the mitigation complete (µs since
+    /// the run epoch; polled, so an upper bound).
+    pub recovered_at_us: Option<u64>,
+    /// Whether the server reported a completed, verified mitigation.
+    pub recovered: bool,
+    /// p99 of ops inside the [armed, recovered] window.
+    pub p99_during_mitigation_us: Option<u64>,
+    /// Ops that landed inside the mitigation window.
+    pub mitigation_window_ops: u64,
+    /// Tracked sets acknowledged by the server.
+    pub tracked_acked: u64,
+    /// Acked tracked sets whose value was wrong or missing afterwards —
+    /// the serving-side "requests lost" count.
+    pub tracked_lost: u64,
+    /// The lost tracked keys, for diagnostics.
+    pub lost_keys: Vec<u64>,
+    /// Final server stats snapshot (includes `discarded_updates` /
+    /// `total_updates` for the fig9 comparison).
+    pub final_stats: Vec<(String, String)>,
+}
+
+impl LoadReport {
+    /// Convenience accessor over [`LoadReport::final_stats`].
+    pub fn stat_u64(&self, name: &str) -> Option<u64> {
+        self.final_stats
+            .iter()
+            .find(|(k, _)| k == name)
+            .and_then(|(_, v)| v.parse().ok())
+    }
+}
+
+enum ClientError {
+    Io(String),
+    Codec(String),
+}
+
+/// One blocking client connection speaking either protocol.
+struct Client {
+    stream: TcpStream,
+    resp: bool,
+    buf: Vec<u8>,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr, resp: bool) -> Result<Client, String> {
+        let stream = TcpStream::connect_timeout(&addr, Duration::from_secs(10))
+            .map_err(|e| format!("connect {addr}: {e}"))?;
+        stream
+            .set_read_timeout(Some(REQUEST_TIMEOUT))
+            .map_err(|e| format!("read timeout: {e}"))?;
+        let _ = stream.set_nodelay(true);
+        Ok(Client {
+            stream,
+            resp,
+            buf: Vec::new(),
+        })
+    }
+
+    fn request(&mut self, cmd: &Cmd) -> Result<Reply, ClientError> {
+        let mut wire = Vec::new();
+        if self.resp {
+            resp::encode_cmd(cmd, &mut wire);
+        } else {
+            memcached::encode_cmd(cmd, &mut wire);
+        }
+        self.stream
+            .write_all(&wire)
+            .map_err(|e| ClientError::Io(format!("write: {e}")))?;
+        let mut chunk = [0u8; 4096];
+        loop {
+            let parsed = if self.resp {
+                resp::parse_reply(&self.buf)
+            } else {
+                memcached::parse_reply(&self.buf)
+            };
+            match parsed {
+                Parse::Done(reply, n) => {
+                    self.buf.drain(..n.min(self.buf.len()));
+                    return Ok(reply);
+                }
+                Parse::Error(m, _) => {
+                    self.buf.clear();
+                    return Err(ClientError::Codec(m));
+                }
+                Parse::Incomplete => {}
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Err(ClientError::Io("server closed connection".into())),
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) => return Err(ClientError::Io(format!("read: {e}"))),
+            }
+        }
+    }
+}
+
+#[derive(Default)]
+struct SharedCounters {
+    ops: AtomicU64,
+    ok: AtomicU64,
+    server_errors: AtomicU64,
+    client_errors: AtomicU64,
+    codec_errors: AtomicU64,
+    io_errors: AtomicU64,
+    fault_armed: AtomicBool,
+    fault_armed_at_us: AtomicU64,
+}
+
+/// One latency sample: (µs since epoch, latency µs).
+type Sample = (u64, u64);
+
+struct WorkerOut {
+    samples: Vec<Sample>,
+    tracked: Vec<(u64, Vec<u8>)>,
+}
+
+/// Runs the load against a serving front-end and returns what the
+/// clients saw. The server is expected to be serving one of the
+/// [`serve::SERVABLE`] scenarios; `fault_at` only works if the caller
+/// owns the run (the armed fault is the server-configured one).
+pub fn run_load(addr: SocketAddr, cfg: &LoadConfig) -> Result<LoadReport, String> {
+    assert!(cfg.conns > 0, "need at least one connection");
+    assert!(cfg.read_pct <= 100 && cfg.resp_pct <= 100);
+    if let Some(at) = cfg.fault_at {
+        assert!(at < cfg.ops, "fault_at must land inside the run");
+    }
+
+    let epoch = Instant::now();
+    let shared = Arc::new(SharedCounters::default());
+    let resp_conns = (cfg.conns * cfg.resp_pct as usize).div_ceil(100);
+
+    let mut handles = Vec::with_capacity(cfg.conns);
+    for i in 0..cfg.conns {
+        let cfg = cfg.clone();
+        let shared = shared.clone();
+        let is_resp = i < resp_conns;
+        let per = cfg.ops / cfg.conns as u64 + u64::from((i as u64) < cfg.ops % cfg.conns as u64);
+        handles.push(std::thread::spawn(move || {
+            worker(addr, i as u64, is_resp, per, &cfg, &shared, epoch)
+        }));
+    }
+
+    let mut samples: Vec<Sample> = Vec::new();
+    let mut tracked: Vec<(u64, Vec<u8>)> = Vec::new();
+    for h in handles {
+        match h.join() {
+            Ok(out) => {
+                samples.extend(out.samples);
+                tracked.extend(out.tracked);
+            }
+            Err(_) => {
+                shared.io_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+    let wall = epoch.elapsed();
+
+    let mut report = LoadReport {
+        ops_attempted: shared.ops.load(Ordering::Relaxed),
+        ops_ok: shared.ok.load(Ordering::Relaxed),
+        server_errors: shared.server_errors.load(Ordering::Relaxed),
+        client_errors: shared.client_errors.load(Ordering::Relaxed),
+        codec_errors: shared.codec_errors.load(Ordering::Relaxed),
+        io_errors: shared.io_errors.load(Ordering::Relaxed),
+        wall,
+        throughput_ops_s: shared.ok.load(Ordering::Relaxed) as f64 / wall.as_secs_f64().max(1e-9),
+        tracked_acked: tracked.len() as u64,
+        ..LoadReport::default()
+    };
+    if shared.fault_armed.load(Ordering::SeqCst) {
+        report.fault_armed_at_us = Some(shared.fault_armed_at_us.load(Ordering::SeqCst));
+    }
+
+    // Control connection: wait out the mitigation (if one was armed),
+    // verify tracked sets, snapshot final stats.
+    let mut ctl = Client::connect(addr, false)?;
+    if report.fault_armed_at_us.is_some() {
+        let deadline = Instant::now() + cfg.recovery_timeout;
+        loop {
+            let stats = fetch_stats(&mut ctl)?;
+            let recovered = stat(&stats, "mitigations_recovered").unwrap_or(0) >= 1
+                && stat(&stats, "mitigating").unwrap_or(1) == 0;
+            if recovered {
+                report.recovered = true;
+                report.recovered_at_us =
+                    Some(epoch.elapsed().as_micros().min(u64::MAX as u128) as u64);
+                break;
+            }
+            if Instant::now() > deadline {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+
+    // Loss accounting: every acked tracked set must read back exactly.
+    for (key, value) in &tracked {
+        let cmd = Cmd::Get {
+            keys: vec![key.to_string().into_bytes()],
+        };
+        let ok = match ctl.request(&cmd) {
+            Ok(Reply::Values { items }) => items.len() == 1 && &items[0].1 == value,
+            _ => false,
+        };
+        if !ok {
+            report.tracked_lost += 1;
+            report.lost_keys.push(*key);
+        }
+    }
+
+    report.final_stats = fetch_stats(&mut ctl)?;
+
+    // Percentiles: overall and inside the mitigation window.
+    let mut lats: Vec<u64> = samples.iter().map(|&(_, l)| l).collect();
+    report.p50_us = percentile(&mut lats, 50);
+    report.p99_us = percentile(&mut lats, 99);
+    report.max_us = lats.last().copied().unwrap_or(0);
+    if let Some(t0) = report.fault_armed_at_us {
+        let t1 = report.recovered_at_us.unwrap_or(u64::MAX);
+        let mut window: Vec<u64> = samples
+            .iter()
+            .filter(|&&(t, _)| t >= t0 && t <= t1)
+            .map(|&(_, l)| l)
+            .collect();
+        report.mitigation_window_ops = window.len() as u64;
+        if !window.is_empty() {
+            report.p99_during_mitigation_us = Some(percentile(&mut window, 99));
+        }
+    }
+    Ok(report)
+}
+
+fn worker(
+    addr: SocketAddr,
+    id: u64,
+    is_resp: bool,
+    ops: u64,
+    cfg: &LoadConfig,
+    shared: &SharedCounters,
+    epoch: Instant,
+) -> WorkerOut {
+    let mut out = WorkerOut {
+        samples: Vec::with_capacity(ops as usize),
+        tracked: Vec::new(),
+    };
+    let Ok(mut client) = Client::connect(addr, is_resp) else {
+        shared.io_errors.fetch_add(1, Ordering::Relaxed);
+        return out;
+    };
+    let mut workload = KvWorkload::mixed(
+        cfg.key_space,
+        cfg.key_base,
+        cfg.read_pct,
+        cfg.seed ^ (id.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+    );
+    let track_base = TRACK_BASE + id * TRACK_STRIDE;
+    let mut track_n = 0u64;
+
+    for j in 0..ops {
+        let global = shared.ops.fetch_add(1, Ordering::Relaxed);
+        // Whichever connection crosses the threshold arms the fault —
+        // mid-run, while everyone else keeps streaming.
+        if let Some(at) = cfg.fault_at {
+            if global >= at && !shared.fault_armed.swap(true, Ordering::SeqCst) {
+                let t = epoch.elapsed().as_micros().min(u64::MAX as u128) as u64;
+                shared.fault_armed_at_us.store(t, Ordering::SeqCst);
+                match client.request(&Cmd::FaultArm) {
+                    Ok(_) => {}
+                    Err(e) => {
+                        count_error(&e, shared);
+                        return out;
+                    }
+                }
+            }
+        }
+        let (cmd, expect_track) =
+            if cfg.tracked_every > 0 && j % cfg.tracked_every == cfg.tracked_every - 1 {
+                let key = track_base + track_n;
+                track_n += 1;
+                let fill = 1 + (track_n % 0x7E) as u8;
+                let len = 8 + (track_n % 8) as usize * 8;
+                (
+                    Cmd::Set {
+                        key: key.to_string().into_bytes(),
+                        value: vec![fill; len],
+                        noreply: false,
+                    },
+                    Some((key, vec![fill; len])),
+                )
+            } else {
+                match workload.next() {
+                    KvOp::Get(k) => (
+                        Cmd::Get {
+                            keys: vec![k.to_string().into_bytes()],
+                        },
+                        None,
+                    ),
+                    KvOp::Put(k, v) => {
+                        let fill = (v as u8).max(1);
+                        let len = 8 + (v % 8) as usize * 4;
+                        (
+                            Cmd::Set {
+                                key: k.to_string().into_bytes(),
+                                value: vec![fill; len],
+                                noreply: false,
+                            },
+                            None,
+                        )
+                    }
+                }
+            };
+        let t0 = Instant::now();
+        let result = client.request(&cmd);
+        let lat = t0.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        let t_rel = epoch.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        out.samples.push((t_rel, lat));
+        match result {
+            Ok(reply) => match reply {
+                Reply::ServerError(_) => {
+                    shared.server_errors.fetch_add(1, Ordering::Relaxed);
+                }
+                Reply::Error(_) => {
+                    shared.client_errors.fetch_add(1, Ordering::Relaxed);
+                }
+                other => {
+                    shared.ok.fetch_add(1, Ordering::Relaxed);
+                    if let Some((key, value)) = expect_track {
+                        // Only count sets the server acknowledged.
+                        if matches!(other, Reply::Stored | Reply::Ok) {
+                            out.tracked.push((key, value));
+                        }
+                    }
+                }
+            },
+            Err(e) => {
+                count_error(&e, shared);
+                // One reconnect attempt keeps a transient drop from
+                // silencing a whole connection's worth of load.
+                match Client::connect(addr, is_resp) {
+                    Ok(c) => client = c,
+                    Err(_) => return out,
+                }
+            }
+        }
+    }
+    out
+}
+
+fn count_error(e: &ClientError, shared: &SharedCounters) {
+    match e {
+        ClientError::Io(_) => shared.io_errors.fetch_add(1, Ordering::Relaxed),
+        ClientError::Codec(_) => shared.codec_errors.fetch_add(1, Ordering::Relaxed),
+    };
+}
+
+fn fetch_stats(ctl: &mut Client) -> Result<Vec<(String, String)>, String> {
+    match ctl.request(&Cmd::Stats) {
+        Ok(Reply::Stats(kvs)) => Ok(kvs),
+        Ok(other) => Err(format!("unexpected stats reply {other:?}")),
+        Err(ClientError::Io(e)) | Err(ClientError::Codec(e)) => Err(format!("stats: {e}")),
+    }
+}
+
+fn stat(kvs: &[(String, String)], name: &str) -> Option<u64> {
+    kvs.iter()
+        .find(|(k, _)| k == name)
+        .and_then(|(_, v)| v.parse().ok())
+}
+
+/// In-place percentile over latencies (sorts its input).
+fn percentile(lats: &mut [u64], p: u32) -> u64 {
+    if lats.is_empty() {
+        return 0;
+    }
+    lats.sort_unstable();
+    let idx = (p as usize * (lats.len() - 1)) / 100;
+    lats[idx]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_is_sane() {
+        let mut v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&mut v, 50), 50);
+        assert_eq!(percentile(&mut v, 99), 99);
+        assert_eq!(percentile(&mut v.clone()[..0].to_vec(), 99), 0);
+    }
+
+    #[test]
+    fn clean_load_run_end_to_end() {
+        // A small clean (no-fault) run against an in-process server:
+        // every op must succeed with zero codec errors.
+        let handle = serve::Server::start(
+            serve::ServerConfig {
+                workers: 2,
+                engine: serve::EngineConfig {
+                    scenario: "f4".into(),
+                    ..serve::EngineConfig::default()
+                },
+                ..serve::ServerConfig::default()
+            },
+            None,
+            Arc::new(obs::RingRecorder::new(4096)),
+        )
+        .expect("server starts");
+        let cfg = LoadConfig {
+            conns: 4,
+            ops: 400,
+            tracked_every: 16,
+            ..LoadConfig::default()
+        };
+        let report = run_load(handle.addr(), &cfg).expect("load runs");
+        assert_eq!(report.ops_attempted, 400);
+        assert_eq!(report.codec_errors, 0, "{report:?}");
+        assert_eq!(report.server_errors, 0, "{report:?}");
+        assert_eq!(report.io_errors, 0, "{report:?}");
+        assert_eq!(report.tracked_lost, 0, "{report:?}");
+        assert!(report.tracked_acked > 0);
+        assert!(report.ops_ok == 400, "{report:?}");
+        assert!(report.stat_u64("total_updates").unwrap_or(0) > 0);
+        let srv = handle.shutdown();
+        assert_eq!(srv.protocol_errors, 0);
+    }
+}

@@ -57,6 +57,17 @@ pub fn by_ids<S: AsRef<str>>(ids: &[S]) -> Result<Vec<Box<dyn Scenario>>, String
         .collect()
 }
 
+/// The single scenario-resolution entry point for CLI positionals:
+/// `all` expands to every Table 2 scenario, anything else (`fN`, `fx1`)
+/// resolves through [`by_ids`] as a one-element list.
+pub fn select(spec: &str) -> Result<Vec<Box<dyn Scenario>>, String> {
+    if spec == "all" {
+        Ok(all())
+    } else {
+        by_ids(&[spec])
+    }
+}
+
 fn call(vm: &mut Vm, name: &str, args: &[u64]) -> Result<(), VmError> {
     vm.call(name, args).map(|_| ())
 }
@@ -1090,5 +1101,20 @@ impl Scenario for FxUnorderedPublish {
     }
     fn count_items(&self, vm: &mut Vm) -> u64 {
         vm.call("ob_count", &[]).ok().flatten().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod select_tests {
+    use super::*;
+
+    #[test]
+    fn select_resolves_all_ids_and_the_all_alias() {
+        assert_eq!(select("all").unwrap().len(), all().len());
+        assert_eq!(select("f4").unwrap().len(), 1);
+        assert_eq!(select("f4").unwrap()[0].id(), "f4");
+        assert_eq!(select("fx1").unwrap()[0].id(), "fx1");
+        assert!(select("f99").is_err());
+        assert!(select("").is_err());
     }
 }

@@ -99,6 +99,18 @@ impl KvWorkload {
         }
     }
 
+    /// Arbitrary read/write mix with zipfian keys — the serving load
+    /// driver's knob (`--read-pct`).
+    pub fn mixed(n: u64, key_base: u64, read_pct: u32, seed: u64) -> Self {
+        assert!(read_pct <= 100, "read_pct is a percentage");
+        KvWorkload {
+            zipf: Zipfian::new(n, seed),
+            rng: StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15),
+            read_pct,
+            key_base,
+        }
+    }
+
     /// Insert-only workload (the paper's custom benchmark shape).
     pub fn insert_only(n: u64, key_base: u64, seed: u64) -> Self {
         KvWorkload {
@@ -165,5 +177,16 @@ mod tests {
     fn insert_only_has_no_reads() {
         let mut w = KvWorkload::insert_only(100, 0, 3);
         assert!((0..1000).all(|_| matches!(w.next(), KvOp::Put(..))));
+    }
+
+    #[test]
+    fn mixed_honors_the_read_percentage() {
+        let mut w = KvWorkload::mixed(100, 0, 90, 11);
+        let reads = (0..10_000)
+            .filter(|_| matches!(w.next(), KvOp::Get(_)))
+            .count();
+        assert!((8_500..9_500).contains(&reads), "reads = {reads}");
+        let mut w = KvWorkload::mixed(100, 0, 100, 11);
+        assert!((0..1000).all(|_| matches!(w.next(), KvOp::Get(_))));
     }
 }

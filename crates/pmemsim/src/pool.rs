@@ -883,7 +883,17 @@ impl PmPool {
     /// for the hardware-fault scenarios (see
     /// [`PmDevice::corrupt_bit`](crate::PmDevice::corrupt_bit)).
     pub fn corrupt_bit(&mut self, offset: u64, bit: u8) -> PmResult<()> {
-        self.dev.corrupt_bit(offset, bit)
+        self.dev.corrupt_bit(offset, bit)?;
+        // The hardware-fault instant belongs on the availability timeline:
+        // a serving front-end reports time-to-detect / time-to-mitigate
+        // relative to this event.
+        if let Some(r) = &self.recorder {
+            r.event(
+                "pool.corrupt_bit",
+                vec![("offset", offset.into()), ("bit", u64::from(bit).into())],
+            );
+        }
+        Ok(())
     }
 
     // ---- forking ------------------------------------------------------------

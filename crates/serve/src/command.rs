@@ -1,0 +1,156 @@
+//! Protocol-independent command/reply model.
+//!
+//! Both wire codecs ([`crate::memcached`], [`crate::resp`]) parse into
+//! [`Cmd`] and encode from [`Reply`], so the engine and the load driver
+//! are protocol-agnostic.
+
+/// Longest accepted key, in bytes (memcached's limit).
+pub const MAX_KEY_LEN: usize = 250;
+/// Longest accepted value, in bytes. The PM apps cap stored data far
+/// lower ([`pm_apps::kvcache::item::DATA_CAP`]); the wire limit only
+/// bounds buffering.
+pub const MAX_VALUE_LEN: usize = 8192;
+
+/// A parsed client command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Cmd {
+    /// `get k1 [k2 ...]` (RESP `GET` carries exactly one key).
+    Get {
+        /// Requested keys, in order.
+        keys: Vec<Vec<u8>>,
+    },
+    /// `set <key> <flags> <exptime> <bytes>` + data block / RESP `SET`.
+    Set {
+        /// The key.
+        key: Vec<u8>,
+        /// The value bytes.
+        value: Vec<u8>,
+        /// Suppress the reply (memcached `noreply`).
+        noreply: bool,
+    },
+    /// `delete <key>` / RESP `DEL`.
+    Delete {
+        /// The key.
+        key: Vec<u8>,
+        /// Suppress the reply.
+        noreply: bool,
+    },
+    /// `stats` / RESP `INFO`.
+    Stats,
+    /// `version`.
+    Version,
+    /// `ping` / RESP `PING`.
+    Ping,
+    /// Arm the configured hard fault (test/ops hook; `fault_arm` /
+    /// RESP `FAULT.ARM`).
+    FaultArm,
+    /// Close the connection.
+    Quit,
+}
+
+/// A reply to one command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Reply {
+    /// `get` result: zero or more `(key, data)` hits. An empty list is a
+    /// full miss (`END` alone / RESP `$-1`).
+    Values {
+        /// Hits, in request order.
+        items: Vec<(Vec<u8>, Vec<u8>)>,
+    },
+    /// Set accepted.
+    Stored,
+    /// Set rejected by the backend.
+    NotStored,
+    /// Delete removed the key.
+    Deleted,
+    /// Delete found nothing.
+    NotFound,
+    /// Stats snapshot.
+    Stats(Vec<(String, String)>),
+    /// Version banner.
+    Version(String),
+    /// Ping response.
+    Pong,
+    /// Generic success (fault_arm).
+    Ok,
+    /// Client/protocol error.
+    Error(String),
+    /// Server-side failure (degraded mode, post-recovery failure).
+    ServerError(String),
+}
+
+/// Result of one incremental parse step over a receive buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Parse<T> {
+    /// Not enough bytes yet; read more and retry.
+    Incomplete,
+    /// One item parsed, consuming the given prefix length.
+    Done(T, usize),
+    /// Malformed input; the given prefix length should be discarded and
+    /// the message reported to the peer.
+    Error(String, usize),
+}
+
+/// Maps a wire key to the `u64` key space of the PM apps: all-decimal
+/// keys parse directly (so test traffic controls exact keys), anything
+/// else gets FNV-1a hashed.
+pub fn key_id(key: &[u8]) -> u64 {
+    if !key.is_empty() && key.len() <= 20 && key.iter().all(|b| b.is_ascii_digit()) {
+        if let Ok(s) = std::str::from_utf8(key) {
+            if let Ok(n) = s.parse::<u64>() {
+                return n;
+            }
+        }
+    }
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in key {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Validates a key for either protocol: non-empty, at most
+/// [`MAX_KEY_LEN`] bytes, no whitespace or control bytes.
+pub fn validate_key(key: &[u8]) -> Result<(), String> {
+    if key.is_empty() {
+        return Err("empty key".into());
+    }
+    if key.len() > MAX_KEY_LEN {
+        return Err(format!("key too long ({} > {MAX_KEY_LEN})", key.len()));
+    }
+    if key.iter().any(|&b| b <= b' ' || b == 0x7f) {
+        return Err("key contains whitespace or control bytes".into());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decimal_keys_parse_directly() {
+        assert_eq!(key_id(b"0"), 0);
+        assert_eq!(key_id(b"48"), 48);
+        assert_eq!(key_id(b"999983"), 999_983);
+    }
+
+    #[test]
+    fn textual_keys_hash_stably() {
+        let a = key_id(b"user:1001");
+        assert_eq!(a, key_id(b"user:1001"));
+        assert_ne!(a, key_id(b"user:1002"));
+        // Longer-than-u64 digit strings fall back to hashing.
+        assert_ne!(key_id(b"999999999999999999999"), 0);
+    }
+
+    #[test]
+    fn key_validation() {
+        assert!(validate_key(b"ok-key_1").is_ok());
+        assert!(validate_key(b"").is_err());
+        assert!(validate_key(b"has space").is_err());
+        assert!(validate_key(&vec![b'a'; MAX_KEY_LEN]).is_ok());
+        assert!(validate_key(&vec![b'a'; MAX_KEY_LEN + 1]).is_err());
+    }
+}

@@ -1,0 +1,297 @@
+//! Incremental memcached text-protocol codec.
+//!
+//! Stateless over the receive buffer: each call re-scans from the
+//! buffer start and either consumes one complete command/reply or asks
+//! for more bytes, so torn reads and pipelined commands fall out for
+//! free. Both directions live here — the server parses [`Cmd`] and
+//! encodes [`Reply`]; the load driver encodes [`Cmd`] and parses
+//! [`Reply`].
+
+use crate::command::{validate_key, Cmd, Parse, Reply, MAX_VALUE_LEN};
+
+/// Longest accepted protocol line (covers a multi-key `get` over many
+/// 250-byte keys is *not* a goal; this bounds buffering).
+pub const MAX_LINE: usize = 2048;
+
+/// Finds one `\r\n`-terminated line at the buffer start.
+fn line(buf: &[u8]) -> Parse<&[u8]> {
+    match buf.windows(2).position(|w| w == b"\r\n") {
+        Some(i) if i <= MAX_LINE => Parse::Done(&buf[..i], i + 2),
+        Some(_) => Parse::Error("line too long".into(), buf.len()),
+        None if buf.len() > MAX_LINE => Parse::Error("line too long".into(), buf.len()),
+        None => Parse::Incomplete,
+    }
+}
+
+fn tokens(line: &[u8]) -> Vec<&[u8]> {
+    line.split(|&b| b == b' ')
+        .filter(|t| !t.is_empty())
+        .collect()
+}
+
+fn ascii_usize(tok: &[u8]) -> Option<usize> {
+    std::str::from_utf8(tok).ok()?.parse().ok()
+}
+
+/// Parses one command from the buffer start (server side).
+pub fn parse_cmd(buf: &[u8]) -> Parse<Cmd> {
+    let (head, line_len) = match line(buf) {
+        Parse::Done(l, n) => (l, n),
+        Parse::Incomplete => return Parse::Incomplete,
+        Parse::Error(e, n) => return Parse::Error(e, n),
+    };
+    let toks = tokens(head);
+    let Some(&verb) = toks.first() else {
+        return Parse::Error("empty command".into(), line_len);
+    };
+    match verb {
+        b"get" | b"gets" => {
+            if toks.len() < 2 {
+                return Parse::Error("get needs a key".into(), line_len);
+            }
+            for k in &toks[1..] {
+                if let Err(e) = validate_key(k) {
+                    return Parse::Error(e, line_len);
+                }
+            }
+            let keys = toks[1..].iter().map(|k| k.to_vec()).collect();
+            Parse::Done(Cmd::Get { keys }, line_len)
+        }
+        b"set" => {
+            if toks.len() < 5 || toks.len() > 6 {
+                return Parse::Error("set needs <key> <flags> <exptime> <bytes>".into(), line_len);
+            }
+            if let Err(e) = validate_key(toks[1]) {
+                return Parse::Error(e, line_len);
+            }
+            let noreply = toks.len() == 6;
+            if noreply && toks[5] != b"noreply" {
+                return Parse::Error("bad set option".into(), line_len);
+            }
+            let (Some(_flags), Some(_exp), Some(bytes)) = (
+                ascii_usize(toks[2]),
+                ascii_usize(toks[3]),
+                ascii_usize(toks[4]),
+            ) else {
+                return Parse::Error("bad set numeric field".into(), line_len);
+            };
+            if bytes > MAX_VALUE_LEN {
+                return Parse::Error(
+                    format!("object too large ({bytes} > {MAX_VALUE_LEN})"),
+                    line_len,
+                );
+            }
+            let need = line_len + bytes + 2;
+            if buf.len() < need {
+                return Parse::Incomplete;
+            }
+            if &buf[line_len + bytes..need] != b"\r\n" {
+                return Parse::Error("bad data chunk".into(), need);
+            }
+            Parse::Done(
+                Cmd::Set {
+                    key: toks[1].to_vec(),
+                    value: buf[line_len..line_len + bytes].to_vec(),
+                    noreply,
+                },
+                need,
+            )
+        }
+        b"delete" => {
+            if toks.len() < 2 || toks.len() > 3 {
+                return Parse::Error("delete needs a key".into(), line_len);
+            }
+            if let Err(e) = validate_key(toks[1]) {
+                return Parse::Error(e, line_len);
+            }
+            let noreply = toks.len() == 3;
+            if noreply && toks[2] != b"noreply" {
+                return Parse::Error("bad delete option".into(), line_len);
+            }
+            Parse::Done(
+                Cmd::Delete {
+                    key: toks[1].to_vec(),
+                    noreply,
+                },
+                line_len,
+            )
+        }
+        b"stats" => Parse::Done(Cmd::Stats, line_len),
+        b"version" => Parse::Done(Cmd::Version, line_len),
+        b"ping" => Parse::Done(Cmd::Ping, line_len),
+        b"fault_arm" => Parse::Done(Cmd::FaultArm, line_len),
+        b"quit" => Parse::Done(Cmd::Quit, line_len),
+        _ => Parse::Error(
+            format!("unknown command {:?}", String::from_utf8_lossy(verb)),
+            line_len,
+        ),
+    }
+}
+
+/// Encodes one reply (server side).
+pub fn encode_reply(r: &Reply, out: &mut Vec<u8>) {
+    match r {
+        Reply::Values { items } => {
+            for (key, data) in items {
+                out.extend_from_slice(b"VALUE ");
+                out.extend_from_slice(key);
+                out.extend_from_slice(format!(" 0 {}\r\n", data.len()).as_bytes());
+                out.extend_from_slice(data);
+                out.extend_from_slice(b"\r\n");
+            }
+            out.extend_from_slice(b"END\r\n");
+        }
+        Reply::Stored => out.extend_from_slice(b"STORED\r\n"),
+        Reply::NotStored => out.extend_from_slice(b"NOT_STORED\r\n"),
+        Reply::Deleted => out.extend_from_slice(b"DELETED\r\n"),
+        Reply::NotFound => out.extend_from_slice(b"NOT_FOUND\r\n"),
+        Reply::Stats(kvs) => {
+            for (k, v) in kvs {
+                out.extend_from_slice(format!("STAT {k} {v}\r\n").as_bytes());
+            }
+            out.extend_from_slice(b"END\r\n");
+        }
+        Reply::Version(v) => out.extend_from_slice(format!("VERSION {v}\r\n").as_bytes()),
+        Reply::Pong => out.extend_from_slice(b"PONG\r\n"),
+        Reply::Ok => out.extend_from_slice(b"OK\r\n"),
+        Reply::Error(m) => out.extend_from_slice(format!("CLIENT_ERROR {m}\r\n").as_bytes()),
+        Reply::ServerError(m) => out.extend_from_slice(format!("SERVER_ERROR {m}\r\n").as_bytes()),
+    }
+}
+
+/// Encodes one command (client side).
+pub fn encode_cmd(c: &Cmd, out: &mut Vec<u8>) {
+    match c {
+        Cmd::Get { keys } => {
+            out.extend_from_slice(b"get");
+            for k in keys {
+                out.push(b' ');
+                out.extend_from_slice(k);
+            }
+            out.extend_from_slice(b"\r\n");
+        }
+        Cmd::Set {
+            key,
+            value,
+            noreply,
+        } => {
+            out.extend_from_slice(b"set ");
+            out.extend_from_slice(key);
+            out.extend_from_slice(format!(" 0 0 {}", value.len()).as_bytes());
+            if *noreply {
+                out.extend_from_slice(b" noreply");
+            }
+            out.extend_from_slice(b"\r\n");
+            out.extend_from_slice(value);
+            out.extend_from_slice(b"\r\n");
+        }
+        Cmd::Delete { key, noreply } => {
+            out.extend_from_slice(b"delete ");
+            out.extend_from_slice(key);
+            if *noreply {
+                out.extend_from_slice(b" noreply");
+            }
+            out.extend_from_slice(b"\r\n");
+        }
+        Cmd::Stats => out.extend_from_slice(b"stats\r\n"),
+        Cmd::Version => out.extend_from_slice(b"version\r\n"),
+        Cmd::Ping => out.extend_from_slice(b"ping\r\n"),
+        Cmd::FaultArm => out.extend_from_slice(b"fault_arm\r\n"),
+        Cmd::Quit => out.extend_from_slice(b"quit\r\n"),
+    }
+}
+
+/// Parses one reply from the buffer start (client side).
+pub fn parse_reply(buf: &[u8]) -> Parse<Reply> {
+    let (head, line_len) = match line(buf) {
+        Parse::Done(l, n) => (l, n),
+        Parse::Incomplete => return Parse::Incomplete,
+        Parse::Error(e, n) => return Parse::Error(e, n),
+    };
+    match head {
+        b"STORED" => return Parse::Done(Reply::Stored, line_len),
+        b"NOT_STORED" => return Parse::Done(Reply::NotStored, line_len),
+        b"DELETED" => return Parse::Done(Reply::Deleted, line_len),
+        b"NOT_FOUND" => return Parse::Done(Reply::NotFound, line_len),
+        b"PONG" => return Parse::Done(Reply::Pong, line_len),
+        b"OK" => return Parse::Done(Reply::Ok, line_len),
+        b"END" => return Parse::Done(Reply::Values { items: vec![] }, line_len),
+        _ => {}
+    }
+    let toks = tokens(head);
+    match toks.first().copied() {
+        Some(b"VERSION") => {
+            let v = String::from_utf8_lossy(head.get(8..).unwrap_or(b"")).into_owned();
+            Parse::Done(Reply::Version(v), line_len)
+        }
+        Some(b"CLIENT_ERROR") => {
+            let m = String::from_utf8_lossy(head.get(13..).unwrap_or(b"")).into_owned();
+            Parse::Done(Reply::Error(m), line_len)
+        }
+        Some(b"SERVER_ERROR") => {
+            let m = String::from_utf8_lossy(head.get(13..).unwrap_or(b"")).into_owned();
+            Parse::Done(Reply::ServerError(m), line_len)
+        }
+        Some(b"STAT") => {
+            // Accumulate STAT lines until END.
+            let mut kvs = Vec::new();
+            let mut at = 0usize;
+            loop {
+                let (l, n) = match line(&buf[at..]) {
+                    Parse::Done(l, n) => (l, n),
+                    Parse::Incomplete => return Parse::Incomplete,
+                    Parse::Error(e, n) => return Parse::Error(e, at + n),
+                };
+                if l == b"END" {
+                    return Parse::Done(Reply::Stats(kvs), at + n);
+                }
+                let t = tokens(l);
+                if t.len() < 2 || t[0] != b"STAT" {
+                    return Parse::Error("bad stats block".into(), at + n);
+                }
+                let k = String::from_utf8_lossy(t[1]).into_owned();
+                let v = String::from_utf8_lossy(&l[5 + t[1].len() + 1..]).into_owned();
+                kvs.push((k, v));
+                at += n;
+            }
+        }
+        Some(b"VALUE") => {
+            // Accumulate VALUE blocks until END.
+            let mut items = Vec::new();
+            let mut at = 0usize;
+            loop {
+                let (l, n) = match line(&buf[at..]) {
+                    Parse::Done(l, n) => (l, n),
+                    Parse::Incomplete => return Parse::Incomplete,
+                    Parse::Error(e, n) => return Parse::Error(e, at + n),
+                };
+                if l == b"END" {
+                    return Parse::Done(Reply::Values { items }, at + n);
+                }
+                let t = tokens(l);
+                if t.len() != 4 || t[0] != b"VALUE" {
+                    return Parse::Error("bad value block".into(), at + n);
+                }
+                let Some(len) = ascii_usize(t[3]) else {
+                    return Parse::Error("bad value length".into(), at + n);
+                };
+                if len > MAX_VALUE_LEN {
+                    return Parse::Error("value too large".into(), at + n);
+                }
+                let data_at = at + n;
+                if buf.len() < data_at + len + 2 {
+                    return Parse::Incomplete;
+                }
+                if &buf[data_at + len..data_at + len + 2] != b"\r\n" {
+                    return Parse::Error("bad value chunk".into(), data_at + len + 2);
+                }
+                items.push((t[1].to_vec(), buf[data_at..data_at + len].to_vec()));
+                at = data_at + len + 2;
+            }
+        }
+        _ => Parse::Error(
+            format!("unknown reply {:?}", String::from_utf8_lossy(head)),
+            line_len,
+        ),
+    }
+}

@@ -1,0 +1,334 @@
+//! Incremental RESP (REdis Serialization Protocol) subset codec.
+//!
+//! Commands arrive as arrays of bulk strings (`*N` + `$len` items);
+//! replies use simple strings, errors, integers, bulk strings and
+//! arrays. The subset covers the cache surface: `GET`, `SET`, `DEL`,
+//! `PING`, `INFO`/`STATS`, `VERSION`, `FAULT.ARM`, `QUIT`.
+//!
+//! Reply mapping (server → client):
+//!
+//! | [`Reply`]              | wire                              |
+//! |------------------------|-----------------------------------|
+//! | `Values` (0 items)     | `$-1\r\n`                         |
+//! | `Values` (1 item)      | `$<len>\r\n<data>\r\n`            |
+//! | `Values` (n items)     | `*<n>` of bulk strings            |
+//! | `Stored`, `Ok`         | `+OK`                             |
+//! | `Deleted` / `NotFound` | `:1` / `:0`                       |
+//! | `Pong`                 | `+PONG`                           |
+//! | `Version(v)`           | `+VERSION <v>`                    |
+//! | `Stats(kvs)`           | bulk string of `k:v` lines        |
+//! | `NotStored`            | `-ERR not stored`                 |
+//! | `Error(m)`             | `-ERR <m>`                        |
+//! | `ServerError(m)`       | `-BUSY <m>`                       |
+
+use crate::command::{validate_key, Cmd, Parse, Reply, MAX_VALUE_LEN};
+
+/// Longest accepted bulk-string header / array header line.
+const MAX_HEADER: usize = 32;
+/// Most elements accepted in one command array.
+const MAX_ARRAY: usize = 64;
+
+fn crlf_line(buf: &[u8]) -> Parse<&[u8]> {
+    match buf.windows(2).position(|w| w == b"\r\n") {
+        Some(i) if i <= MAX_HEADER => Parse::Done(&buf[..i], i + 2),
+        Some(i) => Parse::Error("resp header too long".into(), i + 2),
+        None if buf.len() > MAX_HEADER => Parse::Error("resp header too long".into(), buf.len()),
+        None => Parse::Incomplete,
+    }
+}
+
+fn int_after(line: &[u8], tag: u8) -> Option<i64> {
+    if line.first() != Some(&tag) {
+        return None;
+    }
+    std::str::from_utf8(&line[1..]).ok()?.parse().ok()
+}
+
+/// Parses one bulk string (`$len\r\ndata\r\n`) at `buf[at..]`.
+/// Returns the bytes and the new offset.
+fn bulk(buf: &[u8], at: usize) -> Parse<(Vec<u8>, usize)> {
+    let (head, n) = match crlf_line(&buf[at..]) {
+        Parse::Done(l, n) => (l, n),
+        Parse::Incomplete => return Parse::Incomplete,
+        Parse::Error(e, n) => return Parse::Error(e, at + n),
+    };
+    let Some(len) = int_after(head, b'$') else {
+        return Parse::Error("expected bulk string".into(), at + n);
+    };
+    if len < 0 || len as usize > MAX_VALUE_LEN {
+        return Parse::Error("bad bulk length".into(), at + n);
+    }
+    let len = len as usize;
+    let data_at = at + n;
+    if buf.len() < data_at + len + 2 {
+        return Parse::Incomplete;
+    }
+    if &buf[data_at + len..data_at + len + 2] != b"\r\n" {
+        return Parse::Error("bulk string missing terminator".into(), data_at + len + 2);
+    }
+    let next = data_at + len + 2;
+    Parse::Done((buf[data_at..data_at + len].to_vec(), next), next)
+}
+
+/// Parses one command array from the buffer start (server side).
+pub fn parse_cmd(buf: &[u8]) -> Parse<Cmd> {
+    let (head, n) = match crlf_line(buf) {
+        Parse::Done(l, n) => (l, n),
+        Parse::Incomplete => return Parse::Incomplete,
+        Parse::Error(e, n) => return Parse::Error(e, n),
+    };
+    let Some(count) = int_after(head, b'*') else {
+        return Parse::Error("expected command array".into(), n);
+    };
+    if count < 1 || count as usize > MAX_ARRAY {
+        return Parse::Error("bad command array length".into(), n);
+    }
+    let mut args: Vec<Vec<u8>> = Vec::with_capacity(count as usize);
+    let mut at = n;
+    for _ in 0..count {
+        match bulk(buf, at) {
+            Parse::Done((a, next), _) => {
+                args.push(a);
+                at = next;
+            }
+            Parse::Incomplete => return Parse::Incomplete,
+            Parse::Error(e, n) => return Parse::Error(e, n),
+        }
+    }
+    let verb = args[0].to_ascii_uppercase();
+    let arity_err = |want: &str| {
+        Parse::Error(
+            format!("{} needs {want}", String::from_utf8_lossy(&verb)),
+            at,
+        )
+    };
+    let cmd = match verb.as_slice() {
+        b"GET" => {
+            if args.len() != 2 {
+                return arity_err("exactly one key");
+            }
+            if let Err(e) = validate_key(&args[1]) {
+                return Parse::Error(e, at);
+            }
+            Cmd::Get {
+                keys: vec![args[1].clone()],
+            }
+        }
+        b"SET" => {
+            if args.len() != 3 {
+                return arity_err("a key and a value");
+            }
+            if let Err(e) = validate_key(&args[1]) {
+                return Parse::Error(e, at);
+            }
+            Cmd::Set {
+                key: args[1].clone(),
+                value: args[2].clone(),
+                noreply: false,
+            }
+        }
+        b"DEL" => {
+            if args.len() != 2 {
+                return arity_err("exactly one key");
+            }
+            if let Err(e) = validate_key(&args[1]) {
+                return Parse::Error(e, at);
+            }
+            Cmd::Delete {
+                key: args[1].clone(),
+                noreply: false,
+            }
+        }
+        b"PING" => Cmd::Ping,
+        b"INFO" | b"STATS" => Cmd::Stats,
+        b"VERSION" => Cmd::Version,
+        b"FAULT.ARM" => Cmd::FaultArm,
+        b"QUIT" => Cmd::Quit,
+        _ => {
+            return Parse::Error(
+                format!("unknown command {:?}", String::from_utf8_lossy(&verb)),
+                at,
+            )
+        }
+    };
+    Parse::Done(cmd, at)
+}
+
+fn put_bulk(data: &[u8], out: &mut Vec<u8>) {
+    out.extend_from_slice(format!("${}\r\n", data.len()).as_bytes());
+    out.extend_from_slice(data);
+    out.extend_from_slice(b"\r\n");
+}
+
+/// Encodes one reply (server side).
+pub fn encode_reply(r: &Reply, out: &mut Vec<u8>) {
+    match r {
+        Reply::Values { items } => match items.len() {
+            0 => out.extend_from_slice(b"$-1\r\n"),
+            1 => put_bulk(&items[0].1, out),
+            n => {
+                out.extend_from_slice(format!("*{n}\r\n").as_bytes());
+                for (_, data) in items {
+                    put_bulk(data, out);
+                }
+            }
+        },
+        Reply::Stored | Reply::Ok => out.extend_from_slice(b"+OK\r\n"),
+        Reply::NotStored => out.extend_from_slice(b"-ERR not stored\r\n"),
+        Reply::Deleted => out.extend_from_slice(b":1\r\n"),
+        Reply::NotFound => out.extend_from_slice(b":0\r\n"),
+        Reply::Stats(kvs) => {
+            let mut body = Vec::new();
+            for (k, v) in kvs {
+                body.extend_from_slice(format!("{k}:{v}\r\n").as_bytes());
+            }
+            put_bulk(&body, out);
+        }
+        Reply::Version(v) => out.extend_from_slice(format!("+VERSION {v}\r\n").as_bytes()),
+        Reply::Pong => out.extend_from_slice(b"+PONG\r\n"),
+        Reply::Error(m) => out.extend_from_slice(format!("-ERR {m}\r\n").as_bytes()),
+        Reply::ServerError(m) => out.extend_from_slice(format!("-BUSY {m}\r\n").as_bytes()),
+    }
+}
+
+/// Encodes one command as an array of bulk strings (client side).
+/// Multi-key `Get`s are not expressible in the RESP subset; the first
+/// key is sent.
+pub fn encode_cmd(c: &Cmd, out: &mut Vec<u8>) {
+    let parts: Vec<Vec<u8>> = match c {
+        Cmd::Get { keys } => vec![b"GET".to_vec(), keys.first().cloned().unwrap_or_default()],
+        Cmd::Set { key, value, .. } => vec![b"SET".to_vec(), key.clone(), value.clone()],
+        Cmd::Delete { key, .. } => vec![b"DEL".to_vec(), key.clone()],
+        Cmd::Stats => vec![b"INFO".to_vec()],
+        Cmd::Version => vec![b"VERSION".to_vec()],
+        Cmd::Ping => vec![b"PING".to_vec()],
+        Cmd::FaultArm => vec![b"FAULT.ARM".to_vec()],
+        Cmd::Quit => vec![b"QUIT".to_vec()],
+    };
+    out.extend_from_slice(format!("*{}\r\n", parts.len()).as_bytes());
+    for p in parts {
+        put_bulk(&p, out);
+    }
+}
+
+/// Parses one reply from the buffer start (client side). Keys are not
+/// carried on the RESP wire, so `Values` items come back with empty
+/// keys; `+OK` maps to [`Reply::Ok`] (the client cannot distinguish a
+/// `Stored` acknowledgement, which also encodes as `+OK`).
+pub fn parse_reply(buf: &[u8]) -> Parse<Reply> {
+    let first = match buf.first() {
+        Some(&b) => b,
+        None => return Parse::Incomplete,
+    };
+    match first {
+        b'+' => {
+            let (head, n) = match crlf_line_long(buf) {
+                Parse::Done(l, n) => (l, n),
+                Parse::Incomplete => return Parse::Incomplete,
+                Parse::Error(e, n) => return Parse::Error(e, n),
+            };
+            let s = &head[1..];
+            let reply = match s {
+                b"OK" => Reply::Ok,
+                b"PONG" => Reply::Pong,
+                _ => {
+                    let text = String::from_utf8_lossy(s).into_owned();
+                    match text.strip_prefix("VERSION ") {
+                        Some(v) => Reply::Version(v.to_string()),
+                        None => Reply::Version(text),
+                    }
+                }
+            };
+            Parse::Done(reply, n)
+        }
+        b'-' => {
+            let (head, n) = match crlf_line_long(buf) {
+                Parse::Done(l, n) => (l, n),
+                Parse::Incomplete => return Parse::Incomplete,
+                Parse::Error(e, n) => return Parse::Error(e, n),
+            };
+            let text = String::from_utf8_lossy(&head[1..]).into_owned();
+            let reply = if let Some(m) = text.strip_prefix("BUSY ") {
+                Reply::ServerError(m.to_string())
+            } else if let Some(m) = text.strip_prefix("ERR ") {
+                Reply::Error(m.to_string())
+            } else {
+                Reply::Error(text)
+            };
+            Parse::Done(reply, n)
+        }
+        b':' => {
+            let (head, n) = match crlf_line(buf) {
+                Parse::Done(l, n) => (l, n),
+                Parse::Incomplete => return Parse::Incomplete,
+                Parse::Error(e, n) => return Parse::Error(e, n),
+            };
+            match int_after(head, b':') {
+                Some(v) if v >= 1 => Parse::Done(Reply::Deleted, n),
+                Some(_) => Parse::Done(Reply::NotFound, n),
+                None => Parse::Error("bad integer reply".into(), n),
+            }
+        }
+        b'$' => {
+            // Null bulk = miss; otherwise one value.
+            let (head, n) = match crlf_line(buf) {
+                Parse::Done(l, n) => (l, n),
+                Parse::Incomplete => return Parse::Incomplete,
+                Parse::Error(e, n) => return Parse::Error(e, n),
+            };
+            match int_after(head, b'$') {
+                Some(-1) => Parse::Done(Reply::Values { items: vec![] }, n),
+                Some(_) => match bulk(buf, 0) {
+                    Parse::Done((data, next), _) => Parse::Done(
+                        Reply::Values {
+                            items: vec![(Vec::new(), data)],
+                        },
+                        next,
+                    ),
+                    Parse::Incomplete => Parse::Incomplete,
+                    Parse::Error(e, n) => Parse::Error(e, n),
+                },
+                None => Parse::Error("bad bulk header".into(), n),
+            }
+        }
+        b'*' => {
+            let (head, n) = match crlf_line(buf) {
+                Parse::Done(l, n) => (l, n),
+                Parse::Incomplete => return Parse::Incomplete,
+                Parse::Error(e, n) => return Parse::Error(e, n),
+            };
+            let Some(count) = int_after(head, b'*') else {
+                return Parse::Error("bad array header".into(), n);
+            };
+            if count < 0 || count as usize > MAX_ARRAY {
+                return Parse::Error("bad array length".into(), n);
+            }
+            let mut items = Vec::with_capacity(count as usize);
+            let mut at = n;
+            for _ in 0..count {
+                match bulk(buf, at) {
+                    Parse::Done((data, next), _) => {
+                        items.push((Vec::new(), data));
+                        at = next;
+                    }
+                    Parse::Incomplete => return Parse::Incomplete,
+                    Parse::Error(e, n) => return Parse::Error(e, n),
+                }
+            }
+            Parse::Done(Reply::Values { items }, at)
+        }
+        _ => Parse::Error("bad reply type byte".into(), 1),
+    }
+}
+
+/// Like [`crlf_line`] but sized for human-readable simple strings and
+/// error lines rather than numeric headers.
+fn crlf_line_long(buf: &[u8]) -> Parse<&[u8]> {
+    const MAX: usize = 512;
+    match buf.windows(2).position(|w| w == b"\r\n") {
+        Some(i) if i <= MAX => Parse::Done(&buf[..i], i + 2),
+        Some(i) => Parse::Error("resp line too long".into(), i + 2),
+        None if buf.len() > MAX => Parse::Error("resp line too long".into(), buf.len()),
+        None => Parse::Incomplete,
+    }
+}

@@ -1,0 +1,597 @@
+//! The TCP runtime: listener + worker threads, per-connection protocol
+//! autodetection, and the degraded-mode fast path.
+//!
+//! Std-only and non-blocking throughout: the listener round-robins
+//! accepted sockets over worker threads; each worker polls its
+//! connections (read → parse → engine → buffered write) and sleeps
+//! briefly when idle. The engine is single-threaded behind a mutex —
+//! the interpreter owns the pool — so worker count buys connection
+//! fan-in and codec work, not VM parallelism. While a recovery runs
+//! inside an `exec` call, other workers fast-fail data ops via the
+//! engine's degraded flag instead of queueing on the mutex, which is
+//! what bounds client-visible latency during mitigation.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use arthas::AnalysisCache;
+use obs::{Recorder, RingRecorder};
+
+use crate::command::{Cmd, Parse, Reply};
+use crate::engine::{Engine, EngineConfig};
+use crate::{memcached, resp};
+
+/// Receive-buffer cap per connection; a peer that exceeds it without
+/// forming a command is dropped.
+const MAX_INBUF: usize = 64 * 1024;
+/// Worker idle sleep.
+const IDLE_SLEEP: Duration = Duration::from_micros(200);
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address (`127.0.0.1:0` picks a free port).
+    pub addr: String,
+    /// Worker threads (connection fan-in, not VM parallelism).
+    pub workers: usize,
+    /// Engine configuration.
+    pub engine: EngineConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            engine: EngineConfig::default(),
+        }
+    }
+}
+
+/// Shutdown report.
+#[derive(Debug, Clone, Default)]
+pub struct ServerReport {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Malformed commands observed (codec-level).
+    pub protocol_errors: u64,
+    /// Data ops fast-failed while a mitigation was in flight.
+    pub busy_rejections: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    connections: AtomicU64,
+    protocol_errors: AtomicU64,
+    busy_rejections: AtomicU64,
+}
+
+/// Namespace for [`Server::start`].
+pub struct Server;
+
+/// A running server; dropping without [`ServerHandle::shutdown`] leaks
+/// the threads until process exit.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+    engine: Arc<Mutex<Engine>>,
+    counters: Arc<Counters>,
+}
+
+impl Server {
+    /// Builds the engine and spawns the listener + worker threads.
+    pub fn start(
+        cfg: ServerConfig,
+        cache: Option<&AnalysisCache>,
+        recorder: Arc<RingRecorder>,
+    ) -> Result<ServerHandle, String> {
+        let engine = Engine::new(cfg.engine.clone(), cache, recorder.clone())?;
+        let degraded = engine.degraded_handle();
+        let engine = Arc::new(Mutex::new(engine));
+        let listener =
+            TcpListener::bind(&cfg.addr).map_err(|e| format!("bind {}: {e}", cfg.addr))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| format!("local_addr: {e}"))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| format!("nonblocking: {e}"))?;
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let counters = Arc::new(Counters::default());
+        let workers = cfg.workers.max(1);
+        let mut threads = Vec::with_capacity(workers + 1);
+        let mut senders: Vec<Sender<TcpStream>> = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let (tx, rx) = channel();
+            senders.push(tx);
+            let ctx = WorkerCtx {
+                rx,
+                engine: engine.clone(),
+                degraded: degraded.clone(),
+                stop: stop.clone(),
+                counters: counters.clone(),
+                recorder: recorder.clone(),
+            };
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(ctx))
+                    .map_err(|e| format!("spawn worker: {e}"))?,
+            );
+        }
+        {
+            let stop = stop.clone();
+            let counters = counters.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name("serve-listener".into())
+                    .spawn(move || listener_loop(listener, senders, stop, counters))
+                    .map_err(|e| format!("spawn listener: {e}"))?,
+            );
+        }
+        Ok(ServerHandle {
+            addr,
+            stop,
+            threads,
+            engine,
+            counters,
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The bound address (resolved port when binding to `:0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared engine, for in-process drivers and stats scraping.
+    pub fn engine(&self) -> Arc<Mutex<Engine>> {
+        self.engine.clone()
+    }
+
+    /// Stops the threads and returns the runtime counters.
+    pub fn shutdown(self) -> ServerReport {
+        self.stop.store(true, Ordering::SeqCst);
+        for t in self.threads {
+            let _ = t.join();
+        }
+        ServerReport {
+            connections: self.counters.connections.load(Ordering::Relaxed),
+            protocol_errors: self.counters.protocol_errors.load(Ordering::Relaxed),
+            busy_rejections: self.counters.busy_rejections.load(Ordering::Relaxed),
+        }
+    }
+}
+
+fn listener_loop(
+    listener: TcpListener,
+    senders: Vec<Sender<TcpStream>>,
+    stop: Arc<AtomicBool>,
+    counters: Arc<Counters>,
+) {
+    let mut next = 0usize;
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let _ = stream.set_nodelay(true);
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                counters.connections.fetch_add(1, Ordering::Relaxed);
+                // Round-robin; a send only fails if the worker died, in
+                // which case the connection is dropped.
+                let _ = senders[next % senders.len()].send(stream);
+                next = next.wrapping_add(1);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_micros(500));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(1)),
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Proto {
+    Memcached,
+    Resp,
+}
+
+struct Conn {
+    stream: TcpStream,
+    inbuf: Vec<u8>,
+    outbuf: Vec<u8>,
+    proto: Option<Proto>,
+    closing: bool,
+}
+
+struct WorkerCtx {
+    rx: Receiver<TcpStream>,
+    engine: Arc<Mutex<Engine>>,
+    degraded: Arc<AtomicBool>,
+    stop: Arc<AtomicBool>,
+    counters: Arc<Counters>,
+    recorder: Arc<RingRecorder>,
+}
+
+fn worker_loop(ctx: WorkerCtx) {
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut scratch = [0u8; 4096];
+    while !ctx.stop.load(Ordering::SeqCst) {
+        let mut progressed = false;
+        loop {
+            match ctx.rx.try_recv() {
+                Ok(stream) => {
+                    conns.push(Conn {
+                        stream,
+                        inbuf: Vec::new(),
+                        outbuf: Vec::new(),
+                        proto: None,
+                        closing: false,
+                    });
+                    progressed = true;
+                }
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => return,
+            }
+        }
+        conns.retain_mut(|conn| match poll_conn(conn, &ctx, &mut scratch) {
+            PollOutcome::Idle => true,
+            PollOutcome::Progress => {
+                progressed = true;
+                true
+            }
+            PollOutcome::Close => {
+                progressed = true;
+                false
+            }
+        });
+        if !progressed {
+            std::thread::sleep(IDLE_SLEEP);
+        }
+    }
+}
+
+enum PollOutcome {
+    Idle,
+    Progress,
+    Close,
+}
+
+fn poll_conn(conn: &mut Conn, ctx: &WorkerCtx, scratch: &mut [u8]) -> PollOutcome {
+    let mut progressed = false;
+    // Drain pending output first so a slow reader cannot stall parsing.
+    match flush_out(conn) {
+        Ok(wrote) => progressed |= wrote,
+        Err(()) => return PollOutcome::Close,
+    }
+    if conn.closing {
+        return if conn.outbuf.is_empty() {
+            PollOutcome::Close
+        } else {
+            PollOutcome::Progress
+        };
+    }
+    loop {
+        match conn.stream.read(scratch) {
+            Ok(0) => return PollOutcome::Close,
+            Ok(n) => {
+                conn.inbuf.extend_from_slice(&scratch[..n]);
+                progressed = true;
+                if n < scratch.len() {
+                    break;
+                }
+                if conn.inbuf.len() > MAX_INBUF {
+                    return PollOutcome::Close;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => return PollOutcome::Close,
+        }
+    }
+    if conn.inbuf.len() > MAX_INBUF {
+        return PollOutcome::Close;
+    }
+    if conn.proto.is_none() {
+        if let Some(&b) = conn.inbuf.first() {
+            conn.proto = Some(if b == b'*' || b == b'$' || b == b'+' {
+                Proto::Resp
+            } else {
+                Proto::Memcached
+            });
+        }
+    }
+    let Some(proto) = conn.proto else {
+        return if progressed {
+            PollOutcome::Progress
+        } else {
+            PollOutcome::Idle
+        };
+    };
+    // Parse-and-serve loop: consumes every complete pipelined command.
+    loop {
+        let parsed = match proto {
+            Proto::Memcached => memcached::parse_cmd(&conn.inbuf),
+            Proto::Resp => resp::parse_cmd(&conn.inbuf),
+        };
+        match parsed {
+            Parse::Incomplete => break,
+            Parse::Error(msg, n) => {
+                ctx.counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                if n == 0 {
+                    return PollOutcome::Close;
+                }
+                conn.inbuf.drain(..n.min(conn.inbuf.len()));
+                encode(proto, &Reply::Error(msg), &mut conn.outbuf);
+                progressed = true;
+            }
+            Parse::Done(cmd, n) => {
+                conn.inbuf.drain(..n.min(conn.inbuf.len()));
+                progressed = true;
+                let quit = matches!(cmd, Cmd::Quit);
+                let suppress = matches!(
+                    &cmd,
+                    Cmd::Set { noreply: true, .. } | Cmd::Delete { noreply: true, .. }
+                );
+                let reply = serve_cmd(&cmd, ctx);
+                if quit {
+                    // memcached `quit` closes silently; RESP replies +OK.
+                    if proto == Proto::Resp {
+                        encode(proto, &reply, &mut conn.outbuf);
+                    }
+                    conn.closing = true;
+                    break;
+                }
+                if !suppress {
+                    encode(proto, &reply, &mut conn.outbuf);
+                }
+            }
+        }
+    }
+    match flush_out(conn) {
+        Ok(wrote) => progressed |= wrote,
+        Err(()) => return PollOutcome::Close,
+    }
+    if conn.closing && conn.outbuf.is_empty() {
+        return PollOutcome::Close;
+    }
+    if progressed {
+        PollOutcome::Progress
+    } else {
+        PollOutcome::Idle
+    }
+}
+
+/// Executes one command against the shared engine, with the
+/// degraded-mode fast path for data ops.
+fn serve_cmd(cmd: &Cmd, ctx: &WorkerCtx) -> Reply {
+    let is_data = matches!(cmd, Cmd::Get { .. } | Cmd::Set { .. } | Cmd::Delete { .. });
+    if is_data && ctx.degraded.load(Ordering::SeqCst) {
+        ctx.counters.busy_rejections.fetch_add(1, Ordering::Relaxed);
+        return Reply::ServerError("mitigation in progress".into());
+    }
+    if matches!(cmd, Cmd::Stats) {
+        let extra = vec![
+            (
+                "connections".to_string(),
+                ctx.counters.connections.load(Ordering::Relaxed).to_string(),
+            ),
+            (
+                "protocol_errors".to_string(),
+                ctx.counters
+                    .protocol_errors
+                    .load(Ordering::Relaxed)
+                    .to_string(),
+            ),
+            (
+                "busy_rejections".to_string(),
+                ctx.counters
+                    .busy_rejections
+                    .load(Ordering::Relaxed)
+                    .to_string(),
+            ),
+        ];
+        let mut engine = ctx.engine.lock().expect("engine poisoned");
+        return engine.stats_reply(&extra);
+    }
+    let t0 = Instant::now();
+    let reply = {
+        let mut engine = ctx.engine.lock().expect("engine poisoned");
+        engine.exec(cmd)
+    };
+    if is_data {
+        ctx.recorder.observe_duration("serve.op_us", t0.elapsed());
+    }
+    reply
+}
+
+fn encode(proto: Proto, reply: &Reply, out: &mut Vec<u8>) {
+    match proto {
+        Proto::Memcached => memcached::encode_reply(reply, out),
+        Proto::Resp => resp::encode_reply(reply, out),
+    }
+}
+
+/// Non-blocking buffered write; `Ok(true)` when bytes moved.
+fn flush_out(conn: &mut Conn) -> Result<bool, ()> {
+    if conn.outbuf.is_empty() {
+        return Ok(false);
+    }
+    let mut written = 0usize;
+    loop {
+        match conn.stream.write(&conn.outbuf[written..]) {
+            Ok(0) => return Err(()),
+            Ok(n) => {
+                written += n;
+                if written == conn.outbuf.len() {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => return Err(()),
+        }
+    }
+    conn.outbuf.drain(..written);
+    Ok(written > 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn start(scenario: &str) -> ServerHandle {
+        let cfg = ServerConfig {
+            workers: 2,
+            engine: EngineConfig {
+                scenario: scenario.into(),
+                health_every: 32,
+                ..EngineConfig::default()
+            },
+            ..ServerConfig::default()
+        };
+        Server::start(cfg, None, Arc::new(RingRecorder::new(4096))).expect("server starts")
+    }
+
+    fn send_recv(stream: &mut TcpStream, req: &[u8], until: &[u8]) -> Vec<u8> {
+        stream.write_all(req).unwrap();
+        let mut got = Vec::new();
+        let mut byte = [0u8; 256];
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            match stream.read(&mut byte) {
+                Ok(0) => break,
+                Ok(n) => {
+                    got.extend_from_slice(&byte[..n]);
+                    if got.ends_with(until) {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    assert!(Instant::now() < deadline, "timed out waiting for reply");
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Err(e) => panic!("read: {e}"),
+            }
+        }
+        got
+    }
+
+    #[test]
+    fn memcached_roundtrip_over_tcp() {
+        let h = start("f4");
+        let mut c = TcpStream::connect(h.addr()).unwrap();
+        c.set_nonblocking(true).unwrap();
+        let r = send_recv(
+            &mut c,
+            b"set 42 0 0 4\r\n\x21\x21\x21\x21\r\n",
+            b"STORED\r\n",
+        );
+        assert_eq!(r, b"STORED\r\n");
+        let r = send_recv(&mut c, b"get 42\r\n", b"END\r\n");
+        assert_eq!(r, b"VALUE 42 0 4\r\n\x21\x21\x21\x21\r\nEND\r\n");
+        let r = send_recv(&mut c, b"delete 42\r\n", b"DELETED\r\n");
+        assert_eq!(r, b"DELETED\r\n");
+        let report = h.shutdown();
+        assert_eq!(report.protocol_errors, 0);
+        assert_eq!(report.connections, 1);
+    }
+
+    #[test]
+    fn resp_roundtrip_over_tcp() {
+        let h = start("f4");
+        let mut c = TcpStream::connect(h.addr()).unwrap();
+        c.set_nonblocking(true).unwrap();
+        let set = b"*3\r\n$3\r\nSET\r\n$2\r\n77\r\n$3\r\n\x31\x31\x31\r\n";
+        assert_eq!(send_recv(&mut c, set, b"+OK\r\n"), b"+OK\r\n");
+        let get = b"*2\r\n$3\r\nGET\r\n$2\r\n77\r\n";
+        assert_eq!(send_recv(&mut c, get, b"111\r\n"), b"$3\r\n111\r\n");
+        let ping = b"*1\r\n$4\r\nPING\r\n";
+        assert_eq!(send_recv(&mut c, ping, b"+PONG\r\n"), b"+PONG\r\n");
+        h.shutdown();
+    }
+
+    #[test]
+    fn pipelined_and_torn_commands() {
+        let h = start("f4");
+        let mut c = TcpStream::connect(h.addr()).unwrap();
+        c.set_nonblocking(true).unwrap();
+        // Two pipelined sets in one write.
+        let two = b"set 1 0 0 1\r\nA\r\nset 2 0 0 1\r\nB\r\n";
+        let r = send_recv(&mut c, two, b"STORED\r\nSTORED\r\n");
+        assert_eq!(r, b"STORED\r\nSTORED\r\n");
+        // A get torn across two writes.
+        c.write_all(b"get ").unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        let r = send_recv(&mut c, b"1 2\r\n", b"END\r\n");
+        assert_eq!(r, b"VALUE 1 0 1\r\nA\r\nVALUE 2 0 1\r\nB\r\nEND\r\n");
+        let report = h.shutdown();
+        assert_eq!(report.protocol_errors, 0);
+    }
+
+    #[test]
+    fn protocol_errors_are_reported_not_fatal() {
+        let h = start("f4");
+        let mut c = TcpStream::connect(h.addr()).unwrap();
+        c.set_nonblocking(true).unwrap();
+        let r = send_recv(&mut c, b"frobnicate now\r\n", b"\r\n");
+        assert!(
+            r.starts_with(b"CLIENT_ERROR"),
+            "{:?}",
+            String::from_utf8_lossy(&r)
+        );
+        // The connection still works afterwards.
+        let r = send_recv(&mut c, b"ping\r\n", b"PONG\r\n");
+        assert_eq!(r, b"PONG\r\n");
+        let report = h.shutdown();
+        assert_eq!(report.protocol_errors, 1);
+    }
+
+    #[test]
+    fn stats_include_server_counters() {
+        let h = start("f4");
+        let mut c = TcpStream::connect(h.addr()).unwrap();
+        c.set_nonblocking(true).unwrap();
+        let r = send_recv(&mut c, b"stats\r\n", b"END\r\n");
+        let text = String::from_utf8_lossy(&r);
+        let mut found = false;
+        for line in text.lines() {
+            if line.starts_with("STAT connections ") {
+                found = true;
+            }
+        }
+        assert!(found, "stats carry server counters: {text}");
+        h.shutdown();
+    }
+
+    #[test]
+    fn quit_closes_the_connection() {
+        let h = start("f4");
+        let mut c = TcpStream::connect(h.addr()).unwrap();
+        c.set_nonblocking(true).unwrap();
+        c.write_all(b"quit\r\n").unwrap();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let mut byte = [0u8; 16];
+        loop {
+            match c.read(&mut byte) {
+                Ok(0) => break,
+                Ok(_) => {}
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    assert!(Instant::now() < deadline, "peer never closed");
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Err(_) => break,
+            }
+        }
+        h.shutdown();
+    }
+}

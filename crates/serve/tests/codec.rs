@@ -1,0 +1,430 @@
+//! Wire-codec conformance: golden request/response bytes for both
+//! protocols, torn/partial-read and pipelined framing, oversized-key
+//! rejection, and property-based round trips through the client-side
+//! encoder/parser pairs the load driver reuses.
+
+use proptest::prelude::*;
+use serve::command::{Cmd, Parse, Reply, MAX_KEY_LEN, MAX_VALUE_LEN};
+use serve::{memcached, resp};
+
+fn done<T: std::fmt::Debug>(p: Parse<T>) -> (T, usize) {
+    match p {
+        Parse::Done(v, n) => (v, n),
+        other => panic!("expected Done, got {other:?}"),
+    }
+}
+
+fn err<T: std::fmt::Debug>(p: Parse<T>) -> String {
+    match p {
+        Parse::Error(m, _) => m,
+        other => panic!("expected Error, got {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------- golden
+
+#[test]
+fn memcached_golden_requests() {
+    let (cmd, n) = done(memcached::parse_cmd(b"get alpha beta\r\n"));
+    assert_eq!(n, 16);
+    assert_eq!(
+        cmd,
+        Cmd::Get {
+            keys: vec![b"alpha".to_vec(), b"beta".to_vec()]
+        }
+    );
+
+    let (cmd, n) = done(memcached::parse_cmd(b"set k 7 60 5\r\nhello\r\nx"));
+    assert_eq!(n, 21);
+    assert_eq!(
+        cmd,
+        Cmd::Set {
+            key: b"k".to_vec(),
+            value: b"hello".to_vec(),
+            noreply: false,
+        }
+    );
+
+    let (cmd, _) = done(memcached::parse_cmd(b"set k 0 0 2 noreply\r\nhi\r\n"));
+    assert_eq!(
+        cmd,
+        Cmd::Set {
+            key: b"k".to_vec(),
+            value: b"hi".to_vec(),
+            noreply: true,
+        }
+    );
+
+    let (cmd, _) = done(memcached::parse_cmd(b"delete gone\r\n"));
+    assert_eq!(
+        cmd,
+        Cmd::Delete {
+            key: b"gone".to_vec(),
+            noreply: false,
+        }
+    );
+
+    assert_eq!(done(memcached::parse_cmd(b"stats\r\n")).0, Cmd::Stats);
+    assert_eq!(done(memcached::parse_cmd(b"version\r\n")).0, Cmd::Version);
+    assert_eq!(done(memcached::parse_cmd(b"quit\r\n")).0, Cmd::Quit);
+    assert_eq!(
+        done(memcached::parse_cmd(b"fault_arm\r\n")).0,
+        Cmd::FaultArm
+    );
+}
+
+#[test]
+fn memcached_golden_replies() {
+    let mut out = Vec::new();
+    memcached::encode_reply(
+        &Reply::Values {
+            items: vec![(b"k1".to_vec(), b"abc".to_vec())],
+        },
+        &mut out,
+    );
+    assert_eq!(out, b"VALUE k1 0 3\r\nabc\r\nEND\r\n");
+
+    let cases: &[(Reply, &[u8])] = &[
+        (Reply::Stored, b"STORED\r\n"),
+        (Reply::NotStored, b"NOT_STORED\r\n"),
+        (Reply::Deleted, b"DELETED\r\n"),
+        (Reply::NotFound, b"NOT_FOUND\r\n"),
+        (Reply::Values { items: vec![] }, b"END\r\n"),
+        (Reply::Pong, b"PONG\r\n"),
+        (Reply::Ok, b"OK\r\n"),
+        (Reply::Version("v1".into()), b"VERSION v1\r\n"),
+        (Reply::Error("oops".into()), b"CLIENT_ERROR oops\r\n"),
+        (Reply::ServerError("down".into()), b"SERVER_ERROR down\r\n"),
+    ];
+    for (reply, wire) in cases {
+        let mut out = Vec::new();
+        memcached::encode_reply(reply, &mut out);
+        assert_eq!(&out, wire, "encoding {reply:?}");
+        let (parsed, n) = done(memcached::parse_reply(wire));
+        assert_eq!(
+            &parsed,
+            reply,
+            "parsing {:?}",
+            String::from_utf8_lossy(wire)
+        );
+        assert_eq!(n, wire.len());
+    }
+}
+
+#[test]
+fn resp_golden_requests() {
+    let (cmd, n) = done(resp::parse_cmd(b"*2\r\n$3\r\nGET\r\n$4\r\nmyky\r\n"));
+    assert_eq!(n, 23);
+    assert_eq!(
+        cmd,
+        Cmd::Get {
+            keys: vec![b"myky".to_vec()]
+        }
+    );
+
+    // Lowercase verbs work too.
+    let (cmd, _) = done(resp::parse_cmd(
+        b"*3\r\n$3\r\nset\r\n$1\r\nk\r\n$2\r\nhi\r\n",
+    ));
+    assert_eq!(
+        cmd,
+        Cmd::Set {
+            key: b"k".to_vec(),
+            value: b"hi".to_vec(),
+            noreply: false,
+        }
+    );
+
+    let (cmd, _) = done(resp::parse_cmd(b"*2\r\n$3\r\nDEL\r\n$1\r\nk\r\n"));
+    assert_eq!(
+        cmd,
+        Cmd::Delete {
+            key: b"k".to_vec(),
+            noreply: false,
+        }
+    );
+
+    assert_eq!(done(resp::parse_cmd(b"*1\r\n$4\r\nPING\r\n")).0, Cmd::Ping);
+    assert_eq!(done(resp::parse_cmd(b"*1\r\n$4\r\nINFO\r\n")).0, Cmd::Stats);
+    assert_eq!(
+        done(resp::parse_cmd(b"*1\r\n$9\r\nFAULT.ARM\r\n")).0,
+        Cmd::FaultArm
+    );
+}
+
+#[test]
+fn resp_golden_replies() {
+    let cases: &[(Reply, &[u8])] = &[
+        (Reply::Values { items: vec![] }, b"$-1\r\n"),
+        (
+            Reply::Values {
+                items: vec![(b"k".to_vec(), b"abc".to_vec())],
+            },
+            b"$3\r\nabc\r\n",
+        ),
+        (
+            Reply::Values {
+                items: vec![
+                    (b"a".to_vec(), b"x".to_vec()),
+                    (b"b".to_vec(), b"yz".to_vec()),
+                ],
+            },
+            b"*2\r\n$1\r\nx\r\n$2\r\nyz\r\n",
+        ),
+        (Reply::Stored, b"+OK\r\n"),
+        (Reply::Ok, b"+OK\r\n"),
+        (Reply::Deleted, b":1\r\n"),
+        (Reply::NotFound, b":0\r\n"),
+        (Reply::Pong, b"+PONG\r\n"),
+        (Reply::Version("v1".into()), b"+VERSION v1\r\n"),
+        (Reply::NotStored, b"-ERR not stored\r\n"),
+        (Reply::Error("bad".into()), b"-ERR bad\r\n"),
+        (Reply::ServerError("busy".into()), b"-BUSY busy\r\n"),
+    ];
+    for (reply, wire) in cases {
+        let mut out = Vec::new();
+        resp::encode_reply(reply, &mut out);
+        assert_eq!(&out, wire, "encoding {reply:?}");
+    }
+}
+
+// --------------------------------------------------- torn / pipelined
+
+#[test]
+fn memcached_torn_reads_ask_for_more() {
+    let full = b"set key1 0 0 5\r\nhello\r\n";
+    for cut in 0..full.len() {
+        match memcached::parse_cmd(&full[..cut]) {
+            Parse::Incomplete => {}
+            other => panic!("prefix of {cut} bytes gave {other:?}"),
+        }
+    }
+    let (cmd, n) = done(memcached::parse_cmd(full));
+    assert_eq!(n, full.len());
+    assert!(matches!(cmd, Cmd::Set { .. }));
+}
+
+#[test]
+fn resp_torn_reads_ask_for_more() {
+    let full = b"*3\r\n$3\r\nSET\r\n$1\r\nk\r\n$2\r\nhi\r\n";
+    for cut in 0..full.len() {
+        match resp::parse_cmd(&full[..cut]) {
+            Parse::Incomplete => {}
+            other => panic!("prefix of {cut} bytes gave {other:?}"),
+        }
+    }
+    let (_, n) = done(resp::parse_cmd(full));
+    assert_eq!(n, full.len());
+}
+
+#[test]
+fn memcached_torn_reply_reads_ask_for_more() {
+    let full = b"VALUE k 0 3\r\nabc\r\nVALUE q 0 1\r\nz\r\nEND\r\n";
+    for cut in 0..full.len() {
+        match memcached::parse_reply(&full[..cut]) {
+            Parse::Incomplete => {}
+            other => panic!("prefix of {cut} bytes gave {other:?}"),
+        }
+    }
+    let (reply, n) = done(memcached::parse_reply(full));
+    assert_eq!(n, full.len());
+    assert_eq!(
+        reply,
+        Reply::Values {
+            items: vec![
+                (b"k".to_vec(), b"abc".to_vec()),
+                (b"q".to_vec(), b"z".to_vec()),
+            ]
+        }
+    );
+}
+
+#[test]
+fn pipelined_commands_consume_one_at_a_time() {
+    let mut buf: Vec<u8> = Vec::new();
+    buf.extend_from_slice(b"set a 0 0 1\r\nX\r\n");
+    buf.extend_from_slice(b"get a\r\n");
+    buf.extend_from_slice(b"delete a\r\n");
+    let (c1, n1) = done(memcached::parse_cmd(&buf));
+    assert!(matches!(c1, Cmd::Set { .. }));
+    buf.drain(..n1);
+    let (c2, n2) = done(memcached::parse_cmd(&buf));
+    assert!(matches!(c2, Cmd::Get { .. }));
+    buf.drain(..n2);
+    let (c3, n3) = done(memcached::parse_cmd(&buf));
+    assert!(matches!(c3, Cmd::Delete { .. }));
+    buf.drain(..n3);
+    assert!(buf.is_empty());
+    assert_eq!(memcached::parse_cmd(&buf), Parse::Incomplete);
+}
+
+#[test]
+fn resp_pipelined_commands_consume_one_at_a_time() {
+    let mut buf: Vec<u8> = Vec::new();
+    buf.extend_from_slice(b"*3\r\n$3\r\nSET\r\n$1\r\na\r\n$1\r\nX\r\n");
+    buf.extend_from_slice(b"*2\r\n$3\r\nGET\r\n$1\r\na\r\n");
+    let (c1, n1) = done(resp::parse_cmd(&buf));
+    assert!(matches!(c1, Cmd::Set { .. }));
+    buf.drain(..n1);
+    let (c2, n2) = done(resp::parse_cmd(&buf));
+    assert!(matches!(c2, Cmd::Get { .. }));
+    buf.drain(..n2);
+    assert!(buf.is_empty());
+}
+
+// ------------------------------------------------------------- limits
+
+#[test]
+fn oversized_keys_are_rejected() {
+    let big = vec![b'a'; MAX_KEY_LEN + 1];
+    let mut req = b"get ".to_vec();
+    req.extend_from_slice(&big);
+    req.extend_from_slice(b"\r\n");
+    assert!(err(memcached::parse_cmd(&req)).contains("key too long"));
+
+    let mut req = b"set ".to_vec();
+    req.extend_from_slice(&big);
+    req.extend_from_slice(b" 0 0 1\r\nZ\r\n");
+    assert!(err(memcached::parse_cmd(&req)).contains("key too long"));
+
+    let mut req = format!("*2\r\n$3\r\nGET\r\n${}\r\n", big.len()).into_bytes();
+    req.extend_from_slice(&big);
+    req.extend_from_slice(b"\r\n");
+    assert!(err(resp::parse_cmd(&req)).contains("key too long"));
+}
+
+#[test]
+fn oversized_values_are_rejected() {
+    let n = MAX_VALUE_LEN + 1;
+    let req = format!("set k 0 0 {n}\r\n").into_bytes();
+    assert!(err(memcached::parse_cmd(&req)).contains("too large"));
+
+    let req = format!("*3\r\n$3\r\nSET\r\n$1\r\nk\r\n${n}\r\n").into_bytes();
+    assert!(err(resp::parse_cmd(&req)).contains("bad bulk length"));
+}
+
+#[test]
+fn malformed_input_reports_errors_with_progress() {
+    // Unknown verb: the line is consumed so the connection can go on.
+    match memcached::parse_cmd(b"bogus\r\nget k\r\n") {
+        Parse::Error(_, n) => assert_eq!(n, 7),
+        other => panic!("{other:?}"),
+    }
+    // Bad data-chunk terminator.
+    assert!(err(memcached::parse_cmd(b"set k 0 0 2\r\nhiXX")).contains("bad data chunk"));
+    // RESP: non-array start.
+    assert!(err(resp::parse_cmd(b"PING\r\n")).contains("expected command array"));
+    // RESP: wrong arity.
+    assert!(err(resp::parse_cmd(b"*1\r\n$3\r\nGET\r\n")).contains("needs"));
+}
+
+// ----------------------------------------------------------- property
+
+/// Keys the wire validators accept: 1..=16 lowercase letters/digits.
+fn key_strategy() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(0..36u8, 1..16).prop_map(|ix| {
+        ix.into_iter()
+            .map(|i| if i < 26 { b'a' + i } else { b'0' + (i - 26) })
+            .collect()
+    })
+}
+
+/// Arbitrary value bytes (any byte is legal: both wire formats are
+/// length-prefixed).
+fn value_strategy() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(any::<u8>(), 0..48)
+}
+
+fn cmd_strategy() -> impl Strategy<Value = Cmd> {
+    prop_oneof![
+        key_strategy().prop_map(|k| Cmd::Get { keys: vec![k] }),
+        (key_strategy(), value_strategy()).prop_map(|(key, value)| Cmd::Set {
+            key,
+            value,
+            noreply: false,
+        }),
+        key_strategy().prop_map(|key| Cmd::Delete {
+            key,
+            noreply: false
+        }),
+        Just(Cmd::Stats),
+        Just(Cmd::Version),
+        Just(Cmd::Ping),
+        Just(Cmd::FaultArm),
+        Just(Cmd::Quit),
+    ]
+}
+
+/// RESP replies the client parser can reconstruct (keys are not on the
+/// wire, so `Values` items carry empty keys; `Stored` canonicalizes to
+/// `Ok`, `NotStored` to an error — mirrored here).
+fn resp_reply_strategy() -> impl Strategy<Value = Reply> {
+    fn text() -> impl Strategy<Value = String> {
+        proptest::collection::vec(0..26u8, 1..12).prop_map(|ix| {
+            ix.into_iter()
+                .map(|i| (b'a' + i) as char)
+                .collect::<String>()
+        })
+    }
+    prop_oneof![
+        Just(Reply::Values { items: vec![] }),
+        value_strategy().prop_map(|v| Reply::Values {
+            items: vec![(Vec::new(), v)]
+        }),
+        proptest::collection::vec(value_strategy(), 2..5).prop_map(|vs| Reply::Values {
+            items: vs.into_iter().map(|v| (Vec::new(), v)).collect()
+        }),
+        Just(Reply::Ok),
+        Just(Reply::Deleted),
+        Just(Reply::NotFound),
+        Just(Reply::Pong),
+        text().prop_map(Reply::Version),
+        text().prop_map(Reply::Error),
+        text().prop_map(Reply::ServerError),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn resp_cmd_round_trips(cmd in cmd_strategy()) {
+        let mut wire = Vec::new();
+        resp::encode_cmd(&cmd, &mut wire);
+        let (back, n) = done(resp::parse_cmd(&wire));
+        prop_assert_eq!(n, wire.len(), "whole encoding consumed");
+        prop_assert_eq!(back, cmd);
+    }
+
+    #[test]
+    fn memcached_cmd_round_trips(cmd in cmd_strategy()) {
+        let mut wire = Vec::new();
+        memcached::encode_cmd(&cmd, &mut wire);
+        let (back, n) = done(memcached::parse_cmd(&wire));
+        prop_assert_eq!(n, wire.len());
+        prop_assert_eq!(back, cmd);
+    }
+
+    #[test]
+    fn resp_reply_round_trips(reply in resp_reply_strategy()) {
+        let mut wire = Vec::new();
+        resp::encode_reply(&reply, &mut wire);
+        let (back, n) = done(resp::parse_reply(&wire));
+        prop_assert_eq!(n, wire.len());
+        prop_assert_eq!(back, reply);
+    }
+
+    #[test]
+    fn resp_cmd_parse_never_overreads(cmd in cmd_strategy()) {
+        // Incremental framing: every strict prefix is Incomplete, never
+        // a bogus Done or Error.
+        let mut wire = Vec::new();
+        resp::encode_cmd(&cmd, &mut wire);
+        for cut in 0..wire.len() {
+            match resp::parse_cmd(&wire[..cut]) {
+                Parse::Incomplete => {}
+                other => panic!("prefix {cut}/{} gave {other:?}", wire.len()),
+            }
+        }
+    }
+}

@@ -26,6 +26,10 @@
 //! ```
 
 use std::collections::HashMap;
+use std::sync::Arc;
+
+use arthas::AnalysisCache;
+use obs::RingRecorder;
 
 /// A positional argument declaration.
 #[derive(Debug, Clone, Copy)]
@@ -116,6 +120,88 @@ impl Parsed {
     /// Whether a boolean switch was given.
     pub fn has(&self, flag: &str) -> bool {
         self.switches.contains(&flag)
+    }
+}
+
+/// Per-invocation context shared by every analyzer-driven subcommand:
+/// the resolved analysis cache and a ring recorder for observability.
+/// Replaces the per-command `resolve_cache` + recorder boilerplate that
+/// used to live in each `cmd_*` function.
+pub struct CliContext {
+    cache: Option<Arc<AnalysisCache>>,
+    recorder: Arc<RingRecorder>,
+}
+
+impl CliContext {
+    /// Ring-recorder capacity for CLI invocations; large enough to keep
+    /// a whole mitigation timeline.
+    pub const RECORDER_CAPACITY: usize = 8192;
+
+    /// Resolves the shared flags of a parsed invocation:
+    /// `--no-analysis-cache` wins, then `--analysis-cache DIR`, then the
+    /// `ARTHAS_ANALYSIS_CACHE` environment variable; with none of them
+    /// the analysis is recomputed every run (the pre-cache behaviour).
+    /// `Err` carries a user-facing message (unopenable cache directory).
+    pub fn from_parsed(p: &Parsed) -> Result<CliContext, String> {
+        Self::with_env(p, std::env::var("ARTHAS_ANALYSIS_CACHE").ok())
+    }
+
+    /// [`CliContext::from_parsed`] with the environment fallback passed
+    /// explicitly (testable without mutating process state).
+    fn with_env(p: &Parsed, env_dir: Option<String>) -> Result<CliContext, String> {
+        let cache = if p.has(NO_ANALYSIS_CACHE_FLAG.name) {
+            None
+        } else {
+            let dir = p
+                .get(ANALYSIS_CACHE_FLAG.name)
+                .map(str::to_string)
+                .or(env_dir)
+                .filter(|d| !d.is_empty());
+            match dir {
+                None => None,
+                Some(dir) => {
+                    Some(Arc::new(AnalysisCache::persistent(&dir).map_err(|e| {
+                        format!("cannot open analysis cache {dir}: {e}")
+                    })?))
+                }
+            }
+        };
+        Ok(CliContext {
+            cache,
+            recorder: Arc::new(RingRecorder::new(Self::RECORDER_CAPACITY)),
+        })
+    }
+
+    /// The resolved cache, borrowed (what `AppSetup::new_with_cache`
+    /// takes).
+    pub fn cache(&self) -> Option<&AnalysisCache> {
+        self.cache.as_deref()
+    }
+
+    /// The resolved cache, shared (what builder-style configs take).
+    pub fn cache_arc(&self) -> Option<Arc<AnalysisCache>> {
+        self.cache.clone()
+    }
+
+    /// The invocation's ring recorder, for wiring into `obs::Instrument`
+    /// layers.
+    pub fn recorder(&self) -> Arc<RingRecorder> {
+        self.recorder.clone()
+    }
+
+    /// One-line cache summary (`None` when no cache is configured).
+    pub fn cache_summary(&self) -> Option<String> {
+        let cache = self.cache.as_ref()?;
+        Some(format!(
+            "analysis cache: {} ({} hit(s), {} miss(es), {} invalid)",
+            cache
+                .dir()
+                .map(|d| d.display().to_string())
+                .unwrap_or_else(|| "in-memory".to_string()),
+            cache.hits(),
+            cache.misses(),
+            cache.invalidations(),
+        ))
     }
 }
 
@@ -289,5 +375,73 @@ mod tests {
         assert!(e.contains("usage: arthas-repro demo <target> [extra] [flags]"));
         assert!(e.contains("--seed N"));
         assert!(e.contains("run seed"));
+    }
+
+    const CACHED: CommandSpec = CommandSpec {
+        name: "cached",
+        summary: "demo with cache flags",
+        args: &[],
+        flags: &[ANALYSIS_CACHE_FLAG, NO_ANALYSIS_CACHE_FLAG],
+    };
+
+    fn temp_cache_dir(tag: &str) -> String {
+        let dir = std::env::temp_dir().join(format!("arthas-cli-ctx-{tag}-{}", std::process::id()));
+        let _ = std::fs::create_dir_all(&dir);
+        dir.display().to_string()
+    }
+
+    #[test]
+    fn context_without_flags_or_env_has_no_cache() {
+        let p = CACHED.parse(&[]).unwrap();
+        let ctx = CliContext::with_env(&p, None).unwrap();
+        assert!(ctx.cache().is_none());
+        assert!(ctx.cache_arc().is_none());
+        assert!(ctx.cache_summary().is_none());
+        assert!(ctx.recorder().events().is_empty());
+    }
+
+    #[test]
+    fn context_flag_opens_a_persistent_cache() {
+        let dir = temp_cache_dir("flag");
+        let p = CACHED.parse(&sv(&["--analysis-cache", &dir])).unwrap();
+        let ctx = CliContext::with_env(&p, None).unwrap();
+        let summary = ctx.cache_summary().expect("cache configured");
+        assert!(summary.contains(&dir), "{summary}");
+        assert!(ctx.cache().is_some());
+    }
+
+    #[test]
+    fn context_env_is_the_fallback_and_empty_env_means_none() {
+        let dir = temp_cache_dir("env");
+        let p = CACHED.parse(&[]).unwrap();
+        let ctx = CliContext::with_env(&p, Some(dir.clone())).unwrap();
+        assert!(ctx.cache().is_some());
+        let ctx = CliContext::with_env(&p, Some(String::new())).unwrap();
+        assert!(ctx.cache().is_none());
+    }
+
+    #[test]
+    fn context_no_cache_switch_wins_over_flag_and_env() {
+        let dir = temp_cache_dir("off");
+        let p = CACHED
+            .parse(&sv(&["--analysis-cache", &dir, "--no-analysis-cache"]))
+            .unwrap();
+        let ctx = CliContext::with_env(&p, Some(dir)).unwrap();
+        assert!(ctx.cache().is_none());
+    }
+
+    #[test]
+    fn context_reports_unopenable_cache_dirs() {
+        // A file (not a directory) is not a usable cache root.
+        let path = std::env::temp_dir().join(format!("arthas-cli-ctx-file-{}", std::process::id()));
+        std::fs::write(&path, b"not a directory").unwrap();
+        let dir = path.display().to_string();
+        let p = CACHED.parse(&sv(&["--analysis-cache", &dir])).unwrap();
+        let e = match CliContext::with_env(&p, None) {
+            Err(e) => e,
+            Ok(_) => panic!("a file as cache root must not open"),
+        };
+        assert!(e.contains("cannot open analysis cache"), "{e}");
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -5,6 +5,8 @@
 //! arthas-repro run f6 [arthas|pmcriu|arckpt] [seed]
 //! arthas-repro report f6 [--json]        # observed run: timeline / JSON
 //! arthas-repro report all --out reports  # one JSON document per scenario
+//! arthas-repro serve f4 --drive --conns 64 --fault-at 5000
+//!                                        # live traffic + online mitigation (fig14)
 //! arthas-repro inject f6 --stride 8      # crash-point injection campaign
 //! arthas-repro inject fx1 --invariants   # campaign with the mined-invariant oracle
 //! arthas-repro study                     # the S2 empirical-study stats
@@ -17,15 +19,12 @@
 //! [`cli::CommandSpec`]; parsing and `--help` derive from the
 //! declaration.
 
-use std::sync::Arc;
-
 use arthas::ReactorConfig;
 use arthas_repro::cli::{
-    ArgSpec, CommandSpec, FlagSpec, Parsed, ANALYSIS_CACHE_FLAG, NO_ANALYSIS_CACHE_FLAG,
+    ArgSpec, CliContext, CommandSpec, FlagSpec, Parsed, ANALYSIS_CACHE_FLAG, NO_ANALYSIS_CACHE_FLAG,
 };
-use pm_workload::{
-    mitigate, run_production, scenarios, AnalysisCache, AppSetup, RunConfig, Solution,
-};
+use obs::Json;
+use pm_workload::{mitigate, run_production, scenarios, AppSetup, RunConfig, Solution};
 
 const COMMANDS: &[CommandSpec] = &[
     CommandSpec {
@@ -41,7 +40,7 @@ const COMMANDS: &[CommandSpec] = &[
             ArgSpec {
                 name: "scenario",
                 required: true,
-                help: "scenario id (f1..f12; see `list`)",
+                help: "scenario id (f1..f12; see `list`), or `all`",
             },
             ArgSpec {
                 name: "solution",
@@ -86,6 +85,79 @@ const COMMANDS: &[CommandSpec] = &[
                 name: "--out",
                 value: Some("DIR"),
                 help: "also write one <id>.json per scenario into DIR",
+            },
+            ANALYSIS_CACHE_FLAG,
+            NO_ANALYSIS_CACHE_FLAG,
+        ],
+    },
+    CommandSpec {
+        name: "serve",
+        summary: "TCP cache front-end (memcached/RESP) with online hard-fault mitigation",
+        args: &[ArgSpec {
+            name: "scenario",
+            required: false,
+            help: "served fault scenario: f4 | f5 | f10 (required unless --connect)",
+        }],
+        flags: &[
+            FlagSpec {
+                name: "--addr",
+                value: Some("HOST:PORT"),
+                help: "bind address (default 127.0.0.1:0 = any free port)",
+            },
+            FlagSpec {
+                name: "--workers",
+                value: Some("N"),
+                help: "connection worker threads (default 4)",
+            },
+            FlagSpec {
+                name: "--drive",
+                value: None,
+                help: "run the load driver in-process and print the fig14 report",
+            },
+            FlagSpec {
+                name: "--connect",
+                value: Some("ADDR"),
+                help: "client-only: drive an already-running server at ADDR",
+            },
+            FlagSpec {
+                name: "--conns",
+                value: Some("N"),
+                help: "load-driver connections (default 16)",
+            },
+            FlagSpec {
+                name: "--ops",
+                value: Some("N"),
+                help: "total load-driver ops (default 10000)",
+            },
+            FlagSpec {
+                name: "--fault-at",
+                value: Some("N"),
+                help: "arm the scenario's hard fault at global op N (driver modes)",
+            },
+            FlagSpec {
+                name: "--read-pct",
+                value: Some("N"),
+                help: "read share of the YCSB mix (default 50)",
+            },
+            FlagSpec {
+                name: "--resp-pct",
+                value: Some("N"),
+                help: "share of connections speaking RESP (default 50)",
+            },
+            FlagSpec {
+                name: "--key-space",
+                value: Some("N"),
+                help: "zipfian key-space size (default 512)",
+            },
+            FlagSpec {
+                name: "--seed",
+                value: Some("N"),
+                help: "workload seed (default 1)",
+            },
+            FlagSpec {
+                name: "--json",
+                value: None,
+                help: "machine-readable load report",
             },
             ANALYSIS_CACHE_FLAG,
             NO_ANALYSIS_CACHE_FLAG,
@@ -306,40 +378,22 @@ fn parse_or_exit(name: &str, args: &[String]) -> Parsed {
     })
 }
 
-/// Resolves the analysis-cache flags to an open cache:
-/// `--no-analysis-cache` wins, then `--analysis-cache DIR`, then the
-/// `ARTHAS_ANALYSIS_CACHE` environment variable; with none of them the
-/// analysis is recomputed every invocation (the pre-cache behaviour).
-fn resolve_cache(p: &Parsed) -> Option<Arc<AnalysisCache>> {
-    if p.has(NO_ANALYSIS_CACHE_FLAG.name) {
-        return None;
-    }
-    let dir = p
-        .get(ANALYSIS_CACHE_FLAG.name)
-        .map(str::to_string)
-        .or_else(|| std::env::var("ARTHAS_ANALYSIS_CACHE").ok())
-        .filter(|d| !d.is_empty())?;
-    match AnalysisCache::persistent(&dir) {
-        Ok(cache) => Some(Arc::new(cache)),
-        Err(e) => {
-            eprintln!("cannot open analysis cache {dir}: {e}");
-            std::process::exit(1);
-        }
-    }
+/// Resolves the shared cache/recorder flags into a [`CliContext`] or
+/// exits with its message.
+fn context_or_exit(p: &Parsed) -> CliContext {
+    CliContext::from_parsed(p).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(1);
+    })
 }
 
-/// One-line cache summary printed by `analyze`.
-fn cache_summary(cache: &AnalysisCache) -> String {
-    format!(
-        "analysis cache: {} ({} hit(s), {} miss(es), {} invalid)",
-        cache
-            .dir()
-            .map(|d| d.display().to_string())
-            .unwrap_or_else(|| "in-memory".to_string()),
-        cache.hits(),
-        cache.misses(),
-        cache.invalidations(),
-    )
+/// Resolves a scenario positional through the single entry point
+/// [`scenarios::select`] (`fN`, `fx1` or `all`) or exits.
+fn select_or_exit(which: &str) -> Vec<Box<dyn pm_workload::Scenario>> {
+    scenarios::select(which).unwrap_or_else(|e| {
+        eprintln!("{e} (try `arthas-repro list`)");
+        std::process::exit(1);
+    })
 }
 
 /// `get_u64` with the parse-error exit path.
@@ -368,6 +422,7 @@ fn main() {
         Some("list") => cmd_list(),
         Some("run") => cmd_run(parse_or_exit("run", &args[1..])),
         Some("report") => cmd_report(parse_or_exit("report", &args[1..])),
+        Some("serve") => cmd_serve(parse_or_exit("serve", &args[1..])),
         Some("inject") => cmd_inject(parse_or_exit("inject", &args[1..])),
         Some("study") => cmd_study(),
         Some("concurrent") => cmd_concurrent(parse_or_exit("concurrent", &args[1..])),
@@ -425,67 +480,59 @@ fn parse_solution(name: Option<&str>) -> Solution {
     }
 }
 
-/// Resolves a scenario positional (`fN` or `all`) to the target list.
-fn resolve_scenarios(which: &str) -> Vec<Box<dyn pm_workload::Scenario>> {
-    if which == "all" {
-        scenarios::all()
-    } else {
-        match scenarios::by_id(which) {
-            Some(s) => vec![s],
-            None => {
-                eprintln!("unknown scenario {which} (try `arthas-repro list`)");
-                std::process::exit(1);
-            }
+fn cmd_run(p: Parsed) {
+    let which = p.pos(0).expect("required");
+    let targets = select_or_exit(which);
+    let seed: u64 = p.pos(2).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let ctx = context_or_exit(&p);
+
+    let mut failed = 0u32;
+    for scn in &targets {
+        let solution = parse_solution(p.pos(1));
+        println!("== {}: {} — {} ==", scn.id(), scn.system(), scn.fault());
+        let setup = AppSetup::new_with_cache(scn.build_module(), ctx.cache());
+        println!(
+            "analyzer: {} instructions, {} PM sites instrumented, PDG {} edges ({:.1} ms)",
+            setup.module.inst_count(),
+            setup.guid_map.len(),
+            setup.analysis.pdg.n_edges,
+            setup.analysis.analysis_time.as_secs_f64() * 1e3,
+        );
+        let cfg = RunConfig {
+            seed,
+            ..RunConfig::default()
+        };
+        let Some(mut prod) = run_production(scn.as_ref(), &setup, &cfg) else {
+            eprintln!(
+                "{}: production completed with no detected hard failure",
+                scn.id()
+            );
+            failed += 1;
+            continue;
+        };
+        println!(
+            "production: {:?} (exit code {}) after {} restart(s); {} updates checkpointed",
+            prod.failure.kind,
+            prod.failure.exit_code,
+            prod.restarts,
+            prod.log.total_updates(),
+        );
+        let res = mitigate(&mut prod, scn.as_ref(), &setup, solution);
+        println!(
+            "mitigation: recovered={} attempts={} rounds={} discarded={}/{} consistent={:?} leaks_freed={}",
+            res.recovered,
+            res.attempts,
+            res.reexec_rounds,
+            res.discarded_updates,
+            res.total_updates,
+            res.consistent,
+            res.leaks_freed,
+        );
+        if !res.recovered {
+            failed += 1;
         }
     }
-}
-
-fn cmd_run(p: Parsed) {
-    let id = p.pos(0).expect("required");
-    let Some(scn) = scenarios::by_id(id) else {
-        eprintln!("unknown scenario {id} (try `arthas-repro list`)");
-        std::process::exit(1);
-    };
-    let solution = parse_solution(p.pos(1));
-    let seed: u64 = p.pos(2).and_then(|s| s.parse().ok()).unwrap_or(1);
-
-    println!("== {}: {} — {} ==", scn.id(), scn.system(), scn.fault());
-    let cache = resolve_cache(&p);
-    let setup = AppSetup::new_with_cache(scn.build_module(), cache.as_deref());
-    println!(
-        "analyzer: {} instructions, {} PM sites instrumented, PDG {} edges ({:.1} ms)",
-        setup.module.inst_count(),
-        setup.guid_map.len(),
-        setup.analysis.pdg.n_edges,
-        setup.analysis.analysis_time.as_secs_f64() * 1e3,
-    );
-    let cfg = RunConfig {
-        seed,
-        ..RunConfig::default()
-    };
-    let Some(mut prod) = run_production(scn.as_ref(), &setup, &cfg) else {
-        eprintln!("production completed with no detected hard failure");
-        std::process::exit(1);
-    };
-    println!(
-        "production: {:?} (exit code {}) after {} restart(s); {} updates checkpointed",
-        prod.failure.kind,
-        prod.failure.exit_code,
-        prod.restarts,
-        prod.log.total_updates(),
-    );
-    let res = mitigate(&mut prod, scn.as_ref(), &setup, solution);
-    println!(
-        "mitigation: recovered={} attempts={} rounds={} discarded={}/{} consistent={:?} leaks_freed={}",
-        res.recovered,
-        res.attempts,
-        res.reexec_rounds,
-        res.discarded_updates,
-        res.total_updates,
-        res.consistent,
-        res.leaks_freed,
-    );
-    std::process::exit(if res.recovered { 0 } else { 1 });
+    std::process::exit(if failed > 0 { 1 } else { 0 });
 }
 
 fn cmd_concurrent(p: Parsed) {
@@ -567,7 +614,7 @@ fn cmd_report(p: Parsed) {
     let seed = flag_u64(&p, "--seed", 1);
     let json = p.has("--json");
     let out_dir = p.get("--out");
-    let targets = resolve_scenarios(which);
+    let targets = select_or_exit(which);
     if let Some(dir) = out_dir {
         if let Err(e) = std::fs::create_dir_all(dir) {
             eprintln!("cannot create {dir}: {e}");
@@ -575,12 +622,12 @@ fn cmd_report(p: Parsed) {
         }
     }
 
-    let cache = resolve_cache(&p);
+    let ctx = context_or_exit(&p);
     let mut failed = 0u32;
     for scn in &targets {
         let solution = parse_solution(p.pos(1));
         let Some(report) =
-            pm_workload::report::run_report_cached(scn.as_ref(), solution, seed, cache.as_deref())
+            pm_workload::report::run_report_cached(scn.as_ref(), solution, seed, ctx.cache())
         else {
             eprintln!(
                 "{}: production completed with no detected hard failure",
@@ -617,12 +664,231 @@ fn cmd_report(p: Parsed) {
     std::process::exit(if failed > 0 { 1 } else { 0 });
 }
 
+/// The `serve` subcommand: a live memcached/RESP front-end over the PM
+/// apps whose failure path runs the detector/reactor **online**.
+///
+/// Three modes:
+/// * server (default): bind, print the address, serve until killed;
+/// * `--drive`: in-process server + load driver, then the fig14 report
+///   with the online-recovery gates (exit 1 on a gate failure);
+/// * `--connect ADDR`: client-only load run against a server started
+///   elsewhere (the two-process smoke test).
+fn cmd_serve(p: Parsed) {
+    let ctx = context_or_exit(&p);
+    let ops = flag_u64(&p, "--ops", 10_000);
+    let fault_at = p.get("--fault-at").map(|_| flag_u64(&p, "--fault-at", 0));
+    if let Some(at) = fault_at {
+        if at >= ops {
+            eprintln!("--fault-at {at} must be below --ops {ops} to land inside the run");
+            std::process::exit(2);
+        }
+    }
+    let load_cfg = pm_workload::LoadConfig {
+        conns: flag_u64(&p, "--conns", 16).max(1) as usize,
+        ops,
+        read_pct: flag_u64(&p, "--read-pct", 50).min(100) as u32,
+        resp_pct: flag_u64(&p, "--resp-pct", 50).min(100) as u32,
+        key_space: flag_u64(&p, "--key-space", 512).max(1),
+        seed: flag_u64(&p, "--seed", 1),
+        fault_at,
+        ..pm_workload::LoadConfig::default()
+    };
+
+    if let Some(addr) = p.get("--connect") {
+        let addr: std::net::SocketAddr = addr.parse().unwrap_or_else(|_| {
+            eprintln!("--connect expects HOST:PORT, got `{addr}`");
+            std::process::exit(2);
+        });
+        let report = pm_workload::run_load(addr, &load_cfg).unwrap_or_else(|e| {
+            eprintln!("load run failed: {e}");
+            std::process::exit(1);
+        });
+        finish_load(&p, &load_cfg, report, None);
+    }
+
+    let Some(scenario) = p.pos(0) else {
+        eprintln!("missing required argument <scenario> (or --connect ADDR)");
+        std::process::exit(2);
+    };
+    let server_cfg = serve::ServerConfig {
+        addr: p.get("--addr").unwrap_or("127.0.0.1:0").to_string(),
+        workers: flag_u64(&p, "--workers", 4).max(1) as usize,
+        engine: serve::EngineConfig {
+            scenario: scenario.to_string(),
+            ..serve::EngineConfig::default()
+        },
+    };
+    let workers = server_cfg.workers;
+    let handle =
+        serve::Server::start(server_cfg, ctx.cache(), ctx.recorder()).unwrap_or_else(|e| {
+            eprintln!("cannot start server: {e}");
+            std::process::exit(1);
+        });
+
+    if p.has("--drive") {
+        let report = pm_workload::run_load(handle.addr(), &load_cfg).unwrap_or_else(|e| {
+            eprintln!("load run failed: {e}");
+            std::process::exit(1);
+        });
+        let srv = handle.shutdown();
+        finish_load(&p, &load_cfg, report, Some(srv));
+    }
+
+    println!(
+        "serving {scenario} on {} ({workers} worker(s), memcached + RESP); Ctrl-C to stop",
+        handle.addr()
+    );
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
+/// Renders a load run (`--json` or human-readable), applies the
+/// online-recovery gates and exits with the verdict.
+fn finish_load(
+    p: &Parsed,
+    cfg: &pm_workload::LoadConfig,
+    report: pm_workload::LoadReport,
+    server: Option<serve::ServerReport>,
+) -> ! {
+    let discarded = report.stat_u64("discarded_updates");
+    let total = report.stat_u64("total_updates");
+    let opt = |v: Option<u64>| v.map(Json::U64).unwrap_or(Json::Null);
+    if p.has("--json") {
+        let mut pairs = vec![
+            ("ops_attempted", Json::U64(report.ops_attempted)),
+            ("ops_ok", Json::U64(report.ops_ok)),
+            ("server_errors", Json::U64(report.server_errors)),
+            ("client_errors", Json::U64(report.client_errors)),
+            ("codec_errors", Json::U64(report.codec_errors)),
+            ("io_errors", Json::U64(report.io_errors)),
+            ("wall_us", Json::U64(report.wall.as_micros() as u64)),
+            ("throughput_ops_s", Json::F64(report.throughput_ops_s)),
+            ("p50_us", Json::U64(report.p50_us)),
+            ("p99_us", Json::U64(report.p99_us)),
+            ("max_us", Json::U64(report.max_us)),
+            ("fault_armed_at_us", opt(report.fault_armed_at_us)),
+            ("recovered_at_us", opt(report.recovered_at_us)),
+            ("recovered", Json::Bool(report.recovered)),
+            (
+                "p99_during_mitigation_us",
+                opt(report.p99_during_mitigation_us),
+            ),
+            (
+                "mitigation_window_ops",
+                Json::U64(report.mitigation_window_ops),
+            ),
+            ("tracked_acked", Json::U64(report.tracked_acked)),
+            ("tracked_lost", Json::U64(report.tracked_lost)),
+            ("discarded_updates", opt(discarded)),
+            ("total_updates", opt(total)),
+        ];
+        if let Some(s) = &server {
+            pairs.push(("connections", Json::U64(s.connections)));
+            pairs.push(("protocol_errors", Json::U64(s.protocol_errors)));
+            pairs.push(("busy_rejections", Json::U64(s.busy_rejections)));
+        }
+        println!("{}", Json::obj(pairs).render_pretty());
+    } else {
+        println!("== serving load report ==");
+        println!(
+            "ops: {} attempted, {} ok, {} server errors, {} client errors, {} codec errors, {} io errors",
+            report.ops_attempted,
+            report.ops_ok,
+            report.server_errors,
+            report.client_errors,
+            report.codec_errors,
+            report.io_errors,
+        );
+        println!(
+            "throughput: {:.0} ops/s over {:.1} ms",
+            report.throughput_ops_s,
+            report.wall.as_secs_f64() * 1e3,
+        );
+        println!(
+            "latency: p50 {} µs, p99 {} µs, max {} µs",
+            report.p50_us, report.p99_us, report.max_us
+        );
+        match (report.fault_armed_at_us, report.recovered_at_us) {
+            (Some(t0), Some(t1)) => {
+                println!(
+                    "fault: armed at {:.1} ms, mitigated online by {:.1} ms (outage ≤ {:.1} ms)",
+                    t0 as f64 / 1e3,
+                    t1 as f64 / 1e3,
+                    (t1 - t0) as f64 / 1e3,
+                );
+                println!(
+                    "  p99 during mitigation: {} over {} in-window ops",
+                    report
+                        .p99_during_mitigation_us
+                        .map(|v| format!("{v} µs"))
+                        .unwrap_or_else(|| "n/a".to_string()),
+                    report.mitigation_window_ops,
+                );
+            }
+            (Some(t0), None) => println!(
+                "fault: armed at {:.1} ms, NOT recovered within the timeout",
+                t0 as f64 / 1e3
+            ),
+            _ => println!("fault: none armed (clean run)"),
+        }
+        println!(
+            "loss: {} tracked sets acked, {} lost{}; server discarded {}/{} checkpointed updates (fig9)",
+            report.tracked_acked,
+            report.tracked_lost,
+            if report.lost_keys.is_empty() {
+                String::new()
+            } else {
+                format!(" (keys {:?})", report.lost_keys)
+            },
+            discarded.unwrap_or(0),
+            total.unwrap_or(0),
+        );
+        if let Some(s) = &server {
+            println!(
+                "server: {} connection(s), {} protocol error(s), {} busy rejection(s)",
+                s.connections, s.protocol_errors, s.busy_rejections
+            );
+        }
+    }
+
+    // Gates: the codecs must hold up under concurrency, an armed fault
+    // must be mitigated online, and client-visible loss must stay inside
+    // the fig9 discarded-data accounting.
+    let mut bad = Vec::new();
+    if report.codec_errors > 0 {
+        bad.push("codec errors".to_string());
+    }
+    if cfg.fault_at.is_some() && !report.recovered {
+        bad.push("no online recovery".to_string());
+    }
+    if let Some(s) = &server {
+        if s.protocol_errors > 0 {
+            bad.push(format!("{} server protocol errors", s.protocol_errors));
+        }
+    }
+    if let Some(d) = discarded {
+        if report.tracked_lost > d {
+            bad.push(format!(
+                "tracked loss {} exceeds discarded updates {d}",
+                report.tracked_lost
+            ));
+        }
+    }
+    if !bad.is_empty() {
+        eprintln!("serving gate FAILED: {}", bad.join("; "));
+        std::process::exit(1);
+    }
+    std::process::exit(0);
+}
+
 /// Builds the resumed campaign from a journal header: scenario set,
 /// policies and every matrix-determining knob come from the journal, so
 /// supplying any of them on the resume command line is a contradiction
 /// and rejected up front.
 fn resume_campaign(
     p: &Parsed,
+    ctx: &CliContext,
     dir: &str,
 ) -> (inject::CampaignConfig, Vec<Box<dyn pm_workload::Scenario>>) {
     const MATRIX_FLAGS: &[&str] = &[
@@ -660,7 +926,7 @@ fn resume_campaign(
         .seed(header.seed)
         .policies(header.policies)
         .invariants(header.invariants)
-        .analysis_cache(resolve_cache(p))
+        .analysis_cache(ctx.cache_arc())
         .build()
         .unwrap_or_else(|e| {
             eprintln!("cannot resume from {dir}: {e}");
@@ -670,9 +936,10 @@ fn resume_campaign(
 }
 
 fn cmd_inject(p: Parsed) {
+    let ctx = context_or_exit(&p);
     let resume_dir = p.get("--resume").map(str::to_string);
     let (cfg, targets) = if let Some(dir) = &resume_dir {
-        resume_campaign(&p, dir)
+        resume_campaign(&p, &ctx, dir)
     } else {
         let Some(which) = p.pos(0) else {
             eprintln!("missing required argument <scenario> (or --resume DIR)");
@@ -693,13 +960,13 @@ fn cmd_inject(p: Parsed) {
             .seed(seed)
             .policies(policies)
             .invariants(p.has("--invariants") && !p.has("--no-invariants"))
-            .analysis_cache(resolve_cache(&p))
+            .analysis_cache(ctx.cache_arc())
             .build()
             .unwrap_or_else(|e| {
                 eprintln!("{e}");
                 std::process::exit(2);
             });
-        (cfg, resolve_scenarios(which))
+        (cfg, select_or_exit(which))
     };
 
     if let (Some(r), Some(j)) = (&resume_dir, p.get("--journal")) {
@@ -796,8 +1063,8 @@ fn cmd_analyze(p: Parsed) {
         eprintln!("unknown app {name}");
         std::process::exit(1);
     };
-    let cache = resolve_cache(&p);
-    let setup = AppSetup::new_with_cache(module, cache.as_deref());
+    let ctx = context_or_exit(&p);
+    let setup = AppSetup::new_with_cache(module, ctx.cache());
     println!("app: {name}");
     println!("functions: {}", setup.module.funcs.len());
     println!("instructions: {}", setup.module.inst_count());
@@ -812,8 +1079,8 @@ fn cmd_analyze(p: Parsed) {
         setup.analysis.analysis_time.as_secs_f64() * 1e3,
         setup.instrument_time.as_secs_f64() * 1e3,
     );
-    if let Some(cache) = &cache {
-        println!("{}", cache_summary(cache));
+    if let Some(summary) = ctx.cache_summary() {
+        println!("{summary}");
     }
     println!("instrumented sites by function:");
     let mut per_fn: std::collections::BTreeMap<&str, usize> = Default::default();
@@ -833,8 +1100,8 @@ fn cmd_lint(p: Parsed) {
         eprintln!("unknown app {name}");
         std::process::exit(1);
     };
-    let cache = resolve_cache(&p);
-    let setup = AppSetup::new_with_cache(module, cache.as_deref());
+    let ctx = context_or_exit(&p);
+    let setup = AppSetup::new_with_cache(module, ctx.cache());
     let mut guids = std::collections::HashMap::new();
     for meta in setup.guid_map.iter() {
         guids.insert(meta.at, meta.guid);

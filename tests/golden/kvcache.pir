@@ -963,3 +963,20 @@ bb0:
   ret %4                                      ; assoc.c:init
 }
 
+fn value_len(%0) -> u64 {
+bb0:
+  %0 = param 0                                ; assoc.c:init
+  %1 = call kv_init()                         ; memcached.c:value-len
+  %2 = call assoc_find(%0)                    ; memcached.c:value-len
+  %3 = const 0                                ; memcached.c:value-len
+  %4 = cmp.eq %2, %3                          ; memcached.c:value-len
+  condbr %4, bb1, bb2                         ; memcached.c:value-len
+bb1:
+  %6 = const 0xffffffffffffffff               ; memcached.c:value-len
+  ret %6                                      ; memcached.c:value-len
+bb2:
+  %8 = gep %2, +24                            ; memcached.c:value-len
+  %9 = load8 %8                               ; memcached.c:value-len
+  ret %9                                      ; memcached.c:value-len
+}
+

@@ -272,3 +272,40 @@ bb3:
   ret                                         ; check.c:sc-assert
 }
 
+fn value_len(%0) -> u64 {
+bb0:
+  %0 = param 0                                ; segcache.c:init
+  %1 = call sc_init()                         ; segcache.c:value-len
+  %2 = const 64                               ; segcache.c:value-len
+  %3 = pmroot(%2)                             ; segcache.c:value-len
+  %4 = gep %3, +0                             ; segcache.c:value-len
+  %5 = load8 %4                               ; segcache.c:value-len
+  %6 = alloca 8                               ; segcache.c:value-len
+  store8 %6, %5                               ; segcache.c:value-len
+  br bb1                                      ; segcache.c:value-len
+bb1:
+  %9 = load8 %6                               ; segcache.c:value-len
+  %10 = const 0                               ; segcache.c:value-len
+  %11 = cmp.ne %9, %10                        ; segcache.c:value-len
+  condbr %11, bb2, bb3                        ; segcache.c:value-len
+bb2:
+  %13 = load8 %6                              ; segcache.c:value-len
+  %14 = gep %13, +0                           ; segcache.c:value-len
+  %15 = load8 %14                             ; segcache.c:value-len
+  %16 = cmp.eq %15, %0                        ; segcache.c:value-len
+  condbr %16, bb4, bb5                        ; segcache.c:value-len
+bb3:
+  %26 = const 0xffffffffffffffff              ; segcache.c:value-len
+  ret %26                                     ; segcache.c:value-len
+bb4:
+  %18 = load8 %6                              ; segcache.c:value-len
+  %19 = gep %18, +8                           ; segcache.c:value-len
+  %20 = load1 %19                             ; segcache.c:value-len
+  ret %20                                     ; segcache.c:value-len
+bb5:
+  %22 = gep %13, +416                         ; segcache.c:value-len
+  %23 = load8 %22                             ; segcache.c:value-len
+  store8 %6, %23                              ; segcache.c:value-len
+  br bb1                                      ; segcache.c:value-len
+}
+
