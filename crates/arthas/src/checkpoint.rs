@@ -453,6 +453,36 @@ impl CheckpointLog {
         Some(buf)
     }
 
+    /// The bytes the durable pool should hold over `addr`'s entry range
+    /// *as of just before global sequence `cut`*: the newest version with
+    /// `seq < cut` (following the realloc chain, zeros when the address
+    /// did not exist then), overlaid with every overlapping entry's
+    /// newest version that is also below the cut. `expected_current` is
+    /// the `cut = u64::MAX` special case. Rollback healing must use this
+    /// form: after `rollback_to(cut)` the pool holds pre-cut state, so a
+    /// divergence check against the *current* expectation would re-plant
+    /// post-cut overlay bytes the rollback just reverted.
+    pub fn expected_before(&self, addr: u64, cut: u64) -> Option<Vec<u8>> {
+        let e = self.entries.get(&addr)?;
+        let newest_len = self
+            .chain(e)
+            .find_map(|e| e.versions.back())
+            .map(|v| v.data.len())?;
+        let (my_seq, mut buf) = match self
+            .chain(e)
+            .find_map(|inc| inc.versions.iter().rev().find(|v| v.seq < cut))
+        {
+            Some(v) => (v.seq, v.data.clone()),
+            None => (0, vec![0; newest_len]),
+        };
+        let len = buf.len() as u64;
+        let mut overlays: Vec<(u64, u64, &Vec<u8>)> = Vec::new();
+        self.overlays_before_into(addr, len, my_seq, cut, self.max_len, &mut overlays);
+        overlays.sort_unstable_by_key(|&(seq, _, _)| seq);
+        apply_overlays(&mut buf, addr, &overlays);
+        Some(buf)
+    }
+
     /// Collects newer overlapping entries over `[addr, addr+len)` as
     /// `(seq, entry_addr, data)`. Entries start at persist range starts;
     /// an overlapping entry below `addr` starts within `max_len - 1`
@@ -474,6 +504,34 @@ impl CheckpointLog {
                 continue;
             }
             let Some(v2) = e2.versions.back() else {
+                continue;
+            };
+            if v2.seq <= my_seq {
+                continue;
+            }
+            out.push((v2.seq, a2, &v2.data));
+        }
+    }
+
+    /// Cut-bounded sibling of [`CheckpointLog::overlays_into`]: each
+    /// overlapping entry contributes its newest version *below* `cut`
+    /// (not its absolute newest), so the overlay set reconstructs the
+    /// pre-cut byte state instead of the live one.
+    fn overlays_before_into<'a>(
+        &'a self,
+        addr: u64,
+        len: u64,
+        my_seq: u64,
+        cut: u64,
+        max_len: u64,
+        out: &mut Vec<(u64, u64, &'a Vec<u8>)>,
+    ) {
+        let lo = addr.saturating_sub(max_len.saturating_sub(1));
+        for (&a2, e2) in self.entries.range(lo..addr + len) {
+            if a2 == addr {
+                continue;
+            }
+            let Some(v2) = e2.versions.iter().rev().find(|v| v.seq < cut) else {
                 continue;
             };
             if v2.seq <= my_seq {
@@ -948,6 +1006,29 @@ impl LogView<'_> {
         out
     }
 
+    /// Retained versions with `seq > cursor` across all shards as
+    /// `(seq, addr, bytes)`, ascending by seq — the replication wire
+    /// format. A replica holding apply cursor `c` catches up by applying
+    /// `updates_since(c)` in order and advancing its cursor to the last
+    /// seq applied. Rotation means a long-lagging replica may not see
+    /// every intermediate version of a hot address, but the newest
+    /// retained version of each address is always present, so the
+    /// caught-up image converges to the primary's durable bytes.
+    pub fn updates_since(&self, cursor: u64) -> Vec<(u64, u64, &[u8])> {
+        let mut out: Vec<(u64, u64, &[u8])> = Vec::new();
+        for s in &self.shards {
+            for (&a, e) in &s.entries {
+                for v in &e.versions {
+                    if v.seq > cursor {
+                        out.push((v.seq, a, v.data.as_slice()));
+                    }
+                }
+            }
+        }
+        out.sort_unstable_by_key(|&(seq, _, _)| seq);
+        out
+    }
+
     /// See [`CheckpointLog::covering`].
     pub fn covering(&self, addr: u64) -> Vec<(u64, u64)> {
         let max_len = self.max_len();
@@ -976,6 +1057,36 @@ impl LogView<'_> {
         }
         // Seqs are globally unique, so the merged overlay order is the
         // exact order a single log would apply.
+        overlays.sort_unstable_by_key(|&(seq, _, _)| seq);
+        apply_overlays(&mut buf, addr, &overlays);
+        Some(buf)
+    }
+
+    /// See [`CheckpointLog::expected_before`]. The base version comes
+    /// from the owning shard; cut-bounded overlays are merged from every
+    /// shard — post-cut writes routinely live on *other* shards, which
+    /// is exactly what an un-bounded overlay pass gets wrong after a
+    /// rollback.
+    pub fn expected_before(&self, addr: u64, cut: u64) -> Option<Vec<u8>> {
+        let own = self.owner(addr);
+        let e = own.entries.get(&addr)?;
+        let newest_len = own
+            .chain(e)
+            .find_map(|e| e.versions.back())
+            .map(|v| v.data.len())?;
+        let (my_seq, mut buf) = match own
+            .chain(e)
+            .find_map(|inc| inc.versions.iter().rev().find(|v| v.seq < cut))
+        {
+            Some(v) => (v.seq, v.data.clone()),
+            None => (0, vec![0; newest_len]),
+        };
+        let len = buf.len() as u64;
+        let max_len = self.max_len();
+        let mut overlays: Vec<(u64, u64, &Vec<u8>)> = Vec::new();
+        for s in &self.shards {
+            s.overlays_before_into(addr, len, my_seq, cut, max_len, &mut overlays);
+        }
         overlays.sort_unstable_by_key(|&(seq, _, _)| seq);
         apply_overlays(&mut buf, addr, &overlays);
         Some(buf)

@@ -28,7 +28,7 @@ use std::time::{Duration, Instant};
 
 use pir::ir::InstRef;
 use pir_analysis::{backward_slice, ModuleAnalysis, Slice};
-use pmemsim::PmPool;
+use pmemsim::{PmPool, PoolGroup};
 
 use obs::Value;
 
@@ -66,6 +66,29 @@ pub enum BatchStrategy {
     OneByOne,
     /// Up to `n` candidates per re-execution (fewer re-executions).
     Batch(usize),
+}
+
+/// Availability budget for [`Reactor::mitigate_replicated`]: how much
+/// primary-image reversion to attempt before failing over to a replica.
+/// `max_attempts == 0` or a zero `max_wall` skips reversion entirely —
+/// hot-standby-first, outage bounded by promote latency.
+#[derive(Debug, Clone, Copy)]
+pub struct FailoverBudget {
+    /// Re-execution attempts granted to the primary-image mitigation
+    /// (clamps the reactor's own `max_attempts` downward).
+    pub max_attempts: u32,
+    /// Wall-clock granted to the primary-image mitigation. Zero means
+    /// fail over immediately.
+    pub max_wall: Duration,
+}
+
+impl Default for FailoverBudget {
+    fn default() -> Self {
+        FailoverBudget {
+            max_attempts: 8,
+            max_wall: Duration::from_secs(2),
+        }
+    }
 }
 
 /// Reactor configuration.
@@ -357,6 +380,9 @@ pub struct MitigationOutcome {
     pub mode_fellback: bool,
     /// Suspected leak objects freed (leak mitigation only).
     pub leaks_freed: u64,
+    /// Whether recovery came from promoting a replica (pool-group
+    /// failover) instead of reverting the primary's own image.
+    pub failed_over: bool,
     /// Per-phase wall-time breakdown.
     pub phases: PhaseTimes,
 }
@@ -381,6 +407,7 @@ impl MitigationOutcome {
             wall,
             mode_fellback: false,
             leaks_freed: 0,
+            failed_over: false,
             phases,
         }
     }
@@ -684,6 +711,262 @@ impl<'a> Reactor<'a> {
         out
     }
 
+    /// Cross-checks the crashed image against quorum replica bytes to
+    /// *localize* corruption before the speculation engine judges
+    /// candidates. For each candidate address, replicas that have
+    /// applied the address's newest logged write vote with their image
+    /// bytes; when a strict majority of eligible voters agree and the
+    /// primary's durable bytes differ, the address is corrupted. A
+    /// non-empty corrupted set restricts the plan to candidates at
+    /// corrupted or log-diverged addresses; an empty one (software
+    /// faults replicate faithfully — pool and replicas match) leaves
+    /// the plan untouched. The result is always a subset of the input
+    /// plan: cross-checking never grows the candidate set.
+    pub fn cross_check_plan(
+        &self,
+        plan: &Plan,
+        log: &LogView<'_>,
+        pool: &mut PmPool,
+        group: &PoolGroup,
+    ) -> Plan {
+        if group.is_empty() || plan.seqs.is_empty() {
+            return plan.clone();
+        }
+        let mut corrupted: std::collections::HashSet<u64> = std::collections::HashSet::new();
+        let mut judged: std::collections::HashSet<u64> = std::collections::HashSet::new();
+        for &s in &plan.seqs {
+            let Some(addr) = log.addr_of_seq(s) else {
+                continue;
+            };
+            if !judged.insert(addr) {
+                continue;
+            }
+            let Some(newest) = log.entry(addr).and_then(|e| e.versions.back()) else {
+                continue;
+            };
+            let (newest_seq, len) = (newest.seq, newest.data.len());
+            let votes: Vec<&[u8]> = (0..group.n())
+                .filter(|&i| {
+                    group
+                        .replica(i)
+                        .map(|r| !r.faulted() && r.cursor() >= newest_seq)
+                        .unwrap_or(false)
+                })
+                .filter_map(|i| group.replica_bytes(i, addr, len))
+                .collect();
+            let Some(quorum) = majority(&votes) else {
+                // No quorum (lagging or failed replicas): conservative —
+                // the address cannot be judged, so it is not localized.
+                continue;
+            };
+            match pool.read(addr, len as u64) {
+                Ok(cur) if cur != quorum => {
+                    corrupted.insert(addr);
+                }
+                _ => {}
+            }
+        }
+        if corrupted.is_empty() {
+            self.recorder.event(
+                "reactor.cross_check",
+                vec![
+                    ("plan_len", Value::from(plan.seqs.len())),
+                    ("filtered_len", Value::from(plan.seqs.len())),
+                    ("corrupted_addrs", Value::from(0u64)),
+                    ("replicas", Value::from(group.n())),
+                ],
+            );
+            return plan.clone();
+        }
+        let seqs: Vec<u64> = plan
+            .seqs
+            .iter()
+            .copied()
+            .filter(|&s| {
+                log.addr_of_seq(s)
+                    .map(|a| corrupted.contains(&a))
+                    .unwrap_or(false)
+                    || seq_diverged(log, pool, s)
+            })
+            .collect();
+        let sources = plan
+            .sources
+            .iter()
+            .filter(|(s, _)| seqs.contains(s))
+            .map(|(s, v)| (*s, v.clone()))
+            .collect();
+        self.recorder.event(
+            "reactor.cross_check",
+            vec![
+                ("plan_len", Value::from(plan.seqs.len())),
+                ("filtered_len", Value::from(seqs.len())),
+                ("corrupted_addrs", Value::from(corrupted.len())),
+                ("replicas", Value::from(group.n())),
+            ],
+        );
+        Plan { seqs, sources }
+    }
+
+    /// Mitigates with a pool-group behind the primary: a budget-limited
+    /// primary-image mitigation first (with replica cross-check
+    /// localization shrinking the plan), then failover to the
+    /// healthiest replica when reversion exhausts the availability
+    /// budget. With an empty group this *is*
+    /// [`Reactor::mitigate_speculative`] — the `n = 0` configuration
+    /// takes exactly the single-pool path.
+    ///
+    /// A promoted replica adopts its image into `pool` (restore + crash
+    /// recovery) and is verified by `target.reexecute`; a replica that
+    /// fails verification is marked faulted and the next-best one is
+    /// tried. Every checkpoint seq above the promoted cursor is
+    /// accounted as discarded — the failover analogue of rollback's
+    /// discarded-update accounting.
+    #[allow(clippy::too_many_arguments)]
+    pub fn mitigate_replicated(
+        &mut self,
+        pool: &mut PmPool,
+        log: &ShardedLog,
+        failure: &FailureRecord,
+        trace: &PmTrace,
+        target: &mut dyn ForkableTarget,
+        group: &mut PoolGroup,
+        budget: FailoverBudget,
+    ) -> MitigationOutcome {
+        if group.is_empty() {
+            return self.mitigate_speculative(pool, log, failure, trace, target);
+        }
+        let t0 = Instant::now();
+        if failure.kind == FailureKind::Leak {
+            // Leaks are not an availability event: no failover.
+            return self.mitigate_leak(pool, log, target, t0);
+        }
+        if budget.max_attempts == 0 || budget.max_wall.is_zero() {
+            // Hot-standby-first: the caller wants outage bounded by
+            // promote latency, not by any reversion attempt.
+            let out = MitigationOutcome::failed(0, 0, 0, t0.elapsed(), PhaseTimes::default());
+            return self.failover(pool, log, target, group, out, t0);
+        }
+        let saved = self.cfg.max_attempts;
+        self.cfg.max_attempts = saved.min(budget.max_attempts);
+        let out = self.mitigate_primary(pool, log, failure, trace, target, group, t0);
+        self.cfg.max_attempts = saved;
+        if out.recovered {
+            return out;
+        }
+        self.failover(pool, log, target, group, out, t0)
+    }
+
+    /// The primary-image arm of [`Reactor::mitigate_replicated`]:
+    /// [`Reactor::mitigate_speculative`]'s pipeline with the replica
+    /// cross-check inserted between planning and reversion.
+    #[allow(clippy::too_many_arguments)]
+    fn mitigate_primary(
+        &mut self,
+        pool: &mut PmPool,
+        log: &ShardedLog,
+        failure: &FailureRecord,
+        trace: &PmTrace,
+        target: &mut dyn ForkableTarget,
+        group: &PoolGroup,
+        t0: Instant,
+    ) -> MitigationOutcome {
+        let Some(fault) = failure.fault else {
+            return self.restart_only(pool, target, t0, 0, PhaseTimes::default());
+        };
+        let (plan, phases) = self.timed_plan(fault, trace, log, pool);
+        let plan = {
+            let view = log.view();
+            self.cross_check_plan(&plan, &view, pool, group)
+        };
+        if plan.seqs.is_empty() {
+            return self.restart_only(pool, target, t0, 0, phases);
+        }
+        log.set_enabled(false);
+        let workers = self.cfg.speculation_workers();
+        let out = if workers > 1 {
+            self.revert_loop_speculative(pool, log, &plan, trace, target, t0, workers, phases)
+        } else {
+            self.revert_loop(pool, log, &plan, trace, target, t0, phases)
+        };
+        log.set_enabled(true);
+        if out.recovered {
+            self.record_outcome(&out);
+        }
+        out
+    }
+
+    /// Promotes replicas best-first until one verifies. The crashed
+    /// image is saved up front and restored after every failed promote
+    /// (and when every replica is exhausted), so a failed failover hands
+    /// back the image it was given.
+    fn failover(
+        &mut self,
+        pool: &mut PmPool,
+        log: &ShardedLog,
+        target: &mut dyn Target,
+        group: &mut PoolGroup,
+        mut out: MitigationOutcome,
+        t0: Instant,
+    ) -> MitigationOutcome {
+        let crashed = pool.snapshot();
+        log.set_enabled(false);
+        for idx in group.failover_order() {
+            let cursor = match group.promote_into(idx, pool) {
+                Ok(c) => c,
+                Err(_) => {
+                    group.mark_faulted(idx);
+                    let _ = pool.restore(&crashed);
+                    continue;
+                }
+            };
+            out.attempts += 1;
+            out.reexec_rounds += 1;
+            let t_re = Instant::now();
+            let ok = target.reexecute(pool).is_ok();
+            out.phases.reexec += t_re.elapsed();
+            self.recorder.event(
+                "reactor.failover",
+                vec![
+                    ("replica", Value::from(idx)),
+                    ("cursor", Value::from(cursor)),
+                    ("verified", Value::from(ok)),
+                ],
+            );
+            if ok {
+                let (seqs, entries) = {
+                    let view = log.view();
+                    let seqs: BTreeSet<u64> = view
+                        .all_seqs()
+                        .into_iter()
+                        .filter(|&s| s > cursor)
+                        .collect();
+                    let entries = seqs
+                        .iter()
+                        .filter_map(|&s| view.addr_of_seq(s))
+                        .collect::<std::collections::HashSet<_>>()
+                        .len() as u64;
+                    (seqs, entries)
+                };
+                log.set_enabled(true);
+                out.recovered = true;
+                out.failed_over = true;
+                out.via_restart_only = false;
+                out.discarded_updates = seqs.len() as u64;
+                out.discarded_entries = entries;
+                out.reverted_seqs = seqs;
+                out.wall = t0.elapsed();
+                self.record_outcome(&out);
+                return out;
+            }
+            group.mark_faulted(idx);
+            let _ = pool.restore(&crashed);
+        }
+        log.set_enabled(true);
+        out.wall = t0.elapsed();
+        self.record_outcome(&out);
+        out
+    }
+
     fn restart_only(
         &self,
         pool: &mut PmPool,
@@ -716,6 +999,7 @@ impl<'a> Reactor<'a> {
             wall: t0.elapsed(),
             mode_fellback: false,
             leaks_freed: 0,
+            failed_over: false,
             phases,
         };
         self.record_outcome(&out);
@@ -837,6 +1121,7 @@ impl<'a> Reactor<'a> {
                             wall: t0.elapsed(),
                             mode_fellback,
                             leaks_freed: 0,
+                            failed_over: false,
                             phases,
                         };
                     }
@@ -1091,6 +1376,7 @@ impl<'a> Reactor<'a> {
                         wall: t0.elapsed(),
                         mode_fellback,
                         leaks_freed: 0,
+                        failed_over: false,
                         phases,
                     };
                 }
@@ -1199,9 +1485,12 @@ impl<'a> Reactor<'a> {
                     // older than the cut is never restored by
                     // `rollback_to`, so its diverged media bytes survive
                     // every rollback attempt. Heal those plan candidates
-                    // to the durable truth — with no logged write between
-                    // their newest version and the cut, the expected
-                    // value at the cut equals `expected_current`.
+                    // to the durable truth *at the cut*. The expectation
+                    // must be cut-bounded: an overlapping entry written
+                    // after the cut — on a sharded log, typically owned
+                    // by a different shard — would otherwise be overlaid
+                    // into the heal bytes right after the rollback
+                    // reverted it, re-planting post-cut state.
                     let heals: Vec<(u64, u64, Vec<u8>)> = {
                         let log = log_rc.view();
                         let touched: std::collections::HashSet<u64> =
@@ -1215,11 +1504,11 @@ impl<'a> Reactor<'a> {
                                 if touched.contains(&addr) || !seen.insert(addr) {
                                     return None;
                                 }
-                                if !seq_diverged(&log, pool, s) {
-                                    return None;
+                                let expected = log.expected_before(addr, cut)?;
+                                match pool.read(addr, expected.len() as u64) {
+                                    Ok(cur) if cur != expected => Some((s, addr, expected)),
+                                    _ => None,
                                 }
-                                let data = log.expected_current(addr)?;
-                                Some((s, addr, data))
                             })
                             .collect()
                     };
@@ -1487,6 +1776,7 @@ impl<'a> Reactor<'a> {
             wall: t0.elapsed(),
             mode_fellback: false,
             leaks_freed: freed,
+            failed_over: false,
             phases,
         };
         self.record_outcome(&out);
@@ -1512,6 +1802,17 @@ fn mode_name(mode: Mode) -> &'static str {
         Mode::Purge => "purge",
         Mode::Rollback => "rollback",
     }
+}
+
+/// The byte string a strict majority of voters agree on, if any.
+fn majority<'a>(votes: &[&'a [u8]]) -> Option<&'a [u8]> {
+    for &candidate in votes {
+        let agree = votes.iter().filter(|&&v| v == candidate).count();
+        if agree * 2 > votes.len() {
+            return Some(candidate);
+        }
+    }
+    None
 }
 
 /// Renders up to 16 sequence numbers for event fields; longer lists end

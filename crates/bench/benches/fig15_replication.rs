@@ -1,0 +1,172 @@
+//! Figure 15 (extension): outage under hot-standby failover vs
+//! mitigation-only serving.
+//!
+//! Figure 14 bounds the online outage by the reactor's reversion loop;
+//! this figure adds the pool-group: the same servable scenarios run
+//! twice per row, once mitigation-only (`replicas = 0`, the fig14
+//! configuration) and once with hot-standby replicas fed from the
+//! checkpoint stream, where the engine promotes the healthiest standby
+//! instead of reverting on the primary image. Reported per scenario:
+//!
+//! * the **outage bound** of both modes — the engine is single-threaded,
+//!   so serving is blocked for exactly the mitigation wall: the
+//!   reversion loop (`last_mitigation_wall_us` of the solo run) vs
+//!   promote-and-verify (`last_failover_wall_us` of the replicated run;
+//!   an escalated reversion may run after the promotion, so the promote
+//!   wall is tracked separately);
+//! * the client-observed armed → recovered window (context; it includes
+//!   the run tail, since recovery is confirmed by post-run polling),
+//! * failover count and replication-lag p99 of the replicated run,
+//! * lost vs discarded accounting for both (the fig9 gate holds in
+//!   either mode).
+//!
+//! The headline claim (ISSUE 10): on f4, promotion latency beats the
+//! reversion loop — the replicated run's mitigation wall (its serving
+//! outage) is strictly below the mitigation-only wall. The bench
+//! asserts it.
+//!
+//! Knobs: `FIG15_CONNS` (default 64), `FIG15_OPS` (default 10000),
+//! `FIG15_REPLICAS` (default 1), `FIG15_SKEW` (default 0 = uniform).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use pm_workload::{run_load, LoadConfig, LoadReport};
+use serve::{EngineConfig, Server, ServerConfig, SERVABLE};
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+struct Knobs {
+    conns: usize,
+    ops: u64,
+    replicas: usize,
+    skew: f64,
+}
+
+fn run_one(scenario: &str, replicas: usize, k: &Knobs) -> Option<LoadReport> {
+    let recorder = Arc::new(obs::RingRecorder::new(1 << 16));
+    let handle = Server::start(
+        ServerConfig {
+            workers: 4,
+            engine: EngineConfig {
+                scenario: scenario.into(),
+                replicas,
+                ..EngineConfig::default()
+            },
+            ..ServerConfig::default()
+        },
+        None,
+        recorder,
+    )
+    .ok()?;
+    let cfg = LoadConfig {
+        conns: k.conns,
+        ops: k.ops,
+        fault_at: Some(k.ops / 2),
+        skew: k.skew,
+        recovery_timeout: Duration::from_secs(120),
+        ..LoadConfig::default()
+    };
+    run_load(handle.addr(), &cfg).ok()
+}
+
+fn outage_us(r: &LoadReport) -> Option<u64> {
+    match (r.fault_armed_at_us, r.recovered_at_us) {
+        (Some(a), Some(b)) if b > a => Some(b - a),
+        _ => None,
+    }
+}
+
+fn ms(v: Option<u64>) -> String {
+    v.map(|u| format!("{:.1}", u as f64 / 1000.0))
+        .unwrap_or_else(|| "∞".into())
+}
+
+fn main() {
+    let k = Knobs {
+        conns: env_u64("FIG15_CONNS", 64) as usize,
+        ops: env_u64("FIG15_OPS", 10_000),
+        replicas: env_u64("FIG15_REPLICAS", 1).max(1) as usize,
+        skew: env_f64("FIG15_SKEW", 0.0),
+    };
+    println!("== Figure 15: hot-standby failover vs mitigation-only outage ==");
+    println!(
+        "conns={} ops={} replicas={} skew={}",
+        k.conns, k.ops, k.replicas, k.skew
+    );
+    println!(
+        "{:<5} {:>12} {:>12} {:>11} {:>9} {:>9} {:>12} {:>12}",
+        "id",
+        "mit wall ms",
+        "fo wall ms",
+        "armed→rec ms",
+        "failovers",
+        "lag p99",
+        "lost/disc",
+        "recovered"
+    );
+    for &scn in SERVABLE {
+        let (Some(solo), Some(repl)) = (run_one(scn, 0, &k), run_one(scn, k.replicas, &k)) else {
+            println!("{scn:<5} {:>12}", "n/a");
+            continue;
+        };
+        let solo_wall = solo.stat_u64("last_mitigation_wall_us");
+        let repl_wall = repl
+            .stat_u64("last_failover_wall_us")
+            .or_else(|| repl.stat_u64("last_mitigation_wall_us"));
+        let failovers = repl.stat_u64("failovers").unwrap_or(0);
+        let lag_p99 = repl
+            .stat_u64("repl_lag_p99")
+            .map(|v| v.to_string())
+            .unwrap_or_else(|| "-".into());
+        println!(
+            "{:<5} {:>12} {:>12} {:>11} {:>9} {:>9} {:>12} {:>12}",
+            scn,
+            ms(solo_wall),
+            ms(repl_wall),
+            ms(outage_us(&repl)),
+            failovers,
+            lag_p99,
+            format!(
+                "{}/{}",
+                repl.tracked_lost,
+                repl.stat_u64("discarded_updates").unwrap_or(0)
+            ),
+            format!("{}/{}", solo.recovered, repl.recovered),
+        );
+        for (mode, r) in [("mitigation-only", &solo), ("failover", &repl)] {
+            let discarded = r.stat_u64("discarded_updates").unwrap_or(0);
+            assert!(
+                r.tracked_lost <= discarded,
+                "{scn} ({mode}): tracked loss {} exceeds discarded updates {discarded}",
+                r.tracked_lost
+            );
+        }
+        if scn == "f4" {
+            assert!(
+                repl.recovered && failovers >= 1,
+                "f4: the replicated run must recover by standby promotion"
+            );
+            let (Some(so), Some(ro)) = (solo_wall, repl.stat_u64("last_failover_wall_us")) else {
+                panic!("f4: both modes must report their outage wall");
+            };
+            assert!(
+                ro < so,
+                "f4: failover outage {ro}us (promote wall) is not below the \
+                 mitigation-only reversion wall {so}us"
+            );
+        }
+    }
+}

@@ -35,4 +35,4 @@ pub use harness::{
     CrashCapture, Drive, InjectionOutcome, MitigationResult, Production, RunConfig, RunCtx,
     Scenario, ScenarioTarget, SiteInjection, Solution, CRIU_INTERVAL, POOL_SIZE, RUN_TICKS,
 };
-pub use loadgen::{run_load, LoadConfig, LoadReport};
+pub use loadgen::{load_report_schema, run_load, LoadConfig, LoadReport};

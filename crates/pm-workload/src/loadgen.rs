@@ -16,6 +16,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use obs::{Field, Json, Schema};
 use serve::command::{Cmd, Parse, Reply};
 use serve::{memcached, resp};
 
@@ -48,6 +49,10 @@ pub struct LoadConfig {
     pub key_base: u64,
     /// Workload seed.
     pub seed: u64,
+    /// Zipfian skew (theta) of the traffic keys: 0 = uniform (the
+    /// default), 0.99 = YCSB's adversarially hot key popularity. Must
+    /// stay below 1.
+    pub skew: f64,
     /// Global op index at which one connection arms the server's fault
     /// (`None` = clean run).
     pub fault_at: Option<u64>,
@@ -69,6 +74,7 @@ impl Default for LoadConfig {
             key_space: 512,
             key_base: 1_000,
             seed: 1,
+            skew: 0.0,
             fault_at: None,
             tracked_every: 32,
             recovery_timeout: Duration::from_secs(60),
@@ -134,6 +140,106 @@ impl LoadReport {
             .find(|(k, _)| k == name)
             .and_then(|(_, v)| v.parse().ok())
     }
+
+    /// The `serve --json` document: what the clients observed, plus
+    /// the server-side fig9/replication counters when the server ran
+    /// in-process. Kept next to [`load_report_schema`] so the emitted
+    /// shape and the schema move in lockstep.
+    pub fn to_json(&self, server: Option<&serve::ServerReport>) -> Json {
+        let opt = |v: Option<u64>| v.map(Json::U64).unwrap_or(Json::Null);
+        let mut pairs = vec![
+            ("ops_attempted", Json::U64(self.ops_attempted)),
+            ("ops_ok", Json::U64(self.ops_ok)),
+            ("server_errors", Json::U64(self.server_errors)),
+            ("client_errors", Json::U64(self.client_errors)),
+            ("codec_errors", Json::U64(self.codec_errors)),
+            ("io_errors", Json::U64(self.io_errors)),
+            (
+                "wall_us",
+                Json::U64(self.wall.as_micros().min(u64::MAX as u128) as u64),
+            ),
+            ("throughput_ops_s", Json::F64(self.throughput_ops_s)),
+            ("p50_us", Json::U64(self.p50_us)),
+            ("p99_us", Json::U64(self.p99_us)),
+            ("max_us", Json::U64(self.max_us)),
+            ("fault_armed_at_us", opt(self.fault_armed_at_us)),
+            ("recovered_at_us", opt(self.recovered_at_us)),
+            ("recovered", Json::Bool(self.recovered)),
+            (
+                "p99_during_mitigation_us",
+                opt(self.p99_during_mitigation_us),
+            ),
+            (
+                "mitigation_window_ops",
+                Json::U64(self.mitigation_window_ops),
+            ),
+            ("tracked_acked", Json::U64(self.tracked_acked)),
+            ("tracked_lost", Json::U64(self.tracked_lost)),
+            ("discarded_updates", opt(self.stat_u64("discarded_updates"))),
+            ("total_updates", opt(self.stat_u64("total_updates"))),
+            ("replicas", opt(self.stat_u64("replicas"))),
+            ("failovers", opt(self.stat_u64("failovers"))),
+            (
+                "last_failover_wall_us",
+                opt(self.stat_u64("last_failover_wall_us")),
+            ),
+            ("repl_lag_p99", opt(self.stat_u64("repl_lag_p99"))),
+        ];
+        if let Some(s) = server {
+            pairs.push(("connections", Json::U64(s.connections)));
+            pairs.push(("protocol_errors", Json::U64(s.protocol_errors)));
+            pairs.push(("busy_rejections", Json::U64(s.busy_rejections)));
+        }
+        Json::obj(pairs)
+    }
+
+    /// Renders [`LoadReport::to_json`], parses it back, and validates
+    /// the result against [`load_report_schema`] — the same
+    /// schema-stability guard the `report` subcommand has.
+    pub fn validate_rendered(
+        &self,
+        server: Option<&serve::ServerReport>,
+    ) -> Result<(), Vec<String>> {
+        let parsed = Json::parse(&self.to_json(server).render())
+            .map_err(|e| vec![format!("render/parse: {e}")])?;
+        obs::validate(&parsed, &load_report_schema())
+    }
+}
+
+/// Schema of the `serve --json` load report. [`Schema::Obj`] members
+/// are a floor: unknown additions pass, removals and type changes fail.
+pub fn load_report_schema() -> Schema {
+    use Schema::{Bool, Num, Obj, UInt};
+    let nullable_uint = Schema::nullable(UInt);
+    Obj(vec![
+        Field::req("ops_attempted", UInt),
+        Field::req("ops_ok", UInt),
+        Field::req("server_errors", UInt),
+        Field::req("client_errors", UInt),
+        Field::req("codec_errors", UInt),
+        Field::req("io_errors", UInt),
+        Field::req("wall_us", UInt),
+        Field::req("throughput_ops_s", Num),
+        Field::req("p50_us", UInt),
+        Field::req("p99_us", UInt),
+        Field::req("max_us", UInt),
+        Field::req("fault_armed_at_us", nullable_uint.clone()),
+        Field::req("recovered_at_us", nullable_uint.clone()),
+        Field::req("recovered", Bool),
+        Field::req("p99_during_mitigation_us", nullable_uint.clone()),
+        Field::req("mitigation_window_ops", UInt),
+        Field::req("tracked_acked", UInt),
+        Field::req("tracked_lost", UInt),
+        Field::req("discarded_updates", nullable_uint.clone()),
+        Field::req("total_updates", nullable_uint.clone()),
+        Field::req("replicas", nullable_uint.clone()),
+        Field::req("failovers", nullable_uint.clone()),
+        Field::req("last_failover_wall_us", nullable_uint.clone()),
+        Field::req("repl_lag_p99", nullable_uint),
+        Field::opt("connections", UInt),
+        Field::opt("protocol_errors", UInt),
+        Field::opt("busy_rejections", UInt),
+    ])
 }
 
 enum ClientError {
@@ -353,10 +459,11 @@ fn worker(
         shared.io_errors.fetch_add(1, Ordering::Relaxed);
         return out;
     };
-    let mut workload = KvWorkload::mixed(
+    let mut workload = KvWorkload::mixed_skewed(
         cfg.key_space,
         cfg.key_base,
         cfg.read_pct,
+        cfg.skew,
         cfg.seed ^ (id.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
     );
     let track_base = TRACK_BASE + id * TRACK_STRIDE;

@@ -31,10 +31,22 @@ pub struct Zipfian {
 }
 
 impl Zipfian {
-    /// Creates a zipfian generator over `[0, n)` with the given seed.
+    /// Creates a zipfian generator over `[0, n)` with the given seed and
+    /// YCSB's default skew (theta = 0.99).
     pub fn new(n: u64, seed: u64) -> Self {
+        Self::with_theta(n, 0.99, seed)
+    }
+
+    /// Creates a generator over `[0, n)` with an explicit skew.
+    /// `theta = 0` degenerates exactly to the uniform distribution
+    /// (Gray's formula collapses to `v = n·u`); theta must stay below 1,
+    /// where the power-method approximation diverges.
+    pub fn with_theta(n: u64, theta: f64, seed: u64) -> Self {
         assert!(n > 0, "zipfian domain must be non-empty");
-        let theta = 0.99;
+        assert!(
+            (0.0..1.0).contains(&theta),
+            "zipfian theta must be in [0, 1), got {theta}"
+        );
         let zetan = Self::zeta(n, theta);
         let zeta2 = Self::zeta(2, theta);
         Zipfian {
@@ -102,9 +114,15 @@ impl KvWorkload {
     /// Arbitrary read/write mix with zipfian keys — the serving load
     /// driver's knob (`--read-pct`).
     pub fn mixed(n: u64, key_base: u64, read_pct: u32, seed: u64) -> Self {
+        Self::mixed_skewed(n, key_base, read_pct, 0.99, seed)
+    }
+
+    /// [`KvWorkload::mixed`] with an explicit zipfian skew
+    /// (`theta = 0` = uniform keys) — the load driver's `--skew` knob.
+    pub fn mixed_skewed(n: u64, key_base: u64, read_pct: u32, theta: f64, seed: u64) -> Self {
         assert!(read_pct <= 100, "read_pct is a percentage");
         KvWorkload {
-            zipf: Zipfian::new(n, seed),
+            zipf: Zipfian::with_theta(n, theta, seed),
             rng: StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15),
             read_pct,
             key_base,
@@ -177,6 +195,28 @@ mod tests {
     fn insert_only_has_no_reads() {
         let mut w = KvWorkload::insert_only(100, 0, 3);
         assert!((0..1000).all(|_| matches!(w.next(), KvOp::Put(..))));
+    }
+
+    #[test]
+    fn theta_zero_is_uniform() {
+        let mut z = Zipfian::with_theta(1000, 0.0, 42);
+        let mut hot = 0;
+        for _ in 0..10_000 {
+            if z.next() < 10 {
+                hot += 1;
+            }
+        }
+        // The 1% "hottest" keys draw ~1% of accesses under theta = 0.
+        assert!((50..200).contains(&hot), "hot keys drew {hot}/10000");
+    }
+
+    #[test]
+    fn mixed_defaults_to_ycsb_skew() {
+        let mut a = KvWorkload::mixed(512, 1000, 50, 7);
+        let mut b = KvWorkload::mixed_skewed(512, 1000, 50, 0.99, 7);
+        for _ in 0..1000 {
+            assert_eq!(a.next(), b.next());
+        }
     }
 
     #[test]

@@ -36,11 +36,13 @@
 
 pub mod device;
 pub mod error;
+pub mod group;
 pub mod layout;
 pub mod pool;
 pub mod sink;
 
 pub use device::{CrashPolicy, DeviceStats, PmDevice, CACHE_LINE};
 pub use error::{PmError, PmResult};
+pub use group::{PoolGroup, Replica, ReplicaStatus};
 pub use pool::{CheckIssue, PmPool, PoolStats, SiteKind};
 pub use sink::{NullSink, PmSink};

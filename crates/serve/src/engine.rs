@@ -23,11 +23,11 @@
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use arthas::{
-    analyze_and_instrument_cached, AnalysisCache, Detector, FailureRecord, ForkableTarget, GuidMap,
-    PmTrace, Reactor, ReactorConfig, SharedLog, Target, Verdict,
+    analyze_and_instrument_cached, AnalysisCache, Detector, FailoverBudget, FailureRecord,
+    ForkableTarget, GuidMap, PmTrace, Reactor, ReactorConfig, SharedLog, Target, Verdict,
 };
 use arthas::{CheckpointLog, MitigationOutcome, MAX_VERSIONS};
 use obs::{Instrument as _, Recorder, RingRecorder};
@@ -35,7 +35,7 @@ use pir::ir::Module;
 use pir::vm::{Vm, VmError, VmOpts};
 use pir_analysis::ModuleAnalysis;
 use pm_apps::{kvcache, segcache};
-use pmemsim::PmPool;
+use pmemsim::{PmPool, PoolGroup};
 
 use crate::command::{key_id, Cmd, Reply};
 
@@ -97,6 +97,20 @@ pub struct EngineConfig {
     /// stay well above `health_every` (the offline default of 3 is far
     /// too shallow for serving).
     pub log_versions: usize,
+    /// Hot-standby replicas fed from the checkpoint stream (0 disables
+    /// replication and the engine is byte-identical to the single-pool
+    /// path).
+    pub replicas: usize,
+    /// How many sequence numbers the standbys are deliberately held
+    /// behind the primary's frontier. Faults like f4/f10 travel through
+    /// the checkpoint stream, so a fully caught-up standby would
+    /// faithfully reproduce the corruption; the lag must cover the
+    /// fault-to-detection window (`health_every` ops, each generating a
+    /// handful of checkpoint updates). Failover verification rejects a
+    /// standby that already replayed the fault either way — the lag
+    /// determines whether promotion (fast) or primary-image reversion
+    /// (the fallback) ends the outage.
+    pub standby_lag: u64,
 }
 
 impl Default for EngineConfig {
@@ -108,6 +122,8 @@ impl Default for EngineConfig {
             trace_cap: 8192,
             log_shards: 4,
             log_versions: 512,
+            replicas: 0,
+            standby_lag: 2048,
         }
     }
 }
@@ -140,6 +156,9 @@ pub struct EngineStats {
     pub discarded_updates: u64,
     /// Checkpoint updates recorded since startup (fig9 denominator).
     pub total_updates: u64,
+    /// Mitigations resolved by promoting a hot-standby replica instead
+    /// of reverting the primary's own image.
+    pub failovers: u64,
     /// Whether the configured fault is currently armed.
     pub armed: bool,
 }
@@ -155,6 +174,9 @@ pub struct MitigationSummary {
     pub discarded_updates: u64,
     /// Wall time in microseconds.
     pub wall_us: u64,
+    /// Recovery came from promoting a replica rather than reverting
+    /// the primary image.
+    pub failed_over: bool,
 }
 
 /// The single-threaded serving engine.
@@ -170,12 +192,19 @@ pub struct Engine {
     detector: Detector,
     recorder: Arc<RingRecorder>,
     cfg: EngineConfig,
+    group: PoolGroup,
     degraded: Arc<AtomicBool>,
     started: Instant,
     ops_since_health: u64,
     ops_since_trim: u64,
     stats: EngineStats,
     last_mitigation: Option<MitigationSummary>,
+    last_failover_wall_us: Option<u64>,
+    /// True from the first observed fault until a mitigation recovers:
+    /// while fault history is open, every update since the suspicious
+    /// window may carry the poison, so the pump freezes the standbys
+    /// where they are instead of shipping it to them.
+    stream_quarantined: bool,
 }
 
 impl Engine {
@@ -230,17 +259,30 @@ impl Engine {
             detector,
             recorder,
             cfg,
+            group: PoolGroup::default(),
             degraded: Arc::new(AtomicBool::new(false)),
             started: Instant::now(),
             ops_since_health: 0,
             ops_since_trim: 0,
             stats: EngineStats::default(),
             last_mitigation: None,
+            last_failover_wall_us: None,
+            stream_quarantined: false,
         };
         engine.seed_canaries()?;
+        if engine.cfg.replicas > 0 {
+            // Standbys start from the post-seed image; the checkpoint
+            // stream carries everything after this frontier.
+            let base = engine.log.view().latest_seq();
+            let vm = engine.vm.as_mut().expect("vm present");
+            engine.group = PoolGroup::new(vm.pool_mut(), engine.cfg.replicas, base);
+        }
         engine.recorder.event(
             "serve.start",
-            vec![("scenario", scenario_field(&engine.scenario))],
+            vec![
+                ("scenario", scenario_field(&engine.scenario)),
+                ("replicas", (engine.cfg.replicas as u64).into()),
+            ],
         );
         Ok(engine)
     }
@@ -439,8 +481,42 @@ impl Engine {
             return;
         }
         self.ops_since_health = 0;
+        self.pump_replicas();
         if let Err(e) = self.health_calls() {
             self.recover_from(e);
+        }
+    }
+
+    /// Ships the checkpoint stream to the standby replicas, holding
+    /// every apply cursor `standby_lag` seqs behind the primary's
+    /// frontier so an armed fault that traveled through the stream is
+    /// not yet applied when failover needs a pre-fault image. Once a
+    /// fault has been sighted the stream is quarantined — the lag only
+    /// covers the window between a poisoned update and its first
+    /// manifestation, so continuing to pump during the restart-and-watch
+    /// window would eventually walk the horizon over the poison.
+    fn pump_replicas(&mut self) {
+        if self.group.is_empty() || self.stream_quarantined {
+            return;
+        }
+        let view = self.log.view();
+        let latest = view.latest_seq();
+        let horizon = latest.saturating_sub(self.cfg.standby_lag);
+        let min_cursor = (0..self.group.n())
+            .filter_map(|i| self.group.replica(i))
+            .filter(|r| !r.faulted())
+            .map(|r| r.cursor())
+            .min()
+            .unwrap_or(u64::MAX);
+        if min_cursor < horizon {
+            let updates = view.updates_since(min_cursor);
+            self.group
+                .pump(updates.into_iter().filter(|&(seq, _, _)| seq <= horizon));
+        }
+        for st in self.group.status(latest) {
+            if !st.faulted {
+                self.recorder.observe_us("serve.repl_lag", st.lag);
+            }
         }
     }
 
@@ -467,6 +543,9 @@ impl Engine {
         let mut healthy = false;
         for round in 0..MAX_RECOVERY_ROUNDS {
             self.stats.faults += 1;
+            // Quarantine the checkpoint stream: the standbys stay where
+            // they are until a mitigation clears the fault history.
+            self.stream_quarantined = true;
             let record = FailureRecord::from_vm(&err);
             self.recorder.event(
                 "serve.fault",
@@ -544,21 +623,94 @@ impl Engine {
         let out: MitigationOutcome = {
             let mut reactor = Reactor::new(&self.analysis, &self.guid_map, reactor_cfg);
             reactor.instrument(self.recorder.clone());
-            reactor.mitigate_speculative(&mut pool, &self.log, record, &self.trace, &mut target)
+            if self.group.is_empty() {
+                reactor.mitigate_speculative(&mut pool, &self.log, record, &self.trace, &mut target)
+            } else if self.last_mitigation.as_ref().is_some_and(|m| m.failed_over) {
+                // Escalation: the previous mitigation promoted a
+                // standby, and a hard fault came back. A fault whose
+                // poisoned updates replicated through the checkpoint
+                // stream *before* the pump horizon passed them sits in
+                // every standby image, and promote verification cannot
+                // see latent damage that only manifests on access —
+                // promoting again would loop forever. Revert on the
+                // primary image instead: slicing from the fault anchor
+                // excises the poisoned updates that failover carried
+                // along. The next fault episode starts hot-standby-first
+                // again.
+                reactor.mitigate_speculative(&mut pool, &self.log, record, &self.trace, &mut target)
+            } else {
+                // Hot-standby-first: a zero budget skips primary-image
+                // reversion entirely, bounding the outage by
+                // promote-replica latency. Verification rejects a
+                // standby that already replayed the fault through the
+                // stream; if every standby fails, fall back to
+                // reverting the primary image (the mitigation-only
+                // path), which failover left untouched.
+                let budget = FailoverBudget {
+                    max_attempts: 0,
+                    max_wall: Duration::ZERO,
+                };
+                let out = reactor.mitigate_replicated(
+                    &mut pool,
+                    &self.log,
+                    record,
+                    &self.trace,
+                    &mut target,
+                    &mut self.group,
+                    budget,
+                );
+                if out.recovered {
+                    out
+                } else {
+                    reactor.mitigate_speculative(
+                        &mut pool,
+                        &self.log,
+                        record,
+                        &self.trace,
+                        &mut target,
+                    )
+                }
+            }
         };
         // The reactor disables the log around re-execution; serving
         // resumes with checkpointing on.
         self.log.set_enabled(true);
         self.stats.discarded_updates += out.discarded_updates;
+        if out.failed_over {
+            self.stats.failovers += 1;
+            self.recorder.event(
+                "serve.failover",
+                vec![
+                    ("scenario", scenario_field(&self.scenario)),
+                    ("discarded_updates", out.discarded_updates.into()),
+                ],
+            );
+        }
         if out.recovered {
             self.stats.mitigations_recovered += 1;
             self.stats.armed = false;
             // Fresh history: the next unrelated fault starts a new
-            // first-sighting cycle instead of matching this one.
+            // first-sighting cycle instead of matching this one, and the
+            // checkpoint stream comes out of quarantine.
             self.detector = Detector::new();
             self.detector.instrument(self.recorder.clone());
+            self.stream_quarantined = false;
+            if !self.group.is_empty() {
+                // Re-seed the standbys from the recovered image: the
+                // old replicas' streams straddle the faulty window (and
+                // the best one may just have been promoted), so a fresh
+                // base keeps the next fault's failover target pre-fault.
+                let base = self.log.view().latest_seq();
+                self.group = PoolGroup::new(&pool, self.cfg.replicas, base);
+            }
         }
         let wall_us = out.wall.as_micros().min(u64::MAX as u128) as u64;
+        if out.failed_over {
+            // Kept separately from `last_mitigation_wall_us`: an
+            // escalated reversion may run after this failover, and
+            // fig15 compares the promote wall, not whatever ran last.
+            self.last_failover_wall_us = Some(wall_us);
+        }
         self.recorder.event(
             "serve.mitigation_end",
             vec![
@@ -566,6 +718,7 @@ impl Engine {
                 ("attempts", u64::from(out.attempts).into()),
                 ("discarded_updates", out.discarded_updates.into()),
                 ("wall_us", wall_us.into()),
+                ("failed_over", out.failed_over.into()),
             ],
         );
         self.recorder.observe_us("serve.mitigation_us", wall_us);
@@ -574,6 +727,7 @@ impl Engine {
             attempts: out.attempts,
             discarded_updates: out.discarded_updates,
             wall_us,
+            failed_over: out.failed_over,
         });
         pool
     }
@@ -658,7 +812,19 @@ impl Engine {
             ("fault_armed".into(), u8::from(s.armed).to_string()),
             ("discarded_updates".into(), s.discarded_updates.to_string()),
             ("total_updates".into(), s.total_updates.to_string()),
+            ("replicas".into(), self.cfg.replicas.to_string()),
+            ("failovers".into(), s.failovers.to_string()),
         ];
+        if !self.group.is_empty() {
+            let latest = self.log.view().latest_seq();
+            for st in self.group.status(latest) {
+                kvs.push((format!("replica_{}_lag", st.idx), st.lag.to_string()));
+                kvs.push((
+                    format!("replica_{}_faulted", st.idx),
+                    u8::from(st.faulted).to_string(),
+                ));
+            }
+        }
         if let Some(m) = &self.last_mitigation {
             kvs.push((
                 "last_mitigation_recovered".into(),
@@ -670,11 +836,25 @@ impl Engine {
                 m.discarded_updates.to_string(),
             ));
             kvs.push(("last_mitigation_wall_us".into(), m.wall_us.to_string()));
+            kvs.push((
+                "last_mitigation_failed_over".into(),
+                u8::from(m.failed_over).to_string(),
+            ));
+        }
+        if let Some(w) = self.last_failover_wall_us {
+            kvs.push(("last_failover_wall_us".into(), w.to_string()));
         }
         if let Some(h) = self.recorder.histogram("serve.op_us") {
             kvs.push(("op_p50_us".into(), h.p50_us.to_string()));
             kvs.push(("op_p99_us".into(), h.p99_us.to_string()));
             kvs.push(("op_max_us".into(), h.max_us.to_string()));
+        }
+        // Replication-lag histogram (values are seqs behind the
+        // primary's frontier, sampled at each pump).
+        if let Some(h) = self.recorder.histogram("serve.repl_lag") {
+            kvs.push(("repl_lag_p50".into(), h.p50_us.to_string()));
+            kvs.push(("repl_lag_p99".into(), h.p99_us.to_string()));
+            kvs.push(("repl_lag_max".into(), h.max_us.to_string()));
         }
         kvs.extend(extra.iter().cloned());
         Reply::Stats(kvs)
@@ -876,6 +1056,63 @@ mod tests {
         assert!(kinds.contains(&"serve.fault_armed"));
         assert!(kinds.contains(&"serve.mitigation_end"));
         assert!(kinds.contains(&"serve.recovered"));
+    }
+
+    #[test]
+    fn f4_hot_standby_failover_bounds_the_outage() {
+        let cfg = EngineConfig {
+            scenario: "f4".into(),
+            health_every: 16,
+            replicas: 1,
+            ..EngineConfig::default()
+        };
+        let mut e =
+            Engine::new(cfg, None, Arc::new(RingRecorder::new(4096))).expect("engine builds");
+        for i in 0u64..64 {
+            let key = format!("{}", 1000 + i);
+            assert_eq!(e.exec(&cmd_set(key.as_bytes(), b"\x11\x11")), Reply::Stored);
+        }
+        assert_eq!(e.exec(&Cmd::FaultArm), Reply::Ok);
+        for round in 0u64..128 {
+            let key = format!("{}", 1000 + (round % 64));
+            let _ = e.exec(&cmd_get(key.as_bytes()));
+            if e.stats().mitigations_recovered >= 1 {
+                break;
+            }
+        }
+        let s = e.stats();
+        assert!(s.mitigations >= 1, "{s:?}");
+        assert!(s.mitigations_recovered >= 1, "{s:?}");
+        // The standby lags behind the armed fault, so recovery comes
+        // from promotion, not primary-image reversion.
+        assert!(s.failovers >= 1, "failover resolved the fault: {s:?}");
+        let m = e.last_mitigation().expect("mitigation ran");
+        assert!(m.failed_over && m.recovered, "{m:?}");
+        assert!(!s.armed, "fault disarmed after recovery: {s:?}");
+        // Post-failover the server keeps serving writes and reads.
+        assert_eq!(e.exec(&cmd_set(b"777777", b"\x22\x22")), Reply::Stored);
+        assert_eq!(
+            e.exec(&cmd_get(b"777777")),
+            Reply::Values {
+                items: vec![(b"777777".to_vec(), vec![0x22; 2])]
+            }
+        );
+        let kinds: Vec<&str> = e.recorder.events().iter().map(|ev| ev.kind).collect();
+        assert!(kinds.contains(&"serve.failover"), "{kinds:?}");
+        // Stats surface the replication counters.
+        let Reply::Stats(kvs) = e.stats_reply(&[]) else {
+            panic!("stats reply");
+        };
+        let get = |name: &str| {
+            kvs.iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v.clone())
+                .unwrap_or_else(|| panic!("missing stat {name}"))
+        };
+        assert_eq!(get("replicas"), "1");
+        assert!(get("failovers").parse::<u64>().unwrap() >= 1);
+        assert_eq!(get("last_mitigation_failed_over"), "1");
+        assert!(get("repl_lag_max").parse::<u64>().is_ok());
     }
 
     #[test]

@@ -20,13 +20,16 @@
 //!   log + detector + reactor, with the online-mitigation failure path.
 //! * [`server`] — the TCP runtime: listener, worker threads, per-
 //!   connection protocol autodetection, and the degraded-mode fast path.
+//! * [`stats`] — the schema guard over the `stats` reply surface.
 
 pub mod command;
 pub mod engine;
 pub mod memcached;
 pub mod resp;
 pub mod server;
+pub mod stats;
 
 pub use command::{key_id, Cmd, Parse, Reply, MAX_KEY_LEN, MAX_VALUE_LEN};
 pub use engine::{BackendKind, Engine, EngineConfig, EngineStats, SERVABLE};
 pub use server::{Server, ServerConfig, ServerHandle, ServerReport};
+pub use stats::{stats_json, stats_schema, validate_stats};

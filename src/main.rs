@@ -23,7 +23,6 @@ use arthas::ReactorConfig;
 use arthas_repro::cli::{
     ArgSpec, CliContext, CommandSpec, FlagSpec, Parsed, ANALYSIS_CACHE_FLAG, NO_ANALYSIS_CACHE_FLAG,
 };
-use obs::Json;
 use pm_workload::{mitigate, run_production, scenarios, AppSetup, RunConfig, Solution};
 
 const COMMANDS: &[CommandSpec] = &[
@@ -155,9 +154,26 @@ const COMMANDS: &[CommandSpec] = &[
                 help: "workload seed (default 1)",
             },
             FlagSpec {
+                name: "--skew",
+                value: Some("THETA"),
+                help: "zipfian skew of the traffic keys: 0 = uniform (default), \
+                       0.99 = YCSB hot-key popularity",
+            },
+            FlagSpec {
+                name: "--replicas",
+                value: Some("N"),
+                help: "hot-standby replica pools fed from the checkpoint stream \
+                       (default 0 = single-pool mitigation only)",
+            },
+            FlagSpec {
+                name: "--standby-lag",
+                value: Some("N"),
+                help: "seqs the standbys are held behind the primary (default 2048)",
+            },
+            FlagSpec {
                 name: "--json",
                 value: None,
-                help: "machine-readable load report",
+                help: "machine-readable load report (schema-validated)",
             },
             ANALYSIS_CACHE_FLAG,
             NO_ANALYSIS_CACHE_FLAG,
@@ -207,6 +223,19 @@ const COMMANDS: &[CommandSpec] = &[
                 value: None,
                 help: "mine likely invariants from passing runs and convict clean-looking \
                        images that break them (silent_corruption verdicts)",
+            },
+            FlagSpec {
+                name: "--replicas",
+                value: Some("N"),
+                help: "hot-standby replica pools behind every trial, fed from the \
+                       checkpoint stream (default 0 = single-pool campaign; the matrix \
+                       is byte-identical at 0)",
+            },
+            FlagSpec {
+                name: "--replica-fault",
+                value: Some("MODE"),
+                help: "replica-side fault per trial: correlated, independent or torn \
+                       (requires --replicas >= 1)",
             },
             FlagSpec {
                 name: "--no-invariants",
@@ -404,6 +433,16 @@ fn flag_u64(p: &Parsed, flag: &str, default: u64) -> u64 {
             eprintln!("{msg}");
             std::process::exit(2);
         }
+    }
+}
+
+fn flag_f64(p: &Parsed, flag: &str, default: f64) -> f64 {
+    match p.get(flag) {
+        None => default,
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("{flag} expects a number, got `{v}`");
+            std::process::exit(2);
+        }),
     }
 }
 
@@ -683,6 +722,11 @@ fn cmd_serve(p: Parsed) {
             std::process::exit(2);
         }
     }
+    let skew = flag_f64(&p, "--skew", 0.0);
+    if !(0.0..1.0).contains(&skew) {
+        eprintln!("--skew must be in [0, 1), got {skew}");
+        std::process::exit(2);
+    }
     let load_cfg = pm_workload::LoadConfig {
         conns: flag_u64(&p, "--conns", 16).max(1) as usize,
         ops,
@@ -690,6 +734,7 @@ fn cmd_serve(p: Parsed) {
         resp_pct: flag_u64(&p, "--resp-pct", 50).min(100) as u32,
         key_space: flag_u64(&p, "--key-space", 512).max(1),
         seed: flag_u64(&p, "--seed", 1),
+        skew,
         fault_at,
         ..pm_workload::LoadConfig::default()
     };
@@ -715,6 +760,8 @@ fn cmd_serve(p: Parsed) {
         workers: flag_u64(&p, "--workers", 4).max(1) as usize,
         engine: serve::EngineConfig {
             scenario: scenario.to_string(),
+            replicas: flag_u64(&p, "--replicas", 0) as usize,
+            standby_lag: flag_u64(&p, "--standby-lag", 2048),
             ..serve::EngineConfig::default()
         },
     };
@@ -753,42 +800,17 @@ fn finish_load(
 ) -> ! {
     let discarded = report.stat_u64("discarded_updates");
     let total = report.stat_u64("total_updates");
-    let opt = |v: Option<u64>| v.map(Json::U64).unwrap_or(Json::Null);
     if p.has("--json") {
-        let mut pairs = vec![
-            ("ops_attempted", Json::U64(report.ops_attempted)),
-            ("ops_ok", Json::U64(report.ops_ok)),
-            ("server_errors", Json::U64(report.server_errors)),
-            ("client_errors", Json::U64(report.client_errors)),
-            ("codec_errors", Json::U64(report.codec_errors)),
-            ("io_errors", Json::U64(report.io_errors)),
-            ("wall_us", Json::U64(report.wall.as_micros() as u64)),
-            ("throughput_ops_s", Json::F64(report.throughput_ops_s)),
-            ("p50_us", Json::U64(report.p50_us)),
-            ("p99_us", Json::U64(report.p99_us)),
-            ("max_us", Json::U64(report.max_us)),
-            ("fault_armed_at_us", opt(report.fault_armed_at_us)),
-            ("recovered_at_us", opt(report.recovered_at_us)),
-            ("recovered", Json::Bool(report.recovered)),
-            (
-                "p99_during_mitigation_us",
-                opt(report.p99_during_mitigation_us),
-            ),
-            (
-                "mitigation_window_ops",
-                Json::U64(report.mitigation_window_ops),
-            ),
-            ("tracked_acked", Json::U64(report.tracked_acked)),
-            ("tracked_lost", Json::U64(report.tracked_lost)),
-            ("discarded_updates", opt(discarded)),
-            ("total_updates", opt(total)),
-        ];
-        if let Some(s) = &server {
-            pairs.push(("connections", Json::U64(s.connections)));
-            pairs.push(("protocol_errors", Json::U64(s.protocol_errors)));
-            pairs.push(("busy_rejections", Json::U64(s.busy_rejections)));
+        // The document self-validates against the load-report schema
+        // before being emitted; drift is a bug, not an output.
+        if let Err(errors) = report.validate_rendered(server.as_ref()) {
+            eprintln!("internal error: load report does not match its schema:");
+            for e in errors {
+                eprintln!("  {e}");
+            }
+            std::process::exit(1);
         }
-        println!("{}", Json::obj(pairs).render_pretty());
+        println!("{}", report.to_json(server.as_ref()).render_pretty());
     } else {
         println!("== serving load report ==");
         println!(
@@ -900,6 +922,8 @@ fn resume_campaign(
         "--seed",
         "--invariants",
         "--no-invariants",
+        "--replicas",
+        "--replica-fault",
     ];
     for f in MATRIX_FLAGS {
         if p.get(f).is_some() || p.has(f) {
@@ -926,6 +950,8 @@ fn resume_campaign(
         .seed(header.seed)
         .policies(header.policies)
         .invariants(header.invariants)
+        .replicas(header.replicas)
+        .replica_fault(header.replica_fault)
         .analysis_cache(ctx.cache_arc())
         .build()
         .unwrap_or_else(|e| {
@@ -953,6 +979,18 @@ fn cmd_inject(p: Parsed) {
                     eprintln!("{e}");
                     std::process::exit(2);
                 });
+        let replica_fault = match p.get("--replica-fault") {
+            None => None,
+            Some(s) => match inject::ReplicaFault::parse(s) {
+                Some(f) => Some(f),
+                None => {
+                    eprintln!(
+                        "unknown replica fault `{s}` (expected correlated, independent or torn)"
+                    );
+                    std::process::exit(2);
+                }
+            },
+        };
         let cfg = inject::CampaignConfig::builder()
             .stride(flag_u64(&p, "--stride", 1))
             .budget(flag_u64(&p, "--budget", 400) as usize)
@@ -960,6 +998,8 @@ fn cmd_inject(p: Parsed) {
             .seed(seed)
             .policies(policies)
             .invariants(p.has("--invariants") && !p.has("--no-invariants"))
+            .replicas(flag_u64(&p, "--replicas", 0) as usize)
+            .replica_fault(replica_fault)
             .analysis_cache(ctx.cache_arc())
             .build()
             .unwrap_or_else(|e| {

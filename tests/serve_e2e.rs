@@ -25,11 +25,27 @@ fn load_cfg(conns: usize, ops: u64, fault_at: Option<u64>) -> LoadConfig {
 }
 
 fn start_server(scenario: &str, recorder: Arc<obs::RingRecorder>) -> serve::ServerHandle {
+    start_server_with(scenario, 0, recorder)
+}
+
+fn start_server_with(
+    scenario: &str,
+    replicas: usize,
+    recorder: Arc<obs::RingRecorder>,
+) -> serve::ServerHandle {
     Server::start(
         ServerConfig {
             workers: 4,
             engine: EngineConfig {
                 scenario: scenario.into(),
+                replicas,
+                // The smoke must resolve by promotion deterministically.
+                // The fault arms at op 1600 of 3200, so a lag deeper
+                // than the whole run's update count keeps the poison out
+                // of the standby regardless of when it first manifests;
+                // the lag-vs-manifestation race (and the escalation it
+                // forces) is exercised at scale by fig15_replication.
+                standby_lag: 4096,
                 ..EngineConfig::default()
             },
             ..ServerConfig::default()
@@ -118,6 +134,118 @@ fn serving_mitigates_hard_fault_online_under_64_connections() {
         "post-mitigation traffic clean: {verify:?}"
     );
     assert_eq!(verify.codec_errors, 0);
+}
+
+/// The failover smoke (ISSUE 10): fault armed mid-stream against a
+/// server with one hot-standby replica; the mitigation must resolve by
+/// promoting the standby, loss stays inside the discard accounting, and
+/// the stats surface stays schema-valid.
+#[test]
+fn serving_fails_over_to_hot_standby_under_load() {
+    let recorder = Arc::new(obs::RingRecorder::new(1 << 18));
+    let handle = start_server_with("f4", 1, recorder.clone());
+    let cfg = load_cfg(32, 3200, Some(1600));
+    let report = run_load(handle.addr(), &cfg).expect("load run completes");
+
+    assert!(
+        report.fault_armed_at_us.is_some(),
+        "fault armed: {report:?}"
+    );
+    assert!(report.recovered, "server recovered online: {report:?}");
+    assert!(
+        report.stat_u64("failovers").unwrap_or(0) >= 1,
+        "recovery came from standby promotion: {:?}",
+        report.final_stats
+    );
+    assert_eq!(report.stat_u64("replicas"), Some(1));
+    assert_eq!(report.codec_errors, 0, "{report:?}");
+    assert_eq!(report.io_errors, 0, "{report:?}");
+
+    // Failover discards the retained updates past the promoted cursor;
+    // acked-then-lost writes must stay inside that accounting.
+    let discarded = report.stat_u64("discarded_updates").unwrap_or(0);
+    assert!(
+        report.tracked_lost <= discarded,
+        "tracked loss {} exceeds discarded updates {}: {report:?}",
+        report.tracked_lost,
+        discarded
+    );
+
+    let events = recorder.events();
+    assert!(
+        events.iter().any(|e| e.kind == "serve.failover"),
+        "serve.failover event emitted"
+    );
+
+    // The stats surface (including the replication keys) matches its
+    // schema.
+    serve::validate_stats(&report.final_stats).expect("final stats are schema-valid");
+
+    // Post-failover the promoted pool keeps serving. The standby may
+    // have pulled the poisoned update through the checkpoint stream
+    // before the fault manifested, in which case the fault recurs once
+    // on the promoted image and the engine escalates to primary-image
+    // reversion — so the first pass tolerates an in-flight escalation
+    // and the second pass must be fully clean.
+    let settle = run_load(
+        handle.addr(),
+        &LoadConfig {
+            conns: 2,
+            ops: 64,
+            fault_at: None,
+            ..LoadConfig::default()
+        },
+    )
+    .expect("post-failover load");
+    assert_eq!(settle.codec_errors, 0, "{settle:?}");
+    let verify = run_load(
+        handle.addr(),
+        &LoadConfig {
+            conns: 2,
+            ops: 64,
+            fault_at: None,
+            ..LoadConfig::default()
+        },
+    )
+    .expect("post-escalation load");
+    assert_eq!(verify.ops_ok, 64, "post-failover traffic clean: {verify:?}");
+}
+
+/// The adversarial-skew replay left open by PR 9: f4 online mitigation
+/// under zipfian theta = 0.99 traffic, gating loss ≤ discarded as the
+/// uniform run does. Hot keys pile versions onto the same addresses,
+/// which is exactly the rotation pressure the checkpoint log's
+/// per-address retention must absorb.
+#[test]
+fn serving_mitigates_f4_under_zipfian_skew() {
+    let recorder = Arc::new(obs::RingRecorder::new(1 << 18));
+    let handle = start_server("f4", recorder);
+    let cfg = LoadConfig {
+        skew: 0.99,
+        ..load_cfg(32, 3200, Some(1600))
+    };
+    let report = run_load(handle.addr(), &cfg).expect("load run completes");
+
+    assert!(
+        report.fault_armed_at_us.is_some(),
+        "fault armed: {report:?}"
+    );
+    assert!(report.recovered, "recovered under skew: {report:?}");
+    assert!(report.stat_u64("mitigations_recovered").unwrap_or(0) >= 1);
+    assert_eq!(report.codec_errors, 0, "{report:?}");
+    let discarded = report.stat_u64("discarded_updates").unwrap_or(0);
+    assert!(
+        report.tracked_lost <= discarded,
+        "tracked loss {} exceeds discarded updates {} under skew: {report:?}",
+        report.tracked_lost,
+        discarded
+    );
+
+    // The --json surface built from this run validates against the
+    // load-report schema.
+    report
+        .validate_rendered(None)
+        .expect("load report document is schema-valid");
 }
 
 #[test]
